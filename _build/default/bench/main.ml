@@ -1,0 +1,164 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper (the same rows the
+   evaluation section reports) and prints the shape-check verdicts.
+   Part 2 times the computational kernels behind each figure with
+   Bechamel: one Test.make per figure, plus micro-benchmarks of the
+   solvers. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure regeneration *)
+
+let regenerate () =
+  print_endline "==================================================================";
+  print_endline " Figure regeneration: Ma, 'Subsidization Competition' (CoNEXT'14)";
+  print_endline "==================================================================";
+  let failures = ref 0 in
+  List.iter
+    (fun (e : Experiments.Common.t) ->
+      let t0 = Unix.gettimeofday () in
+      let outcome = e.Experiments.Common.run () in
+      Printf.printf "\n%s\n" (String.make 66 '-');
+      Experiments.Common.print ~plots:false outcome;
+      Printf.printf "[%s regenerated in %.2fs]\n" e.Experiments.Common.id
+        (Unix.gettimeofday () -. t0);
+      if
+        not
+          (List.for_all
+             (fun c -> c.Subsidization.Theorems.passed)
+             outcome.Experiments.Common.shape_checks)
+      then incr failures)
+    Experiments.Registry.all;
+  !failures
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel timings *)
+
+let fig45_sys = Subsidization.Scenario.fig45_system ()
+let fig7_11_sys = Subsidization.Scenario.fig7_11_system ()
+let bench_prices = Subsidization.Scenario.price_grid ~points:9 ()
+
+let bench_fig4 () =
+  let prices = bench_prices in
+  Subsidization.One_sided.revenue_curve fig45_sys ~prices
+
+let bench_fig5 () =
+  let prices = bench_prices in
+  Array.map (fun p -> (Subsidization.One_sided.state fig45_sys ~price:p).Subsidization.System.throughputs) prices
+
+let bench_fig7_row cap () =
+  Subsidization.Policy.price_sweep fig7_11_sys ~cap ~prices:bench_prices
+
+let equilibrium_game = Subsidization.Subsidy_game.make fig7_11_sys ~price:0.8 ~cap:1.0
+
+let nash_equilibrium = Subsidization.Nash.solve equilibrium_game
+
+let bench_verify () = Subsidization.Theorems.run_paper_suite ()
+
+let bench_capacity () =
+  Subsidization.Capacity.evaluate fig7_11_sys
+    ~pricing:(Subsidization.Capacity.Fixed_price 0.8) ~cap:1.0 ~unit_cost:0.15
+    ~capacity:2.
+
+let tests =
+  Test.make_grouped ~name:"subsidization"
+    [
+      (* one per figure *)
+      Test.make ~name:"fig4:revenue-curve" (Staged.stage bench_fig4);
+      Test.make ~name:"fig5:throughput-curves" (Staged.stage bench_fig5);
+      Test.make ~name:"fig7:sweep-q0" (Staged.stage (bench_fig7_row 0.));
+      Test.make ~name:"fig8-11:sweep-q1" (Staged.stage (bench_fig7_row 1.0));
+      Test.make ~name:"fig8-11:sweep-q2" (Staged.stage (bench_fig7_row 2.0));
+      Test.make ~name:"verify:theorem-suite" (Staged.stage bench_verify);
+      Test.make ~name:"capacity:market-eval" (Staged.stage bench_capacity);
+      (* solver kernels *)
+      Test.make ~name:"kernel:utilization-equilibrium"
+        (Staged.stage (fun () ->
+             Subsidization.System.solve fig45_sys
+               ~charges:(Numerics.Vec.make 9 0.5)));
+      Test.make ~name:"kernel:nash-solve"
+        (Staged.stage (fun () -> Subsidization.Nash.solve equilibrium_game));
+      Test.make ~name:"kernel:sensitivity-ds-dq"
+        (Staged.stage (fun () ->
+             Subsidization.Sensitivity.ds_dq equilibrium_game
+               ~subsidies:nash_equilibrium.Subsidization.Nash.subsidies));
+      Test.make ~name:"kernel:marginal-revenue-formula"
+        (Staged.stage (fun () ->
+             Subsidization.Revenue.marginal_formula equilibrium_game
+               ~subsidies:nash_equilibrium.Subsidization.Nash.subsidies));
+      (* solver ablation: iterated best response vs the extragradient VI
+         iteration on the same game *)
+      Test.make ~name:"ablation:nash-best-response"
+        (Staged.stage (fun () -> Subsidization.Nash.solve equilibrium_game));
+      Test.make ~name:"ablation:nash-extragradient"
+        (Staged.stage (fun () ->
+             Subsidization.Nash.solve_vi ~tol:1e-8 equilibrium_game));
+      Test.make ~name:"dynamics:gradient-flow-100steps"
+        (Staged.stage (fun () ->
+             Subsidization.Dynamics.gradient_flow ~horizon:25. ~dt:0.25
+               equilibrium_game ~x0:(Numerics.Vec.zeros 8)));
+      Test.make ~name:"longrun:10-period-path"
+        (Staged.stage (fun () ->
+             Subsidization.Longrun.simulate
+               ~params:
+                 { Subsidization.Longrun.default_params with Subsidization.Longrun.periods = 10 }
+               fig7_11_sys ~price:0.8 ~cap:1.0));
+      Test.make ~name:"duopoly:market-eval-q1"
+        (Staged.stage
+           (let duopoly =
+              Subsidization.Duopoly.make
+                ~cps:(Subsidization.Scenario.fig7_11_cps ())
+                ~capacity_a:0.5 ~capacity_b:0.5 ~cap:1.0 ()
+            in
+            fun () -> Subsidization.Duopoly.market_at duopoly ~prices:(0.8, 0.8)));
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Report.Table.make ~columns:[ "benchmark"; "time/run"; "r^2" ] in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      let time_ns =
+        match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan
+      in
+      let pretty =
+        if Float.is_nan time_ns then "n/a"
+        else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+        else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+        else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+        else Printf.sprintf "%.0f ns" time_ns
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Report.Table.add_row table [ name; pretty; r2 ])
+    rows;
+  print_newline ();
+  print_endline "==================================================================";
+  print_endline " Bechamel timings (monotonic clock, OLS on run count)";
+  print_endline "==================================================================";
+  print_endline (Report.Table.to_string table)
+
+let () =
+  let failures = regenerate () in
+  run_benchmarks ();
+  if failures > 0 then begin
+    Printf.printf "\n%d experiment(s) had failing shape checks\n" failures;
+    exit 1
+  end
+  else print_endline "\nAll figure shape checks passed."

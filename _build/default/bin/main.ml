@@ -1,0 +1,157 @@
+(* Command-line interface: regenerate any of the paper's figures, run
+   the theorem-verification suite, or explore custom market points. *)
+
+open Cmdliner
+
+let dir_arg =
+  let doc = "Directory for CSV output (one subdirectory per experiment)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR" ~doc)
+
+let plots_arg =
+  let doc = "Render ASCII plots alongside the tables." in
+  Arg.(value & flag & info [ "plots" ] ~doc)
+
+let run_experiment id dir plots =
+  let experiment = Experiments.Registry.find_exn id in
+  let outcome = experiment.Experiments.Common.run () in
+  Experiments.Common.print ~plots outcome;
+  (match dir with
+  | Some dir ->
+    Experiments.Common.save outcome ~dir;
+    Printf.printf "\nCSV written under %s/%s/\n" dir id
+  | None -> ());
+  if
+    List.for_all
+      (fun c -> c.Subsidization.Theorems.passed)
+      outcome.Experiments.Common.shape_checks
+  then 0
+  else 1
+
+let experiment_cmd (e : Experiments.Common.t) =
+  let doc = Printf.sprintf "Reproduce %s (%s)." e.Experiments.Common.title e.Experiments.Common.paper_ref in
+  let term =
+    Term.(const (fun dir plots -> run_experiment e.Experiments.Common.id dir plots) $ dir_arg $ plots_arg)
+  in
+  Cmd.v (Cmd.info e.Experiments.Common.id ~doc) term
+
+let all_cmd =
+  let doc = "Run every experiment and print a one-line summary per figure." in
+  let run dir =
+    let failures = ref 0 in
+    List.iter
+      (fun (e : Experiments.Common.t) ->
+        let outcome = e.Experiments.Common.run () in
+        print_endline (Experiments.Common.shape_summary outcome);
+        (match dir with Some dir -> Experiments.Common.save outcome ~dir | None -> ());
+        if
+          not
+            (List.for_all
+               (fun c -> c.Subsidization.Theorems.passed)
+               outcome.Experiments.Common.shape_checks)
+        then incr failures)
+      Experiments.Registry.all;
+    if !failures = 0 then 0 else 1
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* custom markets from CSV *)
+
+let market_arg =
+  let doc =
+    "CSV file defining the CP population (columns: name,alpha,beta,value[,m0,l0]); \
+     defaults to the paper's 8-CP market."
+  in
+  Arg.(value & opt (some file) None & info [ "market" ] ~docv:"FILE" ~doc)
+
+let system_of ?market ~capacity () =
+  let cps =
+    match market with
+    | Some path -> Experiments.Market_io.cps_of_csv path
+    | None -> Subsidization.Scenario.fig7_11_cps ()
+  in
+  Subsidization.System.make ~cps ~capacity ()
+
+(* ------------------------------------------------------------------ *)
+(* nash: solve one market point *)
+
+let price_arg =
+  Arg.(value & opt float 0.8 & info [ "p"; "price" ] ~docv:"PRICE" ~doc:"ISP usage price.")
+
+let cap_arg =
+  Arg.(value & opt float 1.0 & info [ "q"; "cap" ] ~docv:"CAP" ~doc:"Subsidy cap (policy).")
+
+let capacity_arg =
+  Arg.(value & opt float 1.0 & info [ "mu"; "capacity" ] ~docv:"MU" ~doc:"ISP capacity.")
+
+let nash_cmd =
+  let doc =
+    "Solve the subsidization game on the paper's 8-CP population at one (price, cap) point."
+  in
+  let run price cap capacity market =
+    let sys = system_of ?market ~capacity () in
+    let game = Subsidization.Subsidy_game.make sys ~price ~cap in
+    let eq = Subsidization.Nash.solve game in
+    let table =
+      Report.Table.make ~columns:[ "cp"; "subsidy"; "charge"; "population"; "throughput"; "utility" ]
+    in
+    Array.iteri
+      (fun i cp ->
+        Report.Table.add_row table
+          [
+            cp.Econ.Cp.name;
+            Printf.sprintf "%.4f" eq.Subsidization.Nash.subsidies.(i);
+            Printf.sprintf "%.4f" eq.Subsidization.Nash.state.Subsidization.System.charges.(i);
+            Printf.sprintf "%.4f" eq.Subsidization.Nash.state.Subsidization.System.populations.(i);
+            Printf.sprintf "%.4f" eq.Subsidization.Nash.state.Subsidization.System.throughputs.(i);
+            Printf.sprintf "%.4f" eq.Subsidization.Nash.utilities.(i);
+          ])
+      sys.Subsidization.System.cps;
+    print_endline (Report.Table.to_string table);
+    Printf.printf
+      "\nphi=%.4f  aggregate theta=%.4f  ISP revenue=%.4f  welfare=%.4f\n\
+       converged=%b in %d sweeps, KKT residual=%.2e\n"
+      eq.Subsidization.Nash.state.Subsidization.System.phi
+      eq.Subsidization.Nash.state.Subsidization.System.aggregate
+      (price *. eq.Subsidization.Nash.state.Subsidization.System.aggregate)
+      (Subsidization.Welfare.of_equilibrium game eq)
+      eq.Subsidization.Nash.converged eq.Subsidization.Nash.sweeps
+      eq.Subsidization.Nash.kkt_residual;
+    if eq.Subsidization.Nash.converged then 0 else 1
+  in
+  Cmd.v (Cmd.info "nash" ~doc) Term.(const run $ price_arg $ cap_arg $ capacity_arg $ market_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep: optimal ISP price per policy level *)
+
+let sweep_cmd =
+  let doc = "Sweep policy levels; report the ISP's optimal price and the market outcome." in
+  let run capacity market =
+    let sys = system_of ?market ~capacity () in
+    let table = Report.Table.make ~columns:[ "q"; "p*"; "revenue"; "welfare"; "phi" ] in
+    Array.iter
+      (fun cap ->
+        let point = Subsidization.Policy.optimal_price ~p_max:2.5 sys ~cap in
+        Report.Table.add_floats table
+          [
+            cap;
+            point.Subsidization.Policy.price;
+            point.Subsidization.Policy.revenue;
+            point.Subsidization.Policy.welfare;
+            point.Subsidization.Policy.utilization;
+          ])
+      (Subsidization.Scenario.q_levels ());
+    print_endline (Report.Table.to_string table);
+    0
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ capacity_arg $ market_arg)
+
+let main_cmd =
+  let doc =
+    "Reproduction of 'Subsidization Competition: Vitalizing the Neutral Internet' (CoNEXT 2014)"
+  in
+  let info = Cmd.info "subsidization" ~version:"1.0.0" ~doc in
+  let experiment_cmds = List.map experiment_cmd Experiments.Registry.all in
+  Cmd.group info (experiment_cmds @ [ all_cmd; nash_cmd; sweep_cmd ])
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array Capacity Printf Report Scenario Subsidization

@@ -1,0 +1,1 @@
+examples/price_regulation.ml: Array List Numerics Policy Printf Report Scenario Subsidization

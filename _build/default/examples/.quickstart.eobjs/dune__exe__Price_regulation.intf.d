@@ -1,0 +1,1 @@
+examples/price_regulation.mli:

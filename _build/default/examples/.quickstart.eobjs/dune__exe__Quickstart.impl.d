@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Econ Nash One_sided Printf Subsidization Subsidy_game System

@@ -1,0 +1,1 @@
+examples/sponsored_data.ml: Array Econ Float List Nash Policy Printf Scenario Subsidization System

@@ -1,0 +1,1 @@
+examples/sponsored_data.mli:

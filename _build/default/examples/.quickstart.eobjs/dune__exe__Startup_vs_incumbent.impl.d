@@ -1,0 +1,1 @@
+examples/startup_vs_incumbent.ml: Array Econ Nash Policy Printf Report Subsidization System

@@ -1,0 +1,43 @@
+(* Capacity planning: the Section-6 extension. Subsidization raises
+   utilization and revenue, which strengthens the ISP's incentive to
+   invest in capacity. Here the ISP chooses capacity against a linear
+   buildout cost, under increasingly permissive subsidy policies.
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+open Subsidization
+
+let () =
+  let sys = Scenario.fig7_11_system () in
+  let unit_cost = 0.15 in
+  let price = 0.8 in
+  Printf.printf
+    "ISP chooses capacity mu to maximize  p*theta(mu) - %.2f*mu  at fixed p=%.2f\n\n"
+    unit_cost price;
+  let table =
+    Report.Table.make ~columns:[ "q"; "mu*"; "revenue"; "profit"; "phi"; "welfare" ]
+  in
+  Array.iter
+    (fun cap ->
+      let plan =
+        Capacity.optimal ~mu_lo:0.1 ~mu_hi:6. sys
+          ~pricing:(Capacity.Fixed_price price) ~cap ~unit_cost
+      in
+      Report.Table.add_floats ~precision:4 table
+        [
+          cap;
+          plan.Capacity.capacity;
+          plan.Capacity.revenue;
+          plan.Capacity.profit;
+          plan.Capacity.utilization;
+          plan.Capacity.welfare;
+        ])
+    (Scenario.q_levels ());
+  print_endline (Report.Table.to_string table);
+  print_newline ();
+  print_endline
+    "As the policy cap q rises, CP subsidies pull in more demand; the ISP's";
+  print_endline
+    "marginal revenue from capacity grows, so the profit-maximizing buildout";
+  print_endline
+    "mu* expands - the investment-incentive mechanism the paper argues for."

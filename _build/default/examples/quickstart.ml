@@ -1,0 +1,47 @@
+(* Quickstart: build a small content market, find its utilization
+   equilibrium, then let the CPs compete in subsidies.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Subsidization
+
+let () =
+  (* Two content providers sharing one access ISP. A video CP whose
+     users are price-tolerant but congestion-sensitive, and a social CP
+     with price-sensitive users and high per-traffic profit. *)
+  let video =
+    Econ.Cp.exponential ~name:"video" ~alpha:1.5 ~beta:4. ~value:0.6 ()
+  in
+  let social =
+    Econ.Cp.exponential ~name:"social" ~alpha:4. ~beta:1.5 ~value:1.2 ()
+  in
+  let sys = System.make ~cps:[| video; social |] ~capacity:1. () in
+
+  (* Status quo: one-sided pricing at p = 0.5 and no subsidies. *)
+  let price = 0.5 in
+  let st = One_sided.state sys ~price in
+  Printf.printf "One-sided pricing at p=%.2f:\n" price;
+  Printf.printf "  utilization phi = %.4f\n" st.System.phi;
+  Array.iteri
+    (fun i cp ->
+      Printf.printf "  %-7s m=%.4f  theta=%.4f\n" cp.Econ.Cp.name
+        st.System.populations.(i) st.System.throughputs.(i))
+    sys.System.cps;
+  Printf.printf "  ISP revenue R = %.4f\n\n" (price *. st.System.aggregate);
+
+  (* Allow subsidies up to q = 1 and solve the competition game. *)
+  let game = Subsidy_game.make sys ~price ~cap:1.0 in
+  let eq = Nash.solve game in
+  Printf.printf "Subsidization competition (cap q=1):\n";
+  Array.iteri
+    (fun i cp ->
+      Printf.printf "  %-7s subsidizes s=%.4f -> users pay %.4f, theta=%.4f, utility=%.4f\n"
+        cp.Econ.Cp.name eq.Nash.subsidies.(i)
+        eq.Nash.state.System.charges.(i) eq.Nash.state.System.throughputs.(i)
+        eq.Nash.utilities.(i))
+    sys.System.cps;
+  Printf.printf "  utilization phi = %.4f (was %.4f)\n" eq.Nash.state.System.phi st.System.phi;
+  Printf.printf "  ISP revenue R = %.4f (was %.4f)\n"
+    (price *. eq.Nash.state.System.aggregate)
+    (price *. st.System.aggregate);
+  Printf.printf "  equilibrium certified: KKT residual = %.2e\n" eq.Nash.kkt_residual

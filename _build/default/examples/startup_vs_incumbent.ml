@@ -1,0 +1,62 @@
+(* Startup vs incumbent: Section 6 discusses the worry that
+   subsidization competition hurts startups that cannot afford to
+   subsidize. The paper's diagnosis: the harm mainly comes from a high
+   ISP price, not from subsidization itself. This example quantifies
+   both effects on a two-CP market.
+
+   Run with: dune exec examples/startup_vs_incumbent.exe *)
+
+open Subsidization
+
+let startup_throughput sys ~price ~cap =
+  let point = Policy.point_at sys ~price ~cap in
+  point.Policy.equilibrium.Nash.state.System.throughputs.(0)
+
+let () =
+  (* CP 0: a startup with thin margins; CP 1: a profitable incumbent.
+     Same traffic characteristics, so any gap is purely economic. *)
+  let startup = Econ.Cp.exponential ~name:"startup" ~alpha:3. ~beta:3. ~value:0.2 () in
+  let incumbent = Econ.Cp.exponential ~name:"incumbent" ~alpha:3. ~beta:3. ~value:1.2 () in
+  let sys = System.make ~cps:[| startup; incumbent |] ~capacity:1. () in
+
+  Printf.printf "Startup throughput under policy & price combinations:\n\n";
+  let table = Report.Table.make ~columns:[ "price p"; "q=0"; "q=1"; "dereg. impact %" ] in
+  let prices = [| 0.2; 0.5; 0.8; 1.2; 1.6 |] in
+  Array.iter
+    (fun price ->
+      let banned = startup_throughput sys ~price ~cap:0. in
+      let dereg = startup_throughput sys ~price ~cap:1. in
+      Report.Table.add_row table
+        [
+          Printf.sprintf "%.1f" price;
+          Printf.sprintf "%.4f" banned;
+          Printf.sprintf "%.4f" dereg;
+          Printf.sprintf "%+.1f" (100. *. (dereg -. banned) /. banned);
+        ])
+    prices;
+  print_endline (Report.Table.to_string table);
+
+  (* Decompose the damage: price effect vs subsidization effect. *)
+  let reference = startup_throughput sys ~price:0.5 ~cap:0. in
+  let after_subsidy = startup_throughput sys ~price:0.5 ~cap:1. in
+  let after_price = startup_throughput sys ~price:1.5 ~cap:0. in
+  Printf.printf
+    "\nFrom the p=0.5, q=0 baseline (theta=%.4f):\n\
+    \  allowing the incumbent to subsidize (q=1)  : %+.1f%%\n\
+    \  tripling the ISP price instead (p=1.5)     : %+.1f%%\n\n\
+     The startup loses far more to a high access price than to the\n\
+     incumbent's subsidies - matching Theorem 8's diagnosis.\n"
+    reference
+    (100. *. (after_subsidy -. reference) /. reference)
+    (100. *. (after_price -. reference) /. reference);
+
+  (* Venture funding: what if the startup could subsidize ahead of
+     profits (the paper's VC argument)? Raise its value and watch its
+     equilibrium subsidy and throughput. *)
+  let funded = Econ.Cp.exponential ~name:"funded" ~alpha:3. ~beta:3. ~value:0.9 () in
+  let funded_sys = System.make ~cps:[| funded; incumbent |] ~capacity:1. () in
+  let eq = Policy.nash_at funded_sys ~price:0.5 ~cap:1. in
+  Printf.printf
+    "With venture backing (value 0.2 -> 0.9), the startup subsidizes s=%.3f\n\
+     and its throughput becomes %.4f (vs %.4f unfunded).\n"
+    eq.Nash.subsidies.(0) eq.Nash.state.System.throughputs.(0) after_subsidy

@@ -1,0 +1,1 @@
+lib/core/capacity.ml: Array Numerics Policy System

@@ -1,0 +1,1 @@
+lib/core/duopoly.ml: Array Econ Float Gametheory Numerics Optimize System Vec

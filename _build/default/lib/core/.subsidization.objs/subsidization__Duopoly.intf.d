@@ -1,0 +1,1 @@
+lib/core/duopoly.mli: Econ Numerics

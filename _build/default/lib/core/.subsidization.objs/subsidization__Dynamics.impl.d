@@ -1,0 +1,1 @@
+lib/core/dynamics.ml: Gametheory Numerics Subsidy_game Vec

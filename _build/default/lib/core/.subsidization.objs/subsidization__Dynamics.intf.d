@@ -1,0 +1,1 @@
+lib/core/dynamics.mli: Gametheory Numerics Subsidy_game

@@ -1,0 +1,1 @@
+lib/core/longrun.ml: Array Float List Nash Numerics Option Subsidy_game System

@@ -1,0 +1,1 @@
+lib/core/longrun.mli: Nash System

@@ -1,0 +1,1 @@
+lib/core/nash.ml: Array Diff Fixedpoint Float Gametheory List Mat Numerics Subsidy_game System Vec

@@ -1,0 +1,1 @@
+lib/core/nash.mli: Gametheory Numerics Subsidy_game System

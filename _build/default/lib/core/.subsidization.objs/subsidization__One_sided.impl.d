@@ -1,0 +1,1 @@
+lib/core/one_sided.ml: Array Econ Float Numerics Optimize Printf System Vec

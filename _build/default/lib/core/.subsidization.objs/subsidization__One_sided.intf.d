@@ -1,0 +1,1 @@
+lib/core/one_sided.mli: System

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Array Nash Numerics Option Revenue Subsidy_game System Welfare

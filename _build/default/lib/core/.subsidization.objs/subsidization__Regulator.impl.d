@@ -1,0 +1,1 @@
+lib/core/regulator.ml: Array Float List Policy Revenue Scenario Subsidy_game

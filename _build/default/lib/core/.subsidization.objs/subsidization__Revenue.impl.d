@@ -1,0 +1,1 @@
+lib/core/revenue.ml: Array Econ Nash Numerics Optimize Sensitivity Subsidy_game System Vec

@@ -1,0 +1,1 @@
+lib/core/revenue.mli: Nash Numerics Subsidy_game

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Econ Grid List Numerics Printf Rng System

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Array Diff Econ Float Linalg List Mat Nash Numerics Subsidy_game System Vec

@@ -1,0 +1,1 @@
+lib/core/sensitivity.mli: Numerics Subsidy_game System

@@ -1,0 +1,1 @@
+lib/core/subsidy_game.ml: Array Econ Float Gametheory Numerics Printf System Vec

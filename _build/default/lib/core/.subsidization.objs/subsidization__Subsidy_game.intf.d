@@ -1,0 +1,1 @@
+lib/core/subsidy_game.mli: Gametheory Numerics System

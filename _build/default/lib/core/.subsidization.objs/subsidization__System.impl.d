@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Econ Float Numerics Printf Rootfind Vec

@@ -1,0 +1,1 @@
+lib/core/theorems.ml: Array Buffer Econ Float Format Grid List Nash Numerics One_sided Policy Printf Revenue Rng Scenario Sensitivity Subsidy_game System Vec Welfare

@@ -1,0 +1,1 @@
+lib/core/theorems.mli: Format Nash Numerics Subsidy_game System

@@ -1,0 +1,1 @@
+lib/core/welfare.ml: Array Econ Float Nash Numerics Quadrature Sensitivity Subsidy_game System Vec

@@ -1,0 +1,40 @@
+type pricing = Fixed_price of float | Optimal_price of { p_max : float }
+
+type plan = {
+  capacity : float;
+  price : float;
+  revenue : float;
+  cost : float;
+  profit : float;
+  utilization : float;
+  welfare : float;
+}
+
+let evaluate sys ~pricing ~cap ~unit_cost ~capacity =
+  if unit_cost < 0. then invalid_arg "Capacity.evaluate: unit_cost must be non-negative";
+  let sys = System.with_capacity sys capacity in
+  let point =
+    match pricing with
+    | Fixed_price price -> Policy.point_at sys ~price ~cap
+    | Optimal_price { p_max } -> Policy.optimal_price ~p_max ~points:21 sys ~cap
+  in
+  let cost = unit_cost *. capacity in
+  {
+    capacity;
+    price = point.Policy.price;
+    revenue = point.Policy.revenue;
+    cost;
+    profit = point.Policy.revenue -. cost;
+    utilization = point.Policy.utilization;
+    welfare = point.Policy.welfare;
+  }
+
+let optimal ?(mu_lo = 0.05) ?(mu_hi = 10.) ?(points = 13) sys ~pricing ~cap ~unit_cost =
+  if mu_lo <= 0. || mu_hi <= mu_lo then
+    invalid_arg "Capacity.optimal: need 0 < mu_lo < mu_hi";
+  let profit_at mu = (evaluate sys ~pricing ~cap ~unit_cost ~capacity:mu).profit in
+  let r = Numerics.Optimize.grid_then_golden ~points ~tol:1e-3 profit_at ~lo:mu_lo ~hi:mu_hi in
+  evaluate sys ~pricing ~cap ~unit_cost ~capacity:r.Numerics.Optimize.x
+
+let investment_incentive ?mu_lo ?mu_hi sys ~pricing ~unit_cost ~caps =
+  Array.map (fun cap -> optimal ?mu_lo ?mu_hi sys ~pricing ~cap ~unit_cost) caps

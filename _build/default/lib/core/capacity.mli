@@ -1,0 +1,50 @@
+(** ISP capacity planning under subsidization (the Section-6
+    "future work" extension).
+
+    The ISP chooses capacity [mu] to maximize profit
+    [R(mu) - c * mu] where [R] is evaluated at the Nash equilibrium of
+    the subsidization game (optionally re-optimizing the price for each
+    capacity). The paper's qualitative claim — deregulated subsidization
+    raises utilization and revenue, hence investment incentives — shows
+    up as a larger optimal capacity under larger [q]. *)
+
+type pricing =
+  | Fixed_price of float  (** regulated / competitive price *)
+  | Optimal_price of { p_max : float }  (** monopolist reprices per capacity *)
+
+type plan = {
+  capacity : float;
+  price : float;
+  revenue : float;
+  cost : float;  (** [c * mu] *)
+  profit : float;
+  utilization : float;
+  welfare : float;
+}
+
+val evaluate :
+  System.t -> pricing:pricing -> cap:float -> unit_cost:float -> capacity:float -> plan
+(** The market outcome when the ISP deploys [capacity]. *)
+
+val optimal :
+  ?mu_lo:float ->
+  ?mu_hi:float ->
+  ?points:int ->
+  System.t ->
+  pricing:pricing ->
+  cap:float ->
+  unit_cost:float ->
+  plan
+(** Profit-maximizing capacity on [\[mu_lo, mu_hi\]] (defaults
+    [0.05, 10]) by grid scan plus golden refinement. *)
+
+val investment_incentive :
+  ?mu_lo:float ->
+  ?mu_hi:float ->
+  System.t ->
+  pricing:pricing ->
+  unit_cost:float ->
+  caps:float array ->
+  plan array
+(** The optimal plan per policy level: the deregulation-vs-investment
+    ablation (one row per [q]). *)

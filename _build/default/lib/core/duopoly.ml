@@ -1,0 +1,135 @@
+open Numerics
+
+type t = {
+  cps : Econ.Cp.t array;
+  utilization : Econ.Utilization.t;
+  capacity_a : float;
+  capacity_b : float;
+  eta : float;
+  cap : float;
+  mutable subsidy_cache : Vec.t option; (* warm start for the CP game *)
+}
+
+type market = {
+  prices : float * float;
+  subsidies : Vec.t;
+  utilizations : float * float;
+  populations : Vec.t * Vec.t;
+  throughputs : Vec.t;
+  revenues : float * float;
+  welfare : float;
+}
+
+let make ?(utilization = Econ.Utilization.linear) ?(eta = 4.) ~cps ~capacity_a
+    ~capacity_b ~cap () =
+  if Array.length cps = 0 then invalid_arg "Duopoly.make: no content providers";
+  if capacity_a <= 0. || capacity_b <= 0. then
+    invalid_arg "Duopoly.make: capacities must be positive";
+  if eta <= 0. then invalid_arg "Duopoly.make: eta must be positive";
+  if cap < 0. then invalid_arg "Duopoly.make: cap must be non-negative";
+  { cps = Array.copy cps; utilization; capacity_a; capacity_b; eta; cap; subsidy_cache = None }
+
+let cap d = d.cap
+
+let split_populations d ~prices ~subsidies =
+  let pa, pb = prices in
+  let n = Array.length d.cps in
+  if Vec.dim subsidies <> n then invalid_arg "Duopoly: subsidy dimension mismatch";
+  let ma = Vec.zeros n and mb = Vec.zeros n in
+  Array.iteri
+    (fun i cp ->
+      let ta = pa -. subsidies.(i) and tb = pb -. subsidies.(i) in
+      let total = Econ.Cp.population cp (Float.min ta tb) in
+      (* logit with the common subsidy cancelling out of the difference *)
+      let wa = exp (-.d.eta *. ta) and wb = exp (-.d.eta *. tb) in
+      let share_a = wa /. (wa +. wb) in
+      ma.(i) <- total *. share_a;
+      mb.(i) <- total *. (1. -. share_a))
+    d.cps;
+  (ma, mb)
+
+let systems d =
+  let sys_a = System.make ~utilization:d.utilization ~cps:d.cps ~capacity:d.capacity_a () in
+  let sys_b = System.make ~utilization:d.utilization ~cps:d.cps ~capacity:d.capacity_b () in
+  (sys_a, sys_b)
+
+let states d ~prices ~subsidies =
+  let ma, mb = split_populations d ~prices ~subsidies in
+  let sys_a, sys_b = systems d in
+  let st_a = System.solve_fixed_populations sys_a ~populations:ma in
+  let st_b = System.solve_fixed_populations sys_b ~populations:mb in
+  (st_a, st_b)
+
+let total_throughputs (st_a : System.state) (st_b : System.state) =
+  Vec.add st_a.System.throughputs st_b.System.throughputs
+
+let cp_game d ~prices =
+  let n = Array.length d.cps in
+  let box = Gametheory.Box.uniform ~dim:n ~lo:0. ~hi:d.cap in
+  let payoff i s =
+    let st_a, st_b = states d ~prices ~subsidies:s in
+    let theta = total_throughputs st_a st_b in
+    (d.cps.(i).Econ.Cp.value -. s.(i)) *. theta.(i)
+  in
+  Gametheory.Best_response.make ~respond_points:17 ~box ~payoff ()
+
+let solve_subsidies d ~prices =
+  let n = Array.length d.cps in
+  if d.cap <= 0. then Vec.zeros n
+  else begin
+    let game = cp_game d ~prices in
+    let x0 =
+      match d.subsidy_cache with
+      | Some s when Vec.dim s = n -> Vec.clamp ~lo:0. ~hi:d.cap s
+      | Some _ | None -> Vec.zeros n
+    in
+    let out = Gametheory.Best_response.solve ~tol:1e-7 ~max_sweeps:100 game ~x0 in
+    d.subsidy_cache <- Some out.Gametheory.Best_response.profile;
+    out.Gametheory.Best_response.profile
+  end
+
+let market_with_subsidies d ~prices ~subsidies =
+  let pa, pb = prices in
+  let st_a, st_b = states d ~prices ~subsidies in
+  let throughputs = total_throughputs st_a st_b in
+  let welfare = ref 0. in
+  Array.iteri (fun i cp -> welfare := !welfare +. (cp.Econ.Cp.value *. throughputs.(i))) d.cps;
+  {
+    prices;
+    subsidies;
+    utilizations = (st_a.System.phi, st_b.System.phi);
+    populations = (st_a.System.populations, st_b.System.populations);
+    throughputs;
+    revenues = (pa *. st_a.System.aggregate, pb *. st_b.System.aggregate);
+    welfare = !welfare;
+  }
+
+let market_at d ~prices =
+  let subsidies = solve_subsidies d ~prices in
+  market_with_subsidies d ~prices ~subsidies
+
+let revenue_of d ~prices which =
+  let m = market_at d ~prices in
+  match which with `A -> fst m.revenues | `B -> snd m.revenues
+
+let price_equilibrium ?(p_max = 2.5) ?(points = 13) ?(tol = 1e-4) ?(max_sweeps = 30) d =
+  let box = Gametheory.Box.uniform ~dim:2 ~lo:0. ~hi:p_max in
+  let payoff i (p : Vec.t) =
+    revenue_of d ~prices:(p.(0), p.(1)) (if i = 0 then `A else `B)
+  in
+  (* no analytic price derivative: line-search responses *)
+  let game = Gametheory.Best_response.make ~respond_points:points ~box ~payoff () in
+  let out =
+    Gametheory.Best_response.solve ~tol ~max_sweeps game
+      ~x0:(Vec.make 2 (p_max /. 2.))
+  in
+  let p = out.Gametheory.Best_response.profile in
+  market_at d ~prices:(p.(0), p.(1))
+
+let monopoly_benchmark ?(p_max = 2.5) ?(points = 25) d =
+  let revenue p =
+    let m = market_at d ~prices:(p, p) in
+    fst m.revenues +. snd m.revenues
+  in
+  let r = Optimize.grid_then_golden ~points ~tol:1e-4 revenue ~lo:0. ~hi:p_max in
+  market_at d ~prices:(r.Optimize.x, r.Optimize.x)

@@ -1,0 +1,29 @@
+open Numerics
+
+type report = {
+  best_response : Gametheory.Tatonnement.trace;
+  gradient : Gametheory.Gradient_dynamics.result;
+  agree : bool;
+}
+
+let best_response_trace ?scheme ?damping ?max_sweeps game ~x0 =
+  Gametheory.Tatonnement.run ?scheme ?damping ?max_sweeps (Subsidy_game.to_game game) ~x0
+
+let gradient_flow ?(horizon = 600.) ?(dt = 0.25) game ~x0 =
+  Gametheory.Gradient_dynamics.flow
+    ~marginal:(fun i s -> Subsidy_game.marginal_utility game ~subsidies:s i)
+    ~box:(Subsidy_game.box game) ~horizon ~dt ~x0 ()
+
+let compare ?x0 game =
+  let x0 = match x0 with Some x -> x | None -> Vec.zeros (Subsidy_game.dim game) in
+  let best_response = best_response_trace game ~x0 in
+  let gradient = gradient_flow game ~x0 in
+  let agree =
+    best_response.Gametheory.Tatonnement.converged
+    && gradient.Gametheory.Gradient_dynamics.stationary
+    && Vec.dist_inf
+         (Gametheory.Tatonnement.final best_response)
+         gradient.Gametheory.Gradient_dynamics.final
+       <= 1e-5
+  in
+  { best_response; gradient; agree }

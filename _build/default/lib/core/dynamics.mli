@@ -1,0 +1,39 @@
+(** Off-equilibrium adjustment dynamics of the subsidization game.
+
+    The paper's equilibrium concept is static; this module provides the
+    two standard adjustment processes whose rest points are the Nash
+    equilibria, so the "dynamics of subsidies" (Section 4.2) can be
+    simulated rather than assumed:
+
+    - discrete best-response tatonnement (Gauss-Seidel or Jacobi),
+      recorded as a trace;
+    - continuous projected gradient flow [ds_i/dt = u_i(s)]. *)
+
+type report = {
+  best_response : Gametheory.Tatonnement.trace;
+  gradient : Gametheory.Gradient_dynamics.result;
+  agree : bool;
+      (** both processes settle, at the same profile (sup-norm 1e-5) *)
+}
+
+val best_response_trace :
+  ?scheme:Gametheory.Best_response.scheme ->
+  ?damping:float ->
+  ?max_sweeps:int ->
+  Subsidy_game.t ->
+  x0:Numerics.Vec.t ->
+  Gametheory.Tatonnement.trace
+
+val gradient_flow :
+  ?horizon:float ->
+  ?dt:float ->
+  Subsidy_game.t ->
+  x0:Numerics.Vec.t ->
+  Gametheory.Gradient_dynamics.result
+(** Defaults: [horizon = 600], [dt = 0.25] — the flow's time
+    constant near equilibrium is large because marginal utilities are
+    small there. *)
+
+val compare : ?x0:Numerics.Vec.t -> Subsidy_game.t -> report
+(** Run both processes from [x0] (default: zero subsidies) and check
+    that they agree with each other. *)

@@ -1,0 +1,61 @@
+type params = {
+  periods : int;
+  unit_cost : float;
+  reinvestment : float;
+  depreciation : float;
+}
+
+let default_params =
+  { periods = 30; unit_cost = 0.2; reinvestment = 0.5; depreciation = 0.05 }
+
+type snapshot = {
+  period : int;
+  capacity : float;
+  equilibrium : Nash.equilibrium;
+  revenue : float;
+  profit : float;
+}
+
+let validate { periods; unit_cost; reinvestment; depreciation } =
+  if periods < 1 then invalid_arg "Longrun: periods must be >= 1";
+  if unit_cost <= 0. then invalid_arg "Longrun: unit_cost must be positive";
+  if reinvestment < 0. || reinvestment > 1. then
+    invalid_arg "Longrun: reinvestment must lie in [0, 1]";
+  if depreciation < 0. || depreciation >= 1. then
+    invalid_arg "Longrun: depreciation must lie in [0, 1)"
+
+let simulate ?(params = default_params) sys ~price ~cap =
+  validate params;
+  let warm = ref None in
+  let snapshots = ref [] in
+  let capacity = ref sys.System.capacity in
+  for period = 0 to params.periods - 1 do
+    let market = System.with_capacity sys !capacity in
+    let game = Subsidy_game.make market ~price ~cap in
+    let eq =
+      Nash.solve
+        ?x0:(Option.map (Numerics.Vec.clamp ~lo:0. ~hi:cap) !warm)
+        game
+    in
+    warm := Some eq.Nash.subsidies;
+    let revenue = price *. eq.Nash.state.System.aggregate in
+    let profit = revenue -. (params.unit_cost *. !capacity) in
+    snapshots := { period; capacity = !capacity; equilibrium = eq; revenue; profit } :: !snapshots;
+    capacity :=
+      (!capacity *. (1. -. params.depreciation))
+      +. (params.reinvestment *. Float.max 0. profit /. params.unit_cost)
+  done;
+  Array.of_list (List.rev !snapshots)
+
+let throughput_path snapshots ~cp =
+  Array.map (fun s -> s.equilibrium.Nash.state.System.throughputs.(cp)) snapshots
+
+let capacity_path snapshots = Array.map (fun s -> s.capacity) snapshots
+
+let steady_state_capacity snapshots =
+  let n = Array.length snapshots in
+  if n < 2 then None
+  else begin
+    let last = snapshots.(n - 1).capacity and prev = snapshots.(n - 2).capacity in
+    if Float.abs (last -. prev) <= 0.01 *. Float.max 1e-9 prev then Some last else None
+  end

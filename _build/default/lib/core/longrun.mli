@@ -1,0 +1,47 @@
+(** Long-run investment dynamics (Sections 4-6 narrative).
+
+    The paper's answer to "subsidization congests the network and hurts
+    congestion-sensitive CPs" is dynamic: higher utilization raises ISP
+    margins, margins fund capacity, capacity relieves the congestion.
+    This module simulates that loop over discrete periods:
+
+    + the market settles at the subsidization equilibrium for the
+      current capacity;
+    + the ISP earns [profit = R - unit_cost * mu] and converts a
+      fraction [reinvestment] of positive profit into new capacity at
+      price [unit_cost];
+    + capacity depreciates by [depreciation] per period.
+
+    Capacity follows
+    [mu' = mu (1 - depreciation) + reinvestment * max 0 profit / unit_cost]. *)
+
+type params = {
+  periods : int;  (** simulation length, [>= 1] *)
+  unit_cost : float;  (** cost of one unit of capacity, [> 0] *)
+  reinvestment : float;  (** fraction of profit invested, [0..1] *)
+  depreciation : float;  (** capacity decay per period, [0..1) *)
+}
+
+val default_params : params
+(** 30 periods, unit cost 0.2, reinvestment 0.5, depreciation 0.05. *)
+
+type snapshot = {
+  period : int;
+  capacity : float;
+  equilibrium : Nash.equilibrium;
+  revenue : float;
+  profit : float;
+}
+
+val simulate :
+  ?params:params -> System.t -> price:float -> cap:float -> snapshot array
+(** Fixed-price simulation from the system's initial capacity. Element
+    [0] is the market before any investment. *)
+
+val throughput_path : snapshot array -> cp:int -> float array
+(** Convenience: one CP's equilibrium throughput per period. *)
+
+val capacity_path : snapshot array -> float array
+
+val steady_state_capacity : snapshot array -> float option
+(** The last capacity, when the final relative step is below 1%. *)

@@ -1,0 +1,74 @@
+(** Nash equilibria of the subsidization game (Theorems 3 and 4).
+
+    The solver iterates exact best responses (Gauss-Seidel by default);
+    the resulting profile is certified by the Theorem-3 KKT conditions
+    and the variational-inequality residual with [F = -u]. *)
+
+type classification = Lower | Interior | Upper
+(** Membership in the paper's partition: [Lower = N-] (subsidy 0),
+    [Upper = N+] (subsidy pinned at [q]), [Interior = N~]. *)
+
+type equilibrium = {
+  subsidies : Numerics.Vec.t;
+  state : System.state;  (** utilization equilibrium at the profile *)
+  utilities : Numerics.Vec.t;
+  classes : classification array;
+  sweeps : int;
+  converged : bool;
+  kkt_residual : float;  (** Theorem-3 stationarity violation *)
+}
+
+val solve :
+  ?scheme:Gametheory.Best_response.scheme ->
+  ?damping:float ->
+  ?tol:float ->
+  ?max_sweeps:int ->
+  ?respond_points:int ->
+  ?x0:Numerics.Vec.t ->
+  Subsidy_game.t ->
+  equilibrium
+(** Iterated best response from [x0] (default: the zero profile). *)
+
+val solve_vi :
+  ?gamma:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Numerics.Vec.t ->
+  Subsidy_game.t ->
+  equilibrium
+(** Alternative solver: Korpelevich extragradient iteration on the
+    equivalent variational inequality [VI(-u, [0,q]^n)]. Slower than
+    iterated best response on this game (it does not exploit the
+    one-dimensional structure of each player's problem) but derivative-
+    driven and sweep-free; used to cross-validate equilibria and in the
+    solver ablation benchmark. The returned [sweeps] counts
+    extragradient iterations. *)
+
+val kkt_residual : Subsidy_game.t -> subsidies:Numerics.Vec.t -> float
+(** Max complementarity violation of the Theorem-3 first-order
+    conditions: [u_i <= 0] when [s_i = 0], [u_i >= 0] when [s_i = q],
+    [u_i = 0] inside. *)
+
+val classify :
+  ?tol:float -> Subsidy_game.t -> subsidies:Numerics.Vec.t -> classification array
+
+val threshold_consistency : Subsidy_game.t -> subsidies:Numerics.Vec.t -> float
+(** Max over interior and upper CPs of
+    [|s_i - min (tau_i s) q|] — the fixed-point form of Theorem 3.
+    Small at a true equilibrium. *)
+
+val multistart_spread :
+  ?starts:int -> Numerics.Rng.t -> Subsidy_game.t -> float
+(** Solve from several starting profiles and report the sup-norm spread
+    of the converged equilibria: a numerical probe of the Theorem-4
+    uniqueness condition (0 when unique). *)
+
+val off_diagonal_monotone :
+  ?h:float -> Subsidy_game.t -> subsidies:Numerics.Vec.t -> bool
+(** Whether [du_i/ds_j >= 0] for all [i <> j] at the profile (the
+    Corollary-1 Leontief stability condition), by central differences of
+    the analytic marginals. *)
+
+val jacobian_is_p_matrix : Subsidy_game.t -> subsidies:Numerics.Vec.t -> bool
+(** Whether [-grad_s u] is a P-matrix at the profile: the local
+    sufficient condition in Theorem 4 for uniqueness. *)

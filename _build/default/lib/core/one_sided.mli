@@ -1,0 +1,42 @@
+(** One-sided ISP pricing (Section 3.2, the status quo model).
+
+    Under net neutrality the access ISP charges every CP's traffic the
+    same per-unit price [p], so each effective charge is [t_i = p].
+    This module evaluates the induced equilibrium, the ISP's revenue
+    [R = p * theta], and the Theorem-2 comparative statics in [p]. *)
+
+val state : ?phi_guess:float -> System.t -> price:float -> System.state
+(** Equilibrium under the uniform price [p >= 0]. *)
+
+val revenue : ?phi_guess:float -> System.t -> price:float -> float
+(** [R(p) = p * theta(p)]. *)
+
+val dphi_dprice : System.t -> System.state -> float
+(** Equation (5): [(dg/dphi)^-1 * sum_k m_k'(p) lambda_k <= 0],
+    analytically at a solved state. *)
+
+val daggregate_dprice : System.t -> System.state -> float
+(** Equation (6): the aggregate-throughput slope [dtheta/dp <= 0]. *)
+
+val dthroughput_dprice : System.t -> System.state -> int -> float
+(** [dtheta_i/dp = m_i'(p) lambda_i + m_i lambda_i' dphi/dp]; sign
+    given by condition (7). *)
+
+val condition7_margin : System.t -> System.state -> int -> float
+(** The slack in condition (7),
+    [-dphi/dp - (eps_mi_p / eps_lambdai_phi) * (phi / p)]... reported as
+    [dtheta_i/dp] rescaled: positive iff CP [i]'s throughput increases
+    with the price. Concretely this returns
+    [eps^mi_p / eps^lambdai_phi  -  (-eps^phi_p)] negated, i.e.
+    [(-eps^phi_p) - eps^mi_p / eps^lambdai_phi], so the sign matches
+    [dtheta_i/dp]. Requires [p > 0] and [phi > 0] (elasticities are
+    undefined at zero). *)
+
+val revenue_curve :
+  ?phi_guess:float -> System.t -> prices:float array -> (float * float) array
+(** [(p, R(p))] along a price grid, warm-starting each solve at the
+    previous utilization. *)
+
+val peak_revenue : ?p_max:float -> System.t -> float * float
+(** The revenue-maximizing price and its revenue on [\[0, p_max\]]
+    (default [p_max = 5]), by grid scan plus golden refinement. *)

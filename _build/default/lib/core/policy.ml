@@ -1,0 +1,59 @@
+type point = {
+  cap : float;
+  price : float;
+  equilibrium : Nash.equilibrium;
+  revenue : float;
+  welfare : float;
+  utilization : float;
+}
+
+let nash_at sys ~price ~cap = Nash.solve (Subsidy_game.make sys ~price ~cap)
+
+let point_of_equilibrium sys ~price ~cap (eq : Nash.equilibrium) =
+  {
+    cap;
+    price;
+    equilibrium = eq;
+    revenue = price *. eq.Nash.state.System.aggregate;
+    welfare = Welfare.of_state sys eq.Nash.state;
+    utilization = eq.Nash.state.System.phi;
+  }
+
+let point_at sys ~price ~cap =
+  point_of_equilibrium sys ~price ~cap (nash_at sys ~price ~cap)
+
+let price_sweep sys ~cap ~prices =
+  let warm = ref None in
+  Array.map
+    (fun price ->
+      let game = Subsidy_game.make sys ~price ~cap in
+      let eq = Nash.solve ?x0:!warm game in
+      warm := Some eq.Nash.subsidies;
+      point_of_equilibrium sys ~price ~cap eq)
+    prices
+
+let policy_sweep sys ~caps ~prices =
+  Array.map (fun cap -> price_sweep sys ~cap ~prices) caps
+
+let optimal_price ?(p_max = 3.) ?(points = 49) sys ~cap =
+  let game = Subsidy_game.make sys ~price:0. ~cap in
+  let p_star, _ = Revenue.optimal_price ~p_max ~points game in
+  point_at sys ~price:p_star ~cap
+
+let deregulation_ladder sys ~price ~caps =
+  let warm = ref None in
+  Array.map
+    (fun cap ->
+      let game = Subsidy_game.make sys ~price ~cap in
+      let eq = Nash.solve ?x0:(Option.map (Numerics.Vec.clamp ~lo:0. ~hi:cap) !warm) game in
+      warm := Some eq.Nash.subsidies;
+      point_of_equilibrium sys ~price ~cap eq)
+    caps
+
+let price_response_slope ?(h = 1e-3) sys ~cap ?p_max () =
+  let p_at cap =
+    let point = optimal_price ?p_max sys ~cap in
+    point.price
+  in
+  if cap -. h < 0. then (p_at (cap +. h) -. p_at cap) /. h
+  else (p_at (cap +. h) -. p_at (cap -. h)) /. (2. *. h)

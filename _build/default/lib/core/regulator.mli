@@ -1,0 +1,40 @@
+(** The regulator's problem (Section 5's decision chain, closed).
+
+    The paper describes the hierarchy: regulator sets the policy [q],
+    the ISP responds with a price [p(q)], the CPs respond with
+    subsidies [s(p, q)]. This module closes the loop and lets a welfare-
+    maximizing regulator choose [q] — optionally together with a price
+    cap, the instrument the paper recommends when the access market is
+    not competitive. *)
+
+type regime = {
+  cap : float;  (** chosen policy [q] *)
+  price_cap : float option;  (** the price ceiling, when regulated *)
+  price : float;  (** the ISP's resulting price *)
+  revenue : float;
+  welfare : float;
+  utilization : float;
+}
+
+val isp_price : ?p_max:float -> System.t -> cap:float -> price_cap:float option -> float
+(** The ISP's revenue-maximizing price under an optional ceiling. *)
+
+val evaluate :
+  ?p_max:float -> System.t -> cap:float -> price_cap:float option -> regime
+(** The market outcome of a policy pair. *)
+
+val optimal_policy :
+  ?p_max:float -> ?caps:float array -> System.t -> price_cap:float option -> regime
+(** Welfare-maximizing [q] over a grid of candidate caps (default the
+    paper's 5 levels), anticipating the ISP's pricing. *)
+
+val optimal_policy_with_price_cap :
+  ?p_max:float ->
+  ?caps:float array ->
+  ?price_caps:float array ->
+  System.t ->
+  regime
+(** Joint choice of subsidy cap and price ceiling — the paper's
+    "deregulate subsidization, regulate the price" recommendation
+    emerges when the chosen regime pairs a large [q] with a binding
+    ceiling. *)

@@ -1,0 +1,70 @@
+open Numerics
+
+let at_equilibrium game (eq : Nash.equilibrium) =
+  Subsidy_game.price game *. eq.Nash.state.System.aggregate
+
+let upsilon game ~subsidies =
+  let st = Subsidy_game.state game ~subsidies in
+  let sys = Subsidy_game.system game in
+  let acc = ref 1. in
+  Array.iteri
+    (fun j cp ->
+      acc :=
+        !acc
+        +. st.System.populations.(j)
+           *. Econ.Throughput.derivative cp.Econ.Cp.throughput st.System.phi
+           /. st.System.gap_slope)
+    sys.System.cps;
+  !acc
+
+let price_elasticities game ~subsidies =
+  let p = Subsidy_game.price game in
+  if p <= 0. then invalid_arg "Revenue.price_elasticities: requires p > 0";
+  let st = Subsidy_game.state game ~subsidies in
+  let sys = Subsidy_game.system game in
+  let dsdp = Sensitivity.ds_dp game ~subsidies in
+  Vec.init (Subsidy_game.dim game) (fun i ->
+      let cp = sys.System.cps.(i) in
+      p /. st.System.populations.(i)
+      *. Econ.Demand.derivative cp.Econ.Cp.demand st.System.charges.(i)
+      *. (1. -. dsdp.(i)))
+
+let marginal_formula game ~subsidies =
+  let st = Subsidy_game.state game ~subsidies in
+  let eps = price_elasticities game ~subsidies in
+  let ups = upsilon game ~subsidies in
+  st.System.aggregate +. (ups *. Vec.dot eps st.System.throughputs)
+
+let marginal_numeric ?(h = 1e-5) game =
+  let p = Subsidy_game.price game in
+  let revenue_at price =
+    let g = Subsidy_game.with_price game price in
+    let eq = Nash.solve g in
+    at_equilibrium g eq
+  in
+  if p -. h < 0. then (revenue_at (p +. h) -. revenue_at p) /. h
+  else (revenue_at (p +. h) -. revenue_at (p -. h)) /. (2. *. h)
+
+let curve game ~prices =
+  let warm = ref None in
+  Array.map
+    (fun p ->
+      let g = Subsidy_game.with_price game p in
+      let eq = Nash.solve ?x0:!warm g in
+      warm := Some eq.Nash.subsidies;
+      (p, eq, at_equilibrium g eq))
+    prices
+
+let optimal_price ?(p_max = 3.) ?(points = 49) game =
+  if p_max <= 0. then invalid_arg "Revenue.optimal_price: p_max must be positive";
+  (* warm-start consecutive Nash solves: the search visits nearby prices,
+     whose equilibria are close *)
+  let warm = ref None in
+  let revenue_at p =
+    let g = Subsidy_game.with_price game p in
+    let eq = Nash.solve ?x0:!warm g in
+    warm := Some eq.Nash.subsidies;
+    at_equilibrium g eq
+  in
+  let r = Optimize.grid_then_golden ~points ~tol:1e-5 revenue_at ~lo:0. ~hi:p_max in
+  (r.Optimize.x, r.Optimize.fx)

@@ -1,0 +1,37 @@
+(** ISP revenue under subsidization (Section 5.1, Theorem 7).
+
+    With a fixed policy [q], the CPs' equilibrium subsidies respond to
+    the ISP's price, so the induced revenue is
+    [R(p) = p * sum_i m_i (p - s_i(p)) lambda_i (phi (s (p)))].
+    Theorem 7 factors the marginal revenue into throughput plus an
+    elasticity-weighted term. *)
+
+val at_equilibrium : Subsidy_game.t -> Nash.equilibrium -> float
+(** [R = p * theta] at a solved equilibrium. *)
+
+val upsilon : Subsidy_game.t -> subsidies:Numerics.Vec.t -> float
+(** [Upsilon = 1 + sum_j eps^lambdaj_mj] where, per equation (14),
+    [eps^lambdaj_mj = m_j lambda_j'(phi) / (dg/dphi)]. A property of the
+    physical model only. *)
+
+val price_elasticities :
+  Subsidy_game.t -> subsidies:Numerics.Vec.t -> Numerics.Vec.t
+(** [eps^mi_p = (p / m_i) m_i'(t_i) (1 - ds_i/dp)], with [ds_i/dp]
+    from the Theorem-6 sensitivity formulas. Requires [p > 0]. *)
+
+val marginal_formula : Subsidy_game.t -> subsidies:Numerics.Vec.t -> float
+(** Equation (13): [dR/dp = sum_i theta_i + Upsilon sum_i eps^mi_p
+    theta_i], evaluated at an equilibrium profile. *)
+
+val marginal_numeric : ?h:float -> Subsidy_game.t -> float
+(** [dR/dp] by re-solving the Nash equilibrium at perturbed prices:
+    the ground truth the formula is validated against. *)
+
+val curve :
+  Subsidy_game.t -> prices:float array -> (float * Nash.equilibrium * float) array
+(** [(p, equilibrium(p), R(p))] along a price grid, warm-starting each
+    solve from the previous equilibrium. *)
+
+val optimal_price : ?p_max:float -> ?points:int -> Subsidy_game.t -> float * float
+(** The revenue-maximizing price and revenue for the game's policy cap,
+    over [\[0, p_max\]] (default 3, 49 scan points). *)

@@ -1,0 +1,55 @@
+open Numerics
+
+let levels_33 = [| 1.; 3.; 5. |]
+
+let fig45_cps () =
+  let cps = ref [] in
+  Array.iter
+    (fun alpha ->
+      Array.iter
+        (fun beta ->
+          let name = Printf.sprintf "a%gb%g" alpha beta in
+          cps := Econ.Cp.exponential ~name ~alpha ~beta ~value:1. () :: !cps)
+        levels_33)
+    levels_33;
+  Array.of_list (List.rev !cps)
+
+let fig45_system () = System.make ~cps:(fig45_cps ()) ~capacity:1. ()
+
+let fig7_11_cps () =
+  let cps = ref [] in
+  List.iter
+    (fun value ->
+      List.iter
+        (fun alpha ->
+          List.iter
+            (fun beta ->
+              let name = Printf.sprintf "a%gb%gv%g" alpha beta value in
+              cps := Econ.Cp.exponential ~name ~alpha ~beta ~value () :: !cps)
+            [ 2.; 5. ])
+        [ 2.; 5. ])
+    [ 0.5; 1. ];
+  Array.of_list (List.rev !cps)
+
+let fig7_11_system () = System.make ~cps:(fig7_11_cps ()) ~capacity:1. ()
+
+let q_levels () = [| 0.; 0.5; 1.0; 1.5; 2.0 |]
+
+let price_grid ?(points = 41) ?(p_max = 2.) () =
+  let grid = Grid.linspace 0. p_max points in
+  if Array.length grid > 0 && grid.(0) = 0. then grid.(0) <- 1e-9;
+  grid
+
+let random_cp ?(value_hi = 1.5) rng =
+  let alpha = Rng.uniform rng ~lo:0.5 ~hi:6. in
+  let beta = Rng.uniform rng ~lo:0.5 ~hi:6. in
+  let value = Rng.uniform rng ~lo:0. ~hi:value_hi in
+  Econ.Cp.exponential ~alpha ~beta ~value ()
+
+let random_system ?n ?capacity rng =
+  let n = match n with Some n -> n | None -> 2 + Rng.int rng 7 in
+  if n <= 0 then invalid_arg "Scenario.random_system: n must be positive";
+  let capacity =
+    match capacity with Some c -> c | None -> Rng.uniform rng ~lo:0.5 ~hi:3.
+  in
+  System.make ~cps:(Array.init n (fun _ -> random_cp rng)) ~capacity ()

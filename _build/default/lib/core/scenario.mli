@@ -1,0 +1,40 @@
+(** The paper's evaluation scenarios, plus randomized workload
+    generators for tests and benchmarks.
+
+    Section 3.2 (Figures 4-5): 9 CP types with
+    [(alpha_i, beta_i) in {1,3,5}^2], [mu = 1], [Phi = theta/mu],
+    [m_i = e^(-alpha_i t)], [lambda_i = e^(-beta_i phi)].
+
+    Section 5.2 (Figures 7-11): 8 CP types with
+    [alpha, beta in {2,5}] and [v in {0.5, 1}], same physical model,
+    policy levels [q in {0, 0.5, 1, 1.5, 2}] and prices [p in [0, 2]]. *)
+
+val fig45_cps : unit -> Econ.Cp.t array
+(** Nine CPs, named ["a1b1"] ... ["a5b5"]; Section 3 does not use CP
+    values, so [v_i = 1]. *)
+
+val fig45_system : unit -> System.t
+
+val fig7_11_cps : unit -> Econ.Cp.t array
+(** Eight CPs, named ["a2b2v0.5"] ... ["a5b5v1"], ordered value-major
+    then alpha then beta to match the paper's panel layout. *)
+
+val fig7_11_system : unit -> System.t
+
+val q_levels : unit -> float array
+(** [{0, 0.5, 1.0, 1.5, 2.0}]. *)
+
+val price_grid : ?points:int -> ?p_max:float -> unit -> float array
+(** The x-axis of every figure: [points] (default 41) prices from 0 to
+    [p_max] (default 2). The 0 endpoint is nudged to [1e-9] so that
+    elasticity-based diagnostics stay defined. *)
+
+val random_cp : ?value_hi:float -> Numerics.Rng.t -> Econ.Cp.t
+(** A CP with [alpha, beta ~ U[0.5, 6]], [v ~ U[0, value_hi]]
+    (default 1.5), exponential families: the randomized workload used by
+    property tests. *)
+
+val random_system :
+  ?n:int -> ?capacity:float -> Numerics.Rng.t -> System.t
+(** [n] defaults to a draw in [2..8]; [capacity] to a draw in
+    [0.5, 3]. *)

@@ -1,0 +1,110 @@
+open Numerics
+
+type t = {
+  system : System.t;
+  price : float;
+  cap : float;
+  mutable phi_cache : float; (* warm start for the equilibrium solver *)
+}
+
+let make system ~price ~cap =
+  if price < 0. || not (Float.is_finite price) then
+    invalid_arg (Printf.sprintf "Subsidy_game.make: price must be non-negative, got %g" price);
+  if cap < 0. || not (Float.is_finite cap) then
+    invalid_arg (Printf.sprintf "Subsidy_game.make: cap must be non-negative, got %g" cap);
+  { system; price; cap; phi_cache = 1. }
+
+let system g = g.system
+let price g = g.price
+let cap g = g.cap
+let with_price g price = make g.system ~price ~cap:g.cap
+let with_cap g cap = make g.system ~price:g.price ~cap
+let dim g = System.n_cps g.system
+let box g = Gametheory.Box.uniform ~dim:(dim g) ~lo:0. ~hi:g.cap
+
+let check_subsidies g s =
+  if Vec.dim s <> dim g then
+    invalid_arg
+      (Printf.sprintf "Subsidy_game: %d subsidies for %d CPs" (Vec.dim s) (dim g))
+
+let charges g ~subsidies =
+  check_subsidies g subsidies;
+  Vec.map (fun si -> g.price -. si) subsidies
+
+let state g ~subsidies =
+  let charges = charges g ~subsidies in
+  let st = System.solve ~phi_guess:g.phi_cache g.system ~charges in
+  g.phi_cache <- Float.max st.System.phi 1e-6;
+  st
+
+let cp g i = g.system.System.cps.(i)
+
+let utility_at g (st : System.state) i =
+  let subsidy = g.price -. st.System.charges.(i) in
+  Econ.Cp.utility (cp g i) ~subsidy ~throughput:st.System.throughputs.(i)
+
+let utility g ~subsidies i =
+  check_subsidies g subsidies;
+  if i < 0 || i >= dim g then invalid_arg "Subsidy_game.utility: CP index out of range";
+  utility_at g (state g ~subsidies) i
+
+let utilities g ~subsidies =
+  let st = state g ~subsidies in
+  Vec.init (dim g) (fun i -> utility_at g st i)
+
+let revenue g ~subsidies =
+  let st = state g ~subsidies in
+  g.price *. st.System.aggregate
+
+let population_slope g (st : System.state) i =
+  Econ.Demand.derivative (cp g i).Econ.Cp.demand st.System.charges.(i)
+
+let rate_slope g (st : System.state) i =
+  Econ.Throughput.derivative (cp g i).Econ.Cp.throughput st.System.phi
+
+let dphi_dsubsidy g st i = -.population_slope g st i *. st.System.rates.(i) /. st.System.gap_slope
+
+let marginal_utility_at g (st : System.state) i =
+  let margin = (cp g i).Econ.Cp.value -. (g.price -. st.System.charges.(i)) in
+  let direct = -.st.System.throughputs.(i) in
+  let demand_gain = -.population_slope g st i *. st.System.rates.(i) in
+  let congestion_loss =
+    st.System.populations.(i) *. rate_slope g st i *. dphi_dsubsidy g st i
+  in
+  direct +. (margin *. (demand_gain +. congestion_loss))
+
+let marginal_utility g ~subsidies i =
+  check_subsidies g subsidies;
+  if i < 0 || i >= dim g then
+    invalid_arg "Subsidy_game.marginal_utility: CP index out of range";
+  marginal_utility_at g (state g ~subsidies) i
+
+let marginal_utilities g ~subsidies =
+  let st = state g ~subsidies in
+  Vec.init (dim g) (fun i -> marginal_utility_at g st i)
+
+let threshold_tau g ~subsidies i =
+  check_subsidies g subsidies;
+  if i < 0 || i >= dim g then
+    invalid_arg "Subsidy_game.threshold_tau: CP index out of range";
+  let st = state g ~subsidies in
+  let si = subsidies.(i) in
+  let margin = (cp g i).Econ.Cp.value -. si in
+  let m = st.System.populations.(i) in
+  let eps_m_s = -.population_slope g st i *. si /. m in
+  if st.System.phi = 0. then margin *. eps_m_s
+  else begin
+    let eps_lambda_phi =
+      rate_slope g st i *. st.System.phi /. st.System.rates.(i)
+    in
+    let eps_phi_m = st.System.rates.(i) *. m /. (st.System.gap_slope *. st.System.phi) in
+    margin *. eps_m_s *. (1. +. (eps_lambda_phi *. eps_phi_m))
+  end
+
+let to_game ?respond_points g =
+  Gametheory.Best_response.make
+    ~marginal:(fun i s -> marginal_utility g ~subsidies:s i)
+    ?respond_points
+    ~box:(box g)
+    ~payoff:(fun i s -> utility g ~subsidies:s i)
+    ()

@@ -1,0 +1,69 @@
+(** The subsidization competition game (Section 4).
+
+    Under ISP price [p] and policy cap [q], each CP [i] chooses a
+    per-unit subsidy [s_i in [0, q]] for its users' traffic; the
+    effective charge becomes [t_i = p - s_i] and CP [i]'s utility is
+    [U_i(s) = (v_i - s_i) * theta_i(s)]. This module evaluates
+    utilities, analytic marginal utilities (via the implicit-function
+    derivative of the utilization equilibrium), and the Theorem-3
+    threshold [tau_i]; it also packages the game for the generic
+    best-response solver. *)
+
+type t
+
+val make : System.t -> price:float -> cap:float -> t
+(** Raises [Invalid_argument] on a negative price or cap. *)
+
+val system : t -> System.t
+
+val price : t -> float
+
+val cap : t -> float
+(** The policy limit [q]. *)
+
+val with_price : t -> float -> t
+
+val with_cap : t -> float -> t
+
+val dim : t -> int
+
+val box : t -> Gametheory.Box.t
+(** The strategy space [\[0, q\]^n]. *)
+
+val charges : t -> subsidies:Numerics.Vec.t -> Numerics.Vec.t
+(** [t_i = p - s_i]. *)
+
+val state : t -> subsidies:Numerics.Vec.t -> System.state
+(** The utilization equilibrium under the subsidy profile. Warm-starts
+    from the previous solve on this game value (cached internally), so
+    sweeping nearby profiles is fast. *)
+
+val utility : t -> subsidies:Numerics.Vec.t -> int -> float
+(** [U_i(s)]. *)
+
+val utilities : t -> subsidies:Numerics.Vec.t -> Numerics.Vec.t
+
+val revenue : t -> subsidies:Numerics.Vec.t -> float
+(** The ISP's revenue [p * theta(s)] under the profile. *)
+
+val dphi_dsubsidy : t -> System.state -> int -> float
+(** [dphi/ds_i = -m_i'(t_i) lambda_i / (dg/dphi) >= 0] (implicit
+    differentiation of the gap equation; the engine behind Lemma 3). *)
+
+val marginal_utility : t -> subsidies:Numerics.Vec.t -> int -> float
+(** Analytic [u_i(s) = dU_i/ds_i]:
+    [-m_i lambda_i
+     + (v_i - s_i) * (-m_i'(t_i) lambda_i + m_i lambda_i' dphi/ds_i)]. *)
+
+val marginal_utilities : t -> subsidies:Numerics.Vec.t -> Numerics.Vec.t
+
+val threshold_tau : t -> subsidies:Numerics.Vec.t -> int -> float
+(** Equation (9):
+    [tau_i(s) = (v_i - s_i) eps^mi_si (1 + eps^lambdai_phi eps^phi_mi)].
+    At a Nash equilibrium, [s_i = min (tau_i s) q] (Theorem 3). *)
+
+val to_game : ?respond_points:int -> t -> Gametheory.Best_response.game
+(** Adapter for {!Gametheory.Best_response} with analytic marginals.
+    [respond_points] tunes the first-order scan resolution (see
+    {!Gametheory.Best_response.make}); exposed for the numerics
+    ablation. *)

@@ -1,0 +1,135 @@
+open Numerics
+
+type t = {
+  cps : Econ.Cp.t array;
+  utilization : Econ.Utilization.t;
+  capacity : float;
+}
+
+type state = {
+  phi : float;
+  charges : Vec.t;
+  populations : Vec.t;
+  rates : Vec.t;
+  throughputs : Vec.t;
+  aggregate : float;
+  gap_slope : float;
+}
+
+let make ?(utilization = Econ.Utilization.linear) ~cps ~capacity () =
+  if Array.length cps = 0 then invalid_arg "System.make: no content providers";
+  if capacity <= 0. || not (Float.is_finite capacity) then
+    invalid_arg (Printf.sprintf "System.make: capacity must be positive, got %g" capacity);
+  { cps = Array.copy cps; utilization; capacity }
+
+let n_cps sys = Array.length sys.cps
+
+let with_capacity sys capacity = make ~utilization:sys.utilization ~cps:sys.cps ~capacity ()
+
+let check_charges sys charges =
+  if Vec.dim charges <> n_cps sys then
+    invalid_arg
+      (Printf.sprintf "System: %d charges for %d CPs" (Vec.dim charges) (n_cps sys))
+
+let populations_of sys charges =
+  Vec.init (n_cps sys) (fun i -> Econ.Cp.population sys.cps.(i) charges.(i))
+
+let demand_at sys populations phi =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i cp -> acc := !acc +. (populations.(i) *. Econ.Cp.rate cp phi))
+    sys.cps;
+  !acc
+
+let gap_with_populations sys populations phi =
+  Econ.Utilization.theta_of sys.utilization ~phi ~mu:sys.capacity
+  -. demand_at sys populations phi
+
+let gap sys ~charges phi =
+  check_charges sys charges;
+  gap_with_populations sys (populations_of sys charges) phi
+
+let gap_slope_with_populations sys populations phi =
+  let supply = Econ.Utilization.dtheta_dphi sys.utilization ~phi ~mu:sys.capacity in
+  let demand_slope = ref 0. in
+  Array.iteri
+    (fun i cp ->
+      demand_slope :=
+        !demand_slope +. (populations.(i) *. Econ.Throughput.derivative cp.Econ.Cp.throughput phi))
+    sys.cps;
+  supply -. !demand_slope
+
+let gap_slope sys ~charges phi =
+  check_charges sys charges;
+  gap_slope_with_populations sys (populations_of sys charges) phi
+
+let equilibrium_phi_with_populations ?(phi_guess = 1.) sys populations =
+  let g phi = gap_with_populations sys populations phi in
+  (* g(0) <= 0 always (zero supply, positive demand); find an upper end *)
+  let guess = Float.max phi_guess 1e-6 in
+  let hi = ref (2. *. guess) in
+  let tries = ref 0 in
+  while g !hi < 0. && !tries < 200 do
+    hi := !hi *. 2.;
+    incr tries
+  done;
+  if g !hi < 0. then
+    invalid_arg "System.equilibrium_phi: could not bracket the utilization";
+  if g 0. >= 0. then 0.
+  else begin
+    let r = Rootfind.brent ~tol:1e-13 g ~lo:0. ~hi:!hi in
+    r.Rootfind.root
+  end
+
+let state_of sys charges populations phi =
+  let n = n_cps sys in
+  let rates = Vec.init n (fun i -> Econ.Cp.rate sys.cps.(i) phi) in
+  let throughputs = Vec.mul populations rates in
+  {
+    phi;
+    charges;
+    populations;
+    rates;
+    throughputs;
+    aggregate = Vec.sum throughputs;
+    gap_slope = gap_slope_with_populations sys populations phi;
+  }
+
+let equilibrium_phi ?phi_guess sys ~charges =
+  check_charges sys charges;
+  equilibrium_phi_with_populations ?phi_guess sys (populations_of sys charges)
+
+let solve ?phi_guess sys ~charges =
+  check_charges sys charges;
+  let populations = populations_of sys charges in
+  let phi = equilibrium_phi_with_populations ?phi_guess sys populations in
+  state_of sys (Vec.copy charges) populations phi
+
+let solve_fixed_populations ?phi_guess sys ~populations =
+  if Vec.dim populations <> n_cps sys then
+    invalid_arg "System.solve_fixed_populations: dimension mismatch";
+  Array.iter
+    (fun m ->
+      if m < 0. || not (Float.is_finite m) then
+        invalid_arg "System.solve_fixed_populations: populations must be non-negative")
+    populations;
+  let phi = equilibrium_phi_with_populations ?phi_guess sys populations in
+  state_of sys (Vec.make (n_cps sys) Float.nan) (Vec.copy populations) phi
+
+let dphi_dcapacity sys st =
+  let dtheta_dmu =
+    Econ.Utilization.dtheta_dmu sys.utilization ~phi:st.phi ~mu:sys.capacity
+  in
+  -.dtheta_dmu /. st.gap_slope
+
+let dphi_dpopulation _sys st i = st.rates.(i) /. st.gap_slope
+
+let rate_slope sys st i = Econ.Throughput.derivative sys.cps.(i).Econ.Cp.throughput st.phi
+
+let dthroughput_dcapacity sys st i =
+  st.populations.(i) *. rate_slope sys st i *. dphi_dcapacity sys st
+
+let dthroughput_dpopulation sys st ~cp ~wrt =
+  let dphi = dphi_dpopulation sys st wrt in
+  let congestion = st.populations.(cp) *. rate_slope sys st cp *. dphi in
+  if cp = wrt then st.rates.(cp) +. congestion else congestion

@@ -1,0 +1,79 @@
+(** The macroscopic system model [(m, mu)] of Section 3.
+
+    A system couples a population of content providers to an access
+    ISP's capacity through a utilization function. Given effective
+    per-unit charges [t_i] (price minus subsidy for each CP), the user
+    populations [m_i(t_i)] are determined, and the system settles at the
+    unique utilization [phi] of Definition 1:
+    [phi = Phi (sum_k m_k lambda_k (phi), mu)], found as the root of the
+    strictly increasing gap function
+    [g(phi) = Theta (phi, mu) - sum_k m_k lambda_k (phi)] (Lemma 1). *)
+
+type t = {
+  cps : Econ.Cp.t array;
+  utilization : Econ.Utilization.t;
+  capacity : float;
+}
+
+type state = {
+  phi : float;  (** equilibrium utilization *)
+  charges : Numerics.Vec.t;  (** the effective charges [t_i] used *)
+  populations : Numerics.Vec.t;  (** [m_i(t_i)] *)
+  rates : Numerics.Vec.t;  (** [lambda_i(phi)] *)
+  throughputs : Numerics.Vec.t;  (** [theta_i = m_i lambda_i] *)
+  aggregate : float;  (** [theta = sum_i theta_i] *)
+  gap_slope : float;  (** [dg/dphi > 0] at the equilibrium *)
+}
+
+val make :
+  ?utilization:Econ.Utilization.t ->
+  cps:Econ.Cp.t array ->
+  capacity:float ->
+  unit ->
+  t
+(** [utilization] defaults to the paper's linear family [theta / mu].
+    Raises [Invalid_argument] on an empty CP array or non-positive
+    capacity. *)
+
+val n_cps : t -> int
+
+val with_capacity : t -> float -> t
+
+val gap : t -> charges:Numerics.Vec.t -> float -> float
+(** [gap sys ~charges phi = g(phi)] at fixed populations
+    [m_i(charges_i)]. *)
+
+val gap_slope : t -> charges:Numerics.Vec.t -> float -> float
+(** [dg/dphi]: supply slope minus (negative) demand slope, strictly
+    positive. *)
+
+val equilibrium_phi : ?phi_guess:float -> t -> charges:Numerics.Vec.t -> float
+(** The unique root of the gap function, by Brent's method after
+    outward bracketing around [phi_guess] (default 1). *)
+
+val solve : ?phi_guess:float -> t -> charges:Numerics.Vec.t -> state
+(** Equilibrium utilization plus all derived per-CP quantities. *)
+
+val solve_fixed_populations :
+  ?phi_guess:float -> t -> populations:Numerics.Vec.t -> state
+(** Variant with directly specified user populations (the basic model
+    of Figure 2, before prices enter). The state's [charges] are NaN. *)
+
+(** {2 Comparative statics (Theorem 1)}
+
+    All derivatives are evaluated at a solved state and treat the
+    populations [m] as free parameters. *)
+
+val dphi_dcapacity : t -> state -> float
+(** Equation (3): [-(dg/dphi)^-1 * dTheta/dmu < 0]. *)
+
+val dphi_dpopulation : t -> state -> int -> float
+(** Equation (4): [(dg/dphi)^-1 * lambda_i > 0]. *)
+
+val dthroughput_dcapacity : t -> state -> int -> float
+(** [dtheta_i / dmu = m_i lambda_i'(phi) dphi/dmu > 0]. *)
+
+val dthroughput_dpopulation : t -> state -> cp:int -> wrt:int -> float
+(** [dtheta_cp / dm_wrt]: positive when [cp = wrt] (own-population
+    effect, [lambda_i + m_i lambda_i' dphi/dm_i]), negative otherwise
+    (congestion externality). *)

@@ -1,0 +1,79 @@
+open Numerics
+
+let of_state sys (st : System.state) =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i cp -> acc := !acc +. (cp.Econ.Cp.value *. st.System.throughputs.(i)))
+    sys.System.cps;
+  !acc
+
+let of_equilibrium game (eq : Nash.equilibrium) =
+  of_state (Subsidy_game.system game) eq.Nash.state
+
+let consumer_surplus ?(t_max = 50.) sys (st : System.state) =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i cp ->
+      let t_i = st.System.charges.(i) in
+      if Float.is_nan t_i then
+        invalid_arg "Welfare.consumer_surplus: state has no charges";
+      let m x = Econ.Cp.population cp x in
+      let integral = Quadrature.adaptive_simpson ~tol:1e-9 m ~lo:t_i ~hi:t_max in
+      acc := !acc +. (st.System.rates.(i) *. integral))
+    sys.System.cps;
+  !acc
+
+let total_surplus ?t_max game (eq : Nash.equilibrium) =
+  let sys = Subsidy_game.system game in
+  let st = eq.Nash.state in
+  let cp_profit = Vec.sum eq.Nash.utilities in
+  let isp_revenue = Subsidy_game.price game *. st.System.aggregate in
+  let cs = consumer_surplus ?t_max sys st in
+  (* subsidies are inside cp_profit (subtracted) and reach users as lower
+     charges, which the consumer surplus integral already reflects *)
+  cp_profit +. isp_revenue +. cs
+
+type corollary2 = {
+  lhs : float;
+  rhs : float;
+  dphi_dq : float;
+  predicted_welfare_increase : bool;
+}
+
+let corollary2 ?dp_dq game ~subsidies =
+  let effect = Sensitivity.policy_effect ?dp_dq game ~subsidies in
+  let st = Subsidy_game.state game ~subsidies in
+  let sys = Subsidy_game.system game in
+  let n = Subsidy_game.dim game in
+  let w = Vec.init n (fun i -> st.System.rates.(i) *. effect.Sensitivity.dpopulation_dq.(i)) in
+  let w_total = Vec.sum w in
+  let lhs =
+    if w_total = 0. then Float.nan
+    else begin
+      let acc = ref 0. in
+      Array.iteri
+        (fun i cp -> acc := !acc +. (w.(i) /. w_total *. cp.Econ.Cp.value))
+        sys.System.cps;
+      !acc
+    end
+  in
+  let rhs =
+    (* -eps^lambdai_mi = -m_i lambda_i'(phi) / (dg/dphi), equation (14) *)
+    let acc = ref 0. in
+    Array.iteri
+      (fun i cp ->
+        acc :=
+          !acc
+          +. (-.st.System.populations.(i)
+              *. Econ.Throughput.derivative cp.Econ.Cp.throughput st.System.phi
+              /. st.System.gap_slope)
+             *. cp.Econ.Cp.value)
+      sys.System.cps;
+    !acc
+  in
+  {
+    lhs;
+    rhs;
+    dphi_dq = effect.Sensitivity.dphi_dq;
+    predicted_welfare_increase = (not (Float.is_nan lhs)) && lhs > rhs;
+  }

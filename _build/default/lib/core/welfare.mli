@@ -1,0 +1,37 @@
+(** System welfare (Section 5.2, Corollary 2).
+
+    The paper measures welfare as the CPs' gross profit
+    [W = sum_i v_i theta_i]: it internalizes the subsidy transfer (the
+    subsidy moves money from CP to ISP via users without destroying it)
+    and proxies user value. A consumer-surplus extension is provided for
+    completeness. *)
+
+val of_state : System.t -> System.state -> float
+(** [W = sum_i v_i theta_i]. *)
+
+val of_equilibrium : Subsidy_game.t -> Nash.equilibrium -> float
+
+val consumer_surplus : ?t_max:float -> System.t -> System.state -> float
+(** Users' surplus under the valuation interpretation of Assumption 2:
+    [sum_i lambda_i(phi) * integral_(t_i)^(t_max) m_i(x) dx] — each unit
+    of traffic is consumed by the users whose valuation exceeds its
+    charge. Integrated adaptively up to [t_max] (default 50). *)
+
+val total_surplus : ?t_max:float -> Subsidy_game.t -> Nash.equilibrium -> float
+(** CP gross profit plus ISP revenue plus consumer surplus minus the
+    subsidy flow (already internalized): [W + R + CS - subsidy_flow],
+    where [subsidy_flow = sum_i s_i theta_i] is counted once inside CP
+    profit ([U_i = (v_i - s_i) theta_i]) and once inside consumer
+    gains, so the accounting identity keeps transfers neutral. *)
+
+type corollary2 = {
+  lhs : float;  (** weighted average value [sum_i (w_i / sum w) v_i] *)
+  rhs : float;  (** [sum_i (-eps^lambdai_mi) v_i] via equation (14) *)
+  dphi_dq : float;
+  predicted_welfare_increase : bool;  (** [lhs > rhs], valid when [dphi_dq > 0] *)
+}
+
+val corollary2 : ?dp_dq:float -> Subsidy_game.t -> subsidies:Numerics.Vec.t -> corollary2
+(** Evaluate the Corollary-2 welfare condition at an equilibrium
+    profile, using the Theorem-8 population derivatives for the weights
+    [w_i = lambda_i dm_i/dq]. *)

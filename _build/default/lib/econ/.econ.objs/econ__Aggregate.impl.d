@@ -1,0 +1,1 @@
+lib/econ/aggregate.ml: Cp Demand Float List Printf String Throughput

@@ -1,0 +1,1 @@
+lib/econ/calibrate.ml: Array Cp Demand Float Linalg Mat Numerics Throughput Vec

@@ -1,0 +1,1 @@
+lib/econ/calibrate.mli: Cp Demand Throughput

@@ -1,0 +1,1 @@
+lib/econ/cp.ml: Demand Float Format Printf Throughput

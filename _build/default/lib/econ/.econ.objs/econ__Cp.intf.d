@@ -1,0 +1,1 @@
+lib/econ/cp.mli: Demand Format Throughput

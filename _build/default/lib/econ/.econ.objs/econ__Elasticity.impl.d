@@ -1,0 +1,1 @@
+lib/econ/elasticity.ml: Diff Float Numerics

@@ -1,0 +1,1 @@
+lib/econ/isp.ml: Float Format Printf

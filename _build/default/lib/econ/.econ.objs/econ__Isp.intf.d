@@ -1,0 +1,1 @@
+lib/econ/isp.mli: Format

@@ -1,0 +1,1 @@
+lib/econ/throughput.ml: Float Printf

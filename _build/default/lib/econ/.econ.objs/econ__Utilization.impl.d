@@ -1,0 +1,1 @@
+lib/econ/utilization.ml: Float Printf

@@ -1,0 +1,51 @@
+let as_big_user cp =
+  let m_at_zero = Cp.population cp 0. in
+  Cp.scale cp ~kappa:m_at_zero
+
+let exponential_params cp =
+  match (Demand.spec cp.Cp.demand, Throughput.spec cp.Cp.throughput) with
+  | Demand.Exponential { m0; alpha }, Throughput.Exponential { l0; beta } ->
+    Some (m0, alpha, l0, beta)
+  | _, _ -> None
+
+let same_traffic_class a b =
+  match (exponential_params a, exponential_params b) with
+  | Some (_, alpha_a, _, beta_a), Some (_, alpha_b, _, beta_b) ->
+    alpha_a = alpha_b && beta_a = beta_b
+  | _, _ -> false
+
+let merge_exponential ?name cps =
+  match cps with
+  | [] -> invalid_arg "Aggregate.merge_exponential: empty list"
+  | _ :: _ ->
+    let params =
+      List.map
+        (fun cp ->
+          match exponential_params cp with
+          | Some p -> p
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Aggregate.merge_exponential: %s is not exponential"
+                 cp.Cp.name))
+        cps
+    in
+    let _, alpha, _, beta = List.hd params in
+    List.iter
+      (fun (_, a, _, b) ->
+        if a <> alpha || b <> beta then
+          invalid_arg "Aggregate.merge_exponential: members differ in alpha or beta")
+      params;
+    (* Lemma 2: only the product m0 * l0 matters, so pool it under m0 = 1 *)
+    let pooled = List.fold_left (fun acc (m0, _, l0, _) -> acc +. (m0 *. l0)) 0. params in
+    let weighted_value =
+      List.fold_left2
+        (fun acc (m0, _, l0, _) cp -> acc +. (m0 *. l0 *. cp.Cp.value))
+        0. params cps
+      /. pooled
+    in
+    let name =
+      match name with
+      | Some n -> n
+      | None -> Printf.sprintf "merged(%s)" (String.concat "+" (List.map (fun cp -> cp.Cp.name) cps))
+    in
+    Cp.exponential ~name ~m0:1. ~l0:pooled ~alpha ~beta ~value:(Float.max 0. weighted_value) ()

@@ -1,0 +1,22 @@
+(** Lemma-2 aggregation of content providers.
+
+    CPs sharing the phi-elasticity of throughput can be rescaled and
+    merged without changing the system utilization or other CPs'
+    throughput. This justifies the paper's styled populations of 8-9 CP
+    "types", each standing for a group of similar real CPs. *)
+
+val as_big_user : Cp.t -> Cp.t
+(** Rescale a CP so that its population at charge 0 equals 1 (one "big
+    user" carrying the whole group's traffic), preserving equilibria.
+    Equivalent to [Cp.scale ~kappa:(m_i 0)]. *)
+
+val merge_exponential : ?name:string -> Cp.t list -> Cp.t
+(** Merge CPs whose demand and throughput are both exponential *with
+    identical [alpha] and [beta]* into one CP with the summed
+    maximum throughput [sum_i m0_i * l0_i] (and [m0 = 1]). The merged
+    value [v] is the throughput-weighted mean of the members' values.
+    Raises [Invalid_argument] when the list is empty or the members'
+    shapes differ. *)
+
+val same_traffic_class : Cp.t -> Cp.t -> bool
+(** Whether two CPs may be merged by [merge_exponential]. *)

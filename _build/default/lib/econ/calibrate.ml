@@ -1,0 +1,53 @@
+open Numerics
+
+type fit = { scale : float; rate : float; r_square : float }
+
+let exponential_fit samples =
+  let n = Array.length samples in
+  if n < 2 then invalid_arg "Calibrate.exponential_fit: need at least 2 samples";
+  Array.iter
+    (fun (_, y) ->
+      if y <= 0. || not (Float.is_finite y) then
+        invalid_arg "Calibrate.exponential_fit: responses must be positive")
+    samples;
+  let distinct = Array.exists (fun (x, _) -> x <> fst samples.(0)) samples in
+  if not distinct then invalid_arg "Calibrate.exponential_fit: x values are constant";
+  (* log y = log scale - rate * x: linear regression *)
+  let design = Mat.init ~rows:n ~cols:2 (fun k j -> if j = 0 then 1. else fst samples.(k)) in
+  let response = Vec.init n (fun k -> log (snd samples.(k))) in
+  let coeffs = Linalg.lstsq design response in
+  let predicted = Mat.matvec design coeffs in
+  let mean = Vec.sum response /. float_of_int n in
+  let ss_res = ref 0. and ss_tot = ref 0. in
+  Array.iteri
+    (fun k y ->
+      ss_res := !ss_res +. ((y -. predicted.(k)) ** 2.);
+      ss_tot := !ss_tot +. ((y -. mean) ** 2.))
+    response;
+  let r_square = if !ss_tot = 0. then 1. else 1. -. (!ss_res /. !ss_tot) in
+  { scale = exp coeffs.(0); rate = -.coeffs.(1); r_square }
+
+let demand samples =
+  let fit = exponential_fit samples in
+  if fit.rate <= 0. then
+    invalid_arg "Calibrate.demand: population rises with the charge (Assumption 2)";
+  (Demand.exponential ~m0:fit.scale ~alpha:fit.rate (), fit)
+
+let throughput samples =
+  let fit = exponential_fit samples in
+  if fit.rate <= 0. then
+    invalid_arg "Calibrate.throughput: rate rises with congestion (Assumption 1)";
+  (Throughput.exponential ~l0:fit.scale ~beta:fit.rate (), fit)
+
+let value_per_unit reports =
+  if Array.length reports = 0 then invalid_arg "Calibrate.value_per_unit: no reports";
+  let profit = Array.fold_left (fun acc (p, _) -> acc +. p) 0. reports in
+  let traffic = Array.fold_left (fun acc (_, t) -> acc +. t) 0. reports in
+  if traffic <= 0. then invalid_arg "Calibrate.value_per_unit: no traffic";
+  Float.max 0. (profit /. traffic)
+
+let cp ?(name = "calibrated") ~demand_samples ~throughput_samples ~profit_reports () =
+  let d, demand_fit = demand demand_samples in
+  let th, throughput_fit = throughput throughput_samples in
+  let value = value_per_unit profit_reports in
+  (Cp.make ~name ~demand:d ~throughput:th ~value (), demand_fit, throughput_fit)

@@ -1,0 +1,50 @@
+(** Calibration of the model's functional forms from market data.
+
+    Section 6 of the paper notes that validating the model needs market
+    data — CP profitability and the demand/congestion elasticities —
+    which sponsored-data deployments would generate. This module fits
+    the exponential families from such observations:
+
+    - demand: pairs [(t_k, m_k)] fit [m(t) = m0 e^(-alpha t)] by
+      log-linear least squares;
+    - throughput: pairs [(phi_k, lambda_k)] fit
+      [lambda(phi) = l0 e^(-beta phi)] the same way;
+    - profitability: average profit per unit of traffic from
+      [(profit_k, traffic_k)] reports.
+
+    All fits report an R^2 so a user can tell when the exponential
+    family is the wrong shape for their data. *)
+
+type fit = {
+  scale : float;  (** fitted [m0] (or [l0]) *)
+  rate : float;  (** fitted [alpha] (or [beta]); positive for decaying data *)
+  r_square : float;  (** goodness of fit in log space *)
+}
+
+val exponential_fit : (float * float) array -> fit
+(** Fit [y = scale * e^(-rate * x)] to [(x, y)] samples by least squares
+    on [log y]. Requires at least 2 samples with distinct [x] and
+    strictly positive [y]; raises [Invalid_argument] otherwise. *)
+
+val demand : (float * float) array -> Demand.t * fit
+(** [(charge, population)] samples to a calibrated demand. Raises
+    [Invalid_argument] if the fitted [alpha] is not positive (data that
+    rise with the charge violate Assumption 2). *)
+
+val throughput : (float * float) array -> Throughput.t * fit
+(** [(utilization, per-user rate)] samples to a calibrated throughput
+    function; same contract. *)
+
+val value_per_unit : (float * float) array -> float
+(** [(profit, traffic)] reports to the traffic-weighted average profit
+    per unit [v_i = sum profit / sum traffic]. Requires positive total
+    traffic. *)
+
+val cp :
+  ?name:string ->
+  demand_samples:(float * float) array ->
+  throughput_samples:(float * float) array ->
+  profit_reports:(float * float) array ->
+  unit ->
+  Cp.t * fit * fit
+(** Assemble a calibrated CP, returning both fits for inspection. *)

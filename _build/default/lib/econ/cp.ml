@@ -1,0 +1,40 @@
+type t = {
+  name : string;
+  demand : Demand.t;
+  throughput : Throughput.t;
+  value : float;
+}
+
+let make ?(name = "cp") ~demand ~throughput ~value () =
+  if value < 0. || not (Float.is_finite value) then
+    invalid_arg (Printf.sprintf "Cp.make: value must be non-negative, got %g" value);
+  { name; demand; throughput; value }
+
+let exponential ?name ?m0 ?l0 ~alpha ~beta ~value () =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "cp(a=%g,b=%g,v=%g)" alpha beta value
+  in
+  make ~name
+    ~demand:(Demand.exponential ?m0 ~alpha ())
+    ~throughput:(Throughput.exponential ?l0 ~beta ())
+    ~value ()
+
+let population cp t = Demand.population cp.demand t
+let rate cp phi = Throughput.rate cp.throughput phi
+let throughput_at cp ~charge ~phi = population cp charge *. rate cp phi
+let utility cp ~subsidy ~throughput = (cp.value -. subsidy) *. throughput
+
+let scale cp ~kappa =
+  {
+    cp with
+    demand = Demand.scale_population cp.demand ~kappa;
+    throughput = Throughput.scale_rate cp.throughput ~kappa;
+  }
+
+let pp fmt cp =
+  Format.fprintf fmt "%s{demand=%s, throughput=%s, v=%g}" cp.name
+    (Demand.label cp.demand)
+    (Throughput.label cp.throughput)
+    cp.value

@@ -1,0 +1,42 @@
+(** Content providers.
+
+    A CP bundles a user-demand function [m_i(t)], a per-user throughput
+    function [lambda_i(phi)] and a per-unit traffic profitability
+    [v_i]. *)
+
+type t = {
+  name : string;
+  demand : Demand.t;
+  throughput : Throughput.t;
+  value : float;  (** [v_i >= 0]: average profit per unit of traffic *)
+}
+
+val make :
+  ?name:string -> demand:Demand.t -> throughput:Throughput.t -> value:float -> unit -> t
+(** Raises [Invalid_argument] for negative or non-finite [value]. *)
+
+val exponential :
+  ?name:string -> ?m0:float -> ?l0:float -> alpha:float -> beta:float -> value:float ->
+  unit -> t
+(** The paper's styled CP: [m_i(t) = m0 e^(-alpha t)],
+    [lambda_i(phi) = l0 e^(-beta phi)]. *)
+
+val population : t -> float -> float
+(** [population cp t = m_i(t)]. *)
+
+val rate : t -> float -> float
+(** [rate cp phi = lambda_i(phi)]. *)
+
+val throughput_at : t -> charge:float -> phi:float -> float
+(** [theta_i = m_i(charge) * lambda_i(phi)]. *)
+
+val utility : t -> subsidy:float -> throughput:float -> float
+(** [U_i = (v_i - s_i) * theta_i] (the Section 4 definition; Section 3's
+    [v_i theta_i] is the [subsidy = 0] case). *)
+
+val scale : t -> kappa:float -> t
+(** The Lemma-2 rescaling: population divided by [kappa], per-user rate
+    multiplied by [kappa]. Leaves every equilibrium of the system
+    unchanged. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type spec =
+  | Exponential of { m0 : float; alpha : float }
+  | Isoelastic of { m0 : float; alpha : float; scale : float }
+  | Logit of { m0 : float; slope : float; midpoint : float }
+
+type t = { spec : spec; f : float -> float; df : float -> float }
+
+let positive name x =
+  if x <= 0. || not (Float.is_finite x) then
+    invalid_arg (Printf.sprintf "Demand: %s must be positive and finite, got %g" name x)
+
+(* softplus with a numerically safe large-x branch *)
+let softplus x = if x > 30. then x else log1p (exp x)
+let sigmoid x = if x > 0. then 1. /. (1. +. exp (-.x)) else exp x /. (1. +. exp x)
+
+let closures = function
+  | Exponential { m0; alpha } ->
+    let f t = m0 *. exp (-.alpha *. t) in
+    let df t = -.alpha *. m0 *. exp (-.alpha *. t) in
+    (f, df)
+  | Isoelastic { m0; alpha; scale } ->
+    let f t = m0 *. Float.pow (1. +. softplus (t /. scale)) (-.alpha) in
+    let df t =
+      let u = 1. +. softplus (t /. scale) in
+      -.alpha *. m0 *. Float.pow u (-.alpha -. 1.) *. sigmoid (t /. scale) /. scale
+    in
+    (f, df)
+  | Logit { m0; slope; midpoint } ->
+    let f t = m0 *. (1. -. sigmoid (slope *. (t -. midpoint))) in
+    let df t =
+      let s = sigmoid (slope *. (t -. midpoint)) in
+      -.m0 *. slope *. s *. (1. -. s)
+    in
+    (f, df)
+
+let validate = function
+  | Exponential { m0; alpha } ->
+    positive "m0" m0;
+    positive "alpha" alpha
+  | Isoelastic { m0; alpha; scale } ->
+    positive "m0" m0;
+    positive "alpha" alpha;
+    positive "scale" scale
+  | Logit { m0; slope; midpoint } ->
+    positive "m0" m0;
+    positive "slope" slope;
+    if not (Float.is_finite midpoint) then invalid_arg "Demand: midpoint must be finite"
+
+let make spec =
+  validate spec;
+  let f, df = closures spec in
+  { spec; f; df }
+
+let spec d = d.spec
+
+let exponential ?(m0 = 1.) ~alpha () = make (Exponential { m0; alpha })
+let isoelastic ?(m0 = 1.) ?(scale = 1.) ~alpha () = make (Isoelastic { m0; alpha; scale })
+let logit ?(m0 = 1.) ?(midpoint = 1.) ~slope () = make (Logit { m0; slope; midpoint })
+
+let population d t = d.f t
+let derivative d t = d.df t
+
+let elasticity d t =
+  let m = d.f t in
+  if m = 0. then invalid_arg "Demand.elasticity: zero population";
+  d.df t *. t /. m
+
+let scale_population d ~kappa =
+  positive "kappa" kappa;
+  let spec =
+    match d.spec with
+    | Exponential e -> Exponential { e with m0 = e.m0 /. kappa }
+    | Isoelastic e -> Isoelastic { e with m0 = e.m0 /. kappa }
+    | Logit e -> Logit { e with m0 = e.m0 /. kappa }
+  in
+  make spec
+
+let label d =
+  match d.spec with
+  | Exponential { m0; alpha } -> Printf.sprintf "exp(m0=%g, alpha=%g)" m0 alpha
+  | Isoelastic { m0; alpha; scale } ->
+    Printf.sprintf "iso(m0=%g, alpha=%g, scale=%g)" m0 alpha scale
+  | Logit { m0; slope; midpoint } ->
+    Printf.sprintf "logit(m0=%g, slope=%g, mid=%g)" m0 slope midpoint

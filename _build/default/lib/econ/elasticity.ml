@@ -1,0 +1,21 @@
+open Numerics
+
+let of_derivative ~dydx ~x ~y =
+  if y = 0. then invalid_arg "Elasticity.of_derivative: y = 0";
+  dydx *. x /. y
+
+let numeric ?h f x =
+  let y = f x in
+  of_derivative ~dydx:(Diff.central ?h f x) ~x ~y
+
+let log_derivative ?h f x =
+  if x <= 0. then invalid_arg "Elasticity.log_derivative: x must be positive";
+  if f x <= 0. then invalid_arg "Elasticity.log_derivative: f x must be positive";
+  let g u = log (f (exp u)) in
+  Diff.central ?h g (log x)
+
+let chain eps_zy eps_yx = eps_zy *. eps_yx
+
+let is_elastic eps = Float.abs eps > 1.
+
+let is_inelastic eps = Float.abs eps < 1.

@@ -1,0 +1,27 @@
+(** Elasticities (Definition 2 of the paper).
+
+    The x-elasticity of y is [eps = (dy/dx) * (x / y)]: the percentage
+    change in [y] per percentage change in [x]. *)
+
+val of_derivative : dydx:float -> x:float -> y:float -> float
+(** Elasticity from a known derivative. Raises [Invalid_argument] when
+    [y = 0] (the elasticity is undefined there). *)
+
+val numeric : ?h:float -> (float -> float) -> float -> float
+(** [numeric f x] estimates the x-elasticity of [f] at [x] by central
+    differences. *)
+
+val log_derivative : ?h:float -> (float -> float) -> float -> float
+(** [d (log f) / d (log x)], an equivalent definition for positive [f]
+    and [x]; used for cross-checking in tests. *)
+
+val chain : float -> float -> float
+(** Elasticities compose along a chain: if [eps_yx] is the x-elasticity
+    of [y] and [eps_zy] the y-elasticity of [z], then the x-elasticity
+    of [z] is [chain eps_zy eps_yx = eps_zy *. eps_yx]. *)
+
+val is_elastic : float -> bool
+(** [|eps| > 1]: proportional response exceeds the stimulus. *)
+
+val is_inelastic : float -> bool
+(** [|eps| < 1]. *)

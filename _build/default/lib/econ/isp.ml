@@ -1,0 +1,24 @@
+type t = { capacity : float; price : float; capacity_cost : float }
+
+let make ?(capacity_cost = 0.) ~capacity ~price () =
+  if capacity <= 0. || not (Float.is_finite capacity) then
+    invalid_arg (Printf.sprintf "Isp.make: capacity must be positive, got %g" capacity);
+  if price < 0. || not (Float.is_finite price) then
+    invalid_arg (Printf.sprintf "Isp.make: price must be non-negative, got %g" price);
+  if capacity_cost < 0. || not (Float.is_finite capacity_cost) then
+    invalid_arg
+      (Printf.sprintf "Isp.make: capacity_cost must be non-negative, got %g" capacity_cost);
+  { capacity; price; capacity_cost }
+
+let with_price isp price = make ~capacity_cost:isp.capacity_cost ~capacity:isp.capacity ~price ()
+
+let with_capacity isp capacity =
+  make ~capacity_cost:isp.capacity_cost ~capacity ~price:isp.price ()
+
+let revenue isp ~aggregate_throughput = isp.price *. aggregate_throughput
+
+let profit isp ~aggregate_throughput =
+  revenue isp ~aggregate_throughput -. (isp.capacity_cost *. isp.capacity)
+
+let pp fmt isp =
+  Format.fprintf fmt "isp{mu=%g, p=%g, c=%g}" isp.capacity isp.price isp.capacity_cost

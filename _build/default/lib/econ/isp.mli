@@ -1,0 +1,29 @@
+(** Access ISP parameters.
+
+    The ISP owns the bottleneck capacity [mu], charges a uniform
+    usage-based price [p] (net neutrality forbids per-CP prices) and —
+    for the capacity-planning extension — faces a per-unit capacity
+    cost. *)
+
+type t = {
+  capacity : float;  (** [mu > 0] *)
+  price : float;  (** [p >= 0], per unit of traffic *)
+  capacity_cost : float;  (** cost per unit of capacity, [>= 0] *)
+}
+
+val make : ?capacity_cost:float -> capacity:float -> price:float -> unit -> t
+(** Raises [Invalid_argument] on out-of-range parameters.
+    [capacity_cost] defaults to 0 (capacity treated as sunk). *)
+
+val with_price : t -> float -> t
+
+val with_capacity : t -> float -> t
+
+val revenue : t -> aggregate_throughput:float -> float
+(** [R = p * theta] (the paper's revenue definition). *)
+
+val profit : t -> aggregate_throughput:float -> float
+(** [R - capacity_cost * mu]: the objective of the capacity-planning
+    extension. *)
+
+val pp : Format.formatter -> t -> unit

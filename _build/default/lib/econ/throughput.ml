@@ -1,0 +1,77 @@
+type spec =
+  | Exponential of { l0 : float; beta : float }
+  | Isoelastic of { l0 : float; beta : float }
+  | Rational of { l0 : float; beta : float }
+
+type t = { spec : spec; f : float -> float; df : float -> float }
+
+let positive name x =
+  if x <= 0. || not (Float.is_finite x) then
+    invalid_arg (Printf.sprintf "Throughput: %s must be positive and finite, got %g" name x)
+
+let closures = function
+  | Exponential { l0; beta } ->
+    let f phi = l0 *. exp (-.beta *. phi) in
+    let df phi = -.beta *. l0 *. exp (-.beta *. phi) in
+    (f, df)
+  | Isoelastic { l0; beta } ->
+    let f phi = l0 *. Float.pow (1. +. phi) (-.beta) in
+    let df phi = -.beta *. l0 *. Float.pow (1. +. phi) (-.beta -. 1.) in
+    (f, df)
+  | Rational { l0; beta } ->
+    let f phi = l0 /. (1. +. (beta *. phi)) in
+    let df phi =
+      let d = 1. +. (beta *. phi) in
+      -.l0 *. beta /. (d *. d)
+    in
+    (f, df)
+
+let validate = function
+  | Exponential { l0; beta } | Isoelastic { l0; beta } | Rational { l0; beta } ->
+    positive "l0" l0;
+    positive "beta" beta
+
+let make spec =
+  validate spec;
+  let f, df = closures spec in
+  { spec; f; df }
+
+let spec th = th.spec
+
+let exponential ?(l0 = 1.) ~beta () = make (Exponential { l0; beta })
+let isoelastic ?(l0 = 1.) ~beta () = make (Isoelastic { l0; beta })
+let rational ?(l0 = 1.) ~beta () = make (Rational { l0; beta })
+
+let check_phi phi =
+  if phi < 0. || not (Float.is_finite phi) then
+    invalid_arg (Printf.sprintf "Throughput: utilization %g out of range" phi)
+
+let rate th phi =
+  check_phi phi;
+  th.f phi
+
+let derivative th phi =
+  check_phi phi;
+  th.df phi
+
+let elasticity th phi =
+  check_phi phi;
+  let l = th.f phi in
+  if l = 0. then invalid_arg "Throughput.elasticity: zero rate";
+  th.df phi *. phi /. l
+
+let scale_rate th ~kappa =
+  positive "kappa" kappa;
+  let spec =
+    match th.spec with
+    | Exponential e -> Exponential { e with l0 = kappa *. e.l0 }
+    | Isoelastic e -> Isoelastic { e with l0 = kappa *. e.l0 }
+    | Rational e -> Rational { e with l0 = kappa *. e.l0 }
+  in
+  make spec
+
+let label th =
+  match th.spec with
+  | Exponential { l0; beta } -> Printf.sprintf "exp(l0=%g, beta=%g)" l0 beta
+  | Isoelastic { l0; beta } -> Printf.sprintf "iso(l0=%g, beta=%g)" l0 beta
+  | Rational { l0; beta } -> Printf.sprintf "rat(l0=%g, beta=%g)" l0 beta

@@ -1,0 +1,49 @@
+(** System-utilization functions [Phi(theta, mu)] and their inverses
+    [Theta(phi, mu) = Phi^{-1}] in the throughput argument.
+
+    Assumption 1: [Phi] is differentiable, strictly increasing in the
+    aggregate throughput [theta], strictly decreasing in the capacity
+    [mu], and [Phi(0, mu) = 0]. Consequently [Theta] is strictly
+    increasing in both arguments. The paper's evaluations use the linear
+    family [theta / mu]. *)
+
+type spec =
+  | Linear  (** [Phi = theta / mu]: utilization as load per capacity. *)
+  | Power of float
+      (** [Phi = (theta / mu) ** k] for [k > 0]: convex ([k > 1]) or
+          concave ([k < 1]) congestion onset. *)
+  | Log  (** [Phi = log (1 + theta / mu)]: diminishing marginal
+             congestion. *)
+
+type t
+
+val make : spec -> t
+
+val spec : t -> spec
+
+val linear : t
+
+val power : float -> t
+
+val log_family : t
+
+val phi : t -> theta:float -> mu:float -> float
+(** Utilization at aggregate throughput [theta >= 0] and capacity
+    [mu > 0]. *)
+
+val theta_of : t -> phi:float -> mu:float -> float
+(** The implied throughput [Theta(phi, mu)] inverting [phi]. *)
+
+val dphi_dtheta : t -> theta:float -> mu:float -> float
+(** Positive for [theta > 0]. *)
+
+val dphi_dmu : t -> theta:float -> mu:float -> float
+(** Negative for [theta > 0]. *)
+
+val dtheta_dphi : t -> phi:float -> mu:float -> float
+(** Positive for [phi > 0]. *)
+
+val dtheta_dmu : t -> phi:float -> mu:float -> float
+(** Positive for [phi > 0]. *)
+
+val label : t -> string

@@ -1,0 +1,1 @@
+lib/experiments/ablation_exp.ml: Array Common Float Gametheory List Nash Numerics Printf Report Scenario Subsidization Subsidy_game System

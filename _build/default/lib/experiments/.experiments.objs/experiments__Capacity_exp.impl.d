@@ -1,0 +1,1 @@
+lib/experiments/capacity_exp.ml: Array Capacity Common Report Scenario Subsidization

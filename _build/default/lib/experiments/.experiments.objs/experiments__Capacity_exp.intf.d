@@ -1,0 +1,1 @@
+lib/experiments/capacity_exp.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Filename Format List Printf Report Subsidization

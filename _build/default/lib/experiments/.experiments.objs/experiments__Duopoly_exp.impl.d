@@ -1,0 +1,1 @@
+lib/experiments/duopoly_exp.ml: Common Duopoly Printf Report Scenario Subsidization

@@ -1,0 +1,1 @@
+lib/experiments/duopoly_exp.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/dynamics_exp.ml: Common Dynamics Gametheory List Nash Numerics Printf Report Scenario Subsidization Subsidy_game

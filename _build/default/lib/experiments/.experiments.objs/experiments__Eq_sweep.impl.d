@@ -1,0 +1,1 @@
+lib/experiments/eq_sweep.ml: Array Econ Hashtbl Policy Scenario Subsidization

@@ -1,0 +1,1 @@
+lib/experiments/eq_sweep.mli: Subsidization

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Common One_sided Printf Report Scenario Subsidization System

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Common Econ List One_sided Report Scenario Subsidization System

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Common Eq_sweep Float List One_sided Policy Printf Report Scenario Subsidization

@@ -1,0 +1,1 @@
+lib/experiments/fig8_11.ml: Array Common Econ Eq_sweep Float List Nash Policy Printf Report Scenario Subsidization System

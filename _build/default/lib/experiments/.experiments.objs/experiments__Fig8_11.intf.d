@@ -1,0 +1,1 @@
+lib/experiments/fig8_11.mli: Common Report

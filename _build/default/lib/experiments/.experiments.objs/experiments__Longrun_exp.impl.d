@@ -1,0 +1,1 @@
+lib/experiments/longrun_exp.ml: Array Common Longrun Printf Report Scenario Subsidization

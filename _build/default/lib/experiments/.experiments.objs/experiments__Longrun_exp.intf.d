@@ -1,0 +1,1 @@
+lib/experiments/longrun_exp.mli: Common

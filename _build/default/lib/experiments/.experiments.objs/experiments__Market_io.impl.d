@@ -1,0 +1,1 @@
+lib/experiments/market_io.ml: Array Econ List Option Printf Report String

@@ -1,0 +1,1 @@
+lib/experiments/market_io.mli: Econ

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation_exp Capacity_exp Common Duopoly_exp Dynamics_exp Fig4 Fig5 Fig7 Fig8_11 List Longrun_exp Printf Robustness_exp String Surplus_exp Verify_exp

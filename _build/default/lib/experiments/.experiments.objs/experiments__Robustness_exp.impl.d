@@ -1,0 +1,1 @@
+lib/experiments/robustness_exp.ml: Array Common Econ Nash Numerics Printf Report Rng Scenario Subsidization Subsidy_game System

@@ -1,0 +1,1 @@
+lib/experiments/robustness_exp.mli: Common

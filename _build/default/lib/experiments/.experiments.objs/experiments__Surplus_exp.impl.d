@@ -1,0 +1,1 @@
+lib/experiments/surplus_exp.ml: Array Common Float Nash Numerics Report Revenue Scenario Subsidization Subsidy_game Welfare

@@ -1,0 +1,1 @@
+lib/experiments/surplus_exp.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/verify_exp.ml: Common List Report Subsidization Theorems

@@ -1,0 +1,1 @@
+lib/experiments/verify_exp.mli: Common

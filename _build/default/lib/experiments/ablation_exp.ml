@@ -1,0 +1,65 @@
+open Subsidization
+
+(* a coarse Figure-7 row: revenue at q = 1 over a small price grid *)
+let prices = [| 0.2; 0.5; 0.8; 1.1; 1.4; 1.7; 2.0 |]
+
+let curve solve =
+  let sys = Scenario.fig7_11_system () in
+  Array.map
+    (fun p ->
+      let game = Subsidy_game.make sys ~price:p ~cap:1.0 in
+      let eq : Nash.equilibrium = solve game in
+      p *. eq.Nash.state.System.aggregate)
+    prices
+
+let max_rel_deviation reference other =
+  let worst = ref 0. in
+  Array.iteri
+    (fun k r ->
+      let d = Float.abs (other.(k) -. r) /. Float.max 1e-9 (Float.abs r) in
+      worst := Float.max !worst d)
+    reference;
+  !worst
+
+let run () : Common.outcome =
+  let reference = curve (fun g -> Nash.solve g) in
+  let variants =
+    [
+      ("jacobi scheme", curve (fun g -> Nash.solve ~scheme:Gametheory.Best_response.Jacobi g));
+      ("damping 0.5", curve (fun g -> Nash.solve ~damping:0.5 g));
+      ("loose tolerance 1e-6", curve (fun g -> Nash.solve ~tol:1e-6 g));
+      ("coarse line search (9 pts)", curve (fun g -> Nash.solve ~respond_points:9 g));
+      ("fine line search (49 pts)", curve (fun g -> Nash.solve ~respond_points:49 g));
+      ("extragradient VI solver", curve (fun g -> Nash.solve_vi ~tol:1e-9 g));
+      ("warm start from cap", curve (fun g ->
+           Nash.solve ~x0:(Numerics.Vec.make (Subsidy_game.dim g) (Subsidy_game.cap g)) g));
+    ]
+  in
+  let table = Report.Table.make ~columns:[ "solver variant"; "max relative deviation" ] in
+  Report.Table.add_row table [ "reference (defaults)"; "0" ];
+  let checks =
+    List.map
+      (fun (name, ys) ->
+        let dev = max_rel_deviation reference ys in
+        Report.Table.add_row table [ name; Printf.sprintf "%.2e" dev ];
+        Common.check
+          ~name:(Printf.sprintf "ablation.%s" name)
+          (dev < 1e-4)
+          (Printf.sprintf "revenue curve deviates by at most %.2e" dev))
+      variants
+  in
+  {
+    Common.id = "ablation";
+    title = "Solver ablation: Figure-7 revenue under perturbed numerics";
+    tables = [ ("deviations", table) ];
+    plots = [];
+    shape_checks = checks;
+  }
+
+let experiment =
+  {
+    Common.id = "ablation";
+    title = "Numerics ablation (solver-choice robustness)";
+    paper_ref = "design validation (DESIGN.md)";
+    run;
+  }

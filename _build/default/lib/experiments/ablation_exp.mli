@@ -1,0 +1,6 @@
+(** Numerics ablation: the Figure-7 revenue curve recomputed under
+    perturbed solver settings (iteration scheme, damping, tolerances,
+    line-search resolution, and the extragradient solver). The figure
+    shapes must be artifacts of the model, not of solver defaults. *)
+
+val experiment : Common.t

@@ -1,0 +1,66 @@
+open Subsidization
+
+let run () : Common.outcome =
+  let sys = Scenario.fig7_11_system () in
+  let caps = Scenario.q_levels () in
+  let unit_cost = 0.15 in
+  let pricing = Capacity.Optimal_price { p_max = 2.5 } in
+  let plans = Capacity.investment_incentive sys ~pricing ~unit_cost ~caps in
+  let table =
+    Report.Table.make
+      ~columns:[ "q"; "mu*"; "p*"; "revenue"; "cost"; "profit"; "phi"; "welfare" ]
+  in
+  Array.iteri
+    (fun i (plan : Capacity.plan) ->
+      Report.Table.add_floats table
+        [
+          caps.(i);
+          plan.Capacity.capacity;
+          plan.Capacity.price;
+          plan.Capacity.revenue;
+          plan.Capacity.cost;
+          plan.Capacity.profit;
+          plan.Capacity.utilization;
+          plan.Capacity.welfare;
+        ])
+    plans;
+  let weakly_rising extract =
+    let ok = ref true in
+    Array.iteri
+      (fun i plan -> if i > 0 && extract plan < extract plans.(i - 1) -. 1e-4 then ok := false)
+      plans;
+    !ok
+  in
+  let checks =
+    [
+      Common.check ~name:"capacity.investment-rises-with-q"
+        (weakly_rising (fun plan -> plan.Capacity.capacity))
+        "optimal capacity is (weakly) nondecreasing in the policy cap";
+      Common.check ~name:"capacity.profit-rises-with-q"
+        (weakly_rising (fun plan -> plan.Capacity.profit))
+        "ISP profit is (weakly) nondecreasing in the policy cap";
+    ]
+  in
+  let series =
+    [
+      Report.Series.make ~name:"mu*" ~xs:caps
+        ~ys:(Array.map (fun plan -> plan.Capacity.capacity) plans);
+      Report.Series.make ~name:"profit" ~xs:caps
+        ~ys:(Array.map (fun plan -> plan.Capacity.profit) plans);
+    ]
+  in
+  {
+    Common.id = "capacity";
+    title = "Optimal ISP capacity and profit per policy level (extension)";
+    tables = [ ("investment", table) ];
+    plots = [ ("mu* and profit vs q", series) ];
+    shape_checks = checks;
+  }
+
+let experiment =
+  {
+    Common.id = "capacity";
+    title = "Capacity planning under subsidization (extension)";
+    paper_ref = "Section 6 (future work)";
+    run;
+  }

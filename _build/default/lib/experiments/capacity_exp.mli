@@ -1,0 +1,6 @@
+(** Capacity-planning extension (Section 6 future work): the ISP's
+    optimal capacity and profit per policy level. Expected shape: a
+    laxer subsidization policy supports (weakly) more capacity
+    investment and higher ISP profit. *)
+
+val experiment : Common.t

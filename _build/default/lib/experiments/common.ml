@@ -1,0 +1,45 @@
+type outcome = {
+  id : string;
+  title : string;
+  tables : (string * Report.Table.t) list;
+  plots : (string * Report.Series.t list) list;
+  shape_checks : Subsidization.Theorems.check list;
+}
+
+type t = { id : string; title : string; paper_ref : string; run : unit -> outcome }
+
+let check ~name passed detail = { Subsidization.Theorems.name; passed; detail }
+
+let save (outcome : outcome) ~dir =
+  List.iter
+    (fun (name, table) ->
+      Report.Csv.write ~path:(Filename.concat (Filename.concat dir outcome.id) (name ^ ".csv")) table)
+    outcome.tables
+
+let print ?(plots = true) (outcome : outcome) =
+  Printf.printf "== %s: %s ==\n" outcome.id outcome.title;
+  List.iter
+    (fun (name, table) ->
+      Printf.printf "\n-- %s --\n%s\n" name (Report.Table.to_string table))
+    outcome.tables;
+  if plots then
+    List.iter
+      (fun (name, series) ->
+        Printf.printf "\n-- plot: %s --\n" name;
+        Report.Ascii_plot.print series)
+      outcome.plots;
+  Printf.printf "\n-- shape checks --\n";
+  List.iter
+    (fun c -> Format.printf "%a@." Subsidization.Theorems.pp_check c)
+    outcome.shape_checks;
+  let passed =
+    List.length (List.filter (fun c -> c.Subsidization.Theorems.passed) outcome.shape_checks)
+  in
+  Printf.printf "%d/%d shape checks pass\n" passed (List.length outcome.shape_checks)
+
+let shape_summary (outcome : outcome) =
+  let passed =
+    List.length (List.filter (fun c -> c.Subsidization.Theorems.passed) outcome.shape_checks)
+  in
+  Printf.sprintf "%s: %d/%d shape checks pass" outcome.id passed
+    (List.length outcome.shape_checks)

@@ -1,0 +1,32 @@
+(** Experiment plumbing: a uniform shape for every figure
+    reproduction, so the CLI, the benchmark harness and the tests all
+    drive the same code. *)
+
+type outcome = {
+  id : string;
+  title : string;
+  tables : (string * Report.Table.t) list;  (** name -> table *)
+  plots : (string * Report.Series.t list) list;  (** name -> overlaid series *)
+  shape_checks : Subsidization.Theorems.check list;
+      (** the paper's qualitative claims, verified on the fresh data *)
+}
+
+type t = {
+  id : string;  (** e.g. ["fig4"] *)
+  title : string;
+  paper_ref : string;  (** e.g. ["Figure 4, Section 3.2"] *)
+  run : unit -> outcome;
+}
+
+val check : name:string -> bool -> string -> Subsidization.Theorems.check
+(** Build a shape check. *)
+
+val save : outcome -> dir:string -> unit
+(** Write every table as [dir/<id>/<name>.csv]. *)
+
+val print : ?plots:bool -> outcome -> unit
+(** Human-readable dump: tables, optional ASCII plots, then the shape
+    checks with a pass/fail summary. *)
+
+val shape_summary : outcome -> string
+(** One line: ["fig4: 3/3 shape checks pass"]. *)

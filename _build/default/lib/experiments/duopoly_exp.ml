@@ -1,0 +1,68 @@
+open Subsidization
+
+let run () : Common.outcome =
+  let cps = Scenario.fig7_11_cps () in
+  (* split the single ISP's unit capacity across two competitors *)
+  let duopoly cap = Duopoly.make ~cps ~capacity_a:0.5 ~capacity_b:0.5 ~cap () in
+  let table =
+    Report.Table.make
+      ~columns:[ "regime"; "q"; "pA"; "pB"; "RA"; "RB"; "R total"; "welfare" ]
+  in
+  let record label cap (m : Duopoly.market) =
+    let pa, pb = m.Duopoly.prices and ra, rb = m.Duopoly.revenues in
+    Report.Table.add_row table
+      [
+        label;
+        Printf.sprintf "%g" cap;
+        Printf.sprintf "%.3f" pa;
+        Printf.sprintf "%.3f" pb;
+        Printf.sprintf "%.4f" ra;
+        Printf.sprintf "%.4f" rb;
+        Printf.sprintf "%.4f" (ra +. rb);
+        Printf.sprintf "%.4f" m.Duopoly.welfare;
+      ];
+    m
+  in
+  let mono0 = record "monopoly" 0. (Duopoly.monopoly_benchmark (duopoly 0.)) in
+  let comp0 = record "duopoly" 0. (Duopoly.price_equilibrium (duopoly 0.)) in
+  let mono1 = record "monopoly" 1. (Duopoly.monopoly_benchmark (duopoly 1.)) in
+  let comp1 = record "duopoly" 1. (Duopoly.price_equilibrium (duopoly 1.)) in
+
+  let avg_price (m : Duopoly.market) = 0.5 *. (fst m.Duopoly.prices +. snd m.Duopoly.prices) in
+  let total_rev (m : Duopoly.market) = fst m.Duopoly.revenues +. snd m.Duopoly.revenues in
+  let checks =
+    [
+      Common.check ~name:"duopoly.competition-cuts-prices-q0"
+        (avg_price comp0 < avg_price mono0 -. 1e-3)
+        (Printf.sprintf "avg duopoly price %.3f < monopoly %.3f" (avg_price comp0)
+           (avg_price mono0));
+      Common.check ~name:"duopoly.competition-raises-welfare-q0"
+        (comp0.Duopoly.welfare > mono0.Duopoly.welfare -. 1e-6)
+        "competition weakly raises welfare without subsidies";
+      Common.check ~name:"duopoly.subsidies-raise-revenues"
+        (total_rev comp1 > total_rev comp0 +. 1e-4)
+        (Printf.sprintf "deregulation lifts total duopoly revenue %.4f -> %.4f"
+           (total_rev comp0) (total_rev comp1));
+      Common.check ~name:"duopoly.subsidies-raise-welfare"
+        (comp1.Duopoly.welfare > comp0.Duopoly.welfare +. 1e-4)
+        "deregulation lifts duopoly welfare";
+      Common.check ~name:"duopoly.competition-beats-monopoly-welfare-q1"
+        (comp1.Duopoly.welfare > mono1.Duopoly.welfare -. 1e-6)
+        "with subsidies, the competitive market still dominates in welfare";
+    ]
+  in
+  {
+    Common.id = "duopoly";
+    title = "ISP competition vs monopoly, with and without subsidization";
+    tables = [ ("comparison", table) ];
+    plots = [];
+    shape_checks = checks;
+  }
+
+let experiment =
+  {
+    Common.id = "duopoly";
+    title = "Two-ISP access competition (extension)";
+    paper_ref = "Section 6 (ISP competition conjecture)";
+    run;
+  }

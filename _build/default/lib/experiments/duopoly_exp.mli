@@ -1,0 +1,6 @@
+(** Access-market competition experiment (Section 6 conjecture): a
+    two-ISP market with the paper's CP population. Competition should
+    discipline prices relative to the monopoly benchmark while
+    subsidization still raises both ISPs' revenue and system welfare. *)
+
+val experiment : Common.t

@@ -1,0 +1,6 @@
+(** Off-equilibrium dynamics experiment (Section 4.2's adjustment
+    story): discrete best-response tatonnement and the continuous
+    projected gradient flow, run on the paper's market, must settle at
+    the same equilibrium the static solver finds. *)
+
+val experiment : Common.t

@@ -1,0 +1,19 @@
+open Subsidization
+
+let cache : (int, float array * float array * Policy.point array array) Hashtbl.t =
+  Hashtbl.create 4
+
+let get ?(points = 41) () =
+  match Hashtbl.find_opt cache points with
+  | Some entry -> entry
+  | None ->
+    let sys = Scenario.fig7_11_system () in
+    let caps = Scenario.q_levels () in
+    let prices = Scenario.price_grid ~points () in
+    let sweep = Policy.policy_sweep sys ~caps ~prices in
+    let entry = (caps, prices, sweep) in
+    Hashtbl.replace cache points entry;
+    entry
+
+let cp_names () =
+  Array.map (fun cp -> cp.Econ.Cp.name) (Scenario.fig7_11_cps ())

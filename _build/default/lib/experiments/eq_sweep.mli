@@ -1,0 +1,15 @@
+(** The shared equilibrium grid behind Figures 7-11: Nash equilibria of
+    the 8-CP Section-5 population over every (policy, price) pair.
+    Computed once per grid resolution and memoized, because four figures
+    read the same sweep. *)
+
+val get :
+  ?points:int ->
+  unit ->
+  float array * float array * Subsidization.Policy.point array array
+(** [(q_levels, prices, points)] with [points.(qi).(pi)] the market
+    point at cap [q_levels.(qi)] and price [prices.(pi)].
+    [points] defaults to the standard 41-point grid. *)
+
+val cp_names : unit -> string array
+(** Panel labels in the paper's order. *)

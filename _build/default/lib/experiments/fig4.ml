@@ -1,0 +1,48 @@
+open Subsidization
+
+let series ?points () =
+  let sys = Scenario.fig45_system () in
+  let prices = Scenario.price_grid ?points () in
+  let states = Array.map (fun p -> (p, One_sided.state sys ~price:p)) prices in
+  let theta =
+    Report.Series.make ~name:"theta" ~xs:prices
+      ~ys:(Array.map (fun (_, st) -> st.System.aggregate) states)
+  in
+  let revenue =
+    Report.Series.make ~name:"revenue" ~xs:prices
+      ~ys:(Array.map (fun (p, st) -> p *. st.System.aggregate) states)
+  in
+  (theta, revenue)
+
+let run () : Common.outcome =
+  let theta, revenue = series () in
+  let table = Report.Series.to_table ~x_label:"p" [ theta; revenue ] in
+  let peak_p, peak_r = Report.Series.argmax revenue in
+  let checks =
+    [
+      Common.check ~name:"fig4.theta-decreasing"
+        (Report.Series.is_monotone_nonincreasing theta)
+        "aggregate throughput decreases with price (Theorem 2)";
+      Common.check ~name:"fig4.revenue-single-peak"
+        (Report.Series.is_single_peaked revenue)
+        (Printf.sprintf "revenue is single-peaked, max R=%.4g at p=%.3g" peak_r peak_p);
+      Common.check ~name:"fig4.revenue-interior-peak"
+        (peak_p > 0.05 && peak_p < 1.95)
+        (Printf.sprintf "the peak sits inside (0, 2), at p=%.3g" peak_p);
+    ]
+  in
+  {
+    Common.id = "fig4";
+    title = "Aggregate throughput and ISP revenue vs price (one-sided pricing)";
+    tables = [ ("theta_revenue", table) ];
+    plots = [ ("theta & revenue", [ theta; revenue ]) ];
+    shape_checks = checks;
+  }
+
+let experiment =
+  {
+    Common.id = "fig4";
+    title = "Aggregate throughput theta and ISP revenue R vs price";
+    paper_ref = "Figure 4, Section 3.2";
+    run;
+  }

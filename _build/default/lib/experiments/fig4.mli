@@ -1,0 +1,10 @@
+(** Figure 4: aggregate throughput [theta] and ISP revenue [R] as
+    functions of the uniform price [p], for the 9-CP Section-3
+    population. Expected shapes: [theta] strictly decreasing in [p];
+    [R = p theta] single-peaked. *)
+
+val experiment : Common.t
+
+val series : ?points:int -> unit -> Report.Series.t * Report.Series.t
+(** [(theta(p), revenue(p))] on the standard price grid; exposed for
+    benchmarks. *)

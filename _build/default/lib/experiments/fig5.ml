@@ -1,0 +1,55 @@
+open Subsidization
+
+let series ?points () =
+  let sys = Scenario.fig45_system () in
+  let prices = Scenario.price_grid ?points () in
+  let states = Array.map (fun p -> One_sided.state sys ~price:p) prices in
+  List.init (System.n_cps sys) (fun i ->
+      Report.Series.make ~name:sys.System.cps.(i).Econ.Cp.name ~xs:prices
+        ~ys:(Array.map (fun st -> st.System.throughputs.(i)) states))
+
+let initially_increasing s =
+  Report.Series.length s >= 3 && s.Report.Series.ys.(2) > s.Report.Series.ys.(0)
+
+let eventually_decreasing s =
+  let n = Report.Series.length s in
+  s.Report.Series.ys.(n - 1) < s.Report.Series.ys.(n - 1 - (n / 4))
+
+let run () : Common.outcome =
+  let all = series () in
+  let table = Report.Series.to_table ~x_label:"p" all in
+  let find name = List.find (fun s -> s.Report.Series.name = name) all in
+  let checks =
+    [
+      Common.check ~name:"fig5.all-eventually-decreasing"
+        (List.for_all eventually_decreasing all)
+        "every theta_i falls over the top quarter of the price range";
+      Common.check ~name:"fig5.a1b5-rises-first"
+        (initially_increasing (find "a1b5"))
+        "smallest alpha/beta ratio: throughput rises at small p";
+      Common.check ~name:"fig5.a5b1-falls-from-start"
+        (not (initially_increasing (find "a5b1")))
+        "largest alpha/beta ratio: throughput falls from the start";
+      Common.check ~name:"fig5.a1b1-dominates-a5b5"
+        (Report.Series.dominates (find "a1b1") (find "a5b5"))
+        "the least price- and congestion-sensitive CP dominates the most sensitive one";
+    ]
+  in
+  {
+    Common.id = "fig5";
+    title = "Per-CP throughput vs price (one-sided pricing, 9 CP types)";
+    tables = [ ("throughput_by_cp", table) ];
+    plots =
+      [
+        ("corner CPs", [ find "a1b1"; find "a1b5"; find "a5b1"; find "a5b5" ]);
+      ];
+    shape_checks = checks;
+  }
+
+let experiment =
+  {
+    Common.id = "fig5";
+    title = "Throughput theta_i of the 9 CP types vs price";
+    paper_ref = "Figure 5, Section 3.2";
+    run;
+  }

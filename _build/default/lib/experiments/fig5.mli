@@ -1,0 +1,9 @@
+(** Figure 5: per-CP throughput [theta_i] vs price for the 9 CP types
+    [(alpha, beta) in {1,3,5}^2]. Expected shapes: every [theta_i]
+    eventually decreases; CPs with small [alpha_i / beta_i] (price-
+    insensitive, congestion-sensitive users) rise before falling. *)
+
+val experiment : Common.t
+
+val series : ?points:int -> unit -> Report.Series.t list
+(** One series per CP, named after the CP ("a1b1" ... "a5b5"). *)

@@ -1,0 +1,87 @@
+open Subsidization
+
+let level_series ?points extract name_of =
+  let caps, prices, sweep = Eq_sweep.get ?points () in
+  Array.to_list
+    (Array.mapi
+       (fun qi cap ->
+         Report.Series.make ~name:(name_of cap) ~xs:prices
+           ~ys:(Array.map extract sweep.(qi)))
+       caps)
+
+let revenue_series ?points () =
+  level_series ?points (fun pt -> pt.Policy.revenue) (Printf.sprintf "q=%g")
+
+let welfare_series ?points () =
+  level_series ?points (fun pt -> pt.Policy.welfare) (Printf.sprintf "q=%g")
+
+let pointwise_dominance_in_q series =
+  (* each successive q level should dominate the previous one *)
+  let rec ok = function
+    | a :: (b :: _ as rest) -> Report.Series.dominates ~tol:1e-6 b a && ok rest
+    | _ -> true
+  in
+  ok series
+
+let run () : Common.outcome =
+  let revenue = revenue_series () in
+  let welfare = welfare_series () in
+  let revenue_table = Report.Series.to_table ~x_label:"p" revenue in
+  let welfare_table = Report.Series.to_table ~x_label:"p" welfare in
+  let high_q_welfare = List.nth welfare (List.length welfare - 1) in
+  let tail_decreasing s =
+    (* ignore the first tenth of the grid: W may rise briefly near p=0 *)
+    let n = Report.Series.length s in
+    let from = n / 10 in
+    let sub =
+      Report.Series.make ~name:s.Report.Series.name
+        ~xs:(Array.sub s.Report.Series.xs from (n - from))
+        ~ys:(Array.sub s.Report.Series.ys from (n - from))
+    in
+    Report.Series.is_monotone_nonincreasing ~tol:1e-6 sub
+  in
+  let checks =
+    [
+      Common.check ~name:"fig7.revenue-nondecreasing-in-q"
+        (pointwise_dominance_in_q revenue)
+        "deregulation raises ISP revenue pointwise (Corollary 1)";
+      Common.check ~name:"fig7.welfare-nondecreasing-in-q"
+        (pointwise_dominance_in_q welfare)
+        "deregulation raises system welfare pointwise";
+      Common.check ~name:"fig7.welfare-decreasing-in-p"
+        (List.for_all tail_decreasing welfare)
+        "welfare falls with the price under every policy";
+      Common.check ~name:"fig7.q0-baseline-matches-one-sided"
+        (let q0 = List.hd revenue in
+         let sys = Scenario.fig7_11_system () in
+         let direct =
+           Array.map (fun p -> One_sided.revenue sys ~price:p) q0.Report.Series.xs
+         in
+         let worst = ref 0. in
+         Array.iteri
+           (fun i r -> worst := Float.max !worst (Float.abs (r -. q0.Report.Series.ys.(i))))
+           direct;
+         !worst < 1e-8)
+        "the q=0 curve coincides with the no-subsidy one-sided model";
+      Common.check ~name:"fig7.peak-revenue-near-p1-when-q2"
+        (let peak_p, _ = Report.Series.argmax (List.nth revenue 4) in
+         peak_p > 0.5 && peak_p < 1.3)
+        "with q=2 the ISP's revenue peaks a bit below p=1 (paper's observation)";
+    ]
+  in
+  {
+    Common.id = "fig7";
+    title = "ISP revenue and system welfare vs price under 5 policy levels";
+    tables = [ ("revenue", revenue_table); ("welfare", welfare_table) ];
+    plots =
+      [ ("revenue R(p) by q", revenue); ("welfare W(p) by q", [ List.hd welfare; high_q_welfare ]) ];
+    shape_checks = checks;
+  }
+
+let experiment =
+  {
+    Common.id = "fig7";
+    title = "ISP revenue R and system welfare W vs price, per policy q";
+    paper_ref = "Figure 7, Section 5.2";
+    run;
+  }

@@ -1,0 +1,281 @@
+open Subsidization
+
+type quantity = [ `Subsidy | `Population | `Throughput | `Utility ]
+
+let extract (quantity : quantity) (pt : Policy.point) i =
+  let eq = pt.Policy.equilibrium in
+  match quantity with
+  | `Subsidy -> eq.Nash.subsidies.(i)
+  | `Population -> eq.Nash.state.System.populations.(i)
+  | `Throughput -> eq.Nash.state.System.throughputs.(i)
+  | `Utility -> eq.Nash.utilities.(i)
+
+let cp_index name =
+  let names = Eq_sweep.cp_names () in
+  let found = ref (-1) in
+  Array.iteri (fun i n -> if n = name then found := i) names;
+  if !found < 0 then raise Not_found;
+  !found
+
+let panel ?points ~quantity ~cp () =
+  let i = cp_index cp in
+  let caps, prices, sweep = Eq_sweep.get ?points () in
+  Array.to_list
+    (Array.mapi
+       (fun qi cap ->
+         Report.Series.make
+           ~name:(Printf.sprintf "q=%g" cap)
+           ~xs:prices
+           ~ys:(Array.map (fun pt -> extract quantity pt i) sweep.(qi)))
+       caps)
+
+(* Look a quantity up on the sweep grid: value for CP [cp] at cap index
+   [qi] and the price nearest [p]. *)
+let value_at ?points ~quantity ~cp ~qi ~p () =
+  let i = cp_index cp in
+  let _, prices, sweep = Eq_sweep.get ?points () in
+  let pi = ref 0 in
+  Array.iteri
+    (fun k x -> if Float.abs (x -. p) < Float.abs (prices.(!pi) -. p) then pi := k)
+    prices;
+  extract quantity sweep.(qi).(!pi) i
+
+let tables quantity =
+  let names = Eq_sweep.cp_names () in
+  Array.to_list
+    (Array.map
+       (fun name ->
+         let series = panel ~quantity ~cp:name () in
+         (name, Report.Series.to_table ~x_label:"p" series))
+       names)
+
+let pointwise_le ?(tol = 1e-6) a b = Report.Series.dominates ~tol b a
+
+let counterpart_pairs =
+  (* (lower, higher) expected order by profitability v at equal (alpha, beta) *)
+  [
+    ("a2b2v0.5", "a2b2v1");
+    ("a2b5v0.5", "a2b5v1");
+    ("a5b2v0.5", "a5b2v1");
+    ("a5b5v0.5", "a5b5v1");
+  ]
+
+let q_top = 4 (* index of q = 2.0 *)
+
+let series_at quantity cp qi =
+  let all = panel ~quantity ~cp () in
+  List.nth all qi
+
+(* ------------------------------------------------------------------ *)
+
+let fig8_run () : Common.outcome =
+  let checks =
+    List.concat
+      [
+        List.map
+          (fun (lo, hi) ->
+            Common.check
+              ~name:(Printf.sprintf "fig8.value-effect.%s<=%s" lo hi)
+              (pointwise_le (series_at `Subsidy lo q_top) (series_at `Subsidy hi q_top))
+              "profitable CPs subsidize (weakly) more (Theorem 5)")
+          counterpart_pairs;
+        [
+          Common.check ~name:"fig8.demand-elasticity-effect"
+            (pointwise_le
+               (series_at `Subsidy "a2b2v1" q_top)
+               (series_at `Subsidy "a5b2v1" q_top))
+            "CPs with price-elastic users subsidize more";
+          Common.check ~name:"fig8.capped-at-small-p"
+            (let v = value_at ~quantity:`Subsidy ~cp:"a5b2v1" ~qi:1 ~p:0.3 () in
+             Float.abs (v -. 0.5) < 1e-6)
+            "with a tight cap and small price, strong CPs subsidize at the cap";
+          Common.check ~name:"fig8.zero-when-banned"
+            (let s = series_at `Subsidy "a5b2v1" 0 in
+             Array.for_all (fun y -> y = 0.) s.Report.Series.ys)
+            "q=0 forces zero subsidies";
+        ];
+      ]
+  in
+  {
+    Common.id = "fig8";
+    title = "Equilibrium subsidies s_i vs price, per CP type and policy";
+    tables = tables `Subsidy;
+    plots =
+      [
+        ("s(p) for a5b2v1 by q", panel ~quantity:`Subsidy ~cp:"a5b2v1" ());
+        ("s(p) for a2b2v0.5 by q", panel ~quantity:`Subsidy ~cp:"a2b2v0.5" ());
+      ];
+    shape_checks = checks;
+  }
+
+let fig9_run () : Common.outcome =
+  let names = Array.to_list (Eq_sweep.cp_names ()) in
+  let monotone_in_p =
+    List.for_all
+      (fun cp ->
+        Report.Series.is_monotone_nonincreasing ~tol:1e-6 (series_at `Population cp q_top))
+      names
+  in
+  let higher_q_higher_m =
+    List.for_all
+      (fun cp ->
+        pointwise_le (series_at `Population cp 0) (series_at `Population cp q_top))
+      names
+  in
+  let steeper_for_elastic =
+    let drop cp =
+      let s = series_at `Population cp 0 in
+      let n = Report.Series.length s in
+      s.Report.Series.ys.(n - 1) /. s.Report.Series.ys.(0)
+    in
+    drop "a5b2v1" < drop "a2b2v1"
+  in
+  let checks =
+    [
+      Common.check ~name:"fig9.population-decreasing-in-p" monotone_in_p
+        "user populations fall with the price (Assumption 2)";
+      Common.check ~name:"fig9.deregulation-raises-population" higher_q_higher_m
+        "a laxer policy yields (weakly) larger populations for every CP";
+      Common.check ~name:"fig9.elastic-users-drop-steeper" steeper_for_elastic
+        "alpha=5 populations decay faster in p than alpha=2";
+    ]
+  in
+  {
+    Common.id = "fig9";
+    title = "Equilibrium user populations m_i vs price, per CP type and policy";
+    tables = tables `Population;
+    plots = [ ("m(p) for a5b2v1 by q", panel ~quantity:`Population ~cp:"a5b2v1" ()) ];
+    shape_checks = checks;
+  }
+
+let fig10_run () : Common.outcome =
+  let value_effect =
+    List.for_all
+      (fun (lo, hi) ->
+        pointwise_le ~tol:1e-4 (series_at `Throughput lo q_top) (series_at `Throughput hi q_top))
+      counterpart_pairs
+  in
+  let congestion_effect =
+    pointwise_le ~tol:1e-4 (series_at `Throughput "a2b5v1" q_top)
+      (series_at `Throughput "a2b2v1" q_top)
+  in
+  let exception_2_5_1 =
+    (* the paper's one exception: the congestion-sensitive high-value CP
+       loses throughput under deregulation at small p *)
+    let banned = value_at ~quantity:`Throughput ~cp:"a2b5v1" ~qi:0 ~p:0.15 () in
+    let dereg = value_at ~quantity:`Throughput ~cp:"a2b5v1" ~qi:q_top ~p:0.15 () in
+    dereg < banned
+  in
+  let high_value_gains =
+    (* at moderate prices, the other high-value CPs gain from deregulation *)
+    List.for_all
+      (fun cp ->
+        value_at ~quantity:`Throughput ~cp ~qi:q_top ~p:1.0 ()
+        >= value_at ~quantity:`Throughput ~cp ~qi:0 ~p:1.0 () -. 1e-6)
+      [ "a2b2v1"; "a5b2v1"; "a5b5v1" ]
+  in
+  let checks =
+    [
+      Common.check ~name:"fig10.value-effect" value_effect
+        "higher-profitability CPs achieve (weakly) higher throughput";
+      Common.check ~name:"fig10.congestion-effect" congestion_effect
+        "lower congestion elasticity yields higher throughput";
+      Common.check ~name:"fig10.exception-a2b5v1" exception_2_5_1
+        "the (2,5,1) CP loses throughput under deregulation at small p";
+      Common.check ~name:"fig10.high-value-gains" high_value_gains
+        "other high-value CPs gain throughput from deregulation at p=1";
+    ]
+  in
+  {
+    Common.id = "fig10";
+    title = "Equilibrium throughput theta_i vs price, per CP type and policy";
+    tables = tables `Throughput;
+    plots = [ ("theta(p) for a2b5v1 by q", panel ~quantity:`Throughput ~cp:"a2b5v1" ()) ];
+    shape_checks = checks;
+  }
+
+let fig11_run () : Common.outcome =
+  let winners_gain =
+    (* high demand elasticity and value: utility rises with deregulation *)
+    List.for_all
+      (fun p ->
+        value_at ~quantity:`Utility ~cp:"a5b2v1" ~qi:q_top ~p ()
+        >= value_at ~quantity:`Utility ~cp:"a5b2v1" ~qi:0 ~p () -. 1e-6)
+      [ 0.75; 1.0; 1.25 ]
+  in
+  let losers_lose =
+    (* low demand elasticity, high congestion elasticity: utility falls *)
+    List.exists
+      (fun p ->
+        value_at ~quantity:`Utility ~cp:"a2b5v0.5" ~qi:q_top ~p ()
+        < value_at ~quantity:`Utility ~cp:"a2b5v0.5" ~qi:0 ~p ())
+      [ 0.25; 0.5; 0.75; 1.0 ]
+  in
+  let utility_tracks_throughput =
+    (* U_i = (v_i - s_i) theta_i: for the q=0 row, U = v * theta exactly *)
+    let names = Array.to_list (Eq_sweep.cp_names ()) in
+    let cps = Scenario.fig7_11_cps () in
+    List.for_all
+      (fun cp ->
+        let i = cp_index cp in
+        let u = series_at `Utility cp 0 in
+        let th = series_at `Throughput cp 0 in
+        let worst = ref 0. in
+        Array.iteri
+          (fun k y ->
+            worst :=
+              Float.max !worst
+                (Float.abs (y -. (cps.(i).Econ.Cp.value *. th.Report.Series.ys.(k)))))
+          u.Report.Series.ys;
+        !worst < 1e-9)
+      names
+  in
+  let checks =
+    [
+      Common.check ~name:"fig11.winners" winners_gain
+        "alpha=5, v=1 CPs gain utility under deregulation";
+      Common.check ~name:"fig11.losers" losers_lose
+        "alpha=2, beta=5 CPs lose utility under deregulation somewhere";
+      Common.check ~name:"fig11.identity-at-q0" utility_tracks_throughput
+        "U_i = v_i theta_i holds exactly when subsidies are banned";
+    ]
+  in
+  {
+    Common.id = "fig11";
+    title = "Equilibrium utilities U_i vs price, per CP type and policy";
+    tables = tables `Utility;
+    plots = [ ("U(p) for a5b2v1 by q", panel ~quantity:`Utility ~cp:"a5b2v1" ()) ];
+    shape_checks = checks;
+  }
+
+let fig8 =
+  {
+    Common.id = "fig8";
+    title = "Equilibrium subsidies s_i per CP type";
+    paper_ref = "Figure 8, Section 5.2";
+    run = fig8_run;
+  }
+
+let fig9 =
+  {
+    Common.id = "fig9";
+    title = "Equilibrium user populations m_i per CP type";
+    paper_ref = "Figure 9, Section 5.2";
+    run = fig9_run;
+  }
+
+let fig10 =
+  {
+    Common.id = "fig10";
+    title = "Equilibrium throughput theta_i per CP type";
+    paper_ref = "Figure 10, Section 5.2";
+    run = fig10_run;
+  }
+
+let fig11 =
+  {
+    Common.id = "fig11";
+    title = "Equilibrium utilities U_i per CP type";
+    paper_ref = "Figure 11, Section 5.2";
+    run = fig11_run;
+  }

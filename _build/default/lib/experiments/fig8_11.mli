@@ -1,0 +1,28 @@
+(** Figures 8-11: per-CP equilibrium quantities vs price, one curve per
+    policy level, 8 panels (one per CP type of the Section-5
+    population).
+
+    - Figure 8: equilibrium subsidies [s_i]
+    - Figure 9: user populations [m_i]
+    - Figure 10: throughput [theta_i]
+    - Figure 11: utilities [U_i]
+
+    All four figures read the one memoized equilibrium sweep. *)
+
+val fig8 : Common.t
+
+val fig9 : Common.t
+
+val fig10 : Common.t
+
+val fig11 : Common.t
+
+val panel :
+  ?points:int ->
+  quantity:[ `Subsidy | `Population | `Throughput | `Utility ] ->
+  cp:string ->
+  unit ->
+  Report.Series.t list
+(** The curves of one panel (one series per policy level), e.g.
+    [panel ~quantity:`Subsidy ~cp:"a5b2v1" ()]. Raises [Not_found] for
+    an unknown CP name. *)

@@ -1,0 +1,7 @@
+(** Long-run investment experiment: the paper's answer to the
+    "subsidization congests the network" objection. Under deregulation
+    the ISP's reinvested margins expand capacity until even the
+    initially-harmed congestion-sensitive CPs end up better off than
+    under the ban. *)
+
+val experiment : Common.t

@@ -1,0 +1,55 @@
+let parse_float ~path field cell =
+  match float_of_string_opt (String.trim cell) with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: bad %s value %S" path field cell)
+
+let cps_of_rows ~path rows =
+  match rows with
+  | [] | [ _ ] -> failwith (path ^ ": no CP rows")
+  | header :: rows ->
+    let expected = [ "name"; "alpha"; "beta"; "value" ] in
+    let prefix = List.filteri (fun i _ -> i < 4) (List.map String.trim header) in
+    if prefix <> expected then
+      failwith
+        (Printf.sprintf "%s: header must start with %s" path (String.concat "," expected));
+    List.map
+      (fun row ->
+        match row with
+        | name :: alpha :: beta :: value :: rest ->
+          let opt k field = List.nth_opt rest k |> Option.map (parse_float ~path field) in
+          Econ.Cp.exponential ~name:(String.trim name) ?m0:(opt 0 "m0") ?l0:(opt 1 "l0")
+            ~alpha:(parse_float ~path "alpha" alpha)
+            ~beta:(parse_float ~path "beta" beta)
+            ~value:(parse_float ~path "value" value)
+            ()
+        | _ -> failwith (path ^ ": row with fewer than 4 cells"))
+      rows
+    |> Array.of_list
+
+let cps_of_string ~path text = cps_of_rows ~path (Report.Csv.parse_string text)
+
+let cps_of_csv path = cps_of_rows ~path (Report.Csv.read ~path)
+
+let write_cps ~path cps =
+  let table = Report.Table.make ~columns:[ "name"; "alpha"; "beta"; "value"; "m0"; "l0" ] in
+  Array.iter
+    (fun cp ->
+      match
+        (Econ.Demand.spec cp.Econ.Cp.demand, Econ.Throughput.spec cp.Econ.Cp.throughput)
+      with
+      | ( Econ.Demand.Exponential { m0; alpha },
+          Econ.Throughput.Exponential { l0; beta } ) ->
+        Report.Table.add_row table
+          [
+            cp.Econ.Cp.name;
+            Printf.sprintf "%.17g" alpha;
+            Printf.sprintf "%.17g" beta;
+            Printf.sprintf "%.17g" cp.Econ.Cp.value;
+            Printf.sprintf "%.17g" m0;
+            Printf.sprintf "%.17g" l0;
+          ]
+      | _, _ ->
+        invalid_arg
+          (Printf.sprintf "Market_io.write_cps: %s is not exponential" cp.Econ.Cp.name))
+    cps;
+  Report.Csv.write ~path table

@@ -1,0 +1,17 @@
+(** Loading CP populations from CSV files.
+
+    Format: a header `name,alpha,beta,value[,m0,l0]` followed by one row
+    per CP; all CPs use the paper's exponential families (exactly what
+    {!Econ.Calibrate} produces from market data). *)
+
+val cps_of_csv : string -> Econ.Cp.t array
+(** Raises [Failure] with a file-and-field message on malformed input,
+    [Sys_error] if the file cannot be read. *)
+
+val cps_of_string : path:string -> string -> Econ.Cp.t array
+(** Same, from CSV text already in memory ([path] only labels
+    errors). *)
+
+val write_cps : path:string -> Econ.Cp.t array -> unit
+(** Write exponential-family CPs back out in the same format. Raises
+    [Invalid_argument] if a CP uses a non-exponential family. *)

@@ -1,0 +1,29 @@
+let all =
+  [
+    Fig4.experiment;
+    Fig5.experiment;
+    Fig7.experiment;
+    Fig8_11.fig8;
+    Fig8_11.fig9;
+    Fig8_11.fig10;
+    Fig8_11.fig11;
+    Verify_exp.experiment;
+    Capacity_exp.experiment;
+    Dynamics_exp.experiment;
+    Duopoly_exp.experiment;
+    Robustness_exp.experiment;
+    Ablation_exp.experiment;
+    Longrun_exp.experiment;
+    Surplus_exp.experiment;
+  ]
+
+let ids = List.map (fun e -> e.Common.id) all
+
+let find id = List.find_opt (fun e -> e.Common.id = id) all
+
+let find_exn id =
+  match find id with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown experiment %S (known: %s)" id (String.concat ", " ids))

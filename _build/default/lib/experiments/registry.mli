@@ -1,0 +1,14 @@
+(** The experiment registry: every figure reproduction plus the
+    verification and extension experiments, addressable by id. *)
+
+val all : Common.t list
+(** In paper order: fig4, fig5, fig7, fig8, fig9, fig10, fig11,
+    verify, capacity, dynamics, duopoly, robustness, ablation,
+    longrun, surplus. *)
+
+val ids : string list
+
+val find : string -> Common.t option
+
+val find_exn : string -> Common.t
+(** Raises [Invalid_argument] with the known ids on a miss. *)

@@ -1,0 +1,6 @@
+(** Monte-Carlo robustness: the paper's qualitative claims, re-checked
+    on randomized CP populations instead of the styled 8-type market.
+    Reports the fraction of sampled markets on which each property
+    holds. *)
+
+val experiment : Common.t

@@ -1,0 +1,70 @@
+open Subsidization
+
+let run () : Common.outcome =
+  let sys = Scenario.fig7_11_system () in
+  let price = 0.8 in
+  let caps = Scenario.q_levels () in
+  let rows =
+    Array.map
+      (fun cap ->
+        let game = Subsidy_game.make sys ~price ~cap in
+        let eq = Nash.solve game in
+        let cp_gross = Welfare.of_equilibrium game eq in
+        let cp_net = Numerics.Vec.sum eq.Nash.utilities in
+        let isp = Revenue.at_equilibrium game eq in
+        let cs = Welfare.consumer_surplus sys eq.Nash.state in
+        (cap, cp_gross, cp_net, isp, cs, cp_net +. isp +. cs))
+      caps
+  in
+  let table =
+    Report.Table.make
+      ~columns:
+        [ "q"; "CP gross profit W"; "CP net profit"; "ISP revenue"; "consumer surplus"; "total surplus" ]
+  in
+  Array.iter
+    (fun (q, w, net, isp, cs, total) ->
+      Report.Table.add_floats ~precision:4 table [ q; w; net; isp; cs; total ])
+    rows;
+  let extract f = Array.map f rows in
+  let nondecreasing xs =
+    let ok = ref true in
+    Array.iteri (fun k x -> if k > 0 && x < xs.(k - 1) -. 1e-7 then ok := false) xs;
+    !ok
+  in
+  let checks =
+    [
+      Common.check ~name:"surplus.gross-welfare-monotone"
+        (nondecreasing (extract (fun (_, w, _, _, _, _) -> w)))
+        "the paper's welfare metric rises with q (Corollary 1 regime)";
+      Common.check ~name:"surplus.isp-monotone"
+        (nondecreasing (extract (fun (_, _, _, isp, _, _) -> isp)))
+        "ISP revenue rises with q";
+      Common.check ~name:"surplus.consumers-monotone"
+        (nondecreasing (extract (fun (_, _, _, _, cs, _) -> cs)))
+        "consumer surplus rises with q (cheaper effective charges)";
+      Common.check ~name:"surplus.total-monotone"
+        (nondecreasing (extract (fun (_, _, _, _, _, t) -> t)))
+        "total surplus rises with q";
+      Common.check ~name:"surplus.accounting"
+        (Array.for_all
+           (fun (_, _, net, isp, cs, total) ->
+             Float.abs (total -. (net +. isp +. cs)) < 1e-9)
+           rows)
+        "total = CP net + ISP + consumers (transfers cancel)";
+    ]
+  in
+  {
+    Common.id = "surplus";
+    title = "Who gains from deregulation: surplus decomposition at p=0.8";
+    tables = [ ("decomposition", table) ];
+    plots = [];
+    shape_checks = checks;
+  }
+
+let experiment =
+  {
+    Common.id = "surplus";
+    title = "Surplus decomposition across policy levels (extension)";
+    paper_ref = "Section 5.2 welfare discussion";
+    run;
+  }

@@ -1,0 +1,6 @@
+(** Welfare decomposition: CP gross profit (the paper's welfare metric),
+    ISP revenue and consumer surplus, per policy level. Shows where the
+    deregulation gains land — every constituency weakly benefits at a
+    fixed price. *)
+
+val experiment : Common.t

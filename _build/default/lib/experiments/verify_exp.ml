@@ -1,0 +1,29 @@
+open Subsidization
+
+let run () : Common.outcome =
+  let checks = Theorems.run_paper_suite () in
+  let table = Report.Table.make ~columns:[ "check"; "status"; "detail" ] in
+  List.iter
+    (fun c ->
+      Report.Table.add_row table
+        [
+          c.Theorems.name;
+          (if c.Theorems.passed then "ok" else "FAIL");
+          c.Theorems.detail;
+        ])
+    checks;
+  {
+    Common.id = "verify";
+    title = "Numeric verification of Lemmas 1-3, Theorems 1-8, Corollaries 1-2";
+    tables = [ ("checks", table) ];
+    plots = [];
+    shape_checks = checks;
+  }
+
+let experiment =
+  {
+    Common.id = "verify";
+    title = "Theorem verification suite";
+    paper_ref = "all formal results";
+    run;
+  }

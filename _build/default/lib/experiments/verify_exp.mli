@@ -1,0 +1,4 @@
+(** The theorem-verification experiment: every Theorems check run on
+    the paper's scenarios, rendered as a table. *)
+
+val experiment : Common.t

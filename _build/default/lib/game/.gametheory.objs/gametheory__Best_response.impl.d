@@ -1,0 +1,1 @@
+lib/game/best_response.ml: Array Box Grid List Numerics Optimize Rootfind Stdlib Vec

@@ -1,0 +1,1 @@
+lib/game/best_response.mli: Box Numerics

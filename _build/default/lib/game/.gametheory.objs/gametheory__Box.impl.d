@@ -1,0 +1,1 @@
+lib/game/box.ml: Array Float Numerics Printf Rng Vec

@@ -1,0 +1,1 @@
+lib/game/gradient_dynamics.ml: Box Float Numerics Ode Vec Vi

@@ -1,0 +1,1 @@
+lib/game/gradient_dynamics.mli: Box Numerics

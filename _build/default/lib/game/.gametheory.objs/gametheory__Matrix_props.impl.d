@@ -1,0 +1,1 @@
+lib/game/matrix_props.ml: Array Eigen Float Linalg List Mat Numerics

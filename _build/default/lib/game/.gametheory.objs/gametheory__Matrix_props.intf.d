@@ -1,0 +1,1 @@
+lib/game/matrix_props.mli: Numerics

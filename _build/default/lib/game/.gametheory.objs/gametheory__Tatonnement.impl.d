@@ -1,0 +1,1 @@
+lib/game/tatonnement.ml: Array Best_response Box List Numerics Stdlib Vec

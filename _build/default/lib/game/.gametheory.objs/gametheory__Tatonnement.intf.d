@@ -1,0 +1,1 @@
+lib/game/tatonnement.mli: Best_response Numerics

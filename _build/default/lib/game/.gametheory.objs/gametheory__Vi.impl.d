@@ -1,0 +1,1 @@
+lib/game/vi.ml: Array Box Fixedpoint Float Numerics Vec

@@ -1,0 +1,1 @@
+lib/game/vi.mli: Box Numerics

@@ -1,0 +1,110 @@
+open Numerics
+
+type game = {
+  box : Box.t;
+  payoff : int -> Vec.t -> float;
+  marginal : (int -> Vec.t -> float) option;
+  respond_points : int;
+}
+
+type scheme = Gauss_seidel | Jacobi
+
+type outcome = {
+  profile : Vec.t;
+  sweeps : int;
+  last_move : float;
+  converged : bool;
+}
+
+let make ?marginal ?(respond_points = 25) ~box ~payoff () =
+  if respond_points < 5 then invalid_arg "Best_response.make: respond_points < 5";
+  { box; payoff; marginal; respond_points }
+
+let with_coord s i si =
+  let s' = Vec.copy s in
+  s'.(i) <- si;
+  s'
+
+(* Best reply via first-order sign scan: the box ends plus every root of
+   the marginal payoff are stationary candidates. *)
+let respond_with_marginal game marginal i s =
+  let lo = Box.lo_i game.box i and hi = Box.hi_i game.box i in
+  if lo = hi then lo
+  else begin
+    let u si = marginal i (with_coord s i si) in
+    let grid = Grid.linspace lo hi (Stdlib.max 5 (game.respond_points / 2)) in
+    let values = Array.map u grid in
+    let candidates = ref [ lo; hi ] in
+    for k = 0 to Array.length grid - 2 do
+      let a = values.(k) and b = values.(k + 1) in
+      if a = 0. then candidates := grid.(k) :: !candidates
+      else if a *. b < 0. then begin
+        let r = Rootfind.brent u ~lo:grid.(k) ~hi:grid.(k + 1) in
+        candidates := r.Rootfind.root :: !candidates
+      end
+    done;
+    let payoff si = game.payoff i (with_coord s i si) in
+    let best = ref lo and best_val = ref neg_infinity in
+    List.iter
+      (fun c ->
+        let v = payoff c in
+        if v > !best_val then begin
+          best_val := v;
+          best := c
+        end)
+      !candidates;
+    !best
+  end
+
+let respond_derivative_free game i s =
+  let lo = Box.lo_i game.box i and hi = Box.hi_i game.box i in
+  if lo = hi then lo
+  else begin
+    let payoff si = game.payoff i (with_coord s i si) in
+    let r = Optimize.grid_then_golden ~points:game.respond_points payoff ~lo ~hi in
+    r.Optimize.x
+  end
+
+let respond game i s =
+  match game.marginal with
+  | Some marginal -> respond_with_marginal game marginal i s
+  | None -> respond_derivative_free game i s
+
+let solve ?(scheme = Gauss_seidel) ?(damping = 1.) ?(tol = 1e-10) ?(max_sweeps = 500)
+    game ~x0 =
+  if damping <= 0. || damping > 1. then
+    invalid_arg "Best_response.solve: damping must lie in (0, 1]";
+  let n = Box.dim game.box in
+  if Vec.dim x0 <> n then invalid_arg "Best_response.solve: profile dimension mismatch";
+  let s = ref (Box.project game.box x0) in
+  let sweep () =
+    let base = Vec.copy !s in
+    let next = Vec.copy !s in
+    for i = 0 to n - 1 do
+      let current = match scheme with Gauss_seidel -> next | Jacobi -> base in
+      let reply = respond game i current in
+      next.(i) <- ((1. -. damping) *. current.(i)) +. (damping *. reply)
+    done;
+    let moved = Vec.dist_inf next !s in
+    s := next;
+    moved
+  in
+  let rec loop k =
+    let moved = sweep () in
+    if moved <= tol then { profile = !s; sweeps = k; last_move = moved; converged = true }
+    else if k >= max_sweeps then
+      { profile = !s; sweeps = k; last_move = moved; converged = false }
+    else loop (k + 1)
+  in
+  loop 1
+
+let solve_multistart ?scheme ?damping ?tol ?max_sweeps ?(starts = 5) rng game =
+  if starts < 1 then invalid_arg "Best_response.solve_multistart: starts must be positive";
+  let fixed = [ Box.center game.box; Box.lo game.box; Box.hi game.box ] in
+  let extra = List.init (Stdlib.max 0 (starts - 3)) (fun _ -> Box.random_point rng game.box) in
+  let points =
+    match List.filteri (fun k _ -> k < starts) (fixed @ extra) with
+    | [] -> [ Box.center game.box ]
+    | pts -> pts
+  in
+  List.map (fun x0 -> solve ?scheme ?damping ?tol ?max_sweeps game ~x0) points

@@ -1,0 +1,66 @@
+(** Best-response machinery for continuous games on boxes.
+
+    A game is described by per-player payoffs [payoff i s] (player [i]'s
+    utility under the full strategy profile [s]) plus, optionally, the
+    analytic marginal payoff [d payoff_i / d s_i]. When the marginal is
+    available, best responses are computed from first-order sign
+    changes — far more accurate than derivative-free search. *)
+
+type game = {
+  box : Box.t;
+  payoff : int -> Numerics.Vec.t -> float;
+  marginal : (int -> Numerics.Vec.t -> float) option;
+  respond_points : int;
+      (** resolution of the line search / first-order scan in {!respond}
+          (default 25; the marginal-based scan uses half of it) *)
+}
+
+type scheme =
+  | Gauss_seidel  (** players update sequentially within a sweep *)
+  | Jacobi  (** players update simultaneously from the sweep's start profile *)
+
+type outcome = {
+  profile : Numerics.Vec.t;
+  sweeps : int;
+  last_move : float;  (** sup-norm displacement of the final sweep *)
+  converged : bool;
+}
+
+val make :
+  ?marginal:(int -> Numerics.Vec.t -> float) ->
+  ?respond_points:int ->
+  box:Box.t ->
+  payoff:(int -> Numerics.Vec.t -> float) ->
+  unit ->
+  game
+
+val respond : game -> int -> Numerics.Vec.t -> float
+(** Player [i]'s best reply to the profile (its own coordinate is
+    ignored). Candidates are the box endpoints plus all first-order
+    roots; the payoff-maximizing candidate wins. *)
+
+val solve :
+  ?scheme:scheme ->
+  ?damping:float ->
+  ?tol:float ->
+  ?max_sweeps:int ->
+  game ->
+  x0:Numerics.Vec.t ->
+  outcome
+(** Iterated best response from [x0]. [damping in (0, 1]] blends the
+    reply with the current strategy (default 1, undamped);
+    [tol] (default [1e-10]) bounds the final sweep displacement.
+    Unconverged runs are returned with [converged = false] rather than
+    raised, so callers can inspect the trajectory endpoint. *)
+
+val solve_multistart :
+  ?scheme:scheme ->
+  ?damping:float ->
+  ?tol:float ->
+  ?max_sweeps:int ->
+  ?starts:int ->
+  Numerics.Rng.t ->
+  game ->
+  outcome list
+(** [solve] from the box center, both corners and [starts - 3] random
+    points; useful for probing uniqueness. *)

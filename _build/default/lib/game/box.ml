@@ -1,0 +1,48 @@
+open Numerics
+
+type t = { lo : Vec.t; hi : Vec.t }
+
+let make ~lo ~hi =
+  if Vec.dim lo <> Vec.dim hi then invalid_arg "Box.make: dimension mismatch";
+  Array.iteri
+    (fun i l ->
+      if l > hi.(i) then
+        invalid_arg (Printf.sprintf "Box.make: lo.(%d)=%g > hi.(%d)=%g" i l i hi.(i)))
+    lo;
+  { lo = Vec.copy lo; hi = Vec.copy hi }
+
+let uniform ~dim ~lo ~hi =
+  if dim <= 0 then invalid_arg "Box.uniform: dimension must be positive";
+  make ~lo:(Vec.make dim lo) ~hi:(Vec.make dim hi)
+
+let dim b = Vec.dim b.lo
+let lo b = Vec.copy b.lo
+let hi b = Vec.copy b.hi
+let lo_i b i = b.lo.(i)
+let hi_i b i = b.hi.(i)
+
+let contains ?(tol = 0.) b x =
+  Vec.dim x = dim b
+  && Array.for_all (fun ok -> ok)
+       (Array.init (dim b) (fun i -> x.(i) >= b.lo.(i) -. tol && x.(i) <= b.hi.(i) +. tol))
+
+let project b x =
+  if Vec.dim x <> dim b then invalid_arg "Box.project: dimension mismatch";
+  Vec.init (dim b) (fun i -> Float.min b.hi.(i) (Float.max b.lo.(i) x.(i)))
+
+let center b = Vec.init (dim b) (fun i -> 0.5 *. (b.lo.(i) +. b.hi.(i)))
+
+let random_point rng b =
+  Vec.init (dim b) (fun i ->
+      if b.lo.(i) = b.hi.(i) then b.lo.(i)
+      else Rng.uniform rng ~lo:b.lo.(i) ~hi:b.hi.(i))
+
+let on_lower ?(tol = 1e-9) b x i = x.(i) <= b.lo.(i) +. tol
+let on_upper ?(tol = 1e-9) b x i = x.(i) >= b.hi.(i) -. tol
+
+let interior_coords ?(tol = 1e-9) b x =
+  let idx = ref [] in
+  for i = dim b - 1 downto 0 do
+    if (not (on_lower ~tol b x i)) && not (on_upper ~tol b x i) then idx := i :: !idx
+  done;
+  Array.of_list !idx

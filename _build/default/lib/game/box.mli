@@ -1,0 +1,40 @@
+(** Box-shaped strategy spaces [prod_i [lo_i, hi_i]].
+
+    The subsidization game plays on the uniform box [[0, q]^n], but the
+    machinery is generic. *)
+
+type t
+
+val make : lo:Numerics.Vec.t -> hi:Numerics.Vec.t -> t
+(** Raises [Invalid_argument] unless [lo] and [hi] have equal dimension
+    and [lo_i <= hi_i] for every coordinate. *)
+
+val uniform : dim:int -> lo:float -> hi:float -> t
+
+val dim : t -> int
+
+val lo : t -> Numerics.Vec.t
+
+val hi : t -> Numerics.Vec.t
+
+val lo_i : t -> int -> float
+
+val hi_i : t -> int -> float
+
+val contains : ?tol:float -> t -> Numerics.Vec.t -> bool
+
+val project : t -> Numerics.Vec.t -> Numerics.Vec.t
+(** Euclidean projection (coordinate-wise clamp). *)
+
+val center : t -> Numerics.Vec.t
+
+val random_point : Numerics.Rng.t -> t -> Numerics.Vec.t
+
+val on_lower : ?tol:float -> t -> Numerics.Vec.t -> int -> bool
+(** Whether coordinate [i] sits on its lower bound (within [tol],
+    default [1e-9]). *)
+
+val on_upper : ?tol:float -> t -> Numerics.Vec.t -> int -> bool
+
+val interior_coords : ?tol:float -> t -> Numerics.Vec.t -> int array
+(** Indices strictly inside their interval, in increasing order. *)

@@ -1,0 +1,84 @@
+open Numerics
+
+type step = { index : int; profile : Vec.t; move : float }
+
+type trace = { steps : step list; converged : bool }
+
+let run ?(scheme = Best_response.Gauss_seidel) ?(damping = 1.) ?(tol = 1e-10)
+    ?(max_sweeps = 500) game ~x0 =
+  if damping <= 0. || damping > 1. then
+    invalid_arg "Tatonnement.run: damping must lie in (0, 1]";
+  let n = Box.dim game.Best_response.box in
+  if Vec.dim x0 <> n then invalid_arg "Tatonnement.run: profile dimension mismatch";
+  let s = ref (Box.project game.Best_response.box x0) in
+  let steps = ref [ { index = 0; profile = Vec.copy !s; move = infinity } ] in
+  let sweep () =
+    let base = Vec.copy !s in
+    let next = Vec.copy !s in
+    for i = 0 to n - 1 do
+      let current =
+        match scheme with Best_response.Gauss_seidel -> next | Best_response.Jacobi -> base
+      in
+      let reply = Best_response.respond game i current in
+      next.(i) <- ((1. -. damping) *. current.(i)) +. (damping *. reply)
+    done;
+    let moved = Vec.dist_inf next !s in
+    s := next;
+    moved
+  in
+  let rec loop k =
+    let moved = sweep () in
+    steps := { index = k; profile = Vec.copy !s; move = moved } :: !steps;
+    if moved <= tol then true
+    else if k >= max_sweeps then false
+    else loop (k + 1)
+  in
+  let converged = loop 1 in
+  { steps = List.rev !steps; converged }
+
+let final t =
+  match List.rev t.steps with
+  | last :: _ -> last.profile
+  | [] -> invalid_arg "Tatonnement.final: empty trace"
+
+let contraction_estimate t =
+  let moves =
+    List.filter_map (fun s -> if s.index > 0 then Some s.move else None) t.steps
+  in
+  if List.length moves < 4 then None
+  else begin
+    let rec ratios = function
+      | a :: (b :: _ as rest) when a > 0. -> (b /. a) :: ratios rest
+      | _ :: rest -> ratios rest
+      | [] -> []
+    in
+    match ratios moves with
+    | [] -> None
+    | rs ->
+      let positive = List.filter (fun r -> r > 0.) rs in
+      if positive = [] then None
+      else
+        Some
+          (exp
+             (List.fold_left (fun acc r -> acc +. log r) 0. positive
+             /. float_of_int (List.length positive)))
+  end
+
+let oscillation_detected ?(tol = 1e-8) t =
+  if t.converged then false
+  else begin
+    let profiles = List.map (fun s -> s.profile) t.steps in
+    let arr = Array.of_list profiles in
+    let n = Array.length arr in
+    (* look for a revisit among the last few profiles *)
+    let window = Stdlib.min n 12 in
+    let found = ref false in
+    for i = n - window to n - 1 do
+      for j = i + 2 to n - 1 do
+        if i >= 0 && j < n && Vec.dist_inf arr.(i) arr.(j) <= tol
+           && Vec.dist_inf arr.(j - 1) arr.(j) > tol
+        then found := true
+      done
+    done;
+    !found
+  end

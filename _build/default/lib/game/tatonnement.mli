@@ -1,0 +1,38 @@
+(** Best-response dynamics traces.
+
+    Records the full trajectory of iterated best response so the
+    off-equilibrium dynamics discussed around Theorems 4 and 6 can be
+    inspected: convergence rate, oscillation, sensitivity to the
+    starting profile. *)
+
+type step = {
+  index : int;
+  profile : Numerics.Vec.t;
+  move : float;  (** sup-norm displacement from the previous profile *)
+}
+
+type trace = {
+  steps : step list;  (** in chronological order, including the start *)
+  converged : bool;
+}
+
+val run :
+  ?scheme:Best_response.scheme ->
+  ?damping:float ->
+  ?tol:float ->
+  ?max_sweeps:int ->
+  Best_response.game ->
+  x0:Numerics.Vec.t ->
+  trace
+
+val final : trace -> Numerics.Vec.t
+(** The last profile of the trace. *)
+
+val contraction_estimate : trace -> float option
+(** Geometric mean of consecutive displacement ratios over the tail of
+    the trace: an empirical contraction factor. [None] when the trace is
+    too short (< 4 moves) or stalls at zero displacement early. *)
+
+val oscillation_detected : ?tol:float -> trace -> bool
+(** Whether the tail revisits an earlier profile without converging
+    (period-2 cycling of undamped best response). *)

@@ -1,0 +1,1 @@
+lib/numerics/diff.ml: Array Float Mat Vec

@@ -1,0 +1,1 @@
+lib/numerics/diff.mli: Mat Vec

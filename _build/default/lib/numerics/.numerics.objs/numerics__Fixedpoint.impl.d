@@ -1,0 +1,1 @@
+lib/numerics/fixedpoint.ml: Float Printf Vec

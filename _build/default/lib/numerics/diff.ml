@@ -1,0 +1,90 @@
+let cbrt_eps = Float.pow epsilon_float (1. /. 3.)
+
+let default_step x = cbrt_eps *. Float.max 1. (Float.abs x)
+
+let step ?h x = match h with Some h -> h | None -> default_step x
+
+let central ?h f x =
+  let h = step ?h x in
+  (f (x +. h) -. f (x -. h)) /. (2. *. h)
+
+let forward ?h f x =
+  let h = step ?h x in
+  (f (x +. h) -. f x) /. h
+
+let backward ?h f x =
+  let h = step ?h x in
+  (f x -. f (x -. h)) /. h
+
+let second ?h f x =
+  let h = match h with Some h -> h | None -> sqrt cbrt_eps *. Float.max 1. (Float.abs x) in
+  (f (x +. h) -. (2. *. f x) +. f (x -. h)) /. (h *. h)
+
+let richardson ?h ?(levels = 3) f x =
+  if levels < 1 then invalid_arg "Diff.richardson: levels must be positive";
+  let h0 = match h with Some h -> h | None -> 16. *. default_step x in
+  let table = Array.make levels 0. in
+  for k = 0 to levels - 1 do
+    let hk = h0 /. Float.pow 2. (float_of_int k) in
+    table.(k) <- (f (x +. hk) -. f (x -. hk)) /. (2. *. hk)
+  done;
+  (* Richardson: error in central differences is even in h *)
+  let current = ref table in
+  let order = ref 4. in
+  while Array.length !current > 1 do
+    let prev = !current in
+    let n = Array.length prev - 1 in
+    let next = Array.make n 0. in
+    for k = 0 to n - 1 do
+      next.(k) <- ((!order *. prev.(k + 1)) -. prev.(k)) /. (!order -. 1.)
+    done;
+    order := !order *. 4.;
+    current := next
+  done;
+  (!current).(0)
+
+let perturbed x i delta =
+  let x' = Vec.copy x in
+  x'.(i) <- x'.(i) +. delta;
+  x'
+
+let partial ?h f x i =
+  if i < 0 || i >= Vec.dim x then invalid_arg "Diff.partial: index out of range";
+  let h = step ?h x.(i) in
+  (f (perturbed x i h) -. f (perturbed x i (-.h))) /. (2. *. h)
+
+let gradient ?h f x = Vec.init (Vec.dim x) (fun i -> partial ?h f x i)
+
+let jacobian ?h f x =
+  let n = Vec.dim x in
+  let m = Vec.dim (f x) in
+  let columns =
+    Array.init n (fun j ->
+        let hj = step ?h x.(j) in
+        let fp = f (perturbed x j hj) and fm = f (perturbed x j (-.hj)) in
+        Vec.scale (1. /. (2. *. hj)) (Vec.sub fp fm))
+  in
+  Mat.init ~rows:m ~cols:n (fun i j -> columns.(j).(i))
+
+let hessian ?h f x =
+  let n = Vec.dim x in
+  let hi i = match h with Some h -> h | None -> sqrt cbrt_eps *. Float.max 1. (Float.abs x.(i)) in
+  let fx = f x in
+  let m = Mat.zeros ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    let di = hi i in
+    (* diagonal entry *)
+    let fpp = f (perturbed x i di) and fmm = f (perturbed x i (-.di)) in
+    Mat.set m i i ((fpp -. (2. *. fx) +. fmm) /. (di *. di));
+    for j = i + 1 to n - 1 do
+      let dj = hi j in
+      let fpq = f (perturbed (perturbed x i di) j dj) in
+      let fpm = f (perturbed (perturbed x i di) j (-.dj)) in
+      let fmp = f (perturbed (perturbed x i (-.di)) j dj) in
+      let fmn = f (perturbed (perturbed x i (-.di)) j (-.dj)) in
+      let v = (fpq -. fpm -. fmp +. fmn) /. (4. *. di *. dj) in
+      Mat.set m i j v;
+      Mat.set m j i v
+    done
+  done;
+  m

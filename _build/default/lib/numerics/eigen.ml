@@ -1,0 +1,108 @@
+exception No_convergence of string
+
+type pair = { value : float; vector : Vec.t }
+
+let require_square name m =
+  if not (Mat.is_square m) then invalid_arg ("Eigen." ^ name ^ ": matrix not square")
+
+let normalize v =
+  let n = Vec.norm2 v in
+  if n = 0. then invalid_arg "Eigen: zero vector";
+  Vec.scale (1. /. n) v
+
+let power_iteration ?(tol = 1e-10) ?(max_iter = 10_000) ?x0 a =
+  require_square "power_iteration" a;
+  let n = Mat.rows a in
+  let x = ref (normalize (match x0 with Some v -> v | None -> Vec.init n (fun i -> 1. +. (0.01 *. float_of_int i)))) in
+  let lambda = ref 0. in
+  let rec loop iter =
+    if iter > max_iter then raise (No_convergence "power_iteration");
+    let y = Mat.matvec a !x in
+    let ny = Vec.norm2 y in
+    if ny = 0. then { value = 0.; vector = !x }
+    else begin
+      let x' = Vec.scale (1. /. ny) y in
+      let lambda' = Vec.dot x' (Mat.matvec a x') in
+      let drift = Float.min (Vec.dist_inf x' !x) (Vec.dist_inf (Vec.neg x') !x) in
+      x := x';
+      let converged = Float.abs (lambda' -. !lambda) <= tol *. (1. +. Float.abs lambda') && drift <= sqrt tol in
+      lambda := lambda';
+      if converged then { value = lambda'; vector = x' } else loop (iter + 1)
+    end
+  in
+  loop 1
+
+let inverse_iteration ?(tol = 1e-10) ?(max_iter = 10_000) ?(shift = 0.) a =
+  require_square "inverse_iteration" a;
+  let n = Mat.rows a in
+  let shifted = Mat.init ~rows:n ~cols:n (fun i j ->
+      Mat.get a i j -. (if i = j then shift else 0.))
+  in
+  let f = Linalg.lu_decompose shifted in
+  let x = ref (normalize (Vec.init n (fun i -> 1. +. (0.01 *. float_of_int i)))) in
+  let lambda = ref infinity in
+  let rec loop iter =
+    if iter > max_iter then raise (No_convergence "inverse_iteration");
+    let y = Linalg.lu_solve f !x in
+    let x' = normalize y in
+    let lambda' = Vec.dot x' (Mat.matvec a x') in
+    let converged = Float.abs (lambda' -. !lambda) <= tol *. (1. +. Float.abs lambda') in
+    x := x';
+    lambda := lambda';
+    if converged then { value = lambda'; vector = x' } else loop (iter + 1)
+  in
+  loop 1
+
+let spectral_radius_bound a =
+  require_square "spectral_radius_bound" a;
+  Float.min (Mat.norm_inf a) (Mat.norm_inf (Mat.transpose a))
+
+let symmetric_eigenvalues ?(tol = 1e-12) a =
+  require_square "symmetric_eigenvalues" a;
+  let n = Mat.rows a in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Float.abs (Mat.get a i j -. Mat.get a j i) > 1e-8 *. (1. +. Mat.norm_inf a)
+      then invalid_arg "Eigen.symmetric_eigenvalues: matrix not symmetric"
+    done
+  done;
+  let m = Mat.copy a in
+  let off_diagonal_norm () =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then acc := !acc +. (Mat.get m i j ** 2.)
+      done
+    done;
+    sqrt !acc
+  in
+  let rotate p q =
+    let apq = Mat.get m p q in
+    if Float.abs apq > 0. then begin
+      let app = Mat.get m p p and aqq = Mat.get m q q in
+      let theta = 0.5 *. atan2 (2. *. apq) (aqq -. app) in
+      let c = cos theta and s = sin theta in
+      for k = 0 to n - 1 do
+        let mkp = Mat.get m k p and mkq = Mat.get m k q in
+        Mat.set m k p ((c *. mkp) -. (s *. mkq));
+        Mat.set m k q ((s *. mkp) +. (c *. mkq))
+      done;
+      for k = 0 to n - 1 do
+        let mpk = Mat.get m p k and mqk = Mat.get m q k in
+        Mat.set m p k ((c *. mpk) -. (s *. mqk));
+        Mat.set m q k ((s *. mpk) +. (c *. mqk))
+      done
+    end
+  in
+  let sweeps = ref 0 in
+  while off_diagonal_norm () > tol *. (1. +. Mat.norm_frobenius m) && !sweeps < 100 do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate p q
+      done
+    done
+  done;
+  let eigs = Array.init n (fun i -> Mat.get m i i) in
+  Array.sort Float.compare eigs;
+  eigs

@@ -1,0 +1,30 @@
+(** Iterative eigenvalue estimation for small dense matrices.
+
+    Only what the game-theoretic stability analysis needs: dominant
+    eigenvalues (spectral radius bounds for tatonnement contraction) and
+    smallest-magnitude eigenvalues (near-singularity detection). *)
+
+exception No_convergence of string
+
+type pair = { value : float; vector : Vec.t }
+
+val power_iteration :
+  ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Mat.t -> pair
+(** Dominant eigenvalue (largest modulus, assuming it is real) with a
+    unit eigenvector, by normalized power iteration with a Rayleigh
+    quotient estimate. Raises [No_convergence]. *)
+
+val inverse_iteration :
+  ?tol:float -> ?max_iter:int -> ?shift:float -> Mat.t -> pair
+(** Eigenpair closest to [shift] (default 0) by inverse power
+    iteration. Raises [Linalg.Singular] if [a - shift I] is singular
+    (then [shift] itself is an eigenvalue). *)
+
+val spectral_radius_bound : Mat.t -> float
+(** Cheap upper bound on the spectral radius: [min(||A||_inf,
+    ||A||_1)] via Gershgorin-style norms. *)
+
+val symmetric_eigenvalues : ?tol:float -> Mat.t -> float array
+(** All eigenvalues of a symmetric matrix by the cyclic Jacobi rotation
+    method, sorted ascending. Raises [Invalid_argument] when the matrix
+    is not (numerically) symmetric. *)

@@ -1,0 +1,47 @@
+exception No_convergence of string
+
+type 'a result = { point : 'a; residual : float; iterations : int }
+
+let check_damping damping =
+  if damping <= 0. || damping > 1. then
+    invalid_arg "Fixedpoint: damping must lie in (0, 1]"
+
+let iterate ?(tol = 1e-12) ?(max_iter = 1000) ?(damping = 1.) f ~x0 =
+  check_damping damping;
+  let rec loop x iter =
+    if iter > max_iter then
+      raise (No_convergence (Printf.sprintf "iterate: %d iterations from %g" max_iter x0));
+    let x' = ((1. -. damping) *. x) +. (damping *. f x) in
+    let residual = Float.abs (x' -. x) in
+    if residual <= tol then { point = x'; residual; iterations = iter }
+    else loop x' (iter + 1)
+  in
+  loop x0 1
+
+let iterate_vec ?(tol = 1e-12) ?(max_iter = 1000) ?(damping = 1.) f ~x0 =
+  check_damping damping;
+  let rec loop x iter =
+    if iter > max_iter then
+      raise (No_convergence (Printf.sprintf "iterate_vec: %d iterations" max_iter));
+    let fx = f x in
+    let x' = Vec.axpy (1. -. damping) x (Vec.scale damping fx) in
+    let residual = Vec.dist_inf x' x in
+    if residual <= tol then { point = x'; residual; iterations = iter }
+    else loop x' (iter + 1)
+  in
+  loop x0 1
+
+let aitken ?(tol = 1e-12) ?(max_iter = 500) f ~x0 =
+  let rec loop x iter =
+    if iter > max_iter then
+      raise (No_convergence (Printf.sprintf "aitken: %d iterations from %g" max_iter x0));
+    let x1 = f x in
+    let x2 = f x1 in
+    let denom = x2 -. (2. *. x1) +. x in
+    (* fall back to the plain iterate when the acceleration degenerates *)
+    let x' = if Float.abs denom < 1e-300 then x2 else x -. (((x1 -. x) ** 2.) /. denom) in
+    let residual = Float.abs (x' -. x) in
+    if residual <= tol then { point = x'; residual; iterations = iter }
+    else loop x' (iter + 1)
+  in
+  loop x0 1

@@ -1,0 +1,35 @@
+(** Fixed-point iteration for scalar and vector maps. *)
+
+exception No_convergence of string
+
+type 'a result = {
+  point : 'a;
+  residual : float;  (** distance between the last two iterates *)
+  iterations : int;
+}
+
+val iterate :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?damping:float ->
+  (float -> float) ->
+  x0:float ->
+  float result
+(** Damped iteration [x <- (1 - damping) * x + damping * f x] (damping
+    default [1.0], i.e. undamped) until [|x' - x| <= tol]. Raises
+    [No_convergence]. *)
+
+val iterate_vec :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?damping:float ->
+  (Vec.t -> Vec.t) ->
+  x0:Vec.t ->
+  Vec.t result
+(** Vector version; convergence in the sup norm. *)
+
+val aitken :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> x0:float -> float result
+(** Aitken delta-squared acceleration of a scalar fixed-point
+    iteration. Useful when the plain iteration converges slowly
+    (contraction factor close to 1). *)

@@ -1,0 +1,28 @@
+let linspace a b n =
+  if n < 2 then invalid_arg "Grid.linspace: need at least 2 points";
+  let step = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> if i = n - 1 then b else a +. (step *. float_of_int i))
+
+let logspace a b n =
+  if a <= 0. || b <= 0. then invalid_arg "Grid.logspace: endpoints must be positive";
+  Array.map exp (linspace (log a) (log b) n)
+
+let arange a b step =
+  if step <= 0. then invalid_arg "Grid.arange: step must be positive";
+  if a > b then invalid_arg "Grid.arange: a > b";
+  let n = int_of_float (Float.round ((b -. a) /. step)) + 1 in
+  Array.init n (fun i -> a +. (step *. float_of_int i))
+
+let midpoints xs =
+  if Array.length xs < 2 then invalid_arg "Grid.midpoints: need at least 2 points";
+  Array.init (Array.length xs - 1) (fun i -> 0.5 *. (xs.(i) +. xs.(i + 1)))
+
+let sweep xs f = Array.map (fun x -> (x, f x)) xs
+
+let product2 xs ys =
+  Array.concat (Array.to_list (Array.map (fun x -> Array.map (fun y -> (x, y)) ys) xs))
+
+let product3 xs ys zs =
+  Array.concat
+    (Array.to_list
+       (Array.map (fun (x, y) -> Array.map (fun z -> (x, y, z)) zs) (product2 xs ys)))

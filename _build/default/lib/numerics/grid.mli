@@ -1,0 +1,24 @@
+(** Evaluation grids for parameter sweeps. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] is [n >= 2] evenly spaced points from [a] to [b]
+    inclusive. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace a b n] is [n] log-evenly spaced points from [a] to [b];
+    both endpoints must be positive. *)
+
+val arange : float -> float -> float -> float array
+(** [arange a b step] is [a, a+step, ...] up to and including [b] (within
+    half a step of it). [step] must be positive and [a <= b]. *)
+
+val midpoints : float array -> float array
+(** Pairwise midpoints of consecutive grid points. *)
+
+val sweep : float array -> (float -> 'a) -> (float * 'a) array
+(** Evaluate a function over a grid, keeping the abscissae. *)
+
+val product2 : 'a array -> 'b array -> ('a * 'b) array
+(** Cartesian product in row-major order. *)
+
+val product3 : 'a array -> 'b array -> 'c array -> ('a * 'b * 'c) array

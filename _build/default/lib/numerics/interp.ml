@@ -1,0 +1,133 @@
+type kind =
+  | Linear
+  | Pchip of float array (* knot derivatives *)
+
+type t = { xs : float array; ys : float array; kind : kind }
+
+let validate name xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg (Printf.sprintf "Interp.%s: length mismatch" name);
+  if Array.length xs < 2 then
+    invalid_arg (Printf.sprintf "Interp.%s: need at least 2 points" name);
+  for i = 0 to Array.length xs - 2 do
+    if xs.(i + 1) <= xs.(i) then
+      invalid_arg (Printf.sprintf "Interp.%s: xs must be strictly increasing" name)
+  done
+
+let linear xs ys =
+  validate "linear" xs ys;
+  { xs = Array.copy xs; ys = Array.copy ys; kind = Linear }
+
+(* Fritsch-Carlson monotone-preserving derivative estimates. *)
+let pchip xs ys =
+  validate "pchip" xs ys;
+  let n = Array.length xs in
+  let h = Array.init (n - 1) (fun i -> xs.(i + 1) -. xs.(i)) in
+  let delta = Array.init (n - 1) (fun i -> (ys.(i + 1) -. ys.(i)) /. h.(i)) in
+  let d = Array.make n 0. in
+  d.(0) <- delta.(0);
+  d.(n - 1) <- delta.(n - 2);
+  for i = 1 to n - 2 do
+    if delta.(i - 1) *. delta.(i) > 0. then begin
+      let w1 = (2. *. h.(i)) +. h.(i - 1) in
+      let w2 = h.(i) +. (2. *. h.(i - 1)) in
+      d.(i) <- (w1 +. w2) /. ((w1 /. delta.(i - 1)) +. (w2 /. delta.(i)))
+    end
+    (* opposite slopes or a flat panel: keep d = 0 for monotonicity *)
+  done;
+  { xs = Array.copy xs; ys = Array.copy ys; kind = Pchip d }
+
+(* Index of the panel containing x: largest i with xs.(i) <= x, capped. *)
+let panel t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then 0
+  else if x >= t.xs.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let eval t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else begin
+    let i = panel t x in
+    let h = t.xs.(i + 1) -. t.xs.(i) in
+    let s = (x -. t.xs.(i)) /. h in
+    match t.kind with
+    | Linear -> t.ys.(i) +. (s *. (t.ys.(i + 1) -. t.ys.(i)))
+    | Pchip d ->
+      (* cubic Hermite basis *)
+      let s2 = s *. s in
+      let s3 = s2 *. s in
+      let h00 = (2. *. s3) -. (3. *. s2) +. 1. in
+      let h10 = s3 -. (2. *. s2) +. s in
+      let h01 = (-2. *. s3) +. (3. *. s2) in
+      let h11 = s3 -. s2 in
+      (h00 *. t.ys.(i))
+      +. (h10 *. h *. d.(i))
+      +. (h01 *. t.ys.(i + 1))
+      +. (h11 *. h *. d.(i + 1))
+  end
+
+let crossing t ~level =
+  let n = Array.length t.xs in
+  let rec scan i =
+    if i >= n - 1 then None
+    else begin
+      let a = t.ys.(i) -. level and b = t.ys.(i + 1) -. level in
+      if a = 0. then Some t.xs.(i)
+      else if a *. b < 0. then begin
+        let f x = eval t x -. level in
+        let r = Rootfind.brent f ~lo:t.xs.(i) ~hi:t.xs.(i + 1) in
+        Some r.Rootfind.root
+      end
+      else scan (i + 1)
+    end
+  in
+  match scan 0 with
+  | Some x -> Some x
+  | None -> if t.ys.(n - 1) = level then Some t.xs.(n - 1) else None
+
+let peak t =
+  let n = Array.length t.xs in
+  let best = ref 0 in
+  for i = 1 to n - 1 do
+    if t.ys.(i) > t.ys.(!best) then best := i
+  done;
+  let lo = t.xs.(Stdlib.max 0 (!best - 1)) in
+  let hi = t.xs.(Stdlib.min (n - 1) (!best + 1)) in
+  if lo = hi then (t.xs.(!best), t.ys.(!best))
+  else begin
+    let r = Optimize.golden_section (eval t) ~lo ~hi in
+    if r.Optimize.fx >= t.ys.(!best) then (r.Optimize.x, r.Optimize.fx)
+    else (t.xs.(!best), t.ys.(!best))
+  end
+
+let crossover a b =
+  let lo = Float.max a.xs.(0) b.xs.(0) in
+  let hi = Float.min a.xs.(Array.length a.xs - 1) b.xs.(Array.length b.xs - 1) in
+  if lo >= hi then None
+  else begin
+    let diff x = eval a x -. eval b x in
+    (* scan on a fine grid for the first sign change *)
+    let xs = Grid.linspace lo hi 257 in
+    let rec scan i =
+      if i >= Array.length xs - 1 then None
+      else begin
+        let u = diff xs.(i) and v = diff xs.(i + 1) in
+        if u = 0. then Some xs.(i)
+        else if u *. v < 0. then begin
+          let r = Rootfind.brent diff ~lo:xs.(i) ~hi:xs.(i + 1) in
+          Some r.Rootfind.root
+        end
+        else scan (i + 1)
+      end
+    in
+    scan 0
+  end

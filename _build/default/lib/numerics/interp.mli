@@ -1,0 +1,30 @@
+(** Interpolation of tabulated series and feature location.
+
+    Series are given as parallel arrays [(xs, ys)] with strictly
+    increasing [xs]. *)
+
+type t
+(** A prepared interpolant. *)
+
+val linear : float array -> float array -> t
+(** Piecewise-linear interpolant. Raises [Invalid_argument] on length
+    mismatch, fewer than 2 points, or non-increasing [xs]. *)
+
+val pchip : float array -> float array -> t
+(** Monotone cubic (Fritsch-Carlson) interpolant: preserves the
+    monotonicity of the data between knots. *)
+
+val eval : t -> float -> float
+(** Evaluate; clamps outside the knot range to the boundary values. *)
+
+val crossing : t -> level:float -> float option
+(** The smallest abscissa where the interpolant crosses [level], if
+    any ([None] when the series stays on one side). *)
+
+val peak : t -> float * float
+(** The pair [(x_peak, y_peak)] maximizing the interpolant: the best
+    knot refined by golden-section within its neighbouring panels. *)
+
+val crossover : t -> t -> float option
+(** The smallest abscissa where two interpolants (sharing a knot range)
+    exchange order, found on the intersection of their ranges. *)

@@ -1,0 +1,132 @@
+exception Singular
+
+type lu = {
+  lu : Mat.t; (* combined L (unit diagonal, below) and U (on/above diagonal) *)
+  perm : int array; (* row permutation: solve uses b.(perm.(i)) *)
+  sign : float; (* parity of the permutation, for determinants *)
+}
+
+let require_square name m =
+  if not (Mat.is_square m) then
+    invalid_arg
+      (Printf.sprintf "Linalg.%s: matrix is %dx%d, not square" name (Mat.rows m)
+         (Mat.cols m))
+
+(* Doolittle LU with partial pivoting.  The factored matrix is mutated in
+   place inside a private copy. *)
+let lu_decompose a =
+  require_square "lu_decompose" a;
+  let n = Mat.rows a in
+  let m = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* pivot search in column k *)
+    let pivot_row = ref k in
+    let pivot_val = ref (Float.abs (Mat.get m k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Mat.get m i k) in
+      if v > !pivot_val then begin
+        pivot_val := v;
+        pivot_row := i
+      end
+    done;
+    if !pivot_val < 1e-300 then raise Singular;
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.get m k j in
+        Mat.set m k j (Mat.get m !pivot_row j);
+        Mat.set m !pivot_row j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get m k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get m i k /. pivot in
+      Mat.set m i k factor;
+      for j = k + 1 to n - 1 do
+        Mat.set m i j (Mat.get m i j -. (factor *. Mat.get m k j))
+      done
+    done
+  done;
+  { lu = m; perm; sign = !sign }
+
+let lu_solve { lu; perm; _ } b =
+  let n = Mat.rows lu in
+  if Vec.dim b <> n then invalid_arg "Linalg.lu_solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution with unit-diagonal L *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (Mat.get lu i j *. x.(j))
+    done
+  done;
+  (* back substitution with U *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. Mat.get lu i i
+  done;
+  x
+
+let lu_det { lu; sign; _ } =
+  let n = Mat.rows lu in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get lu i i
+  done;
+  !d
+
+let solve a b = lu_solve (lu_decompose a) b
+
+let solve_many a bs =
+  let f = lu_decompose a in
+  List.map (lu_solve f) bs
+
+let inverse a =
+  require_square "inverse" a;
+  let n = Mat.rows a in
+  let f = lu_decompose a in
+  let columns = List.init n (fun j -> lu_solve f (Vec.basis n j)) in
+  let inv = Mat.zeros ~rows:n ~cols:n in
+  List.iteri (fun j column -> Array.iteri (fun i v -> Mat.set inv i j v) column) columns;
+  inv
+
+let det a =
+  require_square "det" a;
+  match lu_decompose a with
+  | f -> lu_det f
+  | exception Singular -> 0.
+
+let condition_inf a =
+  match inverse a with
+  | inv -> Mat.norm_inf a *. Mat.norm_inf inv
+  | exception Singular -> Float.infinity
+
+let lstsq a b =
+  if Mat.rows a < Mat.cols a then
+    invalid_arg "Linalg.lstsq: fewer rows than columns";
+  if Mat.rows a <> Vec.dim b then invalid_arg "Linalg.lstsq: dimension mismatch";
+  let at = Mat.transpose a in
+  solve (Mat.matmul at a) (Mat.matvec at b)
+
+let principal_minor a idx =
+  require_square "principal_minor" a;
+  let n = Mat.rows a in
+  Array.iteri
+    (fun k i ->
+      if i < 0 || i >= n then invalid_arg "Linalg.principal_minor: index out of range";
+      if k > 0 && idx.(k - 1) >= i then
+        invalid_arg "Linalg.principal_minor: indices must be strictly increasing")
+    idx;
+  if Array.length idx = 0 then 1.
+  else det (Mat.submatrix a ~row_idx:idx ~col_idx:idx)
+
+let leading_principal_minors a =
+  require_square "leading_principal_minors" a;
+  let n = Mat.rows a in
+  Array.init n (fun k -> principal_minor a (Array.init (k + 1) (fun i -> i)))

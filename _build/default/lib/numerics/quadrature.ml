@@ -1,0 +1,66 @@
+let check_interval name lo hi =
+  if lo > hi then invalid_arg (Printf.sprintf "Quadrature.%s: lo > hi" name)
+
+let trapezoid ?(n = 256) f ~lo ~hi =
+  check_interval "trapezoid" lo hi;
+  if n < 1 then invalid_arg "Quadrature.trapezoid: need at least 1 panel";
+  if lo = hi then 0.
+  else begin
+    let h = (hi -. lo) /. float_of_int n in
+    let acc = ref (0.5 *. (f lo +. f hi)) in
+    for i = 1 to n - 1 do
+      acc := !acc +. f (lo +. (h *. float_of_int i))
+    done;
+    !acc *. h
+  end
+
+let simpson ?(n = 256) f ~lo ~hi =
+  check_interval "simpson" lo hi;
+  if n < 2 then invalid_arg "Quadrature.simpson: need at least 2 panels";
+  if lo = hi then 0.
+  else begin
+    let n = if n mod 2 = 0 then n else n + 1 in
+    let h = (hi -. lo) /. float_of_int n in
+    let acc = ref (f lo +. f hi) in
+    for i = 1 to n - 1 do
+      let weight = if i mod 2 = 1 then 4. else 2. in
+      acc := !acc +. (weight *. f (lo +. (h *. float_of_int i)))
+    done;
+    !acc *. h /. 3.
+  end
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 50) f ~lo ~hi =
+  check_interval "adaptive_simpson" lo hi;
+  if lo = hi then 0.
+  else begin
+    let simpson_panel a fa b fb fm = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb) in
+    let rec go a fa b fb m fm whole tol depth =
+      let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+      let flm = f lm and frm = f rm in
+      let left = simpson_panel a fa m fm flm in
+      let right = simpson_panel m fm b fb frm in
+      let delta = left +. right -. whole in
+      if depth <= 0 || Float.abs delta <= 15. *. tol then
+        left +. right +. (delta /. 15.)
+      else
+        go a fa m fm lm flm left (tol /. 2.) (depth - 1)
+        +. go m fm b fb rm frm right (tol /. 2.) (depth - 1)
+    in
+    let m = 0.5 *. (lo +. hi) in
+    let fa = f lo and fb = f hi and fm = f m in
+    go lo fa hi fb m fm (simpson_panel lo fa hi fb fm) tol max_depth
+  end
+
+let integrate_samples xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Quadrature.integrate_samples: length mismatch";
+  if Array.length xs < 2 then
+    invalid_arg "Quadrature.integrate_samples: need at least 2 samples";
+  let acc = ref 0. in
+  for i = 0 to Array.length xs - 2 do
+    let dx = xs.(i + 1) -. xs.(i) in
+    if dx <= 0. then
+      invalid_arg "Quadrature.integrate_samples: xs must be strictly increasing";
+    acc := !acc +. (0.5 *. dx *. (ys.(i) +. ys.(i + 1)))
+  done;
+  !acc

@@ -1,0 +1,17 @@
+(** Numerical integration on finite intervals. *)
+
+val trapezoid : ?n:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Composite trapezoid rule with [n] panels (default 256). *)
+
+val simpson : ?n:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Composite Simpson rule; [n] is rounded up to an even panel
+    count (default 256). *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Recursive adaptive Simpson with absolute tolerance [tol] (default
+    [1e-10]). *)
+
+val integrate_samples : float array -> float array -> float
+(** Trapezoid integration of tabulated samples [(xs, ys)]; [xs] must be
+    strictly increasing and lengths must agree. *)

@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let next_state t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+(* splitmix64 output function *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t = mix (next_state t)
+
+let split t = create (int64 t)
+
+let float t =
+  (* 53 high-quality bits into [0, 1) *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let uniform t ~lo ~hi =
+  if lo >= hi then invalid_arg "Rng.uniform: lo >= hi";
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection-free modulo is fine for the small bounds used here *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (int64 t) 1) (Int64.of_int n))
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1. -. float t) /. rate
+
+let normal t ~mean ~stddev =
+  let u1 = Float.max 1e-300 (float t) in
+  let u2 = float t in
+  mean +. (stddev *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let choice t xs =
+  if Array.length xs = 0 then invalid_arg "Rng.choice: empty array";
+  xs.(int t (Array.length xs))
+
+let shuffle t xs =
+  for i = Array.length xs - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = xs.(i) in
+    xs.(i) <- xs.(j);
+    xs.(j) <- tmp
+  done

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Used for workload generation in property tests and benchmarks; a
+    fixed seed reproduces a run exactly, independent of the OCaml
+    stdlib's generator. *)
+
+type t
+
+val create : int64 -> t
+(** A fresh generator from a 64-bit seed. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. Requires [lo < hi]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential variate with the given positive rate. *)
+
+val normal : t -> mean:float -> stddev:float -> float
+(** Gaussian variate by Box-Muller. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

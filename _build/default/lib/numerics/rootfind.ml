@@ -1,0 +1,197 @@
+exception No_bracket of string
+exception No_convergence of string
+
+type result = { root : float; value : float; iterations : int; evaluations : int }
+
+let check_interval name lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg (Printf.sprintf "Rootfind.%s: non-finite interval" name);
+  if lo >= hi then
+    invalid_arg (Printf.sprintf "Rootfind.%s: lo=%g >= hi=%g" name lo hi)
+
+let same_sign a b = (a > 0. && b > 0.) || (a < 0. && b < 0.)
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  check_interval "bisect" lo hi;
+  let flo = f lo and fhi = f hi in
+  let evals = ref 2 in
+  if flo = 0. then { root = lo; value = 0.; iterations = 0; evaluations = !evals }
+  else if fhi = 0. then { root = hi; value = 0.; iterations = 0; evaluations = !evals }
+  else if same_sign flo fhi then
+    raise (No_bracket (Printf.sprintf "bisect: f(%g)=%g and f(%g)=%g" lo flo hi fhi))
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    while !hi -. !lo > tol && !iter < max_iter do
+      incr iter;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      incr evals;
+      if fmid = 0. then begin
+        lo := mid;
+        hi := mid
+      end
+      else if same_sign !flo fmid then begin
+        lo := mid;
+        flo := fmid
+      end
+      else hi := mid
+    done;
+    let root = 0.5 *. (!lo +. !hi) in
+    { root; value = f root; iterations = !iter; evaluations = !evals + 1 }
+  end
+
+(* Brent's method, following the classic Numerical Recipes formulation. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  check_interval "brent" lo hi;
+  let a = ref lo and b = ref hi in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  let evals = ref 2 in
+  if !fa = 0. then { root = !a; value = 0.; iterations = 0; evaluations = !evals }
+  else if !fb = 0. then { root = !b; value = 0.; iterations = 0; evaluations = !evals }
+  else if same_sign !fa !fb then
+    raise (No_bracket (Printf.sprintf "brent: f(%g)=%g and f(%g)=%g" lo !fa hi !fb))
+  else begin
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let iter = ref 0 in
+    let result = ref None in
+    while !result = None && !iter < max_iter do
+      incr iter;
+      if same_sign !fb !fc then begin
+        c := !a;
+        fc := !fa;
+        d := !b -. !a;
+        e := !d
+      end;
+      if Float.abs !fc < Float.abs !fb then begin
+        a := !b; b := !c; c := !a;
+        fa := !fb; fb := !fc; fc := !fa
+      end;
+      let tol1 = (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+      let xm = 0.5 *. (!c -. !b) in
+      if Float.abs xm <= tol1 || !fb = 0. then
+        result := Some { root = !b; value = !fb; iterations = !iter; evaluations = !evals }
+      else begin
+        if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+          (* attempt inverse quadratic / secant interpolation *)
+          let s = !fb /. !fa in
+          let p, q =
+            if !a = !c then
+              let p = 2. *. xm *. s in
+              (p, 1. -. s)
+            else begin
+              let q = !fa /. !fc and r = !fb /. !fc in
+              let p = s *. ((2. *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.))) in
+              (p, (q -. 1.) *. (r -. 1.) *. (s -. 1.))
+            end
+          in
+          let p, q = if p > 0. then (p, -.q) else (-.p, q) in
+          let min1 = (3. *. xm *. q) -. Float.abs (tol1 *. q) in
+          let min2 = Float.abs (!e *. q) in
+          if 2. *. p < Float.min min1 min2 then begin
+            e := !d;
+            d := p /. q
+          end
+          else begin
+            d := xm;
+            e := !d
+          end
+        end
+        else begin
+          d := xm;
+          e := !d
+        end;
+        a := !b;
+        fa := !fb;
+        if Float.abs !d > tol1 then b := !b +. !d
+        else b := !b +. (if xm >= 0. then tol1 else -.tol1);
+        fb := f !b;
+        incr evals
+      end
+    done;
+    match !result with
+    | Some r -> r
+    | None -> { root = !b; value = !fb; iterations = !iter; evaluations = !evals }
+  end
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) f ~df ~x0 =
+  let x = ref x0 in
+  let evals = ref 0 in
+  let rec loop iter =
+    if iter > max_iter then
+      raise (No_convergence (Printf.sprintf "newton: no convergence from x0=%g" x0));
+    let fx = f !x in
+    incr evals;
+    if Float.abs fx <= tol then
+      { root = !x; value = fx; iterations = iter; evaluations = !evals }
+    else begin
+      let d = df !x in
+      if d = 0. || not (Float.is_finite d) then
+        raise (No_convergence (Printf.sprintf "newton: derivative %g at x=%g" d !x));
+      let step = fx /. d in
+      x := !x -. step;
+      if Float.abs step <= tol *. (1. +. Float.abs !x) then
+        { root = !x; value = f !x; iterations = iter; evaluations = !evals + 1 }
+      else loop (iter + 1)
+    end
+  in
+  loop 1
+
+let secant ?(tol = 1e-12) ?(max_iter = 100) f ~x0 ~x1 =
+  if x0 = x1 then invalid_arg "Rootfind.secant: identical starting points";
+  let xa = ref x0 and xb = ref x1 in
+  let fa = ref (f x0) and fb = ref (f x1) in
+  let evals = ref 2 in
+  let rec loop iter =
+    if Float.abs !fb <= tol then
+      { root = !xb; value = !fb; iterations = iter; evaluations = !evals }
+    else if iter >= max_iter then
+      raise (No_convergence "secant: iteration budget exhausted")
+    else begin
+      let denom = !fb -. !fa in
+      if denom = 0. then raise (No_convergence "secant: flat step");
+      let xc = !xb -. (!fb *. (!xb -. !xa) /. denom) in
+      xa := !xb;
+      fa := !fb;
+      xb := xc;
+      fb := f xc;
+      incr evals;
+      loop (iter + 1)
+    end
+  in
+  loop 0
+
+let bracket_outward ?(factor = 2.) ?(max_expand = 60) f ~lo ~hi =
+  check_interval "bracket_outward" lo hi;
+  if factor <= 1. then invalid_arg "Rootfind.bracket_outward: factor must exceed 1";
+  let lo = ref lo and hi = ref hi in
+  let flo = ref (f !lo) and fhi = ref (f !hi) in
+  let rec expand n =
+    if not (same_sign !flo !fhi) then (!lo, !hi)
+    else if n >= max_expand then
+      raise
+        (No_bracket
+           (Printf.sprintf "bracket_outward: no sign change in [%g, %g]" !lo !hi))
+    else begin
+      let width = !hi -. !lo in
+      (* grow the side with the smaller |f|: it is closer to the root *)
+      if Float.abs !flo < Float.abs !fhi then begin
+        lo := !lo -. (factor *. width);
+        flo := f !lo
+      end
+      else begin
+        hi := !hi +. (factor *. width);
+        fhi := f !hi
+      end;
+      expand (n + 1)
+    end
+  in
+  expand 0
+
+let brent_auto ?tol ?max_iter f ~lo ~hi =
+  let lo, hi =
+    let flo = f lo and fhi = f hi in
+    if same_sign flo fhi then bracket_outward f ~lo ~hi else (lo, hi)
+  in
+  brent ?tol ?max_iter f ~lo ~hi

@@ -1,0 +1,59 @@
+(** Scalar root finding.
+
+    All solvers look for [x] with [f x = 0]. Bracketing solvers require
+    (and check) a sign change on the initial interval; [bracket_outward]
+    manufactures such an interval from a guess for monotone-ish
+    functions. *)
+
+exception No_bracket of string
+(** Raised when a sign-changing interval cannot be established. *)
+
+exception No_convergence of string
+(** Raised when an iterative method exhausts its iteration budget. *)
+
+type result = {
+  root : float;
+  value : float;  (** [f root] *)
+  iterations : int;
+  evaluations : int;  (** number of calls to [f] *)
+}
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> result
+(** Plain bisection. [tol] bounds the final interval width (default
+    [1e-12]). Raises [No_bracket] if [f lo] and [f hi] have the same
+    strict sign. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> result
+(** Brent's method (inverse quadratic interpolation + secant + bisection
+    fallback); the default solver throughout this project. *)
+
+val newton :
+  ?tol:float ->
+  ?max_iter:int ->
+  (float -> float) ->
+  df:(float -> float) ->
+  x0:float ->
+  result
+(** Newton-Raphson from [x0]. Raises [No_convergence] on a vanishing
+    derivative or exhausted budget. *)
+
+val secant :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> x0:float -> x1:float -> result
+
+val bracket_outward :
+  ?factor:float ->
+  ?max_expand:int ->
+  (float -> float) ->
+  lo:float ->
+  hi:float ->
+  float * float
+(** Expand [\[lo, hi\]] geometrically (factor default [2.0]) until the
+    endpoints' values change sign, then return the bracket. Raises
+    [No_bracket] after [max_expand] (default [60]) expansions. *)
+
+val brent_auto :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> result
+(** [brent] after [bracket_outward] if needed: the interval is used
+    as-is when it already brackets a root. *)

@@ -1,0 +1,1 @@
+lib/report/csv.ml: Buffer Filename Fun List String Sys Table

@@ -1,0 +1,1 @@
+lib/report/table.ml: Buffer Format List Printf Stdlib String

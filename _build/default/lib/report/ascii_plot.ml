@@ -1,0 +1,77 @@
+type config = { width : int; height : int; y_min : float option; y_max : float option }
+
+let default = { width = 64; height = 16; y_min = None; y_max = None }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&'; '='; '~' |]
+
+let render ?(config = default) series =
+  if series = [] then invalid_arg "Ascii_plot.render: no series";
+  if config.width < 8 || config.height < 4 then
+    invalid_arg "Ascii_plot.render: canvas too small";
+  let x_min =
+    List.fold_left (fun acc s -> Float.min acc s.Series.xs.(0)) infinity series
+  in
+  let x_max =
+    List.fold_left
+      (fun acc s -> Float.max acc s.Series.xs.(Array.length s.Series.xs - 1))
+      neg_infinity series
+  in
+  let data_y_min =
+    List.fold_left
+      (fun acc s -> Array.fold_left Float.min acc s.Series.ys)
+      infinity series
+  in
+  let data_y_max =
+    List.fold_left
+      (fun acc s -> Array.fold_left Float.max acc s.Series.ys)
+      neg_infinity series
+  in
+  let y_min = match config.y_min with Some y -> y | None -> data_y_min in
+  let y_max = match config.y_max with Some y -> y | None -> data_y_max in
+  let y_max = if y_max <= y_min then y_min +. 1. else y_max in
+  let x_span = if x_max <= x_min then 1. else x_max -. x_min in
+  let canvas = Array.make_matrix config.height config.width ' ' in
+  let plot_point glyph x y =
+    let col =
+      int_of_float ((x -. x_min) /. x_span *. float_of_int (config.width - 1) +. 0.5)
+    in
+    let row_from_bottom =
+      int_of_float ((y -. y_min) /. (y_max -. y_min) *. float_of_int (config.height - 1) +. 0.5)
+    in
+    if col >= 0 && col < config.width && row_from_bottom >= 0 && row_from_bottom < config.height
+    then canvas.(config.height - 1 - row_from_bottom).(col) <- glyph
+  in
+  List.iteri
+    (fun k s ->
+      let glyph = glyphs.(k mod Array.length glyphs) in
+      (* densify: sample each series at every column for continuous lines *)
+      for col = 0 to config.width - 1 do
+        let x = x_min +. (x_span *. float_of_int col /. float_of_int (config.width - 1)) in
+        let sx0 = s.Series.xs.(0) and sxn = s.Series.xs.(Array.length s.Series.xs - 1) in
+        if x >= sx0 -. 1e-12 && x <= sxn +. 1e-12 then plot_point glyph x (Series.y_at s x)
+      done)
+    series;
+  let buf = Buffer.create (config.width * config.height * 2) in
+  Buffer.add_string buf (Printf.sprintf "%12.4g +" y_max);
+  Buffer.add_string buf (String.make config.width '-');
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf (String.make 13 ' ');
+      Buffer.add_char buf '|';
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    canvas;
+  Buffer.add_string buf (Printf.sprintf "%12.4g +" y_min);
+  Buffer.add_string buf (String.make config.width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%14s%-12.4g%*s%12.4g\n" "" x_min (config.width - 24) "" x_max);
+  List.iteri
+    (fun k s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%14s%c = %s\n" "" glyphs.(k mod Array.length glyphs) s.Series.name))
+    series;
+  Buffer.contents buf
+
+let print ?config series = print_string (render ?config series)

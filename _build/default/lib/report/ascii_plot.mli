@@ -1,0 +1,18 @@
+(** Terminal line charts, for eyeballing figure shapes without leaving
+    the shell. *)
+
+type config = {
+  width : int;  (** plot area columns (default 64) *)
+  height : int;  (** plot area rows (default 16) *)
+  y_min : float option;  (** fixed axis override *)
+  y_max : float option;
+}
+
+val default : config
+
+val render : ?config:config -> Series.t list -> string
+(** Overlay the series on one canvas; each series is drawn with its own
+    glyph ([*], [+], [o], [x], [#], ...) and listed in the legend. All
+    series must be non-empty; the x ranges may differ. *)
+
+val print : ?config:config -> Series.t list -> unit

@@ -1,0 +1,62 @@
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write ~path table =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Table.to_csv_string table))
+
+let parse_string text =
+  let rows = ref [] in
+  let row = ref [] in
+  let cell = Buffer.create 32 in
+  let push_cell () =
+    row := Buffer.contents cell :: !row;
+    Buffer.clear cell
+  in
+  let push_row () =
+    push_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let n = String.length text in
+  let rec plain i =
+    if i >= n then (if Buffer.length cell > 0 || !row <> [] then push_row ())
+    else
+      match text.[i] with
+      | ',' ->
+        push_cell ();
+        plain (i + 1)
+      | '\n' ->
+        push_row ();
+        plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length cell = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char cell c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then (if Buffer.length cell > 0 || !row <> [] then push_row ())
+    else
+      match text.[i] with
+      | '"' when i + 1 < n && text.[i + 1] = '"' ->
+        Buffer.add_char cell '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char cell c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let read ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,11 @@
+(** CSV reading and writing (the subset experiments need). *)
+
+val write : path:string -> Table.t -> unit
+(** Write a table as CSV, creating parent directories as needed. *)
+
+val parse_string : string -> string list list
+(** Parse CSV text into rows of cells. Handles quoted cells, embedded
+    quotes ([""]), commas and newlines inside quotes; tolerates a
+    trailing newline. *)
+
+val read : path:string -> string list list

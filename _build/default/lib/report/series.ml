@@ -1,0 +1,79 @@
+type t = { name : string; xs : float array; ys : float array }
+
+let make ~name ~xs ~ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg (Printf.sprintf "Series.make(%s): length mismatch" name);
+  if Array.length xs = 0 then invalid_arg (Printf.sprintf "Series.make(%s): empty" name);
+  { name; xs = Array.copy xs; ys = Array.copy ys }
+
+let of_fn ~name ~xs f = make ~name ~xs ~ys:(Array.map f xs)
+
+let length s = Array.length s.xs
+
+let y_at s x =
+  let n = Array.length s.xs in
+  if x <= s.xs.(0) then s.ys.(0)
+  else if x >= s.xs.(n - 1) then s.ys.(n - 1)
+  else begin
+    let i = ref 0 in
+    while s.xs.(!i + 1) < x do
+      incr i
+    done;
+    let frac = (x -. s.xs.(!i)) /. (s.xs.(!i + 1) -. s.xs.(!i)) in
+    ((1. -. frac) *. s.ys.(!i)) +. (frac *. s.ys.(!i + 1))
+  end
+
+let argmax s =
+  let best = ref 0 in
+  Array.iteri (fun i y -> if y > s.ys.(!best) then best := i) s.ys;
+  (s.xs.(!best), s.ys.(!best))
+
+let is_monotone_nonincreasing ?(tol = 1e-9) s =
+  let ok = ref true in
+  for i = 0 to Array.length s.ys - 2 do
+    if s.ys.(i + 1) > s.ys.(i) +. tol then ok := false
+  done;
+  !ok
+
+let is_monotone_nondecreasing ?(tol = 1e-9) s =
+  let ok = ref true in
+  for i = 0 to Array.length s.ys - 2 do
+    if s.ys.(i + 1) < s.ys.(i) -. tol then ok := false
+  done;
+  !ok
+
+let is_single_peaked ?(tol = 1e-9) s =
+  (* climb while increasing, then require nonincreasing to the end *)
+  let n = Array.length s.ys in
+  let i = ref 0 in
+  while !i < n - 1 && s.ys.(!i + 1) >= s.ys.(!i) -. tol do
+    incr i
+  done;
+  let ok = ref true in
+  for j = !i to n - 2 do
+    if s.ys.(j + 1) > s.ys.(j) +. tol then ok := false
+  done;
+  !ok
+
+let dominates ?(tol = 1e-9) a b =
+  Array.length a.ys = Array.length b.ys
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i ya -> if ya < b.ys.(i) -. tol then ok := false) a.ys;
+       !ok
+     end
+
+let to_table ~x_label series =
+  match series with
+  | [] -> invalid_arg "Series.to_table: no series"
+  | first :: rest ->
+    List.iter
+      (fun s ->
+        if s.xs <> first.xs then
+          invalid_arg "Series.to_table: series use different x grids")
+      rest;
+    let table = Table.make ~columns:(x_label :: List.map (fun s -> s.name) series) in
+    Array.iteri
+      (fun i x -> Table.add_floats table (x :: List.map (fun s -> s.ys.(i)) series))
+      first.xs;
+    table

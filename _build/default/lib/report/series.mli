@@ -1,0 +1,38 @@
+(** Named data series: the in-memory form of a figure.
+
+    A figure is a set of named [(x, y)] series sharing an x-axis
+    meaning (price, policy, ...). Tables and plots are derived views. *)
+
+type t = {
+  name : string;
+  xs : float array;
+  ys : float array;
+}
+
+val make : name:string -> xs:float array -> ys:float array -> t
+(** Lengths must agree and be non-zero. *)
+
+val of_fn : name:string -> xs:float array -> (float -> float) -> t
+
+val length : t -> int
+
+val y_at : t -> float -> float
+(** Linear interpolation in the series (clamped outside the range). *)
+
+val argmax : t -> float * float
+(** The knot [(x, y)] with the largest y. *)
+
+val is_monotone_nonincreasing : ?tol:float -> t -> bool
+
+val is_monotone_nondecreasing : ?tol:float -> t -> bool
+
+val is_single_peaked : ?tol:float -> t -> bool
+(** Nondecreasing then nonincreasing (either phase may be empty). *)
+
+val dominates : ?tol:float -> t -> t -> bool
+(** [dominates a b]: [a.ys >= b.ys - tol] pointwise (same grid
+    required). *)
+
+val to_table : x_label:string -> t list -> Table.t
+(** Series sharing a common x grid rendered as one table; raises
+    [Invalid_argument] when grids differ. *)

@@ -1,0 +1,1 @@
+test/core/fixtures.ml: Econ Int64 Numerics QCheck2 Scenario Subsidization System

@@ -1,0 +1,1 @@
+test/core/suite_capacity.ml: Array Capacity Fixtures List Subsidization Test_helpers

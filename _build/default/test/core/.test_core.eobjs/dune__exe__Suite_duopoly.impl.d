@@ -1,0 +1,1 @@
+test/core/suite_duopoly.ml: Array Duopoly Nash Numerics One_sided Policy Scenario Subsidization System Test_helpers Vec Welfare

@@ -1,0 +1,1 @@
+test/core/suite_dynamics.ml: Dynamics Fixtures Gametheory Nash Numerics Subsidization Subsidy_game Test_helpers Vec

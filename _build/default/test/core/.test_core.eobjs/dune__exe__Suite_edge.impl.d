@@ -1,0 +1,1 @@
+test/core/suite_edge.ml: Array Econ Fixtures Nash Numerics One_sided QCheck2 Rng Scenario Subsidization Subsidy_game System Test_helpers Theorems Vec

@@ -1,0 +1,1 @@
+test/core/suite_longrun.ml: Alcotest Array Fixtures Float Longrun Nash Policy Subsidization System Test_helpers

@@ -1,0 +1,1 @@
+test/core/suite_nash.ml: Array Econ Fixtures Gametheory Nash Numerics Printf QCheck2 Rng Subsidization Subsidy_game System Test_helpers Vec

@@ -1,0 +1,1 @@
+test/core/suite_one_sided.ml: Alcotest Array Fixtures Float Numerics One_sided Printf QCheck2 Subsidization System Test_helpers

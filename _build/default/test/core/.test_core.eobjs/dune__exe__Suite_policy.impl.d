@@ -1,0 +1,1 @@
+test/core/suite_policy.ml: Alcotest Array Fixtures Nash Numerics Policy Subsidization System Test_helpers Welfare

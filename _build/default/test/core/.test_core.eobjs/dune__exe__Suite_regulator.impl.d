@@ -1,0 +1,1 @@
+test/core/suite_regulator.ml: Fixtures Policy Regulator Subsidization Test_helpers

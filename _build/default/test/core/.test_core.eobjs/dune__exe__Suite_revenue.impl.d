@@ -1,0 +1,1 @@
+test/core/suite_revenue.ml: Array Fixtures List Nash Numerics Printf Revenue Subsidization Subsidy_game System Test_helpers

@@ -1,0 +1,1 @@
+test/core/suite_scenario.ml: Alcotest Array Econ List Numerics One_sided Scenario Subsidization System Test_helpers

@@ -1,0 +1,1 @@
+test/core/suite_sensitivity.ml: Alcotest Array Fixtures Float Mat Nash Numerics Printf Sensitivity Subsidization Subsidy_game System Test_helpers Vec

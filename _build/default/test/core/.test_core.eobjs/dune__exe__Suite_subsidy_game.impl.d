@@ -1,0 +1,1 @@
+test/core/suite_subsidy_game.ml: Alcotest Array Econ Fixtures Float Gametheory Numerics One_sided QCheck2 Subsidization Subsidy_game System Test_helpers Vec

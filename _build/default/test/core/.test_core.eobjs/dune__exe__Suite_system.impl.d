@@ -1,0 +1,1 @@
+test/core/suite_system.ml: Array Econ Fixtures Float List Numerics QCheck2 Scenario Subsidization System Test_helpers Vec

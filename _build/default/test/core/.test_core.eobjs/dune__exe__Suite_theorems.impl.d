@@ -1,0 +1,1 @@
+test/core/suite_theorems.ml: Fixtures Format List Nash Numerics Printf String Subsidization Subsidy_game Test_helpers Theorems

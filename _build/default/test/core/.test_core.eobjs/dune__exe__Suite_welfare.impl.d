@@ -1,0 +1,1 @@
+test/core/suite_welfare.ml: Array Econ Fixtures Float Nash Numerics One_sided Revenue Sensitivity Subsidization Subsidy_game System Test_helpers Vec Welfare

@@ -1,0 +1,20 @@
+(* Shared market fixtures for the core test suites. *)
+
+open Subsidization
+
+let two_cp_system () =
+  let a = Econ.Cp.exponential ~name:"a" ~alpha:2. ~beta:3. ~value:0.5 () in
+  let b = Econ.Cp.exponential ~name:"b" ~alpha:4. ~beta:1.5 ~value:1.2 () in
+  System.make ~cps:[| a; b |] ~capacity:1. ()
+
+let paper3 () = Scenario.fig45_system ()
+
+let paper5 () = Scenario.fig7_11_system ()
+
+let uniform_charges sys t = Numerics.Vec.make (System.n_cps sys) t
+
+(* A random exponential-CP system via the library's own generator. *)
+let random_system seed =
+  Scenario.random_system (Numerics.Rng.create (Int64.of_int seed))
+
+let qcheck_seed = QCheck2.Gen.int_range 0 10_000

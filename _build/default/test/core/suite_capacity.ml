@@ -1,0 +1,65 @@
+open Subsidization
+open Test_helpers
+
+let small_sys () = Fixtures.two_cp_system ()
+
+let test_evaluate_fixed_price () =
+  let plan =
+    Capacity.evaluate (small_sys ()) ~pricing:(Capacity.Fixed_price 0.5) ~cap:0.5
+      ~unit_cost:0.1 ~capacity:2.
+  in
+  check_close "capacity" 2. plan.Capacity.capacity;
+  check_close "price" 0.5 plan.Capacity.price;
+  check_close ~tol:1e-12 "cost" 0.2 plan.Capacity.cost;
+  check_close ~tol:1e-12 "profit = revenue - cost"
+    (plan.Capacity.revenue -. 0.2) plan.Capacity.profit;
+  check_raises_invalid "negative cost" (fun () ->
+      Capacity.evaluate (small_sys ()) ~pricing:(Capacity.Fixed_price 0.5) ~cap:0.5
+        ~unit_cost:(-1.) ~capacity:1.
+      |> ignore)
+
+let test_more_capacity_lowers_utilization () =
+  let at mu =
+    Capacity.evaluate (small_sys ()) ~pricing:(Capacity.Fixed_price 0.5) ~cap:0.5
+      ~unit_cost:0.1 ~capacity:mu
+  in
+  check_true "phi falls with mu"
+    ((at 2.).Capacity.utilization < (at 0.5).Capacity.utilization)
+
+let test_optimal_interior () =
+  let plan =
+    Capacity.optimal ~mu_lo:0.1 ~mu_hi:8. ~points:11 (small_sys ())
+      ~pricing:(Capacity.Fixed_price 0.5) ~cap:0.5 ~unit_cost:0.1
+  in
+  check_in_range "interior optimum" ~lo:0.1 ~hi:8. plan.Capacity.capacity;
+  (* dominates a few probes *)
+  List.iter
+    (fun mu ->
+      let probe =
+        Capacity.evaluate (small_sys ()) ~pricing:(Capacity.Fixed_price 0.5) ~cap:0.5
+          ~unit_cost:0.1 ~capacity:mu
+      in
+      check_true "optimum dominates" (plan.Capacity.profit >= probe.Capacity.profit -. 1e-3))
+    [ 0.3; 1.; 3.; 6. ];
+  check_raises_invalid "bad range" (fun () ->
+      Capacity.optimal ~mu_lo:2. ~mu_hi:1. (small_sys ())
+        ~pricing:(Capacity.Fixed_price 0.5) ~cap:0.5 ~unit_cost:0.1
+      |> ignore)
+
+let test_investment_rises_with_cap () =
+  let plans =
+    Capacity.investment_incentive ~mu_lo:0.1 ~mu_hi:8. (small_sys ())
+      ~pricing:(Capacity.Fixed_price 0.5) ~unit_cost:0.1 ~caps:[| 0.; 0.6 |]
+  in
+  check_true "deregulation raises optimal capacity"
+    (plans.(1).Capacity.capacity >= plans.(0).Capacity.capacity -. 1e-3);
+  check_true "and profit" (plans.(1).Capacity.profit >= plans.(0).Capacity.profit -. 1e-6)
+
+let suite =
+  ( "capacity",
+    [
+      quick "evaluate" test_evaluate_fixed_price;
+      quick "capacity lowers phi" test_more_capacity_lowers_utilization;
+      quick "optimal interior" test_optimal_interior;
+      quick "investment rises with q" test_investment_rises_with_cap;
+    ] )

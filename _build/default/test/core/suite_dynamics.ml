@@ -1,0 +1,55 @@
+open Numerics
+open Subsidization
+open Test_helpers
+
+let game () = Subsidy_game.make (Fixtures.paper5 ()) ~price:0.8 ~cap:1.0
+
+let test_br_trace_matches_nash () =
+  let g = game () in
+  let static = Nash.solve g in
+  let trace = Dynamics.best_response_trace g ~x0:(Vec.zeros 8) in
+  check_true "converged" trace.Gametheory.Tatonnement.converged;
+  check_true "same point"
+    (Vec.dist_inf (Gametheory.Tatonnement.final trace) static.Nash.subsidies < 1e-8)
+
+let test_gradient_flow_matches_nash () =
+  let g = game () in
+  let static = Nash.solve g in
+  let flow = Dynamics.gradient_flow g ~x0:(Vec.zeros 8) in
+  check_true "stationary" flow.Gametheory.Gradient_dynamics.stationary;
+  check_true "near static Nash"
+    (Vec.dist_inf flow.Gametheory.Gradient_dynamics.final static.Nash.subsidies < 1e-4)
+
+let test_compare_agrees () =
+  let report = Dynamics.compare (game ()) in
+  check_true "processes agree" report.Dynamics.agree
+
+let test_compare_from_interior_start () =
+  let report = Dynamics.compare ~x0:(Vec.make 8 0.5) (game ()) in
+  check_true "agree from interior start" report.Dynamics.agree
+
+let test_solve_vi_cross_validates () =
+  let g = game () in
+  let br = Nash.solve g in
+  let vi = Nash.solve_vi ~tol:1e-9 g in
+  check_true "vi converged" vi.Nash.converged;
+  check_true "vi kkt small" (vi.Nash.kkt_residual < 1e-5);
+  check_true "same equilibrium" (Vec.dist_inf vi.Nash.subsidies br.Nash.subsidies < 1e-5)
+
+let test_solve_vi_on_tight_cap () =
+  let g = Subsidy_game.make (Fixtures.paper5 ()) ~price:0.8 ~cap:0.3 in
+  let br = Nash.solve g in
+  let vi = Nash.solve_vi ~tol:1e-9 g in
+  check_true "vi handles binding caps"
+    (Vec.dist_inf vi.Nash.subsidies br.Nash.subsidies < 1e-5)
+
+let suite =
+  ( "dynamics",
+    [
+      quick "br trace matches nash" test_br_trace_matches_nash;
+      quick "gradient flow matches nash" test_gradient_flow_matches_nash;
+      quick "compare agrees" test_compare_agrees;
+      quick "compare from interior" test_compare_from_interior_start;
+      quick "solve_vi cross-validates" test_solve_vi_cross_validates;
+      quick "solve_vi with binding caps" test_solve_vi_on_tight_cap;
+    ] )

@@ -1,0 +1,132 @@
+(* Edge cases and stress configurations for the core model. *)
+
+open Numerics
+open Subsidization
+open Test_helpers
+
+let test_single_cp_market () =
+  let cp = Econ.Cp.exponential ~alpha:3. ~beta:2. ~value:1. () in
+  let sys = System.make ~cps:[| cp |] ~capacity:1. () in
+  let game = Subsidy_game.make sys ~price:0.5 ~cap:1. in
+  let eq = Nash.solve game in
+  check_true "single-CP game solves" eq.Nash.converged;
+  (* a monopolist CP still subsidizes: it internalizes only its own
+     congestion *)
+  check_true "monopolist CP subsidizes" (eq.Nash.subsidies.(0) > 0.)
+
+let test_large_market () =
+  let rng = Rng.create 7L in
+  let cps = Array.init 15 (fun _ -> Scenario.random_cp rng) in
+  let sys = System.make ~cps ~capacity:2. () in
+  let eq = Nash.solve (Subsidy_game.make sys ~price:0.6 ~cap:0.8) in
+  check_true "15-CP market converges" eq.Nash.converged;
+  check_true "KKT certified" (eq.Nash.kkt_residual < 1e-5)
+
+let test_tiny_capacity () =
+  let sys = System.with_capacity (Scenario.fig7_11_system ()) 1e-3 in
+  let st = One_sided.state sys ~price:0.5 in
+  check_true "severe congestion" (st.System.phi > 2.);
+  let eq = Nash.solve (Subsidy_game.make sys ~price:0.5 ~cap:1.) in
+  check_true "still solves" eq.Nash.converged
+
+let test_huge_capacity () =
+  let sys = System.with_capacity (Scenario.fig7_11_system ()) 1e4 in
+  let st = One_sided.state sys ~price:0.5 in
+  check_true "negligible congestion" (st.System.phi < 1e-3);
+  (* rates approach lambda(0) = 1 *)
+  Array.iter (fun r -> check_close ~tol:1e-2 "free-flow rate" 1. r) st.System.rates
+
+let test_zero_price () =
+  let sys = Scenario.fig7_11_system () in
+  let eq = Nash.solve (Subsidy_game.make sys ~price:0. ~cap:1.) in
+  check_true "p=0 solves" eq.Nash.converged;
+  (* subsidies can exceed the price: users are effectively paid *)
+  check_true "negative effective charges allowed"
+    (Array.exists (fun t -> t < 0.) eq.Nash.state.System.charges)
+
+let test_cap_above_all_values () =
+  (* the cap never binds when it exceeds every v_i: N+ must be empty *)
+  let sys = Scenario.fig7_11_system () in
+  let eq = Nash.solve (Subsidy_game.make sys ~price:0.8 ~cap:50.) in
+  check_true "no CP at the cap"
+    (Array.for_all (fun c -> c <> Nash.Upper) eq.Nash.classes);
+  (* subsidies never exceed own value: margin would go negative *)
+  Array.iteri
+    (fun i s -> check_true "s_i <= v_i" (s <= sys.System.cps.(i).Econ.Cp.value +. 1e-9))
+    eq.Nash.subsidies
+
+let test_extreme_elasticities () =
+  let stiff = Econ.Cp.exponential ~name:"stiff" ~alpha:0.05 ~beta:0.05 ~value:1. () in
+  let twitchy = Econ.Cp.exponential ~name:"twitchy" ~alpha:20. ~beta:20. ~value:1. () in
+  let sys = System.make ~cps:[| stiff; twitchy |] ~capacity:1. () in
+  let eq = Nash.solve (Subsidy_game.make sys ~price:0.7 ~cap:1.) in
+  check_true "extreme elasticities converge" eq.Nash.converged;
+  check_true "KKT" (eq.Nash.kkt_residual < 1e-5)
+
+let test_high_price_starves_market () =
+  let sys = Scenario.fig7_11_system () in
+  let st = One_sided.state sys ~price:50. in
+  check_true "demand collapses" (st.System.aggregate < 1e-10);
+  check_true "utilization collapses" (st.System.phi < 1e-10)
+
+let test_mixed_function_families () =
+  (* a market mixing demand and throughput families across CPs *)
+  let cps =
+    [|
+      Econ.Cp.make ~name:"iso-rational"
+        ~demand:(Econ.Demand.isoelastic ~alpha:2. ())
+        ~throughput:(Econ.Throughput.rational ~beta:3. ())
+        ~value:0.8 ();
+      Econ.Cp.make ~name:"logit-exp"
+        ~demand:(Econ.Demand.logit ~slope:3. ~midpoint:0.6 ())
+        ~throughput:(Econ.Throughput.exponential ~beta:2. ())
+        ~value:1.1 ();
+      Econ.Cp.exponential ~name:"exp-exp" ~alpha:3. ~beta:1. ~value:0.5 ();
+    |]
+  in
+  let sys = System.make ~utilization:(Econ.Utilization.power 1.3) ~cps ~capacity:1.5 () in
+  let eq = Nash.solve (Subsidy_game.make sys ~price:0.6 ~cap:0.9) in
+  check_true "mixed families converge" eq.Nash.converged;
+  check_true "mixed-family KKT" (eq.Nash.kkt_residual < 1e-5);
+  (* theorem machinery still validates on this market *)
+  let charges = Vec.make 3 0.6 in
+  check_true "lemma 1 on mixed market"
+    (Theorems.lemma1_uniqueness sys ~charges).Theorems.passed
+
+let test_identical_cps_symmetric_equilibrium () =
+  let cp () = Econ.Cp.exponential ~alpha:3. ~beta:3. ~value:0.8 () in
+  let sys = System.make ~cps:[| cp (); cp (); cp () |] ~capacity:1. () in
+  let eq = Nash.solve (Subsidy_game.make sys ~price:0.5 ~cap:1.) in
+  check_close ~tol:1e-8 "symmetric 0-1" eq.Nash.subsidies.(0) eq.Nash.subsidies.(1);
+  check_close ~tol:1e-8 "symmetric 1-2" eq.Nash.subsidies.(1) eq.Nash.subsidies.(2)
+
+let prop_differential_br_vs_vi =
+  prop "best-response and extragradient agree on random markets" ~count:15
+    QCheck2.Gen.(triple Fixtures.qcheck_seed (float_range 0.3 1.2) (float_range 0.2 1.))
+    (fun (seed, p, q) ->
+      let sys = Fixtures.random_system seed in
+      let game = Subsidy_game.make sys ~price:p ~cap:q in
+      let br = Nash.solve game in
+      (* warm-start the extragradient iteration at the BR equilibrium:
+         it must stay there (the VI certificate of the BR answer);
+         cold-started extragradient can stall on the non-monotone
+         stretches random markets sometimes have *)
+      let vi = Nash.solve_vi ~tol:1e-9 ~x0:br.Nash.subsidies game in
+      vi.Nash.converged
+      && Vec.dist_inf br.Nash.subsidies vi.Nash.subsidies < 1e-4)
+
+let suite =
+  ( "edge-cases",
+    [
+      quick "single CP" test_single_cp_market;
+      quick "15-CP market" test_large_market;
+      quick "tiny capacity" test_tiny_capacity;
+      quick "huge capacity" test_huge_capacity;
+      quick "zero price" test_zero_price;
+      quick "slack cap" test_cap_above_all_values;
+      quick "extreme elasticities" test_extreme_elasticities;
+      quick "prohibitive price" test_high_price_starves_market;
+      quick "mixed families" test_mixed_function_families;
+      quick "symmetric equilibrium" test_identical_cps_symmetric_equilibrium;
+      prop_differential_br_vs_vi;
+    ] )

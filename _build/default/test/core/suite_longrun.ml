@@ -1,0 +1,101 @@
+open Subsidization
+open Test_helpers
+
+let sys () = Fixtures.paper5 ()
+
+let short_params = { Longrun.default_params with Longrun.periods = 10 }
+
+let test_validation () =
+  check_raises_invalid "bad periods" (fun () ->
+      Longrun.simulate ~params:{ short_params with Longrun.periods = 0 } (sys ())
+        ~price:0.8 ~cap:0.
+      |> ignore);
+  check_raises_invalid "bad unit_cost" (fun () ->
+      Longrun.simulate ~params:{ short_params with Longrun.unit_cost = 0. } (sys ())
+        ~price:0.8 ~cap:0.
+      |> ignore);
+  check_raises_invalid "bad reinvestment" (fun () ->
+      Longrun.simulate ~params:{ short_params with Longrun.reinvestment = 1.5 } (sys ())
+        ~price:0.8 ~cap:0.
+      |> ignore);
+  check_raises_invalid "bad depreciation" (fun () ->
+      Longrun.simulate ~params:{ short_params with Longrun.depreciation = 1. } (sys ())
+        ~price:0.8 ~cap:0.
+      |> ignore)
+
+let test_first_snapshot_is_static_market () =
+  let snaps = Longrun.simulate ~params:short_params (sys ()) ~price:0.8 ~cap:1. in
+  Alcotest.(check int) "period count" 10 (Array.length snaps);
+  check_close "starts at initial capacity" 1. snaps.(0).Longrun.capacity;
+  let static = Policy.nash_at (sys ()) ~price:0.8 ~cap:1. in
+  check_close ~tol:1e-8 "t=0 equals the static equilibrium"
+    static.Nash.state.System.phi snaps.(0).Longrun.equilibrium.Nash.state.System.phi
+
+let test_accounting () =
+  let snaps = Longrun.simulate ~params:short_params (sys ()) ~price:0.8 ~cap:1. in
+  Array.iter
+    (fun s ->
+      check_close ~tol:1e-10 "revenue = p theta"
+        (0.8 *. s.Longrun.equilibrium.Nash.state.System.aggregate)
+        s.Longrun.revenue;
+      check_close ~tol:1e-10 "profit = revenue - cost"
+        (s.Longrun.revenue -. (0.2 *. s.Longrun.capacity))
+        s.Longrun.profit)
+    snaps
+
+let test_capacity_update_rule () =
+  let snaps = Longrun.simulate ~params:short_params (sys ()) ~price:0.8 ~cap:1. in
+  for k = 0 to Array.length snaps - 2 do
+    let s = snaps.(k) in
+    let expected =
+      (s.Longrun.capacity *. 0.95) +. (0.5 *. Float.max 0. s.Longrun.profit /. 0.2)
+    in
+    check_close ~tol:1e-10 "mu' follows the law of motion" expected
+      snaps.(k + 1).Longrun.capacity
+  done
+
+let test_deregulation_accumulates_more_capacity () =
+  let banned = Longrun.simulate ~params:short_params (sys ()) ~price:0.8 ~cap:0. in
+  let dereg = Longrun.simulate ~params:short_params (sys ()) ~price:0.8 ~cap:1. in
+  let last a = a.(Array.length a - 1) in
+  check_true "q=1 ends with more capacity"
+    ((last dereg).Longrun.capacity > (last banned).Longrun.capacity)
+
+let test_victim_recovery () =
+  let params = { Longrun.default_params with Longrun.periods = 20 } in
+  let banned = Longrun.simulate ~params (sys ()) ~price:0.8 ~cap:0. in
+  let dereg = Longrun.simulate ~params (sys ()) ~price:0.8 ~cap:1. in
+  let tb = Longrun.throughput_path banned ~cp:5 in
+  let td = Longrun.throughput_path dereg ~cp:5 in
+  check_true "initial harm" (td.(0) < tb.(0));
+  check_true "long-run recovery" (td.(19) > tb.(19))
+
+let test_paths_and_steady_state () =
+  let snaps = Longrun.simulate (sys ()) ~price:0.8 ~cap:1. in
+  let caps = Longrun.capacity_path snaps in
+  Alcotest.(check int) "path length" 30 (Array.length caps);
+  (match Longrun.steady_state_capacity snaps with
+  | Some c -> check_in_range "steady state plausible" ~lo:1. ~hi:20. c
+  | None -> Alcotest.fail "expected convergence in 30 periods");
+  let th = Longrun.throughput_path snaps ~cp:0 in
+  Array.iter (fun t -> check_true "throughput positive" (t > 0.)) th
+
+let test_no_reinvestment_decays () =
+  let params =
+    { Longrun.periods = 10; unit_cost = 0.2; reinvestment = 0.; depreciation = 0.1 }
+  in
+  let snaps = Longrun.simulate ~params (sys ()) ~price:0.8 ~cap:1. in
+  check_close ~tol:1e-9 "pure decay" (0.9 ** 9.) snaps.(9).Longrun.capacity
+
+let suite =
+  ( "longrun",
+    [
+      quick "validation" test_validation;
+      quick "first snapshot" test_first_snapshot_is_static_market;
+      quick "accounting" test_accounting;
+      quick "law of motion" test_capacity_update_rule;
+      quick "investment gap" test_deregulation_accumulates_more_capacity;
+      quick "victim recovery" test_victim_recovery;
+      quick "paths and steady state" test_paths_and_steady_state;
+      quick "no reinvestment" test_no_reinvestment_decays;
+    ] )

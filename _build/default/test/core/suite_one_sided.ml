@@ -1,0 +1,102 @@
+open Subsidization
+open Test_helpers
+
+let test_uniform_charges () =
+  let sys = Fixtures.two_cp_system () in
+  let st = One_sided.state sys ~price:0.7 in
+  Array.iter (fun t -> check_close "t_i = p" 0.7 t) st.System.charges;
+  check_raises_invalid "negative price" (fun () ->
+      One_sided.state sys ~price:(-0.1) |> ignore)
+
+let test_revenue_definition () =
+  let sys = Fixtures.two_cp_system () in
+  let st = One_sided.state sys ~price:0.7 in
+  check_close ~tol:1e-12 "R = p theta" (0.7 *. st.System.aggregate)
+    (One_sided.revenue sys ~price:0.7)
+
+let test_theorem2_signs () =
+  let sys = Fixtures.paper3 () in
+  let st = One_sided.state sys ~price:0.6 in
+  check_true "dphi/dp <= 0" (One_sided.dphi_dprice sys st <= 0.);
+  check_true "dtheta/dp <= 0" (One_sided.daggregate_dprice sys st <= 0.);
+  (* aggregate slope equals the sum of per-CP slopes *)
+  let total = ref 0. in
+  for i = 0 to System.n_cps sys - 1 do
+    total := !total +. One_sided.dthroughput_dprice sys st i
+  done;
+  check_close ~tol:1e-10 "slopes sum" !total (One_sided.daggregate_dprice sys st)
+
+let test_dphi_matches_fd () =
+  let sys = Fixtures.paper3 () in
+  let p = 0.6 in
+  let st = One_sided.state sys ~price:p in
+  let h = 1e-6 in
+  let numeric =
+    ((One_sided.state sys ~price:(p +. h)).System.phi
+    -. (One_sided.state sys ~price:(p -. h)).System.phi)
+    /. (2. *. h)
+  in
+  check_close ~tol:1e-5 "dphi/dp vs FD" numeric (One_sided.dphi_dprice sys st)
+
+let test_condition7_requires_positive_price () =
+  let sys = Fixtures.paper3 () in
+  let st = One_sided.state sys ~price:0. in
+  check_raises_invalid "p = 0" (fun () -> One_sided.condition7_margin sys st 0 |> ignore)
+
+let test_condition7_sign_agreement () =
+  let sys = Fixtures.paper3 () in
+  let p = 0.3 in
+  let st = One_sided.state sys ~price:p in
+  let h = 1e-6 in
+  for i = 0 to System.n_cps sys - 1 do
+    let th q = (One_sided.state sys ~price:q).System.throughputs.(i) in
+    let numeric = (th (p +. h) -. th (p -. h)) /. (2. *. h) in
+    let margin = One_sided.condition7_margin sys st i in
+    if Float.abs numeric > 1e-6 && Float.abs margin > 1e-9 then
+      check_true
+        (Printf.sprintf "condition (7) sign for CP %d" i)
+        ((margin > 0.) = (numeric > 0.))
+  done
+
+let test_revenue_curve_and_peak () =
+  let sys = Fixtures.paper3 () in
+  let prices = Numerics.Grid.linspace 0.01 2. 30 in
+  let curve = One_sided.revenue_curve sys ~prices in
+  Alcotest.(check int) "curve length" 30 (Array.length curve);
+  Array.iteri
+    (fun k (p, r) ->
+      check_close "x preserved" prices.(k) p;
+      check_close ~tol:1e-8 "revenue matches direct computation"
+        (One_sided.revenue sys ~price:p) r)
+    curve;
+  let p_star, r_star = One_sided.peak_revenue ~p_max:2. sys in
+  Array.iter (fun (_, r) -> check_true "peak dominates curve" (r_star >= r -. 1e-6)) curve;
+  check_in_range "peak price interior" ~lo:0.01 ~hi:1.99 p_star
+
+let prop_aggregate_decreasing_in_price =
+  prop "aggregate throughput decreases in price on random systems" ~count:40
+    QCheck2.Gen.(pair Fixtures.qcheck_seed (float_range 0.05 1.5))
+    (fun (seed, p) ->
+      let sys = Fixtures.random_system seed in
+      let theta_lo = (One_sided.state sys ~price:p).System.aggregate in
+      let theta_hi = (One_sided.state sys ~price:(p +. 0.2)).System.aggregate in
+      theta_hi <= theta_lo +. 1e-9)
+
+let prop_revenue_zero_at_zero_price =
+  prop "revenue vanishes as p -> 0" ~count:20 Fixtures.qcheck_seed (fun seed ->
+      let sys = Fixtures.random_system seed in
+      One_sided.revenue sys ~price:1e-9 < 1e-6)
+
+let suite =
+  ( "one-sided",
+    [
+      quick "uniform charges" test_uniform_charges;
+      quick "revenue definition" test_revenue_definition;
+      quick "theorem 2 signs" test_theorem2_signs;
+      quick "dphi/dp vs FD" test_dphi_matches_fd;
+      quick "condition 7 validation" test_condition7_requires_positive_price;
+      quick "condition 7 sign" test_condition7_sign_agreement;
+      quick "revenue curve & peak" test_revenue_curve_and_peak;
+      prop_aggregate_decreasing_in_price;
+      prop_revenue_zero_at_zero_price;
+    ] )

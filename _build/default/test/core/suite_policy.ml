@@ -1,0 +1,77 @@
+open Subsidization
+open Test_helpers
+
+let test_point_consistency () =
+  let sys = Fixtures.paper5 () in
+  let point = Policy.point_at sys ~price:0.8 ~cap:0.5 in
+  check_close "cap recorded" 0.5 point.Policy.cap;
+  check_close "price recorded" 0.8 point.Policy.price;
+  check_close ~tol:1e-12 "revenue consistent"
+    (0.8 *. point.Policy.equilibrium.Nash.state.System.aggregate)
+    point.Policy.revenue;
+  check_close ~tol:1e-12 "welfare consistent"
+    (Welfare.of_state sys point.Policy.equilibrium.Nash.state)
+    point.Policy.welfare;
+  check_close ~tol:1e-12 "phi consistent"
+    point.Policy.equilibrium.Nash.state.System.phi point.Policy.utilization
+
+let test_price_sweep_matches_pointwise () =
+  let sys = Fixtures.paper5 () in
+  let prices = [| 0.4; 0.8; 1.2 |] in
+  let sweep = Policy.price_sweep sys ~cap:0.5 ~prices in
+  Alcotest.(check int) "length" 3 (Array.length sweep);
+  Array.iteri
+    (fun k point ->
+      let direct = Policy.point_at sys ~price:prices.(k) ~cap:0.5 in
+      check_close ~tol:1e-6 "warm-started sweep equals cold points"
+        direct.Policy.revenue point.Policy.revenue)
+    sweep
+
+let test_policy_sweep_shape () =
+  let sys = Fixtures.paper5 () in
+  let grid = Policy.policy_sweep sys ~caps:[| 0.; 0.5 |] ~prices:[| 0.5; 1.0 |] in
+  Alcotest.(check int) "rows per cap" 2 (Array.length grid);
+  Alcotest.(check int) "cols per price" 2 (Array.length grid.(0));
+  check_close "row cap" 0.5 grid.(1).(0).Policy.cap
+
+let test_deregulation_ladder_monotone () =
+  let sys = Fixtures.paper5 () in
+  let ladder =
+    Policy.deregulation_ladder sys ~price:0.8 ~caps:[| 0.; 0.3; 0.6; 0.9; 1.2 |]
+  in
+  Array.iteri
+    (fun k point ->
+      if k > 0 then begin
+        check_true "revenue nondecreasing"
+          (point.Policy.revenue >= ladder.(k - 1).Policy.revenue -. 1e-7);
+        check_true "utilization nondecreasing"
+          (point.Policy.utilization >= ladder.(k - 1).Policy.utilization -. 1e-7)
+      end)
+    ladder
+
+let test_optimal_price_dominates () =
+  let sys = Fixtures.paper5 () in
+  let best = Policy.optimal_price ~p_max:2.5 ~points:25 sys ~cap:0.5 in
+  Array.iter
+    (fun p ->
+      let point = Policy.point_at sys ~price:p ~cap:0.5 in
+      check_true "p* dominates grid" (best.Policy.revenue >= point.Policy.revenue -. 1e-4))
+    (Numerics.Grid.linspace 0.2 2.4 8)
+
+let test_price_response_slope_sign () =
+  let sys = Fixtures.paper5 () in
+  let slope = Policy.price_response_slope ~h:0.05 sys ~cap:0.5 ~p_max:2.5 () in
+  (* the monopolist's optimal price moves smoothly; just require a finite,
+     modest response *)
+  check_in_range "dp*/dq finite" ~lo:(-2.) ~hi:2. slope
+
+let suite =
+  ( "policy",
+    [
+      quick "point consistency" test_point_consistency;
+      quick "price sweep" test_price_sweep_matches_pointwise;
+      quick "policy sweep shape" test_policy_sweep_shape;
+      quick "deregulation ladder" test_deregulation_ladder_monotone;
+      quick "optimal price dominates" test_optimal_price_dominates;
+      quick "price response slope" test_price_response_slope_sign;
+    ] )

@@ -1,0 +1,56 @@
+open Subsidization
+open Test_helpers
+
+let sys () = Fixtures.paper5 ()
+
+let test_isp_price_respects_cap () =
+  let unconstrained = Regulator.isp_price (sys ()) ~cap:1.0 ~price_cap:None in
+  let capped = Regulator.isp_price (sys ()) ~cap:1.0 ~price_cap:(Some 0.3) in
+  check_true "ceiling binds" (capped <= 0.3 +. 1e-9);
+  check_true "unconstrained above the ceiling" (unconstrained > 0.3)
+
+let test_evaluate_consistency () =
+  let regime = Regulator.evaluate (sys ()) ~cap:1.0 ~price_cap:(Some 0.5) in
+  check_close "cap recorded" 1.0 regime.Regulator.cap;
+  check_true "price under ceiling" (regime.Regulator.price <= 0.5 +. 1e-9);
+  let point = Policy.point_at (sys ()) ~price:regime.Regulator.price ~cap:1.0 in
+  check_close ~tol:1e-9 "welfare consistent" point.Policy.welfare regime.Regulator.welfare
+
+let test_optimal_policy_prefers_deregulation () =
+  (* with the price held down by a cap, more subsidization freedom is
+     always (weakly) better: the regulator picks the largest q *)
+  let regime =
+    Regulator.optimal_policy (sys ()) ~price_cap:(Some 0.5)
+      ~caps:[| 0.; 0.5; 1.0; 1.5; 2.0 |]
+  in
+  (* beyond the point where no CP's subsidy is cap-constrained, welfare
+     plateaus, so any permissive cap can win the (tie-broken) argmax *)
+  check_in_range "picks a permissive cap" ~lo:1.0 ~hi:2.0 regime.Regulator.cap;
+  let top = Regulator.evaluate (sys ()) ~cap:2.0 ~price_cap:(Some 0.5) in
+  check_close ~tol:1e-6 "welfare equals the fully deregulated level"
+    top.Regulator.welfare regime.Regulator.welfare
+
+let test_joint_policy_uses_price_cap () =
+  let joint =
+    Regulator.optimal_policy_with_price_cap (sys ()) ~caps:[| 0.; 2.0 |]
+      ~price_caps:[| 0.3; 0.6; 1.0 |]
+  in
+  let unregulated = Regulator.optimal_policy (sys ()) ~price_cap:None ~caps:[| 0.; 2.0 |] in
+  check_true "price regulation helps welfare"
+    (joint.Regulator.welfare >= unregulated.Regulator.welfare -. 1e-9);
+  check_true "the chosen regime caps the price" (joint.Regulator.price_cap <> None);
+  check_in_range "and deregulates subsidies" ~lo:1.0 ~hi:2.0 joint.Regulator.cap
+
+let test_zero_ceiling_means_zero_price () =
+  let p = Regulator.isp_price (sys ()) ~cap:0.5 ~price_cap:(Some 0.) in
+  check_close "free access" 0. p
+
+let suite =
+  ( "regulator",
+    [
+      quick "price respects cap" test_isp_price_respects_cap;
+      quick "evaluate consistency" test_evaluate_consistency;
+      quick "optimal policy deregulates" test_optimal_policy_prefers_deregulation;
+      quick "joint policy" test_joint_policy_uses_price_cap;
+      quick "zero ceiling" test_zero_ceiling_means_zero_price;
+    ] )

@@ -1,0 +1,74 @@
+open Subsidization
+open Test_helpers
+
+let test_fig45_population () =
+  let cps = Scenario.fig45_cps () in
+  Alcotest.(check int) "9 CP types" 9 (Array.length cps);
+  (* alpha-major ordering: first three share alpha=1 *)
+  Alcotest.(check string) "first" "a1b1" cps.(0).Econ.Cp.name;
+  Alcotest.(check string) "last" "a5b5" cps.(8).Econ.Cp.name;
+  Array.iter (fun cp -> check_close "v = 1" 1. cp.Econ.Cp.value) cps;
+  let sys = Scenario.fig45_system () in
+  check_close "mu = 1" 1. sys.System.capacity
+
+let test_fig7_11_population () =
+  let cps = Scenario.fig7_11_cps () in
+  Alcotest.(check int) "8 CP types" 8 (Array.length cps);
+  Alcotest.(check string) "first" "a2b2v0.5" cps.(0).Econ.Cp.name;
+  Alcotest.(check string) "last" "a5b5v1" cps.(7).Econ.Cp.name;
+  let low_value = Array.to_list (Array.sub cps 0 4) in
+  List.iter (fun cp -> check_close "v = 0.5 first half" 0.5 cp.Econ.Cp.value) low_value
+
+let test_q_levels_and_price_grid () =
+  let qs = Scenario.q_levels () in
+  Alcotest.(check int) "5 levels" 5 (Array.length qs);
+  check_close "top level" 2. qs.(4);
+  let grid = Scenario.price_grid () in
+  Alcotest.(check int) "default 41 points" 41 (Array.length grid);
+  check_true "zero nudged" (grid.(0) > 0.);
+  check_close "p_max" 2. grid.(40);
+  let coarse = Scenario.price_grid ~points:11 ~p_max:1. () in
+  check_close "custom p_max" 1. coarse.(10)
+
+let test_random_generators () =
+  let rng = Numerics.Rng.create 7L in
+  for _ = 1 to 20 do
+    let cp = Scenario.random_cp rng in
+    check_true "value nonnegative" (cp.Econ.Cp.value >= 0.);
+    check_true "demand positive" (Econ.Cp.population cp 0.5 > 0.)
+  done;
+  let sys = Scenario.random_system rng in
+  check_in_range "random size" ~lo:2. ~hi:8. (float_of_int (System.n_cps sys));
+  let fixed = Scenario.random_system ~n:4 ~capacity:2. rng in
+  Alcotest.(check int) "explicit n" 4 (System.n_cps fixed);
+  check_close "explicit capacity" 2. fixed.System.capacity
+
+let test_fig45_reproduces_paper_utilization_formula () =
+  (* for the linear family, phi solves phi = sum e^{-(alpha p + beta phi)} *)
+  let sys = Scenario.fig45_system () in
+  let p = 0.5 in
+  let st = One_sided.state sys ~price:p in
+  let rhs =
+    Array.fold_left
+      (fun acc cp ->
+        match
+          ( Econ.Demand.spec cp.Econ.Cp.demand,
+            Econ.Throughput.spec cp.Econ.Cp.throughput )
+        with
+        | Econ.Demand.Exponential { alpha; _ }, Econ.Throughput.Exponential { beta; _ }
+          ->
+          acc +. exp (-.((alpha *. p) +. (beta *. st.System.phi)))
+        | _, _ -> Alcotest.fail "unexpected family")
+      0. sys.System.cps
+  in
+  check_close ~tol:1e-9 "paper formula" rhs st.System.phi
+
+let suite =
+  ( "scenario",
+    [
+      quick "fig 4-5 population" test_fig45_population;
+      quick "fig 7-11 population" test_fig7_11_population;
+      quick "levels and grid" test_q_levels_and_price_grid;
+      quick "random generators" test_random_generators;
+      quick "paper utilization identity" test_fig45_reproduces_paper_utilization_formula;
+    ] )

@@ -1,0 +1,142 @@
+open Numerics
+open Subsidization
+open Test_helpers
+
+let game () = Subsidy_game.make (Fixtures.two_cp_system ()) ~price:0.6 ~cap:0.8
+
+let test_make_validation () =
+  check_raises_invalid "negative price" (fun () ->
+      Subsidy_game.make (Fixtures.two_cp_system ()) ~price:(-1.) ~cap:1. |> ignore);
+  check_raises_invalid "negative cap" (fun () ->
+      Subsidy_game.make (Fixtures.two_cp_system ()) ~price:1. ~cap:(-1.) |> ignore)
+
+let test_accessors () =
+  let g = game () in
+  check_close "price" 0.6 (Subsidy_game.price g);
+  check_close "cap" 0.8 (Subsidy_game.cap g);
+  Alcotest.(check int) "dim" 2 (Subsidy_game.dim g);
+  check_close "with_price" 1.1 (Subsidy_game.price (Subsidy_game.with_price g 1.1));
+  check_close "with_cap" 0.3 (Subsidy_game.cap (Subsidy_game.with_cap g 0.3));
+  let box = Subsidy_game.box g in
+  check_close "box hi" 0.8 (Gametheory.Box.hi_i box 0)
+
+let test_charges () =
+  let g = game () in
+  let t = Subsidy_game.charges g ~subsidies:(Vec.of_list [ 0.2; 0.7 ]) in
+  check_close "t_0" 0.4 t.(0);
+  check_close ~tol:1e-12 "t_1 can go negative" (-0.1) t.(1)
+
+let test_zero_subsidy_matches_one_sided () =
+  let g = game () in
+  let st = Subsidy_game.state g ~subsidies:(Vec.zeros 2) in
+  let reference = One_sided.state (Fixtures.two_cp_system ()) ~price:0.6 in
+  check_close ~tol:1e-10 "same phi" reference.System.phi st.System.phi
+
+let test_utility_definition () =
+  let g = game () in
+  let s = Vec.of_list [ 0.1; 0.4 ] in
+  let st = Subsidy_game.state g ~subsidies:s in
+  let sys = Fixtures.two_cp_system () in
+  Array.iteri
+    (fun i cp ->
+      check_close ~tol:1e-12 "U_i = (v_i - s_i) theta_i"
+        ((cp.Econ.Cp.value -. s.(i)) *. st.System.throughputs.(i))
+        (Subsidy_game.utility g ~subsidies:s i))
+    sys.System.cps;
+  let all = Subsidy_game.utilities g ~subsidies:s in
+  check_close ~tol:1e-12 "vector matches scalar" (Subsidy_game.utility g ~subsidies:s 1) all.(1)
+
+let test_lemma3_monotonicity () =
+  let g = game () in
+  let s = Vec.of_list [ 0.1; 0.2 ] in
+  let base = Subsidy_game.state g ~subsidies:s in
+  let bumped = Subsidy_game.state g ~subsidies:(Vec.of_list [ 0.3; 0.2 ]) in
+  check_true "phi up" (bumped.System.phi >= base.System.phi);
+  check_true "own theta up" (bumped.System.throughputs.(0) >= base.System.throughputs.(0));
+  check_true "other theta down" (bumped.System.throughputs.(1) <= base.System.throughputs.(1))
+
+let test_dphi_dsubsidy_positive_and_accurate () =
+  let g = game () in
+  let s = Vec.of_list [ 0.2; 0.3 ] in
+  let st = Subsidy_game.state g ~subsidies:s in
+  for i = 0 to 1 do
+    let analytic = Subsidy_game.dphi_dsubsidy g st i in
+    check_true "dphi/ds_i > 0" (analytic > 0.);
+    let h = 1e-6 in
+    let phi_at si =
+      let s' = Vec.copy s in
+      s'.(i) <- si;
+      (Subsidy_game.state g ~subsidies:s').System.phi
+    in
+    let numeric = (phi_at (s.(i) +. h) -. phi_at (s.(i) -. h)) /. (2. *. h) in
+    check_close ~tol:1e-5 "dphi/ds_i vs FD" numeric analytic
+  done
+
+let test_marginal_utility_matches_fd () =
+  let g = game () in
+  let s = Vec.of_list [ 0.15; 0.35 ] in
+  for i = 0 to 1 do
+    let analytic = Subsidy_game.marginal_utility g ~subsidies:s i in
+    let h = 1e-6 in
+    let u_at si =
+      let s' = Vec.copy s in
+      s'.(i) <- si;
+      Subsidy_game.utility g ~subsidies:s' i
+    in
+    let numeric = (u_at (s.(i) +. h) -. u_at (s.(i) -. h)) /. (2. *. h) in
+    check_close ~tol:1e-5 "u_i vs FD" numeric analytic
+  done
+
+let test_threshold_tau () =
+  let g = game () in
+  (* tau_i vanishes with s_i (the eps^m_s factor) *)
+  check_close "tau at zero subsidy" 0.
+    (Subsidy_game.threshold_tau g ~subsidies:(Vec.zeros 2) 0);
+  let s = Vec.of_list [ 0.2; 0.3 ] in
+  check_true "tau finite" (Float.is_finite (Subsidy_game.threshold_tau g ~subsidies:s 1))
+
+let test_revenue () =
+  let g = game () in
+  let s = Vec.of_list [ 0.1; 0.1 ] in
+  let st = Subsidy_game.state g ~subsidies:s in
+  check_close ~tol:1e-12 "revenue" (0.6 *. st.System.aggregate)
+    (Subsidy_game.revenue g ~subsidies:s)
+
+let prop_marginal_utility_fd_random =
+  prop "analytic marginal utility matches FD on random games" ~count:40
+    QCheck2.Gen.(triple Fixtures.qcheck_seed (float_range 0.1 1.2) (float_range 0. 0.6))
+    (fun (seed, p, s0) ->
+      let sys = Fixtures.random_system seed in
+      let g = Subsidy_game.make sys ~price:p ~cap:1. in
+      let n = Subsidy_game.dim g in
+      let s = Vec.make n s0 in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let analytic = Subsidy_game.marginal_utility g ~subsidies:s i in
+        let h = 1e-6 in
+        let u_at si =
+          let s' = Vec.copy s in
+          s'.(i) <- si;
+          Subsidy_game.utility g ~subsidies:s' i
+        in
+        let numeric = (u_at (s.(i) +. h) -. u_at (s.(i) -. h)) /. (2. *. h) in
+        if Float.abs (analytic -. numeric) > 1e-4 *. (1. +. Float.abs analytic) then
+          ok := false
+      done;
+      !ok)
+
+let suite =
+  ( "subsidy-game",
+    [
+      quick "validation" test_make_validation;
+      quick "accessors" test_accessors;
+      quick "charges" test_charges;
+      quick "zero subsidy = one-sided" test_zero_subsidy_matches_one_sided;
+      quick "utility definition" test_utility_definition;
+      quick "lemma 3" test_lemma3_monotonicity;
+      quick "dphi/ds analytic" test_dphi_dsubsidy_positive_and_accurate;
+      quick "marginal utility vs FD" test_marginal_utility_matches_fd;
+      quick "threshold tau" test_threshold_tau;
+      quick "revenue" test_revenue;
+      prop_marginal_utility_fd_random;
+    ] )

@@ -1,0 +1,68 @@
+open Subsidization
+open Test_helpers
+
+let test_check_formatting () =
+  let c = { Theorems.name = "x"; passed = false; detail = "d" } in
+  let s = Format.asprintf "%a" Theorems.pp_check c in
+  check_true "mentions FAIL" (String.length s > 0 && String.sub s 0 6 = "[FAIL]");
+  check_true "all_passed false" (not (Theorems.all_passed [ c ]));
+  check_true "all_passed empty" (Theorems.all_passed [])
+
+let test_paper_suite_passes () =
+  let checks = Theorems.run_paper_suite () in
+  check_true "non-trivial suite" (List.length checks >= 40);
+  List.iter
+    (fun c ->
+      check_true (Printf.sprintf "%s: %s" c.Theorems.name c.Theorems.detail)
+        c.Theorems.passed)
+    checks
+
+let test_individual_entry_points () =
+  (* exercise the per-theorem functions on a fresh, non-paper market *)
+  let sys = Fixtures.two_cp_system () in
+  let charges = Fixtures.uniform_charges sys 0.5 in
+  check_true "lemma1" (Theorems.lemma1_uniqueness sys ~charges).Theorems.passed;
+  check_true "lemma2"
+    (Theorems.lemma2_invariance sys ~charges ~cp:1 ~kappa:2.5).Theorems.passed;
+  List.iter
+    (fun c -> check_true c.Theorems.name c.Theorems.passed)
+    (Theorems.theorem1 sys ~charges);
+  List.iter
+    (fun c -> check_true c.Theorems.name c.Theorems.passed)
+    (Theorems.theorem2 sys ~price:0.5);
+  let game = Subsidy_game.make sys ~price:0.5 ~cap:0.6 in
+  let eq = Nash.solve game in
+  List.iter
+    (fun c -> check_true c.Theorems.name c.Theorems.passed)
+    (Theorems.theorem3 game eq);
+  check_true "theorem4" (Theorems.theorem4 (Numerics.Rng.create 1L) game).Theorems.passed;
+  check_true "theorem5" (Theorems.theorem5 game ~cp:0 ~delta:0.3).Theorems.passed;
+  check_true "theorem7" (Theorems.theorem7 game eq).Theorems.passed
+
+let test_validation () =
+  let sys = Fixtures.two_cp_system () in
+  let game = Subsidy_game.make sys ~price:0.5 ~cap:0.6 in
+  check_raises_invalid "lemma3 delta" (fun () ->
+      Theorems.lemma3 game ~subsidies:(Numerics.Vec.zeros 2) ~cp:0 ~delta:0. |> ignore);
+  check_raises_invalid "theorem5 delta" (fun () ->
+      Theorems.theorem5 game ~cp:0 ~delta:(-0.1) |> ignore)
+
+let prop_theorem_checks_on_random_markets =
+  prop "Section-3 theorem checks hold on random markets" ~count:15
+    Fixtures.qcheck_seed
+    (fun seed ->
+      let sys = Fixtures.random_system seed in
+      let charges = Fixtures.uniform_charges sys 0.4 in
+      Theorems.all_passed
+        ((Theorems.lemma1_uniqueness sys ~charges :: Theorems.theorem1 sys ~charges)
+        @ Theorems.theorem2 sys ~price:0.4))
+
+let suite =
+  ( "theorems",
+    [
+      quick "check formatting" test_check_formatting;
+      quick "paper suite passes" test_paper_suite_passes;
+      quick "individual entry points" test_individual_entry_points;
+      quick "validation" test_validation;
+      prop_theorem_checks_on_random_markets;
+    ] )

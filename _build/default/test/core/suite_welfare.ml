@@ -1,0 +1,91 @@
+open Numerics
+open Subsidization
+open Test_helpers
+
+let solved ?(price = 0.8) ?(cap = 0.4) () =
+  let game = Subsidy_game.make (Fixtures.paper5 ()) ~price ~cap in
+  (game, Nash.solve game)
+
+let test_welfare_definition () =
+  let game, eq = solved () in
+  let sys = Subsidy_game.system game in
+  let manual = ref 0. in
+  Array.iteri
+    (fun i cp ->
+      manual := !manual +. (cp.Econ.Cp.value *. eq.Nash.state.System.throughputs.(i)))
+    sys.System.cps;
+  check_close ~tol:1e-12 "W = sum v theta" !manual (Welfare.of_equilibrium game eq)
+
+let test_consumer_surplus_positive_and_analytic () =
+  let sys = Fixtures.two_cp_system () in
+  let st = One_sided.state sys ~price:0.5 in
+  let cs = Welfare.consumer_surplus sys st in
+  check_true "positive" (cs > 0.);
+  (* analytic for exponential demand: lambda * m0 e^{-alpha t} / alpha *)
+  let expected =
+    (st.System.rates.(0) *. exp (-2. *. 0.5) /. 2.)
+    +. (st.System.rates.(1) *. exp (-4. *. 0.5) /. 4.)
+  in
+  check_close ~tol:1e-6 "matches closed form" expected cs
+
+let test_consumer_surplus_requires_charges () =
+  let sys = Fixtures.two_cp_system () in
+  let st = System.solve_fixed_populations sys ~populations:(Vec.of_list [ 0.5; 0.5 ]) in
+  check_raises_invalid "needs charges" (fun () ->
+      Welfare.consumer_surplus sys st |> ignore)
+
+let test_total_surplus_exceeds_components () =
+  let game, eq = solved () in
+  let total = Welfare.total_surplus game eq in
+  let cp_profit = Vec.sum eq.Nash.utilities in
+  let isp = Revenue.at_equilibrium game eq in
+  check_true "total > profit + revenue" (total > cp_profit +. isp)
+
+let test_subsidies_raise_consumer_surplus () =
+  (* subsidies lower charges: users gain, holding the price fixed *)
+  let game, eq = solved ~cap:1.0 () in
+  let sys = Subsidy_game.system game in
+  let banned = Nash.solve (Subsidy_game.make sys ~price:0.8 ~cap:0.) in
+  let cs_banned = Welfare.consumer_surplus sys banned.Nash.state in
+  let cs_dereg = Welfare.consumer_surplus sys eq.Nash.state in
+  check_true "CS rises under deregulation" (cs_dereg > cs_banned)
+
+let test_corollary2_structure () =
+  let game, eq = solved () in
+  let c2 = Welfare.corollary2 game ~subsidies:eq.Nash.subsidies in
+  check_true "rhs is positive" (c2.Welfare.rhs > 0.);
+  check_true "dphi_dq consistent with policy effect"
+    (Float.abs
+       (c2.Welfare.dphi_dq
+       -. (Sensitivity.policy_effect game ~subsidies:eq.Nash.subsidies)
+            .Sensitivity.dphi_dq)
+    < 1e-12)
+
+let test_corollary2_predicts_numeric_sign () =
+  let game, eq = solved ~price:0.8 ~cap:0.4 () in
+  let c2 = Welfare.corollary2 game ~subsidies:eq.Nash.subsidies in
+  if c2.Welfare.dphi_dq > 1e-9 then begin
+    let sys = Subsidy_game.system game in
+    let h = 1e-4 in
+    let w_at cap =
+      let g = Subsidy_game.make sys ~price:0.8 ~cap in
+      Welfare.of_equilibrium g
+        (Nash.solve ~x0:(Vec.clamp ~lo:0. ~hi:cap eq.Nash.subsidies) g)
+    in
+    let numeric = (w_at (0.4 +. h) -. w_at (0.4 -. h)) /. (2. *. h) in
+    if Float.abs numeric > 1e-6 then
+      check_true "sign prediction"
+        (c2.Welfare.predicted_welfare_increase = (numeric > 0.))
+  end
+
+let suite =
+  ( "welfare",
+    [
+      quick "definition" test_welfare_definition;
+      quick "consumer surplus analytic" test_consumer_surplus_positive_and_analytic;
+      quick "consumer surplus validation" test_consumer_surplus_requires_charges;
+      quick "total surplus" test_total_surplus_exceeds_components;
+      quick "CS rises under deregulation" test_subsidies_raise_consumer_surplus;
+      quick "corollary 2 structure" test_corollary2_structure;
+      quick "corollary 2 sign" test_corollary2_predicts_numeric_sign;
+    ] )

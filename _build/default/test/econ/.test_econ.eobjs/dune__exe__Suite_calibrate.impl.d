@@ -1,0 +1,1 @@
+test/econ/suite_calibrate.ml: Alcotest Array Econ Float Numerics QCheck2 Rng Test_helpers

@@ -1,0 +1,1 @@
+test/econ/suite_cp_isp.ml: Alcotest Econ Format String Test_helpers

@@ -1,0 +1,1 @@
+test/econ/suite_demand.ml: Array Econ Float List Numerics QCheck2 String Test_helpers

@@ -1,0 +1,1 @@
+test/econ/suite_elasticity.ml: Econ Float QCheck2 Test_helpers

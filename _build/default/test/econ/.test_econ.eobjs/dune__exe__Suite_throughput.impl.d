@@ -1,0 +1,1 @@
+test/econ/suite_throughput.ml: Array Econ Float List Numerics Test_helpers

@@ -1,0 +1,1 @@
+test/econ/suite_utilization.ml: Array Econ Float List Numerics QCheck2 Test_helpers

@@ -1,0 +1,1 @@
+test/econ/test_econ.mli:

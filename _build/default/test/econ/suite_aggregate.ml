@@ -1,0 +1,64 @@
+open Test_helpers
+
+let cp_a () = Econ.Cp.exponential ~name:"a" ~m0:2. ~l0:1.5 ~alpha:3. ~beta:2. ~value:0.5 ()
+let cp_b () = Econ.Cp.exponential ~name:"b" ~m0:1. ~l0:4. ~alpha:3. ~beta:2. ~value:1. ()
+let cp_other () = Econ.Cp.exponential ~name:"c" ~alpha:1. ~beta:2. ~value:1. ()
+
+let test_as_big_user () =
+  let big = Econ.Aggregate.as_big_user (cp_a ()) in
+  check_close ~tol:1e-12 "population at 0 becomes 1" 1. (Econ.Cp.population big 0.);
+  check_close ~tol:1e-12 "throughput preserved"
+    (Econ.Cp.throughput_at (cp_a ()) ~charge:0.3 ~phi:0.7)
+    (Econ.Cp.throughput_at big ~charge:0.3 ~phi:0.7)
+
+let test_same_traffic_class () =
+  check_true "same class" (Econ.Aggregate.same_traffic_class (cp_a ()) (cp_b ()));
+  check_true "different alpha" (not (Econ.Aggregate.same_traffic_class (cp_a ()) (cp_other ())));
+  let iso =
+    Econ.Cp.make ~name:"iso"
+      ~demand:(Econ.Demand.isoelastic ~alpha:3. ())
+      ~throughput:(Econ.Throughput.exponential ~beta:2. ())
+      ~value:1. ()
+  in
+  check_true "non-exponential demand" (not (Econ.Aggregate.same_traffic_class (cp_a ()) iso))
+
+let test_merge () =
+  let merged = Econ.Aggregate.merge_exponential [ cp_a (); cp_b () ] in
+  (* pooled max throughput: 2*1.5 + 1*4 = 7 under m0 = 1 *)
+  check_close ~tol:1e-12 "pooled throughput at charge 0, phi 0" 7.
+    (Econ.Cp.throughput_at merged ~charge:0. ~phi:0.);
+  (* pooled at any (t, phi): exponential forms factor out *)
+  check_close ~tol:1e-12 "pooled at interior point"
+    (Econ.Cp.throughput_at (cp_a ()) ~charge:0.4 ~phi:0.6
+    +. Econ.Cp.throughput_at (cp_b ()) ~charge:0.4 ~phi:0.6)
+    (Econ.Cp.throughput_at merged ~charge:0.4 ~phi:0.6);
+  (* value is the throughput-weighted mean: (3*0.5 + 4*1)/7 *)
+  check_close ~tol:1e-12 "weighted value" (5.5 /. 7.) merged.Econ.Cp.value
+
+let test_merge_errors () =
+  check_raises_invalid "empty" (fun () -> Econ.Aggregate.merge_exponential [] |> ignore);
+  check_raises_invalid "mixed classes" (fun () ->
+      Econ.Aggregate.merge_exponential [ cp_a (); cp_other () ] |> ignore)
+
+let prop_merge_preserves_group_throughput =
+  prop "merged CP reproduces the group's throughput at random points" ~count:100
+    QCheck2.Gen.(triple (float_range (-0.5) 2.) (float_range 0. 3.) (float_range 0.5 4.))
+    (fun (charge, phi, l0) ->
+      let a = Econ.Cp.exponential ~m0:1.2 ~l0 ~alpha:2. ~beta:4. ~value:0.7 () in
+      let b = Econ.Cp.exponential ~m0:0.4 ~l0:2.5 ~alpha:2. ~beta:4. ~value:0.2 () in
+      let merged = Econ.Aggregate.merge_exponential [ a; b ] in
+      let group =
+        Econ.Cp.throughput_at a ~charge ~phi +. Econ.Cp.throughput_at b ~charge ~phi
+      in
+      Float.abs (Econ.Cp.throughput_at merged ~charge ~phi -. group)
+      < 1e-9 *. (1. +. group))
+
+let suite =
+  ( "aggregate",
+    [
+      quick "as big user" test_as_big_user;
+      quick "traffic classes" test_same_traffic_class;
+      quick "merge" test_merge;
+      quick "merge errors" test_merge_errors;
+      prop_merge_preserves_group_throughput;
+    ] )

@@ -1,0 +1,104 @@
+open Numerics
+open Test_helpers
+
+let synthetic_samples rng ~scale ~rate ~noise n =
+  Array.init n (fun k ->
+      let x = 0.1 +. (0.2 *. float_of_int k) in
+      let y = scale *. exp (-.rate *. x) *. exp (Rng.normal rng ~mean:0. ~stddev:noise) in
+      (x, y))
+
+let test_exact_recovery () =
+  let samples = synthetic_samples (Rng.create 1L) ~scale:2.5 ~rate:3. ~noise:0. 10 in
+  let fit = Econ.Calibrate.exponential_fit samples in
+  check_close ~tol:1e-9 "scale" 2.5 fit.Econ.Calibrate.scale;
+  check_close ~tol:1e-9 "rate" 3. fit.Econ.Calibrate.rate;
+  check_close ~tol:1e-9 "perfect r^2" 1. fit.Econ.Calibrate.r_square
+
+let test_noisy_recovery () =
+  let samples = synthetic_samples (Rng.create 2L) ~scale:1.5 ~rate:2. ~noise:0.05 40 in
+  let fit = Econ.Calibrate.exponential_fit samples in
+  check_close ~tol:0.1 "scale within 10%" 1.5 fit.Econ.Calibrate.scale;
+  check_close ~tol:0.1 "rate within 10%" 2. fit.Econ.Calibrate.rate;
+  check_true "good fit reported" (fit.Econ.Calibrate.r_square > 0.95)
+
+let test_validation () =
+  check_raises_invalid "too few" (fun () ->
+      Econ.Calibrate.exponential_fit [| (1., 1.) |] |> ignore);
+  check_raises_invalid "non-positive y" (fun () ->
+      Econ.Calibrate.exponential_fit [| (1., 1.); (2., 0.) |] |> ignore);
+  check_raises_invalid "constant x" (fun () ->
+      Econ.Calibrate.exponential_fit [| (1., 1.); (1., 2.) |] |> ignore);
+  (* rising data violate Assumption 2 *)
+  check_raises_invalid "rising demand" (fun () ->
+      Econ.Calibrate.demand [| (0., 1.); (1., 2.); (2., 4.) |] |> ignore)
+
+let test_demand_roundtrip () =
+  let truth = Econ.Demand.exponential ~m0:1.2 ~alpha:4. () in
+  let samples =
+    Array.init 12 (fun k ->
+        let t = 0.05 +. (0.1 *. float_of_int k) in
+        (t, Econ.Demand.population truth t))
+  in
+  let d, fit = Econ.Calibrate.demand samples in
+  check_close ~tol:1e-8 "alpha recovered" 4. fit.Econ.Calibrate.rate;
+  check_close ~tol:1e-8 "prediction matches truth"
+    (Econ.Demand.population truth 0.33)
+    (Econ.Demand.population d 0.33)
+
+let test_throughput_roundtrip () =
+  let truth = Econ.Throughput.exponential ~l0:0.8 ~beta:2.5 () in
+  let samples =
+    Array.init 12 (fun k ->
+        let phi = 0.05 +. (0.15 *. float_of_int k) in
+        (phi, Econ.Throughput.rate truth phi))
+  in
+  let th, fit = Econ.Calibrate.throughput samples in
+  check_close ~tol:1e-8 "beta recovered" 2.5 fit.Econ.Calibrate.rate;
+  check_close ~tol:1e-8 "rate matches" (Econ.Throughput.rate truth 0.7)
+    (Econ.Throughput.rate th 0.7)
+
+let test_value_per_unit () =
+  check_close "weighted average" 0.5
+    (Econ.Calibrate.value_per_unit [| (1., 2.); (2., 4.) |]);
+  check_close "clamped at zero" 0. (Econ.Calibrate.value_per_unit [| (-3., 2.) |]);
+  check_raises_invalid "no traffic" (fun () ->
+      Econ.Calibrate.value_per_unit [| (1., 0.) |] |> ignore)
+
+let test_full_cp () =
+  let rng = Rng.create 5L in
+  let demand_samples = synthetic_samples rng ~scale:1. ~rate:5. ~noise:0.02 30 in
+  let throughput_samples = synthetic_samples rng ~scale:1. ~rate:2. ~noise:0.02 30 in
+  let cp, dfit, tfit =
+    Econ.Calibrate.cp ~name:"measured" ~demand_samples ~throughput_samples
+      ~profit_reports:[| (10., 10.); (5., 10.) |] ()
+  in
+  Alcotest.(check string) "name" "measured" cp.Econ.Cp.name;
+  check_close ~tol:0.15 "alpha" 5. dfit.Econ.Calibrate.rate;
+  check_close ~tol:0.15 "beta" 2. tfit.Econ.Calibrate.rate;
+  check_close "value" 0.75 cp.Econ.Cp.value
+
+let prop_recovery_on_random_parameters =
+  prop "noiseless fits recover arbitrary exponential parameters" ~count:100
+    QCheck2.Gen.(pair (float_range 0.2 5.) (float_range 0.2 6.))
+    (fun (scale, rate) ->
+      let samples =
+        Array.init 8 (fun k ->
+            let x = 0.1 *. float_of_int (k + 1) in
+            (x, scale *. exp (-.rate *. x)))
+      in
+      let fit = Econ.Calibrate.exponential_fit samples in
+      Float.abs (fit.Econ.Calibrate.scale -. scale) < 1e-6 *. (1. +. scale)
+      && Float.abs (fit.Econ.Calibrate.rate -. rate) < 1e-6 *. (1. +. rate))
+
+let suite =
+  ( "calibrate",
+    [
+      quick "exact recovery" test_exact_recovery;
+      quick "noisy recovery" test_noisy_recovery;
+      quick "validation" test_validation;
+      quick "demand roundtrip" test_demand_roundtrip;
+      quick "throughput roundtrip" test_throughput_roundtrip;
+      quick "value per unit" test_value_per_unit;
+      quick "full CP" test_full_cp;
+      prop_recovery_on_random_parameters;
+    ] )

@@ -1,0 +1,61 @@
+open Test_helpers
+
+let test_of_derivative () =
+  check_close "basic" 2. (Econ.Elasticity.of_derivative ~dydx:4. ~x:1. ~y:2.);
+  check_raises_invalid "y = 0" (fun () ->
+      Econ.Elasticity.of_derivative ~dydx:1. ~x:1. ~y:0. |> ignore)
+
+let test_numeric_power_law () =
+  (* y = x^3 has constant elasticity 3 *)
+  let f x = x ** 3. in
+  check_close ~tol:1e-6 "power law elasticity" 3. (Econ.Elasticity.numeric f 2.)
+
+let test_log_derivative_equivalence () =
+  let f x = 5. *. (x ** 1.7) in
+  check_close ~tol:1e-6 "log-derivative equals elasticity" 1.7
+    (Econ.Elasticity.log_derivative f 1.3);
+  check_close ~tol:1e-5 "two definitions agree"
+    (Econ.Elasticity.numeric f 1.3)
+    (Econ.Elasticity.log_derivative f 1.3);
+  check_raises_invalid "negative x" (fun () ->
+      Econ.Elasticity.log_derivative f (-1.) |> ignore)
+
+let test_chain () =
+  check_close "chain rule" 6. (Econ.Elasticity.chain 2. 3.)
+
+let test_classification () =
+  check_true "elastic" (Econ.Elasticity.is_elastic (-1.5));
+  check_true "inelastic" (Econ.Elasticity.is_inelastic 0.3);
+  check_true "unit boundary" (not (Econ.Elasticity.is_elastic 1.));
+  check_true "unit boundary 2" (not (Econ.Elasticity.is_inelastic 1.))
+
+let prop_elasticity_of_monomial =
+  prop "x^k has elasticity k everywhere" ~count:100
+    QCheck2.Gen.(pair (float_range (-2.) 3.) (float_range 0.2 4.))
+    (fun (k, x) ->
+      let f t = t ** k in
+      Float.abs (Econ.Elasticity.numeric f x -. k) < 1e-4 *. (1. +. Float.abs k))
+
+let prop_chain_consistency =
+  prop "chained elasticities equal the composite's elasticity" ~count:100
+    (float_range 0.3 2.5)
+    (fun x ->
+      (* z(y) = y^2, y(x) = x^3 => elasticity of z in x is 6 *)
+      let y t = t ** 3. in
+      let z t = t ** 2. in
+      let eps_yx = Econ.Elasticity.numeric y x in
+      let eps_zy = Econ.Elasticity.numeric z (y x) in
+      let composite = Econ.Elasticity.numeric (fun t -> z (y t)) x in
+      Float.abs (Econ.Elasticity.chain eps_zy eps_yx -. composite) < 1e-3)
+
+let suite =
+  ( "elasticity",
+    [
+      quick "of_derivative" test_of_derivative;
+      quick "numeric power law" test_numeric_power_law;
+      quick "log-derivative" test_log_derivative_equivalence;
+      quick "chain" test_chain;
+      quick "classification" test_classification;
+      prop_elasticity_of_monomial;
+      prop_chain_consistency;
+    ] )

@@ -1,0 +1,80 @@
+open Test_helpers
+
+let families =
+  [
+    ("linear", Econ.Utilization.linear);
+    ("power-0.7", Econ.Utilization.power 0.7);
+    ("power-2", Econ.Utilization.power 2.);
+    ("log", Econ.Utilization.log_family);
+  ]
+
+let test_linear_values () =
+  let u = Econ.Utilization.linear in
+  check_close "phi = theta/mu" 1.5 (Econ.Utilization.phi u ~theta:3. ~mu:2.);
+  check_close "theta_of inverts" 3. (Econ.Utilization.theta_of u ~phi:1.5 ~mu:2.);
+  check_close "dphi/dtheta" 0.5 (Econ.Utilization.dphi_dtheta u ~theta:3. ~mu:2.);
+  check_close "dphi/dmu" (-0.75) (Econ.Utilization.dphi_dmu u ~theta:3. ~mu:2.);
+  check_close "dtheta/dphi" 2. (Econ.Utilization.dtheta_dphi u ~phi:1.5 ~mu:2.);
+  check_close "dtheta/dmu" 1.5 (Econ.Utilization.dtheta_dmu u ~phi:1.5 ~mu:2.)
+
+let test_validation () =
+  check_raises_invalid "power k <= 0" (fun () -> Econ.Utilization.power 0. |> ignore);
+  check_raises_invalid "negative theta" (fun () ->
+      Econ.Utilization.phi Econ.Utilization.linear ~theta:(-1.) ~mu:1. |> ignore);
+  check_raises_invalid "non-positive mu" (fun () ->
+      Econ.Utilization.phi Econ.Utilization.linear ~theta:1. ~mu:0. |> ignore)
+
+let assumption1 name u =
+  (* increasing in theta, decreasing in mu, Phi(0) = 0, inverse consistent *)
+  check_close (name ^ " Phi(0)=0") 0. (Econ.Utilization.phi u ~theta:0. ~mu:1.5);
+  let thetas = Numerics.Grid.linspace 0.1 5. 15 in
+  Array.iteri
+    (fun k theta ->
+      let phi = Econ.Utilization.phi u ~theta ~mu:1.5 in
+      if k > 0 then
+        check_true (name ^ " increasing in theta")
+          (phi > Econ.Utilization.phi u ~theta:thetas.(k - 1) ~mu:1.5);
+      check_true (name ^ " decreasing in mu")
+        (Econ.Utilization.phi u ~theta ~mu:2. < phi);
+      check_close ~tol:1e-8 (name ^ " inverse roundtrip") theta
+        (Econ.Utilization.theta_of u ~phi ~mu:1.5))
+    thetas
+
+let test_assumption1_all () = List.iter (fun (n, u) -> assumption1 n u) families
+
+let test_derivatives_match_numeric () =
+  List.iter
+    (fun (name, u) ->
+      let theta = 1.7 and mu = 1.3 in
+      check_close ~tol:1e-5 (name ^ " dphi/dtheta")
+        (Numerics.Diff.central (fun t -> Econ.Utilization.phi u ~theta:t ~mu) theta)
+        (Econ.Utilization.dphi_dtheta u ~theta ~mu);
+      check_close ~tol:1e-5 (name ^ " dphi/dmu")
+        (Numerics.Diff.central (fun m -> Econ.Utilization.phi u ~theta ~mu:m) mu)
+        (Econ.Utilization.dphi_dmu u ~theta ~mu);
+      let phi = Econ.Utilization.phi u ~theta ~mu in
+      check_close ~tol:1e-5 (name ^ " dtheta/dphi")
+        (Numerics.Diff.central (fun p -> Econ.Utilization.theta_of u ~phi:p ~mu) phi)
+        (Econ.Utilization.dtheta_dphi u ~phi ~mu);
+      check_close ~tol:1e-5 (name ^ " dtheta/dmu")
+        (Numerics.Diff.central (fun m -> Econ.Utilization.theta_of u ~phi ~mu:m) mu)
+        (Econ.Utilization.dtheta_dmu u ~phi ~mu))
+    families
+
+let prop_power_inverse =
+  prop "power family inverse roundtrip" ~count:100
+    QCheck2.Gen.(triple (float_range 0.3 3.) (float_range 0.1 4.) (float_range 0.5 3.))
+    (fun (k, theta, mu) ->
+      let u = Econ.Utilization.power k in
+      let phi = Econ.Utilization.phi u ~theta ~mu in
+      Float.abs (Econ.Utilization.theta_of u ~phi ~mu -. theta) < 1e-7 *. (1. +. theta))
+
+let suite =
+  ( "utilization",
+    [
+      quick "linear values" test_linear_values;
+      quick "validation" test_validation;
+      quick "assumption 1 (all families)" test_assumption1_all;
+      quick "derivatives vs numeric" test_derivatives_match_numeric;
+      prop_power_inverse;
+    ] )

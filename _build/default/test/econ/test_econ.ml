@@ -1,0 +1,11 @@
+let () =
+  Alcotest.run "econ"
+    [
+      Suite_demand.suite;
+      Suite_throughput.suite;
+      Suite_utilization.suite;
+      Suite_elasticity.suite;
+      Suite_cp_isp.suite;
+      Suite_aggregate.suite;
+      Suite_calibrate.suite;
+    ]

@@ -1,0 +1,135 @@
+open Test_helpers
+
+let test_registry () =
+  Alcotest.(check int) "fifteen experiments" 15 (List.length Experiments.Registry.all);
+  check_true "fig4 present" (Experiments.Registry.find "fig4" <> None);
+  check_true "unknown absent" (Experiments.Registry.find "fig99" = None);
+  check_raises_invalid "find_exn raises" (fun () ->
+      Experiments.Registry.find_exn "fig99" |> ignore);
+  check_true "ids in paper order"
+    (Experiments.Registry.ids
+    = [ "fig4"; "fig5"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "verify"; "capacity";
+        "dynamics"; "duopoly"; "robustness"; "ablation"; "longrun"; "surplus" ])
+
+let run id =
+  let e = Experiments.Registry.find_exn id in
+  e.Experiments.Common.run ()
+
+let check_outcome id (outcome : Experiments.Common.outcome) =
+  Alcotest.(check string) "id matches" id outcome.Experiments.Common.id;
+  check_true "has tables" (outcome.Experiments.Common.tables <> []);
+  List.iter
+    (fun c ->
+      check_true
+        (Printf.sprintf "%s/%s: %s" id c.Subsidization.Theorems.name
+           c.Subsidization.Theorems.detail)
+        c.Subsidization.Theorems.passed)
+    outcome.Experiments.Common.shape_checks
+
+let test_fig4 () = check_outcome "fig4" (run "fig4")
+let test_fig5 () = check_outcome "fig5" (run "fig5")
+let test_fig7 () = check_outcome "fig7" (run "fig7")
+let test_fig8 () = check_outcome "fig8" (run "fig8")
+let test_fig9 () = check_outcome "fig9" (run "fig9")
+let test_fig10 () = check_outcome "fig10" (run "fig10")
+let test_fig11 () = check_outcome "fig11" (run "fig11")
+
+let test_fig4_series_accessor () =
+  let theta, revenue = Experiments.Fig4.series ~points:9 () in
+  Alcotest.(check int) "custom grid" 9 (Report.Series.length theta);
+  check_true "revenue ~ p * theta"
+    (let p = theta.Report.Series.xs.(4) in
+     Float.abs (revenue.Report.Series.ys.(4) -. (p *. theta.Report.Series.ys.(4)))
+     < 1e-9)
+
+let test_fig8_panel_accessor () =
+  let panel = Experiments.Fig8_11.panel ~quantity:`Subsidy ~cp:"a5b2v1" () in
+  Alcotest.(check int) "five policy curves" 5 (List.length panel);
+  (match panel with
+  | q0 :: _ ->
+    Array.iter (fun y -> check_close "q=0 row is zero" 0. y) q0.Report.Series.ys
+  | [] -> Alcotest.fail "no curves");
+  match Experiments.Fig8_11.panel ~quantity:`Subsidy ~cp:"nope" () with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ()
+
+let test_save_writes_csv () =
+  let outcome = run "fig4" in
+  let dir = Filename.temp_file "exp_out" "" in
+  Sys.remove dir;
+  Experiments.Common.save outcome ~dir;
+  let path = Filename.concat (Filename.concat dir "fig4") "theta_revenue.csv" in
+  check_true "csv exists" (Sys.file_exists path);
+  let rows = Report.Csv.read ~path in
+  check_true "header row" (List.hd rows = [ "p"; "theta"; "revenue" ]);
+  Alcotest.(check int) "41 data rows" 42 (List.length rows)
+
+let test_shape_summary_format () =
+  let outcome = run "fig4" in
+  let summary = Experiments.Common.shape_summary outcome in
+  check_true "mentions id" (String.length summary > 4 && String.sub summary 0 4 = "fig4")
+
+
+let test_market_io_roundtrip () =
+  let text =
+    "name,alpha,beta,value,m0,l0\nvideo,1.5,4,0.6,1,1\nnews,5,2,0.4,1.5,0.5\n"
+  in
+  let cps = Experiments.Market_io.cps_of_string ~path:"<mem>" text in
+  Alcotest.(check int) "two CPs" 2 (Array.length cps);
+  Alcotest.(check string) "name" "video" cps.(0).Econ.Cp.name;
+  check_close "value" 0.4 cps.(1).Econ.Cp.value;
+  check_close ~tol:1e-12 "m0 respected" 1.5 (Econ.Cp.population cps.(1) 0.);
+  (* write out and re-read *)
+  let path = Filename.temp_file "market" ".csv" in
+  Experiments.Market_io.write_cps ~path cps;
+  let reread = Experiments.Market_io.cps_of_csv path in
+  Sys.remove path;
+  Array.iteri
+    (fun i cp ->
+      check_close ~tol:1e-12 "roundtrip population"
+        (Econ.Cp.population cps.(i) 0.3)
+        (Econ.Cp.population cp 0.3))
+    reread
+
+let test_market_io_errors () =
+  let bad header = Experiments.Market_io.cps_of_string ~path:"<mem>" header in
+  (match bad "wrong,header\nrow,1" with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  (match bad "name,alpha,beta,value\ncp,notanumber,2,0.5" with
+  | _ -> Alcotest.fail "expected Failure on bad float"
+  | exception Failure _ -> ());
+  match bad "name,alpha,beta,value" with
+  | _ -> Alcotest.fail "expected Failure on empty body"
+  | exception Failure _ -> ()
+
+let test_market_io_solves () =
+  let cps =
+    Experiments.Market_io.cps_of_string ~path:"<mem>"
+      "name,alpha,beta,value\na,2,3,0.8\nb,4,1.5,1.1\n"
+  in
+  let sys = Subsidization.System.make ~cps ~capacity:1. () in
+  let eq = Subsidization.Policy.nash_at sys ~price:0.5 ~cap:1. in
+  check_true "loaded market solves" eq.Subsidization.Nash.converged
+
+let suite =
+  ( "experiments",
+    [
+      quick "registry" test_registry;
+      quick "fig4" test_fig4;
+      quick "fig5" test_fig5;
+      quick "fig7" test_fig7;
+      quick "fig8" test_fig8;
+      quick "fig9" test_fig9;
+      quick "fig10" test_fig10;
+      quick "fig11" test_fig11;
+      quick "fig4 series accessor" test_fig4_series_accessor;
+      quick "fig8 panel accessor" test_fig8_panel_accessor;
+      quick "save writes csv" test_save_writes_csv;
+      quick "shape summary" test_shape_summary_format;
+      quick "market io roundtrip" test_market_io_roundtrip;
+      quick "market io errors" test_market_io_errors;
+      quick "market io solves" test_market_io_solves;
+    ] )
+
+let () = Alcotest.run "experiments" [ suite ]

@@ -1,0 +1,1 @@
+test/game/game_fixtures.ml: Array Best_response Box Gametheory Numerics Vec

@@ -1,0 +1,1 @@
+test/game/suite_best_response.ml: Alcotest Array Best_response Box Float Game_fixtures Gametheory List Numerics Rng Test_helpers Vec Vi

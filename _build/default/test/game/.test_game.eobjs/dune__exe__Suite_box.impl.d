@@ -1,0 +1,1 @@
+test/game/suite_box.ml: Alcotest Array Box Gametheory Numerics QCheck2 Rng Test_helpers Vec

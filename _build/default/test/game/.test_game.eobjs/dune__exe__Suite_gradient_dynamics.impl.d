@@ -1,0 +1,1 @@
+test/game/suite_gradient_dynamics.ml: Alcotest Array Box Float Gametheory Gradient_dynamics Numerics Test_helpers Vec

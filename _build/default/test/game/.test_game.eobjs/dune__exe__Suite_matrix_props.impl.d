@@ -1,0 +1,1 @@
+test/game/suite_matrix_props.ml: Gametheory Mat Matrix_props Numerics Rng Test_helpers

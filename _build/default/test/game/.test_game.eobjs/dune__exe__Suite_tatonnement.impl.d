@@ -1,0 +1,1 @@
+test/game/suite_tatonnement.ml: Alcotest Array Best_response Box Game_fixtures Gametheory List Numerics Tatonnement Test_helpers Vec

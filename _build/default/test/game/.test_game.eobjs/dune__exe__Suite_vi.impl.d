@@ -1,0 +1,1 @@
+test/game/suite_vi.ml: Array Box Float Game_fixtures Gametheory Numerics Rng Test_helpers Vec Vi

@@ -1,0 +1,1 @@
+test/game/test_game.mli:

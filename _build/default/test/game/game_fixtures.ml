@@ -1,0 +1,35 @@
+(* Shared analytic games with known equilibria. *)
+
+open Numerics
+open Gametheory
+
+(* Cournot duopoly: payoff_i = s_i (1 - s_1 - s_2) - c s_i.
+   Interior Nash at s_i = (1 - c) / 3. *)
+let cournot ?(c = 0.1) () =
+  let box = Box.uniform ~dim:2 ~lo:0. ~hi:1. in
+  let payoff i (s : Vec.t) = (s.(i) *. (1. -. s.(0) -. s.(1))) -. (c *. s.(i)) in
+  let marginal i (s : Vec.t) = 1. -. (2. *. s.(i)) -. s.(1 - i) -. c in
+  (Best_response.make ~marginal ~box ~payoff (), (1. -. c) /. 3.)
+
+(* Same game without the analytic marginal: exercises the
+   derivative-free best-response path. *)
+let cournot_derivative_free ?(c = 0.1) () =
+  let box = Box.uniform ~dim:2 ~lo:0. ~hi:1. in
+  let payoff i (s : Vec.t) = (s.(i) *. (1. -. s.(0) -. s.(1))) -. (c *. s.(i)) in
+  (Best_response.make ~box ~payoff (), (1. -. c) /. 3.)
+
+(* A game whose unconstrained equilibrium lies outside the box, pinning
+   both players at the upper corner. *)
+let corner_game () =
+  let box = Box.uniform ~dim:2 ~lo:0. ~hi:0.2 in
+  let payoff i (s : Vec.t) = (s.(i) *. (1. -. s.(0) -. s.(1))) in
+  let marginal i (s : Vec.t) = 1. -. (2. *. s.(i)) -. s.(1 - i) in
+  (Best_response.make ~marginal ~box ~payoff (), 0.2)
+
+(* The VI map of the Cournot game: F = -grad payoff. *)
+let cournot_vi_map ?(c = 0.1) () (s : Vec.t) =
+  Vec.of_list
+    [
+      -.(1. -. (2. *. s.(0)) -. s.(1) -. c);
+      -.(1. -. (2. *. s.(1)) -. s.(0) -. c);
+    ]

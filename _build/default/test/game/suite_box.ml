@@ -1,0 +1,75 @@
+open Numerics
+open Gametheory
+open Test_helpers
+
+let box () = Box.make ~lo:(Vec.of_list [ 0.; -1. ]) ~hi:(Vec.of_list [ 1.; 2. ])
+
+let test_make () =
+  let b = box () in
+  Alcotest.(check int) "dim" 2 (Box.dim b);
+  check_close "lo_i" (-1.) (Box.lo_i b 1);
+  check_close "hi_i" 1. (Box.hi_i b 0);
+  check_raises_invalid "lo > hi" (fun () ->
+      Box.make ~lo:(Vec.of_list [ 1. ]) ~hi:(Vec.of_list [ 0. ]) |> ignore);
+  check_raises_invalid "dim mismatch" (fun () ->
+      Box.make ~lo:(Vec.zeros 1) ~hi:(Vec.zeros 2) |> ignore)
+
+let test_uniform () =
+  let b = Box.uniform ~dim:3 ~lo:0. ~hi:2. in
+  check_close "uniform hi" 2. (Box.hi_i b 2);
+  check_raises_invalid "bad dim" (fun () -> Box.uniform ~dim:0 ~lo:0. ~hi:1. |> ignore)
+
+let test_contains_project () =
+  let b = box () in
+  check_true "inside" (Box.contains b (Vec.of_list [ 0.5; 0. ]));
+  check_true "outside" (not (Box.contains b (Vec.of_list [ 1.5; 0. ])));
+  let p = Box.project b (Vec.of_list [ 1.5; -3. ]) in
+  check_close "projected x" 1. p.(0);
+  check_close "projected y" (-1.) p.(1);
+  check_true "projection lands inside" (Box.contains b p)
+
+let test_center_random () =
+  let b = box () in
+  let c = Box.center b in
+  check_close "center x" 0.5 c.(0);
+  check_close "center y" 0.5 c.(1);
+  let rng = Rng.create 3L in
+  for _ = 1 to 100 do
+    check_true "random point inside" (Box.contains b (Box.random_point rng b))
+  done
+
+let test_degenerate_interval () =
+  let b = Box.make ~lo:(Vec.of_list [ 1. ]) ~hi:(Vec.of_list [ 1. ]) in
+  let rng = Rng.create 5L in
+  check_close "degenerate random" 1. (Box.random_point rng b).(0)
+
+let test_boundary_classification () =
+  let b = box () in
+  let x = Vec.of_list [ 0.; 1. ] in
+  check_true "on lower" (Box.on_lower b x 0);
+  check_true "not on upper" (not (Box.on_upper b x 0));
+  check_true "interior coord" (Box.interior_coords b x = [| 1 |]);
+  let corner = Vec.of_list [ 1.; 2. ] in
+  check_true "corner has no interior" (Box.interior_coords b corner = [||])
+
+let prop_projection_idempotent =
+  prop "projection is idempotent and non-expansive to the center" ~count:100
+    QCheck2.Gen.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (x, y) ->
+      let b = box () in
+      let v = Vec.of_list [ x; y ] in
+      let p = Box.project b v in
+      Vec.approx_equal p (Box.project b p)
+      && Vec.norm2 (Vec.sub p (Box.center b)) <= Vec.norm2 (Vec.sub v (Box.center b)) +. 1e-9)
+
+let suite =
+  ( "box",
+    [
+      quick "make" test_make;
+      quick "uniform" test_uniform;
+      quick "contains/project" test_contains_project;
+      quick "center/random" test_center_random;
+      quick "degenerate" test_degenerate_interval;
+      quick "boundary classes" test_boundary_classification;
+      prop_projection_idempotent;
+    ] )

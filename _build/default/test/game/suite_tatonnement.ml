@@ -1,0 +1,74 @@
+open Numerics
+open Gametheory
+open Test_helpers
+
+let test_trace_records_steps () =
+  let game, star = Game_fixtures.cournot () in
+  let trace = Tatonnement.run game ~x0:(Vec.zeros 2) in
+  check_true "converged" trace.Tatonnement.converged;
+  check_true "has steps" (List.length trace.Tatonnement.steps >= 2);
+  (match trace.Tatonnement.steps with
+  | first :: _ ->
+    Alcotest.(check int) "starts at index 0" 0 first.Tatonnement.index;
+    check_close "records x0" 0. first.Tatonnement.profile.(0)
+  | [] -> Alcotest.fail "empty trace");
+  check_close ~tol:1e-8 "final at Nash" star (Tatonnement.final trace).(0)
+
+let test_moves_shrink () =
+  let game, _ = Game_fixtures.cournot () in
+  let trace = Tatonnement.run game ~x0:(Vec.zeros 2) in
+  let moves =
+    List.filter_map
+      (fun s -> if s.Tatonnement.index > 0 then Some s.Tatonnement.move else None)
+      trace.Tatonnement.steps
+  in
+  (* Gauss-Seidel on Cournot contracts: later moves smaller than the first *)
+  match moves with
+  | first :: rest ->
+    List.iter (fun m -> check_true "moves shrink" (m <= first +. 1e-12)) rest
+  | [] -> Alcotest.fail "no moves"
+
+let test_contraction_estimate () =
+  let game, _ = Game_fixtures.cournot () in
+  let trace = Tatonnement.run ~tol:1e-12 game ~x0:(Vec.ones 2) in
+  match Tatonnement.contraction_estimate trace with
+  | Some rate -> check_in_range "contraction factor" ~lo:0. ~hi:0.99 rate
+  | None -> Alcotest.fail "expected a contraction estimate"
+
+let test_damped_matches_undamped_limit () =
+  let game, star = Game_fixtures.cournot () in
+  let damped = Tatonnement.run ~damping:0.5 game ~x0:(Vec.zeros 2) in
+  check_true "damped converges" damped.Tatonnement.converged;
+  check_close ~tol:1e-7 "same limit" star (Tatonnement.final damped).(0)
+
+let test_oscillation_detection () =
+  (* player 0 mirrors (plays 1 - s_1), player 1 copies (plays s_0):
+     undamped Gauss-Seidel cycles with period 2 from any start off the
+     0.5 diagonal *)
+  let box = Box.uniform ~dim:2 ~lo:0. ~hi:1. in
+  let payoff i (s : Vec.t) =
+    if i = 0 then -.((s.(0) -. (1. -. s.(1))) ** 2.) else -.((s.(1) -. s.(0)) ** 2.)
+  in
+  let marginal i (s : Vec.t) =
+    if i = 0 then -2. *. (s.(0) -. (1. -. s.(1))) else -2. *. (s.(1) -. s.(0))
+  in
+  let game = Best_response.make ~marginal ~box ~payoff () in
+  let trace = Tatonnement.run ~max_sweeps:20 game ~x0:(Vec.of_list [ 0.1; 0.1 ]) in
+  check_true "mirror-copy does not converge" (not trace.Tatonnement.converged);
+  check_true "oscillation flagged" (Tatonnement.oscillation_detected trace)
+
+let test_converged_never_oscillating () =
+  let game, _ = Game_fixtures.cournot () in
+  let trace = Tatonnement.run game ~x0:(Vec.zeros 2) in
+  check_true "no oscillation at convergence" (not (Tatonnement.oscillation_detected trace))
+
+let suite =
+  ( "tatonnement",
+    [
+      quick "trace records" test_trace_records_steps;
+      quick "moves shrink" test_moves_shrink;
+      quick "contraction estimate" test_contraction_estimate;
+      quick "damped limit" test_damped_matches_undamped_limit;
+      quick "oscillation detection" test_oscillation_detection;
+      quick "converged not oscillating" test_converged_never_oscillating;
+    ] )

@@ -1,0 +1,1 @@
+test/numerics/suite_diff.ml: Array Diff Float Mat Numerics QCheck2 Test_helpers Vec

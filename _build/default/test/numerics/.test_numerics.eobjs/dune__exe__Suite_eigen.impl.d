@@ -1,0 +1,1 @@
+test/numerics/suite_eigen.ml: Array Eigen Float Linalg Mat Numerics Rng Test_helpers Vec

@@ -1,0 +1,1 @@
+test/numerics/suite_fixedpoint.ml: Alcotest Fixedpoint Float Numerics QCheck2 Test_helpers Vec

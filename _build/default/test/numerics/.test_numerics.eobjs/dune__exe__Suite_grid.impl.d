@@ -1,0 +1,1 @@
+test/numerics/suite_grid.ml: Alcotest Array Grid Numerics QCheck2 Test_helpers

@@ -1,0 +1,1 @@
+test/numerics/suite_interp.ml: Alcotest Array Float Grid Interp Numerics QCheck2 Test_helpers

@@ -1,0 +1,1 @@
+test/numerics/suite_linalg.ml: Alcotest Array Float Linalg Mat Numerics Rng Test_helpers Vec

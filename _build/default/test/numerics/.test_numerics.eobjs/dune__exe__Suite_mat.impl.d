@@ -1,0 +1,1 @@
+test/numerics/suite_mat.ml: Alcotest List Mat Numerics QCheck2 Test_helpers Vec

@@ -1,0 +1,1 @@
+test/numerics/suite_ode.ml: Alcotest Array Float Numerics Ode QCheck2 Test_helpers Vec

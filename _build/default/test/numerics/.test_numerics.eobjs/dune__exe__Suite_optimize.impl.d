@@ -1,0 +1,1 @@
+test/numerics/suite_optimize.ml: Array Float Grid Numerics Optimize QCheck2 Test_helpers Vec

@@ -1,0 +1,1 @@
+test/numerics/suite_quadrature.ml: Array Float Grid Numerics QCheck2 Quadrature Test_helpers

@@ -1,0 +1,1 @@
+test/numerics/suite_rng.ml: Array Float Numerics Rng Stats Test_helpers

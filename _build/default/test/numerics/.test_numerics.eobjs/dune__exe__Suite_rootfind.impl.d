@@ -1,0 +1,1 @@
+test/numerics/suite_rootfind.ml: Alcotest Float Numerics Rootfind Test_helpers

@@ -1,0 +1,1 @@
+test/numerics/suite_stats.ml: Alcotest Array Float Numerics QCheck2 Stats Test_helpers

@@ -1,0 +1,1 @@
+test/numerics/suite_vec.ml: Alcotest Array Float Numerics QCheck2 Test_helpers Vec

@@ -1,0 +1,1 @@
+test/numerics/test_numerics.mli:

@@ -1,0 +1,67 @@
+open Numerics
+open Test_helpers
+
+let test_first_derivatives () =
+  check_close ~tol:1e-7 "central exp" (exp 1.) (Diff.central exp 1.);
+  check_close ~tol:1e-5 "forward sin" (cos 0.5) (Diff.forward sin 0.5);
+  check_close ~tol:1e-5 "backward sin" (cos 0.5) (Diff.backward sin 0.5);
+  check_close ~tol:1e-9 "richardson exp" (exp 1.) (Diff.richardson exp 1.)
+
+let test_second_derivative () =
+  check_close ~tol:1e-5 "second of x^3 at 2" 12. (Diff.second (fun x -> x ** 3.) 2.);
+  check_close ~tol:1e-5 "second of sin at 0.3" (-.sin 0.3) (Diff.second sin 0.3)
+
+let test_partial_gradient () =
+  let f (x : Vec.t) = (x.(0) *. x.(0)) +. (3. *. x.(0) *. x.(1)) in
+  let at = Vec.of_list [ 2.; 1. ] in
+  check_close ~tol:1e-6 "df/dx0" 7. (Diff.partial f at 0);
+  check_close ~tol:1e-6 "df/dx1" 6. (Diff.partial f at 1);
+  let g = Diff.gradient f at in
+  check_close ~tol:1e-6 "gradient x0" 7. g.(0);
+  check_close ~tol:1e-6 "gradient x1" 6. g.(1);
+  check_raises_invalid "partial oob" (fun () -> Diff.partial f at 2 |> ignore)
+
+let test_jacobian () =
+  let f (x : Vec.t) = Vec.of_list [ x.(0) *. x.(1); x.(0) +. (2. *. x.(1)) ] in
+  let j = Diff.jacobian f (Vec.of_list [ 3.; 4. ]) in
+  check_close ~tol:1e-6 "j00" 4. (Mat.get j 0 0);
+  check_close ~tol:1e-6 "j01" 3. (Mat.get j 0 1);
+  check_close ~tol:1e-6 "j10" 1. (Mat.get j 1 0);
+  check_close ~tol:1e-6 "j11" 2. (Mat.get j 1 1)
+
+let test_hessian () =
+  let f (x : Vec.t) =
+    (x.(0) *. x.(0) *. x.(1)) +. (x.(1) *. x.(1))
+  in
+  let h = Diff.hessian f (Vec.of_list [ 1.; 2. ]) in
+  check_close ~tol:1e-4 "h00 = 2y" 4. (Mat.get h 0 0);
+  check_close ~tol:1e-4 "h01 = 2x" 2. (Mat.get h 0 1);
+  check_close ~tol:1e-4 "h10 symmetric" (Mat.get h 0 1) (Mat.get h 1 0);
+  check_close ~tol:1e-4 "h11 = 2" 2. (Mat.get h 1 1)
+
+let prop_central_matches_analytic_poly =
+  prop "central difference on quadratics is near-exact" ~count:200
+    QCheck2.Gen.(triple (float_range (-3.) 3.) (float_range (-3.) 3.) (float_range (-2.) 2.))
+    (fun (a, b, x) ->
+      let f t = (a *. t *. t) +. (b *. t) in
+      let expected = (2. *. a *. x) +. b in
+      Float.abs (Diff.central f x -. expected) <= 1e-6 *. (1. +. Float.abs expected))
+
+let prop_richardson_accuracy =
+  prop "richardson reaches ~1e-8 relative accuracy on exp" ~count:50 (float_range (-2.) 2.)
+    (fun x ->
+      let exact = exp x in
+      let e_rich = Float.abs (Diff.richardson exp x -. exact) in
+      e_rich <= 1e-8 *. (1. +. exact))
+
+let suite =
+  ( "diff",
+    [
+      quick "first derivatives" test_first_derivatives;
+      quick "second derivative" test_second_derivative;
+      quick "partial/gradient" test_partial_gradient;
+      quick "jacobian" test_jacobian;
+      quick "hessian" test_hessian;
+      prop_central_matches_analytic_poly;
+      prop_richardson_accuracy;
+    ] )

@@ -1,0 +1,68 @@
+open Numerics
+open Test_helpers
+
+let sym2 = Mat.of_rows [| [| 2.; 1. |]; [| 1.; 2. |] |] (* eigenvalues 1 and 3 *)
+
+let test_power_iteration () =
+  let pair = Eigen.power_iteration sym2 in
+  check_close ~tol:1e-7 "dominant eigenvalue" 3. pair.Eigen.value;
+  (* eigenvector of 3 is (1,1)/sqrt2 up to sign *)
+  check_close ~tol:1e-5 "eigenvector ratio" 1.
+    (Float.abs (pair.Eigen.vector.(0) /. pair.Eigen.vector.(1)));
+  (* residual ||Av - lambda v|| small *)
+  let residual =
+    Vec.norm2
+      (Vec.sub (Mat.matvec sym2 pair.Eigen.vector)
+         (Vec.scale pair.Eigen.value pair.Eigen.vector))
+  in
+  check_true "eigen residual" (residual < 1e-5)
+
+let test_inverse_iteration () =
+  let pair = Eigen.inverse_iteration sym2 in
+  check_close ~tol:1e-7 "smallest eigenvalue" 1. pair.Eigen.value;
+  let near3 = Eigen.inverse_iteration ~shift:2.9 sym2 in
+  check_close ~tol:1e-7 "shifted finds 3" 3. near3.Eigen.value
+
+let test_spectral_bound () =
+  check_true "bound dominates spectral radius" (Eigen.spectral_radius_bound sym2 >= 3.);
+  check_raises_invalid "non-square" (fun () ->
+      Eigen.spectral_radius_bound (Mat.zeros ~rows:2 ~cols:3) |> ignore)
+
+let test_jacobi_eigenvalues () =
+  let eigs = Eigen.symmetric_eigenvalues sym2 in
+  check_close ~tol:1e-9 "lambda1" 1. eigs.(0);
+  check_close ~tol:1e-9 "lambda2" 3. eigs.(1);
+  let a =
+    Mat.of_rows [| [| 4.; 1.; 0. |]; [| 1.; 3.; 1. |]; [| 0.; 1.; 2. |] |]
+  in
+  let eigs3 = Eigen.symmetric_eigenvalues a in
+  (* trace and determinant are eigenvalue invariants *)
+  check_close ~tol:1e-8 "trace" 9. (eigs3.(0) +. eigs3.(1) +. eigs3.(2));
+  check_close ~tol:1e-7 "det" (Linalg.det a) (eigs3.(0) *. eigs3.(1) *. eigs3.(2));
+  check_raises_invalid "asymmetric input" (fun () ->
+      Eigen.symmetric_eigenvalues (Mat.of_rows [| [| 1.; 2. |]; [| 0.; 1. |] |]) |> ignore)
+
+let prop_jacobi_matches_power =
+  prop "jacobi's largest eigenvalue matches power iteration on random SPD" ~count:40
+    rng_gen
+    (fun rng ->
+      let n = 2 + Rng.int rng 4 in
+      let b =
+        Mat.init ~rows:n ~cols:n (fun _ _ -> Rng.uniform rng ~lo:(-1.) ~hi:1.)
+      in
+      (* B^T B + I is symmetric positive definite *)
+      let a = Mat.add (Mat.matmul (Mat.transpose b) b) (Mat.identity n) in
+      let eigs = Eigen.symmetric_eigenvalues a in
+      let dominant = Eigen.power_iteration a in
+      Float.abs (eigs.(n - 1) -. dominant.Eigen.value)
+      <= 1e-5 *. Float.max 1. eigs.(n - 1))
+
+let suite =
+  ( "eigen",
+    [
+      quick "power iteration" test_power_iteration;
+      quick "inverse iteration" test_inverse_iteration;
+      quick "spectral bound" test_spectral_bound;
+      quick "jacobi" test_jacobi_eigenvalues;
+      prop_jacobi_matches_power;
+    ] )

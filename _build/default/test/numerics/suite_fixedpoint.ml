@@ -1,0 +1,53 @@
+open Numerics
+open Test_helpers
+
+let test_cosine_fixed_point () =
+  (* the classic x = cos x, fixed point ~ 0.739085 *)
+  let r = Fixedpoint.iterate cos ~x0:1. in
+  check_close ~tol:1e-9 "cos fixed point" 0.7390851332151607 r.Fixedpoint.point
+
+let test_damping () =
+  (* x = 2.8 (1 - x) oscillates undamped around 0.7368; damping settles it *)
+  let f x = 2.8 *. (1. -. x) in
+  let r = Fixedpoint.iterate ~damping:0.3 f ~x0:0.2 in
+  check_close ~tol:1e-8 "damped fixed point" (2.8 /. 3.8) r.Fixedpoint.point;
+  check_raises_invalid "bad damping" (fun () ->
+      Fixedpoint.iterate ~damping:1.5 f ~x0:0.2 |> ignore)
+
+let test_no_convergence () =
+  match Fixedpoint.iterate ~max_iter:50 (fun x -> x +. 1.) ~x0:0. with
+  | _ -> Alcotest.fail "expected No_convergence"
+  | exception Fixedpoint.No_convergence _ -> ()
+
+let test_vector_iteration () =
+  (* contraction toward [1; 2] *)
+  let target = Vec.of_list [ 1.; 2. ] in
+  let f x = Vec.axpy 0.5 (Vec.sub target x) x in
+  let r = Fixedpoint.iterate_vec f ~x0:(Vec.zeros 2) in
+  check_true "vector fixed point" (Vec.approx_equal ~tol:1e-8 r.Fixedpoint.point target)
+
+let test_aitken_acceleration () =
+  (* slow contraction: x <- 0.99 x + 0.01; plain iteration needs thousands
+     of steps, Aitken needs a handful *)
+  let f x = (0.99 *. x) +. 0.01 in
+  let r = Fixedpoint.aitken ~tol:1e-12 f ~x0:0. in
+  check_close ~tol:1e-8 "aitken limit" 1. r.Fixedpoint.point;
+  check_true "aitken is fast" (r.Fixedpoint.iterations < 50)
+
+let prop_linear_contraction =
+  prop "iterate solves x = a x + b for |a| < 1" ~count:100
+    QCheck2.Gen.(pair (float_range (-0.9) 0.9) (float_range (-5.) 5.))
+    (fun (a, b) ->
+      let r = Fixedpoint.iterate ~max_iter:10_000 (fun x -> (a *. x) +. b) ~x0:0. in
+      Float.abs (r.Fixedpoint.point -. (b /. (1. -. a))) < 1e-6)
+
+let suite =
+  ( "fixedpoint",
+    [
+      quick "cosine" test_cosine_fixed_point;
+      quick "damping" test_damping;
+      quick "divergence detected" test_no_convergence;
+      quick "vector" test_vector_iteration;
+      quick "aitken" test_aitken_acceleration;
+      prop_linear_contraction;
+    ] )

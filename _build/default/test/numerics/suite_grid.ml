@@ -1,0 +1,62 @@
+open Numerics
+open Test_helpers
+
+let test_linspace () =
+  let g = Grid.linspace 0. 1. 5 in
+  Alcotest.(check int) "length" 5 (Array.length g);
+  check_close "first" 0. g.(0);
+  check_close "last" 1. g.(4);
+  check_close "step" 0.25 g.(1);
+  check_raises_invalid "too few" (fun () -> Grid.linspace 0. 1. 1 |> ignore)
+
+let test_logspace () =
+  let g = Grid.logspace 1. 100. 3 in
+  check_close ~tol:1e-12 "log mid" 10. g.(1);
+  check_raises_invalid "non-positive" (fun () -> Grid.logspace 0. 1. 3 |> ignore)
+
+let test_arange () =
+  let g = Grid.arange 0. 1. 0.25 in
+  Alcotest.(check int) "arange length" 5 (Array.length g);
+  check_close "arange last" 1. g.(4);
+  check_raises_invalid "bad step" (fun () -> Grid.arange 0. 1. 0. |> ignore)
+
+let test_midpoints () =
+  let m = Grid.midpoints [| 0.; 1.; 3. |] in
+  check_close "mid0" 0.5 m.(0);
+  check_close "mid1" 2. m.(1)
+
+let test_sweep () =
+  let out = Grid.sweep [| 1.; 2. |] (fun x -> x *. x) in
+  check_close "sweep x" 2. (fst out.(1));
+  check_close "sweep y" 4. (snd out.(1))
+
+let test_products () =
+  let p2 = Grid.product2 [| 1; 2 |] [| 'a'; 'b' |] in
+  Alcotest.(check int) "product2 size" 4 (Array.length p2);
+  check_true "row major" (p2.(1) = (1, 'b') && p2.(2) = (2, 'a'));
+  let p3 = Grid.product3 [| 1 |] [| 2; 3 |] [| 4; 5 |] in
+  Alcotest.(check int) "product3 size" 4 (Array.length p3);
+  check_true "triple" (p3.(3) = (1, 3, 5))
+
+let prop_linspace_monotone =
+  prop "linspace is strictly increasing" ~count:100
+    QCheck2.Gen.(triple (float_range (-10.) 10.) (float_range 0.1 10.) (int_range 2 50))
+    (fun (a, width, n) ->
+      let g = Grid.linspace a (a +. width) n in
+      let ok = ref true in
+      for i = 0 to n - 2 do
+        if g.(i + 1) <= g.(i) then ok := false
+      done;
+      !ok && Array.length g = n)
+
+let suite =
+  ( "grid",
+    [
+      quick "linspace" test_linspace;
+      quick "logspace" test_logspace;
+      quick "arange" test_arange;
+      quick "midpoints" test_midpoints;
+      quick "sweep" test_sweep;
+      quick "products" test_products;
+      prop_linspace_monotone;
+    ] )

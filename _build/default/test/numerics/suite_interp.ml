@@ -1,0 +1,86 @@
+open Numerics
+open Test_helpers
+
+let xs = [| 0.; 1.; 2.; 3. |]
+let ys = [| 0.; 1.; 4.; 9. |] (* x^2 at the knots *)
+
+let test_linear_eval () =
+  let t = Interp.linear xs ys in
+  check_close "at knot" 4. (Interp.eval t 2.);
+  check_close "midpoint" 2.5 (Interp.eval t 1.5);
+  check_close "clamp left" 0. (Interp.eval t (-1.));
+  check_close "clamp right" 9. (Interp.eval t 10.)
+
+let test_validation () =
+  check_raises_invalid "length mismatch" (fun () -> Interp.linear xs [| 1. |] |> ignore);
+  check_raises_invalid "single point" (fun () -> Interp.linear [| 1. |] [| 1. |] |> ignore);
+  check_raises_invalid "non-increasing" (fun () ->
+      Interp.linear [| 0.; 0. |] [| 1.; 2. |] |> ignore)
+
+let test_pchip_interpolates () =
+  let t = Interp.pchip xs ys in
+  Array.iteri (fun i x -> check_close "pchip knot" ys.(i) (Interp.eval t x)) xs;
+  (* closer to x^2 between knots than linear is *)
+  let exact = 2.25 in
+  let linear_err = Float.abs (Interp.eval (Interp.linear xs ys) 1.5 -. exact) in
+  let pchip_err = Float.abs (Interp.eval t 1.5 -. exact) in
+  check_true "pchip beats linear on smooth data" (pchip_err < linear_err)
+
+let test_pchip_monotone () =
+  (* monotone data with a flat shelf: pchip must not overshoot *)
+  let xs = [| 0.; 1.; 2.; 3.; 4. |] in
+  let ys = [| 0.; 0.1; 4.; 4.05; 8. |] in
+  let t = Interp.pchip xs ys in
+  let previous = ref (Interp.eval t 0.) in
+  let ok = ref true in
+  Array.iter
+    (fun x ->
+      let y = Interp.eval t x in
+      if y < !previous -. 1e-9 then ok := false;
+      previous := y)
+    (Grid.linspace 0. 4. 401);
+  check_true "pchip preserves monotonicity" !ok
+
+let test_crossing () =
+  let t = Interp.linear [| 0.; 1.; 2. |] [| 0.; 2.; -1. |] in
+  (match Interp.crossing t ~level:1. with
+  | Some x -> check_close ~tol:1e-9 "first crossing" 0.5 x
+  | None -> Alcotest.fail "expected a crossing");
+  check_true "no crossing" (Interp.crossing t ~level:5. = None)
+
+let test_peak () =
+  let t = Interp.pchip [| 0.; 1.; 2.; 3. |] [| 0.; 2.; 1.8; 0. |] in
+  let x, y = Interp.peak t in
+  check_in_range "peak location" ~lo:0.8 ~hi:1.8 x;
+  check_true "peak dominates knots" (y >= 2. -. 1e-9)
+
+let test_crossover () =
+  let a = Interp.linear [| 0.; 2. |] [| 0.; 2. |] in
+  let b = Interp.linear [| 0.; 2. |] [| 1.; 1. |] in
+  (match Interp.crossover a b with
+  | Some x -> check_close ~tol:1e-6 "crossover at 1" 1. x
+  | None -> Alcotest.fail "expected crossover");
+  let c = Interp.linear [| 0.; 2. |] [| 5.; 5. |] in
+  check_true "no crossover" (Interp.crossover a c = None)
+
+let prop_linear_exact_on_lines =
+  prop "linear interp is exact for affine data" ~count:100
+    QCheck2.Gen.(triple (float_range (-3.) 3.) (float_range (-3.) 3.) (float_range 0. 3.))
+    (fun (slope, intercept, x) ->
+      let xs = Grid.linspace 0. 3. 7 in
+      let ys = Array.map (fun x -> (slope *. x) +. intercept) xs in
+      let t = Interp.linear xs ys in
+      Float.abs (Interp.eval t x -. ((slope *. x) +. intercept)) < 1e-9)
+
+let suite =
+  ( "interp",
+    [
+      quick "linear eval" test_linear_eval;
+      quick "validation" test_validation;
+      quick "pchip interpolates" test_pchip_interpolates;
+      quick "pchip monotone" test_pchip_monotone;
+      quick "crossing" test_crossing;
+      quick "peak" test_peak;
+      quick "crossover" test_crossover;
+      prop_linear_exact_on_lines;
+    ] )

@@ -1,0 +1,96 @@
+open Numerics
+open Test_helpers
+
+let m23 () = Mat.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |]
+
+let test_construct () =
+  let m = m23 () in
+  Alcotest.(check int) "rows" 2 (Mat.rows m);
+  Alcotest.(check int) "cols" 3 (Mat.cols m);
+  check_close "get" 6. (Mat.get m 1 2);
+  check_raises_invalid "bad dims" (fun () -> Mat.create ~rows:0 ~cols:2 1.);
+  check_raises_invalid "ragged" (fun () -> Mat.of_rows [| [| 1. |]; [| 1.; 2. |] |]);
+  check_raises_invalid "oob get" (fun () -> Mat.get (m23 ()) 2 0)
+
+let test_identity_diag () =
+  let i3 = Mat.identity 3 in
+  check_close "identity diag" 1. (Mat.get i3 1 1);
+  check_close "identity off" 0. (Mat.get i3 0 1);
+  let d = Mat.diag (Vec.of_list [ 2.; 3. ]) in
+  check_close "diag" 3. (Mat.get d 1 1);
+  check_close "diag off" 0. (Mat.get d 0 1)
+
+let test_transpose () =
+  let t = Mat.transpose (m23 ()) in
+  Alcotest.(check int) "t rows" 3 (Mat.rows t);
+  check_close "t entry" 4. (Mat.get t 0 1);
+  check_true "double transpose" (Mat.approx_equal (Mat.transpose t) (m23 ()))
+
+let test_rows_cols_access () =
+  let m = m23 () in
+  check_true "row" (Vec.approx_equal (Mat.row m 1) (Vec.of_list [ 4.; 5.; 6. ]));
+  check_true "col" (Vec.approx_equal (Mat.col m 2) (Vec.of_list [ 3.; 6. ]));
+  check_true "to_rows" (Mat.to_rows m = [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |])
+
+let test_arithmetic () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_rows [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  check_close "add" 10. (Mat.get (Mat.add a b) 1 0);
+  check_close "sub" (-4.) (Mat.get (Mat.sub a b) 0 0);
+  check_close "scale" 8. (Mat.get (Mat.scale 2. a) 1 1);
+  let c = Mat.matmul a b in
+  check_close "matmul 00" 19. (Mat.get c 0 0);
+  check_close "matmul 11" 50. (Mat.get c 1 1);
+  check_raises_invalid "matmul mismatch" (fun () -> Mat.matmul (m23 ()) a |> ignore)
+
+let test_matvec () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let x = Vec.of_list [ 1.; 1. ] in
+  check_true "matvec" (Vec.approx_equal (Mat.matvec a x) (Vec.of_list [ 3.; 7. ]));
+  check_true "vecmat" (Vec.approx_equal (Mat.vecmat x a) (Vec.of_list [ 4.; 6. ]))
+
+let test_norms () =
+  let a = Mat.of_rows [| [| 1.; -2. |]; [| 3.; 4. |] |] in
+  check_close "inf norm" 7. (Mat.norm_inf a);
+  check_close "frobenius" (sqrt 30.) (Mat.norm_frobenius a)
+
+let test_submatrix () =
+  let m = Mat.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |]; [| 7.; 8.; 9. |] |] in
+  let s = Mat.submatrix m ~row_idx:[| 0; 2 |] ~col_idx:[| 1; 2 |] in
+  check_close "sub 00" 2. (Mat.get s 0 0);
+  check_close "sub 11" 9. (Mat.get s 1 1);
+  check_raises_invalid "empty idx" (fun () ->
+      Mat.submatrix m ~row_idx:[||] ~col_idx:[| 0 |] |> ignore)
+
+let prop_matmul_identity =
+  prop "A * I = A" ~count:50
+    QCheck2.Gen.(list_size (return 9) (float_range (-5.) 5.))
+    (fun xs ->
+      let a = Mat.init ~rows:3 ~cols:3 (fun i j -> List.nth xs ((3 * i) + j)) in
+      Mat.approx_equal (Mat.matmul a (Mat.identity 3)) a)
+
+let prop_transpose_product =
+  prop "(AB)^T = B^T A^T" ~count:50
+    QCheck2.Gen.(pair (list_size (return 4) (float_range (-3.) 3.))
+                   (list_size (return 4) (float_range (-3.) 3.)))
+    (fun (xs, ys) ->
+      let a = Mat.init ~rows:2 ~cols:2 (fun i j -> List.nth xs ((2 * i) + j)) in
+      let b = Mat.init ~rows:2 ~cols:2 (fun i j -> List.nth ys ((2 * i) + j)) in
+      Mat.approx_equal ~tol:1e-9
+        (Mat.transpose (Mat.matmul a b))
+        (Mat.matmul (Mat.transpose b) (Mat.transpose a)))
+
+let suite =
+  ( "mat",
+    [
+      quick "construct" test_construct;
+      quick "identity/diag" test_identity_diag;
+      quick "transpose" test_transpose;
+      quick "rows/cols" test_rows_cols_access;
+      quick "arithmetic" test_arithmetic;
+      quick "matvec" test_matvec;
+      quick "norms" test_norms;
+      quick "submatrix" test_submatrix;
+      prop_matmul_identity;
+      prop_transpose_product;
+    ] )

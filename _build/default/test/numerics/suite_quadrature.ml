@@ -1,0 +1,67 @@
+open Numerics
+open Test_helpers
+
+let test_trapezoid () =
+  check_close ~tol:1e-4 "trapezoid x^2 on [0,1]" (1. /. 3.)
+    (Quadrature.trapezoid ~n:1000 (fun x -> x *. x) ~lo:0. ~hi:1.);
+  check_close "empty interval" 0. (Quadrature.trapezoid (fun x -> x) ~lo:1. ~hi:1.);
+  check_raises_invalid "reversed interval" (fun () ->
+      Quadrature.trapezoid (fun x -> x) ~lo:1. ~hi:0. |> ignore)
+
+let test_simpson () =
+  (* Simpson is exact for cubics *)
+  check_close ~tol:1e-12 "simpson cubic exact" 0.25
+    (Quadrature.simpson ~n:2 (fun x -> x ** 3.) ~lo:0. ~hi:1.);
+  check_close ~tol:1e-8 "simpson sin" 2. (Quadrature.simpson sin ~lo:0. ~hi:Float.pi);
+  (* odd panel counts are rounded up rather than rejected *)
+  check_close ~tol:1e-5 "simpson odd n" 2. (Quadrature.simpson ~n:31 sin ~lo:0. ~hi:Float.pi)
+
+let test_adaptive () =
+  check_close ~tol:1e-9 "adaptive exp" (exp 1. -. 1.)
+    (Quadrature.adaptive_simpson exp ~lo:0. ~hi:1.);
+  (* sharply peaked integrand: adaptive handles what fixed grids miss *)
+  let spike x = 1. /. (1e-4 +. ((x -. 0.37) ** 2.)) in
+  let reference = Quadrature.simpson ~n:200_000 spike ~lo:0. ~hi:1. in
+  check_close ~tol:1e-6 "adaptive spike" reference
+    (Quadrature.adaptive_simpson ~tol:1e-10 spike ~lo:0. ~hi:1.)
+
+let test_integrate_samples () =
+  let xs = Grid.linspace 0. 1. 101 in
+  let ys = Array.map (fun x -> x) xs in
+  check_close ~tol:1e-12 "sampled linear" 0.5 (Quadrature.integrate_samples xs ys);
+  check_raises_invalid "length mismatch" (fun () ->
+      Quadrature.integrate_samples xs [| 1. |] |> ignore);
+  check_raises_invalid "non-increasing xs" (fun () ->
+      Quadrature.integrate_samples [| 0.; 0. |] [| 1.; 1. |] |> ignore)
+
+let prop_linearity =
+  prop "integration is linear" ~count:100
+    QCheck2.Gen.(pair (float_range (-3.) 3.) (float_range (-3.) 3.))
+    (fun (a, b) ->
+      let f x = (a *. sin x) +. (b *. x) in
+      let whole = Quadrature.adaptive_simpson f ~lo:0. ~hi:2. in
+      let parts =
+        (a *. Quadrature.adaptive_simpson sin ~lo:0. ~hi:2.)
+        +. (b *. Quadrature.adaptive_simpson (fun x -> x) ~lo:0. ~hi:2.)
+      in
+      Float.abs (whole -. parts) < 1e-8)
+
+let prop_interval_additivity =
+  prop "integral over [0,c] + [c,2] = [0,2]" ~count:100 (float_range 0.1 1.9)
+    (fun c ->
+      let f x = exp (-.x) *. sin (3. *. x) in
+      let left = Quadrature.adaptive_simpson f ~lo:0. ~hi:c in
+      let right = Quadrature.adaptive_simpson f ~lo:c ~hi:2. in
+      let whole = Quadrature.adaptive_simpson f ~lo:0. ~hi:2. in
+      Float.abs (left +. right -. whole) < 1e-8)
+
+let suite =
+  ( "quadrature",
+    [
+      quick "trapezoid" test_trapezoid;
+      quick "simpson" test_simpson;
+      quick "adaptive" test_adaptive;
+      quick "sampled" test_integrate_samples;
+      prop_linearity;
+      prop_interval_additivity;
+    ] )

@@ -1,0 +1,88 @@
+open Numerics
+open Test_helpers
+
+let test_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 10 do
+    check_close "same seed, same stream" (Rng.float a) (Rng.float b)
+  done;
+  let c = Rng.create 43L in
+  check_true "different seed, different stream" (Rng.float (Rng.create 42L) <> Rng.float c)
+
+let test_float_range () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    check_in_range "float in [0,1)" ~lo:0. ~hi:0.9999999999999999 x
+  done
+
+let test_uniform () =
+  let rng = Rng.create 11L in
+  for _ = 1 to 500 do
+    check_in_range "uniform range" ~lo:(-2.) ~hi:5. (Rng.uniform rng ~lo:(-2.) ~hi:5.)
+  done;
+  check_raises_invalid "bad range" (fun () -> Rng.uniform rng ~lo:1. ~hi:1. |> ignore)
+
+let test_int () =
+  let rng = Rng.create 13L in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 5000 do
+    let k = Rng.int rng 5 in
+    check_in_range "int bound" ~lo:0. ~hi:4. (float_of_int k);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter (fun c -> check_in_range "roughly uniform" ~lo:800. ~hi:1200. (float_of_int c)) counts;
+  check_raises_invalid "bad bound" (fun () -> Rng.int rng 0 |> ignore)
+
+let test_mean_variance () =
+  let rng = Rng.create 17L in
+  let xs = Array.init 20_000 (fun _ -> Rng.float rng) in
+  check_close ~tol:2e-2 "uniform mean" 0.5 (Stats.mean xs);
+  check_close ~tol:5e-2 "uniform variance" (1. /. 12.) (Stats.variance xs)
+
+let test_exponential () =
+  let rng = Rng.create 19L in
+  let xs = Array.init 20_000 (fun _ -> Rng.exponential rng ~rate:2.) in
+  check_close ~tol:3e-2 "exponential mean 1/rate" 0.5 (Stats.mean xs);
+  Array.iter (fun x -> check_true "nonnegative" (x >= 0.)) xs;
+  check_raises_invalid "bad rate" (fun () -> Rng.exponential rng ~rate:0. |> ignore)
+
+let test_normal () =
+  let rng = Rng.create 23L in
+  let xs = Array.init 20_000 (fun _ -> Rng.normal rng ~mean:3. ~stddev:2.) in
+  check_close ~tol:3e-2 "normal mean" 3. (Stats.mean xs);
+  check_close ~tol:5e-2 "normal sd" 2. (Stats.stddev xs)
+
+let test_split_independence () =
+  let parent = Rng.create 29L in
+  let child = Rng.split parent in
+  let xs = Array.init 2000 (fun _ -> Rng.float parent) in
+  let ys = Array.init 2000 (fun _ -> Rng.float child) in
+  check_true "streams decorrelated" (Float.abs (Stats.correlation xs ys) < 0.08)
+
+let test_choice_shuffle () =
+  let rng = Rng.create 31L in
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 100 do
+    check_true "choice from array" (Array.mem (Rng.choice rng arr) arr)
+  done;
+  let shuffled = Array.copy arr in
+  Rng.shuffle rng shuffled;
+  let sorted = Array.copy shuffled in
+  Array.sort compare sorted;
+  check_true "shuffle is a permutation" (sorted = arr);
+  check_raises_invalid "empty choice" (fun () -> Rng.choice rng [||] |> ignore)
+
+let suite =
+  ( "rng",
+    [
+      quick "determinism" test_determinism;
+      quick "float range" test_float_range;
+      quick "uniform" test_uniform;
+      quick "int" test_int;
+      quick "mean/variance" test_mean_variance;
+      quick "exponential" test_exponential;
+      quick "normal" test_normal;
+      quick "split" test_split_independence;
+      quick "choice/shuffle" test_choice_shuffle;
+    ] )

@@ -1,0 +1,91 @@
+open Numerics
+open Test_helpers
+
+let cubic x = (x *. x *. x) -. (2. *. x) -. 5. (* root near 2.0945514815 *)
+let cubic_root = 2.0945514815423265
+
+let test_bisect () =
+  let r = Rootfind.bisect cubic ~lo:0. ~hi:3. in
+  check_close ~tol:1e-9 "bisect root" cubic_root r.Rootfind.root;
+  check_true "bisect converged fast enough" (r.Rootfind.iterations <= 60)
+
+let test_brent () =
+  let r = Rootfind.brent cubic ~lo:0. ~hi:3. in
+  check_close ~tol:1e-10 "brent root" cubic_root r.Rootfind.root;
+  let rb = Rootfind.bisect cubic ~lo:0. ~hi:3. in
+  check_true "brent uses fewer evaluations than bisection"
+    (r.Rootfind.evaluations < rb.Rootfind.evaluations)
+
+let test_endpoint_roots () =
+  let f x = x -. 1. in
+  check_close "root at lo" 1. (Rootfind.brent f ~lo:1. ~hi:2.).Rootfind.root;
+  check_close "root at hi" 1. (Rootfind.brent f ~lo:0. ~hi:1.).Rootfind.root
+
+let test_no_bracket () =
+  (match Rootfind.brent (fun x -> (x *. x) +. 1.) ~lo:(-1.) ~hi:1. with
+  | _ -> Alcotest.fail "expected No_bracket"
+  | exception Rootfind.No_bracket _ -> ());
+  check_raises_invalid "bad interval" (fun () ->
+      Rootfind.brent cubic ~lo:3. ~hi:0. |> ignore)
+
+let test_newton () =
+  let df x = (3. *. x *. x) -. 2. in
+  let r = Rootfind.newton cubic ~df ~x0:2. in
+  check_close ~tol:1e-10 "newton root" cubic_root r.Rootfind.root;
+  check_true "newton quadratic convergence" (r.Rootfind.iterations <= 8);
+  match Rootfind.newton (fun x -> x *. x) ~df:(fun _ -> 0.) ~x0:1. with
+  | _ -> Alcotest.fail "expected No_convergence"
+  | exception Rootfind.No_convergence _ -> ()
+
+let test_secant () =
+  let r = Rootfind.secant cubic ~x0:1. ~x1:3. in
+  check_close ~tol:1e-9 "secant root" cubic_root r.Rootfind.root;
+  check_raises_invalid "identical points" (fun () ->
+      Rootfind.secant cubic ~x0:1. ~x1:1. |> ignore)
+
+let test_bracket_outward () =
+  let f x = x -. 100. in
+  let lo, hi = Rootfind.bracket_outward f ~lo:0. ~hi:1. in
+  check_true "bracket contains root" (lo <= 100. && hi >= 100.);
+  match Rootfind.bracket_outward (fun _ -> 1.) ~lo:0. ~hi:1. with
+  | _ -> Alcotest.fail "expected No_bracket"
+  | exception Rootfind.No_bracket _ -> ()
+
+let test_brent_auto () =
+  let f x = exp x -. 20. in
+  let r = Rootfind.brent_auto f ~lo:0. ~hi:1. in
+  check_close ~tol:1e-9 "auto-bracketed root" (log 20.) r.Rootfind.root
+
+let prop_brent_finds_planted_root =
+  prop "brent recovers a planted root of a monotone cubic" ~count:200
+    (float_range (-5.) 5.)
+    (fun root ->
+      let f x =
+        let d = x -. root in
+        (d *. d *. d) +. d
+      in
+      let r = Rootfind.brent_auto f ~lo:(root -. 1.) ~hi:(root +. 1.3) in
+      Float.abs (r.Rootfind.root -. root) < 1e-8)
+
+let prop_newton_matches_brent =
+  prop "newton and brent agree on exp(x) = c" ~count:100 (float_range 0.5 50.)
+    (fun c ->
+      let f x = exp x -. c in
+      let newton = Rootfind.newton f ~df:exp ~x0:1. in
+      let brent = Rootfind.brent_auto f ~lo:(-1.) ~hi:5. in
+      Float.abs (newton.Rootfind.root -. brent.Rootfind.root) < 1e-8)
+
+let suite =
+  ( "rootfind",
+    [
+      quick "bisect" test_bisect;
+      quick "brent" test_brent;
+      quick "endpoint roots" test_endpoint_roots;
+      quick "no bracket" test_no_bracket;
+      quick "newton" test_newton;
+      quick "secant" test_secant;
+      quick "bracket outward" test_bracket_outward;
+      quick "brent auto" test_brent_auto;
+      prop_brent_finds_planted_root;
+      prop_newton_matches_brent;
+    ] )

@@ -1,0 +1,76 @@
+open Numerics
+open Test_helpers
+
+let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |]
+
+let test_moments () =
+  check_close "mean" 5. (Stats.mean xs);
+  check_close ~tol:1e-9 "variance" (32. /. 7.) (Stats.variance xs);
+  check_close ~tol:1e-9 "stddev" (sqrt (32. /. 7.)) (Stats.stddev xs);
+  check_close "singleton variance" 0. (Stats.variance [| 3. |]);
+  check_raises_invalid "empty mean" (fun () -> Stats.mean [||] |> ignore)
+
+let test_quantiles () =
+  check_close "median" 4.5 (Stats.median xs);
+  check_close "q0" 2. (Stats.quantile xs 0.);
+  check_close "q1" 9. (Stats.quantile xs 1.);
+  check_close ~tol:1e-9 "q25" 4. (Stats.quantile xs 0.25);
+  check_raises_invalid "bad p" (fun () -> Stats.quantile xs 1.5 |> ignore);
+  (* quantile must not mutate its input *)
+  let ys = [| 3.; 1.; 2. |] in
+  let _ = Stats.quantile ys 0.5 in
+  check_true "input untouched" (ys = [| 3.; 1.; 2. |])
+
+let test_extrema () =
+  check_close "min" 2. (Stats.minimum xs);
+  check_close "max" 9. (Stats.maximum xs)
+
+let test_geometric_mean () =
+  check_close ~tol:1e-12 "geomean" 2. (Stats.geometric_mean [| 1.; 2.; 4. |]);
+  check_raises_invalid "non-positive" (fun () ->
+      Stats.geometric_mean [| 1.; 0. |] |> ignore)
+
+let test_correlation () =
+  let ys = Array.map (fun x -> (2. *. x) +. 1. ) xs in
+  check_close ~tol:1e-12 "perfect correlation" 1. (Stats.correlation xs ys);
+  let zs = Array.map (fun x -> -.x) xs in
+  check_close ~tol:1e-12 "perfect anticorrelation" (-1.) (Stats.correlation xs zs);
+  check_raises_invalid "degenerate" (fun () ->
+      Stats.correlation [| 1.; 1. |] [| 1.; 2. |] |> ignore)
+
+let test_summary () =
+  let s = Stats.summarize xs in
+  Alcotest.(check int) "n" 8 s.Stats.n;
+  check_close "summary mean" 5. s.Stats.mean;
+  check_close "summary median" 4.5 s.Stats.median;
+  check_close "summary max" 9. s.Stats.max
+
+let prop_mean_bounds =
+  prop "min <= mean <= max" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 20) (float_range (-100.) 100.))
+    (fun lst ->
+      let a = Array.of_list lst in
+      let m = Stats.mean a in
+      Stats.minimum a <= m +. 1e-9 && m <= Stats.maximum a +. 1e-9)
+
+let prop_variance_shift_invariant =
+  prop "variance is shift-invariant" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 2 20) (float_range (-10.) 10.))
+                   (float_range (-50.) 50.))
+    (fun (lst, shift) ->
+      let a = Array.of_list lst in
+      let shifted = Array.map (fun x -> x +. shift) a in
+      Float.abs (Stats.variance a -. Stats.variance shifted) < 1e-6)
+
+let suite =
+  ( "stats",
+    [
+      quick "moments" test_moments;
+      quick "quantiles" test_quantiles;
+      quick "extrema" test_extrema;
+      quick "geometric mean" test_geometric_mean;
+      quick "correlation" test_correlation;
+      quick "summary" test_summary;
+      prop_mean_bounds;
+      prop_variance_shift_invariant;
+    ] )

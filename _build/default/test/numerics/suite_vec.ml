@@ -1,0 +1,88 @@
+open Numerics
+open Test_helpers
+
+let test_constructors () =
+  check_close "make" 2.5 (Vec.make 3 2.5).(1);
+  check_close "init" 4. (Vec.init 5 (fun i -> float_of_int (i * 2))).(2);
+  check_close "zeros" 0. (Vec.zeros 3).(0);
+  check_close "ones" 1. (Vec.ones 3).(2);
+  Alcotest.(check int) "dim" 4 (Vec.dim (Vec.zeros 4));
+  check_true "of_list/to_list roundtrip"
+    (Vec.to_list (Vec.of_list [ 1.; 2.; 3. ]) = [ 1.; 2.; 3. ])
+
+let test_basis () =
+  let e1 = Vec.basis 3 1 in
+  check_close "basis one" 1. e1.(1);
+  check_close "basis zero" 0. e1.(0);
+  check_raises_invalid "basis out of range" (fun () -> Vec.basis 3 3)
+
+let test_arithmetic () =
+  let x = Vec.of_list [ 1.; 2.; 3. ] and y = Vec.of_list [ 4.; 5.; 6. ] in
+  check_close "add" 9. (Vec.add x y).(2);
+  check_close "sub" (-3.) (Vec.sub x y).(0);
+  check_close "mul" 10. (Vec.mul x y).(1);
+  check_close "scale" 6. (Vec.scale 2. x).(2);
+  check_close "axpy" 9. (Vec.axpy 2. x y).(1);
+  check_close "neg" (-2.) (Vec.neg x).(1);
+  check_close "dot" 32. (Vec.dot x y);
+  check_close "sum" 6. (Vec.sum x);
+  check_raises_invalid "dim mismatch" (fun () -> Vec.add x (Vec.zeros 2))
+
+let test_norms () =
+  let x = Vec.of_list [ 3.; -4. ] in
+  check_close "norm2" 5. (Vec.norm2 x);
+  check_close "norm_inf" 4. (Vec.norm_inf x);
+  check_close "dist_inf" 7. (Vec.dist_inf x (Vec.of_list [ -4.; 3. ]))
+
+let test_extrema () =
+  let x = Vec.of_list [ 2.; 9.; -3.; 9. ] in
+  check_close "max" 9. (Vec.max_elt x);
+  check_close "min" (-3.) (Vec.min_elt x);
+  Alcotest.(check int) "argmax first tie" 1 (Vec.argmax x);
+  Alcotest.(check int) "argmin" 2 (Vec.argmin x);
+  check_raises_invalid "empty max" (fun () -> Vec.max_elt [||])
+
+let test_clamp () =
+  let x = Vec.of_list [ -1.; 0.5; 2. ] in
+  let c = Vec.clamp ~lo:0. ~hi:1. x in
+  check_close "clamp low" 0. c.(0);
+  check_close "clamp mid" 0.5 c.(1);
+  check_close "clamp high" 1. c.(2);
+  check_raises_invalid "clamp bad bounds" (fun () -> Vec.clamp ~lo:1. ~hi:0. x)
+
+let test_approx_equal () =
+  check_true "equal within tol"
+    (Vec.approx_equal ~tol:1e-6 (Vec.of_list [ 1. ]) (Vec.of_list [ 1. +. 1e-9 ]));
+  check_true "unequal"
+    (not (Vec.approx_equal (Vec.of_list [ 1. ]) (Vec.of_list [ 1.1 ])));
+  check_true "different dims" (not (Vec.approx_equal (Vec.zeros 2) (Vec.zeros 3)))
+
+let prop_triangle_inequality =
+  prop "norm2 triangle inequality"
+    QCheck2.Gen.(pair (list_size (return 5) (float_range (-10.) 10.))
+                   (list_size (return 5) (float_range (-10.) 10.)))
+    (fun (xs, ys) ->
+      let x = Vec.of_list xs and y = Vec.of_list ys in
+      Vec.norm2 (Vec.add x y) <= Vec.norm2 x +. Vec.norm2 y +. 1e-9)
+
+let prop_dot_symmetry =
+  prop "dot is symmetric"
+    QCheck2.Gen.(pair (list_size (return 4) (float_range (-5.) 5.))
+                   (list_size (return 4) (float_range (-5.) 5.)))
+    (fun (xs, ys) ->
+      let x = Vec.of_list xs and y = Vec.of_list ys in
+      Float.abs (Vec.dot x y -. Vec.dot y x) < 1e-12)
+
+let suite =
+  ( "vec",
+    [
+      quick "constructors" test_constructors;
+      quick "basis" test_basis;
+      quick "arithmetic" test_arithmetic;
+      quick "norms" test_norms;
+      quick "extrema" test_extrema;
+      quick "clamp" test_clamp;
+      quick "approx_equal" test_approx_equal;
+      prop_triangle_inequality;
+      prop_dot_symmetry;
+    ] )

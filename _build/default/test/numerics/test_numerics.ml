@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "numerics"
+    [
+      Suite_vec.suite;
+      Suite_mat.suite;
+      Suite_linalg.suite;
+      Suite_eigen.suite;
+      Suite_rootfind.suite;
+      Suite_fixedpoint.suite;
+      Suite_diff.suite;
+      Suite_optimize.suite;
+      Suite_quadrature.suite;
+      Suite_interp.suite;
+      Suite_rng.suite;
+      Suite_stats.suite;
+      Suite_grid.suite;
+      Suite_ode.suite;
+    ]

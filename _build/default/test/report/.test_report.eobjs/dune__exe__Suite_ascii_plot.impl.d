@@ -1,0 +1,1 @@
+test/report/suite_ascii_plot.ml: Alcotest Ascii_plot List Report Series String Test_helpers

@@ -1,0 +1,1 @@
+test/report/suite_csv.ml: Csv Filename Report Sys Table Test_helpers

@@ -1,0 +1,1 @@
+test/report/suite_series.ml: Alcotest Report Series Table Test_helpers

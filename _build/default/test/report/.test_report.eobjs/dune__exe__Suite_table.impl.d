@@ -1,0 +1,1 @@
+test/report/suite_table.ml: Alcotest Csv List QCheck2 Report String Table Test_helpers

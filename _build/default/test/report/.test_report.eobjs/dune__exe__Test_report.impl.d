@@ -1,0 +1,1 @@
+test/report/test_report.ml: Alcotest Suite_ascii_plot Suite_csv Suite_series Suite_table

@@ -1,0 +1,1 @@
+test/report/test_report.mli:

@@ -1,0 +1,61 @@
+open Report
+open Test_helpers
+
+let series () =
+  Series.make ~name:"line" ~xs:[| 0.; 1.; 2. |] ~ys:[| 0.; 1.; 2. |]
+
+let test_render_basic () =
+  let out = Ascii_plot.render [ series () ] in
+  check_true "non-empty" (String.length out > 100);
+  check_true "legend present"
+    (List.exists
+       (fun l -> String.length l > 0 && String.ends_with ~suffix:"line" l)
+       (String.split_on_char '\n' out));
+  check_true "uses first glyph" (String.contains out '*')
+
+let test_render_multi_series () =
+  let a = series () in
+  let b = Series.make ~name:"flat" ~xs:[| 0.; 2. |] ~ys:[| 1.; 1. |] in
+  let out = Ascii_plot.render [ a; b ] in
+  check_true "second glyph" (String.contains out '+');
+  check_true "both legends"
+    (let lines = String.split_on_char '\n' out in
+     List.exists (fun l -> String.ends_with ~suffix:"flat" l) lines)
+
+let test_config () =
+  let tiny = { Ascii_plot.default with Ascii_plot.width = 20; height = 6 } in
+  let out = Ascii_plot.render ~config:tiny [ series () ] in
+  let plot_rows =
+    List.filter (fun l -> String.contains l '|') (String.split_on_char '\n' out)
+  in
+  Alcotest.(check int) "height respected" 6 (List.length plot_rows);
+  check_raises_invalid "too small" (fun () ->
+      Ascii_plot.render
+        ~config:{ Ascii_plot.default with Ascii_plot.width = 2 }
+        [ series () ]
+      |> ignore);
+  check_raises_invalid "no series" (fun () -> Ascii_plot.render [] |> ignore)
+
+let test_fixed_axis () =
+  let cfg = { Ascii_plot.default with Ascii_plot.y_min = Some 0.; y_max = Some 10. } in
+  let out = Ascii_plot.render ~config:cfg [ series () ] in
+  check_true "axis label shows override"
+    (List.exists
+       (fun l -> String.length l >= 2 && String.trim l <> "" && String.contains l '1')
+       (String.split_on_char '\n' out))
+
+let test_constant_series_handled () =
+  let flat = Series.make ~name:"c" ~xs:[| 0.; 1. |] ~ys:[| 3.; 3. |] in
+  (* degenerate y-range must not divide by zero *)
+  let out = Ascii_plot.render [ flat ] in
+  check_true "rendered" (String.length out > 0)
+
+let suite =
+  ( "ascii-plot",
+    [
+      quick "basic render" test_render_basic;
+      quick "multi series" test_render_multi_series;
+      quick "config" test_config;
+      quick "fixed axis" test_fixed_axis;
+      quick "constant series" test_constant_series_handled;
+    ] )

@@ -1,0 +1,36 @@
+open Report
+open Test_helpers
+
+let test_parse_simple () =
+  check_true "two rows"
+    (Csv.parse_string "a,b\n1,2\n" = [ [ "a"; "b" ]; [ "1"; "2" ] ]);
+  check_true "no trailing newline" (Csv.parse_string "a,b" = [ [ "a"; "b" ] ])
+
+let test_parse_quoted () =
+  check_true "embedded comma" (Csv.parse_string "\"a,b\",c\n" = [ [ "a,b"; "c" ] ]);
+  check_true "escaped quote" (Csv.parse_string "\"a\"\"b\"\n" = [ [ "a\"b" ] ]);
+  check_true "embedded newline" (Csv.parse_string "\"a\nb\",c\n" = [ [ "a\nb"; "c" ] ])
+
+let test_parse_crlf () =
+  check_true "CRLF tolerated" (Csv.parse_string "a,b\r\n1,2\r\n" = [ [ "a"; "b" ]; [ "1"; "2" ] ])
+
+let test_write_read_roundtrip () =
+  let dir = Filename.temp_file "csv_test" "" in
+  Sys.remove dir;
+  let path = Filename.concat (Filename.concat dir "deep") "t.csv" in
+  let t = Table.make ~columns:[ "x"; "label" ] in
+  Table.add_row t [ "1.5"; "hello, world" ];
+  Csv.write ~path t;
+  let rows = Csv.read ~path in
+  check_true "roundtrip with directories created"
+    (rows = [ [ "x"; "label" ]; [ "1.5"; "hello, world" ] ]);
+  Sys.remove path
+
+let suite =
+  ( "csv",
+    [
+      quick "simple" test_parse_simple;
+      quick "quoted" test_parse_quoted;
+      quick "crlf" test_parse_crlf;
+      quick "write/read roundtrip" test_write_read_roundtrip;
+    ] )

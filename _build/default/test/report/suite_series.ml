@@ -1,0 +1,66 @@
+open Report
+open Test_helpers
+
+let xs = [| 0.; 1.; 2.; 3. |]
+
+let mk name ys = Series.make ~name ~xs ~ys
+
+let test_make () =
+  let s = mk "s" [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "length" 4 (Series.length s);
+  check_raises_invalid "length mismatch" (fun () ->
+      Series.make ~name:"x" ~xs ~ys:[| 1. |] |> ignore);
+  check_raises_invalid "empty" (fun () ->
+      Series.make ~name:"x" ~xs:[||] ~ys:[||] |> ignore)
+
+let test_of_fn_and_y_at () =
+  let s = Series.of_fn ~name:"sq" ~xs (fun x -> x *. x) in
+  check_close "knot" 4. (Series.y_at s 2.);
+  check_close "interpolated" 2.5 (Series.y_at s 1.5);
+  check_close "clamped low" 0. (Series.y_at s (-5.));
+  check_close "clamped high" 9. (Series.y_at s 5.)
+
+let test_argmax () =
+  let x, y = Series.argmax (mk "m" [| 1.; 5.; 3.; 2. |]) in
+  check_close "arg" 1. x;
+  check_close "max" 5. y
+
+let test_monotonicity () =
+  check_true "nonincreasing" (Series.is_monotone_nonincreasing (mk "d" [| 4.; 3.; 3.; 1. |]));
+  check_true "not nonincreasing"
+    (not (Series.is_monotone_nonincreasing (mk "d" [| 4.; 5.; 3.; 1. |])));
+  check_true "nondecreasing" (Series.is_monotone_nondecreasing (mk "u" [| 1.; 1.; 2.; 9. |]));
+  check_true "tolerance respected"
+    (Series.is_monotone_nonincreasing ~tol:0.5 (mk "d" [| 4.; 4.2; 3.; 1. |]))
+
+let test_single_peak () =
+  check_true "peaked" (Series.is_single_peaked (mk "p" [| 1.; 3.; 4.; 2. |]));
+  check_true "monotone counts" (Series.is_single_peaked (mk "p" [| 1.; 2.; 3.; 4. |]));
+  check_true "valley rejected" (not (Series.is_single_peaked (mk "p" [| 3.; 1.; 4.; 2. |])))
+
+let test_dominates () =
+  let a = mk "a" [| 2.; 2.; 2.; 2. |] and b = mk "b" [| 1.; 2.; 1.5; 0. |] in
+  check_true "a dominates b" (Series.dominates a b);
+  check_true "b does not dominate a" (not (Series.dominates b a))
+
+let test_to_table () =
+  let a = mk "a" [| 1.; 2.; 3.; 4. |] and b = mk "b" [| 5.; 6.; 7.; 8. |] in
+  let t = Series.to_table ~x_label:"x" [ a; b ] in
+  check_true "columns" (Table.columns t = [ "x"; "a"; "b" ]);
+  Alcotest.(check int) "rows" 4 (Table.row_count t);
+  check_raises_invalid "mismatched grids" (fun () ->
+      let c = Series.make ~name:"c" ~xs:[| 0.; 9. |] ~ys:[| 1.; 1. |] in
+      Series.to_table ~x_label:"x" [ a; c ] |> ignore);
+  check_raises_invalid "no series" (fun () -> Series.to_table ~x_label:"x" [] |> ignore)
+
+let suite =
+  ( "series",
+    [
+      quick "make" test_make;
+      quick "of_fn / y_at" test_of_fn_and_y_at;
+      quick "argmax" test_argmax;
+      quick "monotonicity" test_monotonicity;
+      quick "single peak" test_single_peak;
+      quick "dominates" test_dominates;
+      quick "to_table" test_to_table;
+    ] )

@@ -1,0 +1,67 @@
+open Report
+open Test_helpers
+
+let sample () =
+  let t = Table.make ~columns:[ "name"; "x" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "beta"; "2.5" ];
+  t
+
+let test_construction () =
+  let t = sample () in
+  Alcotest.(check int) "row count" 2 (Table.row_count t);
+  check_true "columns" (Table.columns t = [ "name"; "x" ]);
+  check_true "rows in order" (Table.rows t = [ [ "alpha"; "1" ]; [ "beta"; "2.5" ] ]);
+  check_raises_invalid "no columns" (fun () -> Table.make ~columns:[] |> ignore);
+  check_raises_invalid "ragged row" (fun () -> Table.add_row (sample ()) [ "x" ])
+
+let test_add_floats () =
+  let t = Table.make ~columns:[ "a"; "b" ] in
+  Table.add_floats t [ 0.123456789; 2. ];
+  check_true "default precision"
+    (Table.rows t = [ [ "0.12346"; "2" ] ]);
+  let t2 = Table.make ~columns:[ "a" ] in
+  Table.add_floats ~precision:2 t2 [ 0.123456789 ];
+  check_true "custom precision" (Table.rows t2 = [ [ "0.12" ] ])
+
+let test_render () =
+  let s = Table.to_string (sample ()) in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + rule + rows" 4 (List.length lines);
+  check_true "aligned columns"
+    (List.for_all
+       (fun l -> String.length l = String.length (List.hd lines))
+       (List.tl (List.tl lines)))
+
+let test_csv_escaping () =
+  let t = Table.make ~columns:[ "c" ] in
+  Table.add_row t [ "plain" ];
+  Table.add_row t [ "with,comma" ];
+  Table.add_row t [ "with\"quote" ];
+  let csv = Table.to_csv_string t in
+  check_true "comma quoted" (String.length csv > 0);
+  let parsed = Csv.parse_string csv in
+  check_true "roundtrip"
+    (parsed = [ [ "c" ]; [ "plain" ]; [ "with,comma" ]; [ "with\"quote" ] ])
+
+let prop_csv_roundtrip =
+  prop "CSV write/parse roundtrips arbitrary cells" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 5) (string_size ~gen:printable (int_range 0 12)))
+    (fun cells ->
+      (* normalize CR, which the parser folds away by design *)
+      let cells = List.map (String.map (fun c -> if c = '\r' then ' ' else c)) cells in
+      let t = Table.make ~columns:(List.map (fun _ -> "c") cells) in
+      Table.add_row t cells;
+      match Csv.parse_string (Table.to_csv_string t) with
+      | [ _; parsed ] -> parsed = cells
+      | _ -> false)
+
+let suite =
+  ( "table",
+    [
+      quick "construction" test_construction;
+      quick "add_floats" test_add_floats;
+      quick "render" test_render;
+      quick "csv escaping" test_csv_escaping;
+      prop_csv_roundtrip;
+    ] )

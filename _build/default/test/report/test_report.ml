@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "report"
+    [ Suite_table.suite; Suite_csv.suite; Suite_series.suite; Suite_ascii_plot.suite ]
