@@ -11,10 +11,14 @@ let plots_arg =
   let doc = "Render ASCII plots alongside the tables." in
   Arg.(value & flag & info [ "plots" ] ~doc)
 
+let print_solver_telemetry () =
+  Printf.printf "\n-- solver telemetry --\n%s\n" (Numerics.Robust.stats_summary ())
+
 let run_experiment id dir plots =
   let experiment = Experiments.Registry.find_exn id in
   let outcome = experiment.Experiments.Common.run () in
   Experiments.Common.print ~plots outcome;
+  print_solver_telemetry ();
   (match dir with
   | Some dir ->
     Experiments.Common.save outcome ~dir;
@@ -50,6 +54,7 @@ let all_cmd =
                outcome.Experiments.Common.shape_checks)
         then incr failures)
       Experiments.Registry.all;
+    print_solver_telemetry ();
     if !failures = 0 then 0 else 1
   in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ dir_arg)
@@ -117,6 +122,7 @@ let nash_cmd =
       (Subsidization.Welfare.of_equilibrium game eq)
       eq.Subsidization.Nash.converged eq.Subsidization.Nash.sweeps
       eq.Subsidization.Nash.kkt_residual;
+    print_solver_telemetry ();
     if eq.Subsidization.Nash.converged then 0 else 1
   in
   Cmd.v (Cmd.info "nash" ~doc) Term.(const run $ price_arg $ cap_arg $ capacity_arg $ market_arg)

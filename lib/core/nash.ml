@@ -51,6 +51,11 @@ let solve ?scheme ?damping ?tol ?max_sweeps ?respond_points ?x0 game =
     kkt_residual = kkt_residual game ~subsidies;
   }
 
+let solve_result ?scheme ?damping ?tol ?max_sweeps ?respond_points ?x0 game =
+  match solve ?scheme ?damping ?tol ?max_sweeps ?respond_points ?x0 game with
+  | eq -> Ok eq
+  | exception Robust.Solver_error e -> Error e
+
 let solve_vi ?(gamma = 0.25) ?(tol = 1e-10) ?(max_iter = 100_000) ?x0 game =
   let box = Subsidy_game.box game in
   let n = Subsidy_game.dim game in

@@ -27,7 +27,24 @@ val solve :
   ?x0:Numerics.Vec.t ->
   Subsidy_game.t ->
   equilibrium
-(** Iterated best response from [x0] (default: the zero profile). *)
+(** Iterated best response from [x0] (default: the zero profile).
+    Raises {!Numerics.Robust.Solver_error} when the underlying
+    utilization equilibrium is numerically unsolvable at some profile
+    (after the whole fallback chain has been tried). *)
+
+val solve_result :
+  ?scheme:Gametheory.Best_response.scheme ->
+  ?damping:float ->
+  ?tol:float ->
+  ?max_sweeps:int ->
+  ?respond_points:int ->
+  ?x0:Numerics.Vec.t ->
+  Subsidy_game.t ->
+  (equilibrium, Numerics.Robust.error) result
+(** [Result]-typed variant of {!solve}: a market whose equilibrium
+    computation fails anywhere in the nest comes back as a structured
+    error, so Monte-Carlo sweeps record a degraded sample instead of
+    crashing. *)
 
 val solve_vi :
   ?gamma:float ->

@@ -63,23 +63,25 @@ let gap_slope sys ~charges phi =
   check_charges sys charges;
   gap_slope_with_populations sys (populations_of sys charges) phi
 
-let equilibrium_phi_with_populations ?(phi_guess = 1.) sys populations =
+let equilibrium_phi_result ?(phi_guess = 1.) sys populations =
   let g phi = gap_with_populations sys populations phi in
-  (* g(0) <= 0 always (zero supply, positive demand); find an upper end *)
+  let dg phi = gap_slope_with_populations sys populations phi in
   let guess = Float.max phi_guess 1e-6 in
-  let hi = ref (2. *. guess) in
-  let tries = ref 0 in
-  while g !hi < 0. && !tries < 200 do
-    hi := !hi *. 2.;
-    incr tries
-  done;
-  if g !hi < 0. then
-    invalid_arg "System.equilibrium_phi: could not bracket the utilization";
-  if g 0. >= 0. then 0.
-  else begin
-    let r = Rootfind.brent ~tol:1e-13 g ~lo:0. ~hi:!hi in
-    r.Rootfind.root
-  end
+  (* g(0) <= 0 always (zero supply, positive demand); equality means the
+     market clears at zero utilization *)
+  if (try g 0. >= 0. with _ -> false) then Ok 0.
+  else
+    match
+      Robust.root ~tol:1e-13 ~df:dg ~x0:guess ~domain:(0., Float.infinity) g ~lo:0.
+        ~hi:(2. *. guess)
+    with
+    | Ok s -> Ok s.Robust.result.Rootfind.root
+    | Error e -> Error e
+
+let equilibrium_phi_with_populations ?phi_guess sys populations =
+  match equilibrium_phi_result ?phi_guess sys populations with
+  | Ok phi -> phi
+  | Error e -> raise (Robust.Solver_error e)
 
 let state_of sys charges populations phi =
   let n = n_cps sys in
@@ -99,11 +101,17 @@ let equilibrium_phi ?phi_guess sys ~charges =
   check_charges sys charges;
   equilibrium_phi_with_populations ?phi_guess sys (populations_of sys charges)
 
-let solve ?phi_guess sys ~charges =
+let solve_result ?phi_guess sys ~charges =
   check_charges sys charges;
   let populations = populations_of sys charges in
-  let phi = equilibrium_phi_with_populations ?phi_guess sys populations in
-  state_of sys (Vec.copy charges) populations phi
+  match equilibrium_phi_result ?phi_guess sys populations with
+  | Ok phi -> Ok (state_of sys (Vec.copy charges) populations phi)
+  | Error e -> Error e
+
+let solve ?phi_guess sys ~charges =
+  match solve_result ?phi_guess sys ~charges with
+  | Ok st -> st
+  | Error e -> raise (Robust.Solver_error e)
 
 let solve_fixed_populations ?phi_guess sys ~populations =
   if Vec.dim populations <> n_cps sys then

@@ -48,11 +48,25 @@ val gap_slope : t -> charges:Numerics.Vec.t -> float -> float
     positive. *)
 
 val equilibrium_phi : ?phi_guess:float -> t -> charges:Numerics.Vec.t -> float
-(** The unique root of the gap function, by Brent's method after
-    outward bracketing around [phi_guess] (default 1). *)
+(** The unique root of the gap function, via the {!Numerics.Robust}
+    fallback chain (analytic-slope Newton from [phi_guess], default 1,
+    then secant, Brent and re-bracketed bisection). Raises
+    {!Numerics.Robust.Solver_error} when the whole chain fails —
+    numerical failure is a typed solver error, never
+    [Invalid_argument]. *)
 
 val solve : ?phi_guess:float -> t -> charges:Numerics.Vec.t -> state
-(** Equilibrium utilization plus all derived per-CP quantities. *)
+(** Equilibrium utilization plus all derived per-CP quantities. Raises
+    {!Numerics.Robust.Solver_error} on numerical failure; sweeps that
+    must degrade gracefully use {!solve_result}. *)
+
+val solve_result :
+  ?phi_guess:float ->
+  t ->
+  charges:Numerics.Vec.t ->
+  (state, Numerics.Robust.error) result
+(** [Result]-typed variant of {!solve} carrying the structured error
+    (methods attempted, residuals, bracket history) on failure. *)
 
 val solve_fixed_populations :
   ?phi_guess:float -> t -> populations:Numerics.Vec.t -> state

@@ -8,7 +8,27 @@ type outcome = {
 
 type t = { id : string; title : string; paper_ref : string; run : unit -> outcome }
 
+type degraded = { sample : int; label : string; reason : string }
+
 let check ~name passed detail = { Subsidization.Theorems.name; passed; detail }
+
+let try_sample ~label ~sample f =
+  match f () with
+  | v -> Ok v
+  | exception Numerics.Robust.Solver_error e ->
+    Error { sample; label; reason = Numerics.Robust.error_message e }
+  | exception Numerics.Rootfind.No_bracket msg -> Error { sample; label; reason = msg }
+  | exception Numerics.Rootfind.No_convergence msg ->
+    Error { sample; label; reason = msg }
+  | exception Numerics.Fixedpoint.No_convergence msg ->
+    Error { sample; label; reason = msg }
+
+let degraded_table ds =
+  let table = Report.Table.make ~columns:[ "sample"; "label"; "reason" ] in
+  List.iter
+    (fun d -> Report.Table.add_row table [ string_of_int d.sample; d.label; d.reason ])
+    ds;
+  table
 
 let save (outcome : outcome) ~dir =
   List.iter

@@ -21,6 +21,20 @@ type t = {
 val check : name:string -> bool -> string -> Subsidization.Theorems.check
 (** Build a shape check. *)
 
+type degraded = { sample : int; label : string; reason : string }
+(** One Monte-Carlo sample whose equilibrium computation failed after
+    the whole {!Numerics.Robust} fallback chain: recorded and reported,
+    never allowed to abort the sweep. *)
+
+val try_sample : label:string -> sample:int -> (unit -> 'a) -> ('a, degraded) result
+(** Run one sample of a sweep, converting a typed solver failure
+    ({!Numerics.Robust.Solver_error} or a legacy numerics exception)
+    into a [degraded] record. Caller bugs ([Invalid_argument]) still
+    raise. *)
+
+val degraded_table : degraded list -> Report.Table.t
+(** Render degraded samples as a reportable table. *)
+
 val save : outcome -> dir:string -> unit
 (** Write every table as [dir/<id>/<name>.csv]. *)
 

@@ -1,9 +1,15 @@
 open Numerics
 open Subsidization
 
-let sample_count = 40
+let default_samples = 40
 
-let run () : Common.outcome =
+(* Corrupt a sampled system so its gap function evaluates to NaN
+   everywhere: the record update bypasses [System.make]'s validation on
+   purpose, standing in for the boundary/degenerate parameter regions
+   where real sweeps lose individual markets. *)
+let poison_system (sys : System.t) = { sys with System.capacity = Float.nan }
+
+let run_samples ?(samples = default_samples) ?(poison = []) () =
   let rng = Rng.create 1406_2516L in
   let kkt_ok = ref 0 in
   let unique_ok = ref 0 in
@@ -11,41 +17,62 @@ let run () : Common.outcome =
   let corollary1_phi_ok = ref 0 in
   let theorem5_ok = ref 0 in
   let stability_ok = ref 0 in
-  for _ = 1 to sample_count do
+  let solved = ref 0 in
+  let degraded = ref [] in
+  for sample = 1 to samples do
     let sys = Scenario.random_system rng in
+    let sys = if List.mem sample poison then poison_system sys else sys in
     let p = Rng.uniform rng ~lo:0.3 ~hi:1.2 in
     let q = Rng.uniform rng ~lo:0.2 ~hi:1.0 in
-    let game = Subsidy_game.make sys ~price:p ~cap:q in
-    let eq = Nash.solve game in
-    if eq.Nash.converged && eq.Nash.kkt_residual < 1e-5 then incr kkt_ok;
-    if Nash.multistart_spread ~starts:3 rng game < 1e-6 then incr unique_ok;
-    (* Corollary 1: relax the cap, revenue and utilization move up *)
-    let tighter = Nash.solve (Subsidy_game.make sys ~price:p ~cap:(q /. 2.)) in
-    if
-      p *. eq.Nash.state.System.aggregate
-      >= (p *. tighter.Nash.state.System.aggregate) -. 1e-6
-    then incr corollary1_revenue_ok;
-    if eq.Nash.state.System.phi >= tighter.Nash.state.System.phi -. 1e-8 then
-      incr corollary1_phi_ok;
-    (* Theorem 5: bump a random CP's value *)
-    let i = Rng.int rng (System.n_cps sys) in
-    let cps = Array.copy sys.System.cps in
-    cps.(i) <- { cps.(i) with Econ.Cp.value = cps.(i).Econ.Cp.value +. 0.3 };
-    let richer = System.make ~cps ~capacity:sys.System.capacity () in
-    let bumped = Nash.solve (Subsidy_game.make richer ~price:p ~cap:q) in
-    if bumped.Nash.subsidies.(i) >= eq.Nash.subsidies.(i) -. 1e-6 then incr theorem5_ok;
-    (* Corollary 1's stability condition *)
-    if Nash.off_diagonal_monotone game ~subsidies:eq.Nash.subsidies then incr stability_ok
+    let outcome =
+      Common.try_sample ~label:"random market" ~sample (fun () ->
+          let game = Subsidy_game.make sys ~price:p ~cap:q in
+          let eq = Nash.solve game in
+          let props_kkt = eq.Nash.converged && eq.Nash.kkt_residual < 1e-5 in
+          let props_unique = Nash.multistart_spread ~starts:3 rng game < 1e-6 in
+          (* Corollary 1: relax the cap, revenue and utilization move up *)
+          let tighter = Nash.solve (Subsidy_game.make sys ~price:p ~cap:(q /. 2.)) in
+          let props_c1r =
+            p *. eq.Nash.state.System.aggregate
+            >= (p *. tighter.Nash.state.System.aggregate) -. 1e-6
+          in
+          let props_c1p =
+            eq.Nash.state.System.phi >= tighter.Nash.state.System.phi -. 1e-8
+          in
+          (* Theorem 5: bump a random CP's value *)
+          let i = Rng.int rng (System.n_cps sys) in
+          let cps = Array.copy sys.System.cps in
+          cps.(i) <- { cps.(i) with Econ.Cp.value = cps.(i).Econ.Cp.value +. 0.3 };
+          let richer = System.make ~cps ~capacity:sys.System.capacity () in
+          let bumped = Nash.solve (Subsidy_game.make richer ~price:p ~cap:q) in
+          let props_t5 = bumped.Nash.subsidies.(i) >= eq.Nash.subsidies.(i) -. 1e-6 in
+          (* Corollary 1's stability condition *)
+          let props_stab = Nash.off_diagonal_monotone game ~subsidies:eq.Nash.subsidies in
+          (props_kkt, props_unique, props_c1r, props_c1p, props_t5, props_stab))
+    in
+    match outcome with
+    | Ok (p_kkt, p_unique, p_c1r, p_c1p, p_t5, p_stab) ->
+      incr solved;
+      if p_kkt then incr kkt_ok;
+      if p_unique then incr unique_ok;
+      if p_c1r then incr corollary1_revenue_ok;
+      if p_c1p then incr corollary1_phi_ok;
+      if p_t5 then incr theorem5_ok;
+      if p_stab then incr stability_ok
+    | Error d -> degraded := d :: !degraded
   done;
+  let degraded = List.rev !degraded in
+  let n_degraded = List.length degraded in
   let table = Report.Table.make ~columns:[ "property"; "holds on"; "fraction" ] in
   let fraction label count =
     Report.Table.add_row table
       [
         label;
-        Printf.sprintf "%d/%d" count sample_count;
-        Printf.sprintf "%.2f" (float_of_int count /. float_of_int sample_count);
+        Printf.sprintf "%d/%d" count !solved;
+        (if !solved = 0 then "n/a"
+         else Printf.sprintf "%.2f" (float_of_int count /. float_of_int !solved));
       ];
-    float_of_int count /. float_of_int sample_count
+    if !solved = 0 then 0. else float_of_int count /. float_of_int !solved
   in
   let f_kkt = fraction "Nash converged with small KKT residual (Thm 3)" !kkt_ok in
   let f_unique = fraction "multistart equilibria coincide (Thm 4)" !unique_ok in
@@ -53,15 +80,21 @@ let run () : Common.outcome =
   let f_c1p = fraction "utilization nondecreasing in q (Cor 1)" !corollary1_phi_ok in
   let f_t5 = fraction "subsidy nondecreasing in own value (Thm 5)" !theorem5_ok in
   let f_stab = fraction "off-diagonal monotonicity (Cor 1 condition)" !stability_ok in
+  Report.Table.add_row table
+    [
+      "degraded samples (solver failure, recorded not raised)";
+      Printf.sprintf "%d/%d" n_degraded samples;
+      Printf.sprintf "%.2f" (float_of_int n_degraded /. float_of_int samples);
+    ];
   let checks =
     [
-      Common.check ~name:"robustness.kkt" (f_kkt = 1.) "every sampled market solves cleanly";
+      Common.check ~name:"robustness.kkt" (f_kkt = 1.) "every solved market solves cleanly";
       Common.check ~name:"robustness.uniqueness" (f_unique = 1.)
-        "uniqueness held on every sample";
+        "uniqueness held on every solved sample";
       Common.check ~name:"robustness.corollary1" (f_c1r = 1. && f_c1p = 1.)
-        "deregulation monotonicity held on every sample";
+        "deregulation monotonicity held on every solved sample";
       Common.check ~name:"robustness.theorem5" (f_t5 = 1.)
-        "profitability monotonicity held on every sample";
+        "profitability monotonicity held on every solved sample";
       Common.check ~name:"robustness.stability-vs-monotonicity"
         (f_c1r = 1. && f_c1p = 1.)
         (Printf.sprintf
@@ -69,18 +102,32 @@ let run () : Common.outcome =
             sufficient Leontief condition held on only %.0f%% - the \
             conclusion is empirically more robust than its hypothesis"
            (100. *. f_stab));
+      Common.check ~name:"robustness.degradation"
+        (n_degraded = List.length poison)
+        (Printf.sprintf
+           "%d degraded sample(s) match the %d deliberately poisoned market(s); \
+            the sweep completed all %d samples"
+           n_degraded (List.length poison) samples);
     ]
   in
-  {
-    Common.id = "robustness";
-    title =
-      Printf.sprintf
-        "Monte-Carlo robustness of Theorems 3-5 and Corollary 1 (%d random markets)"
-        sample_count;
-    tables = [ ("fractions", table) ];
-    plots = [];
-    shape_checks = checks;
-  }
+  let tables =
+    ("fractions", table)
+    ::
+    (if degraded = [] then [] else [ ("degraded", Common.degraded_table degraded) ])
+  in
+  ( {
+      Common.id = "robustness";
+      title =
+        Printf.sprintf
+          "Monte-Carlo robustness of Theorems 3-5 and Corollary 1 (%d random markets)"
+          samples;
+      tables;
+      plots = [];
+      shape_checks = checks;
+    },
+    degraded )
+
+let run () : Common.outcome = fst (run_samples ())
 
 let experiment =
   {

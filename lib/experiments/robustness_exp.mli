@@ -1,6 +1,21 @@
 (** Monte-Carlo robustness: the paper's qualitative claims, re-checked
     on randomized CP populations instead of the styled 8-type market.
     Reports the fraction of sampled markets on which each property
-    holds. *)
+    holds.
+
+    Samples whose equilibrium computation fails after the whole
+    {!Numerics.Robust} fallback chain are recorded as degraded rows and
+    counted in the report; they never abort the sweep. *)
+
+val run_samples :
+  ?samples:int ->
+  ?poison:int list ->
+  unit ->
+  Common.outcome * Common.degraded list
+(** Run the sweep over [samples] random markets (default 40). The
+    1-based sample indices in [poison] get their system deliberately
+    corrupted (NaN capacity) before solving — used by the resilience
+    tests to prove a poisoned market yields a degraded row rather than
+    an exception. *)
 
 val experiment : Common.t

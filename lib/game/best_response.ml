@@ -39,8 +39,14 @@ let respond_with_marginal game marginal i s =
       let a = values.(k) and b = values.(k + 1) in
       if a = 0. then candidates := grid.(k) :: !candidates
       else if a *. b < 0. then begin
-        let r = Rootfind.brent u ~lo:grid.(k) ~hi:grid.(k + 1) in
-        candidates := r.Rootfind.root :: !candidates
+        (* a stationary candidate the robust chain cannot pin down is
+           dropped: the scan endpoints still bound the best reply *)
+        match
+          Robust.root u ~lo:grid.(k) ~hi:grid.(k + 1)
+            ~domain:(grid.(k), grid.(k + 1))
+        with
+        | Ok r -> candidates := r.Robust.result.Rootfind.root :: !candidates
+        | Error _ -> ()
       end
     done;
     let payoff si = game.payoff i (with_coord s i si) in

@@ -36,6 +36,21 @@ let run ?(scheme = Best_response.Gauss_seidel) ?(damping = 1.) ?(tol = 1e-10)
   let converged = loop 1 in
   { steps = List.rev !steps; converged }
 
+type resilient = { trace : trace; retries : int; damping_used : float }
+
+let run_resilient ?scheme ?(damping = 1.) ?tol ?max_sweeps ?(max_retries = 4) game ~x0 =
+  let rec attempt damping retries =
+    let trace = run ?scheme ~damping ?tol ?max_sweeps game ~x0 in
+    if trace.converged || retries >= max_retries then { trace; retries; damping_used = damping }
+    else begin
+      (* both plain non-convergence and detected cycling respond to a
+         smaller step; count the restart in the shared solver telemetry *)
+      Numerics.Robust.record_retry ();
+      attempt (damping /. 2.) (retries + 1)
+    end
+  in
+  attempt damping 0
+
 let final t =
   match List.rev t.steps with
   | last :: _ -> last.profile

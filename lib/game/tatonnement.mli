@@ -25,6 +25,26 @@ val run :
   x0:Numerics.Vec.t ->
   trace
 
+type resilient = {
+  trace : trace;  (** the converged trace, or the last attempt's *)
+  retries : int;  (** damping-halving restarts taken *)
+  damping_used : float;
+}
+
+val run_resilient :
+  ?scheme:Best_response.scheme ->
+  ?damping:float ->
+  ?tol:float ->
+  ?max_sweeps:int ->
+  ?max_retries:int ->
+  Best_response.game ->
+  x0:Numerics.Vec.t ->
+  resilient
+(** {!run}, but a non-convergent trace (including period-2 cycling of
+    undamped best response) is retried with halved damping up to
+    [max_retries] (default 4) times. Restarts are counted in the shared
+    {!Numerics.Robust} telemetry. *)
+
 val final : trace -> Numerics.Vec.t
 (** The last profile of the trace. *)
 

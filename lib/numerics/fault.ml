@@ -1,0 +1,40 @@
+exception Budget_exceeded of int
+
+type mode =
+  | Nan_region of { lo : float; hi : float }
+  | Nan_after of int
+  | Spike of { at : float; width : float; height : float }
+  | Budget of int
+  | Plateau of { lo : float; hi : float; level : float }
+
+type injected = {
+  f : float -> float;
+  evaluations : unit -> int;
+  triggered : unit -> int;
+}
+
+let describe = function
+  | Nan_region { lo; hi } -> Printf.sprintf "nan on [%g, %g]" lo hi
+  | Nan_after n -> Printf.sprintf "nan after %d evaluations" n
+  | Spike { at; width; height } ->
+    Printf.sprintf "spike of %g at %g (width %g)" height at width
+  | Budget n -> Printf.sprintf "budget of %d evaluations" n
+  | Plateau { lo; hi; level } -> Printf.sprintf "plateau %g on [%g, %g]" level lo hi
+
+let inject mode f =
+  let evals = ref 0 and fired = ref 0 in
+  let fire y =
+    incr fired;
+    y
+  in
+  let g x =
+    incr evals;
+    match mode with
+    | Nan_region { lo; hi } -> if x >= lo && x <= hi then fire Float.nan else f x
+    | Nan_after n -> if !evals > n then fire Float.nan else f x
+    | Spike { at; width; height } ->
+      if Float.abs (x -. at) <= width then fire (f x +. height) else f x
+    | Budget n -> if !evals > n then raise (Budget_exceeded n) else f x
+    | Plateau { lo; hi; level } -> if x >= lo && x <= hi then fire level else f x
+  in
+  { f = g; evaluations = (fun () -> !evals); triggered = (fun () -> !fired) }

@@ -1,0 +1,33 @@
+(** Fault injection for scalar objectives.
+
+    Wraps a [float -> float] objective so tests can prove that every
+    fallback path of {!Robust} actually fires: poison values, jump
+    discontinuities, hard evaluation budgets and flat plateaus are the
+    failure shapes that nested equilibrium solvers meet near degenerate
+    market parameters. *)
+
+exception Budget_exceeded of int
+(** Raised by a [Budget]-wrapped objective once the evaluation budget is
+    spent. {!Robust} converts it into a typed [Budget_exhausted]
+    error instead of letting it escape. *)
+
+type mode =
+  | Nan_region of { lo : float; hi : float }
+      (** return NaN whenever the argument lies in [\[lo, hi\]] *)
+  | Nan_after of int  (** return NaN from evaluation [n+1] onward *)
+  | Spike of { at : float; width : float; height : float }
+      (** add [height] to the value within [width] of [at] *)
+  | Budget of int  (** raise {!Budget_exceeded} after [n] evaluations *)
+  | Plateau of { lo : float; hi : float; level : float }
+      (** return the constant [level] inside [\[lo, hi\]] (zero
+          derivative: defeats Newton and secant steps) *)
+
+type injected = {
+  f : float -> float;  (** the faulty objective *)
+  evaluations : unit -> int;  (** total calls so far *)
+  triggered : unit -> int;  (** calls on which the fault fired *)
+}
+
+val inject : mode -> (float -> float) -> injected
+
+val describe : mode -> string

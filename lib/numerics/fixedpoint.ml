@@ -6,13 +6,17 @@ let check_damping damping =
   if damping <= 0. || damping > 1. then
     invalid_arg "Fixedpoint: damping must lie in (0, 1]"
 
+(* Convergence is tested on the undamped residual |f x - x|: the damped
+   step |x' - x| = damping * |f x - x| would declare convergence at a
+   true residual of tol / damping when the damping is small. *)
 let iterate ?(tol = 1e-12) ?(max_iter = 1000) ?(damping = 1.) f ~x0 =
   check_damping damping;
   let rec loop x iter =
     if iter > max_iter then
       raise (No_convergence (Printf.sprintf "iterate: %d iterations from %g" max_iter x0));
-    let x' = ((1. -. damping) *. x) +. (damping *. f x) in
-    let residual = Float.abs (x' -. x) in
+    let fx = f x in
+    let residual = Float.abs (fx -. x) in
+    let x' = ((1. -. damping) *. x) +. (damping *. fx) in
     if residual <= tol then { point = x'; residual; iterations = iter }
     else loop x' (iter + 1)
   in
@@ -24,8 +28,8 @@ let iterate_vec ?(tol = 1e-12) ?(max_iter = 1000) ?(damping = 1.) f ~x0 =
     if iter > max_iter then
       raise (No_convergence (Printf.sprintf "iterate_vec: %d iterations" max_iter));
     let fx = f x in
+    let residual = Vec.dist_inf fx x in
     let x' = Vec.axpy (1. -. damping) x (Vec.scale damping fx) in
-    let residual = Vec.dist_inf x' x in
     if residual <= tol then { point = x'; residual; iterations = iter }
     else loop x' (iter + 1)
   in

@@ -4,7 +4,7 @@ exception No_convergence of string
 
 type 'a result = {
   point : 'a;
-  residual : float;  (** distance between the last two iterates *)
+  residual : float;  (** the undamped residual [|f x - x|] at the stop *)
   iterations : int;
 }
 
@@ -16,8 +16,9 @@ val iterate :
   x0:float ->
   float result
 (** Damped iteration [x <- (1 - damping) * x + damping * f x] (damping
-    default [1.0], i.e. undamped) until [|x' - x| <= tol]. Raises
-    [No_convergence]. *)
+    default [1.0], i.e. undamped) until the undamped residual satisfies
+    [|f x - x| <= tol] — testing the damped step instead would stop at a
+    true residual of [tol / damping]. Raises [No_convergence]. *)
 
 val iterate_vec :
   ?tol:float ->

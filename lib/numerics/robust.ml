@@ -1,0 +1,312 @@
+type method_ = Newton | Secant | Brent | Bisection | Damped_iteration
+
+let method_name = function
+  | Newton -> "newton"
+  | Secant -> "secant"
+  | Brent -> "brent"
+  | Bisection -> "bisection"
+  | Damped_iteration -> "damped-iteration"
+
+type failure =
+  | Non_finite of { at : float; value : float }
+  | No_bracket of { lo : float; hi : float }
+  | Budget_exhausted of { evaluations : int }
+  | Diverged of { residual : float }
+  | Oscillating of { residual : float }
+  | Out_of_domain of { root : float }
+  | Not_converged of { detail : string }
+
+let failure_message = function
+  | Non_finite { at; value } -> Printf.sprintf "non-finite value %g at x=%g" value at
+  | No_bracket { lo; hi } -> Printf.sprintf "no sign change bracketable from [%g, %g]" lo hi
+  | Budget_exhausted { evaluations } ->
+    Printf.sprintf "evaluation budget exhausted after %d calls" evaluations
+  | Diverged { residual } -> Printf.sprintf "diverged (residual %g)" residual
+  | Oscillating { residual } -> Printf.sprintf "oscillating (residual %g)" residual
+  | Out_of_domain { root } -> Printf.sprintf "root %g outside the admissible domain" root
+  | Not_converged { detail } -> detail
+
+type attempt = {
+  method_ : method_;
+  evaluations : int;
+  damping : float option;
+  failure : failure;
+}
+
+type error = {
+  attempts : attempt list;
+  last_residual : float;
+  bracket_history : (float * float) list;
+}
+
+exception Solver_error of error
+
+let error_message e =
+  let per_attempt a =
+    Printf.sprintf "%s%s: %s (%d evals)" (method_name a.method_)
+      (match a.damping with None -> "" | Some d -> Printf.sprintf "[damping=%g]" d)
+      (failure_message a.failure) a.evaluations
+  in
+  Printf.sprintf "all solvers failed [%s]; last residual %g"
+    (String.concat "; " (List.map per_attempt e.attempts))
+    e.last_residual
+
+let () =
+  Printexc.register_printer (function
+    | Solver_error e -> Some ("Robust.Solver_error: " ^ error_message e)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* telemetry *)
+
+type stats = {
+  root_calls : int;
+  fixed_point_calls : int;
+  newton_attempts : int;
+  secant_attempts : int;
+  brent_attempts : int;
+  bisection_attempts : int;
+  damped_attempts : int;
+  fallbacks : int;
+  retries : int;
+  non_finite : int;
+  no_bracket : int;
+  budget_exhausted : int;
+  diverged : int;
+  oscillations : int;
+  failures : int;
+}
+
+let zero =
+  {
+    root_calls = 0;
+    fixed_point_calls = 0;
+    newton_attempts = 0;
+    secant_attempts = 0;
+    brent_attempts = 0;
+    bisection_attempts = 0;
+    damped_attempts = 0;
+    fallbacks = 0;
+    retries = 0;
+    non_finite = 0;
+    no_bracket = 0;
+    budget_exhausted = 0;
+    diverged = 0;
+    oscillations = 0;
+    failures = 0;
+  }
+
+let current = ref zero
+
+let stats () = !current
+let reset_stats () = current := zero
+
+let bump f = current := f !current
+
+let record_retry () = bump (fun s -> { s with retries = s.retries + 1 })
+
+let record_attempt_method = function
+  | Newton -> bump (fun s -> { s with newton_attempts = s.newton_attempts + 1 })
+  | Secant -> bump (fun s -> { s with secant_attempts = s.secant_attempts + 1 })
+  | Brent -> bump (fun s -> { s with brent_attempts = s.brent_attempts + 1 })
+  | Bisection -> bump (fun s -> { s with bisection_attempts = s.bisection_attempts + 1 })
+  | Damped_iteration -> bump (fun s -> { s with damped_attempts = s.damped_attempts + 1 })
+
+let record_failure = function
+  | Non_finite _ -> bump (fun s -> { s with non_finite = s.non_finite + 1 })
+  | No_bracket _ -> bump (fun s -> { s with no_bracket = s.no_bracket + 1 })
+  | Budget_exhausted _ ->
+    bump (fun s -> { s with budget_exhausted = s.budget_exhausted + 1 })
+  | Diverged _ -> bump (fun s -> { s with diverged = s.diverged + 1 })
+  | Oscillating _ -> bump (fun s -> { s with oscillations = s.oscillations + 1 })
+  | Out_of_domain _ | Not_converged _ -> ()
+
+let stats_summary () =
+  let s = !current in
+  Printf.sprintf
+    "root calls %d (newton %d, secant %d, brent %d, bisection %d) | fixed-point calls \
+     %d (attempts %d) | fallbacks %d, retries %d | faults: non-finite %d, no-bracket \
+     %d, budget %d, diverged %d, oscillating %d | unrecovered failures %d"
+    s.root_calls s.newton_attempts s.secant_attempts s.brent_attempts
+    s.bisection_attempts s.fixed_point_calls s.damped_attempts s.fallbacks s.retries
+    s.non_finite s.no_bracket s.budget_exhausted s.diverged s.oscillations s.failures
+
+(* ------------------------------------------------------------------ *)
+(* guarded evaluation *)
+
+exception Poison of { at : float; value : float }
+
+(* ------------------------------------------------------------------ *)
+(* root finding with a fallback chain *)
+
+type success = { result : Rootfind.result; method_used : method_; fallbacks : int }
+
+let root ?(tol = 1e-12) ?(max_iter = 200) ?df ?x0 ?domain f ~lo ~hi =
+  if not (Float.is_finite lo && Float.is_finite hi) || lo >= hi then
+    invalid_arg (Printf.sprintf "Robust.root: bad interval [%g, %g]" lo hi);
+  bump (fun s -> { s with root_calls = s.root_calls + 1 });
+  let evals = ref 0 in
+  let last_residual = ref Float.infinity in
+  let guarded x =
+    incr evals;
+    let y = f x in
+    if Float.is_finite y then begin
+      last_residual := Float.abs y;
+      y
+    end
+    else raise (Poison { at = x; value = y })
+  in
+  let in_domain r =
+    match domain with None -> true | Some (a, b) -> r >= a && r <= b
+  in
+  let attempts = ref [] in
+  let brackets = ref [ (lo, hi) ] in
+  let note method_ evals_before failure =
+    record_failure failure;
+    attempts :=
+      { method_; evaluations = !evals - evals_before; damping = None; failure }
+      :: !attempts
+  in
+  let error () =
+    {
+      attempts = List.rev !attempts;
+      last_residual = !last_residual;
+      bracket_history = List.rev !brackets;
+    }
+  in
+  let methods =
+    (match df with
+    | Some df ->
+      let x0 = match x0 with Some x -> x | None -> 0.5 *. (lo +. hi) in
+      [ (Newton, fun () -> Rootfind.newton ~tol ~max_iter guarded ~df ~x0) ]
+    | None -> [])
+    @ [
+        (Secant, fun () -> Rootfind.secant ~tol ~max_iter guarded ~x0:lo ~x1:hi);
+        (Brent, fun () -> Rootfind.brent_auto ~tol ~max_iter guarded ~lo ~hi);
+        ( Bisection,
+          fun () ->
+            let blo, bhi =
+              Rootfind.bracket_outward ~factor:3. ~max_expand:100 guarded ~lo ~hi
+            in
+            brackets := (blo, bhi) :: !brackets;
+            Rootfind.bisect ~tol ~max_iter:(2 * max_iter) guarded ~lo:blo ~hi:bhi );
+      ]
+  in
+  let rec run = function
+    | [] ->
+      bump (fun s -> { s with failures = s.failures + 1 });
+      Error (error ())
+    | (method_, attempt) :: rest ->
+      record_attempt_method method_;
+      let evals_before = !evals in
+      let fail failure =
+        note method_ evals_before failure;
+        run rest
+      in
+      (match attempt () with
+      | r ->
+        if
+          Float.is_finite r.Rootfind.root
+          && Float.is_finite r.Rootfind.value
+          && in_domain r.Rootfind.root
+        then begin
+          let fallbacks = List.length !attempts in
+          bump (fun s -> { s with fallbacks = s.fallbacks + fallbacks });
+          Ok { result = r; method_used = method_; fallbacks }
+        end
+        else fail (Out_of_domain { root = r.Rootfind.root })
+      | exception Poison { at; value } -> fail (Non_finite { at; value })
+      | exception Rootfind.No_bracket _ -> fail (No_bracket { lo; hi })
+      | exception Rootfind.No_convergence msg -> fail (Not_converged { detail = msg })
+      | exception Invalid_argument msg -> fail (Not_converged { detail = msg })
+      | exception Fault.Budget_exceeded n ->
+        (* the budget is shared by every link of the chain: falling back
+           further cannot help, so report the typed error immediately *)
+        note method_ evals_before (Budget_exhausted { evaluations = n });
+        bump (fun s -> { s with failures = s.failures + 1 });
+        Error (error ()))
+  in
+  run methods
+
+(* ------------------------------------------------------------------ *)
+(* fixed points with divergence/oscillation detection and damping retry *)
+
+type fp_success = {
+  fp : float Fixedpoint.result;
+  damping_used : float;
+  retries : int;
+}
+
+let fixed_point ?(tol = 1e-12) ?(max_iter = 1000) ?(damping = 1.) ?(max_retries = 4) f
+    ~x0 =
+  if damping <= 0. || damping > 1. then
+    invalid_arg "Robust.fixed_point: damping must lie in (0, 1]";
+  bump (fun s -> { s with fixed_point_calls = s.fixed_point_calls + 1 });
+  let attempts = ref [] in
+  let last_residual = ref Float.infinity in
+  let run damping =
+    let evals = ref 0 in
+    let x = ref x0 in
+    let prev_x = ref Float.nan in
+    let best_residual = ref Float.infinity in
+    let result = ref None in
+    (try
+       let iter = ref 1 in
+       while !result = None && !iter <= max_iter do
+         incr evals;
+         let fx = f !x in
+         if not (Float.is_finite fx) then raise (Poison { at = !x; value = fx });
+         (* undamped residual: the damped step understates it by 1/damping *)
+         let residual = Float.abs (fx -. !x) in
+         last_residual := residual;
+         if residual < !best_residual then best_residual := residual;
+         let x' = ((1. -. damping) *. !x) +. (damping *. fx) in
+         if residual <= tol then
+           result :=
+             Some (Ok { Fixedpoint.point = x'; residual; iterations = !iter })
+         else if not (Float.is_finite x') || Float.abs x' > 1e12 then
+           result := Some (Error (Diverged { residual }, !evals))
+         else if !iter > 5 && residual > 1e4 *. !best_residual then
+           result := Some (Error (Diverged { residual }, !evals))
+         else if Float.abs (x' -. !prev_x) <= tol && residual > tol then
+           result := Some (Error (Oscillating { residual }, !evals))
+         else begin
+           prev_x := !x;
+           x := x';
+           incr iter
+         end
+       done
+     with
+    | Poison { at; value } ->
+      result := Some (Error (Non_finite { at; value }, !evals))
+    | Fault.Budget_exceeded n ->
+      result := Some (Error (Budget_exhausted { evaluations = n }, !evals)));
+    match !result with
+    | Some r -> r
+    | None -> Error (Not_converged { detail = "iteration budget exhausted" }, !evals)
+  in
+  let rec attempt damping retries =
+    record_attempt_method Damped_iteration;
+    match run damping with
+    | Ok fp -> Ok { fp; damping_used = damping; retries }
+    | Error (failure, evaluations) ->
+      record_failure failure;
+      attempts :=
+        { method_ = Damped_iteration; evaluations; damping = Some damping; failure }
+        :: !attempts;
+      let terminal = match failure with Budget_exhausted _ -> true | _ -> false in
+      if retries < max_retries && not terminal then begin
+        record_retry ();
+        attempt (damping /. 2.) (retries + 1)
+      end
+      else begin
+        bump (fun s -> { s with failures = s.failures + 1 });
+        Error
+          {
+            attempts = List.rev !attempts;
+            last_residual = !last_residual;
+            bracket_history = [];
+          }
+      end
+  in
+  attempt damping 0

@@ -1,0 +1,136 @@
+(** Resilient solver layer: [Result]-typed outcomes, fallback chains
+    and telemetry for every equilibrium computation.
+
+    The equilibrium pipeline nests numerical fixed points (utilization
+    equilibrium inside best responses inside Nash iteration); a bare
+    [No_convergence] three layers down would otherwise kill an entire
+    Monte-Carlo sweep. This module converts numerical failure into data:
+
+    - {!root} runs a fallback chain Newton -> secant -> auto-bracketed
+      Brent -> bisection with outward re-bracketing, with every
+      objective evaluation guarded against NaN/Inf poison values;
+    - {!fixed_point} detects divergence and period-2 oscillation and
+      retries with halved damping up to a retry budget;
+    - every attempt, fallback, retry and failure is counted in a global
+      {!stats} record that experiment drivers print after a run. *)
+
+type method_ = Newton | Secant | Brent | Bisection | Damped_iteration
+
+val method_name : method_ -> string
+
+(** Failure taxonomy: what stopped a particular solver attempt. *)
+type failure =
+  | Non_finite of { at : float; value : float }
+      (** the objective returned NaN/Inf; [at] is the detection site *)
+  | No_bracket of { lo : float; hi : float }
+  | Budget_exhausted of { evaluations : int }
+      (** a {!Fault.Budget} wrapper ran out; terminal for the chain *)
+  | Diverged of { residual : float }
+  | Oscillating of { residual : float }
+  | Out_of_domain of { root : float }
+      (** the method converged, but outside the admissible domain *)
+  | Not_converged of { detail : string }
+
+val failure_message : failure -> string
+
+type attempt = {
+  method_ : method_;
+  evaluations : int;  (** objective calls spent by this attempt *)
+  damping : float option;  (** the damping used, for fixed-point attempts *)
+  failure : failure;
+}
+
+type error = {
+  attempts : attempt list;  (** every method tried, in order *)
+  last_residual : float;  (** |f x| at the last guarded evaluation *)
+  bracket_history : (float * float) list;
+      (** the initial interval plus any re-brackets attempted *)
+}
+
+exception Solver_error of error
+(** The typed exception used by exception-style wrappers
+    ([System.solve], [Nash.solve]) so legacy callers keep working while
+    [Result]-style callers use [*_result] variants. Runtime numerical
+    failure is never reported as [Invalid_argument]. *)
+
+val error_message : error -> string
+(** One-line rendering of the whole failed chain, for degraded-sample
+    tables and logs. *)
+
+type success = {
+  result : Rootfind.result;
+  method_used : method_;  (** the link of the chain that succeeded *)
+  fallbacks : int;  (** how many earlier links failed first *)
+}
+
+val root :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?df:(float -> float) ->
+  ?x0:float ->
+  ?domain:float * float ->
+  (float -> float) ->
+  lo:float ->
+  hi:float ->
+  (success, error) result
+(** Find a root of [f], falling back through Newton (when [df] is
+    given; started at [x0], default the midpoint), secant on the
+    interval ends, auto-bracketed Brent, and finally bisection after
+    aggressive outward re-bracketing (factor 3, 100 expansions). A
+    method's answer is accepted only if root and value are finite and
+    the root lies in [domain] (default unrestricted). NaN/Inf objective
+    values abort the offending method with a typed [Non_finite] failure
+    instead of propagating poison. *)
+
+type fp_success = {
+  fp : float Fixedpoint.result;
+  damping_used : float;  (** the damping that finally converged *)
+  retries : int;
+}
+
+val fixed_point :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?damping:float ->
+  ?max_retries:int ->
+  (float -> float) ->
+  x0:float ->
+  (fp_success, error) result
+(** Damped fixed-point iteration on the undamped residual
+    [|f x - x|], with divergence detection (non-finite or exploding
+    iterates, residual growing 1e4x past its best) and period-2
+    oscillation detection. On failure the damping is halved and the
+    iteration restarted, up to [max_retries] (default 4) times. *)
+
+(** {2 Telemetry} *)
+
+type stats = {
+  root_calls : int;
+  fixed_point_calls : int;
+  newton_attempts : int;
+  secant_attempts : int;
+  brent_attempts : int;
+  bisection_attempts : int;
+  damped_attempts : int;
+  fallbacks : int;  (** failed links skipped over by successful calls *)
+  retries : int;  (** damping-halving restarts *)
+  non_finite : int;
+  no_bracket : int;
+  budget_exhausted : int;
+  diverged : int;
+  oscillations : int;
+  failures : int;  (** calls whose whole chain failed *)
+}
+
+val stats : unit -> stats
+(** A snapshot of the process-wide counters. *)
+
+val reset_stats : unit -> unit
+
+val stats_summary : unit -> string
+(** One paragraph for end-of-run reports. *)
+
+val record_retry : unit -> unit
+(** For higher-level solvers (e.g. tatonnement) that implement their own
+    damping-halving retry loop but should appear in the shared
+    telemetry. *)

@@ -41,12 +41,14 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
     { root; value = f root; iterations = !iter; evaluations = !evals + 1 }
   end
 
-(* Brent's method, following the classic Numerical Recipes formulation. *)
-let brent ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
-  check_interval "brent" lo hi;
+(* Brent's method, following the classic Numerical Recipes formulation.
+   [flo]/[fhi] are the already-known endpoint values and [evals0] the
+   evaluations spent obtaining them, so callers that have probed the
+   endpoints (brent_auto, bracketing) do not pay for them twice. *)
+let brent_with_values ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi ~flo ~fhi ~evals0 =
   let a = ref lo and b = ref hi in
-  let fa = ref (f !a) and fb = ref (f !b) in
-  let evals = ref 2 in
+  let fa = ref flo and fb = ref fhi in
+  let evals = ref evals0 in
   if !fa = 0. then { root = !a; value = 0.; iterations = 0; evaluations = !evals }
   else if !fb = 0. then { root = !b; value = 0.; iterations = 0; evaluations = !evals }
   else if same_sign !fa !fb then
@@ -115,6 +117,10 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
     | None -> { root = !b; value = !fb; iterations = !iter; evaluations = !evals }
   end
 
+let brent ?tol ?max_iter f ~lo ~hi =
+  check_interval "brent" lo hi;
+  brent_with_values ?tol ?max_iter f ~lo ~hi ~flo:(f lo) ~fhi:(f hi) ~evals0:2
+
 let newton ?(tol = 1e-12) ?(max_iter = 100) f ~df ~x0 =
   let x = ref x0 in
   let evals = ref 0 in
@@ -162,13 +168,15 @@ let secant ?(tol = 1e-12) ?(max_iter = 100) f ~x0 ~x1 =
   in
   loop 0
 
-let bracket_outward ?(factor = 2.) ?(max_expand = 60) f ~lo ~hi =
-  check_interval "bracket_outward" lo hi;
+(* Expansion loop with known endpoint values; returns the bracket, its
+   endpoint values and the number of extra evaluations spent. *)
+let bracket_outward_with_values ?(factor = 2.) ?(max_expand = 60) f ~lo ~hi ~flo ~fhi =
   if factor <= 1. then invalid_arg "Rootfind.bracket_outward: factor must exceed 1";
   let lo = ref lo and hi = ref hi in
-  let flo = ref (f !lo) and fhi = ref (f !hi) in
+  let flo = ref flo and fhi = ref fhi in
+  let extra = ref 0 in
   let rec expand n =
-    if not (same_sign !flo !fhi) then (!lo, !hi)
+    if not (same_sign !flo !fhi) then (!lo, !hi, !flo, !fhi, !extra)
     else if n >= max_expand then
       raise
         (No_bracket
@@ -184,14 +192,26 @@ let bracket_outward ?(factor = 2.) ?(max_expand = 60) f ~lo ~hi =
         hi := !hi +. (factor *. width);
         fhi := f !hi
       end;
+      incr extra;
       expand (n + 1)
     end
   in
   expand 0
 
-let brent_auto ?tol ?max_iter f ~lo ~hi =
-  let lo, hi =
-    let flo = f lo and fhi = f hi in
-    if same_sign flo fhi then bracket_outward f ~lo ~hi else (lo, hi)
+let bracket_outward ?factor ?max_expand f ~lo ~hi =
+  check_interval "bracket_outward" lo hi;
+  let lo, hi, _, _, _ =
+    bracket_outward_with_values ?factor ?max_expand f ~lo ~hi ~flo:(f lo) ~fhi:(f hi)
   in
-  brent ?tol ?max_iter f ~lo ~hi
+  (lo, hi)
+
+let brent_auto ?tol ?max_iter f ~lo ~hi =
+  check_interval "brent_auto" lo hi;
+  let flo = f lo and fhi = f hi in
+  if same_sign flo fhi then begin
+    let lo, hi, flo, fhi, extra =
+      bracket_outward_with_values f ~lo ~hi ~flo ~fhi
+    in
+    brent_with_values ?tol ?max_iter f ~lo ~hi ~flo ~fhi ~evals0:(2 + extra)
+  end
+  else brent_with_values ?tol ?max_iter f ~lo ~hi ~flo ~fhi ~evals0:2

@@ -56,4 +56,8 @@ val bracket_outward :
 val brent_auto :
   ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> result
 (** [brent] after [bracket_outward] if needed: the interval is used
-    as-is when it already brackets a root. *)
+    as-is when it already brackets a root. Endpoint values are computed
+    once and threaded through the bracketing and Brent stages, so the
+    returned [evaluations] is the exact number of calls to [f]: 2 for
+    the endpoints, plus one per outward expansion, plus Brent's interior
+    points. *)

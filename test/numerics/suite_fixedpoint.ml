@@ -14,6 +14,15 @@ let test_damping () =
   check_raises_invalid "bad damping" (fun () ->
       Fixedpoint.iterate ~damping:1.5 f ~x0:0.2 |> ignore)
 
+let test_undamped_residual_stopping () =
+  (* testing the damped step |x'-x| = damping*|f(x)-x| used to declare
+     convergence at a true residual of tol/damping *)
+  let f x = (0.5 *. x) +. 1. in
+  let r = Fixedpoint.iterate ~damping:0.05 ~tol:1e-10 f ~x0:0. in
+  check_true "true residual honours tol"
+    (Float.abs (f r.Fixedpoint.point -. r.Fixedpoint.point) <= 1e-9);
+  check_true "reported residual is undamped" (r.Fixedpoint.residual <= 1e-10)
+
 let test_no_convergence () =
   match Fixedpoint.iterate ~max_iter:50 (fun x -> x +. 1.) ~x0:0. with
   | _ -> Alcotest.fail "expected No_convergence"
@@ -46,6 +55,7 @@ let suite =
     [
       quick "cosine" test_cosine_fixed_point;
       quick "damping" test_damping;
+      quick "undamped residual" test_undamped_residual_stopping;
       quick "divergence detected" test_no_convergence;
       quick "vector" test_vector_iteration;
       quick "aitken" test_aitken_acceleration;

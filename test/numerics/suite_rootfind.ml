@@ -56,6 +56,30 @@ let test_brent_auto () =
   let r = Rootfind.brent_auto f ~lo:0. ~hi:1. in
   check_close ~tol:1e-9 "auto-bracketed root" (log 20.) r.Rootfind.root
 
+let test_brent_auto_evaluations () =
+  (* endpoint values are threaded through the bracket check, the outward
+     expansion and Brent itself: the accounting equals the actual calls *)
+  let count = ref 0 in
+  let counted x =
+    incr count;
+    cubic x
+  in
+  let r = Rootfind.brent_auto counted ~lo:0. ~hi:3. in
+  Alcotest.(check int) "bracketed case: accounting = actual calls" !count
+    r.Rootfind.evaluations;
+  let direct = Rootfind.brent cubic ~lo:0. ~hi:3. in
+  Alcotest.(check int) "bracketed case costs the same as plain brent"
+    direct.Rootfind.evaluations r.Rootfind.evaluations;
+  let count' = ref 0 in
+  let expanding x =
+    incr count';
+    x -. 100.
+  in
+  let r' = Rootfind.brent_auto expanding ~lo:0. ~hi:1. in
+  check_close ~tol:1e-9 "expanded root" 100. r'.Rootfind.root;
+  Alcotest.(check int) "expansion case: accounting = actual calls" !count'
+    r'.Rootfind.evaluations
+
 let prop_brent_finds_planted_root =
   prop "brent recovers a planted root of a monotone cubic" ~count:200
     (float_range (-5.) 5.)
@@ -86,6 +110,7 @@ let suite =
       quick "secant" test_secant;
       quick "bracket outward" test_bracket_outward;
       quick "brent auto" test_brent_auto;
+      quick "brent auto evaluations" test_brent_auto_evaluations;
       prop_brent_finds_planted_root;
       prop_newton_matches_brent;
     ] )
