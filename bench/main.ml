@@ -4,7 +4,12 @@
    evaluation section reports) and prints the shape-check verdicts.
    Part 2 times the computational kernels behind each figure with
    Bechamel: one Test.make per figure, plus micro-benchmarks of the
-   solvers. *)
+   solvers.
+
+   With `--json FILE` the harness additionally emits a machine-readable
+   perf record (schema bench.v1): per-figure regeneration wall time and
+   solver work, plus the bechamel time/run estimates — the BENCH_*.json
+   trajectory the ROADMAP asks for. *)
 
 open Bechamel
 open Toolkit
@@ -12,19 +17,40 @@ open Toolkit
 (* ------------------------------------------------------------------ *)
 (* Part 1: figure regeneration *)
 
+type figure_record = {
+  fig_id : string;
+  seconds : float;
+  root_calls : int;
+  fixed_point_calls : int;
+  objective_evaluations : float;
+}
+
 let regenerate () =
   print_endline "==================================================================";
   print_endline " Figure regeneration: Ma, 'Subsidization Competition' (CoNEXT'14)";
   print_endline "==================================================================";
   let failures = ref 0 in
+  let records = ref [] in
   List.iter
     (fun (e : Experiments.Common.t) ->
-      let t0 = Unix.gettimeofday () in
-      let outcome = e.Experiments.Common.run () in
+      let t0 = Obs.Clock.now () in
+      (* Common.run resets solver telemetry, so the per-figure solver
+         counts below describe this figure alone *)
+      let outcome = Experiments.Common.run e in
+      let seconds = Obs.Clock.elapsed ~since:t0 in
       Printf.printf "\n%s\n" (String.make 66 '-');
       Experiments.Common.print ~plots:false outcome;
-      Printf.printf "[%s regenerated in %.2fs]\n" e.Experiments.Common.id
-        (Unix.gettimeofday () -. t0);
+      Printf.printf "[%s regenerated in %.2fs]\n" e.Experiments.Common.id seconds;
+      let stats = Numerics.Robust.stats () in
+      records :=
+        {
+          fig_id = e.Experiments.Common.id;
+          seconds;
+          root_calls = stats.Numerics.Robust.root_calls;
+          fixed_point_calls = stats.Numerics.Robust.fixed_point_calls;
+          objective_evaluations = Obs.Metrics.sum_histograms "solver.evaluations";
+        }
+        :: !records;
       if
         not
           (List.for_all
@@ -32,7 +58,7 @@ let regenerate () =
              outcome.Experiments.Common.shape_checks)
       then incr failures)
     Experiments.Registry.all;
-  !failures
+  (!failures, List.rev !records)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: bechamel timings *)
@@ -129,34 +155,78 @@ let run_benchmarks () =
   let table = Report.Table.make ~columns:[ "benchmark"; "time/run"; "r^2" ] in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  List.iter
-    (fun (name, ols) ->
-      let time_ns =
-        match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan
-      in
-      let pretty =
-        if Float.is_nan time_ns then "n/a"
-        else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
-        else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
-        else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
-        else Printf.sprintf "%.0f ns" time_ns
-      in
-      let r2 =
-        match Analyze.OLS.r_square ols with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
-      in
-      Report.Table.add_row table [ name; pretty; r2 ])
-    rows;
+  let records =
+    List.map
+      (fun (name, ols) ->
+        let time_ns =
+          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan
+        in
+        let r2 = Analyze.OLS.r_square ols in
+        let pretty =
+          if Float.is_nan time_ns then "n/a"
+          else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+          else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+          else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+          else Printf.sprintf "%.0f ns" time_ns
+        in
+        Report.Table.add_row table
+          [ name; pretty; (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-") ];
+        (name, time_ns, r2))
+      rows
+  in
   print_newline ();
   print_endline "==================================================================";
   print_endline " Bechamel timings (monotonic clock, OLS on run count)";
   print_endline "==================================================================";
-  print_endline (Report.Table.to_string table)
+  print_endline (Report.Table.to_string table);
+  records
+
+(* ------------------------------------------------------------------ *)
+(* machine-readable perf record *)
+
+let perf_record ~figures ~benchmarks : Obs.Json.t =
+  let open Obs.Json in
+  let figure r =
+    Obj
+      [
+        ("id", Str r.fig_id);
+        ("seconds", Num r.seconds);
+        ("root_calls", Num (float_of_int r.root_calls));
+        ("fixed_point_calls", Num (float_of_int r.fixed_point_calls));
+        ("objective_evaluations", Num r.objective_evaluations);
+      ]
+  in
+  let benchmark (name, time_ns, r2) =
+    Obj
+      [
+        ("name", Str name);
+        ("time_per_run_ns", Num time_ns);
+        ("r_square", match r2 with Some r -> Num r | None -> Null);
+      ]
+  in
+  Obj
+    [
+      ("schema", Str "bench.v1");
+      ("generated_unix", Num (Obs.Clock.now ()));
+      ( "regeneration_seconds",
+        Num (List.fold_left (fun acc r -> acc +. r.seconds) 0. figures) );
+      ("figures", Arr (List.map figure figures));
+      ("benchmarks", Arr (List.map benchmark benchmarks));
+    ]
 
 let () =
-  let failures = regenerate () in
-  run_benchmarks ();
+  let json_path = ref None in
+  Arg.parse
+    [ ("--json", Arg.String (fun p -> json_path := Some p), "FILE  also write a bench.v1 perf record (BENCH_<id>.json)") ]
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    "bench [--json FILE]";
+  let failures, figures = regenerate () in
+  let benchmarks = run_benchmarks () in
+  (match !json_path with
+  | Some path ->
+    Obs.Export.write_json ~path (perf_record ~figures ~benchmarks);
+    if path <> "-" then Printf.printf "\nperf record written to %s\n" path
+  | None -> ());
   if failures > 0 then begin
     Printf.printf "\n%d experiment(s) had failing shape checks\n" failures;
     exit 1

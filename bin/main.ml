@@ -11,12 +11,55 @@ let plots_arg =
   let doc = "Render ASCII plots alongside the tables." in
   Arg.(value & flag & info [ "plots" ] ~doc)
 
-let print_solver_telemetry () =
-  Printf.printf "\n-- solver telemetry --\n%s\n" (Numerics.Robust.stats_summary ())
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON trace of the run to $(docv) (load it in \
+     chrome://tracing or Perfetto); '-' prints the JSON as the final stdout line. \
+     Tracing is enabled only when this flag is present."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let run_experiment id dir plots =
+let metrics_arg =
+  let doc =
+    "Export the metrics registry (solver counters, latency histograms, experiment \
+     timings) as JSON to $(docv); '-' prints the JSON as the final stdout line."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let print_solver_telemetry () =
+  Printf.printf "\n-- solver telemetry --\n%s\n" (Numerics.Robust.stats_summary ());
+  let per_layer = Obs.Export.telemetry_table () in
+  if Report.Table.row_count per_layer > 0 then
+    Printf.printf "\n%s\n" (Report.Table.to_string per_layer)
+
+(* run [f] with tracing switched on when requested, then write the
+   requested exports; '-' targets deliberately come last on stdout so
+   `... --metrics - | tail -n 1` is parseable JSON *)
+let with_observability ~trace ~metrics f =
+  (match trace with
+  | Some _ ->
+    Obs.Trace.clear ();
+    Obs.Trace.set_enabled true
+  | None -> ());
+  let code = f () in
+  (match trace with
+  | Some path ->
+    Obs.Trace.set_enabled false;
+    Obs.Export.write_json ~path (Obs.Export.trace_json ());
+    if path <> "-" then
+      Printf.printf "trace (%d spans) written to %s\n" (List.length (Obs.Trace.spans ())) path
+  | None -> ());
+  (match metrics with
+  | Some path ->
+    Obs.Export.write_json ~path (Obs.Export.metrics_json ());
+    if path <> "-" then Printf.printf "metrics written to %s\n" path
+  | None -> ());
+  code
+
+let run_experiment id dir plots trace metrics =
+  with_observability ~trace ~metrics @@ fun () ->
   let experiment = Experiments.Registry.find_exn id in
-  let outcome = experiment.Experiments.Common.run () in
+  let outcome = Experiments.Common.run experiment in
   Experiments.Common.print ~plots outcome;
   print_solver_telemetry ();
   (match dir with
@@ -34,18 +77,26 @@ let run_experiment id dir plots =
 let experiment_cmd (e : Experiments.Common.t) =
   let doc = Printf.sprintf "Reproduce %s (%s)." e.Experiments.Common.title e.Experiments.Common.paper_ref in
   let term =
-    Term.(const (fun dir plots -> run_experiment e.Experiments.Common.id dir plots) $ dir_arg $ plots_arg)
+    Term.(
+      const (fun dir plots trace metrics ->
+          run_experiment e.Experiments.Common.id dir plots trace metrics)
+      $ dir_arg $ plots_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info e.Experiments.Common.id ~doc) term
 
 let all_cmd =
   let doc = "Run every experiment and print a one-line summary per figure." in
-  let run dir =
+  let run dir trace metrics =
+    with_observability ~trace ~metrics @@ fun () ->
     let failures = ref 0 in
     List.iter
       (fun (e : Experiments.Common.t) ->
-        let outcome = e.Experiments.Common.run () in
+        (* Common.run resets solver telemetry per experiment, so the
+           line printed after each figure is that figure's own count,
+           not the running total across the whole `all` sweep *)
+        let outcome = Experiments.Common.run e in
         print_endline (Experiments.Common.shape_summary outcome);
+        Printf.printf "  telemetry: %s\n" (Numerics.Robust.stats_summary ());
         (match dir with Some dir -> Experiments.Common.save outcome ~dir | None -> ());
         if
           not
@@ -54,10 +105,9 @@ let all_cmd =
                outcome.Experiments.Common.shape_checks)
         then incr failures)
       Experiments.Registry.all;
-    print_solver_telemetry ();
     if !failures = 0 then 0 else 1
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ dir_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ dir_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* custom markets from CSV *)
@@ -93,7 +143,9 @@ let nash_cmd =
   let doc =
     "Solve the subsidization game on the paper's 8-CP population at one (price, cap) point."
   in
-  let run price cap capacity market =
+  let run price cap capacity market trace metrics =
+    with_observability ~trace ~metrics @@ fun () ->
+    Numerics.Robust.reset_stats ();
     let sys = system_of ?market ~capacity () in
     let game = Subsidization.Subsidy_game.make sys ~price ~cap in
     let eq = Subsidization.Nash.solve game in
@@ -125,7 +177,10 @@ let nash_cmd =
     print_solver_telemetry ();
     if eq.Subsidization.Nash.converged then 0 else 1
   in
-  Cmd.v (Cmd.info "nash" ~doc) Term.(const run $ price_arg $ cap_arg $ capacity_arg $ market_arg)
+  Cmd.v (Cmd.info "nash" ~doc)
+    Term.(
+      const run $ price_arg $ cap_arg $ capacity_arg $ market_arg $ trace_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep: optimal ISP price per policy level *)

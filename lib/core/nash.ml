@@ -36,11 +36,17 @@ let kkt_residual game ~subsidies =
   !worst
 
 let solve ?scheme ?damping ?tol ?max_sweeps ?respond_points ?x0 game =
+  Obs.Trace.with_span "nash.solve" @@ fun () ->
   let br_game = Subsidy_game.to_game ?respond_points game in
   let x0 = match x0 with Some x -> x | None -> Vec.zeros (Subsidy_game.dim game) in
   let outcome = Gametheory.Best_response.solve ?scheme ?damping ?tol ?max_sweeps br_game ~x0 in
   let subsidies = outcome.Gametheory.Best_response.profile in
   let state = Subsidy_game.state game ~subsidies in
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.add_attr "sweeps" (string_of_int outcome.Gametheory.Best_response.sweeps);
+    Obs.Trace.add_attr "converged"
+      (string_of_bool outcome.Gametheory.Best_response.converged)
+  end;
   {
     subsidies;
     state;
@@ -57,6 +63,7 @@ let solve_result ?scheme ?damping ?tol ?max_sweeps ?respond_points ?x0 game =
   | exception Robust.Solver_error e -> Error e
 
 let solve_vi ?(gamma = 0.25) ?(tol = 1e-10) ?(max_iter = 100_000) ?x0 game =
+  Obs.Trace.with_span "nash.solve_vi" @@ fun () ->
   let box = Subsidy_game.box game in
   let n = Subsidy_game.dim game in
   let x0 = match x0 with Some x -> x | None -> Vec.zeros n in

@@ -6,7 +6,12 @@ let check_price p =
 
 let state ?phi_guess sys ~price =
   check_price price;
-  System.solve ?phi_guess sys ~charges:(Vec.make (System.n_cps sys) price)
+  let solve () = System.solve ?phi_guess sys ~charges:(Vec.make (System.n_cps sys) price) in
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "price.point"
+      ~attrs:[ ("price", Printf.sprintf "%g" price) ]
+      solve
+  else solve ()
 
 let revenue ?phi_guess sys ~price =
   let st = state ?phi_guess sys ~price in

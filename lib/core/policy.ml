@@ -26,10 +26,17 @@ let price_sweep sys ~cap ~prices =
   let warm = ref None in
   Array.map
     (fun price ->
-      let game = Subsidy_game.make sys ~price ~cap in
-      let eq = Nash.solve ?x0:!warm game in
-      warm := Some eq.Nash.subsidies;
-      point_of_equilibrium sys ~price ~cap eq)
+      let solve () =
+        let game = Subsidy_game.make sys ~price ~cap in
+        let eq = Nash.solve ?x0:!warm game in
+        warm := Some eq.Nash.subsidies;
+        point_of_equilibrium sys ~price ~cap eq
+      in
+      if Obs.Trace.enabled () then
+        Obs.Trace.with_span "price.point"
+          ~attrs:[ ("price", Printf.sprintf "%g" price); ("cap", Printf.sprintf "%g" cap) ]
+          solve
+      else solve ())
     prices
 
 let policy_sweep sys ~caps ~prices =

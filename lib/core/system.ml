@@ -64,6 +64,7 @@ let gap_slope sys ~charges phi =
   gap_slope_with_populations sys (populations_of sys charges) phi
 
 let equilibrium_phi_result ?(phi_guess = 1.) sys populations =
+  Obs.Trace.with_span "system.equilibrium_phi" @@ fun () ->
   let g phi = gap_with_populations sys populations phi in
   let dg phi = gap_slope_with_populations sys populations phi in
   let guess = Float.max phi_guess 1e-6 in
@@ -72,10 +73,13 @@ let equilibrium_phi_result ?(phi_guess = 1.) sys populations =
   if (try g 0. >= 0. with _ -> false) then Ok 0.
   else
     match
-      Robust.root ~tol:1e-13 ~df:dg ~x0:guess ~domain:(0., Float.infinity) g ~lo:0.
-        ~hi:(2. *. guess)
+      Robust.root ~tol:1e-13 ~df:dg ~x0:guess ~domain:(0., Float.infinity)
+        ~ctx:"utilization" g ~lo:0. ~hi:(2. *. guess)
     with
-    | Ok s -> Ok s.Robust.result.Rootfind.root
+    | Ok s ->
+      if Obs.Trace.enabled () then
+        Obs.Trace.add_attr "phi" (Printf.sprintf "%g" s.Robust.result.Rootfind.root);
+      Ok s.Robust.result.Rootfind.root
     | Error e -> Error e
 
 let equilibrium_phi_with_populations ?phi_guess sys populations =

@@ -8,6 +8,20 @@ type outcome = {
 
 type t = { id : string; title : string; paper_ref : string; run : unit -> outcome }
 
+(* drive an experiment through the observability layer: solver telemetry
+   is scoped to this run (the CLI's `all` loop used to print running
+   totals), the whole run sits under a root span, and its wall time is
+   recorded as a gauge for metric exports *)
+let run ?(isolate_stats = true) (t : t) =
+  if isolate_stats then Numerics.Robust.reset_stats ();
+  Obs.Trace.with_span ("experiment:" ^ t.id) @@ fun () ->
+  let t_start = Obs.Clock.now () in
+  let outcome = t.run () in
+  Obs.Metrics.set
+    (Obs.Metrics.gauge ~labels:[ ("id", t.id) ] "experiment.duration_s")
+    (Obs.Clock.elapsed ~since:t_start);
+  outcome
+
 type degraded = { sample : int; label : string; reason : string }
 
 let check ~name passed detail = { Subsidization.Theorems.name; passed; detail }

@@ -18,6 +18,14 @@ type t = {
   run : unit -> outcome;
 }
 
+val run : ?isolate_stats:bool -> t -> outcome
+(** Drive an experiment through the observability layer: opens a root
+    span named [experiment:<id>], records the run's wall time as the
+    [experiment.duration_s] gauge, and (unless [isolate_stats:false])
+    resets the solver telemetry first so anything printed or exported
+    afterwards describes {e this} run only. Prefer this over calling
+    the [run] field directly. *)
+
 val check : name:string -> bool -> string -> Subsidization.Theorems.check
 (** Build a shape check. *)
 

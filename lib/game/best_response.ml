@@ -42,7 +42,7 @@ let respond_with_marginal game marginal i s =
         (* a stationary candidate the robust chain cannot pin down is
            dropped: the scan endpoints still bound the best reply *)
         match
-          Robust.root u ~lo:grid.(k) ~hi:grid.(k + 1)
+          Robust.root u ~ctx:"best_response" ~lo:grid.(k) ~hi:grid.(k + 1)
             ~domain:(grid.(k), grid.(k + 1))
         with
         | Ok r -> candidates := r.Robust.result.Rootfind.root :: !candidates
@@ -82,6 +82,7 @@ let solve ?(scheme = Gauss_seidel) ?(damping = 1.) ?(tol = 1e-10) ?(max_sweeps =
     invalid_arg "Best_response.solve: damping must lie in (0, 1]";
   let n = Box.dim game.box in
   if Vec.dim x0 <> n then invalid_arg "Best_response.solve: profile dimension mismatch";
+  Obs.Trace.with_span "best_response.solve" @@ fun () ->
   let s = ref (Box.project game.box x0) in
   let sweep () =
     let base = Vec.copy !s in
@@ -102,7 +103,12 @@ let solve ?(scheme = Gauss_seidel) ?(damping = 1.) ?(tol = 1e-10) ?(max_sweeps =
       { profile = !s; sweeps = k; last_move = moved; converged = false }
     else loop (k + 1)
   in
-  loop 1
+  let outcome = loop 1 in
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.add_attr "sweeps" (string_of_int outcome.sweeps);
+    Obs.Trace.add_attr "converged" (string_of_bool outcome.converged)
+  end;
+  outcome
 
 let solve_multistart ?scheme ?damping ?tol ?max_sweeps ?(starts = 5) rng game =
   if starts < 1 then invalid_arg "Best_response.solve_multistart: starts must be positive";

@@ -10,6 +10,7 @@ let run ?(scheme = Best_response.Gauss_seidel) ?(damping = 1.) ?(tol = 1e-10)
     invalid_arg "Tatonnement.run: damping must lie in (0, 1]";
   let n = Box.dim game.Best_response.box in
   if Vec.dim x0 <> n then invalid_arg "Tatonnement.run: profile dimension mismatch";
+  Obs.Trace.with_span "tatonnement.run" @@ fun () ->
   let s = ref (Box.project game.Best_response.box x0) in
   let steps = ref [ { index = 0; profile = Vec.copy !s; move = infinity } ] in
   let sweep () =
@@ -45,7 +46,7 @@ let run_resilient ?scheme ?(damping = 1.) ?tol ?max_sweeps ?(max_retries = 4) ga
     else begin
       (* both plain non-convergence and detected cycling respond to a
          smaller step; count the restart in the shared solver telemetry *)
-      Numerics.Robust.record_retry ();
+      Numerics.Robust.record_retry ~ctx:"tatonnement" ();
       attempt (damping /. 2.) (retries + 1)
     end
   in

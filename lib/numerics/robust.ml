@@ -57,7 +57,87 @@ let () =
     | _ -> None)
 
 (* ------------------------------------------------------------------ *)
-(* telemetry *)
+(* telemetry: every event lands in the Obs.Metrics registry, labelled
+   by the layer of the equilibrium pipeline that asked (ctx) and by the
+   method/failure involved; the [stats] record below is a compatibility
+   facade that aggregates the registry back into the old counter blob *)
+
+let default_ctx = "unlabeled"
+
+type layer_handles = {
+  root_calls_c : Obs.Metrics.counter;
+  fp_calls_c : Obs.Metrics.counter;
+  attempt_c : method_ -> Obs.Metrics.counter;
+  fault_c : failure -> Obs.Metrics.counter;
+  fallbacks_c : Obs.Metrics.counter;
+  retries_c : Obs.Metrics.counter;
+  root_failures_c : Obs.Metrics.counter;
+  fp_failures_c : Obs.Metrics.counter;
+  root_latency_h : Obs.Metrics.histogram;
+  fp_latency_h : Obs.Metrics.histogram;
+  root_evals_h : Obs.Metrics.histogram;
+  fp_evals_h : Obs.Metrics.histogram;
+}
+
+let make_handles layer =
+  let l = [ ("layer", layer) ] in
+  let with_op op = ("op", op) :: l in
+  let attempt_of m =
+    Obs.Metrics.counter ~labels:(("method", method_name m) :: l) "solver.attempts"
+  in
+  let newton = attempt_of Newton
+  and secant = attempt_of Secant
+  and brent = attempt_of Brent
+  and bisection = attempt_of Bisection
+  and damped = attempt_of Damped_iteration in
+  let fault_of name = Obs.Metrics.counter ~labels:(("reason", name) :: l) "solver.faults" in
+  let non_finite = fault_of "non-finite"
+  and no_bracket = fault_of "no-bracket"
+  and budget = fault_of "budget"
+  and diverged = fault_of "diverged"
+  and oscillating = fault_of "oscillating"
+  and out_of_domain = fault_of "out-of-domain"
+  and not_converged = fault_of "not-converged" in
+  {
+    root_calls_c = Obs.Metrics.counter ~labels:l "solver.root.calls";
+    fp_calls_c = Obs.Metrics.counter ~labels:l "solver.fixed_point.calls";
+    attempt_c =
+      (function
+      | Newton -> newton
+      | Secant -> secant
+      | Brent -> brent
+      | Bisection -> bisection
+      | Damped_iteration -> damped);
+    fault_c =
+      (function
+      | Non_finite _ -> non_finite
+      | No_bracket _ -> no_bracket
+      | Budget_exhausted _ -> budget
+      | Diverged _ -> diverged
+      | Oscillating _ -> oscillating
+      | Out_of_domain _ -> out_of_domain
+      | Not_converged _ -> not_converged);
+    fallbacks_c = Obs.Metrics.counter ~labels:l "solver.fallbacks";
+    retries_c = Obs.Metrics.counter ~labels:l "solver.retries";
+    root_failures_c = Obs.Metrics.counter ~labels:(with_op "root") "solver.failures";
+    fp_failures_c = Obs.Metrics.counter ~labels:(with_op "fixed_point") "solver.failures";
+    root_latency_h = Obs.Metrics.histogram ~labels:(with_op "root") "solver.latency";
+    fp_latency_h = Obs.Metrics.histogram ~labels:(with_op "fixed_point") "solver.latency";
+    root_evals_h = Obs.Metrics.histogram ~labels:(with_op "root") "solver.evaluations";
+    fp_evals_h = Obs.Metrics.histogram ~labels:(with_op "fixed_point") "solver.evaluations";
+  }
+
+let handles_by_layer : (string, layer_handles) Hashtbl.t = Hashtbl.create 8
+
+let handles layer =
+  match Hashtbl.find_opt handles_by_layer layer with
+  | Some h -> h
+  | None ->
+    let h = make_handles layer in
+    Hashtbl.add handles_by_layer layer h;
+    h
+
+let record_retry ?(ctx = default_ctx) () = Obs.Metrics.incr (handles ctx).retries_c
 
 type stats = {
   root_calls : int;
@@ -77,52 +157,38 @@ type stats = {
   failures : int;
 }
 
-let zero =
+let stats () =
+  let total name = int_of_float (Obs.Metrics.sum_counters name) in
+  let by name key value =
+    int_of_float
+      (Obs.Metrics.sum_counters
+         ~where:(fun labels -> Obs.Metrics.label labels key = Some value)
+         name)
+  in
+  let attempts m = by "solver.attempts" "method" (method_name m) in
+  let faults reason = by "solver.faults" "reason" reason in
   {
-    root_calls = 0;
-    fixed_point_calls = 0;
-    newton_attempts = 0;
-    secant_attempts = 0;
-    brent_attempts = 0;
-    bisection_attempts = 0;
-    damped_attempts = 0;
-    fallbacks = 0;
-    retries = 0;
-    non_finite = 0;
-    no_bracket = 0;
-    budget_exhausted = 0;
-    diverged = 0;
-    oscillations = 0;
-    failures = 0;
+    root_calls = total "solver.root.calls";
+    fixed_point_calls = total "solver.fixed_point.calls";
+    newton_attempts = attempts Newton;
+    secant_attempts = attempts Secant;
+    brent_attempts = attempts Brent;
+    bisection_attempts = attempts Bisection;
+    damped_attempts = attempts Damped_iteration;
+    fallbacks = total "solver.fallbacks";
+    retries = total "solver.retries";
+    non_finite = faults "non-finite";
+    no_bracket = faults "no-bracket";
+    budget_exhausted = faults "budget";
+    diverged = faults "diverged";
+    oscillations = faults "oscillating";
+    failures = total "solver.failures";
   }
 
-let current = ref zero
-
-let stats () = !current
-let reset_stats () = current := zero
-
-let bump f = current := f !current
-
-let record_retry () = bump (fun s -> { s with retries = s.retries + 1 })
-
-let record_attempt_method = function
-  | Newton -> bump (fun s -> { s with newton_attempts = s.newton_attempts + 1 })
-  | Secant -> bump (fun s -> { s with secant_attempts = s.secant_attempts + 1 })
-  | Brent -> bump (fun s -> { s with brent_attempts = s.brent_attempts + 1 })
-  | Bisection -> bump (fun s -> { s with bisection_attempts = s.bisection_attempts + 1 })
-  | Damped_iteration -> bump (fun s -> { s with damped_attempts = s.damped_attempts + 1 })
-
-let record_failure = function
-  | Non_finite _ -> bump (fun s -> { s with non_finite = s.non_finite + 1 })
-  | No_bracket _ -> bump (fun s -> { s with no_bracket = s.no_bracket + 1 })
-  | Budget_exhausted _ ->
-    bump (fun s -> { s with budget_exhausted = s.budget_exhausted + 1 })
-  | Diverged _ -> bump (fun s -> { s with diverged = s.diverged + 1 })
-  | Oscillating _ -> bump (fun s -> { s with oscillations = s.oscillations + 1 })
-  | Out_of_domain _ | Not_converged _ -> ()
+let reset_stats () = Obs.Metrics.reset ~prefix:"solver." ()
 
 let stats_summary () =
-  let s = !current in
+  let s = stats () in
   Printf.sprintf
     "root calls %d (newton %d, secant %d, brent %d, bisection %d) | fixed-point calls \
      %d (attempts %d) | fallbacks %d, retries %d | faults: non-finite %d, no-bracket \
@@ -141,10 +207,12 @@ exception Poison of { at : float; value : float }
 
 type success = { result : Rootfind.result; method_used : method_; fallbacks : int }
 
-let root ?(tol = 1e-12) ?(max_iter = 200) ?df ?x0 ?domain f ~lo ~hi =
+let root ?(tol = 1e-12) ?(max_iter = 200) ?df ?x0 ?domain ?(ctx = default_ctx) f ~lo ~hi =
   if not (Float.is_finite lo && Float.is_finite hi) || lo >= hi then
     invalid_arg (Printf.sprintf "Robust.root: bad interval [%g, %g]" lo hi);
-  bump (fun s -> { s with root_calls = s.root_calls + 1 });
+  let h = handles ctx in
+  Obs.Metrics.incr h.root_calls_c;
+  let t_start = Obs.Clock.now () in
   let evals = ref 0 in
   let last_residual = ref Float.infinity in
   let guarded x =
@@ -162,7 +230,7 @@ let root ?(tol = 1e-12) ?(max_iter = 200) ?df ?x0 ?domain f ~lo ~hi =
   let attempts = ref [] in
   let brackets = ref [ (lo, hi) ] in
   let note method_ evals_before failure =
-    record_failure failure;
+    Obs.Metrics.incr (h.fault_c failure);
     attempts :=
       { method_; evaluations = !evals - evals_before; damping = None; failure }
       :: !attempts
@@ -194,10 +262,10 @@ let root ?(tol = 1e-12) ?(max_iter = 200) ?df ?x0 ?domain f ~lo ~hi =
   in
   let rec run = function
     | [] ->
-      bump (fun s -> { s with failures = s.failures + 1 });
+      Obs.Metrics.incr h.root_failures_c;
       Error (error ())
     | (method_, attempt) :: rest ->
-      record_attempt_method method_;
+      Obs.Metrics.incr (h.attempt_c method_);
       let evals_before = !evals in
       let fail failure =
         note method_ evals_before failure;
@@ -211,7 +279,7 @@ let root ?(tol = 1e-12) ?(max_iter = 200) ?df ?x0 ?domain f ~lo ~hi =
           && in_domain r.Rootfind.root
         then begin
           let fallbacks = List.length !attempts in
-          bump (fun s -> { s with fallbacks = s.fallbacks + fallbacks });
+          Obs.Metrics.incr ~by:(float_of_int fallbacks) h.fallbacks_c;
           Ok { result = r; method_used = method_; fallbacks }
         end
         else fail (Out_of_domain { root = r.Rootfind.root })
@@ -223,10 +291,13 @@ let root ?(tol = 1e-12) ?(max_iter = 200) ?df ?x0 ?domain f ~lo ~hi =
         (* the budget is shared by every link of the chain: falling back
            further cannot help, so report the typed error immediately *)
         note method_ evals_before (Budget_exhausted { evaluations = n });
-        bump (fun s -> { s with failures = s.failures + 1 });
+        Obs.Metrics.incr h.root_failures_c;
         Error (error ()))
   in
-  run methods
+  let outcome = run methods in
+  Obs.Metrics.observe h.root_latency_h (Obs.Clock.elapsed ~since:t_start);
+  Obs.Metrics.observe h.root_evals_h (float_of_int !evals);
+  outcome
 
 (* ------------------------------------------------------------------ *)
 (* fixed points with divergence/oscillation detection and damping retry *)
@@ -237,11 +308,14 @@ type fp_success = {
   retries : int;
 }
 
-let fixed_point ?(tol = 1e-12) ?(max_iter = 1000) ?(damping = 1.) ?(max_retries = 4) f
-    ~x0 =
+let fixed_point ?(tol = 1e-12) ?(max_iter = 1000) ?(damping = 1.) ?(max_retries = 4)
+    ?(ctx = default_ctx) f ~x0 =
   if damping <= 0. || damping > 1. then
     invalid_arg "Robust.fixed_point: damping must lie in (0, 1]";
-  bump (fun s -> { s with fixed_point_calls = s.fixed_point_calls + 1 });
+  let h = handles ctx in
+  Obs.Metrics.incr h.fp_calls_c;
+  let t_start = Obs.Clock.now () in
+  let total_evals = ref 0 in
   let attempts = ref [] in
   let last_residual = ref Float.infinity in
   let run damping =
@@ -281,26 +355,27 @@ let fixed_point ?(tol = 1e-12) ?(max_iter = 1000) ?(damping = 1.) ?(max_retries 
       result := Some (Error (Non_finite { at; value }, !evals))
     | Fault.Budget_exceeded n ->
       result := Some (Error (Budget_exhausted { evaluations = n }, !evals)));
+    total_evals := !total_evals + !evals;
     match !result with
     | Some r -> r
     | None -> Error (Not_converged { detail = "iteration budget exhausted" }, !evals)
   in
   let rec attempt damping retries =
-    record_attempt_method Damped_iteration;
+    Obs.Metrics.incr (h.attempt_c Damped_iteration);
     match run damping with
     | Ok fp -> Ok { fp; damping_used = damping; retries }
     | Error (failure, evaluations) ->
-      record_failure failure;
+      Obs.Metrics.incr (h.fault_c failure);
       attempts :=
         { method_ = Damped_iteration; evaluations; damping = Some damping; failure }
         :: !attempts;
       let terminal = match failure with Budget_exhausted _ -> true | _ -> false in
       if retries < max_retries && not terminal then begin
-        record_retry ();
+        record_retry ~ctx ();
         attempt (damping /. 2.) (retries + 1)
       end
       else begin
-        bump (fun s -> { s with failures = s.failures + 1 });
+        Obs.Metrics.incr h.fp_failures_c;
         Error
           {
             attempts = List.rev !attempts;
@@ -309,4 +384,7 @@ let fixed_point ?(tol = 1e-12) ?(max_iter = 1000) ?(damping = 1.) ?(max_retries 
           }
       end
   in
-  attempt damping 0
+  let outcome = attempt damping 0 in
+  Obs.Metrics.observe h.fp_latency_h (Obs.Clock.elapsed ~since:t_start);
+  Obs.Metrics.observe h.fp_evals_h (float_of_int !total_evals);
+  outcome

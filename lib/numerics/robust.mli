@@ -11,8 +11,12 @@
       objective evaluation guarded against NaN/Inf poison values;
     - {!fixed_point} detects divergence and period-2 oscillation and
       retries with halved damping up to a retry budget;
-    - every attempt, fallback, retry and failure is counted in a global
-      {!stats} record that experiment drivers print after a run. *)
+    - every attempt, fallback, retry and failure is emitted into the
+      process-wide [Obs.Metrics] registry, labelled by solver method
+      and by pipeline layer ([ctx], e.g. [layer=utilization]), together
+      with per-call latency and objective-evaluation histograms; the
+      {!stats} record remains as a compatibility facade aggregating the
+      registry back into the historical counter blob. *)
 
 type method_ = Newton | Secant | Brent | Bisection | Damped_iteration
 
@@ -69,6 +73,7 @@ val root :
   ?df:(float -> float) ->
   ?x0:float ->
   ?domain:float * float ->
+  ?ctx:string ->
   (float -> float) ->
   lo:float ->
   hi:float ->
@@ -80,7 +85,10 @@ val root :
     method's answer is accepted only if root and value are finite and
     the root lies in [domain] (default unrestricted). NaN/Inf objective
     values abort the offending method with a typed [Non_finite] failure
-    instead of propagating poison. *)
+    instead of propagating poison. [ctx] names the pipeline layer the
+    call serves (e.g. ["utilization"], ["best_response"]); it becomes
+    the [layer] label on every metric the call emits (default
+    ["unlabeled"]). *)
 
 type fp_success = {
   fp : float Fixedpoint.result;
@@ -93,6 +101,7 @@ val fixed_point :
   ?max_iter:int ->
   ?damping:float ->
   ?max_retries:int ->
+  ?ctx:string ->
   (float -> float) ->
   x0:float ->
   (fp_success, error) result
@@ -123,14 +132,20 @@ type stats = {
 }
 
 val stats : unit -> stats
-(** A snapshot of the process-wide counters. *)
+(** A snapshot aggregated from the [Obs.Metrics] registry: each field
+    sums the corresponding [solver.*] series across every layer
+    label. *)
 
 val reset_stats : unit -> unit
+(** Zero every [solver.*] series in the registry (in place: cached
+    handles keep working). Experiment drivers call this per run so
+    printed telemetry is per-experiment, not a process-lifetime
+    running total. *)
 
 val stats_summary : unit -> string
 (** One paragraph for end-of-run reports. *)
 
-val record_retry : unit -> unit
+val record_retry : ?ctx:string -> unit -> unit
 (** For higher-level solvers (e.g. tatonnement) that implement their own
     damping-halving retry loop but should appear in the shared
-    telemetry. *)
+    telemetry; [ctx] labels the layer as in {!root}. *)

@@ -1,0 +1,12 @@
+let last = ref 0.
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let elapsed ~since = Float.max 0. (now () -. since)
+
+let cpu () = Sys.time ()
+
+let us_of_s s = s *. 1e6

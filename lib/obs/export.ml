@@ -1,0 +1,187 @@
+let json_of_labels labels : Json.t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let json_of_series (name, labels, read) : Json.t =
+  let common = [ ("name", Json.Str name); ("labels", json_of_labels labels) ] in
+  match (read : Metrics.read) with
+  | Metrics.Counter v -> Json.Obj (common @ [ ("kind", Json.Str "counter"); ("value", Json.Num v) ])
+  | Metrics.Gauge v -> Json.Obj (common @ [ ("kind", Json.Str "gauge"); ("value", Json.Num v) ])
+  | Metrics.Histogram s ->
+    Json.Obj
+      (common
+      @ [
+          ("kind", Json.Str "histogram");
+          ("count", Json.Num (float_of_int s.Metrics.count));
+          ("sum", Json.Num s.Metrics.sum);
+          ("min", Json.Num s.Metrics.min);
+          ("max", Json.Num s.Metrics.max);
+          ("p50", Json.Num s.Metrics.p50);
+          ("p90", Json.Num s.Metrics.p90);
+          ("p99", Json.Num s.Metrics.p99);
+          ( "buckets",
+            Json.Arr
+              (List.map
+                 (fun (center, count) ->
+                   Json.Obj
+                     [ ("center", Json.Num center); ("count", Json.Num (float_of_int count)) ])
+                 s.Metrics.buckets) );
+        ])
+
+let metrics_json ?prefix () : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str "obs.metrics.v1");
+      ("generated_unix", Json.Num (Clock.now ()));
+      ("series", Json.Arr (List.map json_of_series (Metrics.snapshot ?prefix ())));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event *)
+
+let trace_json () : Json.t =
+  let spans = Trace.spans () in
+  let t0 = match spans with [] -> 0. | s :: _ -> s.Trace.start in
+  let event (s : Trace.span) : Json.t =
+    let dur = if Float.is_nan s.stop then 0. else Clock.us_of_s (s.stop -. s.start) in
+    Json.Obj
+      [
+        ("name", Json.Str s.name);
+        ("cat", Json.Str "obs");
+        ("ph", Json.Str "X");
+        ("ts", Json.Num (Clock.us_of_s (s.start -. t0)));
+        ("dur", Json.Num dur);
+        ("pid", Json.Num 1.);
+        ("tid", Json.Num 1.);
+        ( "args",
+          Json.Obj
+            ([
+               ("span_id", Json.Num (float_of_int s.id));
+               ( "parent_id",
+                 match s.parent with None -> Json.Null | Some p -> Json.Num (float_of_int p) );
+             ]
+            @ List.rev_map (fun (k, v) -> (k, Json.Str v)) s.attrs) );
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map event spans));
+      ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("schema", Json.Str "obs.trace.v1");
+            ("spans", Json.Num (float_of_int (List.length spans)));
+            ("dropped", Json.Num (float_of_int (Trace.dropped ())));
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* tables *)
+
+let fmt_g x = Printf.sprintf "%.6g" x
+
+let metrics_table ?prefix () =
+  let table =
+    Report.Table.make ~columns:[ "name"; "labels"; "kind"; "value"; "count"; "p50"; "p99" ]
+  in
+  List.iter
+    (fun (name, labels, read) ->
+      let labels = Metrics.labels_to_string labels in
+      match (read : Metrics.read) with
+      | Metrics.Counter v ->
+        Report.Table.add_row table [ name; labels; "counter"; fmt_g v; "-"; "-"; "-" ]
+      | Metrics.Gauge v ->
+        Report.Table.add_row table [ name; labels; "gauge"; fmt_g v; "-"; "-"; "-" ]
+      | Metrics.Histogram s ->
+        Report.Table.add_row table
+          [
+            name;
+            labels;
+            "histogram";
+            fmt_g s.Metrics.sum;
+            string_of_int s.Metrics.count;
+            fmt_g s.Metrics.p50;
+            fmt_g s.Metrics.p99;
+          ])
+    (Metrics.snapshot ?prefix ());
+  table
+
+(* the solver-focused end-of-run table: rows are (layer, op) pairs
+   discovered from the latency histograms Robust maintains *)
+let telemetry_table () =
+  let snapshot = Metrics.snapshot ~prefix:"solver." () in
+  let latencies =
+    List.filter_map
+      (function
+        | ("solver.latency", labels, Metrics.Histogram s) when s.Metrics.count > 0 ->
+          Option.bind (Metrics.label labels "layer") (fun layer ->
+              Option.map (fun op -> (layer, op, s)) (Metrics.label labels "op"))
+        | _ -> None)
+      snapshot
+  in
+  let table =
+    Report.Table.make
+      ~columns:
+        [
+          "layer"; "op"; "calls"; "attempts"; "fallback rate"; "failures"; "evals";
+          "p50 ms"; "p99 ms";
+        ]
+  in
+  let counter name where =
+    Metrics.sum_counters ~where name
+  in
+  List.iter
+    (fun (layer, op, (s : Metrics.summary)) ->
+      let in_layer labels = Metrics.label labels "layer" = Some layer in
+      let in_layer_op labels = in_layer labels && Metrics.label labels "op" = Some op in
+      let calls =
+        counter
+          (if op = "root" then "solver.root.calls" else "solver.fixed_point.calls")
+          in_layer
+      in
+      let attempts =
+        counter "solver.attempts" (fun labels ->
+            in_layer labels
+            &&
+            let damped = Metrics.label labels "method" = Some "damped-iteration" in
+            if op = "root" then not damped else damped)
+      in
+      let recoveries =
+        if op = "root" then counter "solver.fallbacks" in_layer
+        else counter "solver.retries" in_layer
+      in
+      let failures = counter "solver.failures" in_layer_op in
+      let evals = Metrics.sum_histograms ~where:in_layer_op "solver.evaluations" in
+      Report.Table.add_row table
+        [
+          layer;
+          op;
+          fmt_g calls;
+          fmt_g attempts;
+          (if calls > 0. then Printf.sprintf "%.3f" (recoveries /. calls) else "-");
+          fmt_g failures;
+          fmt_g evals;
+          Printf.sprintf "%.4g" (s.Metrics.p50 *. 1e3);
+          Printf.sprintf "%.4g" (s.Metrics.p99 *. 1e3);
+        ])
+    latencies;
+  table
+
+let write_json ~path json =
+  let line = Json.to_string json in
+  if path = "-" then print_endline line
+  else begin
+    let rec mkdirs dir =
+      if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+        mkdirs (Filename.dirname dir);
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+      end
+    in
+    mkdirs (Filename.dirname path);
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc line;
+        output_char oc '\n')
+  end

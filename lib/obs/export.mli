@@ -1,0 +1,28 @@
+(** Render the registry and the span buffer as JSON / CSV-able tables.
+
+    All JSON goes through {!Json}; [write_json ~path:"-"] prints the
+    document as a single line on stdout (deliberately last-line-parsable
+    so shell pipelines can [tail -n 1 | json-parse] after the human
+    output). *)
+
+val metrics_json : ?prefix:string -> unit -> Json.t
+(** Schema [obs.metrics.v1]: an array of series, each with name,
+    labels, kind and either [value] (counter/gauge) or
+    count/sum/min/max/p50/p90/p99 plus non-empty buckets (histogram). *)
+
+val trace_json : unit -> Json.t
+(** Chrome [trace_event] JSON: one complete ("ph":"X") event per span,
+    timestamps in microseconds relative to the first span, parent links
+    and attributes under [args]. *)
+
+val metrics_table : ?prefix:string -> unit -> Report.Table.t
+(** Generic tabular rendering of the registry (for CSV export). *)
+
+val telemetry_table : unit -> Report.Table.t
+(** The end-of-run solver table: one row per (layer, op) with call and
+    attempt counts, fallback/retry rate, failure count, total objective
+    evaluations, and p50/p99 solve latency. Empty when no solver ran. *)
+
+val write_json : path:string -> Json.t -> unit
+(** Write compact JSON (with trailing newline) to [path], creating
+    parent directories; [path = "-"] appends a single line to stdout. *)

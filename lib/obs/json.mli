@@ -1,0 +1,36 @@
+(** A minimal JSON tree, printer and parser.
+
+    The instrumentation subsystem must stay zero-dependency, so this is
+    the subset of JSON the exporters and their round-trip tests need:
+    full RFC 8259 value syntax on parse (including escapes and
+    [\uXXXX]), compact or 2-space-indented output on print. Non-finite
+    floats print as [null] (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a position-annotated message. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Render; [pretty] (default false) indents with two spaces. Numbers
+    that are exact integers of magnitude below 1e15 print without a
+    fractional part. *)
+
+val of_string : string -> t
+(** Parse one JSON value (surrounding whitespace allowed); trailing
+    garbage raises {!Parse_error}. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+(** [Num] payload, if the value is a number. *)
+
+val to_list : t -> t list option
+(** [Arr] payload, if the value is an array. *)

@@ -1,0 +1,222 @@
+type labels = (string * string) list
+
+let normalize labels = List.stable_sort (fun (a, _) (b, _) -> compare a b) labels
+
+let labels_to_string labels =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let label labels k = List.assoc_opt k labels
+
+(* ------------------------------------------------------------------ *)
+(* series storage *)
+
+(* log-scale buckets: [buckets_per_decade] per factor of 10 over
+   [10^lo_exp, 10^hi_exp); everything below (incl. <= 0) is underflow,
+   everything above is clamped into the last bucket *)
+let buckets_per_decade = 24
+let lo_exp = -9
+let hi_exp = 9
+let n_buckets = (hi_exp - lo_exp) * buckets_per_decade
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable minimum : float;
+  mutable maximum : float;
+  mutable underflow : int;
+  counts : int array;
+}
+
+let fresh_hist () =
+  {
+    count = 0;
+    sum = 0.;
+    minimum = Float.infinity;
+    maximum = Float.neg_infinity;
+    underflow = 0;
+    counts = Array.make n_buckets 0;
+  }
+
+let bucket_index x =
+  let i =
+    int_of_float
+      (Float.floor ((Float.log10 x -. float_of_int lo_exp) *. float_of_int buckets_per_decade))
+  in
+  if i >= n_buckets then n_buckets - 1 else i
+
+let bucket_center i =
+  Float.pow 10.
+    (float_of_int lo_exp +. ((float_of_int i +. 0.5) /. float_of_int buckets_per_decade))
+
+type counter = float ref
+type gauge = float ref
+type histogram = hist
+
+type cell = C of counter | G of gauge | H of hist
+
+type series = { name : string; labels : labels; cell : cell }
+
+let registry : (string * labels, series) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name labels make match_cell =
+  let labels = normalize labels in
+  match Hashtbl.find_opt registry (name, labels) with
+  | Some s -> (
+    match match_cell s.cell with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %s{%s} already registered as a %s" name
+           (labels_to_string labels) (kind_name s.cell)))
+  | None ->
+    let v, cell = make () in
+    Hashtbl.add registry (name, labels) { name; labels; cell };
+    v
+
+let counter ?(labels = []) name : counter =
+  register name labels
+    (fun () ->
+      let r = ref 0. in
+      (r, C r))
+    (function C r -> Some r | _ -> None)
+
+let incr ?(by = 1.) (c : counter) = c := !c +. by
+let counter_value (c : counter) = !c
+
+let gauge ?(labels = []) name : gauge =
+  register name labels
+    (fun () ->
+      let r = ref 0. in
+      (r, G r))
+    (function G r -> Some r | _ -> None)
+
+let set (g : gauge) v = g := v
+let gauge_value (g : gauge) = !g
+
+let histogram ?(labels = []) name : histogram =
+  register name labels
+    (fun () ->
+      let h = fresh_hist () in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+
+let observe (h : histogram) x =
+  if Float.is_finite x then begin
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. x;
+    if x < h.minimum then h.minimum <- x;
+    if x > h.maximum then h.maximum <- x;
+    if x < Float.pow 10. (float_of_int lo_exp) then h.underflow <- h.underflow + 1
+    else h.counts.(bucket_index x) <- h.counts.(bucket_index x) + 1
+  end
+
+let percentile (h : histogram) p =
+  if h.count = 0 then Float.nan
+  else if p <= 0. then h.minimum
+  else if p >= 100. then h.maximum
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (p /. 100. *. float_of_int h.count)))
+    in
+    let clamp v = Float.max h.minimum (Float.min h.maximum v) in
+    if rank <= h.underflow then h.minimum
+    else begin
+      let seen = ref h.underflow in
+      let answer = ref h.maximum in
+      (try
+         for i = 0 to n_buckets - 1 do
+           seen := !seen + h.counts.(i);
+           if !seen >= rank then begin
+             answer := bucket_center i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      clamp !answer
+    end
+  end
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  buckets : (float * int) list;
+}
+
+let summarize (h : histogram) =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.counts.(i) > 0 then buckets := (bucket_center i, h.counts.(i)) :: !buckets
+  done;
+  let buckets =
+    if h.underflow > 0 then (0., h.underflow) :: !buckets else !buckets
+  in
+  {
+    count = h.count;
+    sum = h.sum;
+    min = (if h.count = 0 then Float.nan else h.minimum);
+    max = (if h.count = 0 then Float.nan else h.maximum);
+    p50 = percentile h 50.;
+    p90 = percentile h 90.;
+    p99 = percentile h 99.;
+    buckets;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* reading *)
+
+type read = Counter of float | Gauge of float | Histogram of summary
+
+let read_of_cell = function
+  | C r -> Counter !r
+  | G r -> Gauge !r
+  | H h -> Histogram (summarize h)
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let snapshot ?(prefix = "") () =
+  Hashtbl.fold
+    (fun _ s acc ->
+      if has_prefix prefix s.name then (s.name, s.labels, read_of_cell s.cell) :: acc
+      else acc)
+    registry []
+  |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
+
+let sum_counters ?(where = fun _ -> true) name =
+  Hashtbl.fold
+    (fun _ s acc ->
+      match s.cell with
+      | C r when s.name = name && where s.labels -> acc +. !r
+      | _ -> acc)
+    registry 0.
+
+let sum_histograms ?(where = fun _ -> true) name =
+  Hashtbl.fold
+    (fun _ s acc ->
+      match s.cell with
+      | H h when s.name = name && where s.labels -> acc +. h.sum
+      | _ -> acc)
+    registry 0.
+
+let reset ?(prefix = "") () =
+  Hashtbl.iter
+    (fun _ s ->
+      if has_prefix prefix s.name then
+        match s.cell with
+        | C r | G r -> r := 0.
+        | H h ->
+          h.count <- 0;
+          h.sum <- 0.;
+          h.minimum <- Float.infinity;
+          h.maximum <- Float.neg_infinity;
+          h.underflow <- 0;
+          Array.fill h.counts 0 n_buckets 0)
+    registry

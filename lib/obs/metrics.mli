@@ -1,0 +1,81 @@
+(** Process-wide registry of named counters, gauges and log-scale
+    histograms, each optionally carrying labels such as
+    [("layer", "utilization"); ("method", "brent")].
+
+    Handles are cheap mutable cells: registering the same name + label
+    set twice (label order irrelevant) returns the {e same} underlying
+    series, so hot paths create their handles once and pay a single
+    in-place update per event. Histograms bucket geometrically (24
+    buckets per decade over [1e-9, 1e9)), which keeps percentile
+    estimates within ~5% relative error at any scale — enough to
+    localize a regression without storing samples. *)
+
+type labels = (string * string) list
+(** Label sets are normalized (sorted by key) on registration. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?labels:labels -> string -> counter
+(** Find-or-create. Raises [Invalid_argument] if the series exists with
+    a different kind. *)
+
+val incr : ?by:float -> counter -> unit
+(** Add [by] (default 1); negative increments are a caller bug but are
+    not checked on the hot path. *)
+
+val counter_value : counter -> float
+
+val gauge : ?labels:labels -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?labels:labels -> string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one sample. Non-positive and sub-1e-9 samples land in an
+    underflow bucket that percentiles resolve to the recorded minimum. *)
+
+val percentile : histogram -> float -> float
+(** [percentile h p] for [p] in [0, 100]; [nan] on an empty histogram.
+    Answers are clamped to the observed [min]/[max]. *)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  buckets : (float * int) list;  (** (geometric bucket center, count), non-empty buckets only *)
+}
+
+val summarize : histogram -> summary
+
+(** {2 Reading the registry} *)
+
+type read = Counter of float | Gauge of float | Histogram of summary
+
+val snapshot : ?prefix:string -> unit -> (string * labels * read) list
+(** Every series whose name starts with [prefix] (default all), sorted
+    by name then labels. *)
+
+val sum_counters : ?where:(labels -> bool) -> string -> float
+(** Sum of every counter series with this exact name whose labels
+    satisfy [where] (default all). *)
+
+val sum_histograms : ?where:(labels -> bool) -> string -> float
+(** Sum of the [sum] fields of matching histogram series. *)
+
+val reset : ?prefix:string -> unit -> unit
+(** Zero every matching series {e in place}: cached handles stay
+    registered and keep working, which is what lets experiment drivers
+    scope telemetry per run. *)
+
+val label : labels -> string -> string option
+(** Lookup one label value. *)
+
+val labels_to_string : labels -> string
+(** ["k1=v1,k2=v2"]; [""] for the empty set. *)

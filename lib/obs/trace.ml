@@ -1,0 +1,77 @@
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start : float;
+  mutable stop : float;
+  mutable attrs : (string * string) list;
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let max_spans = 200_000
+
+let next_id = ref 0
+let stack : span list ref = ref []
+let completed : span list ref = ref []
+let n_completed = ref 0
+let n_dropped = ref 0
+
+let clear () =
+  next_id := 0;
+  stack := [];
+  completed := [];
+  n_completed := 0;
+  n_dropped := 0
+
+let dropped () = !n_dropped
+
+let current () = match !stack with [] -> None | s :: _ -> Some s.name
+
+let finish span =
+  span.stop <- Clock.now ();
+  (match !stack with
+  | top :: rest when top == span -> stack := rest
+  | _ ->
+    (* unbalanced close (the thunk tampered with the stack through a
+       nested clear): drop everything above the span, then the span *)
+    let rec pop = function
+      | top :: rest -> if top == span then rest else pop rest
+      | [] -> []
+    in
+    stack := pop !stack);
+  if !n_completed < max_spans then begin
+    completed := span :: !completed;
+    Stdlib.incr n_completed
+  end
+  else Stdlib.incr n_dropped
+
+let with_span ?(attrs = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    Stdlib.incr next_id;
+    let span =
+      {
+        id = !next_id;
+        parent = (match !stack with [] -> None | p :: _ -> Some p.id);
+        name;
+        start = Clock.now ();
+        stop = Float.nan;
+        attrs;
+      }
+    in
+    stack := span :: !stack;
+    Fun.protect ~finally:(fun () -> finish span) f
+  end
+
+let add_attr k v =
+  match !stack with
+  | top :: _ -> top.attrs <- (k, v) :: top.attrs
+  | [] -> ()
+
+let spans () =
+  List.stable_sort
+    (fun a b -> if a.start = b.start then compare a.id b.id else compare a.start b.start)
+    (List.rev !completed)

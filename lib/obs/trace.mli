@@ -1,0 +1,43 @@
+(** Nestable spans over the equilibrium pipeline, buffered in memory.
+
+    Tracing is {e off by default} and a disabled {!with_span} costs one
+    branch (plus the closure the caller already built), so the hot
+    path can be annotated unconditionally. When enabled, each span
+    records monotonic start/stop timestamps ({!Clock}), a link to the
+    enclosing span, and string attributes; {!Export.trace_json} renders
+    the buffer in Chrome [trace_event] format (load it in
+    [chrome://tracing] or Perfetto). *)
+
+type span = {
+  id : int;  (** 1-based, unique within the process *)
+  parent : int option;  (** enclosing span at the time this one opened *)
+  name : string;
+  start : float;  (** {!Clock.now} seconds *)
+  mutable stop : float;  (** [nan] while the span is open *)
+  mutable attrs : (string * string) list;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a fresh span. The span is closed even if the
+    thunk raises. When tracing is disabled this is exactly [f ()]. *)
+
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span; no-op when tracing
+    is disabled or no span is open. Guard any expensive formatting of
+    the value with {!enabled}. *)
+
+val current : unit -> string option
+(** Name of the innermost open span. *)
+
+val spans : unit -> span list
+(** Completed spans, sorted by start time (parents before children at
+    equal timestamps). *)
+
+val dropped : unit -> int
+(** Spans discarded because the buffer cap (200k spans) was hit. *)
+
+val clear : unit -> unit
+(** Empty the buffer and the open-span stack; ids restart at 1. *)

@@ -1,0 +1,320 @@
+(* Instrumentation suite: span nesting and exception safety, histogram
+   percentile math against known distributions, counter label merging,
+   trace/metrics JSON round-trips through the parser, and an
+   integration check that a Nash solve on the paper's fig7 game leaves
+   spans for every layer of the equilibrium pipeline. *)
+
+open Test_helpers
+
+let with_tracing f =
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_enabled false; Obs.Trace.clear ()) f
+
+let span_named name =
+  List.filter (fun s -> s.Obs.Trace.name = name) (Obs.Trace.spans ())
+
+(* ------------------------------------------------------------------ *)
+(* clock *)
+
+let test_clock_monotone () =
+  let samples = Array.init 1000 (fun _ -> Obs.Clock.now ()) in
+  Array.iteri
+    (fun i t -> if i > 0 then check_true "clock never decreases" (t >= samples.(i - 1)))
+    samples;
+  check_true "elapsed non-negative" (Obs.Clock.elapsed ~since:(Obs.Clock.now ()) >= 0.);
+  check_close ~tol:1e-9 "us conversion" 2.5e6 (Obs.Clock.us_of_s 2.5)
+
+(* ------------------------------------------------------------------ *)
+(* metrics *)
+
+let test_counter_label_merging () =
+  Obs.Metrics.reset ~prefix:"t.merge." ();
+  let a = Obs.Metrics.counter ~labels:[ ("x", "1"); ("y", "2") ] "t.merge.c" in
+  (* same label set, opposite order: must be the same series *)
+  let b = Obs.Metrics.counter ~labels:[ ("y", "2"); ("x", "1") ] "t.merge.c" in
+  let other = Obs.Metrics.counter ~labels:[ ("x", "1"); ("y", "3") ] "t.merge.c" in
+  Obs.Metrics.incr a;
+  Obs.Metrics.incr ~by:2. b;
+  Obs.Metrics.incr ~by:10. other;
+  check_close "merged handle sees both increments" 3. (Obs.Metrics.counter_value a);
+  check_close "distinct labels stay distinct" 10. (Obs.Metrics.counter_value other);
+  check_close "sum over series" 13. (Obs.Metrics.sum_counters "t.merge.c");
+  check_close "filtered sum" 3.
+    (Obs.Metrics.sum_counters
+       ~where:(fun labels -> Obs.Metrics.label labels "y" = Some "2")
+       "t.merge.c")
+
+let test_kind_conflict () =
+  let _ = Obs.Metrics.counter "t.kind.c" in
+  check_raises_invalid "re-registering as gauge" (fun () -> Obs.Metrics.gauge "t.kind.c")
+
+let test_reset_in_place () =
+  let c = Obs.Metrics.counter "t.reset.c" in
+  Obs.Metrics.incr ~by:5. c;
+  Obs.Metrics.reset ~prefix:"t.reset." ();
+  check_close "zeroed" 0. (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  check_close "handle still live after reset" 1. (Obs.Metrics.counter_value c)
+
+let test_histogram_percentiles_uniform () =
+  Obs.Metrics.reset ~prefix:"t.hist." ();
+  let h = Obs.Metrics.histogram "t.hist.uniform" in
+  (* 1..1000 uniformly: p50 = 500, p90 = 900, p99 = 990; log-bucket
+     resolution is 24/decade so answers must land within ~10% *)
+  for i = 1 to 1000 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  let rel_close msg expected actual =
+    if Float.abs (actual -. expected) > 0.10 *. expected then
+      Alcotest.failf "%s: expected ~%g, got %g" msg expected actual
+  in
+  rel_close "p50 of 1..1000" 500. (Obs.Metrics.percentile h 50.);
+  rel_close "p90 of 1..1000" 900. (Obs.Metrics.percentile h 90.);
+  rel_close "p99 of 1..1000" 990. (Obs.Metrics.percentile h 99.);
+  check_close "p0 clamps to min" 1. (Obs.Metrics.percentile h 0.);
+  check_close "p100 clamps to max" 1000. (Obs.Metrics.percentile h 100.);
+  let s = Obs.Metrics.summarize h in
+  Alcotest.(check int) "count" 1000 s.Obs.Metrics.count;
+  check_close "sum" 500500. s.Obs.Metrics.sum;
+  check_close "min" 1. s.Obs.Metrics.min;
+  check_close "max" 1000. s.Obs.Metrics.max
+
+let test_histogram_percentiles_bimodal () =
+  let h = Obs.Metrics.histogram "t.hist.bimodal" in
+  (* 90 samples at ~1ms, 10 at ~1s: p50 must sit in the fast mode,
+     p99 in the slow one — the property that localizes a slow tail *)
+  for _ = 1 to 90 do
+    Obs.Metrics.observe h 1e-3
+  done;
+  for _ = 1 to 10 do
+    Obs.Metrics.observe h 1.0
+  done;
+  check_in_range "p50 in fast mode" ~lo:0.8e-3 ~hi:1.2e-3 (Obs.Metrics.percentile h 50.);
+  check_in_range "p99 in slow mode" ~lo:0.8 ~hi:1.2 (Obs.Metrics.percentile h 99.);
+  let empty = Obs.Metrics.histogram "t.hist.empty" in
+  check_true "empty histogram percentile is nan"
+    (Float.is_nan (Obs.Metrics.percentile empty 50.))
+
+let test_histogram_underflow () =
+  let h = Obs.Metrics.histogram "t.hist.underflow" in
+  Obs.Metrics.observe h 0.;
+  Obs.Metrics.observe h 5.;
+  let s = Obs.Metrics.summarize h in
+  Alcotest.(check int) "zero-valued samples counted" 2 s.Obs.Metrics.count;
+  check_close "p25 resolves to min" 0. (Obs.Metrics.percentile h 25.)
+
+(* ------------------------------------------------------------------ *)
+(* tracing *)
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  let r =
+    Obs.Trace.with_span "outer" (fun () ->
+        Obs.Trace.with_span "inner.a" (fun () -> ()) ;
+        Obs.Trace.with_span "inner.b" (fun () -> 17))
+  in
+  Alcotest.(check int) "thunk result propagates" 17 r;
+  let spans = Obs.Trace.spans () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let outer = List.hd (span_named "outer") in
+  let a = List.hd (span_named "inner.a") in
+  let b = List.hd (span_named "inner.b") in
+  Alcotest.(check (option int)) "outer is a root" None outer.Obs.Trace.parent;
+  Alcotest.(check (option int)) "a nests under outer" (Some outer.Obs.Trace.id) a.Obs.Trace.parent;
+  Alcotest.(check (option int)) "b nests under outer" (Some outer.Obs.Trace.id) b.Obs.Trace.parent;
+  (* ordering: sorted by start, parents first; ids reflect open order *)
+  check_true "outer starts first" (outer.Obs.Trace.start <= a.Obs.Trace.start);
+  check_true "a starts before b" (a.Obs.Trace.id < b.Obs.Trace.id);
+  check_true "a closes before b opens" (a.Obs.Trace.stop <= b.Obs.Trace.start);
+  check_true "outer closes last" (outer.Obs.Trace.stop >= b.Obs.Trace.stop);
+  Alcotest.(check (list string)) "sorted order is outer, a, b"
+    [ "outer"; "inner.a"; "inner.b" ]
+    (List.map (fun s -> s.Obs.Trace.name) spans)
+
+let test_span_disabled_is_free () =
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled false;
+  let r = Obs.Trace.with_span "ghost" (fun () -> 3) in
+  Alcotest.(check int) "thunk still runs" 3 r;
+  Alcotest.(check int) "no spans buffered" 0 (List.length (Obs.Trace.spans ()))
+
+let test_span_closed_on_exception () =
+  with_tracing @@ fun () ->
+  (try Obs.Trace.with_span "boom" (fun () -> failwith "bang") with Failure _ -> ());
+  match span_named "boom" with
+  | [ s ] ->
+    check_true "stop recorded despite the raise" (not (Float.is_nan s.Obs.Trace.stop));
+    Alcotest.(check (option string)) "stack unwound" None (Obs.Trace.current ())
+  | other -> Alcotest.failf "expected 1 completed span, got %d" (List.length other)
+
+let test_span_attrs () =
+  with_tracing @@ fun () ->
+  Obs.Trace.with_span ~attrs:[ ("k", "v") ] "tagged" (fun () ->
+      Obs.Trace.add_attr "extra" "1");
+  let s = List.hd (span_named "tagged") in
+  Alcotest.(check (option string)) "static attr" (Some "v")
+    (List.assoc_opt "k" s.Obs.Trace.attrs);
+  Alcotest.(check (option string)) "dynamic attr" (Some "1")
+    (List.assoc_opt "extra" s.Obs.Trace.attrs)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round trips *)
+
+let test_json_round_trip () =
+  let v =
+    Obs.Json.(
+      Obj
+        [
+          ("s", Str "quote \" backslash \\ newline \n unicode \xc3\xa9");
+          ("n", Num 1.5);
+          ("i", Num 42.);
+          ("neg", Num (-0.125));
+          ("b", Bool true);
+          ("null", Null);
+          ("arr", Arr [ Num 1.; Str "two"; Obj [ ("deep", Bool false) ] ]);
+          ("empty_arr", Arr []);
+          ("empty_obj", Obj []);
+        ])
+  in
+  let reparsed = Obs.Json.of_string (Obs.Json.to_string v) in
+  check_true "compact round trip is identity" (reparsed = v);
+  let reparsed_pretty = Obs.Json.of_string (Obs.Json.to_string ~pretty:true v) in
+  check_true "pretty round trip is identity" (reparsed_pretty = v);
+  (match Obs.Json.of_string {| {"a": [1, 2.5e2, -3], "bA": "é😀"} |} with
+  | Obs.Json.Obj [ ("a", Obs.Json.Arr [ _; Obs.Json.Num x; _ ]); (key, _) ] ->
+    check_close "exponent parsed" 250. x;
+    Alcotest.(check string) "escaped key decoded" "b\x41" key
+  | _ -> Alcotest.fail "unexpected parse shape");
+  check_raises_invalid "trailing garbage rejected" (fun () ->
+      try Obs.Json.of_string "{} junk"
+      with Obs.Json.Parse_error _ -> invalid_arg "ok")
+
+let test_trace_json_round_trip () =
+  with_tracing (fun () ->
+      Obs.Trace.with_span "root" (fun () ->
+          Obs.Trace.with_span ~attrs:[ ("p", "0.8") ] "child" (fun () -> ()));
+      let doc = Obs.Export.trace_json () in
+      let reparsed = Obs.Json.of_string (Obs.Json.to_string doc) in
+      match Option.bind (Obs.Json.member "traceEvents" reparsed) Obs.Json.to_list with
+      | Some events ->
+        Alcotest.(check int) "one event per span" 2 (List.length events);
+        List.iter
+          (fun e ->
+            check_true "ts present"
+              (Option.is_some (Option.bind (Obs.Json.member "ts" e) Obs.Json.to_float));
+            check_true "dur present"
+              (Option.is_some (Option.bind (Obs.Json.member "dur" e) Obs.Json.to_float)))
+          events
+      | None -> Alcotest.fail "traceEvents missing after round trip")
+
+let test_metrics_json_round_trip () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter ~labels:[ ("layer", "t") ] "t.json.c" in
+  Obs.Metrics.incr ~by:7. c;
+  let h = Obs.Metrics.histogram "t.json.h" in
+  Obs.Metrics.observe h 0.5;
+  let doc = Obs.Export.metrics_json ~prefix:"t.json." () in
+  let reparsed = Obs.Json.of_string (Obs.Json.to_string doc) in
+  match Option.bind (Obs.Json.member "series" reparsed) Obs.Json.to_list with
+  | Some series ->
+    Alcotest.(check int) "two series survive the round trip" 2 (List.length series)
+  | None -> Alcotest.fail "series missing after round trip"
+
+(* ------------------------------------------------------------------ *)
+(* integration: the equilibrium pipeline leaves a full trace *)
+
+let test_nash_trace_all_layers () =
+  let game =
+    Subsidization.Subsidy_game.make
+      (Subsidization.Scenario.fig7_11_system ())
+      ~price:0.8 ~cap:1.0
+  in
+  Numerics.Robust.reset_stats ();
+  with_tracing @@ fun () ->
+  let eq = Obs.Trace.with_span "experiment:test" (fun () -> Subsidization.Nash.solve game) in
+  check_true "equilibrium converged" eq.Subsidization.Nash.converged;
+  (* every layer of the pipeline must have produced spans... *)
+  let count name = List.length (span_named name) in
+  check_true "nash.solve span" (count "nash.solve" = 1);
+  check_true "best_response.solve span" (count "best_response.solve" = 1);
+  check_true "equilibrium solve spans" (count "system.equilibrium_phi" > 0);
+  (* ...nested in pipeline order *)
+  let by_id =
+    List.fold_left
+      (fun acc s -> (s.Obs.Trace.id, s) :: acc)
+      [] (Obs.Trace.spans ())
+  in
+  let rec ancestors (s : Obs.Trace.span) =
+    match s.Obs.Trace.parent with
+    | None -> []
+    | Some p ->
+      let parent = List.assoc p by_id in
+      parent.Obs.Trace.name :: ancestors parent
+  in
+  let phi = List.hd (span_named "system.equilibrium_phi") in
+  let chain = ancestors phi in
+  check_true "equilibrium nests under best_response"
+    (List.mem "best_response.solve" chain);
+  check_true "equilibrium nests under nash.solve" (List.mem "nash.solve" chain);
+  check_true "equilibrium nests under the experiment root"
+    (List.mem "experiment:test" chain);
+  (* and the registry must agree with the legacy facade *)
+  let stats = Numerics.Robust.stats () in
+  check_close "per-layer counters sum to the facade total"
+    (float_of_int stats.Numerics.Robust.root_calls)
+    (Obs.Metrics.sum_counters "solver.root.calls");
+  check_true "utilization layer labelled"
+    (Obs.Metrics.sum_counters
+       ~where:(fun labels -> Obs.Metrics.label labels "layer" = Some "utilization")
+       "solver.root.calls"
+    > 0.)
+
+(* the satellite fix: Common.run scopes solver telemetry per run *)
+let test_per_run_stats_scoping () =
+  let fig4 = Experiments.Registry.find_exn "fig4" in
+  let _ = Experiments.Common.run fig4 in
+  let first = (Numerics.Robust.stats ()).Numerics.Robust.root_calls in
+  check_true "fig4 does root solves" (first > 0);
+  let _ = Experiments.Common.run fig4 in
+  let second = (Numerics.Robust.stats ()).Numerics.Robust.root_calls in
+  Alcotest.(check int) "second run reports its own count, not the running total"
+    first second;
+  (* opt-out keeps the old cumulative behaviour *)
+  let _ = Experiments.Common.run ~isolate_stats:false fig4 in
+  let third = (Numerics.Robust.stats ()).Numerics.Robust.root_calls in
+  Alcotest.(check int) "isolate_stats:false accumulates" (2 * first) third
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [ quick "monotone non-decreasing" test_clock_monotone ] );
+      ( "metrics",
+        [
+          quick "counter label merging" test_counter_label_merging;
+          quick "kind conflict rejected" test_kind_conflict;
+          quick "reset keeps handles live" test_reset_in_place;
+          quick "percentiles: uniform 1..1000" test_histogram_percentiles_uniform;
+          quick "percentiles: bimodal latency" test_histogram_percentiles_bimodal;
+          quick "underflow bucket" test_histogram_underflow;
+        ] );
+      ( "trace",
+        [
+          quick "nesting and ordering" test_span_nesting;
+          quick "disabled tracing buffers nothing" test_span_disabled_is_free;
+          quick "span closed on exception" test_span_closed_on_exception;
+          quick "attributes" test_span_attrs;
+        ] );
+      ( "json",
+        [
+          quick "value round trip" test_json_round_trip;
+          quick "trace export round trip" test_trace_json_round_trip;
+          quick "metrics export round trip" test_metrics_json_round_trip;
+        ] );
+      ( "integration",
+        [
+          quick "nash solve traces every layer" test_nash_trace_all_layers;
+          quick "per-run telemetry scoping" test_per_run_stats_scoping;
+        ] );
+    ]
