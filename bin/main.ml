@@ -60,7 +60,7 @@ let run_experiment id dir plots trace metrics =
   with_observability ~trace ~metrics @@ fun () ->
   let experiment = Experiments.Registry.find_exn id in
   let outcome = Experiments.Common.run experiment in
-  Experiments.Common.print ~plots outcome;
+  Experiments.Common.print ~plots ~out:stdout outcome;
   print_solver_telemetry ();
   (match dir with
   | Some dir ->

@@ -1,0 +1,89 @@
+(* sublint: the repo's own static-analysis gate.
+
+   Parses every .ml/.mli under the requested directories with the
+   compiler's parser, runs the Lint.Rules set, compares against the
+   committed lint.baseline ratchet and exits non-zero on any fresh
+   violation, stale baseline entry or unparseable file. *)
+
+let usage =
+  "sublint [options] [dir ...]\n\
+   Static-analysis pass enforcing the solver-layer invariants (DESIGN §10).\n\
+   Scans lib/ bin/ bench/ by default; exits 1 on findings beyond the\n\
+   committed baseline, on stale baseline entries, and on parse errors."
+
+let () =
+  let root = ref "." in
+  let baseline_path = ref "lint.baseline" in
+  let json_path = ref "" in
+  let update = ref false in
+  let show_all = ref false in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root to scan from (default .)");
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "PATH baseline file, relative to the cwd (default lint.baseline)" );
+      ( "--json",
+        Arg.Set_string json_path,
+        "PATH write the lint.v1 JSON record here ('-' for stdout)" );
+      ( "--update-baseline",
+        Arg.Set update,
+        " regenerate the baseline from the current findings and exit 0" );
+      ("--all", Arg.Set show_all, " print baselined findings too, not just new ones");
+    ]
+  in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  let dirs =
+    match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds
+  in
+  let report = Lint.Driver.scan ~root:!root ~dirs in
+  let baseline =
+    if !update then Lint.Baseline.empty
+    else
+      match Lint.Baseline.load ~path:!baseline_path with
+      | b -> b
+      | exception Lint.Baseline.Malformed msg ->
+        Printf.eprintf "sublint: malformed baseline %s: %s\n" !baseline_path msg;
+        exit 2
+  in
+  let drift = Lint.Baseline.diff ~baseline report.Lint.Driver.findings in
+  if !update then begin
+    Lint.Baseline.save ~path:!baseline_path
+      (Lint.Baseline.of_findings report.Lint.Driver.findings);
+    Printf.printf "%s\nsublint: wrote %d allowances to %s\n"
+      (Lint.Driver.summary report ~drift)
+      (List.length report.Lint.Driver.findings)
+      !baseline_path;
+    List.iter
+      (fun (file, msg) -> Printf.eprintf "sublint: cannot parse %s: %s\n" file msg)
+      report.Lint.Driver.parse_errors;
+    exit (if report.Lint.Driver.parse_errors = [] then 0 else 1)
+  end;
+  let flagged = Lint.Driver.with_freshness report ~drift in
+  let to_show =
+    if !show_all then flagged else List.filter (fun (_, fresh) -> fresh) flagged
+  in
+  (* with --json - the JSON record owns stdout; human output moves to stderr *)
+  let hout = if !json_path = "-" then stderr else stdout in
+  if to_show <> [] then
+    output_string hout (Report.Table.to_string (Lint.Driver.findings_table to_show));
+  List.iter
+    (fun (rule, file, allowed, actual) ->
+      Printf.fprintf hout
+        "stale baseline: %s allows %d x %s but only %d remain — regenerate with \
+         --update-baseline\n"
+        file allowed rule actual)
+    drift.Lint.Baseline.stale;
+  List.iter
+    (fun (file, msg) -> Printf.eprintf "sublint: cannot parse %s: %s\n" file msg)
+    report.Lint.Driver.parse_errors;
+  Printf.fprintf hout "%s\n" (Lint.Driver.summary report ~drift);
+  flush hout;
+  if !json_path <> "" then
+    Obs.Export.write_json ~path:!json_path
+      (Lint.Driver.json_report ~root:!root report ~drift);
+  let failed =
+    (not (Lint.Baseline.clean drift)) || report.Lint.Driver.parse_errors <> []
+  in
+  exit (if failed then 1 else 0)

@@ -17,9 +17,10 @@ type state = {
 }
 
 let make ?(utilization = Econ.Utilization.linear) ~cps ~capacity () =
-  if Array.length cps = 0 then invalid_arg "System.make: no content providers";
+  Precondition.require ~fn:"System.make" (Array.length cps > 0) "no content providers";
   if capacity <= 0. || not (Float.is_finite capacity) then
-    invalid_arg (Printf.sprintf "System.make: capacity must be positive, got %g" capacity);
+    Precondition.fail ~fn:"System.make"
+      (Printf.sprintf "capacity must be positive, got %g" capacity);
   { cps = Array.copy cps; utilization; capacity }
 
 let n_cps sys = Array.length sys.cps
@@ -28,8 +29,8 @@ let with_capacity sys capacity = make ~utilization:sys.utilization ~cps:sys.cps 
 
 let check_charges sys charges =
   if Vec.dim charges <> n_cps sys then
-    invalid_arg
-      (Printf.sprintf "System: %d charges for %d CPs" (Vec.dim charges) (n_cps sys))
+    Precondition.fail ~fn:"System"
+      (Printf.sprintf "%d charges for %d CPs" (Vec.dim charges) (n_cps sys))
 
 let populations_of sys charges =
   Vec.init (n_cps sys) (fun i -> Econ.Cp.population sys.cps.(i) charges.(i))
@@ -69,8 +70,19 @@ let equilibrium_phi_result ?(phi_guess = 1.) sys populations =
   let dg phi = gap_slope_with_populations sys populations phi in
   let guess = Float.max phi_guess 1e-6 in
   (* g(0) <= 0 always (zero supply, positive demand); equality means the
-     market clears at zero utilization *)
-  if (try g 0. >= 0. with _ -> false) then Ok 0.
+     market clears at zero utilization. The only exception g can raise
+     here is Invalid_argument, from the econ domain checks when the
+     system state is poisoned (e.g. a non-finite capacity injected past
+     System.make); that case must fall through to the robust chain,
+     whose guard turns the same Invalid_argument into a typed failure
+     with the full attempt history. Anything else is a genuine bug and
+     propagates. A non-finite probe value falls through likewise and is
+     diagnosed as Non_finite. *)
+  let probe = match g 0. with
+    | g0 -> Float.is_finite g0 && g0 >= 0.
+    | exception Invalid_argument _ -> false
+  in
+  if probe then Ok 0.
   else
     match
       Robust.root ~tol:1e-13 ~df:dg ~x0:guess ~domain:(0., Float.infinity)
@@ -118,12 +130,14 @@ let solve ?phi_guess sys ~charges =
   | Error e -> raise (Robust.Solver_error e)
 
 let solve_fixed_populations ?phi_guess sys ~populations =
-  if Vec.dim populations <> n_cps sys then
-    invalid_arg "System.solve_fixed_populations: dimension mismatch";
+  Precondition.require ~fn:"System.solve_fixed_populations"
+    (Vec.dim populations = n_cps sys)
+    "dimension mismatch";
   Array.iter
     (fun m ->
-      if m < 0. || not (Float.is_finite m) then
-        invalid_arg "System.solve_fixed_populations: populations must be non-negative")
+      Precondition.require ~fn:"System.solve_fixed_populations"
+        (m >= 0. && Float.is_finite m)
+        "populations must be non-negative")
     populations;
   let phi = equilibrium_phi_with_populations ?phi_guess sys populations in
   state_of sys (Vec.make (n_cps sys) Float.nan) (Vec.copy populations) phi

@@ -50,26 +50,30 @@ let save (outcome : outcome) ~dir =
       Report.Csv.write ~path:(Filename.concat (Filename.concat dir outcome.id) (name ^ ".csv")) table)
     outcome.tables
 
-let print ?(plots = true) (outcome : outcome) =
-  Printf.printf "== %s: %s ==\n" outcome.id outcome.title;
+(* output goes through the caller-supplied channel (NO-LIB-PRINT):
+   library code never owns stdout, bin/ does *)
+let print ?(plots = true) ?(out = stdout) (outcome : outcome) =
+  Printf.fprintf out "== %s: %s ==\n" outcome.id outcome.title;
   List.iter
     (fun (name, table) ->
-      Printf.printf "\n-- %s --\n%s\n" name (Report.Table.to_string table))
+      Printf.fprintf out "\n-- %s --\n%s\n" name (Report.Table.to_string table))
     outcome.tables;
   if plots then
     List.iter
       (fun (name, series) ->
-        Printf.printf "\n-- plot: %s --\n" name;
-        Report.Ascii_plot.print series)
+        Printf.fprintf out "\n-- plot: %s --\n" name;
+        Report.Ascii_plot.print ~out series)
       outcome.plots;
-  Printf.printf "\n-- shape checks --\n";
+  Printf.fprintf out "\n-- shape checks --\n";
+  let ppf = Format.formatter_of_out_channel out in
   List.iter
-    (fun c -> Format.printf "%a@." Subsidization.Theorems.pp_check c)
+    (fun c -> Format.fprintf ppf "%a@." Subsidization.Theorems.pp_check c)
     outcome.shape_checks;
+  Format.pp_print_flush ppf ();
   let passed =
     List.length (List.filter (fun c -> c.Subsidization.Theorems.passed) outcome.shape_checks)
   in
-  Printf.printf "%d/%d shape checks pass\n" passed (List.length outcome.shape_checks)
+  Printf.fprintf out "%d/%d shape checks pass\n" passed (List.length outcome.shape_checks)
 
 let shape_summary (outcome : outcome) =
   let passed =

@@ -46,9 +46,12 @@ val degraded_table : degraded list -> Report.Table.t
 val save : outcome -> dir:string -> unit
 (** Write every table as [dir/<id>/<name>.csv]. *)
 
-val print : ?plots:bool -> outcome -> unit
-(** Human-readable dump: tables, optional ASCII plots, then the shape
-    checks with a pass/fail summary. *)
+val print : ?plots:bool -> ?out:out_channel -> outcome -> unit
+(** Human-readable dump to [out] (default [stdout], normally supplied
+    by the [bin/] driver): tables, optional ASCII plots, then the shape
+    checks with a pass/fail summary. Library code must not print to
+    stdout implicitly (sublint NO-LIB-PRINT); this writer parameter is
+    how experiment output reaches the caller's channel. *)
 
 val shape_summary : outcome -> string
 (** One line: ["fig4: 3/3 shape checks pass"]. *)

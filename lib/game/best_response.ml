@@ -17,7 +17,8 @@ type outcome = {
 }
 
 let make ?marginal ?(respond_points = 25) ~box ~payoff () =
-  if respond_points < 5 then invalid_arg "Best_response.make: respond_points < 5";
+  Precondition.require ~fn:"Best_response.make" (respond_points >= 5)
+    "respond_points < 5";
   { box; payoff; marginal; respond_points }
 
 let with_coord s i si =
@@ -78,10 +79,12 @@ let respond game i s =
 
 let solve ?(scheme = Gauss_seidel) ?(damping = 1.) ?(tol = 1e-10) ?(max_sweeps = 500)
     game ~x0 =
-  if damping <= 0. || damping > 1. then
-    invalid_arg "Best_response.solve: damping must lie in (0, 1]";
+  Precondition.require ~fn:"Best_response.solve"
+    (damping > 0. && damping <= 1.)
+    "damping must lie in (0, 1]";
   let n = Box.dim game.box in
-  if Vec.dim x0 <> n then invalid_arg "Best_response.solve: profile dimension mismatch";
+  Precondition.require ~fn:"Best_response.solve" (Vec.dim x0 = n)
+    "profile dimension mismatch";
   Obs.Trace.with_span "best_response.solve" @@ fun () ->
   let s = ref (Box.project game.box x0) in
   let sweep () =
@@ -111,7 +114,8 @@ let solve ?(scheme = Gauss_seidel) ?(damping = 1.) ?(tol = 1e-10) ?(max_sweeps =
   outcome
 
 let solve_multistart ?scheme ?damping ?tol ?max_sweeps ?(starts = 5) rng game =
-  if starts < 1 then invalid_arg "Best_response.solve_multistart: starts must be positive";
+  Precondition.require ~fn:"Best_response.solve_multistart" (starts >= 1)
+    "starts must be positive";
   let fixed = [ Box.center game.box; Box.lo game.box; Box.hi game.box ] in
   let extra = List.init (Stdlib.max 0 (starts - 3)) (fun _ -> Box.random_point rng game.box) in
   let points =

@@ -6,10 +6,12 @@ type trace = { steps : step list; converged : bool }
 
 let run ?(scheme = Best_response.Gauss_seidel) ?(damping = 1.) ?(tol = 1e-10)
     ?(max_sweeps = 500) game ~x0 =
-  if damping <= 0. || damping > 1. then
-    invalid_arg "Tatonnement.run: damping must lie in (0, 1]";
+  Precondition.require ~fn:"Tatonnement.run"
+    (damping > 0. && damping <= 1.)
+    "damping must lie in (0, 1]";
   let n = Box.dim game.Best_response.box in
-  if Vec.dim x0 <> n then invalid_arg "Tatonnement.run: profile dimension mismatch";
+  Precondition.require ~fn:"Tatonnement.run" (Vec.dim x0 = n)
+    "profile dimension mismatch";
   Obs.Trace.with_span "tatonnement.run" @@ fun () ->
   let s = ref (Box.project game.Best_response.box x0) in
   let steps = ref [ { index = 0; profile = Vec.copy !s; move = infinity } ] in
@@ -55,7 +57,7 @@ let run_resilient ?scheme ?(damping = 1.) ?tol ?max_sweeps ?(max_retries = 4) ga
 let final t =
   match List.rev t.steps with
   | last :: _ -> last.profile
-  | [] -> invalid_arg "Tatonnement.final: empty trace"
+  | [] -> Precondition.fail ~fn:"Tatonnement.final" "empty trace"
 
 let contraction_estimate t =
   let moves =

@@ -1,0 +1,112 @@
+module Key = struct
+  type t = string * string (* rule id, repo-relative path *)
+
+  let compare (ra, fa) (rb, fb) =
+    let c = String.compare fa fb in
+    if c <> 0 then c else String.compare ra rb
+end
+
+module M = Map.Make (Key)
+
+type t = int M.t
+
+let empty = M.empty
+
+let count t ~rule ~file =
+  match M.find_opt (rule, file) t with Some n -> n | None -> 0
+
+let total t = M.fold (fun _ n acc -> acc + n) t 0
+
+let add key n t =
+  M.update key (function Some m -> Some (m + n) | None -> Some n) t
+
+let of_findings findings =
+  List.fold_left
+    (fun t (f : Finding.t) -> add (f.Finding.rule, f.Finding.file) 1 t)
+    empty findings
+
+let header =
+  "# sublint baseline: grandfathered violation allowances, one\n\
+   # \"<count> <rule> <path>\" per line. Regenerate deliberately with\n\
+   #   dune exec bin/sublint/sublint.exe -- --update-baseline\n\
+   # (never edit counts by hand to make CI pass).\n"
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  M.iter
+    (fun (rule, file) n ->
+      Buffer.add_string buf (Printf.sprintf "%d %s %s\n" n rule file))
+    t;
+  Buffer.contents buf
+
+exception Malformed of string
+
+let of_string s =
+  let t = ref empty in
+  String.split_on_char '\n' s
+  |> List.iteri (fun i line ->
+         let line = String.trim line in
+         if String.length line > 0 && line.[0] <> '#' then
+           match String.split_on_char ' ' line with
+           | [ n; rule; file ] -> begin
+             match int_of_string_opt n with
+             | Some n when n > 0 -> t := add (rule, file) n !t
+             | _ ->
+               raise
+                 (Malformed
+                    (Printf.sprintf "line %d: bad count %S" (i + 1) n))
+           end
+           | _ ->
+             raise
+               (Malformed
+                  (Printf.sprintf
+                     "line %d: expected \"<count> <rule> <path>\", got %S"
+                     (i + 1) line)));
+  !t
+
+let load ~path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    of_string s
+  end
+  else empty
+
+let save ~path t =
+  let oc = open_out_bin path in
+  output_string oc (to_string t);
+  close_out oc
+
+type drift = {
+  fresh : (Finding.t * int) list;
+  stale : (string * string * int * int) list;
+}
+
+let diff ~baseline findings =
+  let actual = of_findings findings in
+  (* walk findings in report order, letting each key's allowance absorb
+     the first [allowed] findings; the overflow is fresh *)
+  let seen = ref M.empty in
+  let fresh =
+    List.filter_map
+      (fun (f : Finding.t) ->
+        let key = (f.Finding.rule, f.Finding.file) in
+        let k = match M.find_opt key !seen with Some k -> k | None -> 0 in
+        seen := M.add key (k + 1) !seen;
+        let allowed = count baseline ~rule:f.Finding.rule ~file:f.Finding.file in
+        if k >= allowed then Some (f, allowed) else None)
+      (List.stable_sort Finding.compare findings)
+  in
+  let stale =
+    M.fold
+      (fun (rule, file) allowed acc ->
+        let n = count actual ~rule ~file in
+        if n < allowed then (rule, file, allowed, n) :: acc else acc)
+      baseline []
+    |> List.rev
+  in
+  { fresh; stale }
+
+let clean d = d.fresh = [] && d.stale = []

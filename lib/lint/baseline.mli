@@ -1,0 +1,59 @@
+(** The grandfathering ratchet: a committed snapshot of how many
+    violations of each rule each file is allowed.
+
+    Keying on [(rule, file) -> count] rather than on line numbers keeps
+    the baseline stable across unrelated edits: a finding moving ten
+    lines down does not trip CI, a {e new} finding in the same file
+    does. The file format is plain sorted text (one
+    [<count> <rule> <path>] triple per line, [#] comments allowed) so
+    diffs of [lint.baseline] review like any other code change.
+
+    Drift is symmetric and deliberate: a file exceeding its allowance
+    fails the build, and so does an allowance no longer backed by real
+    findings — a stale baseline must be regenerated with
+    [--update-baseline], never left silently rotting. *)
+
+type t
+(** A multiset of allowances, keyed by (rule id, repo-relative path). *)
+
+val empty : t
+
+val count : t -> rule:string -> file:string -> int
+(** Allowance for one key; 0 when absent. *)
+
+val total : t -> int
+(** Sum of all allowances. *)
+
+val of_findings : Finding.t list -> t
+
+val to_string : t -> string
+(** Render the committed file format, sorted by path then rule. *)
+
+exception Malformed of string
+(** Raised by {!of_string} with a line-annotated message. *)
+
+val of_string : string -> t
+(** Parse the committed file format; tolerates blank lines and [#]
+    comments. Duplicate keys sum. Raises {!Malformed} on anything
+    else. *)
+
+val load : path:string -> t
+(** Read and parse; a missing file is an empty baseline. *)
+
+val save : path:string -> t -> unit
+
+type drift = {
+  fresh : (Finding.t * int) list;
+      (** findings beyond their key's allowance, paired with it *)
+  stale : (string * string * int * int) list;
+      (** (rule, file, allowed, actual) entries whose allowance now
+          exceeds reality: the baseline must be regenerated *)
+}
+
+val diff : baseline:t -> Finding.t list -> drift
+(** Compare current findings against the allowance. Within one key the
+    {e last} findings in report order are the fresh ones (the baseline
+    cannot know which of n+1 findings is new; reporting any one of
+    them gets the author to the right file and rule). *)
+
+val clean : drift -> bool

@@ -1,0 +1,214 @@
+exception Parse_failed of string
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let lexbuf_of ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  lexbuf
+
+let parse_failed ~path what (loc : Location.t) =
+  Parse_failed
+    (Printf.sprintf "%s:%d:%d: %s" path loc.loc_start.Lexing.pos_lnum
+       (loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol)
+       what)
+
+let parse_implementation ~path src =
+  match Parse.implementation (lexbuf_of ~path src) with
+  | str -> str
+  | exception Syntaxerr.Error err ->
+    raise (parse_failed ~path "syntax error" (Syntaxerr.location_of_error err))
+  | exception Lexer.Error (_, loc) ->
+    raise (parse_failed ~path "lexer error" loc)
+
+let parse_interface ~path src =
+  match Parse.interface (lexbuf_of ~path src) with
+  | sg -> sg
+  | exception Syntaxerr.Error err ->
+    raise (parse_failed ~path "syntax error" (Syntaxerr.location_of_error err))
+  | exception Lexer.Error (_, loc) ->
+    raise (parse_failed ~path "lexer error" loc)
+
+let lint_string ~path src =
+  Rules.check_structure ~file:path (parse_implementation ~path src)
+
+type report = {
+  findings : Finding.t list;
+  files_scanned : int;
+  parse_errors : (string * string) list;
+}
+
+let rec walk root rel acc =
+  let dir = if rel = "" then root else Filename.concat root rel in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if String.equal name "_build" || (String.length name > 0 && name.[0] = '.')
+           then acc
+           else begin
+             let rel' = if rel = "" then name else rel ^ "/" ^ name in
+             let full = Filename.concat root rel' in
+             if Sys.is_directory full then walk root rel' acc
+             else if
+               Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+             then rel' :: acc
+             else acc
+           end)
+         acc
+
+let scan ~root ~dirs =
+  let files = List.fold_left (fun acc d -> walk root d acc) [] dirs in
+  let files = List.sort String.compare files in
+  let findings = ref (Rules.mli_required ~files) in
+  let parse_errors = ref [] in
+  let scanned = ref 0 in
+  List.iter
+    (fun rel ->
+      let src = read_file (Filename.concat root rel) in
+      incr scanned;
+      match
+        if Filename.check_suffix rel ".mli" then
+          ignore (parse_interface ~path:rel src)
+        else findings := lint_string ~path:rel src @ !findings
+      with
+      | () -> ()
+      | exception Parse_failed msg -> parse_errors := (rel, msg) :: !parse_errors)
+    files;
+  {
+    findings = List.stable_sort Finding.compare !findings;
+    files_scanned = !scanned;
+    parse_errors = List.rev !parse_errors;
+  }
+
+let with_freshness report ~drift =
+  let fresh = List.map fst drift.Baseline.fresh in
+  List.map (fun f -> (f, List.mem f fresh)) report.findings
+
+let findings_table flagged =
+  let table =
+    Report.Table.make ~columns:[ "location"; "rule"; "severity"; "state"; "message" ]
+  in
+  List.iter
+    (fun ((f : Finding.t), is_fresh) ->
+      Report.Table.add_row table
+        [
+          Printf.sprintf "%s:%d:%d" f.Finding.file f.Finding.line f.Finding.col;
+          f.Finding.rule;
+          Finding.severity_name f.Finding.severity;
+          (if is_fresh then "NEW" else "baselined");
+          f.Finding.message;
+        ])
+    flagged;
+  table
+
+let count_severity findings sev =
+  List.length (List.filter (fun (f : Finding.t) -> f.Finding.severity = sev) findings)
+
+let summary report ~drift =
+  let errors = count_severity report.findings Finding.Error in
+  let warnings = count_severity report.findings Finding.Warning in
+  let fresh = List.length drift.Baseline.fresh in
+  let stale = List.length drift.Baseline.stale in
+  Printf.sprintf
+    "sublint: %d files, %d findings (%d errors, %d warnings): %d new, %d \
+     baselined%s%s"
+    report.files_scanned
+    (List.length report.findings)
+    errors warnings fresh
+    (List.length report.findings - fresh)
+    (if stale > 0 then
+       Printf.sprintf "; %d stale baseline entr%s (run --update-baseline)" stale
+         (if stale = 1 then "y" else "ies")
+     else "")
+    (if report.parse_errors <> [] then
+       Printf.sprintf "; %d files failed to parse" (List.length report.parse_errors)
+     else "")
+
+let json_report ~root report ~drift =
+  let open Obs.Json in
+  let rules =
+    Arr
+      (List.map
+         (fun (r : Rules.t) ->
+           Obj
+             [
+               ("id", Str r.Rules.id);
+               ("severity", Str (Finding.severity_name r.Rules.severity));
+               ("doc", Str r.Rules.doc);
+               ( "applies_to",
+                 Arr (List.map (fun p -> Str p) r.Rules.scope.Rules.applies_to) );
+               ("exempt", Arr (List.map (fun p -> Str p) r.Rules.scope.Rules.exempt));
+             ])
+         Rules.all)
+  in
+  let findings =
+    Arr
+      (List.map
+         (fun ((f : Finding.t), is_fresh) ->
+           Obj
+             [
+               ("rule", Str f.Finding.rule);
+               ("severity", Str (Finding.severity_name f.Finding.severity));
+               ("file", Str f.Finding.file);
+               ("line", Num (float_of_int f.Finding.line));
+               ("col", Num (float_of_int f.Finding.col));
+               ("end_line", Num (float_of_int f.Finding.end_line));
+               ("end_col", Num (float_of_int f.Finding.end_col));
+               ("message", Str f.Finding.message);
+               ("fresh", Bool is_fresh);
+             ])
+         (with_freshness report ~drift))
+  in
+  let stale =
+    Arr
+      (List.map
+         (fun (rule, file, allowed, actual) ->
+           Obj
+             [
+               ("rule", Str rule);
+               ("file", Str file);
+               ("allowed", Num (float_of_int allowed));
+               ("actual", Num (float_of_int actual));
+             ])
+         drift.Baseline.stale)
+  in
+  let parse_errors =
+    Arr
+      (List.map
+         (fun (file, msg) -> Obj [ ("file", Str file); ("message", Str msg) ])
+         report.parse_errors)
+  in
+  Obj
+    [
+      ("schema", Str "lint.v1");
+      ("root", Str root);
+      ("files_scanned", Num (float_of_int report.files_scanned));
+      ("rules", rules);
+      ("findings", findings);
+      ("stale_baseline", stale);
+      ("parse_errors", parse_errors);
+      ( "summary",
+        Obj
+          [
+            ("total", Num (float_of_int (List.length report.findings)));
+            ( "errors",
+              Num (float_of_int (count_severity report.findings Finding.Error)) );
+            ( "warnings",
+              Num (float_of_int (count_severity report.findings Finding.Warning)) );
+            ("fresh", Num (float_of_int (List.length drift.Baseline.fresh)));
+            ( "baselined",
+              Num
+                (float_of_int
+                   (List.length report.findings - List.length drift.Baseline.fresh))
+            );
+            ("stale", Num (float_of_int (List.length drift.Baseline.stale)));
+            ("clean", Bool (Baseline.clean drift));
+          ] );
+    ]

@@ -1,0 +1,47 @@
+(** Orchestration: find sources, parse them with the compiler's own
+    parser, run the rule set, and render findings as a table and as a
+    [lint.v1] JSON record.
+
+    This module does no I/O to stdout itself (it must satisfy its own
+    NO-LIB-PRINT rule); rendering returns strings/tables/JSON and the
+    [bin/sublint] executable decides where they go. *)
+
+exception Parse_failed of string
+(** A source file the compiler's parser rejects (position-annotated
+    message). The repo's own sources always parse — this surfaces
+    truncated or corrupted files instead of silently skipping them. *)
+
+val lint_string : path:string -> string -> Finding.t list
+(** Parse one implementation held in memory (as the repo-relative
+    [path], which selects the applicable rules) and run every
+    expression-level rule over it. Raises {!Parse_failed}. The
+    file-level MLI-REQUIRED rule does not run here — see
+    {!Rules.mli_required}. *)
+
+type report = {
+  findings : Finding.t list;  (** sorted by file, line, column, rule *)
+  files_scanned : int;  (** .ml and .mli files parsed *)
+  parse_errors : (string * string) list;  (** path, message *)
+}
+
+val scan : root:string -> dirs:string list -> report
+(** Walk [dirs] (repo-relative, under [root]) recursively, skipping
+    [_build] and dot-directories; parse every [.ml] (rules) and [.mli]
+    (syntax only), and run MLI-REQUIRED over the discovered file set.
+    Parse failures are collected, not raised. *)
+
+val findings_table : (Finding.t * bool) list -> Report.Table.t
+(** Render findings as a [Report.Table]; the flag marks a finding as
+    fresh (beyond its baseline allowance) vs grandfathered. *)
+
+val with_freshness : report -> drift:Baseline.drift -> (Finding.t * bool) list
+(** Pair every finding with whether the drift marks it fresh. *)
+
+val summary : report -> drift:Baseline.drift -> string
+(** One human line: totals by severity, fresh vs baselined counts, and
+    stale-baseline entries if any. *)
+
+val json_report : root:string -> report -> drift:Baseline.drift -> Obs.Json.t
+(** The [lint.v1] record: schema tag, scanned-file count, the rule
+    taxonomy (id, severity, doc, scope), every finding with its
+    [fresh] flag, parse errors, and a summary block. *)

@@ -1,0 +1,289 @@
+type scope = { applies_to : string list; exempt : string list }
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;
+  scope : scope;
+}
+
+let solver_layers = [ "lib/numerics/"; "lib/game/"; "lib/core/" ]
+let everywhere = [ "lib/"; "bin/"; "bench/" ]
+
+let no_bare_raise =
+  {
+    id = "NO-BARE-RAISE";
+    severity = Finding.Error;
+    doc =
+      "solver layers must not fail via failwith/invalid_arg/assert false or \
+       untyped raise; errors flow through the Result discipline, \
+       preconditions through Numerics.Precondition";
+    scope =
+      {
+        applies_to = solver_layers;
+        exempt = [ "lib/numerics/precondition.ml" ];
+      };
+  }
+
+let no_swallow =
+  {
+    id = "NO-SWALLOW";
+    severity = Finding.Error;
+    doc =
+      "no catch-all exception handlers in library code: a swallowed solver \
+       exception becomes a wrong equilibrium, not an error";
+    scope = { applies_to = [ "lib/" ]; exempt = [] };
+  }
+
+let no_raw_clock =
+  {
+    id = "NO-RAW-CLOCK";
+    severity = Finding.Error;
+    doc = "Obs.Clock is the only sanctioned time source";
+    scope = { applies_to = everywhere; exempt = [ "lib/obs/clock.ml" ] };
+  }
+
+let no_lib_print =
+  {
+    id = "NO-LIB-PRINT";
+    severity = Finding.Error;
+    doc =
+      "library code must not write to stdout implicitly; output goes through \
+       Report/Obs.Export or a caller-supplied channel";
+    scope = { applies_to = [ "lib/" ]; exempt = [ "lib/obs/export.ml" ] };
+  }
+
+let no_float_eq =
+  {
+    id = "NO-FLOAT-EQ";
+    severity = Finding.Warning;
+    doc =
+      "no =, <>, == or != against a float literal; numerically delicate \
+       comparisons need an explicit tolerance";
+    scope = { applies_to = everywhere; exempt = [] };
+  }
+
+let no_obj_magic =
+  {
+    id = "NO-OBJ-MAGIC";
+    severity = Finding.Error;
+    doc = "Obj.magic defeats the type system";
+    scope = { applies_to = everywhere; exempt = [] };
+  }
+
+let mli_required_rule =
+  {
+    id = "MLI-REQUIRED";
+    severity = Finding.Error;
+    doc = "every lib/**/*.ml declares its interface in a sibling .mli";
+    scope = { applies_to = [ "lib/" ]; exempt = [] };
+  }
+
+let all =
+  [
+    no_bare_raise;
+    no_swallow;
+    no_raw_clock;
+    no_lib_print;
+    no_float_eq;
+    no_obj_magic;
+    mli_required_rule;
+  ]
+
+let find id = List.find_opt (fun r -> String.equal r.id id) all
+
+let applies r path =
+  List.exists (fun p -> String.starts_with ~prefix:p path) r.scope.applies_to
+  && not (List.exists (fun p -> String.starts_with ~prefix:p path) r.scope.exempt)
+
+(* ---- identifier classification ---------------------------------- *)
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let lid_name lid = String.concat "." (flatten_lid lid)
+
+let last_component lid =
+  match List.rev (flatten_lid lid) with [] -> "" | s :: _ -> s
+
+let failwith_fns =
+  [ "failwith"; "invalid_arg"; "Stdlib.failwith"; "Stdlib.invalid_arg" ]
+
+let raise_fns =
+  [ "raise"; "raise_notrace"; "Stdlib.raise"; "Stdlib.raise_notrace" ]
+
+let allowed_exceptions =
+  [ "Solver_error"; "No_convergence"; "No_bracket"; "Budget_exceeded"; "Poison" ]
+
+let clock_fns = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let print_fns =
+  [
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "Stdlib.print_string";
+    "Stdlib.print_endline";
+    "Stdlib.print_newline";
+    "Printf.printf";
+    "Format.printf";
+    "Format.print_string";
+    "Format.print_newline";
+  ]
+
+let magic_fns = [ "Obj.magic" ]
+
+let float_eq_ops = [ "="; "<>"; "=="; "!=" ]
+
+let mem name l = List.exists (String.equal name) l
+
+(* ---- pattern/expression helpers --------------------------------- *)
+
+open Parsetree
+
+let rec catch_all_pattern p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> catch_all_pattern p
+  | Ppat_or (a, b) -> catch_all_pattern a || catch_all_pattern b
+  | _ -> false
+
+let is_float_literal e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+let is_assert_false e =
+  match e.pexp_desc with
+  | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
+    -> true
+  | _ -> false
+
+(* ---- the walk ---------------------------------------------------- *)
+
+let check_structure ~file str =
+  let active = List.filter (fun r -> applies r file) all in
+  if active = [] then []
+  else begin
+    let on id = List.exists (fun r -> String.equal r.id id) active in
+    let bare = on no_bare_raise.id
+    and swallow = on no_swallow.id
+    and clock = on no_raw_clock.id
+    and print = on no_lib_print.id
+    and float_eq = on no_float_eq.id
+    and magic = on no_obj_magic.id in
+    let acc = ref [] in
+    let emit rule loc message =
+      acc := Finding.make ~rule:rule.id ~severity:rule.severity ~file ~loc message :: !acc
+    in
+    let check_ident loc lid =
+      let name = lid_name lid in
+      if bare && mem name failwith_fns then
+        emit no_bare_raise loc
+          (Printf.sprintf
+             "%s bypasses the typed-error discipline (DESIGN \xc2\xa78); return \
+              an Error or use Numerics.Precondition"
+             name);
+      if clock && mem name clock_fns then
+        emit no_raw_clock loc
+          (Printf.sprintf "%s bypasses Obs.Clock, the sanctioned time source" name);
+      if print && mem name print_fns then
+        emit no_lib_print loc
+          (Printf.sprintf
+             "%s writes to stdout from library code; route output through \
+              Report/Obs.Export or a caller-supplied channel"
+             name);
+      if magic && mem name magic_fns then
+        emit no_obj_magic loc "Obj.magic defeats the type system"
+    in
+    let check_raise loc lid args =
+      if bare && mem (lid_name lid) raise_fns then
+        match args with
+        | [ (_, { pexp_desc = Pexp_construct ({ txt = exn; _ }, _); _ }) ] ->
+          let ctor = last_component exn in
+          if not (mem ctor allowed_exceptions) then
+            emit no_bare_raise loc
+              (Printf.sprintf
+                 "raise %s is outside the typed solver taxonomy (%s); return an \
+                  Error or use Numerics.Precondition"
+                 ctor
+                 (String.concat ", " allowed_exceptions))
+        | [ (_, { pexp_desc = Pexp_ident _; _ }) ] ->
+          (* re-raising a caught exception keeps it observable *)
+          ()
+        | _ ->
+          emit no_bare_raise loc
+            "raise of a computed exception is outside the typed solver taxonomy"
+    in
+    let check_cases ~exception_cases_only cases =
+      if swallow then
+        List.iter
+          (fun case ->
+            let flag p =
+              if catch_all_pattern p then
+                emit no_swallow p.ppat_loc
+                  "catch-all exception handler swallows genuine solver \
+                   failures; match the specific exceptions instead"
+            in
+            match case.pc_lhs.ppat_desc with
+            | Ppat_exception p -> flag p
+            | _ -> if not exception_cases_only then flag case.pc_lhs)
+          cases
+    in
+    let iter =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; _ } -> check_ident e.pexp_loc txt
+            | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> begin
+              check_raise e.pexp_loc txt args;
+              if float_eq && mem (lid_name txt) float_eq_ops then
+                match args with
+                | [ (_, a); (_, b) ] when is_float_literal a || is_float_literal b ->
+                  emit no_float_eq e.pexp_loc
+                    (Printf.sprintf
+                       "(%s) against a float literal; compare with an explicit \
+                        tolerance instead"
+                       (lid_name txt))
+                | _ -> ()
+            end
+            | Pexp_try (_, cases) -> check_cases ~exception_cases_only:false cases
+            | Pexp_match (_, cases) -> check_cases ~exception_cases_only:true cases
+            | _ -> ());
+            if bare && is_assert_false e then
+              emit no_bare_raise e.pexp_loc
+                "assert false bypasses the typed-error discipline (DESIGN \xc2\xa78)";
+            Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    iter.structure iter str;
+    List.stable_sort Finding.compare (List.rev !acc)
+  end
+
+let mli_required ~files =
+  let have_mli =
+    List.filter (fun f -> Filename.check_suffix f ".mli") files
+  in
+  files
+  |> List.filter_map (fun f ->
+         if
+           Filename.check_suffix f ".ml"
+           && applies mli_required_rule f
+           && not (mem (f ^ "i") have_mli)
+         then
+           Some
+             (Finding.at_file ~rule:mli_required_rule.id
+                ~severity:mli_required_rule.severity ~file:f
+                (Printf.sprintf
+                   "%s has no sibling .mli; every library module must declare \
+                    its interface"
+                   f))
+         else None)
+  |> List.stable_sort Finding.compare

@@ -1,0 +1,50 @@
+(** The sublint rule set: the solver-layer invariants from DESIGN §8/§9
+    expressed as syntactic checks over the Parsetree.
+
+    Each rule carries a stable id (the baseline key), a severity, a
+    one-line doc string and a path scope: the directory prefixes it
+    applies to plus an explicit allowlist of sanctioned files (e.g.
+    [lib/obs/clock.ml] is the one place allowed to call
+    [Unix.gettimeofday]). Scoping is purely prefix-based on
+    repo-relative '/'-separated paths, so the same rule set gives the
+    same answer on every machine. *)
+
+type scope = {
+  applies_to : string list;
+      (** path prefixes the rule covers; never empty *)
+  exempt : string list;
+      (** allowlisted path prefixes (sanctioned implementation sites) *)
+}
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;
+  scope : scope;
+}
+
+val all : t list
+(** Every rule, in reporting order: NO-BARE-RAISE, NO-SWALLOW,
+    NO-RAW-CLOCK, NO-LIB-PRINT, NO-FLOAT-EQ, NO-OBJ-MAGIC,
+    MLI-REQUIRED. *)
+
+val find : string -> t option
+(** Look a rule up by id. *)
+
+val applies : t -> string -> bool
+(** Does the rule cover this repo-relative path? True when some
+    [applies_to] prefix matches and no [exempt] prefix does. *)
+
+val allowed_exceptions : string list
+(** Constructor names (last component) that NO-BARE-RAISE accepts in a
+    [raise]: the typed solver taxonomy of DESIGN §8 ([Solver_error],
+    [No_convergence], [No_bracket], [Budget_exceeded], [Poison]).
+    Re-raising a caught exception variable is also always allowed. *)
+
+val check_structure : file:string -> Parsetree.structure -> Finding.t list
+(** Run every expression-level rule whose scope covers [file] over a
+    parsed implementation; findings come back in source order. *)
+
+val mli_required : files:string list -> Finding.t list
+(** The file-level MLI-REQUIRED rule: one finding per in-scope [.ml]
+    path in [files] with no sibling [.mli] in [files]. *)

@@ -3,8 +3,9 @@ exception No_convergence of string
 type 'a result = { point : 'a; residual : float; iterations : int }
 
 let check_damping damping =
-  if damping <= 0. || damping > 1. then
-    invalid_arg "Fixedpoint: damping must lie in (0, 1]"
+  Precondition.require ~fn:"Fixedpoint"
+    (damping > 0. && damping <= 1.)
+    "damping must lie in (0, 1]"
 
 (* Convergence is tested on the undamped residual |f x - x|: the damped
    step |x' - x| = damping * |f x - x| would declare convergence at a

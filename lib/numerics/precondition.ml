@@ -1,0 +1,6 @@
+(* The one sanctioned invalid_arg site in the solver layers: sublint's
+   NO-BARE-RAISE exempts this file (see DESIGN §10). *)
+
+let fail ~fn detail = invalid_arg (fn ^ ": " ^ detail)
+
+let require ~fn cond detail = if not cond then fail ~fn detail

@@ -1,0 +1,19 @@
+(** The shared precondition-error constructor of DESIGN §8.
+
+    Preconditions guard {e caller} bugs — dimension mismatches,
+    parameters outside their documented domain — and those stay
+    exceptions ([Invalid_argument], so existing handlers and tests keep
+    working) rather than polluting every solver signature with a
+    [Result]. What the discipline forbids is {e ad-hoc} [invalid_arg] /
+    [failwith] scattered through solver code, where a runtime numerical
+    failure could masquerade as a caller bug; this module is the single
+    sanctioned site (sublint's NO-BARE-RAISE rule exempts it and flags
+    everything else). *)
+
+val fail : fn:string -> string -> 'a
+(** [fail ~fn detail] raises [Invalid_argument "<fn>: <detail>"]. *)
+
+val require : fn:string -> bool -> string -> unit
+(** [require ~fn cond detail] is [fail ~fn detail] when [cond] is
+    false. The message is a plain string so nothing is formatted on the
+    (hot) satisfied path. *)

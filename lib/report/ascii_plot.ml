@@ -74,4 +74,4 @@ let render ?(config = default) series =
     series;
   Buffer.contents buf
 
-let print ?config series = print_string (render ?config series)
+let print ?config ?(out = stdout) series = output_string out (render ?config series)

@@ -15,4 +15,6 @@ val render : ?config:config -> Series.t list -> string
     glyph ([*], [+], [o], [x], [#], ...) and listed in the legend. All
     series must be non-empty; the x ranges may differ. *)
 
-val print : ?config:config -> Series.t list -> unit
+val print : ?config:config -> ?out:out_channel -> Series.t list -> unit
+(** [render] to [out] (default [stdout]); callers in library code pass
+    their own channel so output stays caller-controlled. *)

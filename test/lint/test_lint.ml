@@ -1,0 +1,309 @@
+(* Static-analysis suite: every sublint rule fires on a minimal inline
+   fixture and stays silent on its clean counterpart; rule scoping and
+   allowlisting are honoured; the baseline ratchet round-trips through
+   its file format and detects both fresh findings and stale
+   allowances; and the lint.v1 JSON record parses back with the
+   documented shape. *)
+
+open Test_helpers
+
+let lint ~path src = Lint.Driver.lint_string ~path src
+
+let count rule findings =
+  List.length (List.filter (fun f -> String.equal f.Lint.Finding.rule rule) findings)
+
+let check_fires msg rule ~path src =
+  Alcotest.(check bool) msg true (count rule (lint ~path src) > 0)
+
+let check_silent msg rule ~path src =
+  Alcotest.(check int) msg 0 (count rule (lint ~path src))
+
+(* ------------------------------------------------------------------ *)
+(* NO-BARE-RAISE *)
+
+let solver_path = "lib/numerics/fixture.ml"
+
+let test_bare_raise_positive () =
+  check_fires "failwith fires" "NO-BARE-RAISE" ~path:solver_path
+    {|let f x = if x < 0 then failwith "neg" else x|};
+  check_fires "invalid_arg fires" "NO-BARE-RAISE" ~path:solver_path
+    {|let f x = if x < 0 then invalid_arg "neg" else x|};
+  check_fires "assert false fires" "NO-BARE-RAISE" ~path:solver_path
+    {|let f = function Some x -> x | None -> assert false|};
+  check_fires "raise outside the taxonomy fires" "NO-BARE-RAISE" ~path:solver_path
+    {|let f () = raise Exit|}
+
+let test_bare_raise_negative () =
+  check_silent "Result-typed failure is clean" "NO-BARE-RAISE" ~path:solver_path
+    {|let f x = if x < 0 then Error `Negative else Ok x|};
+  check_silent "typed taxonomy raise is allowed" "NO-BARE-RAISE" ~path:solver_path
+    {|let f () = raise (No_convergence "10 iterations")|};
+  check_silent "re-raising a caught exception is allowed" "NO-BARE-RAISE"
+    ~path:solver_path
+    {|let f g = try g () with Division_by_zero as e -> print_count (); raise e|}
+
+let test_bare_raise_scope () =
+  (* the rule covers solver layers only, and exempts the sanctioned
+     precondition module *)
+  check_silent "lib/econ is out of scope" "NO-BARE-RAISE" ~path:"lib/econ/fixture.ml"
+    {|let f () = failwith "boom"|};
+  check_silent "bin/ is out of scope" "NO-BARE-RAISE" ~path:"bin/fixture.ml"
+    {|let f () = failwith "boom"|};
+  check_silent "precondition.ml is the sanctioned site" "NO-BARE-RAISE"
+    ~path:"lib/numerics/precondition.ml"
+    {|let fail ~fn detail = invalid_arg (fn ^ ": " ^ detail)|}
+
+(* ------------------------------------------------------------------ *)
+(* NO-SWALLOW *)
+
+let test_swallow_positive () =
+  check_fires "catch-all try fires" "NO-SWALLOW" ~path:"lib/core/fixture.ml"
+    {|let f g = try g 0. >= 0. with _ -> false|};
+  check_fires "catch-all match-exception fires" "NO-SWALLOW"
+    ~path:"lib/core/fixture.ml"
+    {|let f g = match g () with x -> x | exception _ -> 0.|}
+
+let test_swallow_negative () =
+  check_silent "typed handler is clean" "NO-SWALLOW" ~path:"lib/core/fixture.ml"
+    {|let f g = try Some (g ()) with Not_found -> None|};
+  check_silent "typed match-exception handler is clean" "NO-SWALLOW"
+    ~path:"lib/core/fixture.ml"
+    {|let f g = match g () with x -> x | exception Invalid_argument _ -> 0.|}
+
+(* ------------------------------------------------------------------ *)
+(* NO-RAW-CLOCK *)
+
+let test_raw_clock_positive () =
+  check_fires "Unix.gettimeofday fires" "NO-RAW-CLOCK" ~path:"lib/core/fixture.ml"
+    {|let now () = Unix.gettimeofday ()|};
+  check_fires "Sys.time fires" "NO-RAW-CLOCK" ~path:"bench/fixture.ml"
+    {|let cpu () = Sys.time ()|}
+
+let test_raw_clock_negative () =
+  check_silent "Obs.Clock is the sanctioned source" "NO-RAW-CLOCK"
+    ~path:"lib/core/fixture.ml" {|let now () = Obs.Clock.now ()|};
+  check_silent "clock.ml itself is exempt" "NO-RAW-CLOCK" ~path:"lib/obs/clock.ml"
+    {|let now () = Unix.gettimeofday ()|}
+
+(* ------------------------------------------------------------------ *)
+(* NO-LIB-PRINT *)
+
+let test_lib_print_positive () =
+  check_fires "Printf.printf fires" "NO-LIB-PRINT" ~path:"lib/game/fixture.ml"
+    {|let f () = Printf.printf "sweep %d\n" 3|};
+  check_fires "print_endline fires" "NO-LIB-PRINT" ~path:"lib/game/fixture.ml"
+    {|let f () = print_endline "done"|};
+  check_fires "Format.printf fires" "NO-LIB-PRINT" ~path:"lib/experiments/fixture.ml"
+    {|let f pp c = Format.printf "%a" pp c|}
+
+let test_lib_print_negative () =
+  check_silent "fprintf to a caller channel is clean" "NO-LIB-PRINT"
+    ~path:"lib/game/fixture.ml"
+    {|let f out = Printf.fprintf out "sweep %d\n" 3|};
+  check_silent "sprintf is clean" "NO-LIB-PRINT" ~path:"lib/game/fixture.ml"
+    {|let f n = Printf.sprintf "%d" n|};
+  check_silent "bin/ may own stdout" "NO-LIB-PRINT" ~path:"bin/fixture.ml"
+    {|let f () = print_endline "done"|};
+  check_silent "export.ml is the sanctioned stdout sink" "NO-LIB-PRINT"
+    ~path:"lib/obs/export.ml" {|let f line = print_endline line|}
+
+(* ------------------------------------------------------------------ *)
+(* NO-FLOAT-EQ *)
+
+let test_float_eq_positive () =
+  let findings = lint ~path:"lib/numerics/fixture.ml" {|let f x = x = 0.|} in
+  Alcotest.(check int) "float-literal = fires" 1 (count "NO-FLOAT-EQ" findings);
+  (match findings with
+  | [ f ] ->
+    Alcotest.(check string) "severity is warning" "warning"
+      (Lint.Finding.severity_name f.Lint.Finding.severity)
+  | _ -> Alcotest.fail "expected exactly one finding");
+  check_fires "literal on the left fires" "NO-FLOAT-EQ" ~path:"lib/numerics/fixture.ml"
+    {|let f x = 1.0 <> x|};
+  check_fires "physical equality fires" "NO-FLOAT-EQ" ~path:"lib/numerics/fixture.ml"
+    {|let f x = x == 0.|}
+
+let test_float_eq_negative () =
+  check_silent "no literal involved is clean" "NO-FLOAT-EQ"
+    ~path:"lib/numerics/fixture.ml" {|let f x y = x = y|};
+  check_silent "integer literals are clean" "NO-FLOAT-EQ"
+    ~path:"lib/numerics/fixture.ml" {|let f n = n = 0|};
+  check_silent "tolerance comparison is clean" "NO-FLOAT-EQ"
+    ~path:"lib/numerics/fixture.ml" {|let f x = Float.abs x <= 1e-12|}
+
+(* ------------------------------------------------------------------ *)
+(* NO-OBJ-MAGIC *)
+
+let test_obj_magic_positive () =
+  check_fires "Obj.magic fires" "NO-OBJ-MAGIC" ~path:"lib/core/fixture.ml"
+    {|let f x = (Obj.magic x : int)|}
+
+let test_obj_magic_negative () =
+  check_silent "ordinary coercion is clean" "NO-OBJ-MAGIC" ~path:"lib/core/fixture.ml"
+    {|let f x = (x :> int)|}
+
+(* ------------------------------------------------------------------ *)
+(* MLI-REQUIRED *)
+
+let test_mli_required_positive () =
+  let findings =
+    Lint.Rules.mli_required ~files:[ "lib/foo/a.ml"; "lib/foo/b.ml"; "lib/foo/b.mli" ]
+  in
+  Alcotest.(check int) "one missing interface" 1 (count "MLI-REQUIRED" findings);
+  match findings with
+  | [ f ] -> Alcotest.(check string) "names the bare module" "lib/foo/a.ml" f.Lint.Finding.file
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_mli_required_negative () =
+  Alcotest.(check int) "paired module is clean" 0
+    (List.length
+       (Lint.Rules.mli_required ~files:[ "lib/foo/a.ml"; "lib/foo/a.mli" ]));
+  Alcotest.(check int) "executables are out of scope" 0
+    (List.length (Lint.Rules.mli_required ~files:[ "bin/main.ml"; "bench/main.ml" ]))
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+let test_parse_failure () =
+  match lint ~path:"lib/core/fixture.ml" "let f = (" with
+  | _ -> Alcotest.fail "expected Parse_failed"
+  | exception Lint.Driver.Parse_failed msg ->
+    check_true "message names the file" (String.length msg > 0)
+
+(* ------------------------------------------------------------------ *)
+(* baseline ratchet *)
+
+let two_findings () =
+  lint ~path:solver_path {|let f () = failwith "a"
+let g () = invalid_arg "b"|}
+
+let test_baseline_round_trip () =
+  let findings = two_findings () in
+  let b = Lint.Baseline.of_findings findings in
+  let reparsed = Lint.Baseline.of_string (Lint.Baseline.to_string b) in
+  Alcotest.(check int) "total survives the round trip" (Lint.Baseline.total b)
+    (Lint.Baseline.total reparsed);
+  Alcotest.(check int) "per-key allowance survives" 2
+    (Lint.Baseline.count reparsed ~rule:"NO-BARE-RAISE" ~file:solver_path);
+  match Lint.Baseline.of_string "3 NO-BARE-RAISE\n" with
+  | _ -> Alcotest.fail "expected Malformed"
+  | exception Lint.Baseline.Malformed _ -> ()
+
+let test_baseline_ratchet () =
+  let findings = two_findings () in
+  let b = Lint.Baseline.of_findings findings in
+  (* same findings: clean *)
+  check_true "allowance absorbs the findings"
+    (Lint.Baseline.clean (Lint.Baseline.diff ~baseline:b findings));
+  (* one extra finding in the same file: exactly one fresh *)
+  let more =
+    findings
+    @ lint ~path:solver_path {|let h () = failwith "c"|}
+  in
+  let drift = Lint.Baseline.diff ~baseline:b more in
+  Alcotest.(check int) "one fresh finding" 1
+    (List.length drift.Lint.Baseline.fresh);
+  check_true "drift is not clean" (not (Lint.Baseline.clean drift));
+  (* a fixed violation leaves a stale allowance: deliberate regeneration *)
+  let drift = Lint.Baseline.diff ~baseline:b (List.tl findings) in
+  Alcotest.(check int) "stale allowance detected" 1
+    (List.length drift.Lint.Baseline.stale);
+  check_true "stale baseline is not clean" (not (Lint.Baseline.clean drift))
+
+(* ------------------------------------------------------------------ *)
+(* lint.v1 JSON *)
+
+let test_json_shape () =
+  let findings = two_findings () in
+  let report =
+    { Lint.Driver.findings; files_scanned = 1; parse_errors = [] }
+  in
+  let drift = Lint.Baseline.diff ~baseline:Lint.Baseline.empty findings in
+  let json = Lint.Driver.json_report ~root:"." report ~drift in
+  (* the record must survive the repo's own JSON parser *)
+  let parsed = Obs.Json.of_string (Obs.Json.to_string json) in
+  let member name =
+    match Obs.Json.member name parsed with
+    | Some v -> v
+    | None -> Alcotest.failf "missing %s" name
+  in
+  (match member "schema" with
+  | Obs.Json.Str s -> Alcotest.(check string) "schema tag" "lint.v1" s
+  | _ -> Alcotest.fail "schema is not a string");
+  (match Obs.Json.to_list (member "rules") with
+  | Some rules ->
+    Alcotest.(check int) "all seven rules described" 7 (List.length rules);
+    List.iter
+      (fun r ->
+        List.iter
+          (fun field ->
+            if Obs.Json.member field r = None then Alcotest.failf "rule lacks %s" field)
+          [ "id"; "severity"; "doc"; "applies_to"; "exempt" ])
+      rules
+  | None -> Alcotest.fail "rules is not an array");
+  (match Obs.Json.to_list (member "findings") with
+  | Some fs ->
+    Alcotest.(check int) "every finding exported" (List.length findings)
+      (List.length fs);
+    List.iter
+      (fun f ->
+        List.iter
+          (fun field ->
+            if Obs.Json.member field f = None then
+              Alcotest.failf "finding lacks %s" field)
+          [ "rule"; "severity"; "file"; "line"; "col"; "message"; "fresh" ])
+      fs
+  | None -> Alcotest.fail "findings is not an array");
+  match Obs.Json.member "total" (member "summary") with
+  | Some total ->
+    Alcotest.(check (option (float 0.)))
+      "summary total" (Some 2.) (Obs.Json.to_float total)
+  | None -> Alcotest.fail "summary lacks total"
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "no-bare-raise",
+        [
+          quick "fires on failwith/invalid_arg/assert false" test_bare_raise_positive;
+          quick "silent on typed errors" test_bare_raise_negative;
+          quick "scoped to solver layers" test_bare_raise_scope;
+        ] );
+      ( "no-swallow",
+        [
+          quick "fires on catch-alls" test_swallow_positive;
+          quick "silent on typed handlers" test_swallow_negative;
+        ] );
+      ( "no-raw-clock",
+        [
+          quick "fires on raw time sources" test_raw_clock_positive;
+          quick "silent on Obs.Clock and in clock.ml" test_raw_clock_negative;
+        ] );
+      ( "no-lib-print",
+        [
+          quick "fires on implicit stdout" test_lib_print_positive;
+          quick "silent on channels and in bin/" test_lib_print_negative;
+        ] );
+      ( "no-float-eq",
+        [
+          quick "fires on float-literal comparison" test_float_eq_positive;
+          quick "silent without literals" test_float_eq_negative;
+        ] );
+      ( "no-obj-magic",
+        [
+          quick "fires on Obj.magic" test_obj_magic_positive;
+          quick "silent on ordinary code" test_obj_magic_negative;
+        ] );
+      ( "mli-required",
+        [
+          quick "fires on a bare lib module" test_mli_required_positive;
+          quick "silent on paired and out-of-scope files" test_mli_required_negative;
+        ] );
+      ("parsing", [ quick "syntax errors surface" test_parse_failure ]);
+      ( "baseline",
+        [
+          quick "file-format round trip" test_baseline_round_trip;
+          quick "ratchet: fresh and stale drift" test_baseline_ratchet;
+        ] );
+      ("json", [ quick "lint.v1 shape" test_json_shape ]);
+    ]
