@@ -1,5 +1,7 @@
 (* Command-line interface: regenerate any of the paper's figures, run
-   the theorem-verification suite, or explore custom market points. *)
+   the theorem-verification suite, explore custom market points, or
+   drive the supervised runner (deadlines, retries, crash-safe
+   manifests, chaos sweeps). *)
 
 open Cmdliner
 
@@ -25,6 +27,62 @@ let metrics_arg =
      timings) as JSON to $(docv); '-' prints the JSON as the final stdout line."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* -- supervision options ------------------------------------------- *)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock deadline per experiment, in seconds: the cooperative watchdog \
+     aborts any experiment that exceeds it and records a timed_out manifest entry."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline-s" ] ~docv:"S" ~doc)
+
+let max_evals_arg =
+  let doc =
+    "Objective-evaluation budget per experiment; exceeding it records an \
+     out_of_budget manifest entry."
+  in
+  Arg.(value & opt (some int) None & info [ "max-evals" ] ~docv:"N" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry an experiment up to $(docv) extra times on retryable (typed solver) \
+     failures, with exponential backoff."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let backoff_arg =
+  let doc = "Backoff before the first retry, in seconds (doubles per retry)." in
+  Arg.(value & opt float 0.5 & info [ "backoff-s" ] ~docv:"S" ~doc)
+
+let manifest_arg =
+  let doc =
+    "Persist a run.v1 manifest to $(docv), rewritten atomically after every \
+     experiment; a crash mid-sweep leaves a loadable record of the prefix that ran."
+  in
+  Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Load the --manifest file first and skip experiments already recorded \
+     successful (completed with every shape check passing)."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let inject_crash_arg =
+  let doc =
+    "Append a deliberately crashing synthetic experiment to the sweep (supervision \
+     self-test: the sweep must finish, record the failure, and exit non-zero)."
+  in
+  Arg.(value & flag & info [ "inject-crash" ] ~doc)
+
+let limits_of ~deadline_s ~max_evals =
+  match (deadline_s, max_evals) with
+  | None, None -> Runner.Watchdog.no_limits
+  | _ -> Runner.Watchdog.limits ?deadline_s ?max_evals ()
+
+let retry_of ~retries ~backoff_s =
+  Runner.Supervisor.retry ~max_attempts:(retries + 1) ~backoff_s ()
 
 let print_solver_telemetry () =
   Printf.printf "\n-- solver telemetry --\n%s\n" (Numerics.Robust.stats_summary ());
@@ -56,58 +114,192 @@ let with_observability ~trace ~metrics f =
   | None -> ());
   code
 
-let run_experiment id dir plots trace metrics =
+let run_experiment id dir plots trace metrics deadline_s max_evals retries backoff_s =
   with_observability ~trace ~metrics @@ fun () ->
   let experiment = Experiments.Registry.find_exn id in
-  let outcome = Experiments.Common.run experiment in
-  Experiments.Common.print ~plots ~out:stdout outcome;
-  print_solver_telemetry ();
-  (match dir with
-  | Some dir ->
-    Experiments.Common.save outcome ~dir;
-    Printf.printf "\nCSV written under %s/%s/\n" dir id
-  | None -> ());
-  if
-    List.for_all
-      (fun c -> c.Subsidization.Theorems.passed)
-      outcome.Experiments.Common.shape_checks
-  then 0
-  else 1
+  let limits = limits_of ~deadline_s ~max_evals in
+  let retry = retry_of ~retries ~backoff_s in
+  let { Runner.Supervisor.entry; outcome } =
+    Runner.Supervisor.supervise ~limits ~retry experiment
+  in
+  (match outcome with
+  | Some outcome ->
+    Experiments.Common.print ~plots ~out:stdout outcome;
+    print_solver_telemetry ();
+    (match dir with
+    | Some dir ->
+      Experiments.Common.save outcome ~dir;
+      Printf.printf "\nCSV written under %s/%s/\n" dir id
+    | None -> ())
+  | None ->
+    Printf.printf "%s: %s (%s)\n" id
+      (Runner.Manifest.status_to_string entry.Runner.Manifest.status)
+      entry.Runner.Manifest.exit_reason;
+    (match entry.Runner.Manifest.status with
+    | Runner.Manifest.Failed { backtrace; _ } when backtrace <> "" ->
+      Printf.printf "%s\n" backtrace
+    | _ -> ()));
+  if Runner.Manifest.successful entry then 0 else 1
 
 let experiment_cmd (e : Experiments.Common.t) =
   let doc = Printf.sprintf "Reproduce %s (%s)." e.Experiments.Common.title e.Experiments.Common.paper_ref in
   let term =
     Term.(
-      const (fun dir plots trace metrics ->
-          run_experiment e.Experiments.Common.id dir plots trace metrics)
-      $ dir_arg $ plots_arg $ trace_arg $ metrics_arg)
+      const (fun dir plots trace metrics deadline_s max_evals retries backoff_s ->
+          run_experiment e.Experiments.Common.id dir plots trace metrics deadline_s
+            max_evals retries backoff_s)
+      $ dir_arg $ plots_arg $ trace_arg $ metrics_arg $ deadline_arg $ max_evals_arg
+      $ retries_arg $ backoff_arg)
   in
   Cmd.v (Cmd.info e.Experiments.Common.id ~doc) term
 
+(* ------------------------------------------------------------------ *)
+(* all: the supervised sweep *)
+
+let crashing_experiment =
+  {
+    Experiments.Common.id = "crashme";
+    title = "deliberately crashing experiment (--inject-crash)";
+    paper_ref = "supervision self-test";
+    run = (fun () -> failwith "injected crash (--inject-crash)");
+  }
+
+let print_sweep_event dir = function
+  | Runner.Supervisor.Started _ -> ()
+  | Runner.Supervisor.Skipped { id } ->
+    Printf.printf "%s: skipped (recorded successful in manifest)\n%!" id
+  | Runner.Supervisor.Retrying { id; next_attempt; backoff_s; reason } ->
+    Printf.printf "%s: retrying (attempt %d) after %.2fs backoff: %s\n%!" id
+      next_attempt backoff_s reason
+  | Runner.Supervisor.Finished { entry; outcome } -> (
+    match outcome with
+    | Some outcome ->
+      print_endline (Experiments.Common.shape_summary outcome);
+      (* Common.run resets solver telemetry per experiment, so the
+         line printed after each figure is that figure's own count,
+         not the running total across the whole `all` sweep *)
+      Printf.printf "  telemetry: %s\n%!" (Numerics.Robust.stats_summary ());
+      (match dir with Some dir -> Experiments.Common.save outcome ~dir | None -> ())
+    | None ->
+      Printf.printf "%s: %s (%s)\n%!" entry.Runner.Manifest.id
+        (Runner.Manifest.status_to_string entry.Runner.Manifest.status)
+        entry.Runner.Manifest.exit_reason)
+
 let all_cmd =
-  let doc = "Run every experiment and print a one-line summary per figure." in
-  let run dir trace metrics =
-    with_observability ~trace ~metrics @@ fun () ->
-    let failures = ref 0 in
-    List.iter
-      (fun (e : Experiments.Common.t) ->
-        (* Common.run resets solver telemetry per experiment, so the
-           line printed after each figure is that figure's own count,
-           not the running total across the whole `all` sweep *)
-        let outcome = Experiments.Common.run e in
-        print_endline (Experiments.Common.shape_summary outcome);
-        Printf.printf "  telemetry: %s\n" (Numerics.Robust.stats_summary ());
-        (match dir with Some dir -> Experiments.Common.save outcome ~dir | None -> ());
-        if
-          not
-            (List.for_all
-               (fun c -> c.Subsidization.Theorems.passed)
-               outcome.Experiments.Common.shape_checks)
-        then incr failures)
-      Experiments.Registry.all;
-    if !failures = 0 then 0 else 1
+  let doc =
+    "Run every experiment under the supervised lifecycle: one-line summary per \
+     figure, crash containment, optional deadlines/retries, and a crash-safe \
+     resumable manifest."
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ dir_arg $ trace_arg $ metrics_arg)
+  let run dir trace metrics deadline_s max_evals retries backoff_s manifest resume
+      inject_crash =
+    with_observability ~trace ~metrics @@ fun () ->
+    if resume && manifest = None then begin
+      prerr_endline "subsidization all: --resume requires --manifest FILE";
+      2
+    end
+    else begin
+      let experiments =
+        Experiments.Registry.all @ (if inject_crash then [ crashing_experiment ] else [])
+      in
+      let limits = limits_of ~deadline_s ~max_evals in
+      let retry = retry_of ~retries ~backoff_s in
+      match
+        Runner.Supervisor.sweep ~limits ~retry ?manifest_path:manifest ~resume
+          ~on_event:(print_sweep_event dir) experiments
+      with
+      | Error msg ->
+        Printf.eprintf "subsidization all: cannot load manifest: %s\n" msg;
+        2
+      | Ok { Runner.Supervisor.manifest = m; ran; skipped; failed } ->
+        Printf.printf "\n-- run manifest (%d ran, %d skipped, %d failed) --\n%s\n" ran
+          skipped failed
+          (Report.Table.to_string (Runner.Manifest.summary_table m));
+        (match manifest with
+        | Some path -> Printf.printf "manifest written to %s\n" path
+        | None -> ());
+        if failed = 0 then 0 else 1
+    end
+  in
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(
+      const run $ dir_arg $ trace_arg $ metrics_arg $ deadline_arg $ max_evals_arg
+      $ retries_arg $ backoff_arg $ manifest_arg $ resume_arg $ inject_crash_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos: fault modes x registry *)
+
+let modes_arg =
+  let doc =
+    "Comma-separated fault scenarios to sweep (subset of nan-region, nan-after, \
+     spike, budget, plateau); default all."
+  in
+  Arg.(value & opt (some string) None & info [ "modes" ] ~docv:"LIST" ~doc)
+
+let only_arg =
+  let doc = "Comma-separated experiment ids to include; default the full registry." in
+  Arg.(value & opt (some string) None & info [ "only" ] ~docv:"LIST" ~doc)
+
+let chaos_deadline_arg =
+  let doc = "Wall-clock deadline per (scenario, experiment) pair, in seconds." in
+  Arg.(value & opt float 20. & info [ "deadline-s" ] ~docv:"S" ~doc)
+
+let split_csv s = String.split_on_char ',' s |> List.map String.trim
+
+let chaos_cmd =
+  let doc =
+    "Sweep Numerics.Fault modes across the experiment registry, asserting every \
+     experiment completes or degrades gracefully: no hang, no escaped exception, \
+     and a schema-valid run.v1 manifest entry per (scenario, experiment) pair."
+  in
+  let run deadline_s modes only manifest =
+    let scenarios =
+      match modes with
+      | None -> Runner.Chaos.default_scenarios
+      | Some list ->
+        let wanted = split_csv list in
+        let known = Runner.Chaos.default_scenarios in
+        List.map
+          (fun name ->
+            match List.find_opt (fun s -> s.Runner.Chaos.name = name) known with
+            | Some s -> s
+            | None ->
+              invalid_arg
+                (Printf.sprintf "unknown chaos mode %S (known: %s)" name
+                   (String.concat ", "
+                      (List.map (fun s -> s.Runner.Chaos.name) known))))
+          wanted
+    in
+    let experiments =
+      match only with
+      | None -> Experiments.Registry.all
+      | Some list -> List.map Experiments.Registry.find_exn (split_csv list)
+    in
+    let limits = Runner.Watchdog.limits ~deadline_s () in
+    let report =
+      Runner.Chaos.run ~limits ~scenarios ~experiments ?manifest_path:manifest
+        ~on_event:(fun event ->
+          match event with
+          | Runner.Supervisor.Started { id; _ } -> Printf.printf "chaos: %s...\n%!" id
+          | _ -> ())
+        ()
+    in
+    Printf.printf "\n%s\n" (Report.Table.to_string (Runner.Chaos.verdict_table report));
+    let n = List.length report.Runner.Chaos.verdicts in
+    if report.Runner.Chaos.ok then begin
+      Printf.printf "chaos: all %d (scenario, experiment) pairs contained\n" n;
+      0
+    end
+    else begin
+      Printf.printf "chaos: CONTAINMENT BREACH in %d of %d pairs\n"
+        (List.length
+           (List.filter (fun v -> not v.Runner.Chaos.contained) report.Runner.Chaos.verdicts))
+        n;
+      1
+    end
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ chaos_deadline_arg $ modes_arg $ only_arg $ manifest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* custom markets from CSV *)
@@ -119,13 +311,21 @@ let market_arg =
   in
   Arg.(value & opt (some file) None & info [ "market" ] ~docv:"FILE" ~doc)
 
-let system_of ?market ~capacity () =
-  let cps =
-    match market with
-    | Some path -> Experiments.Market_io.cps_of_csv path
-    | None -> Subsidization.Scenario.fig7_11_cps ()
-  in
-  Subsidization.System.make ~cps ~capacity ()
+(* [Ok cps] or [Error message]; a malformed market file is an operator
+   input error, reported on stderr with exit code 2 *)
+let cps_of ?market () =
+  match market with
+  | None -> Ok (Subsidization.Scenario.fig7_11_cps ())
+  | Some path ->
+    Result.map_error Experiments.Market_io.error_to_string
+      (Experiments.Market_io.cps_of_csv path)
+
+let with_market ?market f =
+  match cps_of ?market () with
+  | Error msg ->
+    Printf.eprintf "subsidization: bad --market file: %s\n" msg;
+    2
+  | Ok cps -> f cps
 
 (* ------------------------------------------------------------------ *)
 (* nash: solve one market point *)
@@ -145,8 +345,9 @@ let nash_cmd =
   in
   let run price cap capacity market trace metrics =
     with_observability ~trace ~metrics @@ fun () ->
+    with_market ?market @@ fun cps ->
     Numerics.Robust.reset_stats ();
-    let sys = system_of ?market ~capacity () in
+    let sys = Subsidization.System.make ~cps ~capacity () in
     let game = Subsidization.Subsidy_game.make sys ~price ~cap in
     let eq = Subsidization.Nash.solve game in
     let table =
@@ -188,7 +389,8 @@ let nash_cmd =
 let sweep_cmd =
   let doc = "Sweep policy levels; report the ISP's optimal price and the market outcome." in
   let run capacity market =
-    let sys = system_of ?market ~capacity () in
+    with_market ?market @@ fun cps ->
+    let sys = Subsidization.System.make ~cps ~capacity () in
     let table = Report.Table.make ~columns:[ "q"; "p*"; "revenue"; "welfare"; "phi" ] in
     Array.iter
       (fun cap ->
@@ -213,6 +415,6 @@ let main_cmd =
   in
   let info = Cmd.info "subsidization" ~version:"1.0.0" ~doc in
   let experiment_cmds = List.map experiment_cmd Experiments.Registry.all in
-  Cmd.group info (experiment_cmds @ [ all_cmd; nash_cmd; sweep_cmd ])
+  Cmd.group info (experiment_cmds @ [ all_cmd; chaos_cmd; nash_cmd; sweep_cmd ])
 
 let () = exit (Cmd.eval' main_cmd)

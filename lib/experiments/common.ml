@@ -37,6 +37,14 @@ let try_sample ~label ~sample f =
   | exception Numerics.Fixedpoint.No_convergence msg ->
     Error { sample; label; reason = msg }
 
+(* experiments that tolerate solver failure publish the failures as a
+   table named "degraded" (see robustness_exp); the runner's manifest
+   reads the count back out through this accessor *)
+let degraded_count (outcome : outcome) =
+  match List.assoc_opt "degraded" outcome.tables with
+  | Some table -> Report.Table.row_count table
+  | None -> 0
+
 let degraded_table ds =
   let table = Report.Table.make ~columns:[ "sample"; "label"; "reason" ] in
   List.iter

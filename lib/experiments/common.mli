@@ -43,6 +43,11 @@ val try_sample : label:string -> sample:int -> (unit -> 'a) -> ('a, degraded) re
 val degraded_table : degraded list -> Report.Table.t
 (** Render degraded samples as a reportable table. *)
 
+val degraded_count : outcome -> int
+(** Rows of the outcome's ["degraded"] table (0 when absent): how many
+    samples survived only in degraded form. Recorded per experiment in
+    the runner's manifest. *)
+
 val save : outcome -> dir:string -> unit
 (** Write every table as [dir/<id>/<name>.csv]. *)
 

@@ -1,34 +1,124 @@
-let parse_float ~path field cell =
+type error = {
+  path : string;
+  row : int option;
+  field : string option;
+  message : string;
+}
+
+let error_to_string e =
+  String.concat ""
+    [
+      e.path;
+      (match e.row with None -> "" | Some r -> Printf.sprintf ", row %d" r);
+      (match e.field with None -> "" | Some f -> ", field " ^ f);
+      ": ";
+      e.message;
+    ]
+
+let fail ~path ?row ?field fmt =
+  Printf.ksprintf (fun message -> Error { path; row; field; message }) fmt
+
+let ( let* ) = Result.bind
+
+let parse_float ~path ~row field cell =
   match float_of_string_opt (String.trim cell) with
-  | Some v -> v
-  | None -> failwith (Printf.sprintf "%s: bad %s value %S" path field cell)
+  | Some v when Float.is_finite v -> Ok v
+  | Some v -> fail ~path ~row ~field "%s must be finite, got %g" field v
+  | None -> fail ~path ~row ~field "bad %s value %S" field cell
+
+(* the CP constructors re-check these with [Invalid_argument]; checking
+   here first keeps caller mistakes as data, not exceptions *)
+let check_domain ~path ~row field ~lo_exclusive v =
+  if lo_exclusive && v <= 0. then
+    fail ~path ~row ~field "%s must be positive, got %g" field v
+  else if (not lo_exclusive) && v < 0. then
+    fail ~path ~row ~field "%s must be non-negative, got %g" field v
+  else Ok v
+
+let positive ~path ~row field v = check_domain ~path ~row field ~lo_exclusive:true v
+let non_negative ~path ~row field v = check_domain ~path ~row field ~lo_exclusive:false v
+
+let parse_positive ~path ~row field cell =
+  let* v = parse_float ~path ~row field cell in
+  positive ~path ~row field v
+
+let parse_row ~path ~row cells =
+  match cells with
+  | name :: alpha :: beta :: value :: rest ->
+    let name = String.trim name in
+    let* () = if name = "" then fail ~path ~row "empty CP name" else Ok () in
+    let opt k field =
+      match List.nth_opt rest k with
+      | None -> Ok None
+      | Some cell -> Result.map Option.some (parse_positive ~path ~row field cell)
+    in
+    let* alpha = parse_positive ~path ~row "alpha" alpha in
+    let* beta = parse_positive ~path ~row "beta" beta in
+    let* value = parse_float ~path ~row "value" value in
+    let* value = non_negative ~path ~row "value" value in
+    let* m0 = opt 0 "m0" in
+    let* l0 = opt 1 "l0" in
+    Ok (Econ.Cp.exponential ~name ?m0 ?l0 ~alpha ~beta ~value ())
+  | _ ->
+    fail ~path ~row "row with %d cell(s); need name,alpha,beta,value[,m0,l0]"
+      (List.length cells)
+
+let check_distinct_names ~path names =
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (name, row) ->
+      let* () = acc in
+      match Hashtbl.find_opt seen name with
+      | Some first_row ->
+        fail ~path ~row ~field:"name" "duplicate CP name %S (first used at row %d)"
+          name first_row
+      | None ->
+        Hashtbl.add seen name row;
+        Ok ())
+    (Ok ()) names
 
 let cps_of_rows ~path rows =
   match rows with
-  | [] | [ _ ] -> failwith (path ^ ": no CP rows")
+  | [] | [ _ ] -> fail ~path "no CP rows"
   | header :: rows ->
     let expected = [ "name"; "alpha"; "beta"; "value" ] in
     let prefix = List.filteri (fun i _ -> i < 4) (List.map String.trim header) in
-    if prefix <> expected then
-      failwith
-        (Printf.sprintf "%s: header must start with %s" path (String.concat "," expected));
-    List.map
-      (fun row ->
-        match row with
-        | name :: alpha :: beta :: value :: rest ->
-          let opt k field = List.nth_opt rest k |> Option.map (parse_float ~path field) in
-          Econ.Cp.exponential ~name:(String.trim name) ?m0:(opt 0 "m0") ?l0:(opt 1 "l0")
-            ~alpha:(parse_float ~path "alpha" alpha)
-            ~beta:(parse_float ~path "beta" beta)
-            ~value:(parse_float ~path "value" value)
-            ()
-        | _ -> failwith (path ^ ": row with fewer than 4 cells"))
-      rows
-    |> Array.of_list
+    let* () =
+      if prefix <> expected then
+        fail ~path ~row:1 "header must start with %s" (String.concat "," expected)
+      else Ok ()
+    in
+    (* header is row 1, data rows start at 2 *)
+    let* cps =
+      List.fold_left
+        (fun acc (row, cells) ->
+          let* acc = acc in
+          let* cp = parse_row ~path ~row cells in
+          Ok ((cp, row) :: acc))
+        (Ok [])
+        (List.mapi (fun i cells -> (i + 2, cells)) rows)
+    in
+    let cps = List.rev cps in
+    let* () =
+      check_distinct_names ~path (List.map (fun (cp, row) -> (cp.Econ.Cp.name, row)) cps)
+    in
+    Ok (Array.of_list (List.map fst cps))
 
-let cps_of_string ~path text = cps_of_rows ~path (Report.Csv.parse_string text)
+let parse_csv ~path text =
+  match Report.Csv.parse_string text with
+  | rows -> cps_of_rows ~path rows
+  | exception Report.Csv.Malformed msg -> fail ~path "malformed CSV: %s" msg
 
-let cps_of_csv path = cps_of_rows ~path (Report.Csv.read ~path)
+let cps_of_string ~path text = parse_csv ~path text
+
+let cps_of_csv path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_csv ~path text
 
 let write_cps ~path cps =
   let table = Report.Table.make ~columns:[ "name"; "alpha"; "beta"; "value"; "m0"; "l0" ] in

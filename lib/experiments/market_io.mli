@@ -2,16 +2,36 @@
 
     Format: a header `name,alpha,beta,value[,m0,l0]` followed by one row
     per CP; all CPs use the paper's exponential families (exactly what
-    {!Econ.Calibrate} produces from market data). *)
+    {!Econ.Calibrate} produces from market data).
 
-val cps_of_csv : string -> Econ.Cp.t array
-(** Raises [Failure] with a file-and-field message on malformed input,
-    [Sys_error] if the file cannot be read. *)
+    Parsing is [Result]-typed: malformed input (bad header, short rows,
+    unparsable or non-finite floats, out-of-domain parameters,
+    duplicate CP names, CSV-level quote damage) comes back as a
+    structured {!error} locating the offending row and field — never an
+    exception, so a bad [--market] file can be reported and exited on
+    cleanly. *)
 
-val cps_of_string : path:string -> string -> Econ.Cp.t array
+type error = {
+  path : string;  (** the file (or pseudo-path) being parsed *)
+  row : int option;  (** 1-based CSV row, header = 1; [None] = whole file *)
+  field : string option;  (** column name, when one is implicated *)
+  message : string;
+}
+
+val error_to_string : error -> string
+(** ["data/m.csv, row 3, field alpha: alpha must be positive, got -2"] *)
+
+val cps_of_csv : string -> (Econ.Cp.t array, error) result
+(** Load and validate a CP population. Domain rules: [alpha > 0],
+    [beta > 0], [value >= 0], [m0 > 0], [l0 > 0], every float finite,
+    and CP names pairwise distinct (empty names rejected). Raises
+    [Sys_error] only if the file cannot be read at all. *)
+
+val cps_of_string : path:string -> string -> (Econ.Cp.t array, error) result
 (** Same, from CSV text already in memory ([path] only labels
     errors). *)
 
 val write_cps : path:string -> Econ.Cp.t array -> unit
-(** Write exponential-family CPs back out in the same format. Raises
-    [Invalid_argument] if a CP uses a non-exponential family. *)
+(** Write exponential-family CPs back out in the same format
+    (atomically, via {!Report.Csv.write}). Raises [Invalid_argument]
+    if a CP uses a non-exponential family. *)

@@ -75,9 +75,7 @@ let load ~path =
   else empty
 
 let save ~path t =
-  let oc = open_out_bin path in
-  output_string oc (to_string t);
-  close_out oc
+  Report.Fsio.write_atomic_exn ~path (fun oc -> output_string oc (to_string t))
 
 type drift = {
   fresh : (Finding.t * int) list;

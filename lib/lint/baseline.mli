@@ -41,6 +41,8 @@ val load : path:string -> t
 (** Read and parse; a missing file is an empty baseline. *)
 
 val save : path:string -> t -> unit
+(** Atomic write ({!Report.Fsio.write_atomic}): an interrupted
+    [--update-baseline] never truncates the committed ratchet. *)
 
 type drift = {
   fresh : (Finding.t * int) list;

@@ -21,20 +21,50 @@ let describe = function
   | Budget n -> Printf.sprintf "budget of %d evaluations" n
   | Plateau { lo; hi; level } -> Printf.sprintf "plateau %g on [%g, %g]" level lo hi
 
-let inject mode f =
-  let evals = ref 0 and fired = ref 0 in
+(* one evaluation through [mode], charging the supplied counters; the
+   shared core of per-objective [inject] and the process-global hook *)
+let eval ~mode ~evals ~fired f x =
+  incr evals;
   let fire y =
     incr fired;
     y
   in
-  let g x =
-    incr evals;
-    match mode with
-    | Nan_region { lo; hi } -> if x >= lo && x <= hi then fire Float.nan else f x
-    | Nan_after n -> if !evals > n then fire Float.nan else f x
-    | Spike { at; width; height } ->
-      if Float.abs (x -. at) <= width then fire (f x +. height) else f x
-    | Budget n -> if !evals > n then raise (Budget_exceeded n) else f x
-    | Plateau { lo; hi; level } -> if x >= lo && x <= hi then fire level else f x
-  in
-  { f = g; evaluations = (fun () -> !evals); triggered = (fun () -> !fired) }
+  match mode with
+  | Nan_region { lo; hi } -> if x >= lo && x <= hi then fire Float.nan else f x
+  | Nan_after n -> if !evals > n then fire Float.nan else f x
+  | Spike { at; width; height } ->
+    if Float.abs (x -. at) <= width then fire (f x +. height) else f x
+  | Budget n -> if !evals > n then raise (Budget_exceeded n) else f x
+  | Plateau { lo; hi; level } -> if x >= lo && x <= hi then fire level else f x
+
+let inject mode f =
+  let evals = ref 0 and fired = ref 0 in
+  {
+    f = (fun x -> eval ~mode ~evals ~fired f x);
+    evaluations = (fun () -> !evals);
+    triggered = (fun () -> !fired);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* process-global injection (Robust applies it to every guarded eval) *)
+
+type global = { g_mode : mode; g_evals : int ref; g_fired : int ref }
+
+let global_state : global option ref = ref None
+
+let set_global mode =
+  global_state :=
+    Option.map (fun m -> { g_mode = m; g_evals = ref 0; g_fired = ref 0 }) mode
+
+let global_mode () = Option.map (fun g -> g.g_mode) !global_state
+
+let global_wrap f x =
+  match !global_state with
+  | None -> f x
+  | Some g -> eval ~mode:g.g_mode ~evals:g.g_evals ~fired:g.g_fired f x
+
+let global_evaluations () =
+  match !global_state with None -> 0 | Some g -> !(g.g_evals)
+
+let global_triggered () =
+  match !global_state with None -> 0 | Some g -> !(g.g_fired)

@@ -31,3 +31,29 @@ type injected = {
 val inject : mode -> (float -> float) -> injected
 
 val describe : mode -> string
+
+(** {2 Process-global injection}
+
+    The chaos harness ([Runner.Chaos]) needs to disturb experiments it
+    cannot reach inside of: a global fault, when installed, is applied
+    by {!Robust} to {e every} guarded objective evaluation in the
+    process, with one shared counter pair (so [Nan_after n] means n
+    evaluations across the whole sweep, whichever solver spends
+    them). *)
+
+val set_global : mode option -> unit
+(** Install ([Some]) or clear ([None]) the global fault. Installing
+    resets the global counters. *)
+
+val global_mode : unit -> mode option
+
+val global_wrap : (float -> float) -> float -> float
+(** [global_wrap f x]: evaluate [f x] through the installed global
+    fault; identity (and counter-free) when none is installed. Called
+    by {!Robust} on its guarded-evaluation paths. *)
+
+val global_evaluations : unit -> int
+(** Evaluations made through the installed global fault (0 when none). *)
+
+val global_triggered : unit -> int
+(** How many of them were corrupted. *)

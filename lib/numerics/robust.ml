@@ -202,6 +202,29 @@ let stats_summary () =
 
 exception Poison of { at : float; value : float }
 
+(* cooperative-cancellation probe: called before every guarded
+   objective evaluation (root and fixed-point paths). A supervisor
+   (Runner.Watchdog) installs a closure that raises its own deadline /
+   budget exception; anything the probe raises is deliberately NOT part
+   of the failure taxonomy below, so it escapes the fallback chain and
+   unwinds to whoever installed it. *)
+let probe = ref ignore
+
+let with_probe p f =
+  let prev = !probe in
+  (* compose so nested guards all keep firing *)
+  probe :=
+    (fun () ->
+      prev ();
+      p ());
+  Fun.protect ~finally:(fun () -> probe := prev) f
+
+(* every guarded evaluation funnels through here: first the probe
+   (cancellation), then the process-global fault, if one is installed *)
+let observed_eval f x =
+  !probe ();
+  Fault.global_wrap f x
+
 (* ------------------------------------------------------------------ *)
 (* root finding with a fallback chain *)
 
@@ -217,7 +240,7 @@ let root ?(tol = 1e-12) ?(max_iter = 200) ?df ?x0 ?domain ?(ctx = default_ctx) f
   let last_residual = ref Float.infinity in
   let guarded x =
     incr evals;
-    let y = f x in
+    let y = observed_eval f x in
     if Float.is_finite y then begin
       last_residual := Float.abs y;
       y
@@ -328,7 +351,7 @@ let fixed_point ?(tol = 1e-12) ?(max_iter = 1000) ?(damping = 1.) ?(max_retries 
        let iter = ref 1 in
        while !result = None && !iter <= max_iter do
          incr evals;
-         let fx = f !x in
+         let fx = observed_eval f !x in
          if not (Float.is_finite fx) then raise (Poison { at = !x; value = fx });
          (* undamped residual: the damped step understates it by 1/damping *)
          let residual = Float.abs (fx -. !x) in

@@ -111,6 +111,21 @@ val fixed_point :
     oscillation detection. On failure the damping is halved and the
     iteration restarted, up to [max_retries] (default 4) times. *)
 
+(** {2 Supervision hooks} *)
+
+val with_probe : (unit -> unit) -> (unit -> 'a) -> 'a
+(** [with_probe p f] runs [f] with [p] invoked before {e every} guarded
+    objective evaluation ({!root} and {!fixed_point} alike), composed
+    after any probe already installed, and uninstalled on exit (normal
+    or exceptional). The probe is the sanctioned cooperative-
+    cancellation point: [Runner.Watchdog] installs a closure that
+    raises its deadline / evaluation-budget exception, which — being
+    outside the failure taxonomy above — escapes the fallback chain
+    untouched and unwinds to the supervisor. While a probe runs,
+    any process-global {!Fault} is also applied to the same
+    evaluations, which is what lets the chaos harness reach solvers it
+    cannot see. *)
+
 (** {2 Telemetry} *)
 
 type stats = {

@@ -170,18 +170,14 @@ let telemetry_table () =
 let write_json ~path json =
   let line = Json.to_string json in
   if path = "-" then print_endline line
-  else begin
-    let rec mkdirs dir =
-      if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-        mkdirs (Filename.dirname dir);
-        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
-      end
-    in
-    mkdirs (Filename.dirname path);
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        output_string oc line;
-        output_char oc '\n')
-  end
+  else
+    match
+      Report.Fsio.write_atomic ~path (fun oc ->
+          output_string oc line;
+          output_char oc '\n')
+    with
+    | Ok () -> ()
+    | Error msg ->
+      (* surfaced, not swallowed: the failure is both counted and raised *)
+      Metrics.incr (Metrics.counter "obs.export.write_errors");
+      raise (Sys_error (path ^ ": " ^ msg))

@@ -25,4 +25,7 @@ val telemetry_table : unit -> Report.Table.t
 
 val write_json : path:string -> Json.t -> unit
 (** Write compact JSON (with trailing newline) to [path], creating
-    parent directories; [path = "-"] appends a single line to stdout. *)
+    parent directories; [path = "-"] appends a single line to stdout.
+    The write is atomic ({!Report.Fsio.write_atomic}); an I/O failure
+    increments the [obs.export.write_errors] counter and raises
+    [Sys_error]. *)

@@ -1,15 +1,15 @@
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
-  end
+exception Malformed of string
 
 let write ~path table =
-  mkdir_p (Filename.dirname path);
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Table.to_csv_string table))
+  Fsio.write_atomic_exn ~path (fun oc -> output_string oc (Table.to_csv_string table))
+
+(* row number (1-based) of an offset, for error messages *)
+let row_of text pos =
+  let r = ref 1 in
+  for i = 0 to Stdlib.min pos (String.length text) - 1 do
+    if text.[i] = '\n' then incr r
+  done;
+  !r
 
 let parse_string text =
   let rows = ref [] in
@@ -36,21 +36,25 @@ let parse_string text =
         push_row ();
         plain (i + 1)
       | '\r' -> plain (i + 1)
-      | '"' when Buffer.length cell = 0 -> quoted (i + 1)
+      | '"' when Buffer.length cell = 0 -> quoted ~opened_at:i (i + 1)
       | c ->
         Buffer.add_char cell c;
         plain (i + 1)
-  and quoted i =
-    if i >= n then (if Buffer.length cell > 0 || !row <> [] then push_row ())
+  and quoted ~opened_at i =
+    if i >= n then
+      raise
+        (Malformed
+           (Printf.sprintf "unterminated quote opened at row %d (offset %d)"
+              (row_of text opened_at) opened_at))
     else
       match text.[i] with
       | '"' when i + 1 < n && text.[i + 1] = '"' ->
         Buffer.add_char cell '"';
-        quoted (i + 2)
+        quoted ~opened_at (i + 2)
       | '"' -> plain (i + 1)
       | c ->
         Buffer.add_char cell c;
-        quoted (i + 1)
+        quoted ~opened_at (i + 1)
   in
   plain 0;
   List.rev !rows

@@ -1,11 +1,33 @@
 (** CSV reading and writing (the subset experiments need). *)
 
+exception Malformed of string
+(** Raised by {!parse_string}/{!read} on input with no well-defined
+    parse (currently: an unterminated quoted cell); the message names
+    the row and byte offset where the offending quote opened. *)
+
 val write : path:string -> Table.t -> unit
-(** Write a table as CSV, creating parent directories as needed. *)
+(** Write a table as CSV, creating parent directories as needed. The
+    write is atomic ({!Fsio.write_atomic}): a crash mid-write leaves
+    any previous file at [path] intact. Raises [Sys_error] on I/O
+    failure. *)
 
 val parse_string : string -> string list list
-(** Parse CSV text into rows of cells. Handles quoted cells, embedded
-    quotes ([""]), commas and newlines inside quotes; tolerates a
-    trailing newline. *)
+(** Parse CSV text into rows of cells. Quote semantics, fully defined:
+
+    - a ["\""] {e opens} quoted mode only as the first character of a
+      cell; anywhere else it is kept as a literal character, so
+      [a"b",c] parses to the cell [a"b"] followed by [c];
+    - inside quotes, [""] is an escaped quote, and commas/newlines are
+      cell content;
+    - after the closing quote the cell continues in unquoted mode:
+      ["ab"x,y] parses as [abx] then [y] (lenient, matching common
+      spreadsheet writers);
+    - an unterminated quote raises {!Malformed} rather than silently
+      accepting a truncated (possibly half-written) file.
+
+    [\r] is dropped everywhere outside quotes (CRLF tolerance); a
+    trailing newline does not produce an empty final row. *)
 
 val read : path:string -> string list list
+(** {!parse_string} on the file's contents. Raises {!Malformed} or
+    [Sys_error]. *)

@@ -1,0 +1,45 @@
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then Ok ()
+  else
+    match mkdir_p (Filename.dirname dir) with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Sys.mkdir dir 0o755 with
+      | () -> Ok ()
+      | exception Sys_error _ when Sys.file_exists dir ->
+        (* lost a creation race: the directory is there, which is all
+           the caller asked for *)
+        Ok ()
+      | exception Sys_error msg -> Error msg)
+
+let temp_of path = path ^ ".tmp"
+
+let write_atomic ~path writer =
+  match mkdir_p (Filename.dirname path) with
+  | Error _ as e -> e
+  | Ok () -> (
+    let tmp = temp_of path in
+    match open_out_bin tmp with
+    | exception Sys_error msg -> Error msg
+    | oc -> (
+      let renamed = ref false in
+      Fun.protect
+        ~finally:(fun () ->
+          (* writer crash: close what we can, keep the temp file as
+             evidence, leave [path] untouched *)
+          if not !renamed then close_out_noerr oc)
+        (fun () ->
+          writer oc;
+          match
+            close_out oc;
+            Sys.rename tmp path
+          with
+          | () ->
+            renamed := true;
+            Ok ()
+          | exception Sys_error msg -> Error msg)))
+
+let write_atomic_exn ~path writer =
+  match write_atomic ~path writer with
+  | Ok () -> ()
+  | Error msg -> raise (Sys_error msg)

@@ -1,0 +1,35 @@
+(** Filesystem primitives shared by every artifact writer.
+
+    Historically [Report.Csv], [Obs.Export] and [Lint.Baseline] each
+    hand-rolled a [mkdir_p] (two of them silently swallowing
+    [Sys_error]) and wrote straight to the final path with [open_out],
+    so a crash mid-write left a truncated CSV/JSON/baseline behind.
+    This module is the one sanctioned implementation of both
+    operations: directory creation that reports its errors, and
+    all-or-nothing file replacement via a temp file in the same
+    directory followed by [Sys.rename] (atomic on POSIX filesystems).
+
+    Single-writer assumption: the temp path is the deterministic
+    [path ^ ".tmp"], so two processes racing to write the same [path]
+    can interleave — crash safety, not cross-process locking, is the
+    guarantee. A stale [.tmp] left by an earlier crash is simply
+    overwritten (and renamed away) by the next successful write. *)
+
+val mkdir_p : string -> (unit, string) result
+(** Create a directory and any missing parents ([0o755]).
+    [Ok ()] when the directory already exists; [Error msg] when
+    creation fails (permission, a non-directory in the way, ...) —
+    never silently ignored. [""], ["."] and ["/"] are [Ok] no-ops. *)
+
+val write_atomic : path:string -> (out_channel -> unit) -> (unit, string) result
+(** [write_atomic ~path writer] creates the parent directory, streams
+    [writer] into [path ^ ".tmp"], flushes + closes, then renames over
+    [path]: readers observe either the complete old content or the
+    complete new content, never a prefix. [Error msg] on any
+    [Sys_error] along the way. If [writer] itself raises, the
+    exception propagates unchanged, the temp file is left on disk as
+    evidence, and [path] is untouched. *)
+
+val write_atomic_exn : path:string -> (out_channel -> unit) -> unit
+(** Same, raising [Sys_error] instead of returning [Error] — for call
+    sites whose historical contract is exception-based. *)

@@ -1,0 +1,150 @@
+type scenario = { name : string; mode : Numerics.Fault.mode }
+
+(* parameters sit inside [0, 1]: the utilization domain every
+   equilibrium root-solve works in, so each fault actually bites *)
+let default_scenarios =
+  [
+    { name = "nan-region"; mode = Numerics.Fault.Nan_region { lo = 0.25; hi = 0.35 } };
+    { name = "nan-after"; mode = Numerics.Fault.Nan_after 2000 };
+    {
+      name = "spike";
+      mode = Numerics.Fault.Spike { at = 0.5; width = 0.05; height = 25. };
+    };
+    { name = "budget"; mode = Numerics.Fault.Budget 5000 };
+    {
+      name = "plateau";
+      mode = Numerics.Fault.Plateau { lo = 0.45; hi = 0.55; level = 0.1 };
+    };
+  ]
+
+type verdict = {
+  scenario : string;
+  experiment : string;
+  entry : Manifest.entry;
+  injected_evals : int;
+  injected_faults : int;
+  contained : bool;
+  note : string;
+}
+
+type report = { verdicts : verdict list; manifest : Manifest.t; ok : bool }
+
+let default_limits = Watchdog.limits ~deadline_s:20. ()
+
+(* an entry is well-formed iff it survives its own codec: encode the
+   singleton manifest, parse it back, find the entry again *)
+let round_trips entry =
+  let m = Manifest.set (Manifest.empty ()) entry in
+  match Manifest.of_json (Manifest.to_json m) with
+  | Ok m' -> Manifest.find m' entry.Manifest.id <> None
+  | Error _ -> false
+
+(* containment fallback for a supervisor breach: the supervisor is
+   contractually total, but the chaos harness is exactly the place to
+   distrust that contract rather than assume it *)
+let escaped_entry ~id exn =
+  {
+    Manifest.id;
+    status =
+      Manifest.Failed
+        { exn = Printexc.to_string exn; backtrace = Printexc.get_backtrace () };
+    duration_s = 0.;
+    attempts = 1;
+    shape_passed = 0;
+    shape_total = 0;
+    failed_checks = [];
+    degraded_samples = 0;
+    exit_reason = "ESCAPED the supervisor: " ^ Printexc.to_string exn;
+    finished_unix = Obs.Clock.now ();
+  }
+
+let run ?(limits = default_limits) ?(scenarios = default_scenarios)
+    ?(experiments = Experiments.Registry.all) ?manifest_path
+    ?(on_event = fun (_ : Supervisor.event) -> ()) () =
+  let manifest = ref (Manifest.empty ()) in
+  let persist () =
+    match manifest_path with
+    | Some path -> Manifest.save ~path !manifest
+    | None -> ()
+  in
+  let one scenario (e : Experiments.Common.t) =
+    let id = Printf.sprintf "%s:%s" scenario.name e.Experiments.Common.id in
+    (* the supervised experiment carries the chaos id so the manifest
+       keys (scenario, experiment) pairs apart *)
+    let renamed = { e with Experiments.Common.id = id } in
+    on_event (Supervisor.Started { id; attempt = 1 });
+    let entry, contained, note, evals, faults =
+      Fun.protect
+        ~finally:(fun () -> Numerics.Fault.set_global None)
+        (fun () ->
+          Numerics.Fault.set_global (Some scenario.mode);
+          match Supervisor.supervise ~limits renamed with
+          | { Supervisor.entry; outcome = _ } ->
+            let well_formed = round_trips entry in
+            ( entry,
+              well_formed,
+              (if well_formed then "contained"
+               else "manifest entry does not round-trip"),
+              Numerics.Fault.global_evaluations (),
+              Numerics.Fault.global_triggered () )
+          | exception ((Sys.Break | Stack_overflow | Out_of_memory) as fatal) ->
+            raise fatal
+          | exception exn ->
+            ( escaped_entry ~id exn,
+              false,
+              "exception escaped the supervisor",
+              Numerics.Fault.global_evaluations (),
+              Numerics.Fault.global_triggered () ))
+    in
+    manifest := Manifest.set !manifest entry;
+    persist ();
+    on_event (Supervisor.Finished { Supervisor.entry; outcome = None });
+    {
+      scenario = scenario.name;
+      experiment = e.Experiments.Common.id;
+      entry;
+      injected_evals = evals;
+      injected_faults = faults;
+      contained;
+      note;
+    }
+  in
+  let verdicts =
+    List.concat_map (fun s -> List.map (one s) experiments) scenarios
+  in
+  persist ();
+  let manifest_valid =
+    match Manifest.of_json (Manifest.to_json !manifest) with
+    | Ok m -> List.length (Manifest.entries m) = List.length verdicts
+    | Error _ -> false
+  in
+  {
+    verdicts;
+    manifest = !manifest;
+    ok = manifest_valid && List.for_all (fun v -> v.contained) verdicts;
+  }
+
+let verdict_table report =
+  let table =
+    Report.Table.make
+      ~columns:
+        [
+          "scenario"; "experiment"; "status"; "duration s"; "evals"; "faults";
+          "contained"; "note";
+        ]
+  in
+  List.iter
+    (fun v ->
+      Report.Table.add_row table
+        [
+          v.scenario;
+          v.experiment;
+          Manifest.status_to_string v.entry.Manifest.status;
+          Printf.sprintf "%.2f" v.entry.Manifest.duration_s;
+          string_of_int v.injected_evals;
+          string_of_int v.injected_faults;
+          string_of_bool v.contained;
+          v.note;
+        ])
+    report.verdicts;
+  table

@@ -1,0 +1,58 @@
+(** Registry-wide chaos harness.
+
+    Sweeps {!Numerics.Fault} modes across experiments: for every
+    (scenario, experiment) pair the fault is installed process-globally
+    ({!Numerics.Fault.set_global}, applied by [Robust] to every guarded
+    objective evaluation), the experiment runs under a {!Watchdog}
+    deadline via {!Supervisor.supervise}, and the result is recorded in
+    a [run.v1] manifest under the id ["<scenario>:<experiment>"].
+
+    The harness asserts the resilience contract of DESIGN §8/§11:
+    under every fault mode an experiment either completes (possibly
+    with failing shape checks or degraded samples) or is contained as
+    a typed [failed]/[timed_out]/[out_of_budget] record — it never
+    hangs (deadline), never lets an exception escape (supervisor), and
+    always yields a manifest entry that round-trips through the
+    [run.v1] codec. *)
+
+type scenario = { name : string; mode : Numerics.Fault.mode }
+
+val default_scenarios : scenario list
+(** One per {!Numerics.Fault.mode} constructor: [nan-region],
+    [nan-after], [spike], [budget], [plateau], with parameters chosen
+    to land inside the utilization domain [\[0, 1\]] the equilibrium
+    solvers work in. *)
+
+type verdict = {
+  scenario : string;
+  experiment : string;
+  entry : Manifest.entry;
+  injected_evals : int;  (** evaluations routed through the fault *)
+  injected_faults : int;  (** how many were corrupted *)
+  contained : bool;
+      (** false only if an exception escaped the supervisor or the
+          entry failed to round-trip — a resilience-contract breach *)
+  note : string;
+}
+
+type report = {
+  verdicts : verdict list;
+  manifest : Manifest.t;
+  ok : bool;  (** every verdict contained and the manifest schema-valid *)
+}
+
+val run :
+  ?limits:Watchdog.limits ->
+  ?scenarios:scenario list ->
+  ?experiments:Experiments.Common.t list ->
+  ?manifest_path:string ->
+  ?on_event:(Supervisor.event -> unit) ->
+  unit ->
+  report
+(** Defaults: a 20s per-experiment deadline, {!default_scenarios},
+    the full {!Experiments.Registry.all}. The global fault is always
+    cleared afterwards, whatever happens. With [manifest_path] the
+    chaos manifest is persisted (atomically, after every pair). *)
+
+val verdict_table : report -> Report.Table.t
+(** One row per (scenario, experiment) pair for the CLI. *)

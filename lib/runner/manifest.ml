@@ -1,0 +1,225 @@
+type status =
+  | Completed
+  | Failed of { exn : string; backtrace : string }
+  | Timed_out of { limit_s : float }
+  | Out_of_budget of { limit : int }
+
+type entry = {
+  id : string;
+  status : status;
+  duration_s : float;
+  attempts : int;
+  shape_passed : int;
+  shape_total : int;
+  failed_checks : string list;
+  degraded_samples : int;
+  exit_reason : string;
+  finished_unix : float;
+}
+
+type t = { created_unix : float; entries : entry list }
+
+let schema = "run.v1"
+
+let empty () = { created_unix = Obs.Clock.now (); entries = [] }
+
+let entries t = t.entries
+
+let set t entry =
+  if List.exists (fun e -> e.id = entry.id) t.entries then
+    { t with entries = List.map (fun e -> if e.id = entry.id then entry else e) t.entries }
+  else { t with entries = t.entries @ [ entry ] }
+
+let find t id = List.find_opt (fun e -> e.id = id) t.entries
+
+let successful e =
+  match e.status with
+  | Completed -> e.shape_passed = e.shape_total
+  | Failed _ | Timed_out _ | Out_of_budget _ -> false
+
+let status_to_string = function
+  | Completed -> "completed"
+  | Failed _ -> "failed"
+  | Timed_out _ -> "timed_out"
+  | Out_of_budget _ -> "out_of_budget"
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+open Obs.Json
+
+let json_of_entry e =
+  Obj
+    ([ ("id", Str e.id); ("status", Str (status_to_string e.status)) ]
+    @ (match e.status with
+      | Completed -> []
+      | Failed { exn; backtrace } ->
+        [ ("error", Obj [ ("exn", Str exn); ("backtrace", Str backtrace) ]) ]
+      | Timed_out { limit_s } -> [ ("limit_s", Num limit_s) ]
+      | Out_of_budget { limit } -> [ ("limit_evals", Num (float_of_int limit)) ])
+    @ [
+        ("duration_s", Num e.duration_s);
+        ("attempts", Num (float_of_int e.attempts));
+        ( "shape_checks",
+          Obj
+            [
+              ("passed", Num (float_of_int e.shape_passed));
+              ("total", Num (float_of_int e.shape_total));
+              ("failed", Arr (List.map (fun n -> Str n) e.failed_checks));
+            ] );
+        ("degraded_samples", Num (float_of_int e.degraded_samples));
+        ("exit_reason", Str e.exit_reason);
+        ("finished_unix", Num e.finished_unix);
+      ])
+
+let to_json t =
+  Obj
+    [
+      ("schema", Str schema);
+      ("created_unix", Num t.created_unix);
+      ("updated_unix", Num (Obs.Clock.now ()));
+      ("entries", Arr (List.map json_of_entry t.entries));
+    ]
+
+(* decoding: small Result combinators over Obs.Json *)
+
+let ( let* ) = Result.bind
+
+let field name json =
+  match member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str name json =
+  let* v = field name json in
+  match v with Str s -> Ok s | _ -> Error (Printf.sprintf "field %S is not a string" name)
+
+let num name json =
+  let* v = field name json in
+  match to_float v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S is not a number" name)
+
+let int_field name json =
+  let* f = num name json in
+  Ok (int_of_float f)
+
+let entry_of_json json =
+  let* id = str "id" json in
+  let in_entry = Printf.sprintf "entry %S: %s" id in
+  let relabel r = Result.map_error (fun m -> in_entry m) r in
+  let* status_s = relabel (str "status" json) in
+  let* status =
+    relabel
+      (match status_s with
+      | "completed" -> Ok Completed
+      | "failed" ->
+        let* error = field "error" json in
+        let* exn = str "exn" error in
+        let* backtrace = str "backtrace" error in
+        Ok (Failed { exn; backtrace })
+      | "timed_out" ->
+        let* limit_s = num "limit_s" json in
+        Ok (Timed_out { limit_s })
+      | "out_of_budget" ->
+        let* limit = int_field "limit_evals" json in
+        Ok (Out_of_budget { limit })
+      | other -> Error (Printf.sprintf "unknown status %S" other))
+  in
+  let* duration_s = relabel (num "duration_s" json) in
+  let* attempts = relabel (int_field "attempts" json) in
+  let* checks = relabel (field "shape_checks" json) in
+  let* shape_passed = relabel (int_field "passed" checks) in
+  let* shape_total = relabel (int_field "total" checks) in
+  let* failed_json = relabel (field "failed" checks) in
+  let* failed_checks =
+    relabel
+      (match to_list failed_json with
+      | None -> Error "shape_checks.failed is not an array"
+      | Some l ->
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match v with
+            | Str s -> Ok (s :: acc)
+            | _ -> Error "shape_checks.failed holds a non-string")
+          (Ok []) l
+        |> Result.map List.rev)
+  in
+  let* degraded_samples = relabel (int_field "degraded_samples" json) in
+  let* exit_reason = relabel (str "exit_reason" json) in
+  let* finished_unix = relabel (num "finished_unix" json) in
+  Ok
+    {
+      id;
+      status;
+      duration_s;
+      attempts;
+      shape_passed;
+      shape_total;
+      failed_checks;
+      degraded_samples;
+      exit_reason;
+      finished_unix;
+    }
+
+let of_json json =
+  let* tag = str "schema" json in
+  let* () =
+    if tag = schema then Ok ()
+    else Error (Printf.sprintf "expected schema %S, found %S" schema tag)
+  in
+  let* created_unix = num "created_unix" json in
+  let* entries_json = field "entries" json in
+  let* entries =
+    match to_list entries_json with
+    | None -> Error "entries is not an array"
+    | Some l ->
+      List.fold_left
+        (fun acc v ->
+          let* acc = acc in
+          let* e = entry_of_json v in
+          Ok (e :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+  in
+  Ok { created_unix; entries }
+
+let save ~path t =
+  Report.Fsio.write_atomic_exn ~path (fun oc ->
+      output_string oc (to_string ~pretty:true (to_json t));
+      output_char oc '\n')
+
+let load ~path =
+  if not (Sys.file_exists path) then Ok (empty ())
+  else
+    let ic = open_in path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match of_string text with
+    | json -> Result.map_error (fun m -> path ^ ": " ^ m) (of_json json)
+    | exception Parse_error msg -> Error (path ^ ": " ^ msg)
+
+let summary_table t =
+  let table =
+    Report.Table.make
+      ~columns:
+        [ "id"; "status"; "duration s"; "attempts"; "checks"; "degraded"; "exit reason" ]
+  in
+  List.iter
+    (fun e ->
+      Report.Table.add_row table
+        [
+          e.id;
+          status_to_string e.status;
+          Printf.sprintf "%.2f" e.duration_s;
+          string_of_int e.attempts;
+          Printf.sprintf "%d/%d" e.shape_passed e.shape_total;
+          string_of_int e.degraded_samples;
+          e.exit_reason;
+        ])
+    t.entries;
+  table

@@ -1,0 +1,88 @@
+(** The supervised experiment lifecycle.
+
+    [supervise] drives one experiment through
+    {!Experiments.Common.run} under a {!Watchdog} guard, converts
+    whatever happens into a {!Manifest.entry} — completion (with shape
+    checks and degraded-sample counts), a contained crash
+    ([Failed {exn; backtrace}]), a blown deadline, or an exhausted
+    evaluation budget — and optionally retries retryable failures with
+    exponential backoff. [sweep] folds that over a list of experiments,
+    rewriting the manifest atomically after each one and skipping
+    entries already recorded successful when resuming.
+
+    This module is the repo's one sanctioned exception-containment
+    boundary (sublint NO-SWALLOW exempts it): a crash in one
+    experiment becomes a manifest record and the sweep continues.
+    [Sys.Break] (ctrl-C) and [Stack_overflow]/[Out_of_memory] are
+    re-raised — the operator's interrupt and genuine resource
+    exhaustion must stop the sweep. *)
+
+type retry = {
+  max_attempts : int;  (** total tries, including the first (>= 1) *)
+  backoff_s : float;  (** sleep before the first retry *)
+  multiplier : float;  (** backoff growth per further retry *)
+}
+
+val no_retry : retry
+(** [max_attempts = 1]: one try, no sleeping. *)
+
+val retry : ?max_attempts:int -> ?backoff_s:float -> ?multiplier:float -> unit -> retry
+(** Defaults: 1 attempt, 0.5s initial backoff, doubling. Raises
+    [Invalid_argument] on a non-positive attempt count, negative
+    backoff or multiplier < 1. *)
+
+val retryable : exn -> bool
+(** Failures worth re-trying: the typed solver taxonomy
+    ({!Numerics.Robust.Solver_error} and the legacy
+    [No_bracket]/[No_convergence] leaf exceptions) — transient
+    numerical trouble. Deadline/budget exhaustion and arbitrary crashes
+    (caller bugs) are not retryable. *)
+
+type result_ = {
+  entry : Manifest.entry;
+  outcome : Experiments.Common.outcome option;
+      (** present only when the experiment completed (its tables can
+          still be printed/saved); [None] for contained failures *)
+}
+
+val supervise :
+  ?limits:Watchdog.limits ->
+  ?retry:retry ->
+  ?sleep:(float -> unit) ->
+  Experiments.Common.t ->
+  result_
+(** Run one experiment to a manifest entry. [sleep] (default
+    [Unix.sleepf]) is injectable so tests can observe backoff without
+    waiting. Never raises for anything the experiment does (see the
+    containment contract above). *)
+
+type event =
+  | Started of { id : string; attempt : int }
+  | Retrying of { id : string; next_attempt : int; backoff_s : float; reason : string }
+  | Skipped of { id : string }  (** resume found a successful entry *)
+  | Finished of result_
+
+type summary = {
+  manifest : Manifest.t;
+  ran : int;  (** experiments actually executed *)
+  skipped : int;  (** resume skips *)
+  failed : int;  (** entries not {!Manifest.successful} *)
+}
+
+val sweep :
+  ?limits:Watchdog.limits ->
+  ?retry:retry ->
+  ?sleep:(float -> unit) ->
+  ?manifest_path:string ->
+  ?resume:bool ->
+  ?on_event:(event -> unit) ->
+  Experiments.Common.t list ->
+  (summary, string) result
+(** Supervise each experiment in order. With [manifest_path] the
+    manifest is saved atomically after every experiment; with [resume]
+    (requires [manifest_path]) the existing manifest is loaded first
+    and {!Manifest.successful} entries are skipped, keeping their
+    records. [Error] only when an existing manifest cannot be parsed —
+    experiment failures are data, not errors. [on_event] receives
+    progress (the CLI prints from it; the library never touches
+    stdout). *)

@@ -1,0 +1,34 @@
+(* Registry-wide chaos sweep: every default Fault scenario crossed with
+   every registered experiment, under a hard per-pair deadline. The
+   resilience contract (DESIGN §11) demands each pair either completes
+   or is contained as a typed manifest record: no hang, no escaped
+   exception, and a run.v1 entry that survives its own codec. Exits
+   non-zero on any breach, so CI can gate on it. *)
+
+let () =
+  let limits = Runner.Watchdog.limits ~deadline_s:30. () in
+  let report =
+    Runner.Chaos.run ~limits
+      ~on_event:(function
+        | Runner.Supervisor.Started { id; _ } -> Printf.printf "chaos: %s\n%!" id
+        | _ -> ())
+      ()
+  in
+  print_newline ();
+  print_endline (Report.Table.to_string (Runner.Chaos.verdict_table report));
+  let breaches =
+    List.filter (fun v -> not v.Runner.Chaos.contained) report.Runner.Chaos.verdicts
+  in
+  let n = List.length report.Runner.Chaos.verdicts in
+  if report.Runner.Chaos.ok then
+    Printf.printf "chaos: all %d (scenario, experiment) pairs contained\n" n
+  else begin
+    Printf.printf "chaos: CONTAINMENT BREACH in %d of %d pairs\n"
+      (List.length breaches) n;
+    List.iter
+      (fun v ->
+        Printf.printf "  %s:%s -- %s\n" v.Runner.Chaos.scenario
+          v.Runner.Chaos.experiment v.Runner.Chaos.note)
+      breaches
+  end;
+  exit (if report.Runner.Chaos.ok then 0 else 1)

@@ -70,11 +70,16 @@ let test_shape_summary_format () =
   check_true "mentions id" (String.length summary > 4 && String.sub summary 0 4 = "fig4")
 
 
+let parse_ok text =
+  match Experiments.Market_io.cps_of_string ~path:"<mem>" text with
+  | Ok cps -> cps
+  | Error e -> Alcotest.failf "expected Ok: %s" (Experiments.Market_io.error_to_string e)
+
 let test_market_io_roundtrip () =
   let text =
     "name,alpha,beta,value,m0,l0\nvideo,1.5,4,0.6,1,1\nnews,5,2,0.4,1.5,0.5\n"
   in
-  let cps = Experiments.Market_io.cps_of_string ~path:"<mem>" text in
+  let cps = parse_ok text in
   Alcotest.(check int) "two CPs" 2 (Array.length cps);
   Alcotest.(check string) "name" "video" cps.(0).Econ.Cp.name;
   check_close "value" 0.4 cps.(1).Econ.Cp.value;
@@ -84,30 +89,99 @@ let test_market_io_roundtrip () =
   Experiments.Market_io.write_cps ~path cps;
   let reread = Experiments.Market_io.cps_of_csv path in
   Sys.remove path;
-  Array.iteri
-    (fun i cp ->
-      check_close ~tol:1e-12 "roundtrip population"
-        (Econ.Cp.population cps.(i) 0.3)
-        (Econ.Cp.population cp 0.3))
-    reread
+  match reread with
+  | Error e -> Alcotest.failf "re-read failed: %s" (Experiments.Market_io.error_to_string e)
+  | Ok reread ->
+    Array.iteri
+      (fun i cp ->
+        check_close ~tol:1e-12 "roundtrip population"
+          (Econ.Cp.population cps.(i) 0.3)
+          (Econ.Cp.population cp 0.3))
+      reread
+
+(* property: write_cps o cps_of_csv is the identity on every CP field,
+   for arbitrary positive parameters (including awkward magnitudes) *)
+let test_market_io_property_roundtrip =
+  let cp_gen =
+    QCheck2.Gen.(
+      map
+        (fun ((alpha, beta), (value, (m0, l0))) -> (alpha, beta, value, m0, l0))
+        (pair
+           (pair (float_range 1e-3 1e3) (float_range 1e-3 1e3))
+           (pair (float_range 0. 1e3) (pair (float_range 1e-3 1e3) (float_range 1e-3 1e3)))))
+  in
+  let arb = QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 8) cp_gen in
+  prop ~count:50 "market io: write/parse round-trip" arb (fun params ->
+      let cps =
+        Array.of_list
+          (List.mapi
+             (fun i (alpha, beta, value, m0, l0) ->
+               Econ.Cp.exponential ~name:(Printf.sprintf "cp%d" i) ~m0 ~l0 ~alpha
+                 ~beta ~value ())
+             params)
+      in
+      let path = Filename.temp_file "market_prop" ".csv" in
+      Experiments.Market_io.write_cps ~path cps;
+      let reread = Experiments.Market_io.cps_of_csv path in
+      Sys.remove path;
+      match reread with
+      | Error e -> QCheck2.Test.fail_report (Experiments.Market_io.error_to_string e)
+      | Ok cps' ->
+        Array.length cps = Array.length cps'
+        && Array.for_all2
+             (fun (a : Econ.Cp.t) (b : Econ.Cp.t) ->
+               a.Econ.Cp.name = b.Econ.Cp.name
+               && Float.equal a.Econ.Cp.value b.Econ.Cp.value
+               && Float.equal (Econ.Cp.population a 0.37) (Econ.Cp.population b 0.37)
+               && Float.equal (Econ.Cp.rate a 0.61) (Econ.Cp.rate b 0.61))
+             cps cps')
+
+(* malformed-input corpus: every rejection is a located Error, never an
+   exception, and the location points at the offending row/field *)
+let expect_error ~describing:(row, field) text =
+  match Experiments.Market_io.cps_of_string ~path:"<mem>" text with
+  | Ok _ -> Alcotest.failf "expected Error for %S" text
+  | Error e ->
+    check_true
+      (Printf.sprintf "row located in %s" (Experiments.Market_io.error_to_string e))
+      (e.Experiments.Market_io.row = row);
+    check_true
+      (Printf.sprintf "field located in %s" (Experiments.Market_io.error_to_string e))
+      (e.Experiments.Market_io.field = field)
 
 let test_market_io_errors () =
-  let bad header = Experiments.Market_io.cps_of_string ~path:"<mem>" header in
-  (match bad "wrong,header\nrow,1" with
-  | _ -> Alcotest.fail "expected Failure"
-  | exception Failure _ -> ());
-  (match bad "name,alpha,beta,value\ncp,notanumber,2,0.5" with
-  | _ -> Alcotest.fail "expected Failure on bad float"
-  | exception Failure _ -> ());
-  match bad "name,alpha,beta,value" with
-  | _ -> Alcotest.fail "expected Failure on empty body"
-  | exception Failure _ -> ()
+  expect_error ~describing:(Some 1, None) "wrong,header\nrow,1,2,3";
+  expect_error ~describing:(None, None) "name,alpha,beta,value";
+  expect_error ~describing:(None, None) "";
+  expect_error ~describing:(Some 2, Some "alpha") "name,alpha,beta,value\ncp,notanumber,2,0.5";
+  expect_error ~describing:(Some 2, Some "alpha") "name,alpha,beta,value\ncp,-1,2,0.5";
+  expect_error ~describing:(Some 2, Some "beta") "name,alpha,beta,value\ncp,1,0,0.5";
+  expect_error ~describing:(Some 2, Some "value") "name,alpha,beta,value\ncp,1,2,-0.5";
+  expect_error ~describing:(Some 2, Some "value") "name,alpha,beta,value\ncp,1,2,nan";
+  expect_error ~describing:(Some 2, Some "alpha") "name,alpha,beta,value\ncp,inf,2,0.5";
+  expect_error ~describing:(Some 3, None) "name,alpha,beta,value\ncp,1,2,0.5\nshort,1";
+  expect_error ~describing:(Some 2, None) "name,alpha,beta,value\n,1,2,0.5";
+  expect_error ~describing:(Some 2, Some "m0") "name,alpha,beta,value,m0\ncp,1,2,0.5,0";
+  (* duplicate names: reported at the second use, naming the first *)
+  expect_error ~describing:(Some 3, Some "name")
+    "name,alpha,beta,value\ncp,1,2,0.5\ncp,3,4,0.5";
+  (* malformed CSV (unterminated quote) surfaces as a located Error *)
+  (match
+     Experiments.Market_io.cps_of_string ~path:"<mem>"
+       "name,alpha,beta,value\n\"cp,1,2,0.5"
+   with
+  | Ok _ -> Alcotest.fail "expected Error on unterminated quote"
+  | Error _ -> ());
+  (* the error string carries path, row and field *)
+  match Experiments.Market_io.cps_of_string ~path:"m.csv" "name,alpha,beta,value\ncp,x,2,0.5" with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error e ->
+    let s = Experiments.Market_io.error_to_string e in
+    check_true "string has path+row+field"
+      (s = "m.csv, row 2, field alpha: bad alpha value \"x\"")
 
 let test_market_io_solves () =
-  let cps =
-    Experiments.Market_io.cps_of_string ~path:"<mem>"
-      "name,alpha,beta,value\na,2,3,0.8\nb,4,1.5,1.1\n"
-  in
+  let cps = parse_ok "name,alpha,beta,value\na,2,3,0.8\nb,4,1.5,1.1\n" in
   let sys = Subsidization.System.make ~cps ~capacity:1. () in
   let eq = Subsidization.Policy.nash_at sys ~price:0.5 ~cap:1. in
   check_true "loaded market solves" eq.Subsidization.Nash.converged
@@ -128,6 +202,7 @@ let suite =
       quick "save writes csv" test_save_writes_csv;
       quick "shape summary" test_shape_summary_format;
       quick "market io roundtrip" test_market_io_roundtrip;
+      test_market_io_property_roundtrip;
       quick "market io errors" test_market_io_errors;
       quick "market io solves" test_market_io_solves;
     ] )

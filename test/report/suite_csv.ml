@@ -11,6 +11,30 @@ let test_parse_quoted () =
   check_true "escaped quote" (Csv.parse_string "\"a\"\"b\"\n" = [ [ "a\"b" ] ]);
   check_true "embedded newline" (Csv.parse_string "\"a\nb\",c\n" = [ [ "a\nb"; "c" ] ])
 
+let test_parse_quote_edge_cases () =
+  (* a quote NOT at the start of a cell is a literal character *)
+  check_true "mid-cell quote literal"
+    (Csv.parse_string "a\"b\",c\n" = [ [ "a\"b\""; "c" ] ]);
+  (* after the closing quote the cell continues unquoted *)
+  check_true "post-quote continuation"
+    (Csv.parse_string "\"ab\"x,y\n" = [ [ "abx"; "y" ] ]);
+  check_true "empty quoted cell" (Csv.parse_string "\"\",x\n" = [ [ ""; "x" ] ])
+
+let test_parse_unterminated_quote () =
+  (match Csv.parse_string "a,\"never closed\nmore" with
+  | _ -> Alcotest.fail "expected Malformed"
+  | exception Csv.Malformed msg ->
+    check_true "message locates the open quote"
+      (let contains_sub s sub =
+         let n = String.length sub in
+         let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+         go 0
+       in
+       contains_sub msg "row 1"));
+  match Csv.parse_string "x,y\n\"fine\",\"broken" with
+  | _ -> Alcotest.fail "expected Malformed on row 2"
+  | exception Csv.Malformed _ -> ()
+
 let test_parse_crlf () =
   check_true "CRLF tolerated" (Csv.parse_string "a,b\r\n1,2\r\n" = [ [ "a"; "b" ]; [ "1"; "2" ] ])
 
@@ -26,11 +50,24 @@ let test_write_read_roundtrip () =
     (rows = [ [ "x"; "label" ]; [ "1.5"; "hello, world" ] ]);
   Sys.remove path
 
+let test_write_no_temp_left () =
+  let dir = Filename.temp_file "csv_atomic" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "t.csv" in
+  let t = Table.make ~columns:[ "x" ] in
+  Table.add_row t [ "1" ];
+  Csv.write ~path t;
+  Test_helpers.check_true "no temp file left" (not (Sys.file_exists (path ^ ".tmp")));
+  Sys.remove path
+
 let suite =
   ( "csv",
     [
       quick "simple" test_parse_simple;
       quick "quoted" test_parse_quoted;
+      quick "quote edge cases" test_parse_quote_edge_cases;
+      quick "unterminated quote" test_parse_unterminated_quote;
       quick "crlf" test_parse_crlf;
       quick "write/read roundtrip" test_write_read_roundtrip;
+      quick "write is atomic" test_write_no_temp_left;
     ] )

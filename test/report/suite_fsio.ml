@@ -1,0 +1,79 @@
+open Report
+open Test_helpers
+
+let fresh_dir () =
+  let dir = Filename.temp_file "fsio_test" "" in
+  Sys.remove dir;
+  dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_mkdir_p () =
+  let dir = fresh_dir () in
+  let deep = Filename.concat (Filename.concat dir "a") "b" in
+  check_true "creates nested dirs" (Fsio.mkdir_p deep = Ok ());
+  check_true "directory exists" (Sys.is_directory deep);
+  check_true "idempotent" (Fsio.mkdir_p deep = Ok ())
+
+let test_mkdir_p_blocked_by_file () =
+  let file = Filename.temp_file "fsio_block" "" in
+  (* a plain file occupies the path: must be an Error, not silence *)
+  match Fsio.mkdir_p (Filename.concat file "child") with
+  | Ok () -> Alcotest.fail "expected Error when a file blocks the path"
+  | Error msg -> check_true "error mentions something" (String.length msg > 0)
+
+let test_write_atomic_success () =
+  let dir = fresh_dir () in
+  let path = Filename.concat (Filename.concat dir "sub") "out.txt" in
+  check_true "write ok"
+    (Fsio.write_atomic ~path (fun oc -> output_string oc "hello") = Ok ());
+  Alcotest.(check string) "content" "hello" (read_file path);
+  check_true "no temp file left" (not (Sys.file_exists (path ^ ".tmp")))
+
+let test_write_atomic_crash_simulation () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "out.txt" in
+  check_true "seed write"
+    (Fsio.write_atomic ~path (fun oc -> output_string oc "intact") = Ok ());
+  (* the writer dies mid-write: the exception must propagate, the
+     partial temp file must be left as evidence, and the final path
+     must still hold the previous content *)
+  (match
+     Fsio.write_atomic ~path (fun oc ->
+         output_string oc "partial garbage";
+         failwith "simulated crash")
+   with
+  | _ -> Alcotest.fail "expected the writer's exception to propagate"
+  | exception Failure msg -> Alcotest.(check string) "same exn" "simulated crash" msg);
+  check_true "temp file left as evidence" (Sys.file_exists (path ^ ".tmp"));
+  Alcotest.(check string) "final path intact" "intact" (read_file path);
+  (* a later successful write recovers: temp replaced, rename wins *)
+  check_true "recovery write"
+    (Fsio.write_atomic ~path (fun oc -> output_string oc "recovered") = Ok ());
+  Alcotest.(check string) "recovered content" "recovered" (read_file path);
+  check_true "temp cleaned by recovery" (not (Sys.file_exists (path ^ ".tmp")))
+
+let test_write_atomic_unwritable () =
+  let file = Filename.temp_file "fsio_notdir" "" in
+  (* parent "directory" is a plain file: surfaced as Error *)
+  let path = Filename.concat (Filename.concat file "child") "out.txt" in
+  (match Fsio.write_atomic ~path (fun _ -> ()) with
+  | Ok () -> Alcotest.fail "expected Error for unwritable parent"
+  | Error _ -> ());
+  match Fsio.write_atomic_exn ~path (fun _ -> ()) with
+  | () -> Alcotest.fail "expected Sys_error for unwritable parent"
+  | exception Sys_error _ -> ()
+
+let suite =
+  ( "fsio",
+    [
+      quick "mkdir_p" test_mkdir_p;
+      quick "mkdir_p blocked by file" test_mkdir_p_blocked_by_file;
+      quick "write_atomic success" test_write_atomic_success;
+      quick "write_atomic crash simulation" test_write_atomic_crash_simulation;
+      quick "write_atomic unwritable" test_write_atomic_unwritable;
+    ] )

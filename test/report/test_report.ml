@@ -1,3 +1,9 @@
 let () =
   Alcotest.run "report"
-    [ Suite_table.suite; Suite_csv.suite; Suite_series.suite; Suite_ascii_plot.suite ]
+    [
+      Suite_table.suite;
+      Suite_csv.suite;
+      Suite_fsio.suite;
+      Suite_series.suite;
+      Suite_ascii_plot.suite;
+    ]

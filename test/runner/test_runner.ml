@@ -1,0 +1,348 @@
+open Test_helpers
+
+(* a tiny experiment whose [run] body is supplied by each test; every
+   manifest field the supervisor derives is exercised through it *)
+let synthetic ?(id = "synthetic") run =
+  {
+    Experiments.Common.id;
+    title = "synthetic test experiment";
+    paper_ref = "test/runner";
+    run;
+  }
+
+let trivial_outcome ?(id = "synthetic") ?(checks = []) () =
+  {
+    Experiments.Common.id;
+    title = "synthetic";
+    tables = [];
+    plots = [];
+    shape_checks = checks;
+  }
+
+(* burns guarded objective evaluations so watchdog probes fire: each
+   call costs a full root solve (tens of evals) *)
+let solve_once () =
+  match Numerics.Robust.root ~ctx:"test" (fun x -> (x *. x) -. 2.) ~lo:0. ~hi:2. with
+  | Ok s -> s.Numerics.Robust.result.Numerics.Rootfind.root
+  | Error e -> Alcotest.failf "unexpected solver error: %s" (Numerics.Robust.error_message e)
+
+(* -- watchdog ------------------------------------------------------- *)
+
+let test_limits_validation () =
+  check_raises_invalid "negative deadline" (fun () ->
+      Runner.Watchdog.limits ~deadline_s:(-1.) ());
+  check_raises_invalid "nan deadline" (fun () ->
+      Runner.Watchdog.limits ~deadline_s:Float.nan ());
+  check_raises_invalid "zero eval budget" (fun () ->
+      Runner.Watchdog.limits ~max_evals:0 ())
+
+let test_no_limits_passthrough () =
+  Alcotest.(check int) "plain value" 42 (Runner.Watchdog.guard Runner.Watchdog.no_limits (fun () -> 42))
+
+let test_eval_budget_trips () =
+  let lims = Runner.Watchdog.limits ~max_evals:5 () in
+  match Runner.Watchdog.guard lims (fun () -> solve_once ()) with
+  | _ -> Alcotest.fail "expected Eval_budget_exceeded"
+  | exception Runner.Watchdog.Eval_budget_exceeded { evaluations; limit } ->
+    Alcotest.(check int) "limit recorded" 5 limit;
+    check_true "tripped at the limit" (evaluations >= limit)
+
+let test_deadline_trips () =
+  (* an already-expired deadline: the first probe must trip it *)
+  let lims = Runner.Watchdog.limits ~deadline_s:1e-9 () in
+  match
+    Runner.Watchdog.guard lims (fun () ->
+        for _ = 1 to 100 do
+          ignore (solve_once ())
+        done)
+  with
+  | () -> Alcotest.fail "expected Deadline_exceeded"
+  | exception Runner.Watchdog.Deadline_exceeded { elapsed_s; limit_s } ->
+    check_close ~tol:1e-12 "limit recorded" 1e-9 limit_s;
+    check_true "elapsed beyond limit" (elapsed_s >= limit_s)
+
+let test_guard_uninstalls_probe () =
+  let lims = Runner.Watchdog.limits ~max_evals:5 () in
+  (match Runner.Watchdog.guard lims (fun () -> solve_once ()) with
+  | _ -> Alcotest.fail "expected budget trip"
+  | exception Runner.Watchdog.Eval_budget_exceeded _ -> ());
+  (* after an exceptional exit the probe must be gone: unguarded
+     solves run free of any budget *)
+  for _ = 1 to 3 do
+    ignore (solve_once ())
+  done
+
+(* -- manifest ------------------------------------------------------- *)
+
+let entry ?(id = "e1") ?(status = Runner.Manifest.Completed) ?(shape_passed = 2)
+    ?(shape_total = 2) ?(failed_checks = []) () =
+  {
+    Runner.Manifest.id;
+    status;
+    duration_s = 1.25;
+    attempts = 2;
+    shape_passed;
+    shape_total;
+    failed_checks;
+    degraded_samples = 3;
+    exit_reason = "completed";
+    finished_unix = 1700000000.;
+  }
+
+let test_manifest_roundtrip () =
+  let entries =
+    [
+      entry ~id:"ok" ();
+      entry ~id:"bad" ~status:(Runner.Manifest.Failed { exn = "Failure(\"x\")"; backtrace = "bt" }) ();
+      entry ~id:"slow" ~status:(Runner.Manifest.Timed_out { limit_s = 2.5 }) ();
+      entry ~id:"hungry" ~status:(Runner.Manifest.Out_of_budget { limit = 99 }) ();
+      entry ~id:"partial" ~shape_passed:1 ~failed_checks:[ "monotone" ] ();
+    ]
+  in
+  let m = List.fold_left Runner.Manifest.set (Runner.Manifest.empty ()) entries in
+  match Runner.Manifest.of_json (Runner.Manifest.to_json m) with
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+  | Ok m' ->
+    Alcotest.(check int) "entry count" 5 (List.length (Runner.Manifest.entries m'));
+    List.iter
+      (fun e ->
+        match Runner.Manifest.find m' e.Runner.Manifest.id with
+        | None -> Alcotest.failf "entry %s lost" e.Runner.Manifest.id
+        | Some e' -> check_true ("entry " ^ e.Runner.Manifest.id ^ " survives") (e = e'))
+      entries
+
+let test_manifest_successful () =
+  check_true "completed + all checks" (Runner.Manifest.successful (entry ()));
+  check_true "failing check not successful"
+    (not (Runner.Manifest.successful (entry ~shape_passed:1 ~failed_checks:[ "m" ] ())));
+  check_true "timed out not successful"
+    (not
+       (Runner.Manifest.successful
+          (entry ~status:(Runner.Manifest.Timed_out { limit_s = 1. }) ())))
+
+let test_manifest_set_replaces () =
+  let m = Runner.Manifest.set (Runner.Manifest.empty ()) (entry ~id:"x" ()) in
+  let m = Runner.Manifest.set m { (entry ~id:"x" ()) with Runner.Manifest.attempts = 9 } in
+  Alcotest.(check int) "one entry" 1 (List.length (Runner.Manifest.entries m));
+  match Runner.Manifest.find m "x" with
+  | Some e -> Alcotest.(check int) "replaced" 9 e.Runner.Manifest.attempts
+  | None -> Alcotest.fail "entry lost"
+
+let test_manifest_disk () =
+  let dir = Filename.temp_file "manifest" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "run.json" in
+  (* missing file: an empty manifest, not an error *)
+  (match Runner.Manifest.load ~path with
+  | Ok m -> Alcotest.(check int) "missing -> empty" 0 (List.length (Runner.Manifest.entries m))
+  | Error msg -> Alcotest.failf "missing file should load empty: %s" msg);
+  let m = Runner.Manifest.set (Runner.Manifest.empty ()) (entry ()) in
+  Runner.Manifest.save ~path m;
+  check_true "no temp left" (not (Sys.file_exists (path ^ ".tmp")));
+  (match Runner.Manifest.load ~path with
+  | Ok m' -> check_true "disk round-trip" (Runner.Manifest.find m' "e1" <> None)
+  | Error msg -> Alcotest.failf "load failed: %s" msg);
+  (* corrupt file: a located Error, not an exception *)
+  let oc = open_out path in
+  output_string oc "{ not json";
+  close_out oc;
+  match Runner.Manifest.load ~path with
+  | Ok _ -> Alcotest.fail "expected Error on corrupt manifest"
+  | Error msg -> check_true "error names the path" (String.length msg > String.length path)
+
+(* -- supervisor ----------------------------------------------------- *)
+
+let test_supervise_completion () =
+  let checks =
+    [
+      Experiments.Common.check ~name:"pass" true "fine";
+      Experiments.Common.check ~name:"fail" false "not fine";
+    ]
+  in
+  let e = synthetic (fun () -> trivial_outcome ~checks ()) in
+  let { Runner.Supervisor.entry; outcome } = Runner.Supervisor.supervise e in
+  check_true "outcome present" (outcome <> None);
+  Alcotest.(check int) "1 attempt" 1 entry.Runner.Manifest.attempts;
+  Alcotest.(check int) "shape passed" 1 entry.Runner.Manifest.shape_passed;
+  Alcotest.(check int) "shape total" 2 entry.Runner.Manifest.shape_total;
+  check_true "failed check named" (entry.Runner.Manifest.failed_checks = [ "fail" ]);
+  check_true "not successful with failing check" (not (Runner.Manifest.successful entry))
+
+let test_supervise_contains_crash () =
+  let e = synthetic (fun () -> failwith "boom") in
+  let { Runner.Supervisor.entry; outcome } = Runner.Supervisor.supervise e in
+  check_true "no outcome" (outcome = None);
+  (match entry.Runner.Manifest.status with
+  | Runner.Manifest.Failed { exn; _ } -> check_true "exn recorded" (exn = "Failure(\"boom\")")
+  | _ -> Alcotest.fail "expected Failed status");
+  check_true "not successful" (not (Runner.Manifest.successful entry))
+
+let test_supervise_times_out () =
+  let lims = Runner.Watchdog.limits ~deadline_s:1e-9 () in
+  let e =
+    synthetic (fun () ->
+        for _ = 1 to 100 do
+          ignore (solve_once ())
+        done;
+        trivial_outcome ())
+  in
+  let { Runner.Supervisor.entry; outcome } = Runner.Supervisor.supervise ~limits:lims e in
+  check_true "no outcome" (outcome = None);
+  match entry.Runner.Manifest.status with
+  | Runner.Manifest.Timed_out { limit_s } -> check_close ~tol:1e-12 "limit" 1e-9 limit_s
+  | _ -> Alcotest.fail "expected Timed_out status"
+
+let solver_error () =
+  Numerics.Robust.Solver_error
+    { Numerics.Robust.attempts = []; last_residual = Float.nan; bracket_history = [] }
+
+let test_supervise_retries_retryable () =
+  let calls = ref 0 in
+  let slept = ref [] in
+  let e =
+    synthetic (fun () ->
+        incr calls;
+        if !calls < 3 then raise (solver_error ()) else trivial_outcome ())
+  in
+  let retry = Runner.Supervisor.retry ~max_attempts:5 ~backoff_s:0.25 () in
+  let { Runner.Supervisor.entry; outcome } =
+    Runner.Supervisor.supervise ~retry ~sleep:(fun s -> slept := s :: !slept) e
+  in
+  check_true "eventually completed" (outcome <> None);
+  Alcotest.(check int) "3 attempts recorded" 3 entry.Runner.Manifest.attempts;
+  check_true "exponential backoff" (List.rev !slept = [ 0.25; 0.5 ])
+
+let test_supervise_does_not_retry_crash () =
+  let calls = ref 0 in
+  let e =
+    synthetic (fun () ->
+        incr calls;
+        failwith "not retryable")
+  in
+  let retry = Runner.Supervisor.retry ~max_attempts:5 ~backoff_s:0.01 () in
+  let { Runner.Supervisor.entry = _; outcome } =
+    Runner.Supervisor.supervise ~retry ~sleep:(fun _ -> ()) e
+  in
+  check_true "no outcome" (outcome = None);
+  Alcotest.(check int) "single attempt" 1 !calls
+
+let test_supervise_exhausts_retries () =
+  let calls = ref 0 in
+  let e =
+    synthetic (fun () ->
+        incr calls;
+        raise (solver_error ()))
+  in
+  let retry = Runner.Supervisor.retry ~max_attempts:3 ~backoff_s:0.01 () in
+  let { Runner.Supervisor.entry; outcome } =
+    Runner.Supervisor.supervise ~retry ~sleep:(fun _ -> ()) e
+  in
+  check_true "no outcome" (outcome = None);
+  Alcotest.(check int) "all attempts spent" 3 !calls;
+  Alcotest.(check int) "attempts recorded" 3 entry.Runner.Manifest.attempts
+
+(* -- sweep + resume ------------------------------------------------- *)
+
+let test_sweep_resume () =
+  let dir = Filename.temp_file "sweep" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "run.json" in
+  let good_runs = ref 0 and bad_runs = ref 0 in
+  let good =
+    synthetic ~id:"good" (fun () ->
+        incr good_runs;
+        trivial_outcome ~id:"good" ())
+  in
+  let bad =
+    synthetic ~id:"bad" (fun () ->
+        incr bad_runs;
+        failwith "always broken")
+  in
+  (match Runner.Supervisor.sweep ~manifest_path:path [ good; bad ] with
+  | Error msg -> Alcotest.failf "sweep failed: %s" msg
+  | Ok { Runner.Supervisor.ran; skipped; failed; _ } ->
+    Alcotest.(check int) "ran both" 2 ran;
+    Alcotest.(check int) "skipped none" 0 skipped;
+    Alcotest.(check int) "one failed" 1 failed);
+  (* resume: the successful entry is skipped, the failure re-runs *)
+  (match Runner.Supervisor.sweep ~manifest_path:path ~resume:true [ good; bad ] with
+  | Error msg -> Alcotest.failf "resume failed: %s" msg
+  | Ok { Runner.Supervisor.ran; skipped; failed; _ } ->
+    Alcotest.(check int) "re-ran only the failure" 1 ran;
+    Alcotest.(check int) "skipped the success" 1 skipped;
+    Alcotest.(check int) "still one failed" 1 failed);
+  Alcotest.(check int) "good ran once" 1 !good_runs;
+  Alcotest.(check int) "bad ran twice" 2 !bad_runs;
+  (* a corrupt manifest is a load Error, not a silent fresh start *)
+  let oc = open_out path in
+  output_string oc "garbage";
+  close_out oc;
+  match Runner.Supervisor.sweep ~manifest_path:path ~resume:true [ good ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on corrupt manifest"
+
+let test_sweep_events () =
+  let events = ref [] in
+  let e = synthetic (fun () -> trivial_outcome ()) in
+  (match
+     Runner.Supervisor.sweep ~on_event:(fun ev -> events := ev :: !events) [ e ]
+   with
+  | Error msg -> Alcotest.failf "sweep failed: %s" msg
+  | Ok _ -> ());
+  match List.rev !events with
+  | [ Runner.Supervisor.Started { id; attempt = 1 }; Runner.Supervisor.Finished _ ] ->
+    Alcotest.(check string) "started id" "synthetic" id
+  | evs -> Alcotest.failf "unexpected event sequence (%d events)" (List.length evs)
+
+(* -- chaos (smoke: one scenario x one cheap synthetic experiment) --- *)
+
+let test_chaos_contains_faults () =
+  let e =
+    synthetic ~id:"solve" (fun () ->
+        ignore (solve_once ());
+        trivial_outcome ~id:"solve" ())
+  in
+  let scenarios =
+    [
+      { Runner.Chaos.name = "nan-region";
+        mode = Numerics.Fault.Nan_region { lo = 0.25; hi = 0.35 } };
+      { Runner.Chaos.name = "budget"; mode = Numerics.Fault.Budget 10 };
+    ]
+  in
+  let limits = Runner.Watchdog.limits ~deadline_s:10. () in
+  let report = Runner.Chaos.run ~limits ~scenarios ~experiments:[ e ] () in
+  Alcotest.(check int) "two verdicts" 2 (List.length report.Runner.Chaos.verdicts);
+  check_true "all contained" report.Runner.Chaos.ok;
+  List.iter
+    (fun v ->
+      check_true
+        (Printf.sprintf "%s injected evals counted" v.Runner.Chaos.scenario)
+        (v.Runner.Chaos.injected_evals > 0))
+    report.Runner.Chaos.verdicts;
+  (* the global fault must be cleared afterwards *)
+  check_true "global fault cleared" (Numerics.Fault.global_mode () = None)
+
+let suite =
+  ( "runner",
+    [
+      quick "limits validation" test_limits_validation;
+      quick "no_limits passthrough" test_no_limits_passthrough;
+      quick "eval budget trips" test_eval_budget_trips;
+      quick "deadline trips" test_deadline_trips;
+      quick "guard uninstalls probe" test_guard_uninstalls_probe;
+      quick "manifest json roundtrip" test_manifest_roundtrip;
+      quick "manifest successful" test_manifest_successful;
+      quick "manifest set replaces" test_manifest_set_replaces;
+      quick "manifest disk io" test_manifest_disk;
+      quick "supervise completion" test_supervise_completion;
+      quick "supervise contains crash" test_supervise_contains_crash;
+      quick "supervise times out" test_supervise_times_out;
+      quick "supervise retries retryable" test_supervise_retries_retryable;
+      quick "supervise no retry on crash" test_supervise_does_not_retry_crash;
+      quick "supervise exhausts retries" test_supervise_exhausts_retries;
+      quick "sweep + resume" test_sweep_resume;
+      quick "sweep events" test_sweep_events;
+      quick "chaos contains faults" test_chaos_contains_faults;
+    ] )
+
+let () = Alcotest.run "runner" [ suite ]
