@@ -101,10 +101,6 @@ let tests =
       Test.make ~name:"verify:theorem-suite" (Staged.stage bench_verify);
       Test.make ~name:"capacity:market-eval" (Staged.stage bench_capacity);
       (* solver kernels *)
-      Test.make ~name:"kernel:utilization-equilibrium"
-        (Staged.stage (fun () ->
-             Subsidization.System.solve fig45_sys
-               ~charges:(Numerics.Vec.make 9 0.5)));
       Test.make ~name:"kernel:nash-solve"
         (Staged.stage (fun () -> Subsidization.Nash.solve equilibrium_game));
       Test.make ~name:"kernel:sensitivity-ds-dq"
@@ -142,6 +138,19 @@ let tests =
             fun () -> Subsidization.Duopoly.market_at duopoly ~prices:(0.8, 0.8)));
     ]
 
+(* sub-microsecond kernels get their own bechamel run: at the shared
+   0.5 s quota kernel:utilization-equilibrium regressed with r^2 = 0.49,
+   so this group trades wall clock for a larger, better-conditioned
+   sample *)
+let fast_tests =
+  Test.make_grouped ~name:"subsidization"
+    [
+      Test.make ~name:"kernel:utilization-equilibrium"
+        (Staged.stage (fun () ->
+             Subsidization.System.solve fig45_sys
+               ~charges:(Numerics.Vec.make 9 0.5)));
+    ]
+
 let run_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -150,10 +159,16 @@ let run_benchmarks () =
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ~stabilize:true ()
   in
-  let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let fast_cfg =
+    Benchmark.cfg ~limit:3000 ~quota:(Time.second 2.0) ~kde:None ~stabilize:true ()
+  in
+  let results = Analyze.all ols Instance.monotonic_clock (Benchmark.all cfg instances tests) in
+  let fast_results =
+    Analyze.all ols Instance.monotonic_clock (Benchmark.all fast_cfg instances fast_tests)
+  in
   let table = Report.Table.make ~columns:[ "benchmark"; "time/run"; "r^2" ] in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) fast_results rows in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   let records =
     List.map
@@ -182,9 +197,74 @@ let run_benchmarks () =
   records
 
 (* ------------------------------------------------------------------ *)
+(* parallel scaling: the two heaviest grid experiments, rerun at
+   --jobs 1 and at the configured domain count; the determinism
+   contract makes the outputs bit-identical, so only the wall clock
+   may differ *)
+
+let jobs_compare () =
+  let configured = Parallel.Runtime.jobs () in
+  let levels = if configured = 1 then [ 1 ] else [ 1; configured ] in
+  let time_figure id =
+    let e = Experiments.Registry.find_exn id in
+    let t0 = Obs.Clock.now () in
+    ignore (Experiments.Common.run e);
+    Obs.Clock.elapsed ~since:t0
+  in
+  let rows =
+    List.map
+      (fun n ->
+        Parallel.Runtime.set_jobs n;
+        (n, time_figure "capacity", time_figure "duopoly"))
+      levels
+  in
+  Parallel.Runtime.set_jobs configured;
+  print_newline ();
+  print_endline "==================================================================";
+  print_endline " Parallel scaling (capacity + duopoly regeneration)";
+  print_endline "==================================================================";
+  let table = Report.Table.make ~columns:[ "jobs"; "capacity"; "duopoly" ] in
+  List.iter
+    (fun (n, cap_s, duo_s) ->
+      Report.Table.add_row table
+        [
+          string_of_int n;
+          Printf.sprintf "%.2f s" cap_s;
+          Printf.sprintf "%.2f s" duo_s;
+        ])
+    rows;
+  print_endline (Report.Table.to_string table);
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* machine-readable perf record *)
 
-let perf_record ~figures ~benchmarks : Obs.Json.t =
+let parallel_json ~stats ~compare : Obs.Json.t =
+  let open Obs.Json in
+  let compare_row (n, cap_s, duo_s) =
+    Obj
+      [
+        ("jobs", Num (float_of_int n));
+        ("capacity_seconds", Num cap_s);
+        ("duopoly_seconds", Num duo_s);
+      ]
+  in
+  let stat_fields =
+    match stats with
+    | None -> [ ("domains", Num (float_of_int (Parallel.Runtime.jobs ()))) ]
+    | Some s ->
+      [
+        ("domains", Num (float_of_int s.Parallel.Pool.domains));
+        ("batches", Num (float_of_int s.Parallel.Pool.batches));
+        ( "tasks_per_domain",
+          Arr
+            (Array.to_list
+               (Array.map (fun n -> Num (float_of_int n)) s.Parallel.Pool.tasks_run)) );
+      ]
+  in
+  Obj (stat_fields @ [ ("jobs_compare", Arr (List.map compare_row compare)) ])
+
+let perf_record ~figures ~benchmarks ~parallel : Obs.Json.t =
   let open Obs.Json in
   let figure r =
     Obj
@@ -211,20 +291,38 @@ let perf_record ~figures ~benchmarks : Obs.Json.t =
       ( "regeneration_seconds",
         Num (List.fold_left (fun acc r -> acc +. r.seconds) 0. figures) );
       ("figures", Arr (List.map figure figures));
+      ("parallel", parallel);
       ("benchmarks", Arr (List.map benchmark benchmarks));
     ]
 
 let () =
   let json_path = ref None in
   Arg.parse
-    [ ("--json", Arg.String (fun p -> json_path := Some p), "FILE  also write a bench.v1 perf record (BENCH_<id>.json)") ]
+    [
+      ( "--json",
+        Arg.String (fun p -> json_path := Some p),
+        "FILE  also write a bench.v1 perf record (BENCH_<id>.json)" );
+      ( "--jobs",
+        Arg.Int Parallel.Runtime.set_jobs,
+        "N  domains for grid-parallel evaluation (default: SUBSIDIZATION_JOBS \
+         or the recommended domain count)" );
+    ]
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
-    "bench [--json FILE]";
+    "bench [--json FILE] [--jobs N]";
   let failures, figures = regenerate () in
+  (* capture the pool counters of the main regeneration pass before the
+     scaling comparison recreates the pool *)
+  let pool_stats = Parallel.Runtime.stats () in
+  let compare = jobs_compare () in
+  (* part 2 times serial kernels: shut the pool down first, because
+     even idle worker domains take part in every stop-the-world minor
+     collection and would distort sub-microsecond loops *)
+  Parallel.Runtime.shutdown ();
   let benchmarks = run_benchmarks () in
   (match !json_path with
   | Some path ->
-    Obs.Export.write_json ~path (perf_record ~figures ~benchmarks);
+    let parallel = parallel_json ~stats:pool_stats ~compare in
+    Obs.Export.write_json ~path (perf_record ~figures ~benchmarks ~parallel);
     if path <> "-" then Printf.printf "\nperf record written to %s\n" path
   | None -> ());
   if failures > 0 then begin

@@ -28,6 +28,17 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains used for grid-parallel experiment evaluation. Defaults to the \
+     $(b,SUBSIDIZATION_JOBS) environment variable, then to the machine's \
+     recommended domain count. Results are bit-identical at every value; only \
+     the wall clock changes."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_jobs = function Some n -> Parallel.Runtime.set_jobs n | None -> ()
+
 (* -- supervision options ------------------------------------------- *)
 
 let deadline_arg =
@@ -114,7 +125,8 @@ let with_observability ~trace ~metrics f =
   | None -> ());
   code
 
-let run_experiment id dir plots trace metrics deadline_s max_evals retries backoff_s =
+let run_experiment id dir plots trace metrics jobs deadline_s max_evals retries backoff_s =
+  apply_jobs jobs;
   with_observability ~trace ~metrics @@ fun () ->
   let experiment = Experiments.Registry.find_exn id in
   let limits = limits_of ~deadline_s ~max_evals in
@@ -145,11 +157,11 @@ let experiment_cmd (e : Experiments.Common.t) =
   let doc = Printf.sprintf "Reproduce %s (%s)." e.Experiments.Common.title e.Experiments.Common.paper_ref in
   let term =
     Term.(
-      const (fun dir plots trace metrics deadline_s max_evals retries backoff_s ->
-          run_experiment e.Experiments.Common.id dir plots trace metrics deadline_s
-            max_evals retries backoff_s)
-      $ dir_arg $ plots_arg $ trace_arg $ metrics_arg $ deadline_arg $ max_evals_arg
-      $ retries_arg $ backoff_arg)
+      const (fun dir plots trace metrics jobs deadline_s max_evals retries backoff_s ->
+          run_experiment e.Experiments.Common.id dir plots trace metrics jobs
+            deadline_s max_evals retries backoff_s)
+      $ dir_arg $ plots_arg $ trace_arg $ metrics_arg $ jobs_arg $ deadline_arg
+      $ max_evals_arg $ retries_arg $ backoff_arg)
   in
   Cmd.v (Cmd.info e.Experiments.Common.id ~doc) term
 
@@ -191,8 +203,9 @@ let all_cmd =
      figure, crash containment, optional deadlines/retries, and a crash-safe \
      resumable manifest."
   in
-  let run dir trace metrics deadline_s max_evals retries backoff_s manifest resume
-      inject_crash =
+  let run dir trace metrics jobs deadline_s max_evals retries backoff_s manifest
+      resume inject_crash =
+    apply_jobs jobs;
     with_observability ~trace ~metrics @@ fun () ->
     if resume && manifest = None then begin
       prerr_endline "subsidization all: --resume requires --manifest FILE";
@@ -223,8 +236,9 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const run $ dir_arg $ trace_arg $ metrics_arg $ deadline_arg $ max_evals_arg
-      $ retries_arg $ backoff_arg $ manifest_arg $ resume_arg $ inject_crash_arg)
+      const run $ dir_arg $ trace_arg $ metrics_arg $ jobs_arg $ deadline_arg
+      $ max_evals_arg $ retries_arg $ backoff_arg $ manifest_arg $ resume_arg
+      $ inject_crash_arg)
 
 (* ------------------------------------------------------------------ *)
 (* chaos: fault modes x registry *)
@@ -252,7 +266,8 @@ let chaos_cmd =
      experiment completes or degrades gracefully: no hang, no escaped exception, \
      and a schema-valid run.v1 manifest entry per (scenario, experiment) pair."
   in
-  let run deadline_s modes only manifest =
+  let run deadline_s modes only manifest jobs =
+    apply_jobs jobs;
     let scenarios =
       match modes with
       | None -> Runner.Chaos.default_scenarios
@@ -299,7 +314,9 @@ let chaos_cmd =
     end
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ chaos_deadline_arg $ modes_arg $ only_arg $ manifest_arg)
+    Term.(
+      const run $ chaos_deadline_arg $ modes_arg $ only_arg $ manifest_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* custom markets from CSV *)

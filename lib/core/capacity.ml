@@ -36,5 +36,11 @@ let optimal ?(mu_lo = 0.05) ?(mu_hi = 10.) ?(points = 13) sys ~pricing ~cap ~uni
   let r = Numerics.Optimize.grid_then_golden ~points ~tol:1e-3 profit_at ~lo:mu_lo ~hi:mu_hi in
   evaluate sys ~pricing ~cap ~unit_cost ~capacity:r.Numerics.Optimize.x
 
-let investment_incentive ?mu_lo ?mu_hi sys ~pricing ~unit_cost ~caps =
-  Array.map (fun cap -> optimal ?mu_lo ?mu_hi sys ~pricing ~cap ~unit_cost) caps
+let investment_incentive ?mu_lo ?mu_hi ?pool sys ~pricing ~unit_cost ~caps =
+  let solve cap = optimal ?mu_lo ?mu_hi sys ~pricing ~cap ~unit_cost in
+  match pool with
+  | None -> Array.map solve caps
+  | Some pool ->
+    (* each cap is an independent capacity optimization (the dominant
+       cost of the capacity experiment): one task per cap *)
+    Parallel.Pool.map pool ~chunk:1 solve caps

@@ -41,10 +41,12 @@ val optimal :
 val investment_incentive :
   ?mu_lo:float ->
   ?mu_hi:float ->
+  ?pool:Parallel.Pool.t ->
   System.t ->
   pricing:pricing ->
   unit_cost:float ->
   caps:float array ->
   plan array
 (** The optimal plan per policy level: the deregulation-vs-investment
-    ablation (one row per [q]). *)
+    ablation (one row per [q]). With [pool], one task per cap (the
+    caps are independent optimizations). *)

@@ -52,14 +52,20 @@ let condition7_margin sys st i =
   let eps_phi_p = dphi_dprice sys st *. p /. st.System.phi in
   -.eps_phi_p -. (eps_m_p /. eps_lambda_phi)
 
-let revenue_curve ?phi_guess sys ~prices =
-  let guess = ref (match phi_guess with Some g -> g | None -> 1.) in
-  Array.map
-    (fun p ->
-      let st = state ~phi_guess:!guess sys ~price:p in
-      guess := Float.max st.System.phi 1e-6;
-      (p, p *. st.System.aggregate))
-    prices
+(* one grid cell: solve at [price] warm-started from [guess], emit the
+   revenue point and the utilization to warm-start the next cell *)
+let revenue_step sys guess price =
+  let st = state ~phi_guess:guess sys ~price in
+  ((price, price *. st.System.aggregate), Float.max st.System.phi 1e-6)
+
+let revenue_curve ?phi_guess ?pool ?(chunk = 8) sys ~prices =
+  let guess0 = match phi_guess with Some g -> g | None -> 1. in
+  match pool with
+  | None -> Parallel.Pool.fold_map ~init:guess0 ~step:(revenue_step sys) prices
+  | Some pool ->
+    Parallel.Pool.map_chunked pool ~chunk
+      ~init:(fun _ -> guess0)
+      ~step:(revenue_step sys) prices
 
 let peak_revenue ?(p_max = 5.) sys =
   if p_max <= 0. then invalid_arg "One_sided.peak_revenue: p_max must be positive";

@@ -33,9 +33,18 @@ val condition7_margin : System.t -> System.state -> int -> float
     undefined at zero). *)
 
 val revenue_curve :
-  ?phi_guess:float -> System.t -> prices:float array -> (float * float) array
+  ?phi_guess:float ->
+  ?pool:Parallel.Pool.t ->
+  ?chunk:int ->
+  System.t ->
+  prices:float array ->
+  (float * float) array
 (** [(p, R(p))] along a price grid, warm-starting each solve at the
-    previous utilization. *)
+    previous cell's utilization. With [pool], the grid is evaluated in
+    chunks of [chunk] (default 8) prices; warm-start continuation is
+    chunk-local (each chunk restarts from [phi_guess]), so the chunk
+    boundaries — hence the bits of the result — are independent of the
+    pool size. *)
 
 val peak_revenue : ?p_max:float -> System.t -> float * float
 (** The revenue-maximizing price and its revenue on [\[0, p_max\]]

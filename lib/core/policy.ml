@@ -22,25 +22,54 @@ let point_of_equilibrium sys ~price ~cap (eq : Nash.equilibrium) =
 let point_at sys ~price ~cap =
   point_of_equilibrium sys ~price ~cap (nash_at sys ~price ~cap)
 
-let price_sweep sys ~cap ~prices =
-  let warm = ref None in
-  Array.map
-    (fun price ->
-      let solve () =
-        let game = Subsidy_game.make sys ~price ~cap in
-        let eq = Nash.solve ?x0:!warm game in
-        warm := Some eq.Nash.subsidies;
-        point_of_equilibrium sys ~price ~cap eq
-      in
-      if Obs.Trace.enabled () then
-        Obs.Trace.with_span "price.point"
-          ~attrs:[ ("price", Printf.sprintf "%g" price); ("cap", Printf.sprintf "%g" cap) ]
-          solve
-      else solve ())
-    prices
+(* one grid cell: Nash at (price, cap) warm-started from the previous
+   cell's subsidies, which it emits for the next cell *)
+let sweep_step sys ~cap warm price =
+  let solve () =
+    let game = Subsidy_game.make sys ~price ~cap in
+    let eq = Nash.solve ?x0:warm game in
+    (point_of_equilibrium sys ~price ~cap eq, Some eq.Nash.subsidies)
+  in
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "price.point"
+      ~attrs:[ ("price", Printf.sprintf "%g" price); ("cap", Printf.sprintf "%g" cap) ]
+      solve
+  else solve ()
 
-let policy_sweep sys ~caps ~prices =
-  Array.map (fun cap -> price_sweep sys ~cap ~prices) caps
+(* fixed: chunk boundaries must not move with the domain count, or the
+   warm-start chains (hence the solved bits) would *)
+let default_chunk = 8
+
+let price_sweep ?pool ?(chunk = default_chunk) sys ~cap ~prices =
+  match pool with
+  | None -> Parallel.Pool.fold_map ~init:None ~step:(sweep_step sys ~cap) prices
+  | Some pool ->
+    Parallel.Pool.map_chunked pool ~chunk
+      ~init:(fun _ -> None)
+      ~step:(sweep_step sys ~cap) prices
+
+let policy_sweep ?pool ?(chunk = default_chunk) sys ~caps ~prices =
+  match pool with
+  | None -> Array.map (fun cap -> price_sweep ~chunk sys ~cap ~prices) caps
+  | Some pool ->
+    (* flatten (cap x price-chunk) into a single batch so a narrow
+       price grid still feeds every domain; each task is one warm-start
+       chain, identical to the chunk it would be under [price_sweep] *)
+    let rs = Parallel.Pool.ranges ~n:(Array.length prices) ~chunk in
+    let nr = Array.length rs in
+    let slots = Array.make (Array.length caps * nr) [||] in
+    let fns =
+      Array.init (Array.length caps * nr) (fun t ->
+          let cap = caps.(t / nr) in
+          let lo, hi = rs.(t mod nr) in
+          fun () ->
+            slots.(t) <-
+              Parallel.Pool.fold_map ~init:None ~step:(sweep_step sys ~cap)
+                (Array.sub prices lo (hi - lo)))
+    in
+    Parallel.Pool.run_tasks pool fns;
+    Array.init (Array.length caps) (fun qi ->
+        Array.concat (Array.to_list (Array.sub slots (qi * nr) nr)))
 
 let optimal_price ?(p_max = 3.) ?(points = 49) sys ~cap =
   let game = Subsidy_game.make sys ~price:0. ~cap in
@@ -48,13 +77,11 @@ let optimal_price ?(p_max = 3.) ?(points = 49) sys ~cap =
   point_at sys ~price:p_star ~cap
 
 let deregulation_ladder sys ~price ~caps =
-  let warm = ref None in
-  Array.map
-    (fun cap ->
+  Parallel.Pool.fold_map ~init:None
+    ~step:(fun warm cap ->
       let game = Subsidy_game.make sys ~price ~cap in
-      let eq = Nash.solve ?x0:(Option.map (Numerics.Vec.clamp ~lo:0. ~hi:cap) !warm) game in
-      warm := Some eq.Nash.subsidies;
-      point_of_equilibrium sys ~price ~cap eq)
+      let eq = Nash.solve ?x0:(Option.map (Numerics.Vec.clamp ~lo:0. ~hi:cap) warm) game in
+      (point_of_equilibrium sys ~price ~cap eq, Some eq.Nash.subsidies))
     caps
 
 let price_response_slope ?(h = 1e-3) sys ~cap ?p_max () =

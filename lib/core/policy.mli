@@ -19,14 +19,31 @@ val nash_at : System.t -> price:float -> cap:float -> Nash.equilibrium
 val point_at : System.t -> price:float -> cap:float -> point
 
 val price_sweep :
-  System.t -> cap:float -> prices:float array -> point array
+  ?pool:Parallel.Pool.t ->
+  ?chunk:int ->
+  System.t ->
+  cap:float ->
+  prices:float array ->
+  point array
 (** Equilibria along a price grid under a fixed policy, warm-started
-    left to right (the Figure 7-11 inner loop). *)
+    left to right (the Figure 7-11 inner loop). With [pool], the grid
+    is evaluated in chunks of [chunk] (default 8) prices; each chunk
+    is its own warm-start chain starting cold, so chunk boundaries —
+    and therefore the solved bits — depend only on [chunk], never on
+    the pool size. *)
 
 val policy_sweep :
-  System.t -> caps:float array -> prices:float array -> point array array
+  ?pool:Parallel.Pool.t ->
+  ?chunk:int ->
+  System.t ->
+  caps:float array ->
+  prices:float array ->
+  point array array
 (** [policy_sweep sys ~caps ~prices] is one [price_sweep] per cap
-    level (row-per-cap; the full Figure 7-11 grid). *)
+    level (row-per-cap; the full Figure 7-11 grid). With [pool], the
+    whole [(cap, price-chunk)] grid is submitted as one flat batch —
+    cell results are identical to the per-row [price_sweep ~pool]
+    ones. *)
 
 val optimal_price : ?p_max:float -> ?points:int -> System.t -> cap:float -> point
 (** The ISP's revenue-maximizing response [p*(q)] and the resulting

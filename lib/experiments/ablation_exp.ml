@@ -3,14 +3,21 @@ open Subsidization
 (* a coarse Figure-7 row: revenue at q = 1 over a small price grid *)
 let prices = [| 0.2; 0.5; 0.8; 1.1; 1.4; 1.7; 2.0 |]
 
-let curve solve =
-  let sys = Scenario.fig7_11_system () in
-  Array.map
-    (fun p ->
-      let game = Subsidy_game.make sys ~price:p ~cap:1.0 in
-      let eq : Nash.equilibrium = solve game in
-      p *. eq.Nash.state.System.aggregate)
-    prices
+(* row 0 is the reference; the others are the perturbed variants *)
+let solvers =
+  [|
+    ("reference (defaults)", fun g -> Nash.solve g);
+    ("jacobi scheme", fun g -> Nash.solve ~scheme:Gametheory.Best_response.Jacobi g);
+    ("damping 0.5", fun g -> Nash.solve ~damping:0.5 g);
+    ("loose tolerance 1e-6", fun g -> Nash.solve ~tol:1e-6 g);
+    ("coarse line search (9 pts)", fun g -> Nash.solve ~respond_points:9 g);
+    ("fine line search (49 pts)", fun g -> Nash.solve ~respond_points:49 g);
+    ("extragradient VI solver", fun g -> Nash.solve_vi ~tol:1e-9 g);
+    ( "warm start from cap",
+      fun g ->
+        Nash.solve ~x0:(Numerics.Vec.make (Subsidy_game.dim g) (Subsidy_game.cap g)) g
+    );
+  |]
 
 let max_rel_deviation reference other =
   let worst = ref 0. in
@@ -22,31 +29,35 @@ let max_rel_deviation reference other =
   !worst
 
 let run () : Common.outcome =
-  let reference = curve (fun g -> Nash.solve g) in
-  let variants =
-    [
-      ("jacobi scheme", curve (fun g -> Nash.solve ~scheme:Gametheory.Best_response.Jacobi g));
-      ("damping 0.5", curve (fun g -> Nash.solve ~damping:0.5 g));
-      ("loose tolerance 1e-6", curve (fun g -> Nash.solve ~tol:1e-6 g));
-      ("coarse line search (9 pts)", curve (fun g -> Nash.solve ~respond_points:9 g));
-      ("fine line search (49 pts)", curve (fun g -> Nash.solve ~respond_points:49 g));
-      ("extragradient VI solver", curve (fun g -> Nash.solve_vi ~tol:1e-9 g));
-      ("warm start from cap", curve (fun g ->
-           Nash.solve ~x0:(Numerics.Vec.make (Subsidy_game.dim g) (Subsidy_game.cap g)) g));
-    ]
+  let sys = Scenario.fig7_11_system () in
+  let np = Array.length prices in
+  (* flatten (variant x price) into independent Nash solves — 56 cells,
+     one task each, reassembled row-major into per-variant curves *)
+  let cells =
+    Parallel.Pool.map (Parallel.Runtime.pool ()) ~chunk:1
+      (fun t ->
+        let _, solve = solvers.(t / np) in
+        let p = prices.(t mod np) in
+        let game = Subsidy_game.make sys ~price:p ~cap:1.0 in
+        let eq = solve game in
+        p *. eq.Nash.state.System.aggregate)
+      (Array.init (Array.length solvers * np) Fun.id)
   in
+  let curve vi = Array.sub cells (vi * np) np in
+  let reference = curve 0 in
   let table = Report.Table.make ~columns:[ "solver variant"; "max relative deviation" ] in
-  Report.Table.add_row table [ "reference (defaults)"; "0" ];
+  Report.Table.add_row table [ fst solvers.(0); "0" ];
   let checks =
-    List.map
-      (fun (name, ys) ->
-        let dev = max_rel_deviation reference ys in
+    List.init
+      (Array.length solvers - 1)
+      (fun k ->
+        let name = fst solvers.(k + 1) in
+        let dev = max_rel_deviation reference (curve (k + 1)) in
         Report.Table.add_row table [ name; Printf.sprintf "%.2e" dev ];
         Common.check
           ~name:(Printf.sprintf "ablation.%s" name)
           (dev < 1e-4)
           (Printf.sprintf "revenue curve deviates by at most %.2e" dev))
-      variants
   in
   {
     Common.id = "ablation";

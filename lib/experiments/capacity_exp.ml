@@ -5,7 +5,10 @@ let run () : Common.outcome =
   let caps = Scenario.q_levels () in
   let unit_cost = 0.15 in
   let pricing = Capacity.Optimal_price { p_max = 2.5 } in
-  let plans = Capacity.investment_incentive sys ~pricing ~unit_cost ~caps in
+  let plans =
+    Capacity.investment_incentive ~pool:(Parallel.Runtime.pool ()) sys ~pricing
+      ~unit_cost ~caps
+  in
   let table =
     Report.Table.make
       ~columns:[ "q"; "mu*"; "p*"; "revenue"; "cost"; "profit"; "phi"; "welfare" ]

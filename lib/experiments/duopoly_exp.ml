@@ -23,10 +23,22 @@ let run () : Common.outcome =
       ];
     m
   in
-  let mono0 = record "monopoly" 0. (Duopoly.monopoly_benchmark (duopoly 0.)) in
-  let comp0 = record "duopoly" 0. (Duopoly.price_equilibrium (duopoly 0.)) in
-  let mono1 = record "monopoly" 1. (Duopoly.monopoly_benchmark (duopoly 1.)) in
-  let comp1 = record "duopoly" 1. (Duopoly.price_equilibrium (duopoly 1.)) in
+  (* the four market solves are independent and roughly equal-cost:
+     one pool task each, recorded in fixed order afterwards *)
+  let markets =
+    Parallel.Pool.map (Parallel.Runtime.pool ()) ~chunk:1
+      (fun solve -> solve ())
+      [|
+        (fun () -> Duopoly.monopoly_benchmark (duopoly 0.));
+        (fun () -> Duopoly.price_equilibrium (duopoly 0.));
+        (fun () -> Duopoly.monopoly_benchmark (duopoly 1.));
+        (fun () -> Duopoly.price_equilibrium (duopoly 1.));
+      |]
+  in
+  let mono0 = record "monopoly" 0. markets.(0) in
+  let comp0 = record "duopoly" 0. markets.(1) in
+  let mono1 = record "monopoly" 1. markets.(2) in
+  let comp1 = record "duopoly" 1. markets.(3) in
 
   let avg_price (m : Duopoly.market) = 0.5 *. (fst m.Duopoly.prices +. snd m.Duopoly.prices) in
   let total_rev (m : Duopoly.market) = fst m.Duopoly.revenues +. snd m.Duopoly.revenues in

@@ -2,6 +2,9 @@ open Subsidization
 
 let cache : (int, float array * float array * Policy.point array array) Hashtbl.t =
   Hashtbl.create 4
+[@@sync
+  "submitting-domain only: experiments run serially on the main domain; pool \
+   workers compute sweep cells but never touch this memo"]
 
 let get ?(points = 41) () =
   match Hashtbl.find_opt cache points with
@@ -10,7 +13,7 @@ let get ?(points = 41) () =
     let sys = Scenario.fig7_11_system () in
     let caps = Scenario.q_levels () in
     let prices = Scenario.price_grid ~points () in
-    let sweep = Policy.policy_sweep sys ~caps ~prices in
+    let sweep = Policy.policy_sweep ~pool:(Parallel.Runtime.pool ()) sys ~caps ~prices in
     let entry = (caps, prices, sweep) in
     Hashtbl.replace cache points entry;
     entry

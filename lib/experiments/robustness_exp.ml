@@ -10,7 +10,45 @@ let default_samples = 40
 let poison_system (sys : System.t) = { sys with System.capacity = Float.nan }
 
 let run_samples ?(samples = default_samples) ?(poison = []) () =
-  let rng = Rng.create 1406_2516L in
+  (* one pre-split child generator per sample: every draw a sample
+     makes comes from its own stream, so the results are bit-identical
+     whatever order — or domain — the samples are evaluated in *)
+  let rngs = Rng.split_n (Rng.create 1406_2516L) samples in
+  let eval sample =
+    let rng = rngs.(sample - 1) in
+    let sys = Scenario.random_system rng in
+    let sys = if List.mem sample poison then poison_system sys else sys in
+    let p = Rng.uniform rng ~lo:0.3 ~hi:1.2 in
+    let q = Rng.uniform rng ~lo:0.2 ~hi:1.0 in
+    Common.try_sample ~label:"random market" ~sample (fun () ->
+        let game = Subsidy_game.make sys ~price:p ~cap:q in
+        let eq = Nash.solve game in
+        let props_kkt = eq.Nash.converged && eq.Nash.kkt_residual < 1e-5 in
+        let props_unique = Nash.multistart_spread ~starts:3 rng game < 1e-6 in
+        (* Corollary 1: relax the cap, revenue and utilization move up *)
+        let tighter = Nash.solve (Subsidy_game.make sys ~price:p ~cap:(q /. 2.)) in
+        let props_c1r =
+          p *. eq.Nash.state.System.aggregate
+          >= (p *. tighter.Nash.state.System.aggregate) -. 1e-6
+        in
+        let props_c1p =
+          eq.Nash.state.System.phi >= tighter.Nash.state.System.phi -. 1e-8
+        in
+        (* Theorem 5: bump a random CP's value *)
+        let i = Rng.int rng (System.n_cps sys) in
+        let cps = Array.copy sys.System.cps in
+        cps.(i) <- { cps.(i) with Econ.Cp.value = cps.(i).Econ.Cp.value +. 0.3 };
+        let richer = System.make ~cps ~capacity:sys.System.capacity () in
+        let bumped = Nash.solve (Subsidy_game.make richer ~price:p ~cap:q) in
+        let props_t5 = bumped.Nash.subsidies.(i) >= eq.Nash.subsidies.(i) -. 1e-6 in
+        (* Corollary 1's stability condition *)
+        let props_stab = Nash.off_diagonal_monotone game ~subsidies:eq.Nash.subsidies in
+        (props_kkt, props_unique, props_c1r, props_c1p, props_t5, props_stab))
+  in
+  let outcomes =
+    Parallel.Pool.map (Parallel.Runtime.pool ()) ~chunk:5 eval
+      (Array.init samples (fun i -> i + 1))
+  in
   let kkt_ok = ref 0 in
   let unique_ok = ref 0 in
   let corollary1_revenue_ok = ref 0 in
@@ -19,48 +57,18 @@ let run_samples ?(samples = default_samples) ?(poison = []) () =
   let stability_ok = ref 0 in
   let solved = ref 0 in
   let degraded = ref [] in
-  for sample = 1 to samples do
-    let sys = Scenario.random_system rng in
-    let sys = if List.mem sample poison then poison_system sys else sys in
-    let p = Rng.uniform rng ~lo:0.3 ~hi:1.2 in
-    let q = Rng.uniform rng ~lo:0.2 ~hi:1.0 in
-    let outcome =
-      Common.try_sample ~label:"random market" ~sample (fun () ->
-          let game = Subsidy_game.make sys ~price:p ~cap:q in
-          let eq = Nash.solve game in
-          let props_kkt = eq.Nash.converged && eq.Nash.kkt_residual < 1e-5 in
-          let props_unique = Nash.multistart_spread ~starts:3 rng game < 1e-6 in
-          (* Corollary 1: relax the cap, revenue and utilization move up *)
-          let tighter = Nash.solve (Subsidy_game.make sys ~price:p ~cap:(q /. 2.)) in
-          let props_c1r =
-            p *. eq.Nash.state.System.aggregate
-            >= (p *. tighter.Nash.state.System.aggregate) -. 1e-6
-          in
-          let props_c1p =
-            eq.Nash.state.System.phi >= tighter.Nash.state.System.phi -. 1e-8
-          in
-          (* Theorem 5: bump a random CP's value *)
-          let i = Rng.int rng (System.n_cps sys) in
-          let cps = Array.copy sys.System.cps in
-          cps.(i) <- { cps.(i) with Econ.Cp.value = cps.(i).Econ.Cp.value +. 0.3 };
-          let richer = System.make ~cps ~capacity:sys.System.capacity () in
-          let bumped = Nash.solve (Subsidy_game.make richer ~price:p ~cap:q) in
-          let props_t5 = bumped.Nash.subsidies.(i) >= eq.Nash.subsidies.(i) -. 1e-6 in
-          (* Corollary 1's stability condition *)
-          let props_stab = Nash.off_diagonal_monotone game ~subsidies:eq.Nash.subsidies in
-          (props_kkt, props_unique, props_c1r, props_c1p, props_t5, props_stab))
-    in
-    match outcome with
-    | Ok (p_kkt, p_unique, p_c1r, p_c1p, p_t5, p_stab) ->
-      incr solved;
-      if p_kkt then incr kkt_ok;
-      if p_unique then incr unique_ok;
-      if p_c1r then incr corollary1_revenue_ok;
-      if p_c1p then incr corollary1_phi_ok;
-      if p_t5 then incr theorem5_ok;
-      if p_stab then incr stability_ok
-    | Error d -> degraded := d :: !degraded
-  done;
+  Array.iter
+    (function
+      | Ok (p_kkt, p_unique, p_c1r, p_c1p, p_t5, p_stab) ->
+        incr solved;
+        if p_kkt then incr kkt_ok;
+        if p_unique then incr unique_ok;
+        if p_c1r then incr corollary1_revenue_ok;
+        if p_c1p then incr corollary1_phi_ok;
+        if p_t5 then incr theorem5_ok;
+        if p_stab then incr stability_ok
+      | Error d -> degraded := d :: !degraded)
+    outcomes;
   let degraded = List.rev !degraded in
   let n_degraded = List.length degraded in
   let table = Report.Table.make ~columns:[ "property"; "holds on"; "fraction" ] in

@@ -73,6 +73,19 @@ let no_obj_magic =
     scope = { applies_to = everywhere; exempt = [] };
   }
 
+let no_unsync_global =
+  {
+    id = "NO-UNSYNC-GLOBAL";
+    severity = Finding.Error;
+    doc =
+      "top-level mutable state (ref, Hashtbl.create, Queue/Stack/Buffer, \
+       Array.make) in library code is process-global and reachable from pool \
+       worker domains; guard it and document the discipline with \
+       [@@sync \"...\"] or make it domain-local (Atomic/Mutex/Condition/\
+       Domain.DLS constructions are inherently domain-safe and not flagged)";
+    scope = { applies_to = [ "lib/" ]; exempt = [] };
+  }
+
 let mli_required_rule =
   {
     id = "MLI-REQUIRED";
@@ -89,6 +102,7 @@ let all =
     no_lib_print;
     no_float_eq;
     no_obj_magic;
+    no_unsync_global;
     mli_required_rule;
   ]
 
@@ -140,6 +154,24 @@ let print_fns =
 
 let magic_fns = [ "Obj.magic" ]
 
+(* creators of shared mutable state; Array.init and array/record
+   literals are deliberately excluded — the repo's constant-table idiom
+   — as are Atomic/Mutex/Condition/Domain.DLS, the sanctioned
+   domain-safe constructions *)
+let mutable_creators =
+  [
+    "ref";
+    "Stdlib.ref";
+    "Hashtbl.create";
+    "Queue.create";
+    "Stack.create";
+    "Buffer.create";
+    "Bytes.create";
+    "Bytes.make";
+    "Array.make";
+    "Array.create_float";
+  ]
+
 let float_eq_ops = [ "="; "<>"; "=="; "!=" ]
 
 let mem name l = List.exists (String.equal name) l
@@ -166,6 +198,63 @@ let is_assert_false e =
     -> true
   | _ -> false
 
+(* a [@@sync "..."] (or [@sync "..."]) attribute with a string payload:
+   the documented-synchronization escape hatch of NO-UNSYNC-GLOBAL *)
+let has_sync_note attrs =
+  List.exists
+    (fun (a : attribute) ->
+      String.equal a.attr_name.txt "sync"
+      &&
+      match a.attr_payload with
+      | PStr
+          [
+            {
+              pstr_desc =
+                Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string _); _ }, _);
+              _;
+            };
+          ] ->
+        true
+      | _ -> false)
+    attrs
+
+(* does a top-level right-hand side allocate shared mutable state?
+   Stops at function boundaries (state created per call is local) and at
+   any subtree carrying a sync note; recurses through the wrappers a
+   module-level binding realistically uses (constraints, let-chains,
+   tuples, records, conditionals, lazy). Returns the creator's name. *)
+let rec find_mutable_creator e =
+  if has_sync_note e.pexp_attributes then None
+  else
+    match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+      when mem (lid_name txt) mutable_creators ->
+      Some (lid_name txt)
+    | Pexp_constraint (e, _)
+    | Pexp_coerce (e, _, _)
+    | Pexp_open (_, e)
+    | Pexp_newtype (_, e)
+    | Pexp_lazy e ->
+      find_mutable_creator e
+    | Pexp_let (_, vbs, body) ->
+      first_mutable_creator
+        (body
+        :: List.filter_map
+             (fun vb ->
+               if has_sync_note vb.pvb_attributes then None else Some vb.pvb_expr)
+             vbs)
+    | Pexp_sequence (a, b) -> first_mutable_creator [ a; b ]
+    | Pexp_ifthenelse (_, a, b) -> first_mutable_creator (a :: Option.to_list b)
+    | Pexp_tuple es -> first_mutable_creator es
+    | Pexp_record (fields, base) ->
+      first_mutable_creator (List.map snd fields @ Option.to_list base)
+    | _ -> None
+
+and first_mutable_creator es =
+  List.fold_left
+    (fun acc e -> match acc with Some _ -> acc | None -> find_mutable_creator e)
+    None es
+
 (* ---- the walk ---------------------------------------------------- *)
 
 let check_structure ~file str =
@@ -178,7 +267,8 @@ let check_structure ~file str =
     and clock = on no_raw_clock.id
     and print = on no_lib_print.id
     and float_eq = on no_float_eq.id
-    and magic = on no_obj_magic.id in
+    and magic = on no_obj_magic.id
+    and unsync = on no_unsync_global.id in
     let acc = ref [] in
     let emit rule loc message =
       acc := Finding.make ~rule:rule.id ~severity:rule.severity ~file ~loc message :: !acc
@@ -237,9 +327,28 @@ let check_structure ~file str =
             | _ -> if not exception_cases_only then flag case.pc_lhs)
           cases
     in
+    let check_global_binding (vb : value_binding) =
+      if unsync && not (has_sync_note vb.pvb_attributes) then
+        match find_mutable_creator vb.pvb_expr with
+        | Some creator ->
+          emit no_unsync_global vb.pvb_loc
+            (Printf.sprintf
+               "top-level %s creates process-global mutable state reachable \
+                from pool worker domains; synchronize it and document the \
+                discipline with [@@sync \"...\"], or make it domain-local \
+                (Atomic / Mutex / Domain.DLS)"
+               creator)
+        | None -> ()
+    in
     let iter =
       {
         Ast_iterator.default_iterator with
+        structure_item =
+          (fun self item ->
+            (match item.pstr_desc with
+            | Pstr_value (_, vbs) -> List.iter check_global_binding vbs
+            | _ -> ());
+            Ast_iterator.default_iterator.structure_item self item);
         expr =
           (fun self e ->
             (match e.pexp_desc with

@@ -26,7 +26,18 @@ type t = {
 val all : t list
 (** Every rule, in reporting order: NO-BARE-RAISE, NO-SWALLOW,
     NO-RAW-CLOCK, NO-LIB-PRINT, NO-FLOAT-EQ, NO-OBJ-MAGIC,
-    MLI-REQUIRED. *)
+    NO-UNSYNC-GLOBAL, MLI-REQUIRED.
+
+    NO-UNSYNC-GLOBAL guards the parallel layer: a top-level [ref],
+    [Hashtbl.create], [Queue]/[Stack]/[Buffer] or [Array.make] in
+    [lib/] is process-global state that pool worker domains may reach
+    concurrently. Such a binding must either carry a
+    [[@@sync "how it is synchronized"]] note (checked syntactically,
+    with a string payload) or be restructured around the inherently
+    domain-safe constructions ([Atomic], [Mutex], [Condition],
+    [Domain.DLS]), which are never flagged. [Array.init] and
+    array/record literals are also exempt: they are the repo's
+    constant-table idiom. *)
 
 val find : string -> t option
 (** Look a rule up by id. *)

@@ -22,25 +22,32 @@ let describe = function
   | Plateau { lo; hi; level } -> Printf.sprintf "plateau %g on [%g, %g]" level lo hi
 
 (* one evaluation through [mode], charging the supplied counters; the
-   shared core of per-objective [inject] and the process-global hook *)
-let eval ~mode ~evals ~fired f x =
-  incr evals;
+   shared core of per-objective [inject] and the process-global hook.
+   [bump] counts the evaluation and returns the total so far, [fired]
+   counts a corrupted one — parameterized so [inject] can use plain
+   refs while the cross-domain global uses atomics *)
+let eval ~mode ~bump ~fired f x =
+  let n = bump () in
   let fire y =
-    incr fired;
+    fired ();
     y
   in
   match mode with
   | Nan_region { lo; hi } -> if x >= lo && x <= hi then fire Float.nan else f x
-  | Nan_after n -> if !evals > n then fire Float.nan else f x
+  | Nan_after k -> if n > k then fire Float.nan else f x
   | Spike { at; width; height } ->
     if Float.abs (x -. at) <= width then fire (f x +. height) else f x
-  | Budget n -> if !evals > n then raise (Budget_exceeded n) else f x
+  | Budget k -> if n > k then raise (Budget_exceeded k) else f x
   | Plateau { lo; hi; level } -> if x >= lo && x <= hi then fire level else f x
 
 let inject mode f =
   let evals = ref 0 and fired = ref 0 in
+  let bump () =
+    incr evals;
+    !evals
+  in
   {
-    f = (fun x -> eval ~mode ~evals ~fired f x);
+    f = (fun x -> eval ~mode ~bump ~fired:(fun () -> incr fired) f x);
     evaluations = (fun () -> !evals);
     triggered = (fun () -> !fired);
   }
@@ -48,23 +55,43 @@ let inject mode f =
 (* ------------------------------------------------------------------ *)
 (* process-global injection (Robust applies it to every guarded eval) *)
 
-type global = { g_mode : mode; g_evals : int ref; g_fired : int ref }
+(* the installed fault is domain-local (a worker only injects faults
+   when its submitting batch propagated one via [with_snapshot]), but
+   the counters inside one installation are shared atomics: every
+   domain evaluating under the same snapshot charges the same budget,
+   so [Nan_after n] still means n evaluations across the whole sweep *)
+type global = { g_mode : mode; g_evals : int Atomic.t; g_fired : int Atomic.t }
 
-let global_state : global option ref = ref None
+type snapshot = global option
+
+let installed_key : global option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let set_global mode =
-  global_state :=
-    Option.map (fun m -> { g_mode = m; g_evals = ref 0; g_fired = ref 0 }) mode
+  Domain.DLS.set installed_key
+    (Option.map
+       (fun m -> { g_mode = m; g_evals = Atomic.make 0; g_fired = Atomic.make 0 })
+       mode)
 
-let global_mode () = Option.map (fun g -> g.g_mode) !global_state
+let snapshot () = Domain.DLS.get installed_key
+
+let with_snapshot s f =
+  let prev = Domain.DLS.get installed_key in
+  Domain.DLS.set installed_key s;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set installed_key prev) f
+
+let global_mode () = Option.map (fun g -> g.g_mode) (Domain.DLS.get installed_key)
 
 let global_wrap f x =
-  match !global_state with
+  match Domain.DLS.get installed_key with
   | None -> f x
-  | Some g -> eval ~mode:g.g_mode ~evals:g.g_evals ~fired:g.g_fired f x
+  | Some g ->
+    eval ~mode:g.g_mode
+      ~bump:(fun () -> 1 + Atomic.fetch_and_add g.g_evals 1)
+      ~fired:(fun () -> Atomic.incr g.g_fired)
+      f x
 
 let global_evaluations () =
-  match !global_state with None -> 0 | Some g -> !(g.g_evals)
+  match Domain.DLS.get installed_key with None -> 0 | Some g -> Atomic.get g.g_evals
 
 let global_triggered () =
-  match !global_state with None -> 0 | Some g -> !(g.g_fired)
+  match Domain.DLS.get installed_key with None -> 0 | Some g -> Atomic.get g.g_fired

@@ -39,11 +39,29 @@ val describe : mode -> string
     by {!Robust} to {e every} guarded objective evaluation in the
     process, with one shared counter pair (so [Nan_after n] means n
     evaluations across the whole sweep, whichever solver spends
-    them). *)
+    them).
+
+    The installation itself is {e domain-local}: a [Parallel.Pool]
+    worker injects nothing until the submitting domain's installation
+    is propagated to it with {!snapshot}/{!with_snapshot} (the pool
+    does this for every task). The counters inside one installation
+    are atomics shared by every domain running under that snapshot, so
+    budgets and totals stay process-wide. *)
 
 val set_global : mode option -> unit
-(** Install ([Some]) or clear ([None]) the global fault. Installing
-    resets the global counters. *)
+(** Install ([Some]) or clear ([None]) the global fault in the calling
+    domain. Installing resets the global counters. *)
+
+type snapshot
+(** The calling domain's current installation (possibly none), carrying
+    the {e shared} counters — not a copy of their values. *)
+
+val snapshot : unit -> snapshot
+
+val with_snapshot : snapshot -> (unit -> 'a) -> 'a
+(** Run the thunk with the given installation active in the calling
+    domain, restoring the previous one on exit. Evaluations made under
+    it charge the originating installation's counters. *)
 
 val global_mode : unit -> mode option
 

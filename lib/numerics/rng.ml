@@ -18,6 +18,10 @@ let int64 t = mix (next_state t)
 
 let split t = create (int64 t)
 
+let split_n t n =
+  Precondition.require ~fn:"Rng.split_n" (n >= 0) "negative count";
+  Array.init n (fun _ -> split t)
+
 let float t =
   (* 53 high-quality bits into [0, 1) *)
   let bits = Int64.shift_right_logical (int64 t) 11 in

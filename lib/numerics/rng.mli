@@ -12,6 +12,13 @@ val create : int64 -> t
 val split : t -> t
 (** An independent generator derived from (and advancing) [t]. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] independent generators split off [t] in
+    sequence. Splitting is a pure function of the parent's state, so
+    pre-splitting one child per Monte-Carlo sample makes a sweep's
+    draws independent of evaluation order — the mechanism that keeps
+    parallel sweeps bit-identical at any [--jobs] value. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit value. *)
 

@@ -127,9 +127,15 @@ let make_handles layer =
     fp_evals_h = Obs.Metrics.histogram ~labels:(with_op "fixed_point") "solver.evaluations";
   }
 
-let handles_by_layer : (string, layer_handles) Hashtbl.t = Hashtbl.create 8
+(* the handle cache is domain-local: each domain lazily rebuilds its
+   own handle records, and [Obs.Metrics] find-or-create registration
+   hands every domain the same underlying series, so the cache needs
+   no lock and the counters still aggregate process-wide *)
+let handles_key : (string, layer_handles) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let handles layer =
+  let handles_by_layer = Domain.DLS.get handles_key in
   match Hashtbl.find_opt handles_by_layer layer with
   | Some h -> h
   | None ->
@@ -202,27 +208,38 @@ let stats_summary () =
 
 exception Poison of { at : float; value : float }
 
+type probe = unit -> unit
+
 (* cooperative-cancellation probe: called before every guarded
    objective evaluation (root and fixed-point paths). A supervisor
    (Runner.Watchdog) installs a closure that raises its own deadline /
    budget exception; anything the probe raises is deliberately NOT part
    of the failure taxonomy below, so it escapes the fallback chain and
-   unwinds to whoever installed it. *)
-let probe = ref ignore
+   unwinds to whoever installed it. Installation is domain-local; the
+   pool re-installs the submitting domain's composed probe around each
+   task ([snapshot_probe]/[with_probe_snapshot]) so a watchdog keeps
+   seeing evaluations its experiment spends on worker domains. *)
+let probe_key : probe Domain.DLS.key = Domain.DLS.new_key (fun () -> ignore)
 
 let with_probe p f =
-  let prev = !probe in
+  let prev = Domain.DLS.get probe_key in
   (* compose so nested guards all keep firing *)
-  probe :=
-    (fun () ->
+  Domain.DLS.set probe_key (fun () ->
       prev ();
       p ());
-  Fun.protect ~finally:(fun () -> probe := prev) f
+  Fun.protect ~finally:(fun () -> Domain.DLS.set probe_key prev) f
+
+let snapshot_probe () = Domain.DLS.get probe_key
+
+let with_probe_snapshot p f =
+  let prev = Domain.DLS.get probe_key in
+  Domain.DLS.set probe_key p;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set probe_key prev) f
 
 (* every guarded evaluation funnels through here: first the probe
    (cancellation), then the process-global fault, if one is installed *)
 let observed_eval f x =
-  !probe ();
+  (Domain.DLS.get probe_key) ();
   Fault.global_wrap f x
 
 (* ------------------------------------------------------------------ *)

@@ -113,7 +113,9 @@ val fixed_point :
 
 (** {2 Supervision hooks} *)
 
-val with_probe : (unit -> unit) -> (unit -> 'a) -> 'a
+type probe = unit -> unit
+
+val with_probe : probe -> (unit -> 'a) -> 'a
 (** [with_probe p f] runs [f] with [p] invoked before {e every} guarded
     objective evaluation ({!root} and {!fixed_point} alike), composed
     after any probe already installed, and uninstalled on exit (normal
@@ -124,7 +126,25 @@ val with_probe : (unit -> unit) -> (unit -> 'a) -> 'a
     untouched and unwinds to the supervisor. While a probe runs,
     any process-global {!Fault} is also applied to the same
     evaluations, which is what lets the chaos harness reach solvers it
-    cannot see. *)
+    cannot see.
+
+    Probes are {e domain-local}. [Parallel.Pool] captures the
+    submitting domain's probe with {!snapshot_probe} at batch
+    submission and re-installs it around every task with
+    {!with_probe_snapshot}, so a watchdog guarding a parallel sweep
+    still counts each worker-domain evaluation (its own counters must
+    therefore be domain-safe — atomics). *)
+
+val snapshot_probe : unit -> probe
+(** The calling domain's currently composed probe ([ignore] when none
+    is installed). *)
+
+val with_probe_snapshot : probe -> (unit -> 'a) -> 'a
+(** Run the thunk with exactly the given probe installed — {e replacing},
+    not composing with, the calling domain's current probe — restoring
+    the previous one on exit. This is the worker-side half of probe
+    propagation: composing would double-fire when the submitting domain
+    helps drain its own batch. *)
 
 (** {2 Telemetry} *)
 

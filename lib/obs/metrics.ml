@@ -56,24 +56,40 @@ type cell = C of counter | G of gauge | H of hist
 
 type series = { name : string; labels : labels; cell : cell }
 
-let registry : (string * labels, series) Hashtbl.t = Hashtbl.create 64
+(* one process-wide lock covers the table and every cell mutation or
+   read: updates are a handful of float/int stores, so the critical
+   sections are tiny, and a single lock keeps the whole registry
+   linearizable (a snapshot can never see a half-updated histogram) *)
+let lock = Mutex.create ()
+
+let locked f = Mutex.protect lock f
+
+let registry : (string * labels, series) Hashtbl.t =
+  Hashtbl.create 64
+[@@sync "every access (register, cell updates, reads) goes through [lock]"]
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let register name labels make match_cell =
   let labels = normalize labels in
-  match Hashtbl.find_opt registry (name, labels) with
-  | Some s -> (
-    match match_cell s.cell with
-    | Some v -> v
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Obs.Metrics: %s{%s} already registered as a %s" name
-           (labels_to_string labels) (kind_name s.cell)))
-  | None ->
-    let v, cell = make () in
-    Hashtbl.add registry (name, labels) { name; labels; cell };
-    v
+  let outcome =
+    locked (fun () ->
+        match Hashtbl.find_opt registry (name, labels) with
+        | Some s -> (
+          match match_cell s.cell with
+          | Some v -> Ok v
+          | None -> Error (kind_name s.cell))
+        | None ->
+          let v, cell = make () in
+          Hashtbl.add registry (name, labels) { name; labels; cell };
+          Ok v)
+  in
+  match outcome with
+  | Ok v -> v
+  | Error kind ->
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %s{%s} already registered as a %s" name
+         (labels_to_string labels) kind)
 
 let counter ?(labels = []) name : counter =
   register name labels
@@ -82,8 +98,8 @@ let counter ?(labels = []) name : counter =
       (r, C r))
     (function C r -> Some r | _ -> None)
 
-let incr ?(by = 1.) (c : counter) = c := !c +. by
-let counter_value (c : counter) = !c
+let incr ?(by = 1.) (c : counter) = locked (fun () -> c := !c +. by)
+let counter_value (c : counter) = locked (fun () -> !c)
 
 let gauge ?(labels = []) name : gauge =
   register name labels
@@ -92,8 +108,8 @@ let gauge ?(labels = []) name : gauge =
       (r, G r))
     (function G r -> Some r | _ -> None)
 
-let set (g : gauge) v = g := v
-let gauge_value (g : gauge) = !g
+let set (g : gauge) v = locked (fun () -> g := v)
+let gauge_value (g : gauge) = locked (fun () -> !g)
 
 let histogram ?(labels = []) name : histogram =
   register name labels
@@ -103,16 +119,19 @@ let histogram ?(labels = []) name : histogram =
     (function H h -> Some h | _ -> None)
 
 let observe (h : histogram) x =
-  if Float.is_finite x then begin
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. x;
-    if x < h.minimum then h.minimum <- x;
-    if x > h.maximum then h.maximum <- x;
-    if x < Float.pow 10. (float_of_int lo_exp) then h.underflow <- h.underflow + 1
-    else h.counts.(bucket_index x) <- h.counts.(bucket_index x) + 1
-  end
+  if Float.is_finite x then
+    locked (fun () ->
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. x;
+        if x < h.minimum then h.minimum <- x;
+        if x > h.maximum then h.maximum <- x;
+        if x < Float.pow 10. (float_of_int lo_exp) then h.underflow <- h.underflow + 1
+        else h.counts.(bucket_index x) <- h.counts.(bucket_index x) + 1)
 
-let percentile (h : histogram) p =
+(* _unlocked readers exist because [lock] is not reentrant: public
+   wrappers take the lock once, compound readers (snapshot) reuse the
+   raw versions under their own single acquisition *)
+let percentile_unlocked (h : histogram) p =
   if h.count = 0 then Float.nan
   else if p <= 0. then h.minimum
   else if p >= 100. then h.maximum
@@ -149,7 +168,7 @@ type summary = {
   buckets : (float * int) list;
 }
 
-let summarize (h : histogram) =
+let summarize_unlocked (h : histogram) =
   let buckets = ref [] in
   for i = n_buckets - 1 downto 0 do
     if h.counts.(i) > 0 then buckets := (bucket_center i, h.counts.(i)) :: !buckets
@@ -162,11 +181,14 @@ let summarize (h : histogram) =
     sum = h.sum;
     min = (if h.count = 0 then Float.nan else h.minimum);
     max = (if h.count = 0 then Float.nan else h.maximum);
-    p50 = percentile h 50.;
-    p90 = percentile h 90.;
-    p99 = percentile h 99.;
+    p50 = percentile_unlocked h 50.;
+    p90 = percentile_unlocked h 90.;
+    p99 = percentile_unlocked h 99.;
     buckets;
   }
+
+let percentile h p = locked (fun () -> percentile_unlocked h p)
+let summarize h = locked (fun () -> summarize_unlocked h)
 
 (* ------------------------------------------------------------------ *)
 (* reading *)
@@ -176,47 +198,51 @@ type read = Counter of float | Gauge of float | Histogram of summary
 let read_of_cell = function
   | C r -> Counter !r
   | G r -> Gauge !r
-  | H h -> Histogram (summarize h)
+  | H h -> Histogram (summarize_unlocked h)
 
 let has_prefix prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
 let snapshot ?(prefix = "") () =
-  Hashtbl.fold
-    (fun _ s acc ->
-      if has_prefix prefix s.name then (s.name, s.labels, read_of_cell s.cell) :: acc
-      else acc)
-    registry []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ s acc ->
+          if has_prefix prefix s.name then (s.name, s.labels, read_of_cell s.cell) :: acc
+          else acc)
+        registry [])
   |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
 
 let sum_counters ?(where = fun _ -> true) name =
-  Hashtbl.fold
-    (fun _ s acc ->
-      match s.cell with
-      | C r when s.name = name && where s.labels -> acc +. !r
-      | _ -> acc)
-    registry 0.
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ s acc ->
+          match s.cell with
+          | C r when s.name = name && where s.labels -> acc +. !r
+          | _ -> acc)
+        registry 0.)
 
 let sum_histograms ?(where = fun _ -> true) name =
-  Hashtbl.fold
-    (fun _ s acc ->
-      match s.cell with
-      | H h when s.name = name && where s.labels -> acc +. h.sum
-      | _ -> acc)
-    registry 0.
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ s acc ->
+          match s.cell with
+          | H h when s.name = name && where s.labels -> acc +. h.sum
+          | _ -> acc)
+        registry 0.)
 
 let reset ?(prefix = "") () =
-  Hashtbl.iter
-    (fun _ s ->
-      if has_prefix prefix s.name then
-        match s.cell with
-        | C r | G r -> r := 0.
-        | H h ->
-          h.count <- 0;
-          h.sum <- 0.;
-          h.minimum <- Float.infinity;
-          h.maximum <- Float.neg_infinity;
-          h.underflow <- 0;
-          Array.fill h.counts 0 n_buckets 0)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ s ->
+          if has_prefix prefix s.name then
+            match s.cell with
+            | C r | G r -> r := 0.
+            | H h ->
+              h.count <- 0;
+              h.sum <- 0.;
+              h.minimum <- Float.infinity;
+              h.maximum <- Float.neg_infinity;
+              h.underflow <- 0;
+              Array.fill h.counts 0 n_buckets 0)
+        registry)

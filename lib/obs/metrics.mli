@@ -8,7 +8,15 @@
     in-place update per event. Histograms bucket geometrically (24
     buckets per decade over [1e-9, 1e9)), which keeps percentile
     estimates within ~5% relative error at any scale — enough to
-    localize a regression without storing samples. *)
+    localize a regression without storing samples.
+
+    Every operation — registration, cell updates, reads, {!snapshot},
+    {!reset} — is serialized behind one process-wide mutex, so handles
+    may be shared freely across domains (pool workers increment the
+    same series the main domain reads) and a snapshot is always a
+    consistent cut. The critical sections are a few float stores; the
+    lock is uncontended until many domains hammer the same registry,
+    which is the accepted cost of linearizable telemetry. *)
 
 type labels = (string * string) list
 (** Label sets are normalized (sorted by key) on registration. *)

@@ -7,31 +7,47 @@ type span = {
   mutable attrs : (string * string) list;
 }
 
-let enabled_flag = ref false
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+(* Domain-safety discipline: the enabled flag and the id source are
+   atomics; the open-span stack is domain-local (each domain nests its
+   own spans, so a span opened inside a pool worker becomes a root);
+   the completed buffer is shared across domains behind [lock]. *)
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
 
 let max_spans = 200_000
 
-let next_id = ref 0
-let stack : span list ref = ref []
-let completed : span list ref = ref []
-let n_completed = ref 0
-let n_dropped = ref 0
+let next_id = Atomic.make 0
+
+let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+
+let lock = Mutex.create ()
+
+let completed : span list ref =
+  ref []
+[@@sync "guarded by [lock] together with the two counters below"]
+
+let n_completed = ref 0 [@@sync "guarded by [lock]"]
+let n_dropped = ref 0 [@@sync "guarded by [lock]"]
 
 let clear () =
-  next_id := 0;
-  stack := [];
-  completed := [];
-  n_completed := 0;
-  n_dropped := 0
+  Atomic.set next_id 0;
+  (stack ()) := [];
+  Mutex.protect lock (fun () ->
+      completed := [];
+      n_completed := 0;
+      n_dropped := 0)
 
-let dropped () = !n_dropped
+let dropped () = Mutex.protect lock (fun () -> !n_dropped)
 
-let current () = match !stack with [] -> None | s :: _ -> Some s.name
+let current () = match !(stack ()) with [] -> None | s :: _ -> Some s.name
 
 let finish span =
   span.stop <- Clock.now ();
+  let stack = stack () in
   (match !stack with
   | top :: rest when top == span -> stack := rest
   | _ ->
@@ -42,19 +58,20 @@ let finish span =
       | [] -> []
     in
     stack := pop !stack);
-  if !n_completed < max_spans then begin
-    completed := span :: !completed;
-    Stdlib.incr n_completed
-  end
-  else Stdlib.incr n_dropped
+  Mutex.protect lock (fun () ->
+      if !n_completed < max_spans then begin
+        completed := span :: !completed;
+        Stdlib.incr n_completed
+      end
+      else Stdlib.incr n_dropped)
 
 let with_span ?(attrs = []) name f =
-  if not !enabled_flag then f ()
+  if not (Atomic.get enabled_flag) then f ()
   else begin
-    Stdlib.incr next_id;
+    let stack = stack () in
     let span =
       {
-        id = !next_id;
+        id = 1 + Atomic.fetch_and_add next_id 1;
         parent = (match !stack with [] -> None | p :: _ -> Some p.id);
         name;
         start = Clock.now ();
@@ -67,11 +84,11 @@ let with_span ?(attrs = []) name f =
   end
 
 let add_attr k v =
-  match !stack with
+  match !(stack ()) with
   | top :: _ -> top.attrs <- (k, v) :: top.attrs
   | [] -> ()
 
 let spans () =
   List.stable_sort
     (fun a b -> if a.start = b.start then compare a.id b.id else compare a.start b.start)
-    (List.rev !completed)
+    (List.rev (Mutex.protect lock (fun () -> !completed)))

@@ -6,7 +6,15 @@
     records monotonic start/stop timestamps ({!Clock}), a link to the
     enclosing span, and string attributes; {!Export.trace_json} renders
     the buffer in Chrome [trace_event] format (load it in
-    [chrome://tracing] or Perfetto). *)
+    [chrome://tracing] or Perfetto).
+
+    Domain-safety: the open-span stack is {e domain-local} (a span
+    opened inside a [Parallel.Pool] worker has no parent and becomes a
+    root), while ids and the completed buffer are shared — atomics and
+    a mutex respectively — so spans from every domain land in the same
+    export. {!clear} resets the shared buffer but only the calling
+    domain's open stack; call it between runs, when workers are
+    quiescent. *)
 
 type span = {
   id : int;  (** 1-based, unique within the process *)

@@ -1,0 +1,222 @@
+type t = {
+  size : int;
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when tasks are queued or on shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable batches : int;
+  tasks_run : int array;  (* slot 0: submitting domain; 1..: workers *)
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* worker: drain the queue, sleep on [work] when it is empty, exit once
+   the pool is closed AND drained (shutdown never abandons queued work) *)
+let rec worker_loop pool slot =
+  Mutex.lock pool.lock;
+  let rec next () =
+    if not (Queue.is_empty pool.queue) then begin
+      let task = Queue.pop pool.queue in
+      pool.tasks_run.(slot) <- pool.tasks_run.(slot) + 1;
+      Mutex.unlock pool.lock;
+      task ();
+      worker_loop pool slot
+    end
+    else if pool.closed then Mutex.unlock pool.lock
+    else begin
+      Condition.wait pool.work pool.lock;
+      next ()
+    end
+  in
+  next ()
+
+let create ?domains () =
+  let size =
+    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  in
+  if size < 1 || size > 128 then
+    invalid_arg
+      (Printf.sprintf "Parallel.Pool.create: domains must lie in [1, 128], got %d"
+         size);
+  let pool =
+    {
+      size;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      batches = 0;
+      tasks_run = Array.make size 0;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+(* ------------------------------------------------------------------ *)
+(* context propagation: whatever supervision the submitting domain is
+   under must follow its tasks onto worker domains *)
+
+type context = { probe : Numerics.Robust.probe; fault : Numerics.Fault.snapshot }
+
+let capture_context () =
+  {
+    probe = Numerics.Robust.snapshot_probe ();
+    fault = Numerics.Fault.snapshot ();
+  }
+
+let in_context ctx f =
+  Numerics.Robust.with_probe_snapshot ctx.probe (fun () ->
+      Numerics.Fault.with_snapshot ctx.fault f)
+
+(* ------------------------------------------------------------------ *)
+(* batch execution *)
+
+type batch = {
+  mutable remaining : int;
+  mutable failed : (int * exn * Printexc.raw_backtrace) option;
+      (* lowest-index failure so far: deterministic winner *)
+}
+
+let run_tasks pool fns =
+  let n = Array.length fns in
+  if n > 0 then begin
+    Mutex.lock pool.lock;
+    if pool.closed then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Parallel.Pool.run_tasks: pool is shut down"
+    end;
+    pool.batches <- pool.batches + 1;
+    if pool.size = 1 || n = 1 then begin
+      pool.tasks_run.(0) <- pool.tasks_run.(0) + n;
+      Mutex.unlock pool.lock;
+      (* serial fast path: submission order on the calling domain, which
+         already carries its own probe/fault context *)
+      Array.iter (fun f -> f ()) fns
+    end
+    else begin
+      let batch = { remaining = n; failed = None } in
+      let done_ = Condition.create () in
+      let ctx = capture_context () in
+      let wrap index fn () =
+        let skip = Mutex.protect pool.lock (fun () -> batch.failed <> None) in
+        let outcome =
+          if skip then None
+          else
+            match in_context ctx fn with
+            | () -> None
+            | exception e -> Some (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock pool.lock;
+        (match outcome with
+        | Some (e, bt)
+          when (match batch.failed with None -> true | Some (j, _, _) -> index < j)
+          ->
+          batch.failed <- Some (index, e, bt)
+        | _ -> ());
+        batch.remaining <- batch.remaining - 1;
+        if batch.remaining = 0 then Condition.broadcast done_;
+        Mutex.unlock pool.lock
+      in
+      Array.iteri (fun i fn -> Queue.push (wrap i fn) pool.queue) fns;
+      Condition.broadcast pool.work;
+      (* help drain the queue instead of blocking: makes a busy pool
+         deadlock-free under nested submission and puts the submitting
+         domain to work *)
+      let rec help () =
+        if not (Queue.is_empty pool.queue) then begin
+          let task = Queue.pop pool.queue in
+          pool.tasks_run.(0) <- pool.tasks_run.(0) + 1;
+          Mutex.unlock pool.lock;
+          task ();
+          Mutex.lock pool.lock;
+          help ()
+        end
+      in
+      help ();
+      while batch.remaining > 0 do
+        Condition.wait done_ pool.lock
+      done;
+      let failed = batch.failed in
+      Mutex.unlock pool.lock;
+      match failed with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* deterministic chunked mapping *)
+
+let ranges ~n ~chunk =
+  if chunk <= 0 then
+    invalid_arg (Printf.sprintf "Parallel.Pool.ranges: chunk must be positive, got %d" chunk);
+  if n < 0 then invalid_arg (Printf.sprintf "Parallel.Pool.ranges: negative n %d" n);
+  Array.init ((n + chunk - 1) / chunk) (fun i ->
+      (i * chunk, Stdlib.min n ((i + 1) * chunk)))
+
+let fold_map ~init ~step xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let y0, s0 = step init xs.(0) in
+    let out = Array.make n y0 in
+    let s = ref s0 in
+    for i = 1 to n - 1 do
+      let y, s' = step !s xs.(i) in
+      out.(i) <- y;
+      s := s'
+    done;
+    out
+  end
+
+let map_chunked pool ~chunk ~init ~step xs =
+  let rs = ranges ~n:(Array.length xs) ~chunk in
+  let slots = Array.make (Array.length rs) [||] in
+  let fns =
+    Array.mapi
+      (fun ci (lo, hi) () ->
+        slots.(ci) <- fold_map ~init:(init lo) ~step (Array.sub xs lo (hi - lo)))
+      rs
+  in
+  run_tasks pool fns;
+  Array.concat (Array.to_list slots)
+
+let map ?chunk pool f xs =
+  let chunk =
+    match chunk with
+    | Some c -> c
+    | None ->
+      (* ~4 chunks per domain: balances uneven cells without shrinking
+         chunks to nothing. Stateless maps are chunking-insensitive. *)
+      Stdlib.max 1 ((Array.length xs + (4 * pool.size) - 1) / (4 * pool.size))
+  in
+  map_chunked pool ~chunk ~init:(fun _ -> ()) ~step:(fun () x -> (f x, ())) xs
+
+(* ------------------------------------------------------------------ *)
+
+type stats = { domains : int; batches : int; tasks_run : int array }
+
+let stats pool =
+  Mutex.protect pool.lock (fun () ->
+      {
+        domains = pool.size;
+        batches = pool.batches;
+        tasks_run = Array.copy pool.tasks_run;
+      })
+
+let shutdown pool =
+  let workers =
+    Mutex.protect pool.lock (fun () ->
+        if pool.closed then []
+        else begin
+          pool.closed <- true;
+          Condition.broadcast pool.work;
+          let w = pool.workers in
+          pool.workers <- [];
+          w
+        end)
+  in
+  List.iter Domain.join workers

@@ -1,0 +1,93 @@
+(** Fixed-size domain pool for grid-shaped sweeps.
+
+    The experiments this repo runs are embarrassingly parallel at the
+    grid level — each [(price, cap)] cell is an independent Nash or
+    utilization solve — but the cells share warm-start state along a
+    row and process-global context (watchdog probes, chaos faults,
+    metrics). The pool owns both problems:
+
+    {b Determinism contract.} Work is split into contiguous index
+    ranges ({!ranges}) whose boundaries depend only on the item count
+    and the caller's chunk size — never on the pool size or on
+    scheduling. Chunk-local state ({!map_chunked}) restarts at every
+    chunk boundary, so a sweep evaluates the exact same floating-point
+    operations per cell at [--jobs 1] and [--jobs 64]; only the wall
+    clock changes. Callers that thread warm starts must therefore pick
+    a {e fixed} chunk size, not one derived from [size].
+
+    {b Context propagation.} At submission the pool captures the
+    submitting domain's cooperative-cancellation probe
+    ([Numerics.Robust.snapshot_probe]) and global fault installation
+    ([Numerics.Fault.snapshot]) and re-installs both around every task,
+    wherever it runs — the watchdog and the chaos harness observe every
+    evaluation of a parallel sweep exactly as they would a serial one.
+
+    {b Scheduling.} [create ~domains:n] spawns [n - 1] worker domains;
+    the submitting domain helps drain the queue while it waits, so a
+    1-domain pool degenerates to serial execution in submission order
+    with no spawned domains, and nested submissions cannot deadlock.
+    The first raising task (lowest task index) wins: its exception is
+    re-raised at the submission site after the batch drains, and queued
+    tasks of a failed batch are skipped. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** A pool of [domains] total domains (default
+    [Domain.recommended_domain_count ()]), including the submitting
+    one: [create ~domains:1] spawns nothing. Raises [Invalid_argument]
+    unless [1 <= domains <= 128]. *)
+
+val size : t -> int
+(** The [domains] the pool was created with. *)
+
+val ranges : n:int -> chunk:int -> (int * int) array
+(** Contiguous [(lo, hi)] half-open ranges covering [0 .. n-1] in
+    order, each [chunk] wide except a shorter final one. Pure: depends
+    only on [n] and [chunk]. Raises [Invalid_argument] when [chunk <= 0]
+    or [n < 0]. *)
+
+val run_tasks : t -> (unit -> unit) array -> unit
+(** Run every thunk to completion (in parallel, in any order), then
+    return. If tasks raise, the one with the lowest array index wins
+    and is re-raised here with its backtrace; once any task of the
+    batch has failed, tasks of the same batch that have not started yet
+    are skipped. The pool survives failed batches. *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] is [Array.map f xs] with elements evaluated on the
+    pool, results in index order. [chunk] defaults to a balance-minded
+    size derived from the pool width — fine for stateless [f], whose
+    results cannot depend on chunking. *)
+
+val map_chunked :
+  t ->
+  chunk:int ->
+  init:(int -> 's) ->
+  step:('s -> 'a -> 'b * 's) ->
+  'a array ->
+  'b array
+(** Chunk-local left fold: for each range [(lo, hi)] the state starts
+    at [init lo] and [step] threads it through [xs.(lo) .. xs.(hi-1)],
+    collecting the ['b]s; results are assembled in index order. This is
+    the warm-start shape: [init] recomputes (or defaults) the guess at
+    a chunk boundary, [step] carries it between neighbouring cells. *)
+
+val fold_map : init:'s -> step:('s -> 'a -> 'b * 's) -> 'a array -> 'b array
+(** The serial engine under {!map_chunked}, exposed for no-pool paths:
+    one state chain across the whole array, no pool, no extra
+    allocation beyond the result. *)
+
+type stats = {
+  domains : int;
+  batches : int;  (** [run_tasks]-level submissions so far *)
+  tasks_run : int array;
+      (** tasks executed per domain; slot 0 is the submitting domain,
+          slots 1.. the spawned workers *)
+}
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Signal the workers to exit and join them. Idempotent. Submitting
+    to a shut-down pool raises [Invalid_argument]. *)

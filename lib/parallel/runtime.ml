@@ -1,0 +1,58 @@
+type state = { mutable jobs : int option; mutable pool : Pool.t option }
+
+let lock = Mutex.create ()
+
+let state = { jobs = None; pool = None } [@@sync "guarded by [lock]"]
+
+let default_jobs () =
+  match Sys.getenv_opt "SUBSIDIZATION_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs () =
+  Mutex.protect lock (fun () ->
+      match state.jobs with Some n -> n | None -> default_jobs ())
+
+let set_jobs n =
+  if n < 1 then
+    invalid_arg (Printf.sprintf "Parallel.Runtime.set_jobs: need >= 1, got %d" n);
+  let stale =
+    Mutex.protect lock (fun () ->
+        let stale =
+          match state.pool with
+          | Some p when Pool.size p <> n ->
+            state.pool <- None;
+            Some p
+          | Some _ | None -> None
+        in
+        state.jobs <- Some n;
+        stale)
+  in
+  (* join outside the lock: workers may be mid-task *)
+  Option.iter Pool.shutdown stale
+
+let pool () =
+  Mutex.protect lock (fun () ->
+      match state.pool with
+      | Some p -> p
+      | None ->
+        let n = match state.jobs with Some n -> n | None -> default_jobs () in
+        let p = Pool.create ~domains:n () in
+        state.pool <- Some p;
+        p)
+
+let stats () = Mutex.protect lock (fun () -> Option.map Pool.stats state.pool)
+
+let shutdown () =
+  let p =
+    Mutex.protect lock (fun () ->
+        let p = state.pool in
+        state.pool <- None;
+        p)
+  in
+  Option.iter Pool.shutdown p
+
+let () = at_exit shutdown

@@ -1,0 +1,29 @@
+(** Process-wide parallelism configuration: the one pool the
+    experiment layer shares.
+
+    Resolution order for the domain count: {!set_jobs} (the [--jobs]
+    flag) wins; otherwise the [SUBSIDIZATION_JOBS] environment variable
+    (how CI drives a whole test binary at [--jobs 2] without threading
+    a flag through every suite); otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val jobs : unit -> int
+(** The domain count the next {!pool} call will use (or the live
+    pool's size). *)
+
+val set_jobs : int -> unit
+(** Override the domain count. If a pool of a different size is
+    already live it is shut down; the next {!pool} call creates a
+    fresh one. Raises [Invalid_argument] when [n < 1]. *)
+
+val pool : unit -> Pool.t
+(** The shared pool, created lazily at the configured size. The
+    process exit hook shuts it down. *)
+
+val stats : unit -> Pool.stats option
+(** Stats of the live pool, if one was ever created ([None] before
+    first use). Feeds the bench record's [parallel] section. *)
+
+val shutdown : unit -> unit
+(** Shut the shared pool down (idempotent; also runs at exit). A
+    subsequent {!pool} call creates a fresh one. *)

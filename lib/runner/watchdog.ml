@@ -45,12 +45,14 @@ let guard lims f =
   | { deadline_s = None; max_evals = None } -> f ()
   | { deadline_s; max_evals } ->
     let started = Obs.Clock.now () in
-    let evals = ref 0 in
+    (* atomic: the probe is propagated to pool workers, which must all
+       charge the same budget *)
+    let evals = Atomic.make 0 in
     let check () =
-      incr evals;
+      let seen = 1 + Atomic.fetch_and_add evals 1 in
       (match max_evals with
-      | Some limit when !evals > limit ->
-        raise (Eval_budget_exceeded { evaluations = !evals; limit })
+      | Some limit when seen > limit ->
+        raise (Eval_budget_exceeded { evaluations = seen; limit })
       | _ -> ());
       match deadline_s with
       | Some limit_s ->

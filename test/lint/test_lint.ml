@@ -143,6 +143,42 @@ let test_obj_magic_negative () =
     {|let f x = (x :> int)|}
 
 (* ------------------------------------------------------------------ *)
+(* NO-UNSYNC-GLOBAL *)
+
+let pool_path = "lib/parallel/fixture.ml"
+
+let test_unsync_global_positive () =
+  check_fires "top-level ref fires" "NO-UNSYNC-GLOBAL" ~path:pool_path
+    {|let counter = ref 0|};
+  check_fires "top-level Hashtbl fires" "NO-UNSYNC-GLOBAL" ~path:pool_path
+    {|let cache : (int, float) Hashtbl.t = Hashtbl.create 16|};
+  check_fires "closure-captured ref fires" "NO-UNSYNC-GLOBAL" ~path:pool_path
+    {|let next = let n = ref 0 in fun () -> incr n; !n|};
+  check_fires "Array.make scratch fires" "NO-UNSYNC-GLOBAL" ~path:pool_path
+    {|let scratch = Array.make 64 0.|};
+  check_fires "sync attribute without a note does not exempt" "NO-UNSYNC-GLOBAL"
+    ~path:pool_path {|let counter = ref 0 [@@sync]|};
+  check_fires "nested module globals fire" "NO-UNSYNC-GLOBAL" ~path:pool_path
+    {|module Inner = struct let seen = Hashtbl.create 4 end|}
+
+let test_unsync_global_negative () =
+  check_silent "a documented sync note exempts" "NO-UNSYNC-GLOBAL" ~path:pool_path
+    {|let counter = ref 0 [@@sync "guarded by [lock]"]|};
+  check_silent "Atomic is inherently safe" "NO-UNSYNC-GLOBAL" ~path:pool_path
+    {|let hits = Atomic.make 0|};
+  check_silent "Mutex/Condition are inherently safe" "NO-UNSYNC-GLOBAL"
+    ~path:pool_path {|let lock = Mutex.create ()
+let work = Condition.create ()|};
+  check_silent "Domain.DLS state is domain-local" "NO-UNSYNC-GLOBAL" ~path:pool_path
+    {|let stack_key = Domain.DLS.new_key (fun () -> ref [])|};
+  check_silent "state created inside a function is local" "NO-UNSYNC-GLOBAL"
+    ~path:pool_path {|let f xs = let seen = Hashtbl.create 8 in List.iter (Hashtbl.add seen ()) xs|};
+  check_silent "constant array literals are the table idiom" "NO-UNSYNC-GLOBAL"
+    ~path:pool_path {|let prices = [| 0.2; 0.5; 0.8 |]|};
+  check_silent "test code is out of scope" "NO-UNSYNC-GLOBAL"
+    ~path:"bin/fixture.ml" {|let counter = ref 0|}
+
+(* ------------------------------------------------------------------ *)
 (* MLI-REQUIRED *)
 
 let test_mli_required_positive () =
@@ -232,7 +268,7 @@ let test_json_shape () =
   | _ -> Alcotest.fail "schema is not a string");
   (match Obs.Json.to_list (member "rules") with
   | Some rules ->
-    Alcotest.(check int) "all seven rules described" 7 (List.length rules);
+    Alcotest.(check int) "all eight rules described" 8 (List.length rules);
     List.iter
       (fun r ->
         List.iter
@@ -293,6 +329,13 @@ let () =
         [
           quick "fires on Obj.magic" test_obj_magic_positive;
           quick "silent on ordinary code" test_obj_magic_negative;
+        ] );
+      ( "no-unsync-global",
+        [
+          quick "fires on unguarded top-level mutable state"
+            test_unsync_global_positive;
+          quick "silent on sync notes and domain-safe constructions"
+            test_unsync_global_negative;
         ] );
       ( "mli-required",
         [
