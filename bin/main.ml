@@ -426,12 +426,243 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ capacity_arg $ market_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen: equilibrium-as-a-service *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path for the solve daemon." in
+  Arg.(
+    value
+    & opt string "/tmp/subsidization.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Listen on (or connect to) TCP port $(docv) instead of the Unix socket." in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "Numeric host address for --tcp (default loopback)." in
+  Arg.(value & opt string "" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let address_of ~socket ~tcp ~host =
+  match tcp with
+  | Some port -> Service.Server.Tcp { host; port }
+  | None -> Service.Server.Unix_path socket
+
+let seed_arg =
+  let doc = "Seed for the daemon's (or load generator's) deterministic Rng streams." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
+
+let serve_cmd =
+  let queue_arg =
+    let doc = "Admission-queue bound; requests beyond it are shed with a typed answer." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Equilibrium-cache entries (LRU-bounded)." in
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let journal_arg =
+    let doc =
+      "Append a crash-safe request journal to $(docv); on restart, un-acked \
+       requests are re-solved and acked requests are never answered twice."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let durable_arg =
+    let doc = "fsync every journal append (power-loss durability; slower)." in
+    Arg.(value & flag & info [ "durable" ] ~doc)
+  in
+  let allow_chaos_arg =
+    let doc =
+      "Accept chaos frames that install fault injection process-wide (soak \
+       testing only)."
+    in
+    Arg.(value & flag & info [ "allow-chaos" ] ~doc)
+  in
+  let verbose_arg =
+    let doc = "Print per-batch and per-connection events." in
+    Arg.(value & flag & info [ "verbose" ] ~doc)
+  in
+  let doc =
+    "Run the solve daemon: Market_io JSON requests over a socket, admission \
+     control, equilibrium caching with warm starts, watchdog limits and a \
+     crash-safe request journal."
+  in
+  let run socket tcp host queue cache journal durable allow_chaos verbose jobs
+      deadline_s max_evals retries backoff_s seed =
+    apply_jobs jobs;
+    let address = address_of ~socket ~tcp ~host in
+    let base = Service.Server.default_config ~address in
+    let limits =
+      match (deadline_s, max_evals) with
+      | None, None -> base.Service.Server.limits
+      | _ -> Runner.Watchdog.limits ?deadline_s ?max_evals ()
+    in
+    let retry =
+      Runner.Supervisor.retry ~max_attempts:(retries + 1) ~backoff_s ~jitter:0.5 ()
+    in
+    let cfg =
+      {
+        base with
+        Service.Server.queue_capacity = queue;
+        cache_capacity = cache;
+        journal_path = journal;
+        durable;
+        allow_chaos;
+        limits;
+        retry;
+        seed = Int64.of_int seed;
+      }
+    in
+    let print_event = function
+      | Service.Server.Listening { address } ->
+        Printf.printf "serve: listening on %s\n%!" address
+      | Service.Server.Recovered { replayed; already_acked; torn_lines } ->
+        Printf.printf
+          "serve: journal recovery replayed %d requests (%d already acked, %d \
+           torn lines skipped)\n\
+           %!"
+          replayed already_acked torn_lines
+      | Service.Server.Connected { conn } ->
+        if verbose then Printf.printf "serve: connection %d opened\n%!" conn
+      | Service.Server.Disconnected { conn } ->
+        if verbose then Printf.printf "serve: connection %d closed\n%!" conn
+      | Service.Server.Batch_solved { n; wall_s } ->
+        if verbose then Printf.printf "serve: batch of %d in %.3fs\n%!" n wall_s
+      | Service.Server.Draining { reason } ->
+        Printf.printf "serve: draining (%s)\n%!" reason
+      | Service.Server.Warning msg -> Printf.printf "serve: warning: %s\n%!" msg
+    in
+    match Service.Server.run ~on_event:print_event cfg with
+    | Ok () ->
+      Printf.printf "serve: drained cleanly\n";
+      0
+    | Error msg ->
+      Printf.eprintf "subsidization serve: %s\n" msg;
+      2
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ host_arg $ queue_arg $ cache_arg
+      $ journal_arg $ durable_arg $ allow_chaos_arg $ verbose_arg $ jobs_arg
+      $ deadline_arg $ max_evals_arg $ retries_arg $ backoff_arg $ seed_arg)
+
+(* pull one histogram's p99 and the cache counters out of the
+   obs.metrics.v1 document for the end-of-run summary line *)
+let metrics_digest json =
+  let series =
+    match Obs.Json.member "series" json with
+    | Some (Obs.Json.Arr items) -> items
+    | _ -> []
+  in
+  let find name =
+    List.find_opt
+      (fun s ->
+        match Obs.Json.member "name" s with
+        | Some (Obs.Json.Str n) -> String.equal n name
+        | _ -> false)
+      series
+  in
+  let num field s =
+    match Option.bind (find s) (Obs.Json.member field) with
+    | Some (Obs.Json.Num v) -> v
+    | _ -> Float.nan
+  in
+  Printf.sprintf
+    "p99 solve %.4fs (%d solves); cache: %.0f hits, %.0f misses, %.0f warm \
+     seeds, %.0f evictions; shed %.0f"
+    (num "p99" "service.solve.latency_s")
+    (int_of_float
+       (Float.max 0. (num "count" "service.solve.latency_s")))
+    (num "value" "service.cache.hits")
+    (num "value" "service.cache.misses")
+    (num "value" "service.cache.warm_seeds")
+    (num "value" "service.cache.evictions")
+    (num "value" "service.queue.shed")
+
+let loadgen_cmd =
+  let requests_arg =
+    let doc = "Solve requests to send." in
+    Arg.(value & opt int 1000 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let connections_arg =
+    let doc = "Concurrent connections." in
+    Arg.(value & opt int 2 & info [ "connections" ] ~docv:"N" ~doc)
+  in
+  let burst_arg =
+    let doc = "Pipelined solve frames per connection per round." in
+    Arg.(value & opt int 8 & info [ "burst" ] ~docv:"N" ~doc)
+  in
+  let chaos_every_arg =
+    let doc =
+      "Send a chaos-mode toggle every $(docv) requests, cycling through every \
+       fault scenario and off (daemon must run with --allow-chaos)."
+    in
+    Arg.(value & opt (some int) None & info [ "chaos-every" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Client-side timeout per response, in seconds." in
+    Arg.(value & opt float 60. & info [ "timeout-s" ] ~docv:"S" ~doc)
+  in
+  let doc =
+    "Drive randomized solve load (fresh markets, cache-hitting repeats, \
+     warm-start neighbours, optional chaos toggles) against a running daemon \
+     and verify every request is answered."
+  in
+  let run socket tcp host requests connections burst seed chaos_every
+      deadline_s timeout_s =
+    let address = address_of ~socket ~tcp ~host in
+    let base = Service.Loadgen.default_config ~address ~requests in
+    let cfg =
+      {
+        base with
+        Service.Loadgen.connections;
+        burst;
+        seed = Int64.of_int seed;
+        chaos_every;
+        deadline_s;
+        timeout_s;
+      }
+    in
+    match
+      Service.Loadgen.run
+        ~on_event:(fun m -> Printf.printf "loadgen: %s\n%!" m)
+        cfg
+    with
+    | Error msg ->
+      Printf.eprintf "subsidization loadgen: %s\n" msg;
+      2
+    | Ok report ->
+      Printf.printf "loadgen: %s\n" (Service.Loadgen.report_to_string report);
+      (match Service.Loadgen.fetch_metrics ~prefix:"service." address with
+      | Ok json -> Printf.printf "loadgen: %s\n" (metrics_digest json)
+      | Error msg -> Printf.printf "loadgen: no metrics snapshot (%s)\n" msg);
+      List.iter
+        (fun e -> Printf.printf "loadgen: transport error: %s\n" e)
+        report.Service.Loadgen.errors;
+      if Service.Loadgen.report_ok report then begin
+        Printf.printf "loadgen: OK — every request solved, degraded or shed\n";
+        0
+      end
+      else begin
+        Printf.printf "loadgen: FAILED\n";
+        1
+      end
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ host_arg $ requests_arg
+      $ connections_arg $ burst_arg $ seed_arg $ chaos_every_arg $ deadline_arg
+      $ timeout_arg)
+
 let main_cmd =
   let doc =
     "Reproduction of 'Subsidization Competition: Vitalizing the Neutral Internet' (CoNEXT 2014)"
   in
   let info = Cmd.info "subsidization" ~version:"1.0.0" ~doc in
   let experiment_cmds = List.map experiment_cmd Experiments.Registry.all in
-  Cmd.group info (experiment_cmds @ [ all_cmd; chaos_cmd; nash_cmd; sweep_cmd ])
+  Cmd.group info
+    (experiment_cmds @ [ all_cmd; chaos_cmd; nash_cmd; sweep_cmd; serve_cmd; loadgen_cmd ])
 
 let () = exit (Cmd.eval' main_cmd)

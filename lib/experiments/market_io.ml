@@ -120,6 +120,96 @@ let cps_of_csv path =
   in
   parse_csv ~path text
 
+(* ------------------------------------------------------------------ *)
+(* JSON wire form: the same columns and domain rules as the CSV, as an
+   array of objects, for requests that travel over the solve daemon's
+   socket instead of the filesystem *)
+
+let json_of_cps cps =
+  Obs.Json.Arr
+    (Array.to_list
+       (Array.map
+          (fun cp ->
+            match
+              ( Econ.Demand.spec cp.Econ.Cp.demand,
+                Econ.Throughput.spec cp.Econ.Cp.throughput )
+            with
+            | ( Econ.Demand.Exponential { m0; alpha },
+                Econ.Throughput.Exponential { l0; beta } ) ->
+              Obs.Json.Obj
+                [
+                  ("name", Obs.Json.Str cp.Econ.Cp.name);
+                  ("alpha", Obs.Json.Num alpha);
+                  ("beta", Obs.Json.Num beta);
+                  ("value", Obs.Json.Num cp.Econ.Cp.value);
+                  ("m0", Obs.Json.Num m0);
+                  ("l0", Obs.Json.Num l0);
+                ]
+            | _, _ ->
+              invalid_arg
+                (Printf.sprintf "Market_io.json_of_cps: %s is not exponential"
+                   cp.Econ.Cp.name))
+          cps))
+
+let json_field ~path ~row field json =
+  match Obs.Json.member field json with
+  | None -> Ok None
+  | Some v -> (
+    match Obs.Json.to_float v with
+    | Some f when Float.is_finite f -> Ok (Some f)
+    | Some f -> fail ~path ~row ~field "%s must be finite, got %g" field f
+    | None -> fail ~path ~row ~field "%s is not a number" field)
+
+let json_required ~path ~row field json =
+  let* v = json_field ~path ~row field json in
+  match v with
+  | Some f -> Ok f
+  | None -> fail ~path ~row ~field "missing %s" field
+
+let cp_of_json ~path ~row json =
+  let* name =
+    match Obs.Json.member "name" json with
+    | Some (Obs.Json.Str s) when String.trim s <> "" -> Ok (String.trim s)
+    | Some (Obs.Json.Str _) -> fail ~path ~row "empty CP name"
+    | Some _ -> fail ~path ~row ~field:"name" "name is not a string"
+    | None -> fail ~path ~row ~field:"name" "missing name"
+  in
+  let* alpha = json_required ~path ~row "alpha" json in
+  let* alpha = positive ~path ~row "alpha" alpha in
+  let* beta = json_required ~path ~row "beta" json in
+  let* beta = positive ~path ~row "beta" beta in
+  let* value = json_required ~path ~row "value" json in
+  let* value = non_negative ~path ~row "value" value in
+  let opt field =
+    let* v = json_field ~path ~row field json in
+    match v with
+    | None -> Ok None
+    | Some f -> Result.map Option.some (positive ~path ~row field f)
+  in
+  let* m0 = opt "m0" in
+  let* l0 = opt "l0" in
+  Ok (Econ.Cp.exponential ~name ?m0 ?l0 ~alpha ~beta ~value ())
+
+let cps_of_json ~path json =
+  match Obs.Json.to_list json with
+  | None -> fail ~path "cps is not an array"
+  | Some [] -> fail ~path "no CP rows"
+  | Some items ->
+    let* cps =
+      List.fold_left
+        (fun acc (row, item) ->
+          let* acc = acc in
+          let* cp = cp_of_json ~path ~row item in
+          Ok ((cp, row) :: acc))
+        (Ok [])
+        (List.mapi (fun i item -> (i + 1, item)) items)
+    in
+    let cps = List.rev cps in
+    let* () =
+      check_distinct_names ~path (List.map (fun (cp, row) -> (cp.Econ.Cp.name, row)) cps)
+    in
+    Ok (Array.of_list (List.map fst cps))
+
 let write_cps ~path cps =
   let table = Report.Table.make ~columns:[ "name"; "alpha"; "beta"; "value"; "m0"; "l0" ] in
   Array.iter

@@ -31,6 +31,18 @@ val cps_of_string : path:string -> string -> (Econ.Cp.t array, error) result
 (** Same, from CSV text already in memory ([path] only labels
     errors). *)
 
+val json_of_cps : Econ.Cp.t array -> Obs.Json.t
+(** The JSON wire form used by the solve daemon: an array of
+    [{name, alpha, beta, value, m0, l0}] objects, same columns as the
+    CSV. Raises [Invalid_argument] if a CP uses a non-exponential
+    family. *)
+
+val cps_of_json : path:string -> Obs.Json.t -> (Econ.Cp.t array, error) result
+(** Inverse of {!json_of_cps}, applying exactly the CSV domain rules
+    (positivity, finiteness, distinct non-empty names, non-empty
+    population). [path] labels errors (e.g. the connection name);
+    [row] in errors is the 1-based array index. *)
+
 val write_cps : path:string -> Econ.Cp.t array -> unit
 (** Write exponential-family CPs back out in the same format
     (atomically, via {!Report.Csv.write}). Raises [Invalid_argument]

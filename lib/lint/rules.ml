@@ -7,7 +7,11 @@ type t = {
   scope : scope;
 }
 
-let solver_layers = [ "lib/numerics/"; "lib/game/"; "lib/core/" ]
+(* lib/service joins the solver layers for NO-BARE-RAISE: a daemon that
+   must stay up under faults cannot afford an untyped failwith escaping
+   its event loop — errors there are typed responses, not exceptions
+   (NO-SWALLOW and NO-UNSYNC-GLOBAL already cover it via "lib/") *)
+let solver_layers = [ "lib/numerics/"; "lib/game/"; "lib/core/"; "lib/service/" ]
 let everywhere = [ "lib/"; "bin/"; "bench/" ]
 
 let no_bare_raise =

@@ -14,7 +14,32 @@ let rec mkdir_p dir =
 
 let temp_of path = path ^ ".tmp"
 
-let write_atomic ~path writer =
+(* flush the channel's buffered bytes to the kernel, then force the
+   kernel to push them to the device: rename-atomicity alone survives a
+   process crash but not a power loss, where the rename can hit the
+   journal before the data blocks do *)
+let fsync_channel oc =
+  match
+    flush oc;
+    Unix.fsync (Unix.descr_of_out_channel oc)
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let fsync_dir dir =
+  let dir = if dir = "" then "." else dir in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.fsync fd with
+        | () -> Ok ()
+        | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err))
+
+let write_atomic ?(durable = false) ~path writer =
   match mkdir_p (Filename.dirname path) with
   | Error _ as e -> e
   | Ok () -> (
@@ -30,16 +55,20 @@ let write_atomic ~path writer =
           if not !renamed then close_out_noerr oc)
         (fun () ->
           writer oc;
-          match
-            close_out oc;
-            Sys.rename tmp path
-          with
-          | () ->
-            renamed := true;
-            Ok ()
-          | exception Sys_error msg -> Error msg)))
+          let synced = if durable then fsync_channel oc else Ok () in
+          match synced with
+          | Error _ as e -> e
+          | Ok () -> (
+            match
+              close_out oc;
+              Sys.rename tmp path
+            with
+            | () ->
+              renamed := true;
+              if durable then fsync_dir (Filename.dirname path) else Ok ()
+            | exception Sys_error msg -> Error msg))))
 
-let write_atomic_exn ~path writer =
-  match write_atomic ~path writer with
+let write_atomic_exn ?durable ~path writer =
+  match write_atomic ?durable ~path writer with
   | Ok () -> ()
   | Error msg -> raise (Sys_error msg)

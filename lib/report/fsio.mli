@@ -21,15 +21,33 @@ val mkdir_p : string -> (unit, string) result
     creation fails (permission, a non-directory in the way, ...) —
     never silently ignored. [""], ["."] and ["/"] are [Ok] no-ops. *)
 
-val write_atomic : path:string -> (out_channel -> unit) -> (unit, string) result
+val write_atomic :
+  ?durable:bool -> path:string -> (out_channel -> unit) -> (unit, string) result
 (** [write_atomic ~path writer] creates the parent directory, streams
     [writer] into [path ^ ".tmp"], flushes + closes, then renames over
     [path]: readers observe either the complete old content or the
     complete new content, never a prefix. [Error msg] on any
     [Sys_error] along the way. If [writer] itself raises, the
     exception propagates unchanged, the temp file is left on disk as
-    evidence, and [path] is untouched. *)
+    evidence, and [path] is untouched.
 
-val write_atomic_exn : path:string -> (out_channel -> unit) -> unit
+    With [durable] (default false) the temp file is [fsync]ed before
+    the rename and the containing directory is [fsync]ed after it, so
+    the replacement survives power loss, not just process crash —
+    without it, a journaling filesystem may commit the rename before
+    the data blocks, leaving a complete-looking but empty or truncated
+    file after a crash+reboot. Durability costs two disk barriers per
+    write; tests and non-critical artifacts should leave it off. *)
+
+val write_atomic_exn : ?durable:bool -> path:string -> (out_channel -> unit) -> unit
 (** Same, raising [Sys_error] instead of returning [Error] — for call
     sites whose historical contract is exception-based. *)
+
+val fsync_channel : out_channel -> (unit, string) result
+(** Flush the channel's buffer and [fsync] its descriptor: the
+    append-side durability primitive for journal writers that keep a
+    channel open across records. *)
+
+val fsync_dir : string -> (unit, string) result
+(** [fsync] a directory, making a just-created or just-renamed entry
+    in it durable. [""] syncs ["."] . *)

@@ -190,18 +190,74 @@ let save ~path t =
       output_string oc (to_string ~pretty:true (to_json t));
       output_char oc '\n')
 
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let load ~path =
   if not (Sys.file_exists path) then Ok (empty ())
   else
-    let ic = open_in path in
-    let text =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
+    let text = read_file path in
     match of_string text with
     | json -> Result.map_error (fun m -> path ^ ": " ^ m) (of_json json)
     | exception Parse_error msg -> Error (path ^ ": " ^ msg)
+
+(* A power loss mid-write (or a non-durable write racing a crash) can
+   leave the manifest torn mid-record. The tail of a torn document is a
+   partial entry, so recovery is: cut the text back to a '}' that closes
+   the last complete entry, seal the document with "]}", and accept the
+   first cut whose result passes full schema validation. Scanning from
+   the end finds the longest valid prefix; entry validation rejects cuts
+   landing inside a nested object (a bad cut yields an entry missing
+   required fields). The scan is capped: a torn tail is a few records
+   deep, and an unrecognizably corrupt file should degrade to an empty
+   manifest, not an O(n^2) parse storm. *)
+let salvage_truncated text =
+  let max_tries = 64 in
+  let rec scan pos tries =
+    if tries >= max_tries then None
+    else
+      match String.rindex_from_opt text pos '}' with
+      | None -> None
+      | Some i -> (
+        let candidate = String.sub text 0 (i + 1) ^ "]}" in
+        match of_json (of_string candidate) with
+        | Ok t -> Some (t, String.length text - (i + 1))
+        | Error _ | (exception Parse_error _) ->
+          if i = 0 then None else scan (i - 1) (tries + 1))
+  in
+  if String.length text = 0 then None
+  else scan (String.length text - 1) 0
+
+let load_lenient ~path ~on_warning =
+  if not (Sys.file_exists path) then Ok (empty ())
+  else
+    let text = read_file path in
+    let recovered () =
+      match salvage_truncated text with
+      | Some (t, dropped) ->
+        on_warning
+          (Printf.sprintf
+             "%s: truncated manifest: recovered %d entries, dropped %d trailing \
+              bytes (partial final record skipped)"
+             path
+             (List.length t.entries)
+             dropped);
+        Ok t
+      | None ->
+        on_warning
+          (Printf.sprintf
+             "%s: unreadable manifest: no complete entries recoverable; resuming \
+              from an empty manifest"
+             path);
+        Ok (empty ())
+    in
+    match of_string text with
+    | json -> (
+      match of_json json with Ok t -> Ok t | Error _ -> recovered ())
+    | exception Parse_error _ -> recovered ()
 
 let summary_table t =
   let table =

@@ -83,6 +83,15 @@ val load : path:string -> (t, string) result
 (** A missing file is [Ok (empty ())]; unreadable JSON or a wrong
     schema is [Error]. *)
 
+val load_lenient : path:string -> on_warning:(string -> unit) -> (t, string) result
+(** Like {!load}, but hardened against torn/truncated files (a power
+    loss mid-write, a partial final record): the longest prefix that
+    closes on a complete, schema-valid entry is recovered and the
+    dropped tail is reported through [on_warning] — skip-and-warn
+    instead of failing resume. A file beyond recovery degrades to
+    [Ok (empty ())] with a warning; [Error] is reserved for I/O
+    failure. A well-formed manifest loads identically to {!load}. *)
+
 val summary_table : t -> Report.Table.t
 (** One row per entry: id, status, duration, attempts, shape checks,
     degraded samples, exit reason — the CLI's end-of-sweep report. *)

@@ -1,8 +1,13 @@
-type retry = { max_attempts : int; backoff_s : float; multiplier : float }
+type retry = {
+  max_attempts : int;
+  backoff_s : float;
+  multiplier : float;
+  jitter : float;
+}
 
-let no_retry = { max_attempts = 1; backoff_s = 0.5; multiplier = 2. }
+let no_retry = { max_attempts = 1; backoff_s = 0.5; multiplier = 2.; jitter = 0. }
 
-let retry ?(max_attempts = 1) ?(backoff_s = 0.5) ?(multiplier = 2.) () =
+let retry ?(max_attempts = 1) ?(backoff_s = 0.5) ?(multiplier = 2.) ?(jitter = 0.) () =
   if max_attempts < 1 then
     invalid_arg
       (Printf.sprintf "Supervisor.retry: max_attempts must be >= 1, got %d" max_attempts);
@@ -12,7 +17,27 @@ let retry ?(max_attempts = 1) ?(backoff_s = 0.5) ?(multiplier = 2.) () =
   if (not (Float.is_finite multiplier)) || multiplier < 1. then
     invalid_arg
       (Printf.sprintf "Supervisor.retry: multiplier must be >= 1, got %g" multiplier);
-  { max_attempts; backoff_s; multiplier }
+  if (not (Float.is_finite jitter)) || jitter < 0. || jitter > 1. then
+    invalid_arg
+      (Printf.sprintf "Supervisor.retry: jitter must be in [0, 1], got %g" jitter);
+  { max_attempts; backoff_s; multiplier; jitter }
+
+(* the sleep before the retry that follows failed attempt [attempt]
+   (1-based): exponential base, then a symmetric multiplicative jitter
+   drawn from the caller's explicit Rng stream so concurrent retriers
+   de-synchronize while a fixed seed still replays the exact delays *)
+let backoff_delay ?rng retry ~attempt =
+  if attempt < 1 then
+    invalid_arg
+      (Printf.sprintf "Supervisor.backoff_delay: attempt must be >= 1, got %d" attempt);
+  let base =
+    retry.backoff_s *. (retry.multiplier ** float_of_int (attempt - 1))
+  in
+  match rng with
+  | Some rng when retry.jitter > 0. ->
+    let u = Numerics.Rng.float rng in
+    base *. (1. +. (retry.jitter *. ((2. *. u) -. 1.)))
+  | _ -> base
 
 let retryable = function
   | Numerics.Robust.Solver_error _ | Numerics.Rootfind.No_bracket _
@@ -101,13 +126,13 @@ let entry_of_crash (e : Experiments.Common.t) ~attempts ~duration_s ~exn ~backtr
       (Manifest.Failed { exn = Printexc.to_string exn; backtrace })
       ("crashed: " ^ Printexc.to_string exn)
 
-let supervise ?(limits = Watchdog.no_limits) ?(retry = no_retry) ?(sleep = Unix.sleepf)
-    (e : Experiments.Common.t) =
+let supervise ?(limits = Watchdog.no_limits) ?(retry = no_retry) ?rng
+    ?(sleep = Unix.sleepf) (e : Experiments.Common.t) =
   (* backtraces are the whole point of the Failed record *)
   Printexc.record_backtrace true;
   let t_start = Obs.Clock.now () in
   let duration () = Obs.Clock.elapsed ~since:t_start in
-  let rec go attempt backoff_s =
+  let rec go attempt =
     match attempt_once limits e with
     | Ran outcome ->
       {
@@ -116,8 +141,8 @@ let supervise ?(limits = Watchdog.no_limits) ?(retry = no_retry) ?(sleep = Unix.
       }
     | Crashed { exn; backtrace } ->
       if attempt < retry.max_attempts && retryable exn then begin
-        sleep backoff_s;
-        go (attempt + 1) (backoff_s *. retry.multiplier)
+        sleep (backoff_delay ?rng retry ~attempt);
+        go (attempt + 1)
       end
       else
         {
@@ -125,11 +150,11 @@ let supervise ?(limits = Watchdog.no_limits) ?(retry = no_retry) ?(sleep = Unix.
           outcome = None;
         }
   in
-  go 1 retry.backoff_s
+  go 1
 
 (* supervise, but with the Retrying event threaded through; kept apart
    so [supervise] stays event-free for library callers *)
-let supervise_with_events ~limits ~retry ~sleep ~on_event (e : Experiments.Common.t) =
+let supervise_with_events ~limits ~retry ?rng ~sleep ~on_event (e : Experiments.Common.t) =
   let id = e.Experiments.Common.id in
   let attempt_no = ref 1 in
   let sleep_and_report s =
@@ -145,16 +170,17 @@ let supervise_with_events ~limits ~retry ~sleep ~on_event (e : Experiments.Commo
     sleep s
   in
   on_event (Started { id; attempt = 1 });
-  let result = supervise ~limits ~retry ~sleep:sleep_and_report e in
+  let result = supervise ~limits ~retry ?rng ~sleep:sleep_and_report e in
   on_event (Finished result);
   result
 
-let sweep ?(limits = Watchdog.no_limits) ?(retry = no_retry) ?(sleep = Unix.sleepf)
-    ?manifest_path ?(resume = false) ?(on_event = fun (_ : event) -> ())
-    (experiments : Experiments.Common.t list) =
+let sweep ?(limits = Watchdog.no_limits) ?(retry = no_retry) ?rng
+    ?(sleep = Unix.sleepf) ?manifest_path ?(resume = false) ?on_warning
+    ?(on_event = fun (_ : event) -> ()) (experiments : Experiments.Common.t list) =
   let initial =
-    match (manifest_path, resume) with
-    | Some path, true -> Manifest.load ~path
+    match (manifest_path, resume, on_warning) with
+    | Some path, true, None -> Manifest.load ~path
+    | Some path, true, Some warn -> Manifest.load_lenient ~path ~on_warning:warn
     | _ -> Ok (Manifest.empty ())
   in
   match initial with
@@ -172,7 +198,7 @@ let sweep ?(limits = Watchdog.no_limits) ?(retry = no_retry) ?(sleep = Unix.slee
             on_event (Skipped { id });
             (manifest, ran, skipped + 1)
           | _ ->
-            let result = supervise_with_events ~limits ~retry ~sleep ~on_event e in
+            let result = supervise_with_events ~limits ~retry ?rng ~sleep ~on_event e in
             let manifest = Manifest.set manifest result.entry in
             persist manifest;
             (manifest, ran + 1, skipped))

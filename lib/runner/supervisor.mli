@@ -21,15 +21,33 @@ type retry = {
   max_attempts : int;  (** total tries, including the first (>= 1) *)
   backoff_s : float;  (** sleep before the first retry *)
   multiplier : float;  (** backoff growth per further retry *)
+  jitter : float;
+      (** symmetric multiplicative spread in [0, 1]: each delay is
+          scaled by a factor uniform in [1 - jitter, 1 + jitter], drawn
+          from the caller's explicit {!Numerics.Rng} stream. Zero (the
+          default) keeps the historical deterministic schedule. *)
 }
 
 val no_retry : retry
 (** [max_attempts = 1]: one try, no sleeping. *)
 
-val retry : ?max_attempts:int -> ?backoff_s:float -> ?multiplier:float -> unit -> retry
-(** Defaults: 1 attempt, 0.5s initial backoff, doubling. Raises
-    [Invalid_argument] on a non-positive attempt count, negative
-    backoff or multiplier < 1. *)
+val retry :
+  ?max_attempts:int -> ?backoff_s:float -> ?multiplier:float -> ?jitter:float ->
+  unit -> retry
+(** Defaults: 1 attempt, 0.5s initial backoff, doubling, no jitter.
+    Raises [Invalid_argument] on a non-positive attempt count, negative
+    backoff, multiplier < 1 or jitter outside [0, 1]. *)
+
+val backoff_delay : ?rng:Numerics.Rng.t -> retry -> attempt:int -> float
+(** The sleep before the retry that follows failed attempt [attempt]
+    (1-based): [backoff_s * multiplier^(attempt - 1)], jittered by the
+    [rng] stream when both [rng] and a positive [jitter] are present.
+    Jitter de-synchronizes concurrent retriers (the thundering-herd
+    problem when many requests fail together and all come back at
+    exactly the same instant) while remaining a pure function of the
+    Rng state, so a seeded replay reproduces the exact delays. Without
+    [rng] the schedule is the deterministic exponential. Raises
+    [Invalid_argument] when [attempt < 1]. *)
 
 val retryable : exn -> bool
 (** Failures worth re-trying: the typed solver taxonomy
@@ -48,13 +66,15 @@ type result_ = {
 val supervise :
   ?limits:Watchdog.limits ->
   ?retry:retry ->
+  ?rng:Numerics.Rng.t ->
   ?sleep:(float -> unit) ->
   Experiments.Common.t ->
   result_
 (** Run one experiment to a manifest entry. [sleep] (default
     [Unix.sleepf]) is injectable so tests can observe backoff without
-    waiting. Never raises for anything the experiment does (see the
-    containment contract above). *)
+    waiting; [rng] feeds {!backoff_delay}'s jitter. Never raises for
+    anything the experiment does (see the containment contract
+    above). *)
 
 type event =
   | Started of { id : string; attempt : int }
@@ -72,9 +92,11 @@ type summary = {
 val sweep :
   ?limits:Watchdog.limits ->
   ?retry:retry ->
+  ?rng:Numerics.Rng.t ->
   ?sleep:(float -> unit) ->
   ?manifest_path:string ->
   ?resume:bool ->
+  ?on_warning:(string -> unit) ->
   ?on_event:(event -> unit) ->
   Experiments.Common.t list ->
   (summary, string) result
@@ -83,6 +105,9 @@ val sweep :
     (requires [manifest_path]) the existing manifest is loaded first
     and {!Manifest.successful} entries are skipped, keeping their
     records. [Error] only when an existing manifest cannot be parsed —
-    experiment failures are data, not errors. [on_event] receives
+    experiment failures are data, not errors. With [on_warning] the
+    resume load is {!Manifest.load_lenient}: a torn or truncated
+    manifest is salvaged entry by entry (each drop reported through
+    [on_warning]) instead of failing the resume. [on_event] receives
     progress (the CLI prints from it; the library never touches
     stdout). *)

@@ -1,0 +1,149 @@
+(* Content-addressed equilibrium cache. Single-domain by design: the
+   server event loop is the only caller; pool workers only ever see
+   the warm-start profile by value. *)
+
+type entry = {
+  price : float;
+  cap : float;
+  capacity : float;
+  pop_fp : string;
+  solved : Proto.solved;
+  mutable tick : int;  (* recency stamp; larger = fresher *)
+}
+
+type stats = { hits : int; misses : int; warm_seeds : int; evictions : int }
+
+type t = {
+  limit : int;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable warm_seeds : int;
+  mutable evictions : int;
+  hits_c : Obs.Metrics.counter;
+  misses_c : Obs.Metrics.counter;
+  warm_c : Obs.Metrics.counter;
+  evict_c : Obs.Metrics.counter;
+  size_g : Obs.Metrics.gauge;
+}
+
+let create ~capacity =
+  let limit = max 1 capacity in
+  {
+    limit;
+    table = Hashtbl.create (min 64 (2 * limit));
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    warm_seeds = 0;
+    evictions = 0;
+    hits_c = Obs.Metrics.counter "service.cache.hits";
+    misses_c = Obs.Metrics.counter "service.cache.misses";
+    warm_c = Obs.Metrics.counter "service.cache.warm_seeds";
+    evict_c = Obs.Metrics.counter "service.cache.evictions";
+    size_g = Obs.Metrics.gauge "service.cache.size";
+  }
+
+(* Canonical rendering: every float at full [%.17g] precision so two
+   markets share a fingerprint iff they are bit-identical in every
+   parameter. The CP population reuses the Market_io wire form, which
+   is already the canonical column set. *)
+let population_fingerprint (m : Proto.market) =
+  Digest.to_hex
+    (Digest.string (Obs.Json.to_string (Experiments.Market_io.json_of_cps m.cps)))
+
+let fingerprint (m : Proto.market) =
+  let pop = Obs.Json.to_string (Experiments.Market_io.json_of_cps m.cps) in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%.17g|%.17g|%.17g|%s" m.capacity m.price m.cap pop))
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.tick <- t.clock
+
+let find t ~fingerprint =
+  match Hashtbl.find_opt t.table fingerprint with
+  | Some entry ->
+    touch t entry;
+    t.hits <- t.hits + 1;
+    Obs.Metrics.incr t.hits_c;
+    Some { entry.solved with Proto.cache = Proto.Hit }
+  | None ->
+    t.misses <- t.misses + 1;
+    Obs.Metrics.incr t.misses_c;
+    None
+
+(* Nearest same-population entry under a normalized L2 distance over
+   the three scalar knobs; relative normalization keeps a price sweep
+   and a capacity sweep comparable. *)
+let distance entry (m : Proto.market) =
+  let d a b = (a -. b) /. Float.max 1. (Float.abs a +. Float.abs b) in
+  let dp = d entry.price m.price
+  and dq = d entry.cap m.cap
+  and dc = d entry.capacity m.capacity in
+  (dp *. dp) +. (dq *. dq) +. (dc *. dc)
+
+let warm_start t (m : Proto.market) =
+  let pop = population_fingerprint m in
+  let best =
+    Hashtbl.fold
+      (fun _ entry acc ->
+        if String.equal entry.pop_fp pop then
+          let dist = distance entry m in
+          match acc with
+          | Some (_, best_dist) when best_dist <= dist -> acc
+          | _ -> Some (entry, dist)
+        else acc)
+      t.table None
+  in
+  match best with
+  | None -> None
+  | Some (entry, _) ->
+    t.warm_seeds <- t.warm_seeds + 1;
+    Obs.Metrics.incr t.warm_c;
+    Some (Array.copy entry.solved.Proto.subsidies)
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun fp entry acc ->
+        match acc with
+        | Some (_, tick) when tick <= entry.tick -> acc
+        | _ -> Some (fp, entry.tick))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (fp, _) ->
+    Hashtbl.remove t.table fp;
+    t.evictions <- t.evictions + 1;
+    Obs.Metrics.incr t.evict_c
+
+let store t ~market ~fingerprint solved =
+  let entry =
+    {
+      price = market.Proto.price;
+      cap = market.Proto.cap;
+      capacity = market.Proto.capacity;
+      pop_fp = population_fingerprint market;
+      solved = { solved with Proto.cache = Proto.Hit };
+      tick = 0;
+    }
+  in
+  touch t entry;
+  if not (Hashtbl.mem t.table fingerprint) && Hashtbl.length t.table >= t.limit
+  then evict_lru t;
+  Hashtbl.replace t.table fingerprint entry;
+  Obs.Metrics.set t.size_g (float_of_int (Hashtbl.length t.table))
+
+let size t = Hashtbl.length t.table
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    warm_seeds = t.warm_seeds;
+    evictions = t.evictions;
+  }

@@ -1,0 +1,49 @@
+(** Content-addressed equilibrium cache with warm-start seeding.
+
+    Two levels of reuse, both keyed off a canonical market rendering:
+
+    - {b Exact}: the full fingerprint (capacity, price, cap and every
+      CP parameter at [%.17g]) maps to the solved equilibrium; a
+      repeated request is answered without touching the solver.
+    - {b Neighbour}: the population fingerprint (CPs only) groups
+      markets that differ only in [(price, cap, capacity)]; a miss
+      whose population is known seeds {!Subsidization.Nash.solve} from
+      the nearest cached equilibrium's subsidy profile instead of the
+      zero profile, cutting the best-response sweeps (and therefore
+      objective evaluations) for sweep-shaped workloads.
+
+    Bounded LRU: at most [capacity] entries, least-recently-used
+    evicted. Hit/miss/warm counters live in the [service.cache.*]
+    metrics. Not thread-safe by design: the server touches it only
+    from the event-loop domain (solves on pool workers receive the
+    warm-start profile by value). *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises nothing; a non-positive capacity is clamped to 1. *)
+
+val fingerprint : Proto.market -> string
+(** Canonical content address (hex digest) of the whole market. *)
+
+val population_fingerprint : Proto.market -> string
+(** Content address of the CP population alone. *)
+
+val find : t -> fingerprint:string -> Proto.solved option
+(** Exact lookup; refreshes recency and counts a hit or miss. *)
+
+val warm_start : t -> Proto.market -> float array option
+(** The subsidy profile of the cached equilibrium nearest to this
+    market among same-population entries (normalized Euclidean
+    distance over price/cap/capacity). [None] when no same-population
+    entry exists. *)
+
+val store : t -> market:Proto.market -> fingerprint:string -> Proto.solved -> unit
+(** Insert (or refresh) the solved equilibrium, evicting the LRU entry
+    beyond capacity. Degraded results are not stored. *)
+
+val size : t -> int
+
+type stats = { hits : int; misses : int; warm_seeds : int; evictions : int }
+
+val stats : t -> stats

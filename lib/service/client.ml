@@ -1,0 +1,91 @@
+type t = { fd : Unix.file_descr; inbox : Buffer.t }
+
+let connect address =
+  match
+    match (address : Server.address) with
+    | Server.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    | Server.Tcp { host; port } ->
+      let inet =
+        if String.equal host "" then Unix.inet_addr_loopback
+        else Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      fd
+  with
+  | fd -> Ok { fd; inbox = Buffer.create 512 }
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error
+      (Printf.sprintf "connect %s: %s (%s)"
+         (Server.address_to_string address)
+         (Unix.error_message e) fn)
+  | exception Failure _ ->
+    Error
+      ("connect: not a numeric host address in "
+      ^ Server.address_to_string address)
+
+let close t =
+  match Unix.close t.fd with
+  | () -> ()
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let send t request =
+  let data = Proto.request_to_line request ^ "\n" in
+  let len = String.length data in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write_substring t.fd data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+        Error ("send: " ^ Unix.error_message e)
+  in
+  go 0
+
+(* One buffered line, if a complete one is already in the inbox. *)
+let take_line t =
+  let s = Buffer.contents t.inbox in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.sub s 0 i in
+    Buffer.clear t.inbox;
+    Buffer.add_substring t.inbox s (i + 1) (String.length s - i - 1);
+    Some line
+
+let read_response ?(timeout_s = 30.) t =
+  let deadline = Obs.Clock.now () +. timeout_s in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match take_line t with
+    | Some line -> (
+      match Proto.response_of_line line with
+      | Ok response -> Ok response
+      | Error msg -> Error ("bad response frame: " ^ msg))
+    | None ->
+      let left = deadline -. Obs.Clock.now () in
+      if left <= 0. then Error "timeout waiting for response"
+      else (
+        match Unix.select [ t.fd ] [] [] left with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | [], _, _ -> go ()
+        | _ :: _, _, _ -> (
+          match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error "connection closed by daemon"
+          | n ->
+            Buffer.add_subbytes t.inbox chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (e, _, _) ->
+            Error ("read: " ^ Unix.error_message e)))
+  in
+  go ()
+
+let call ?timeout_s t request =
+  match send t request with
+  | Error _ as e -> e
+  | Ok () -> read_response ?timeout_s t

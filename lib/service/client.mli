@@ -1,0 +1,21 @@
+(** Blocking client for the solve daemon's wire protocol.
+
+    One connection, one {!Proto} frame per line, reads driven by a
+    [select] timeout so a wedged (or killed) daemon surfaces as a typed
+    [Error "timeout ..."] instead of a hang. Used by the [loadgen] CLI,
+    the service tests and the soak harness. *)
+
+type t
+
+val connect : Server.address -> (t, string) result
+
+val close : t -> unit
+
+val send : t -> Proto.request -> (unit, string) result
+
+val read_response : ?timeout_s:float -> t -> (Proto.response, string) result
+(** Next response frame (default timeout 30s). *)
+
+val call : ?timeout_s:float -> t -> Proto.request -> (Proto.response, string) result
+(** [send] then [read_response] — the one-outstanding-request idiom.
+    Pipelined callers use [send]/[read_response] directly. *)

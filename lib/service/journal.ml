@@ -1,0 +1,159 @@
+type kind = Solved | Degraded | Shed
+
+let kind_name = function Solved -> "solved" | Degraded -> "degraded" | Shed -> "shed"
+
+let kind_of_name = function
+  | "solved" -> Some Solved
+  | "degraded" -> Some Degraded
+  | "shed" -> Some Shed
+  | _ -> None
+
+type t = { oc : out_channel; durable : bool }
+
+(* Journal lines embed the raw request frame as a JSON string; frames
+   are themselves single-line compact JSON, so Obs.Json's escaping
+   keeps one event = one line. *)
+let received_line ~seq ~id ~fingerprint ~request_line =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("ev", Obs.Json.Str "received");
+         ("seq", Obs.Json.Num (float_of_int seq));
+         ("id", Obs.Json.Str id);
+         ("fp", Obs.Json.Str fingerprint);
+         ("unix", Obs.Json.Num (Obs.Clock.now ()));
+         ("request", Obs.Json.Str request_line);
+       ])
+
+let acked_line ~seq ~id ~kind =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("ev", Obs.Json.Str "acked");
+         ("seq", Obs.Json.Num (float_of_int seq));
+         ("id", Obs.Json.Str id);
+         ("kind", Obs.Json.Str (kind_name kind));
+         ("unix", Obs.Json.Num (Obs.Clock.now ()));
+       ])
+
+let open_ ?(durable = false) ~path () =
+  let dir = Filename.dirname path in
+  match Report.Fsio.mkdir_p dir with
+  | Error _ as e -> e
+  | Ok () -> (
+    match open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path with
+    | exception Sys_error msg -> Error ("journal open: " ^ msg)
+    | oc ->
+      if durable then (
+        (* make the directory entry durable too: an empty journal that
+           vanishes with the dentry on power loss defeats recovery *)
+        match Report.Fsio.fsync_dir dir with
+        | Ok () -> Ok { oc; durable }
+        | Error _ as e ->
+          close_out_noerr oc;
+          e)
+      else Ok { oc; durable })
+
+let append t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    if t.durable then Report.Fsio.fsync_channel t.oc
+    else begin
+      flush t.oc;
+      Ok ()
+    end
+  with
+  | result -> result
+  | exception Sys_error msg -> Error ("journal append: " ^ msg)
+
+let record_received t ~seq ~id ~fingerprint ~request_line =
+  append t (received_line ~seq ~id ~fingerprint ~request_line)
+
+let record_acked t ~seq ~id ~kind = append t (acked_line ~seq ~id ~kind)
+
+let close t = close_out_noerr t.oc
+
+type pending = { seq : int; id : string; request_line : string }
+
+type recovered = {
+  pending : pending list;
+  acked : (int * string * kind) list;
+  next_seq : int;
+  torn_lines : int;
+}
+
+type event =
+  | Ev_received of pending
+  | Ev_acked of int * string * kind
+
+let field name json = Obs.Json.member name json
+
+let str_field name json =
+  match field name json with Some (Obs.Json.Str s) -> Some s | _ -> None
+
+let int_field name json =
+  match field name json with
+  | Some (Obs.Json.Num x) when Float.is_integer x -> Some (int_of_float x)
+  | _ -> None
+
+let event_of_line line =
+  match Obs.Json.of_string line with
+  | exception Obs.Json.Parse_error msg -> Error ("unparsable line: " ^ msg)
+  | json -> (
+    match (str_field "ev" json, int_field "seq" json, str_field "id" json) with
+    | Some "received", Some seq, Some id -> (
+      match str_field "request" json with
+      | Some request_line -> Ok (Ev_received { seq; id; request_line })
+      | None -> Error "received event without request")
+    | Some "acked", Some seq, Some id -> (
+      match Option.bind (str_field "kind" json) kind_of_name with
+      | Some kind -> Ok (Ev_acked (seq, id, kind))
+      | None -> Error "acked event with unknown kind")
+    | Some ev, _, _ -> Error ("unknown event " ^ ev)
+    | None, _, _ -> Error "event without ev tag")
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in_noerr ic;
+      List.rev acc
+  in
+  go []
+
+let recover ?(on_warning = fun _ -> ()) ~path () =
+  if not (Sys.file_exists path) then
+    Ok { pending = []; acked = []; next_seq = 0; torn_lines = 0 }
+  else
+    match read_lines path with
+    | exception Sys_error msg -> Error ("journal recover: " ^ msg)
+    | lines ->
+      let torn = ref 0 in
+      let received = Hashtbl.create 64 in
+      let acked = ref [] in
+      let max_seq = ref (-1) in
+      List.iteri
+        (fun i line ->
+          if String.trim line <> "" then
+            match event_of_line line with
+            | Ok (Ev_received p) ->
+              Hashtbl.replace received p.seq p;
+              if p.seq > !max_seq then max_seq := p.seq
+            | Ok (Ev_acked (seq, id, kind)) ->
+              Hashtbl.remove received seq;
+              acked := (seq, id, kind) :: !acked;
+              if seq > !max_seq then max_seq := seq
+            | Error msg ->
+              incr torn;
+              on_warning
+                (Printf.sprintf "%s: line %d skipped (%s)" path (i + 1) msg))
+        lines;
+      let pending =
+        Hashtbl.fold (fun _ p acc -> p :: acc) received []
+        |> List.sort (fun a b -> compare a.seq b.seq)
+      in
+      let acked = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !acked in
+      Ok { pending; acked; next_seq = !max_seq + 1; torn_lines = !torn }

@@ -1,0 +1,50 @@
+(** Crash-safe request journal (JSONL, run.v1 style).
+
+    The daemon appends one [received] event when a solve request is
+    admitted and one [acked] event {e before} the response frame is
+    written to the socket. On restart, {!recover} replays the file:
+    requests with a [received] but no [acked] are re-solved and
+    re-answered; requests already acked are never answered twice —
+    ack-before-send makes recovery at-most-once per request even
+    across a SIGKILL between the journal write and the socket write.
+
+    The file is append-only newline-delimited JSON. A crash can tear
+    the final line; {!recover} skips unparsable lines with a warning
+    instead of failing the restart (the torn event is at worst one
+    un-acked request, which replay solves again). [?durable] appends
+    fsync after every event — the crash-safety contract for real
+    deployments; tests leave it off for speed. *)
+
+type t
+
+type kind = Solved | Degraded | Shed
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+val open_ : ?durable:bool -> path:string -> unit -> (t, string) result
+(** Open for appending, creating the file (and syncing its directory
+    entry when [durable]) if needed. *)
+
+val record_received :
+  t -> seq:int -> id:string -> fingerprint:string -> request_line:string ->
+  (unit, string) result
+(** [request_line] is the raw wire frame, journaled verbatim so replay
+    re-decodes with the same {!Proto} code path. *)
+
+val record_acked : t -> seq:int -> id:string -> kind:kind -> (unit, string) result
+
+val close : t -> unit
+
+type pending = { seq : int; id : string; request_line : string }
+
+type recovered = {
+  pending : pending list;  (** received, never acked — in seq order *)
+  acked : (int * string * kind) list;  (** (seq, id, kind), in seq order *)
+  next_seq : int;  (** one past the largest seq seen *)
+  torn_lines : int;  (** lines skipped as unparsable *)
+}
+
+val recover :
+  ?on_warning:(string -> unit) -> path:string -> unit -> (recovered, string) result
+(** A missing file recovers to the empty state. *)

@@ -1,0 +1,240 @@
+type config = {
+  address : Server.address;
+  requests : int;
+  connections : int;
+  burst : int;
+  seed : int64;
+  chaos_every : int option;
+  reuse_fraction : float;
+  neighbour_fraction : float;
+  deadline_s : float option;
+  timeout_s : float;
+}
+
+let default_config ~address ~requests =
+  {
+    address;
+    requests;
+    connections = 2;
+    burst = 8;
+    seed = 42L;
+    chaos_every = None;
+    reuse_fraction = 0.3;
+    neighbour_fraction = 0.3;
+    deadline_s = None;
+    timeout_s = 60.;
+  }
+
+type report = {
+  sent : int;
+  solved : int;
+  degraded : int;
+  shed : int;
+  rejected : int;
+  other : int;
+  chaos_toggles : int;
+  unanswered : int;
+  errors : string list;
+  wall_s : float;
+}
+
+let report_ok r =
+  r.unanswered = 0 && r.rejected = 0 && r.errors = [] && r.sent > 0
+  && r.solved + r.degraded + r.shed = r.sent
+
+let report_to_string r =
+  Printf.sprintf
+    "sent %d: %d solved, %d degraded, %d shed, %d rejected, %d unanswered; %d \
+     chaos toggles, %d transport errors, %.2fs"
+    r.sent r.solved r.degraded r.shed r.rejected r.unanswered r.chaos_toggles
+    (List.length r.errors) r.wall_s
+
+let random_market rng =
+  let n = 1 + Numerics.Rng.int rng 4 in
+  let cps =
+    Array.init n (fun i ->
+        Econ.Cp.exponential
+          ~name:(Printf.sprintf "cp%d" i)
+          ~alpha:(Numerics.Rng.uniform rng ~lo:0.5 ~hi:3.)
+          ~beta:(Numerics.Rng.uniform rng ~lo:0.5 ~hi:3.)
+          ~value:(Numerics.Rng.uniform rng ~lo:0.5 ~hi:2.5)
+          ())
+  in
+  {
+    Proto.capacity = Numerics.Rng.uniform rng ~lo:0.5 ~hi:5.;
+    price = Numerics.Rng.uniform rng ~lo:0.1 ~hi:1.5;
+    cap = Numerics.Rng.uniform rng ~lo:0.05 ~hi:1.;
+    cps;
+  }
+
+(* Same CP population, nearby scalar knobs: the warm-start shape. *)
+let neighbour_market rng (m : Proto.market) =
+  let nudge x = x *. Numerics.Rng.uniform rng ~lo:0.95 ~hi:1.05 in
+  {
+    m with
+    Proto.price = Float.max 0.01 (nudge m.Proto.price);
+    cap = Float.max 0.01 (nudge m.Proto.cap);
+    capacity = Float.max 0.1 (nudge m.Proto.capacity);
+  }
+
+let chaos_cycle =
+  Array.of_list
+    (None
+    :: List.map
+         (fun (s : Runner.Chaos.scenario) -> Some s.Runner.Chaos.mode)
+         Runner.Chaos.default_scenarios)
+
+type counts = {
+  mutable solved : int;
+  mutable degraded : int;
+  mutable shed : int;
+  mutable rejected : int;
+  mutable other : int;
+  mutable chaos_toggles : int;
+  mutable errors : string list;
+}
+
+(* Read [expected] responses off one connection, matching solve answers
+   back to their ids. *)
+let drain_conn ~timeout_s client outstanding counts expected =
+  let settle id =
+    if Hashtbl.mem outstanding id then Hashtbl.remove outstanding id
+  in
+  let rec go remaining =
+    if remaining > 0 then
+      match Client.read_response ~timeout_s client with
+      | Error msg ->
+        counts.errors <- msg :: counts.errors
+      | Ok response ->
+        (match response with
+        | Proto.Solved { id; _ } ->
+          settle id;
+          counts.solved <- counts.solved + 1
+        | Proto.Degraded { id; _ } ->
+          settle id;
+          counts.degraded <- counts.degraded + 1
+        | Proto.Shed { id; _ } ->
+          settle id;
+          counts.shed <- counts.shed + 1
+        | Proto.Rejected { id; _ } ->
+          Option.iter settle id;
+          counts.rejected <- counts.rejected + 1
+        | Proto.Chaos_ack _ -> counts.chaos_toggles <- counts.chaos_toggles + 1
+        | Proto.Metrics_snapshot _ | Proto.Pong | Proto.Bye ->
+          counts.other <- counts.other + 1);
+        go (remaining - 1)
+  in
+  go expected
+
+let run ?(on_event = fun _ -> ()) cfg =
+  let t0 = Obs.Clock.now () in
+  let n_conns = max 1 cfg.connections in
+  let clients =
+    List.filter_map
+      (fun i ->
+        match Client.connect cfg.address with
+        | Ok c -> Some c
+        | Error msg ->
+          on_event (Printf.sprintf "connection %d failed: %s" i msg);
+          None)
+      (List.init n_conns Fun.id)
+  in
+  match clients with
+  | [] -> Error "loadgen: no connection could be established"
+  | clients ->
+    let clients = Array.of_list clients in
+    let rng = Numerics.Rng.create cfg.seed in
+    let recent = ref [] in
+    let remember m =
+      recent := m :: (if List.length !recent >= 16 then List.filteri (fun i _ -> i < 15) !recent else !recent)
+    in
+    let pick_market () =
+      let u = Numerics.Rng.float rng in
+      match !recent with
+      | past when past <> [] && u < cfg.reuse_fraction ->
+        Numerics.Rng.choice rng (Array.of_list past)
+      | past when past <> [] && u < cfg.reuse_fraction +. cfg.neighbour_fraction ->
+        let m = neighbour_market rng (Numerics.Rng.choice rng (Array.of_list past)) in
+        remember m;
+        m
+      | _ ->
+        let m = random_market rng in
+        remember m;
+        m
+    in
+    let params = { Proto.deadline_s = cfg.deadline_s; max_evals = None } in
+    let outstanding = Hashtbl.create (2 * cfg.requests) in
+    let counts =
+      {
+        solved = 0;
+        degraded = 0;
+        shed = 0;
+        rejected = 0;
+        other = 0;
+        chaos_toggles = 0;
+        errors = [];
+      }
+    in
+    let sent = ref 0 in
+    let chaos_idx = ref 0 in
+    let expected = Array.make (Array.length clients) 0 in
+    while !sent < cfg.requests && counts.errors = [] do
+      (* one round: a burst on every connection, then drain them all *)
+      Array.iteri
+        (fun ci client ->
+          let budget = min cfg.burst (cfg.requests - !sent) in
+          for _ = 1 to budget do
+            (match cfg.chaos_every with
+            | Some every when every > 0 && !sent mod every = 0 ->
+              let mode = chaos_cycle.(!chaos_idx mod Array.length chaos_cycle) in
+              incr chaos_idx;
+              (match Client.send client (Proto.Chaos { mode }) with
+              | Ok () -> expected.(ci) <- expected.(ci) + 1
+              | Error msg -> counts.errors <- msg :: counts.errors)
+            | _ -> ());
+            let id = Printf.sprintf "r%d" !sent in
+            incr sent;
+            let market = pick_market () in
+            match Client.send client (Proto.Solve { id; market; params }) with
+            | Ok () ->
+              Hashtbl.replace outstanding id ();
+              expected.(ci) <- expected.(ci) + 1
+            | Error msg -> counts.errors <- msg :: counts.errors
+          done)
+        clients;
+      Array.iteri
+        (fun ci client ->
+          drain_conn ~timeout_s:cfg.timeout_s client outstanding counts
+            expected.(ci);
+          expected.(ci) <- 0)
+        clients;
+      if !sent mod 500 < cfg.burst * Array.length clients then
+        on_event
+          (Printf.sprintf "%d/%d sent (%d solved, %d degraded, %d shed)" !sent
+             cfg.requests counts.solved counts.degraded counts.shed)
+    done;
+    Array.iter Client.close clients;
+    Ok
+      {
+        sent = !sent;
+        solved = counts.solved;
+        degraded = counts.degraded;
+        shed = counts.shed;
+        rejected = counts.rejected;
+        other = counts.other;
+        chaos_toggles = counts.chaos_toggles;
+        unanswered = Hashtbl.length outstanding;
+        errors = counts.errors;
+        wall_s = Obs.Clock.elapsed ~since:t0;
+      }
+
+let fetch_metrics ?(prefix = "") ?(timeout_s = 30.) address =
+  match Client.connect address with
+  | Error msg -> Error msg
+  | Ok client ->
+    let result = Client.call ~timeout_s client (Proto.Metrics { prefix }) in
+    Client.close client;
+    (match result with
+    | Ok (Proto.Metrics_snapshot json) -> Ok json
+    | Ok _ -> Error "unexpected response to metrics query"
+    | Error msg -> Error msg)

@@ -1,0 +1,59 @@
+(** Randomized load generator for the solve daemon.
+
+    Drives pipelined bursts of solve requests — a seeded mix of fresh
+    markets, exact repeats (cache hits) and perturbed neighbours
+    (warm starts) — over several connections, optionally toggling the
+    daemon's chaos fault injection mid-flight, and matches every
+    response back to its request id. The soak test's acceptance
+    question ("was every request answered solved, degraded or shed,
+    and did the daemon stay up?") is {!report_ok} on the returned
+    {!report}. *)
+
+type config = {
+  address : Server.address;
+  requests : int;  (** solve requests to send in total *)
+  connections : int;
+  burst : int;  (** solve frames in flight per connection *)
+  seed : int64;
+  chaos_every : int option;
+      (** send a chaos toggle every [n] solve requests, cycling through
+          every {!Runner.Chaos.default_scenarios} mode and "off" *)
+  reuse_fraction : float;  (** share of exact-repeat markets, in [0, 1] *)
+  neighbour_fraction : float;  (** share of perturbed-neighbour markets *)
+  deadline_s : float option;  (** per-request watchdog deadline to ask for *)
+  timeout_s : float;  (** client-side read timeout per response *)
+}
+
+val default_config : address:Server.address -> requests:int -> config
+(** 2 connections, burst 8, seed 42, no chaos, 30% repeats, 30%
+    neighbours, no per-request deadline, 60s timeout. *)
+
+type report = {
+  sent : int;
+  solved : int;
+  degraded : int;
+  shed : int;
+  rejected : int;
+  other : int;  (** pongs, byes, metrics snapshots *)
+  chaos_toggles : int;
+  unanswered : int;  (** solve requests with no matching response *)
+  errors : string list;  (** transport-level failures, newest first *)
+  wall_s : float;
+}
+
+val report_ok : report -> bool
+(** Every solve request answered (solved, degraded or shed), nothing
+    unanswered, no rejects, no transport errors. *)
+
+val report_to_string : report -> string
+
+val random_market : Numerics.Rng.t -> Proto.market
+(** One seeded random market from the generator's distribution (1-4
+    exponential CPs; also used by the service tests). *)
+
+val run : ?on_event:(string -> unit) -> config -> (report, string) result
+(** [Error] only when no connection can be established at all. *)
+
+val fetch_metrics :
+  ?prefix:string -> ?timeout_s:float -> Server.address -> (Obs.Json.t, string) result
+(** One-shot metrics query over a fresh connection. *)

@@ -1,0 +1,404 @@
+type market = {
+  capacity : float;
+  price : float;
+  cap : float;
+  cps : Econ.Cp.t array;
+}
+
+type solve_params = { deadline_s : float option; max_evals : int option }
+
+let no_params = { deadline_s = None; max_evals = None }
+
+type request =
+  | Solve of { id : string; market : market; params : solve_params }
+  | Metrics of { prefix : string }
+  | Chaos of { mode : Numerics.Fault.mode option }
+  | Ping
+  | Shutdown
+
+type reject_reason =
+  | Malformed_frame of string
+  | Oversized_frame of { bytes : int; limit : int }
+  | Bad_market of string
+  | Unsupported of string
+  | Chaos_disabled
+
+let reject_to_string = function
+  | Malformed_frame msg -> "malformed frame: " ^ msg
+  | Oversized_frame { bytes; limit } ->
+    Printf.sprintf "oversized frame: %d bytes (limit %d)" bytes limit
+  | Bad_market msg -> "bad market: " ^ msg
+  | Unsupported what -> "unsupported request: " ^ what
+  | Chaos_disabled -> "chaos injection disabled on this server (start with --allow-chaos)"
+
+type cache_source = Hit | Warm | Cold
+
+let cache_source_name = function Hit -> "hit" | Warm -> "warm" | Cold -> "cold"
+
+type solved = {
+  subsidies : float array;
+  phi : float;
+  aggregate : float;
+  revenue : float;
+  converged : bool;
+  sweeps : int;
+  kkt_residual : float;
+  cache : cache_source;
+  solve_s : float;
+}
+
+type response =
+  | Solved of { id : string; result : solved }
+  | Degraded of { id : string; reason : string }
+  | Shed of { id : string; depth : int; capacity : int }
+  | Rejected of { id : string option; reason : reject_reason }
+  | Metrics_snapshot of Obs.Json.t
+  | Chaos_ack of { mode : string }
+  | Pong
+  | Bye
+
+let default_max_frame_bytes = 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* chaos mode names: the Runner.Chaos scenario vocabulary, plus "off" *)
+
+let chaos_mode_name mode =
+  match
+    List.find_opt
+      (fun s -> s.Runner.Chaos.mode = mode)
+      Runner.Chaos.default_scenarios
+  with
+  | Some s -> s.Runner.Chaos.name
+  | None -> "custom"
+
+let chaos_mode_of_name name =
+  if String.equal name "off" then Ok None
+  else
+    match
+      List.find_opt
+        (fun s -> String.equal s.Runner.Chaos.name name)
+        Runner.Chaos.default_scenarios
+    with
+    | Some s -> Ok (Some s.Runner.Chaos.mode)
+    | None ->
+      Error
+        (Printf.sprintf "unknown chaos mode %S (known: off, %s)" name
+           (String.concat ", "
+              (List.map (fun s -> s.Runner.Chaos.name) Runner.Chaos.default_scenarios)))
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers *)
+
+open Obs.Json
+
+let ( let* ) = Result.bind
+
+let str_field name json =
+  match member name json with
+  | Some (Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S is not a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let num_field name json =
+  match member name json with
+  | Some v -> (
+    match to_float v with
+    | Some f when Float.is_finite f -> Ok f
+    | Some _ -> Error (Printf.sprintf "field %S is not finite" name)
+    | None -> Error (Printf.sprintf "field %S is not a number" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_num_field name json =
+  match member name json with
+  | None | Some Null -> Ok None
+  | Some v -> (
+    match to_float v with
+    | Some f when Float.is_finite f -> Ok (Some f)
+    | _ -> Error (Printf.sprintf "field %S is not a finite number" name))
+
+(* ------------------------------------------------------------------ *)
+(* markets *)
+
+let market_to_json m =
+  Obj
+    [
+      ("capacity", Num m.capacity);
+      ("price", Num m.price);
+      ("cap", Num m.cap);
+      ("cps", Experiments.Market_io.json_of_cps m.cps);
+    ]
+
+let market_of_json json =
+  let* capacity = num_field "capacity" json in
+  let* () =
+    if capacity > 0. then Ok ()
+    else Error (Printf.sprintf "capacity must be positive, got %g" capacity)
+  in
+  let* price = num_field "price" json in
+  let* () =
+    if price >= 0. then Ok ()
+    else Error (Printf.sprintf "price must be non-negative, got %g" price)
+  in
+  let* cap = num_field "cap" json in
+  let* () =
+    if cap >= 0. then Ok ()
+    else Error (Printf.sprintf "cap must be non-negative, got %g" cap)
+  in
+  match member "cps" json with
+  | None -> Error "missing field \"cps\""
+  | Some cps_json ->
+    let* cps =
+      Result.map_error Experiments.Market_io.error_to_string
+        (Experiments.Market_io.cps_of_json ~path:"cps" cps_json)
+    in
+    Ok { capacity; price; cap; cps }
+
+(* ------------------------------------------------------------------ *)
+(* requests *)
+
+let request_to_json = function
+  | Solve { id; market; params } ->
+    Obj
+      ([ ("type", Str "solve"); ("id", Str id); ("market", market_to_json market) ]
+      @ (match params.deadline_s with
+        | Some d -> [ ("deadline_s", Num d) ]
+        | None -> [])
+      @
+      match params.max_evals with
+      | Some n -> [ ("max_evals", Num (float_of_int n)) ]
+      | None -> [])
+  | Metrics { prefix } ->
+    Obj
+      (("type", Str "metrics")
+      :: (if String.equal prefix "" then [] else [ ("prefix", Str prefix) ]))
+  | Chaos { mode } ->
+    Obj
+      [
+        ("type", Str "chaos");
+        ( "mode",
+          Str (match mode with None -> "off" | Some m -> chaos_mode_name m) );
+      ]
+  | Ping -> Obj [ ("type", Str "ping") ]
+  | Shutdown -> Obj [ ("type", Str "shutdown") ]
+
+let request_to_line r = to_string (request_to_json r)
+
+let request_of_json json =
+  match str_field "type" json with
+  | Error msg -> Error (Malformed_frame msg)
+  | Ok "ping" -> Ok Ping
+  | Ok "shutdown" -> Ok Shutdown
+  | Ok "metrics" ->
+    let prefix =
+      match member "prefix" json with Some (Str s) -> s | _ -> ""
+    in
+    Ok (Metrics { prefix })
+  | Ok "chaos" -> (
+    match str_field "mode" json with
+    | Error msg -> Error (Malformed_frame msg)
+    | Ok name -> (
+      match chaos_mode_of_name name with
+      | Ok mode -> Ok (Chaos { mode })
+      | Error msg -> Error (Malformed_frame msg)))
+  | Ok "solve" -> (
+    match str_field "id" json with
+    | Error msg -> Error (Malformed_frame msg)
+    | Ok id -> (
+      match member "market" json with
+      | None -> Error (Malformed_frame "missing field \"market\"")
+      | Some market_json -> (
+        match market_of_json market_json with
+        | Error msg -> Error (Bad_market msg)
+        | Ok market -> (
+          let params () =
+            let* deadline_s = opt_num_field "deadline_s" json in
+            let* () =
+              match deadline_s with
+              | Some d when d <= 0. -> Error "deadline_s must be positive"
+              | _ -> Ok ()
+            in
+            let* max_evals = opt_num_field "max_evals" json in
+            let* max_evals =
+              match max_evals with
+              | None -> Ok None
+              | Some f when f >= 1. -> Ok (Some (int_of_float f))
+              | Some _ -> Error "max_evals must be >= 1"
+            in
+            Ok { deadline_s; max_evals }
+          in
+          match params () with
+          | Error msg -> Error (Malformed_frame msg)
+          | Ok params -> Ok (Solve { id; market; params })))))
+  | Ok other -> Error (Unsupported other)
+
+let request_of_line ?(max_frame_bytes = default_max_frame_bytes) line =
+  let bytes = String.length line in
+  if bytes > max_frame_bytes then Error (Oversized_frame { bytes; limit = max_frame_bytes })
+  else
+    match of_string line with
+    | json -> request_of_json json
+    | exception Parse_error msg -> Error (Malformed_frame msg)
+
+(* ------------------------------------------------------------------ *)
+(* responses *)
+
+let solved_to_json s =
+  Obj
+    [
+      ("subsidies", Arr (Array.to_list (Array.map (fun x -> Num x) s.subsidies)));
+      ("phi", Num s.phi);
+      ("aggregate", Num s.aggregate);
+      ("revenue", Num s.revenue);
+      ("converged", Bool s.converged);
+      ("sweeps", Num (float_of_int s.sweeps));
+      ("kkt_residual", Num s.kkt_residual);
+      ("cache", Str (cache_source_name s.cache));
+      ("solve_s", Num s.solve_s);
+    ]
+
+let reject_to_json reason =
+  let kind, extra =
+    match reason with
+    | Malformed_frame detail -> ("malformed", [ ("detail", Str detail) ])
+    | Oversized_frame { bytes; limit } ->
+      ( "oversized",
+        [ ("bytes", Num (float_of_int bytes)); ("limit", Num (float_of_int limit)) ] )
+    | Bad_market detail -> ("bad-market", [ ("detail", Str detail) ])
+    | Unsupported detail -> ("unsupported", [ ("detail", Str detail) ])
+    | Chaos_disabled -> ("chaos-disabled", [])
+  in
+  Obj (("kind", Str kind) :: extra)
+
+let response_to_json = function
+  | Solved { id; result } ->
+    Obj [ ("type", Str "solved"); ("id", Str id); ("result", solved_to_json result) ]
+  | Degraded { id; reason } ->
+    Obj [ ("type", Str "degraded"); ("id", Str id); ("reason", Str reason) ]
+  | Shed { id; depth; capacity } ->
+    Obj
+      [
+        ("type", Str "shed");
+        ("id", Str id);
+        ("depth", Num (float_of_int depth));
+        ("capacity", Num (float_of_int capacity));
+      ]
+  | Rejected { id; reason } ->
+    Obj
+      (("type", Str "rejected")
+      :: ((match id with Some id -> [ ("id", Str id) ] | None -> [])
+         @ [ ("reason", reject_to_json reason) ]))
+  | Metrics_snapshot snapshot -> Obj [ ("type", Str "metrics"); ("snapshot", snapshot) ]
+  | Chaos_ack { mode } -> Obj [ ("type", Str "chaos-ack"); ("mode", Str mode) ]
+  | Pong -> Obj [ ("type", Str "pong") ]
+  | Bye -> Obj [ ("type", Str "bye") ]
+
+let response_to_line r = to_string (response_to_json r)
+
+let solved_of_json json =
+  let* subsidies =
+    match member "subsidies" json with
+    | Some (Arr items) ->
+      List.fold_left
+        (fun acc v ->
+          let* acc = acc in
+          match to_float v with
+          | Some f -> Ok (f :: acc)
+          | None -> Error "subsidies holds a non-number")
+        (Ok []) items
+      |> Result.map (fun l -> Array.of_list (List.rev l))
+    | _ -> Error "missing or non-array \"subsidies\""
+  in
+  let* phi = num_field "phi" json in
+  let* aggregate = num_field "aggregate" json in
+  let* revenue = num_field "revenue" json in
+  let* converged =
+    match member "converged" json with
+    | Some (Bool b) -> Ok b
+    | _ -> Error "missing or non-boolean \"converged\""
+  in
+  let* sweeps = num_field "sweeps" json in
+  let* kkt_residual = num_field "kkt_residual" json in
+  let* cache =
+    match str_field "cache" json with
+    | Ok "hit" -> Ok Hit
+    | Ok "warm" -> Ok Warm
+    | Ok "cold" -> Ok Cold
+    | Ok other -> Error (Printf.sprintf "unknown cache source %S" other)
+    | Error msg -> Error msg
+  in
+  let* solve_s = num_field "solve_s" json in
+  Ok
+    {
+      subsidies;
+      phi;
+      aggregate;
+      revenue;
+      converged;
+      sweeps = int_of_float sweeps;
+      kkt_residual;
+      cache;
+      solve_s;
+    }
+
+let reject_of_json json =
+  match str_field "kind" json with
+  | Error msg -> Error msg
+  | Ok "malformed" ->
+    let* detail = str_field "detail" json in
+    Ok (Malformed_frame detail)
+  | Ok "oversized" ->
+    let* bytes = num_field "bytes" json in
+    let* limit = num_field "limit" json in
+    Ok (Oversized_frame { bytes = int_of_float bytes; limit = int_of_float limit })
+  | Ok "bad-market" ->
+    let* detail = str_field "detail" json in
+    Ok (Bad_market detail)
+  | Ok "unsupported" ->
+    let* detail = str_field "detail" json in
+    Ok (Unsupported detail)
+  | Ok "chaos-disabled" -> Ok Chaos_disabled
+  | Ok other -> Error (Printf.sprintf "unknown reject kind %S" other)
+
+let response_of_json json =
+  let* type_ = str_field "type" json in
+  match type_ with
+  | "pong" -> Ok Pong
+  | "bye" -> Ok Bye
+  | "solved" ->
+    let* id = str_field "id" json in
+    let* result =
+      match member "result" json with
+      | Some r -> solved_of_json r
+      | None -> Error "missing field \"result\""
+    in
+    Ok (Solved { id; result })
+  | "degraded" ->
+    let* id = str_field "id" json in
+    let* reason = str_field "reason" json in
+    Ok (Degraded { id; reason })
+  | "shed" ->
+    let* id = str_field "id" json in
+    let* depth = num_field "depth" json in
+    let* capacity = num_field "capacity" json in
+    Ok (Shed { id; depth = int_of_float depth; capacity = int_of_float capacity })
+  | "rejected" ->
+    let id = match member "id" json with Some (Str s) -> Some s | _ -> None in
+    let* reason =
+      match member "reason" json with
+      | Some r -> reject_of_json r
+      | None -> Error "missing field \"reason\""
+    in
+    Ok (Rejected { id; reason })
+  | "metrics" -> (
+    match member "snapshot" json with
+    | Some snapshot -> Ok (Metrics_snapshot snapshot)
+    | None -> Error "missing field \"snapshot\"")
+  | "chaos-ack" ->
+    let* mode = str_field "mode" json in
+    Ok (Chaos_ack { mode })
+  | other -> Error (Printf.sprintf "unknown response type %S" other)
+
+let response_of_line line =
+  match of_string line with
+  | json -> response_of_json json
+  | exception Parse_error msg -> Error ("malformed response frame: " ^ msg)

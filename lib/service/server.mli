@@ -1,0 +1,78 @@
+(** The solve daemon: equilibrium-as-a-service.
+
+    One single-threaded [select] event loop owns every socket, the
+    admission queue, the equilibrium cache and the request journal;
+    solver work is the only thing that leaves the loop, batched onto
+    the shared {!Parallel.Runtime} pool. That split keeps all mutable
+    daemon state domain-local (no locks beyond the ones
+    {!Obs.Metrics} already takes) while solves still use every domain
+    the pool has.
+
+    Request lifecycle: read frame -> decode ({!Proto}) -> journal
+    [received] -> admission ({!Queue_guard}, refusal = typed [Shed])
+    -> batch solve (cache hit / warm-started / cold, each under the
+    per-request {!Runner.Watchdog} limits with supervised retries) ->
+    journal [acked] -> write response. The ack is journaled {e before}
+    the response frame is written, so a crash between the two replays
+    as at-most-once: restart recovery re-solves journal entries with
+    no ack and never re-answers acked ones.
+
+    Shutdown: SIGTERM/SIGINT (or a [Shutdown] frame, or the [stop]
+    callback) puts the loop in drain mode — the listener closes,
+    queued requests are solved and acknowledged, connections flush,
+    and [run] returns. *)
+
+type address = Unix_path of string | Tcp of { host : string; port : int }
+
+val address_to_string : address -> string
+
+type config = {
+  address : address;
+  queue_capacity : int;  (** admission bound; beyond it requests shed *)
+  cache_capacity : int;  (** equilibrium cache entries (LRU) *)
+  max_frame_bytes : int;
+  journal_path : string option;  (** [None]: no crash recovery *)
+  durable : bool;  (** fsync journal appends (see {!Journal}) *)
+  allow_chaos : bool;  (** accept {!Proto.request.Chaos} frames *)
+  limits : Runner.Watchdog.limits;  (** default per-request limits *)
+  retry : Runner.Supervisor.retry;  (** supervised-solve retry policy *)
+  seed : int64;  (** root of the per-request jitter Rng streams *)
+  batch : int option;  (** max solves per pool batch (default 2x pool) *)
+}
+
+val default_config : address:address -> config
+(** Queue 64, cache 256, 1 MiB frames, no journal, chaos off, 30s/2M-eval
+    limits, 2 attempts with jittered 50ms backoff, seed 7. *)
+
+type event =
+  | Listening of { address : string }
+  | Recovered of { replayed : int; already_acked : int; torn_lines : int }
+      (** journal replay at startup: [replayed] un-acked requests were
+          re-solved and re-acknowledged *)
+  | Connected of { conn : int }  (** serial connection number *)
+  | Disconnected of { conn : int }
+  | Batch_solved of { n : int; wall_s : float }
+  | Draining of { reason : string }
+  | Warning of string
+
+val solve_one :
+  ?cache:Cache.t ->
+  ?limits:Runner.Watchdog.limits ->
+  ?retry:Runner.Supervisor.retry ->
+  ?rng:Numerics.Rng.t ->
+  params:Proto.solve_params ->
+  Proto.market ->
+  (Proto.solved, string) result
+(** The daemon's solve path on the calling domain: exact-fingerprint
+    cache lookup, warm-start seeding from a same-population neighbour,
+    watchdog-guarded supervised solve, cache store. Exposed so
+    benchmarks and tests exercise exactly the served code path; [Error]
+    is the degraded-response reason. *)
+
+val run : ?on_event:(event -> unit) -> ?stop:(unit -> bool) -> config -> (unit, string) result
+(** Serve until drained. [stop] is polled once per loop iteration (for
+    in-process tests); SIGTERM/SIGINT handlers are installed for the
+    duration of the call and restored on exit. [Error] only for
+    startup failures (bind, journal open, unrecoverable journal);
+    per-request trouble is answered in-band, and recovery warnings
+    flow through [on_event]. *)

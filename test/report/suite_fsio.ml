@@ -68,6 +68,37 @@ let test_write_atomic_unwritable () =
   | () -> Alcotest.fail "expected Sys_error for unwritable parent"
   | exception Sys_error _ -> ()
 
+let test_write_atomic_durable () =
+  let dir = fresh_dir () in
+  let path = Filename.concat (Filename.concat dir "sub") "out.txt" in
+  (* same contract as the plain write, plus the fsync barriers; the
+     barriers themselves can only be proven by pulling the plug, so
+     this pins the observable behavior of the durable path *)
+  check_true "durable write ok"
+    (Fsio.write_atomic ~durable:true ~path (fun oc -> output_string oc "persisted") = Ok ());
+  Alcotest.(check string) "content" "persisted" (read_file path);
+  check_true "no temp file left" (not (Sys.file_exists (path ^ ".tmp")));
+  check_true "durable overwrite ok"
+    (Fsio.write_atomic ~durable:true ~path (fun oc -> output_string oc "again") = Ok ());
+  Alcotest.(check string) "overwritten" "again" (read_file path)
+
+let test_fsync_helpers () =
+  let dir = fresh_dir () in
+  check_true "mkdir" (Fsio.mkdir_p dir = Ok ());
+  let path = Filename.concat dir "appended.txt" in
+  let oc = open_out path in
+  output_string oc "first record\n";
+  check_true "fsync_channel ok" (Fsio.fsync_channel oc = Ok ());
+  (* the sync flushed the channel: the bytes are visible to a reader
+     while the channel is still open *)
+  Alcotest.(check string) "flushed to disk" "first record\n" (read_file path);
+  close_out oc;
+  check_true "fsync_dir ok" (Fsio.fsync_dir dir = Ok ());
+  check_true "fsync_dir of empty path syncs cwd" (Fsio.fsync_dir "" = Ok ());
+  match Fsio.fsync_dir (Filename.concat dir "does-not-exist") with
+  | Ok () -> Alcotest.fail "expected Error for a missing directory"
+  | Error msg -> check_true "error is descriptive" (String.length msg > 0)
+
 let suite =
   ( "fsio",
     [
@@ -76,4 +107,6 @@ let suite =
       quick "write_atomic success" test_write_atomic_success;
       quick "write_atomic crash simulation" test_write_atomic_crash_simulation;
       quick "write_atomic unwritable" test_write_atomic_unwritable;
+      quick "write_atomic durable" test_write_atomic_durable;
+      quick "fsync helpers" test_fsync_helpers;
     ] )

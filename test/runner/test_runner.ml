@@ -150,6 +150,50 @@ let test_manifest_disk () =
   | Ok _ -> Alcotest.fail "expected Error on corrupt manifest"
   | Error msg -> check_true "error names the path" (String.length msg > String.length path)
 
+let test_manifest_lenient_salvage () =
+  let dir = Filename.temp_file "manifest_torn" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "run.json" in
+  let m =
+    List.fold_left Runner.Manifest.set (Runner.Manifest.empty ())
+      [ entry ~id:"keep1" (); entry ~id:"keep2" (); entry ~id:"torn-tail" () ]
+  in
+  Runner.Manifest.save ~path m;
+  (* tear the file partway through the final record, as a power loss
+     mid-write would *)
+  let full =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let cut =
+    let needle = "torn-tail" in
+    let rec find i =
+      if i + String.length needle > String.length full then
+        Alcotest.fail "torn-tail entry not in the saved manifest"
+      else if String.sub full i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 cut);
+  close_out oc;
+  (* strict load refuses the damage... *)
+  (match Runner.Manifest.load ~path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict load accepted a truncated manifest");
+  (* ...lenient load salvages every complete entry and warns *)
+  let warnings = ref [] in
+  match Runner.Manifest.load_lenient ~path ~on_warning:(fun w -> warnings := w :: !warnings) with
+  | Error msg -> Alcotest.failf "lenient load failed: %s" msg
+  | Ok m' ->
+    check_true "dropped tail warned" (!warnings <> []);
+    check_true "keep1 salvaged" (Runner.Manifest.find m' "keep1" <> None);
+    check_true "keep2 salvaged" (Runner.Manifest.find m' "keep2" <> None);
+    check_true "torn entry dropped" (Runner.Manifest.find m' "torn-tail" = None)
+
 (* -- supervisor ----------------------------------------------------- *)
 
 let test_supervise_completion () =
@@ -211,6 +255,66 @@ let test_supervise_retries_retryable () =
   check_true "eventually completed" (outcome <> None);
   Alcotest.(check int) "3 attempts recorded" 3 entry.Runner.Manifest.attempts;
   check_true "exponential backoff" (List.rev !slept = [ 0.25; 0.5 ])
+
+let test_backoff_delay_schedule () =
+  let retry = Runner.Supervisor.retry ~max_attempts:5 ~backoff_s:0.25 () in
+  check_close "first retry" 0.25 (Runner.Supervisor.backoff_delay retry ~attempt:1);
+  check_close "doubles" 0.5 (Runner.Supervisor.backoff_delay retry ~attempt:2);
+  check_close "doubles again" 1.0 (Runner.Supervisor.backoff_delay retry ~attempt:3);
+  check_raises_invalid "attempt must be 1-based" (fun () ->
+      Runner.Supervisor.backoff_delay retry ~attempt:0);
+  (* without an rng the schedule ignores jitter entirely *)
+  let jittered = Runner.Supervisor.retry ~max_attempts:5 ~backoff_s:0.25 ~jitter:0.5 () in
+  check_close "no rng, no jitter" 0.25 (Runner.Supervisor.backoff_delay jittered ~attempt:1)
+
+let test_backoff_jitter_seeded () =
+  let retry = Runner.Supervisor.retry ~max_attempts:5 ~backoff_s:0.25 ~jitter:0.5 () in
+  let delays seed =
+    let rng = Numerics.Rng.create seed in
+    List.map (fun attempt -> Runner.Supervisor.backoff_delay ~rng retry ~attempt) [ 1; 2; 3 ]
+  in
+  let a = delays 11L in
+  check_true "seeded replay reproduces the delays" (a = delays 11L);
+  check_true "a different stream de-synchronizes" (a <> delays 12L);
+  check_true "jitter actually moves the schedule" (a <> [ 0.25; 0.5; 1.0 ]);
+  List.iteri
+    (fun i d ->
+      let base = 0.25 *. (2. ** float_of_int i) in
+      check_in_range
+        (Printf.sprintf "delay %d inside the jitter band" (i + 1))
+        ~lo:(0.5 *. base) ~hi:(1.5 *. base) d)
+    a
+
+let test_retry_validation () =
+  check_raises_invalid "jitter above 1" (fun () -> Runner.Supervisor.retry ~jitter:1.5 ());
+  check_raises_invalid "negative jitter" (fun () -> Runner.Supervisor.retry ~jitter:(-0.1) ())
+
+let test_supervise_jittered_backoff () =
+  let run seed =
+    let calls = ref 0 in
+    let slept = ref [] in
+    let e =
+      synthetic (fun () ->
+          incr calls;
+          if !calls < 3 then raise (solver_error ()) else trivial_outcome ())
+    in
+    let retry = Runner.Supervisor.retry ~max_attempts:5 ~backoff_s:0.25 ~jitter:0.5 () in
+    let { Runner.Supervisor.outcome; _ } =
+      Runner.Supervisor.supervise ~retry ~rng:(Numerics.Rng.create seed)
+        ~sleep:(fun s -> slept := s :: !slept)
+        e
+    in
+    check_true "eventually completed" (outcome <> None);
+    List.rev !slept
+  in
+  let slept = run 21L in
+  Alcotest.(check int) "two sleeps" 2 (List.length slept);
+  check_true "supervise replays the jittered schedule" (slept = run 21L);
+  List.iteri
+    (fun i d ->
+      let base = 0.25 *. (2. ** float_of_int i) in
+      check_in_range "sleep inside the jitter band" ~lo:(0.5 *. base) ~hi:(1.5 *. base) d)
+    slept
 
 let test_supervise_does_not_retry_crash () =
   let calls = ref 0 in
@@ -334,10 +438,15 @@ let suite =
       quick "manifest successful" test_manifest_successful;
       quick "manifest set replaces" test_manifest_set_replaces;
       quick "manifest disk io" test_manifest_disk;
+      quick "manifest lenient load salvages a torn tail" test_manifest_lenient_salvage;
       quick "supervise completion" test_supervise_completion;
       quick "supervise contains crash" test_supervise_contains_crash;
       quick "supervise times out" test_supervise_times_out;
       quick "supervise retries retryable" test_supervise_retries_retryable;
+      quick "backoff delay schedule" test_backoff_delay_schedule;
+      quick "backoff jitter is seeded and bounded" test_backoff_jitter_seeded;
+      quick "retry validation" test_retry_validation;
+      quick "supervise jittered backoff replays" test_supervise_jittered_backoff;
       quick "supervise no retry on crash" test_supervise_does_not_retry_crash;
       quick "supervise exhausts retries" test_supervise_exhausts_retries;
       quick "sweep + resume" test_sweep_resume;

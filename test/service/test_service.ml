@@ -1,0 +1,635 @@
+(* Tests for the solve daemon: wire protocol, cache, admission queue,
+   journal recovery, the served solve path, and two forked end-to-end
+   scenarios (a full request mix and a SIGKILL-mid-load restart on the
+   same journal). The forked children never inherit a worker pool: the
+   parent process must not create one before forking (domains do not
+   survive [fork]), so every in-parent test uses [Server.solve_one] /
+   pure module APIs only and the children size their own pool. *)
+
+open Test_helpers
+module P = Service.Proto
+module Sv = Service.Server
+module Cl = Service.Client
+module Ca = Service.Cache
+module Q = Service.Queue_guard
+module J = Service.Journal
+
+let get_ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let fresh_path suffix =
+  let path = Filename.temp_file "svc" suffix in
+  Sys.remove path;
+  path
+
+let mk_market ?(price = 0.8) ?(cap = 0.5) ?(capacity = 1.0)
+    ?(names = [| "a"; "b" |]) () =
+  let cps =
+    Array.map
+      (fun name -> Econ.Cp.exponential ~name ~alpha:1.0 ~beta:1.0 ~value:1.2 ())
+      names
+  in
+  { P.capacity; price; cap; cps }
+
+let mk_solved ?(subsidies = [| 0.1; 0.2 |]) () =
+  {
+    P.subsidies;
+    phi = 0.5;
+    aggregate = 1.0;
+    revenue = 0.8;
+    converged = true;
+    sweeps = 3;
+    kkt_residual = 1e-9;
+    cache = P.Cold;
+    solve_s = 0.01;
+  }
+
+(* Proto: framing round-trips ---------------------------------------- *)
+
+(* Markets hold [Econ.Cp.t] closures, so parsed values cannot be
+   compared structurally; the canonical compact rendering can. *)
+let roundtrip_request line_of r =
+  let line = P.request_to_line r in
+  match P.request_of_line line with
+  | Ok r' -> Alcotest.(check string) (line_of ^ " round-trips") line (P.request_to_line r')
+  | Error reason ->
+    Alcotest.failf "%s rejected: %s" line_of (P.reject_to_string reason)
+
+let test_request_roundtrips () =
+  roundtrip_request "ping" P.Ping;
+  roundtrip_request "shutdown" P.Shutdown;
+  roundtrip_request "metrics" (P.Metrics { prefix = "" });
+  roundtrip_request "metrics-prefix" (P.Metrics { prefix = "service." });
+  roundtrip_request "solve"
+    (P.Solve { id = "r1"; market = mk_market (); params = P.no_params });
+  roundtrip_request "solve-params"
+    (P.Solve
+       {
+         id = "r2";
+         market = mk_market ~names:[| "solo" |] ();
+         params = { P.deadline_s = Some 2.5; max_evals = Some 10_000 };
+       })
+
+let test_chaos_roundtrips () =
+  roundtrip_request "chaos-off" (P.Chaos { mode = None });
+  List.iter
+    (fun (s : Runner.Chaos.scenario) ->
+      roundtrip_request ("chaos-" ^ s.Runner.Chaos.name)
+        (P.Chaos { mode = Some s.Runner.Chaos.mode }))
+    Runner.Chaos.default_scenarios;
+  check_true "off maps to clear" (P.chaos_mode_of_name "off" = Ok None);
+  (match P.chaos_mode_of_name "definitely-not-a-mode" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown chaos mode accepted");
+  List.iter
+    (fun (s : Runner.Chaos.scenario) ->
+      match P.chaos_mode_of_name s.Runner.Chaos.name with
+      | Ok (Some mode) ->
+        Alcotest.(check string) "mode name round-trips" s.Runner.Chaos.name
+          (P.chaos_mode_name mode)
+      | Ok None -> Alcotest.failf "%s mapped to off" s.Runner.Chaos.name
+      | Error msg -> Alcotest.failf "%s: %s" s.Runner.Chaos.name msg)
+    Runner.Chaos.default_scenarios
+
+let roundtrip_response label r =
+  let line = P.response_to_line r in
+  match P.response_of_line line with
+  | Ok r' -> Alcotest.(check string) (label ^ " round-trips") line (P.response_to_line r')
+  | Error msg -> Alcotest.failf "%s unparsable: %s" label msg
+
+let test_response_roundtrips () =
+  roundtrip_response "solved" (P.Solved { id = "r1"; result = mk_solved () });
+  roundtrip_response "solved-warm"
+    (P.Solved { id = "r2"; result = { (mk_solved ()) with P.cache = P.Warm } });
+  roundtrip_response "degraded" (P.Degraded { id = "r3"; reason = "deadline exceeded" });
+  roundtrip_response "shed" (P.Shed { id = "r4"; depth = 64; capacity = 64 });
+  roundtrip_response "rejected-malformed"
+    (P.Rejected { id = None; reason = P.Malformed_frame "bad json" });
+  roundtrip_response "rejected-oversized"
+    (P.Rejected { id = None; reason = P.Oversized_frame { bytes = 2048; limit = 1024 } });
+  roundtrip_response "rejected-market"
+    (P.Rejected { id = Some "r5"; reason = P.Bad_market "capacity must be positive" });
+  roundtrip_response "rejected-unsupported"
+    (P.Rejected { id = None; reason = P.Unsupported "dance" });
+  roundtrip_response "rejected-chaos" (P.Rejected { id = Some "r6"; reason = P.Chaos_disabled });
+  roundtrip_response "metrics"
+    (P.Metrics_snapshot (Obs.Json.Obj [ ("schema", Obs.Json.Str "obs.metrics.v1") ]));
+  roundtrip_response "chaos-ack" (P.Chaos_ack { mode = "spike" });
+  roundtrip_response "pong" P.Pong;
+  roundtrip_response "bye" P.Bye
+
+let expect_reject label line check =
+  match P.request_of_line line with
+  | Ok _ -> Alcotest.failf "%s: accepted" label
+  | Error reason ->
+    if not (check reason) then
+      Alcotest.failf "%s: wrong rejection %s" label (P.reject_to_string reason)
+
+let test_malformed_frames () =
+  expect_reject "raw text" "this is not json" (function
+    | P.Malformed_frame _ -> true
+    | _ -> false);
+  expect_reject "truncated json" "{\"type\":\"solve\"" (function
+    | P.Malformed_frame _ -> true
+    | _ -> false);
+  expect_reject "missing type" "{}" (function
+    | P.Malformed_frame _ -> true
+    | _ -> false);
+  expect_reject "unknown type" "{\"type\":\"dance\"}" (function
+    | P.Unsupported "dance" -> true
+    | _ -> false);
+  expect_reject "unknown chaos mode" "{\"type\":\"chaos\",\"mode\":\"nope\"}"
+    (function
+      | P.Malformed_frame _ -> true
+      | _ -> false)
+
+let solve_line_with_market market_json =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [ ("type", Obs.Json.Str "solve"); ("id", Obs.Json.Str "bad"); ("market", market_json) ])
+
+let test_bad_markets () =
+  let cps_json = Experiments.Market_io.json_of_cps (mk_market ()).P.cps in
+  let market ?(capacity = 1.0) ?(price = 0.8) ?(cap = 0.5) ?(cps = cps_json) () =
+    Obs.Json.Obj
+      [
+        ("capacity", Obs.Json.Num capacity);
+        ("price", Obs.Json.Num price);
+        ("cap", Obs.Json.Num cap);
+        ("cps", cps);
+      ]
+  in
+  let bad label json =
+    expect_reject label (solve_line_with_market json) (function
+      | P.Bad_market _ -> true
+      | _ -> false)
+  in
+  bad "non-positive capacity" (market ~capacity:0. ());
+  bad "negative price" (market ~price:(-0.1) ());
+  bad "negative cap" (market ~cap:(-1.) ());
+  bad "empty population" (market ~cps:(Obs.Json.Arr []) ());
+  bad "negative alpha"
+    (market
+       ~cps:
+         (Obs.Json.Arr
+            [
+              Obs.Json.Obj
+                [
+                  ("name", Obs.Json.Str "a");
+                  ("alpha", Obs.Json.Num (-2.));
+                  ("beta", Obs.Json.Num 1.);
+                  ("value", Obs.Json.Num 1.);
+                ];
+            ])
+       ());
+  (* a valid market on the same code path, as a control *)
+  match P.request_of_line (solve_line_with_market (market ())) with
+  | Ok (P.Solve { id = "bad"; _ }) -> ()
+  | Ok _ -> Alcotest.fail "control market decoded to the wrong request"
+  | Error reason -> Alcotest.failf "control market rejected: %s" (P.reject_to_string reason)
+
+let test_oversized_frame () =
+  let line = String.make 100 'x' in
+  match P.request_of_line ~max_frame_bytes:32 line with
+  | Error (P.Oversized_frame { bytes = 100; limit = 32 }) -> ()
+  | Error reason -> Alcotest.failf "wrong rejection: %s" (P.reject_to_string reason)
+  | Ok _ -> Alcotest.fail "oversized frame accepted"
+
+(* Market_io JSON codec ---------------------------------------------- *)
+
+let test_market_io_json_roundtrip () =
+  let cps = (mk_market ~names:[| "alpha"; "beta"; "gamma" |] ()).P.cps in
+  let json = Experiments.Market_io.json_of_cps cps in
+  match Experiments.Market_io.cps_of_json ~path:"wire" json with
+  | Error e -> Alcotest.failf "round-trip failed: %s" (Experiments.Market_io.error_to_string e)
+  | Ok cps' ->
+    Alcotest.(check int) "population size" (Array.length cps) (Array.length cps');
+    Alcotest.(check string) "canonical JSON survives"
+      (Obs.Json.to_string json)
+      (Obs.Json.to_string (Experiments.Market_io.json_of_cps cps'))
+
+let test_market_io_json_errors () =
+  let cp ?(name = "a") ?(alpha = 1.) ?(beta = 1.) ?(value = 1.) () =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.Str name);
+        ("alpha", Obs.Json.Num alpha);
+        ("beta", Obs.Json.Num beta);
+        ("value", Obs.Json.Num value);
+      ]
+  in
+  let expect label json ~row ~field =
+    match Experiments.Market_io.cps_of_json ~path:"wire" json with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error e ->
+      Alcotest.(check (option int)) (label ^ " row") row e.Experiments.Market_io.row;
+      Alcotest.(check (option string)) (label ^ " field") field e.Experiments.Market_io.field
+  in
+  expect "bad alpha in second element"
+    (Obs.Json.Arr [ cp (); cp ~name:"b" ~alpha:(-1.) () ])
+    ~row:(Some 2) ~field:(Some "alpha");
+  expect "duplicate names"
+    (Obs.Json.Arr [ cp (); cp () ])
+    ~row:(Some 2) ~field:(Some "name");
+  expect "not an array" (Obs.Json.Str "nope") ~row:None ~field:None
+
+(* Cache ------------------------------------------------------------- *)
+
+let test_cache_fingerprints () =
+  let m = mk_market () in
+  Alcotest.(check string) "fingerprint is deterministic" (Ca.fingerprint m)
+    (Ca.fingerprint (mk_market ()));
+  check_true "price changes the fingerprint"
+    (Ca.fingerprint m <> Ca.fingerprint { m with P.price = m.P.price +. 1e-9 });
+  Alcotest.(check string) "population ignores the scalar knobs"
+    (Ca.population_fingerprint m)
+    (Ca.population_fingerprint { m with P.price = 1.4; cap = 0.9; capacity = 3. });
+  check_true "population sees the CPs"
+    (Ca.population_fingerprint m
+    <> Ca.population_fingerprint (mk_market ~names:[| "a"; "b"; "c" |] ()))
+
+let test_cache_hit_and_stats () =
+  let cache = Ca.create ~capacity:4 in
+  let m = mk_market () in
+  let fp = Ca.fingerprint m in
+  check_true "miss before store" (Ca.find cache ~fingerprint:fp = None);
+  Ca.store cache ~market:m ~fingerprint:fp (mk_solved ());
+  (match Ca.find cache ~fingerprint:fp with
+  | Some solved ->
+    check_true "cache hits are tagged" (solved.P.cache = P.Hit);
+    check_close "payload survives" 0.2 solved.P.subsidies.(1)
+  | None -> Alcotest.fail "stored entry not found");
+  let s = Ca.stats cache in
+  Alcotest.(check int) "one hit" 1 s.Ca.hits;
+  Alcotest.(check int) "one miss" 1 s.Ca.misses;
+  Alcotest.(check int) "size" 1 (Ca.size cache)
+
+let test_cache_lru_eviction () =
+  let cache = Ca.create ~capacity:2 in
+  let m1 = mk_market ~price:0.1 () in
+  let m2 = mk_market ~price:0.2 () in
+  let m3 = mk_market ~price:0.3 () in
+  let fp m = Ca.fingerprint m in
+  Ca.store cache ~market:m1 ~fingerprint:(fp m1) (mk_solved ());
+  Ca.store cache ~market:m2 ~fingerprint:(fp m2) (mk_solved ());
+  (* touch m1 so m2 is the least recently used *)
+  check_true "m1 touchable" (Ca.find cache ~fingerprint:(fp m1) <> None);
+  Ca.store cache ~market:m3 ~fingerprint:(fp m3) (mk_solved ());
+  Alcotest.(check int) "bounded" 2 (Ca.size cache);
+  check_true "LRU entry evicted" (Ca.find cache ~fingerprint:(fp m2) = None);
+  check_true "recently used survives" (Ca.find cache ~fingerprint:(fp m1) <> None);
+  check_true "newcomer present" (Ca.find cache ~fingerprint:(fp m3) <> None);
+  Alcotest.(check int) "one eviction" 1 (Ca.stats cache).Ca.evictions
+
+let test_cache_warm_start () =
+  let cache = Ca.create ~capacity:8 in
+  let near = mk_market ~price:0.5 () in
+  let far = mk_market ~price:1.4 () in
+  Ca.store cache ~market:near ~fingerprint:(Ca.fingerprint near)
+    (mk_solved ~subsidies:[| 0.11; 0.12 |] ());
+  Ca.store cache ~market:far ~fingerprint:(Ca.fingerprint far)
+    (mk_solved ~subsidies:[| 0.91; 0.92 |] ());
+  (* a query near price 0.55 must seed from the nearest same-population
+     entry, and only from the same population *)
+  (match Ca.warm_start cache (mk_market ~price:0.55 ()) with
+  | Some seed -> check_close "nearest neighbour wins" 0.11 seed.(0)
+  | None -> Alcotest.fail "no warm start for a known population");
+  (match Ca.warm_start cache (mk_market ~price:1.35 ()) with
+  | Some seed -> check_close "distance is over all knobs" 0.91 seed.(0)
+  | None -> Alcotest.fail "no warm start for a known population");
+  check_true "foreign population never seeds"
+    (Ca.warm_start cache (mk_market ~names:[| "x"; "y" |] ()) = None);
+  Alcotest.(check int) "warm seeds counted" 2 (Ca.stats cache).Ca.warm_seeds
+
+(* Queue guard ------------------------------------------------------- *)
+
+let test_queue_guard () =
+  let q = Q.create ~capacity:2 in
+  check_true "admit 1" (Q.admit q "a" = Q.Admitted);
+  check_true "admit 2" (Q.admit q "b" = Q.Admitted);
+  (match Q.admit q "c" with
+  | Q.Refused { depth = 2; capacity = 2 } -> ()
+  | Q.Refused { depth; capacity } ->
+    Alcotest.failf "refused with depth %d capacity %d" depth capacity
+  | Q.Admitted -> Alcotest.fail "admitted beyond capacity");
+  Alcotest.(check int) "shed counted" 1 (Q.shed_count q);
+  Alcotest.(check (list string)) "FIFO, bounded take" [ "a" ] (Q.take ~max:1 q);
+  check_true "freed capacity readmits" (Q.admit q "c" = Q.Admitted);
+  Alcotest.(check (list string)) "drain in order" [ "b"; "c" ] (Q.take q);
+  Alcotest.(check int) "empty" 0 (Q.depth q)
+
+(* Journal ----------------------------------------------------------- *)
+
+let test_journal_roundtrip () =
+  let path = fresh_path ".journal" in
+  let j = get_ok (J.open_ ~path ()) in
+  get_ok (J.record_received j ~seq:0 ~id:"r0" ~fingerprint:"fp0" ~request_line:"{\"type\":\"ping\"}");
+  get_ok (J.record_received j ~seq:1 ~id:"r1" ~fingerprint:"fp1" ~request_line:"line1");
+  get_ok (J.record_acked j ~seq:0 ~id:"r0" ~kind:J.Solved);
+  J.close j;
+  let r = get_ok (J.recover ~path ()) in
+  Alcotest.(check int) "no torn lines" 0 r.J.torn_lines;
+  Alcotest.(check int) "next seq" 2 r.J.next_seq;
+  (match r.J.acked with
+  | [ (0, "r0", J.Solved) ] -> ()
+  | _ -> Alcotest.fail "acked list wrong");
+  (match r.J.pending with
+  | [ { J.seq = 1; id = "r1"; request_line = "line1" } ] -> ()
+  | _ -> Alcotest.fail "pending list wrong");
+  Sys.remove path
+
+let test_journal_missing_file () =
+  let r = get_ok (J.recover ~path:(fresh_path ".journal") ()) in
+  check_true "empty state" (r.J.pending = [] && r.J.acked = [] && r.J.next_seq = 0)
+
+let test_journal_torn_tail () =
+  let path = fresh_path ".journal" in
+  let j = get_ok (J.open_ ~path ()) in
+  get_ok (J.record_received j ~seq:0 ~id:"r0" ~fingerprint:"fp0" ~request_line:"line0");
+  get_ok (J.record_acked j ~seq:0 ~id:"r0" ~kind:J.Degraded);
+  get_ok (J.record_received j ~seq:1 ~id:"r1" ~fingerprint:"fp1" ~request_line:"line1");
+  J.close j;
+  (* a crash mid-append tears the final line *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"ev\":\"acked\",\"se";
+  close_out oc;
+  let warnings = ref [] in
+  let r = get_ok (J.recover ~on_warning:(fun w -> warnings := w :: !warnings) ~path ()) in
+  Alcotest.(check int) "torn line counted" 1 r.J.torn_lines;
+  check_true "torn line warned" (!warnings <> []);
+  (match r.J.acked with
+  | [ (0, "r0", J.Degraded) ] -> ()
+  | _ -> Alcotest.fail "intact ack lost");
+  (match r.J.pending with
+  | [ { J.seq = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "intact pending record lost");
+  Sys.remove path
+
+(* The served solve path -------------------------------------------- *)
+
+let evals_spent () = Obs.Metrics.sum_histograms "solver.evaluations"
+
+let test_solve_one_cache_effectiveness () =
+  let cache = Ca.create ~capacity:16 in
+  (* asymmetric CPs: the cold solve needs 3+ best-response sweeps, so a
+     near-equilibrium seed has sweeps to save (a symmetric population
+     already converges in the minimum and shows no difference) *)
+  let cps =
+    Array.init 4 (fun i ->
+        Econ.Cp.exponential
+          ~name:(Printf.sprintf "cp%d" i)
+          ~alpha:(0.6 +. (0.5 *. float_of_int i))
+          ~beta:(0.8 +. (0.3 *. float_of_int i))
+          ~value:(0.9 +. (0.4 *. float_of_int i))
+          ())
+  in
+  let market = { P.capacity = 1.0; price = 0.8; cap = 0.5; cps } in
+  Numerics.Robust.reset_stats ();
+  let cold = get_ok (Sv.solve_one ~cache ~params:P.no_params market) in
+  let cold_evals = evals_spent () in
+  check_true "first solve is cold" (cold.P.cache = P.Cold);
+  check_true "cold solve converged" cold.P.converged;
+  check_true "cold solve did real work" (cold_evals > 0.);
+  check_close "revenue = price * aggregate" (market.P.price *. cold.P.aggregate)
+    cold.P.revenue;
+  (* a neighbour in the same population warm-starts and spends fewer
+     solver evaluations than the cold solve did *)
+  let neighbour = { market with P.price = market.P.price *. 1.001 } in
+  Numerics.Robust.reset_stats ();
+  let warm = get_ok (Sv.solve_one ~cache ~params:P.no_params neighbour) in
+  let warm_evals = evals_spent () in
+  check_true "neighbour solve is warm-started" (warm.P.cache = P.Warm);
+  check_true "warm solve converged" warm.P.converged;
+  check_true
+    (Printf.sprintf "warm start is cheaper (%.0f < %.0f evals)" warm_evals cold_evals)
+    (warm_evals < cold_evals);
+  (* an exact repeat is answered from the cache without any solver work *)
+  Numerics.Robust.reset_stats ();
+  let hit = get_ok (Sv.solve_one ~cache ~params:P.no_params neighbour) in
+  check_true "exact repeat is a hit" (hit.P.cache = P.Hit);
+  check_close "a hit costs zero evaluations" 0. (evals_spent ());
+  check_close "hit returns the cached equilibrium" warm.P.subsidies.(0)
+    hit.P.subsidies.(0)
+
+let test_solve_one_degrades_on_budget () =
+  let market = mk_market () in
+  let limits = { Runner.Watchdog.deadline_s = None; max_evals = Some 3 } in
+  match Sv.solve_one ~limits ~params:P.no_params market with
+  | Error reason -> check_true "reason is non-empty" (reason <> "")
+  | Ok _ -> Alcotest.fail "a 3-evaluation budget cannot solve an equilibrium"
+
+(* Forked end-to-end daemon ------------------------------------------ *)
+
+let fork_server ?(allow_chaos = false) ?journal ~socket () =
+  match Unix.fork () with
+  | 0 ->
+    (* the child sizes its own pool: domains never survive a fork, so
+       the parent must not have created one *)
+    Parallel.Runtime.set_jobs 1;
+    let base = Sv.default_config ~address:(Sv.Unix_path socket) in
+    let cfg = { base with Sv.journal_path = journal; allow_chaos } in
+    let code = match Sv.run cfg with Ok () -> 0 | Error _ -> 3 in
+    Unix._exit code
+  | pid -> pid
+
+let rec connect_retry ?(tries = 200) address =
+  match Cl.connect address with
+  | Ok client -> client
+  | Error msg ->
+    if tries <= 0 then Alcotest.failf "daemon never came up: %s" msg
+    else begin
+      Unix.sleepf 0.025;
+      connect_retry ~tries:(tries - 1) address
+    end
+
+let wait_exit pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, Unix.WSIGNALED s -> Alcotest.failf "daemon killed by signal %d" s
+  | _, Unix.WSTOPPED _ -> Alcotest.fail "daemon stopped"
+
+let with_daemon ?allow_chaos ?journal f =
+  let socket = fresh_path ".sock" in
+  let pid = fork_server ?allow_chaos ?journal ~socket () in
+  let finally () =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ());
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error (_, _, _) -> ());
+    try Sys.remove socket with Sys_error _ -> ()
+  in
+  Fun.protect ~finally (fun () -> f ~socket ~pid)
+
+let read_line_fd fd =
+  let b = Bytes.create 1 in
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+      if Bytes.get b 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get b 0);
+        go ()
+      end
+  in
+  go ()
+
+let test_daemon_end_to_end () =
+  with_daemon @@ fun ~socket ~pid ->
+  let address = Sv.Unix_path socket in
+  let client = connect_retry address in
+  (match Cl.call client P.Ping with
+  | Ok P.Pong -> ()
+  | Ok r -> Alcotest.failf "ping answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "ping failed: %s" msg);
+  let market = mk_market () in
+  (match Cl.call client (P.Solve { id = "e1"; market; params = P.no_params }) with
+  | Ok (P.Solved { id = "e1"; result }) ->
+    check_true "served solve converged" result.P.converged;
+    Alcotest.(check int) "one subsidy per CP" 2 (Array.length result.P.subsidies);
+    check_true "first solve is cold" (result.P.cache = P.Cold)
+  | Ok r -> Alcotest.failf "solve answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "solve failed: %s" msg);
+  (match Cl.call client (P.Solve { id = "e2"; market; params = P.no_params }) with
+  | Ok (P.Solved { id = "e2"; result }) ->
+    check_true "repeat is served from the cache" (result.P.cache = P.Hit)
+  | Ok r -> Alcotest.failf "repeat answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "repeat failed: %s" msg);
+  (* chaos frames are rejected unless the daemon opted in *)
+  (match Cl.call client (P.Chaos { mode = None }) with
+  | Ok (P.Rejected { reason = P.Chaos_disabled; _ }) -> ()
+  | Ok r -> Alcotest.failf "chaos answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "chaos failed: %s" msg);
+  (match Cl.call client (P.Metrics { prefix = "service." }) with
+  | Ok (P.Metrics_snapshot json) ->
+    check_true "snapshot has series" (Obs.Json.member "series" json <> None)
+  | Ok r -> Alcotest.failf "metrics answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "metrics failed: %s" msg);
+  (* a garbage frame on a raw connection gets a typed rejection, and
+     the daemon survives it *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let garbage = "this is not json\n" in
+  ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+  (match P.response_of_line (read_line_fd fd) with
+  | Ok (P.Rejected { id = None; reason = P.Malformed_frame _ }) -> ()
+  | Ok r -> Alcotest.failf "garbage answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "garbage answer unparsable: %s" msg);
+  Unix.close fd;
+  (match Cl.call client P.Shutdown with
+  | Ok P.Bye -> ()
+  | Ok r -> Alcotest.failf "shutdown answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "shutdown failed: %s" msg);
+  Cl.close client;
+  Alcotest.(check int) "clean exit" 0 (wait_exit pid)
+
+(* SIGKILL mid-load, restart on the same journal --------------------- *)
+
+(* Count ack events per seq straight off the journal file: [recover]
+   collapses duplicates by design, the at-most-once assertion must not. *)
+let ack_counts path =
+  let counts = Hashtbl.create 64 in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = input_line ic in
+       match Obs.Json.of_string line with
+       | json ->
+         if Obs.Json.member "ev" json = Some (Obs.Json.Str "acked") then (
+           match Option.bind (Obs.Json.member "seq" json) Obs.Json.to_float with
+           | Some seq ->
+             let seq = int_of_float seq in
+             Hashtbl.replace counts seq (1 + Option.value ~default:0 (Hashtbl.find_opt counts seq))
+           | None -> ())
+       | exception Obs.Json.Parse_error _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  counts
+
+let test_kill_and_restart_journal () =
+  let journal = fresh_path ".journal" in
+  let socket1 = fresh_path ".sock" in
+  let pid1 = fork_server ~journal ~socket:socket1 () in
+  let client = connect_retry (Sv.Unix_path socket1) in
+  let rng = Numerics.Rng.create 5L in
+  let n = 120 in
+  for i = 0 to n - 1 do
+    let market = Service.Loadgen.random_market rng in
+    get_ok
+      (Cl.send client (P.Solve { id = Printf.sprintf "k%d" i; market; params = P.no_params }))
+  done;
+  (* one response read = at least one journaled ack; then kill -9 with
+     the bulk of the load still queued *)
+  (match Cl.read_response client with
+  | Ok (P.Solved _ | P.Degraded _ | P.Shed _) -> ()
+  | Ok r -> Alcotest.failf "unexpected first answer %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "no first answer: %s" msg);
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  Cl.close client;
+  (try Sys.remove socket1 with Sys_error _ -> ());
+  let before = get_ok (J.recover ~path:journal ()) in
+  check_true "the kill left un-acked work" (before.J.pending <> []);
+  check_true "some work was acked before the kill" (before.J.acked <> []);
+  let received_seqs =
+    List.sort_uniq compare
+      (List.map (fun (p : J.pending) -> p.J.seq) before.J.pending
+      @ List.map (fun (seq, _, _) -> seq) before.J.acked)
+  in
+  (* restart on the same journal: recovery replays every pending
+     request before the listener opens, so connect = replay done *)
+  let socket2 = fresh_path ".sock" in
+  let pid2 = fork_server ~journal ~socket:socket2 () in
+  let client2 = connect_retry (Sv.Unix_path socket2) in
+  (match Cl.call client2 P.Shutdown with
+  | Ok P.Bye -> ()
+  | Ok r -> Alcotest.failf "shutdown answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "shutdown failed: %s" msg);
+  Cl.close client2;
+  Alcotest.(check int) "clean exit after recovery" 0 (wait_exit pid2);
+  (try Sys.remove socket2 with Sys_error _ -> ());
+  let after = get_ok (J.recover ~path:journal ()) in
+  check_true "nothing left pending" (after.J.pending = []);
+  let acked_seqs = List.sort compare (List.map (fun (seq, _, _) -> seq) after.J.acked) in
+  Alcotest.(check (list int)) "every received request acked, none lost" received_seqs
+    acked_seqs;
+  (* no request acked twice: acks already journaled must not be
+     re-answered by recovery *)
+  Hashtbl.iter
+    (fun seq count ->
+      if count <> 1 then Alcotest.failf "seq %d acked %d times" seq count)
+    (ack_counts journal);
+  check_true "earlier acks all survive"
+    (List.for_all
+       (fun (seq, _, _) -> List.exists (fun (s, _, _) -> s = seq) after.J.acked)
+       before.J.acked);
+  Sys.remove journal
+
+let suite =
+  ( "service",
+    [
+      quick "proto: request round-trips" test_request_roundtrips;
+      quick "proto: chaos mode round-trips" test_chaos_roundtrips;
+      quick "proto: response round-trips" test_response_roundtrips;
+      quick "proto: malformed frames are typed rejects" test_malformed_frames;
+      quick "proto: market validation" test_bad_markets;
+      quick "proto: oversized frame" test_oversized_frame;
+      quick "market_io: JSON round-trip" test_market_io_json_roundtrip;
+      quick "market_io: JSON errors locate row and field" test_market_io_json_errors;
+      quick "cache: fingerprints" test_cache_fingerprints;
+      quick "cache: exact hit and stats" test_cache_hit_and_stats;
+      quick "cache: LRU eviction" test_cache_lru_eviction;
+      quick "cache: warm start picks the nearest neighbour" test_cache_warm_start;
+      quick "queue: bounded FIFO admission" test_queue_guard;
+      quick "journal: record and recover" test_journal_roundtrip;
+      quick "journal: missing file is empty" test_journal_missing_file;
+      quick "journal: torn tail is skipped with a warning" test_journal_torn_tail;
+      quick "solve_one: cache cuts solver evaluations" test_solve_one_cache_effectiveness;
+      quick "solve_one: impossible budget degrades" test_solve_one_degrades_on_budget;
+      quick "daemon: end-to-end request mix" test_daemon_end_to_end;
+      quick "daemon: SIGKILL mid-load, restart replays the journal"
+        test_kill_and_restart_journal;
+    ] )
+
+let () = Alcotest.run "service" [ suite ]
