@@ -25,7 +25,7 @@ type figure_record = {
   objective_evaluations : float;
 }
 
-let regenerate () =
+let regenerate experiments =
   print_endline "==================================================================";
   print_endline " Figure regeneration: Ma, 'Subsidization Competition' (CoNEXT'14)";
   print_endline "==================================================================";
@@ -57,7 +57,7 @@ let regenerate () =
              (fun c -> c.Subsidization.Theorems.passed)
              outcome.Experiments.Common.shape_checks)
       then incr failures)
-    Experiments.Registry.all;
+    experiments;
   (!failures, List.rev !records)
 
 (* ------------------------------------------------------------------ *)
@@ -295,8 +295,60 @@ let perf_record ~figures ~benchmarks ~parallel : Obs.Json.t =
       ("benchmarks", Arr (List.map benchmark benchmarks));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* regression gate: bench.v1 vs bench.v1 via Obs.Bench_diff *)
+
+let tolerance = ref Obs.Bench_diff.default_tolerance
+
+let load_record path =
+  match Obs.Bench_diff.load_file ~path with
+  | Ok json -> json
+  | Error msg ->
+    Printf.eprintf "bench: %s\n" msg;
+    exit 2
+
+(* slowdown injection scales only the in-memory comparison copy — the
+   record written by --json stays honest *)
+let apply_injections by json =
+  if by = [] then json else Obs.Bench_diff.scale_seconds json ~by
+
+let run_diff ~baseline_path ~baseline ~current =
+  match Obs.Bench_diff.diff ~tolerance:!tolerance ~baseline ~current () with
+  | Error msg ->
+    Printf.eprintf "bench: diff failed: %s\n" msg;
+    exit 2
+  | Ok report ->
+    print_newline ();
+    print_endline "==================================================================";
+    Printf.printf " Perf comparison vs %s\n" baseline_path;
+    print_endline "==================================================================";
+    print_endline (Report.Table.to_string (Obs.Bench_diff.table report));
+    print_endline (Obs.Bench_diff.summary report);
+    if Obs.Bench_diff.ok report then 0 else 1
+
 let () =
   let json_path = ref None in
+  let compare_path = ref None in
+  let diff_request = ref None in
+  let diff_old = ref "" in
+  let figure_ids = ref None in
+  let no_bechamel = ref false in
+  let no_jobs_compare = ref false in
+  let injections = ref [] in
+  let set_injection spec =
+    let bad () =
+      raise (Arg.Bad (Printf.sprintf "--inject-slowdown expects ID=FACTOR, got %S" spec))
+    in
+    match String.index_opt spec '=' with
+    | None -> bad ()
+    | Some i -> (
+      let id = String.sub spec 0 i in
+      let f = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match float_of_string_opt f with
+      | Some factor when id <> "" && Float.is_finite factor && factor > 0. ->
+        injections := !injections @ [ (id, factor) ]
+      | _ -> bad ())
+  in
   Arg.parse
     [
       ( "--json",
@@ -306,27 +358,109 @@ let () =
         Arg.Int Parallel.Runtime.set_jobs,
         "N  domains for grid-parallel evaluation (default: SUBSIDIZATION_JOBS \
          or the recommended domain count)" );
+      ( "--compare",
+        Arg.String (fun p -> compare_path := Some p),
+        "OLD.json  after running, diff this run's record against a baseline \
+         bench.v1 record; exit 1 on regression" );
+      ( "--diff",
+        Arg.Tuple
+          [
+            Arg.Set_string diff_old;
+            Arg.String (fun p -> diff_request := Some (!diff_old, p));
+          ],
+        "OLD NEW  compare two existing bench.v1 records and exit — runs no \
+         benchmarks" );
+      ( "--figures",
+        Arg.String
+          (fun s ->
+            figure_ids :=
+              Some (List.filter (fun x -> x <> "") (String.split_on_char ',' s))),
+        "a,b,c  regenerate only these figure ids (skips the jobs comparison)" );
+      ("--no-bechamel", Arg.Set no_bechamel, "  skip the bechamel kernel timings");
+      ( "--no-jobs-compare",
+        Arg.Set no_jobs_compare,
+        "  skip the parallel scaling comparison" );
+      ( "--inject-slowdown",
+        Arg.String set_injection,
+        "ID=FACTOR  scale a figure's seconds in the comparison copy only — a \
+         self-test hook for the regression gate, never written to --json" );
+      ( "--tol-seconds",
+        Arg.Float
+          (fun x -> tolerance := { !tolerance with Obs.Bench_diff.seconds_rel = x }),
+        "R  relative tolerance on figure seconds (default 0.5)" );
+      ( "--tol-counts",
+        Arg.Float
+          (fun x -> tolerance := { !tolerance with Obs.Bench_diff.counts_rel = x }),
+        "R  relative tolerance on solver-work counts (default 0.02)" );
     ]
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
-    "bench [--json FILE] [--jobs N]";
-  let failures, figures = regenerate () in
+    "bench [--json FILE] [--jobs N] [--figures a,b] [--compare OLD.json] \
+     [--diff OLD NEW] [--no-bechamel] [--no-jobs-compare]";
+  (* pure diff mode: compare two records on disk, run nothing *)
+  (match !diff_request with
+  | Some (old_path, new_path) ->
+    let baseline = load_record old_path in
+    let current = apply_injections !injections (load_record new_path) in
+    exit (run_diff ~baseline_path:old_path ~baseline ~current)
+  | None -> ());
+  let experiments =
+    match !figure_ids with
+    | None -> Experiments.Registry.all
+    | Some ids ->
+      let known =
+        List.map (fun (e : Experiments.Common.t) -> e.Experiments.Common.id)
+          Experiments.Registry.all
+      in
+      List.iter
+        (fun id ->
+          if not (List.mem id known) then begin
+            Printf.eprintf "bench: unknown figure id %S (known: %s)\n" id
+              (String.concat ", " known);
+            exit 2
+          end)
+        ids;
+      List.filter
+        (fun (e : Experiments.Common.t) -> List.mem e.Experiments.Common.id ids)
+        Experiments.Registry.all
+  in
+  let failures, figures = regenerate experiments in
   (* capture the pool counters of the main regeneration pass before the
      scaling comparison recreates the pool *)
   let pool_stats = Parallel.Runtime.stats () in
-  let compare = jobs_compare () in
+  let jc_rows =
+    if !no_jobs_compare then []
+    else if !figure_ids <> None then begin
+      print_endline "\n[jobs-compare skipped: --figures selects a subset]";
+      []
+    end
+    else jobs_compare ()
+  in
   (* part 2 times serial kernels: shut the pool down first, because
      even idle worker domains take part in every stop-the-world minor
      collection and would distort sub-microsecond loops *)
   Parallel.Runtime.shutdown ();
-  let benchmarks = run_benchmarks () in
+  let benchmarks = if !no_bechamel then [] else run_benchmarks () in
+  let record =
+    perf_record ~figures ~benchmarks
+      ~parallel:(parallel_json ~stats:pool_stats ~compare:jc_rows)
+  in
   (match !json_path with
   | Some path ->
-    let parallel = parallel_json ~stats:pool_stats ~compare in
-    Obs.Export.write_json ~path (perf_record ~figures ~benchmarks ~parallel);
+    Obs.Export.write_json ~path record;
     if path <> "-" then Printf.printf "\nperf record written to %s\n" path
   | None -> ());
+  let diff_status =
+    match !compare_path with
+    | None -> 0
+    | Some path ->
+      run_diff ~baseline_path:path ~baseline:(load_record path)
+        ~current:(apply_injections !injections record)
+  in
   if failures > 0 then begin
     Printf.printf "\n%d experiment(s) had failing shape checks\n" failures;
     exit 1
   end
-  else print_endline "\nAll figure shape checks passed."
+  else begin
+    print_endline "\nAll figure shape checks passed.";
+    if diff_status <> 0 then exit diff_status
+  end

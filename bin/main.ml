@@ -39,6 +39,32 @@ let jobs_arg =
 
 let apply_jobs = function Some n -> Parallel.Runtime.set_jobs n | None -> ()
 
+(* -- logging options ------------------------------------------------ *)
+
+let log_level_arg =
+  let levels =
+    [
+      ("debug", Obs.Log.Debug);
+      ("info", Obs.Log.Info);
+      ("warn", Obs.Log.Warn);
+      ("error", Obs.Log.Error);
+    ]
+  in
+  let doc = "Structured-log threshold: one of debug, info, warn, error." in
+  Arg.(value & opt (enum levels) Obs.Log.Info & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_json_arg =
+  let doc = "Emit logs as JSONL (one compact JSON object per line) on stderr." in
+  Arg.(value & flag & info [ "log-json" ] ~doc)
+
+let apply_logging ~level ~json =
+  Obs.Log.set_level level;
+  if json then Obs.Log.set_sink (Obs.Log.Jsonl stderr)
+
+let log_error_exit2 ~m msg =
+  Obs.Log.error ~m msg;
+  2
+
 (* -- supervision options ------------------------------------------- *)
 
 let deadline_arg =
@@ -207,10 +233,8 @@ let all_cmd =
       resume inject_crash =
     apply_jobs jobs;
     with_observability ~trace ~metrics @@ fun () ->
-    if resume && manifest = None then begin
-      prerr_endline "subsidization all: --resume requires --manifest FILE";
-      2
-    end
+    if resume && manifest = None then
+      log_error_exit2 ~m:"cli" "--resume requires --manifest FILE"
     else begin
       let experiments =
         Experiments.Registry.all @ (if inject_crash then [ crashing_experiment ] else [])
@@ -221,9 +245,7 @@ let all_cmd =
         Runner.Supervisor.sweep ~limits ~retry ?manifest_path:manifest ~resume
           ~on_event:(print_sweep_event dir) experiments
       with
-      | Error msg ->
-        Printf.eprintf "subsidization all: cannot load manifest: %s\n" msg;
-        2
+      | Error msg -> log_error_exit2 ~m:"cli" ("cannot load manifest: " ^ msg)
       | Ok { Runner.Supervisor.manifest = m; ran; skipped; failed } ->
         Printf.printf "\n-- run manifest (%d ran, %d skipped, %d failed) --\n%s\n" ran
           skipped failed
@@ -339,9 +361,7 @@ let cps_of ?market () =
 
 let with_market ?market f =
   match cps_of ?market () with
-  | Error msg ->
-    Printf.eprintf "subsidization: bad --market file: %s\n" msg;
-    2
+  | Error msg -> log_error_exit2 ~m:"cli" ("bad --market file: " ^ msg)
   | Ok cps -> f cps
 
 (* ------------------------------------------------------------------ *)
@@ -481,7 +501,7 @@ let serve_cmd =
     Arg.(value & flag & info [ "allow-chaos" ] ~doc)
   in
   let verbose_arg =
-    let doc = "Print per-batch and per-connection events." in
+    let doc = "Log per-batch and per-connection events (same as --log-level debug)." in
     Arg.(value & flag & info [ "verbose" ] ~doc)
   in
   let doc =
@@ -489,9 +509,12 @@ let serve_cmd =
      control, equilibrium caching with warm starts, watchdog limits and a \
      crash-safe request journal."
   in
-  let run socket tcp host queue cache journal durable allow_chaos verbose jobs
-      deadline_s max_evals retries backoff_s seed =
+  let run socket tcp host queue cache journal durable allow_chaos verbose
+      log_level log_json jobs deadline_s max_evals retries backoff_s seed =
     apply_jobs jobs;
+    apply_logging
+      ~level:(if verbose then Obs.Log.Debug else log_level)
+      ~json:log_json;
     let address = address_of ~socket ~tcp ~host in
     let base = Service.Server.default_config ~address in
     let limits =
@@ -515,42 +538,24 @@ let serve_cmd =
         seed = Int64.of_int seed;
       }
     in
-    let print_event = function
-      | Service.Server.Listening { address } ->
-        Printf.printf "serve: listening on %s\n%!" address
-      | Service.Server.Recovered { replayed; already_acked; torn_lines } ->
-        Printf.printf
-          "serve: journal recovery replayed %d requests (%d already acked, %d \
-           torn lines skipped)\n\
-           %!"
-          replayed already_acked torn_lines
-      | Service.Server.Connected { conn } ->
-        if verbose then Printf.printf "serve: connection %d opened\n%!" conn
-      | Service.Server.Disconnected { conn } ->
-        if verbose then Printf.printf "serve: connection %d closed\n%!" conn
-      | Service.Server.Batch_solved { n; wall_s } ->
-        if verbose then Printf.printf "serve: batch of %d in %.3fs\n%!" n wall_s
-      | Service.Server.Draining { reason } ->
-        Printf.printf "serve: draining (%s)\n%!" reason
-      | Service.Server.Warning msg -> Printf.printf "serve: warning: %s\n%!" msg
-    in
-    match Service.Server.run ~on_event:print_event cfg with
+    (* lifecycle, recovery and warning events reach stderr via the
+       server's own Obs.Log routing; no stdout mirror needed *)
+    match Service.Server.run cfg with
     | Ok () ->
-      Printf.printf "serve: drained cleanly\n";
+      Obs.Log.info ~m:"serve" "drained cleanly";
       0
-    | Error msg ->
-      Printf.eprintf "subsidization serve: %s\n" msg;
-      2
+    | Error msg -> log_error_exit2 ~m:"serve" msg
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ host_arg $ queue_arg $ cache_arg
-      $ journal_arg $ durable_arg $ allow_chaos_arg $ verbose_arg $ jobs_arg
-      $ deadline_arg $ max_evals_arg $ retries_arg $ backoff_arg $ seed_arg)
+      $ journal_arg $ durable_arg $ allow_chaos_arg $ verbose_arg
+      $ log_level_arg $ log_json_arg $ jobs_arg $ deadline_arg $ max_evals_arg
+      $ retries_arg $ backoff_arg $ seed_arg)
 
-(* pull one histogram's p99 and the cache counters out of the
-   obs.metrics.v1 document for the end-of-run summary line *)
-let metrics_digest json =
+(* numeric field lookup into an obs.metrics.v1 document:
+   [metrics_num json field name] is NaN when absent *)
+let metrics_num json =
   let series =
     match Obs.Json.member "series" json with
     | Some (Obs.Json.Arr items) -> items
@@ -564,11 +569,15 @@ let metrics_digest json =
         | _ -> false)
       series
   in
-  let num field s =
-    match Option.bind (find s) (Obs.Json.member field) with
+  fun field name ->
+    match Option.bind (find name) (Obs.Json.member field) with
     | Some (Obs.Json.Num v) -> v
     | _ -> Float.nan
-  in
+
+(* pull one histogram's p99 and the cache counters out of the
+   obs.metrics.v1 document for the end-of-run summary line *)
+let metrics_digest json =
+  let num = metrics_num json in
   Printf.sprintf
     "p99 solve %.4fs (%d solves); cache: %.0f hits, %.0f misses, %.0f warm \
      seeds, %.0f evictions; shed %.0f"
@@ -605,13 +614,21 @@ let loadgen_cmd =
     let doc = "Client-side timeout per response, in seconds." in
     Arg.(value & opt float 60. & info [ "timeout-s" ] ~docv:"S" ~doc)
   in
+  let csv_arg =
+    let doc =
+      "Write the run report (counts, per-mode chaos toggles, latency \
+       distribution) as CSV to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
   let doc =
     "Drive randomized solve load (fresh markets, cache-hitting repeats, \
      warm-start neighbours, optional chaos toggles) against a running daemon \
      and verify every request is answered."
   in
   let run socket tcp host requests connections burst seed chaos_every
-      deadline_s timeout_s =
+      deadline_s timeout_s csv log_level log_json =
+    apply_logging ~level:log_level ~json:log_json;
     let address = address_of ~socket ~tcp ~host in
     let base = Service.Loadgen.default_config ~address ~requests in
     let cfg =
@@ -630,11 +647,14 @@ let loadgen_cmd =
         ~on_event:(fun m -> Printf.printf "loadgen: %s\n%!" m)
         cfg
     with
-    | Error msg ->
-      Printf.eprintf "subsidization loadgen: %s\n" msg;
-      2
+    | Error msg -> log_error_exit2 ~m:"loadgen" msg
     | Ok report ->
       Printf.printf "loadgen: %s\n" (Service.Loadgen.report_to_string report);
+      (match csv with
+      | Some path ->
+        Service.Loadgen.write_csv ~path report;
+        Printf.printf "loadgen: report CSV written to %s\n" path
+      | None -> ());
       (match Service.Loadgen.fetch_metrics ~prefix:"service." address with
       | Ok json -> Printf.printf "loadgen: %s\n" (metrics_digest json)
       | Error msg -> Printf.printf "loadgen: no metrics snapshot (%s)\n" msg);
@@ -654,7 +674,124 @@ let loadgen_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ host_arg $ requests_arg
       $ connections_arg $ burst_arg $ seed_arg $ chaos_every_arg $ deadline_arg
-      $ timeout_arg)
+      $ timeout_arg $ csv_arg $ log_level_arg $ log_json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top: live daemon dashboard *)
+
+let top_cmd =
+  let interval_arg =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 1.0 & info [ "interval-s" ] ~docv:"S" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Stop after $(docv) polls; 0 means run until interrupted." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let plain_arg =
+    let doc = "Append frames instead of redrawing in place (no ANSI escapes)." in
+    Arg.(value & flag & info [ "plain" ] ~doc)
+  in
+  let doc =
+    "Live terminal dashboard for a running solve daemon: request rate, solve \
+     latency quantiles, cache hit ratio, queue depth, shed/degraded counts \
+     and journal lag, polled over the metrics frame."
+  in
+  let fmt_rate v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v in
+  let fmt_ms v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" (1000. *. v) in
+  let fmt_count v = if Float.is_nan v then "-" else Printf.sprintf "%.0f" v in
+  let run socket tcp host interval iterations plain log_level log_json =
+    apply_logging ~level:log_level ~json:log_json;
+    let address = address_of ~socket ~tcp ~host in
+    let interval = Float.max 0.05 interval in
+    let sampler = Obs.Series.create ~capacity:600 () in
+    let prev_total = ref None in
+    let render json =
+      let num = metrics_num json in
+      let now = Obs.Clock.now () in
+      let solved = num "value" "service.requests.solved" in
+      let degraded = num "value" "service.requests.degraded" in
+      let shed = num "value" "service.requests.shed" in
+      let answered v = if Float.is_nan v then 0. else v in
+      let total = answered solved +. answered degraded +. answered shed in
+      (match !prev_total with
+      | Some (pt, ptotal) when now > pt ->
+        Obs.Series.append sampler ~name:"req_s" ~t_s:now
+          (Float.max 0. ((total -. ptotal) /. (now -. pt)))
+      | _ -> ());
+      prev_total := Some (now, total);
+      let inst = Obs.Series.window ~last_s:(2. *. interval) sampler "req_s" in
+      let avg = Obs.Series.window ~last_s:60. sampler "req_s" in
+      let hits = num "value" "service.cache.hits" in
+      let misses = num "value" "service.cache.misses" in
+      let hit_ratio =
+        if Float.is_nan hits || Float.is_nan misses || hits +. misses <= 0. then
+          Float.nan
+        else hits /. (hits +. misses)
+      in
+      let t = Report.Table.make ~columns:[ "metric"; "value" ] in
+      let add k v = Report.Table.add_row t [ k; v ] in
+      add "req/s"
+        (match inst with Some w -> fmt_rate w.Obs.Series.last | None -> "-");
+      add "req/s (60s mean)"
+        (match avg with Some w -> fmt_rate w.Obs.Series.mean | None -> "-");
+      add "solved" (fmt_count solved);
+      add "degraded" (fmt_count degraded);
+      add "shed" (fmt_count shed);
+      add "rejected" (fmt_count (num "value" "service.requests.rejected"));
+      add "solve p50 (ms)" (fmt_ms (num "p50" "service.solve.latency_s"));
+      add "solve p99 (ms)" (fmt_ms (num "p99" "service.solve.latency_s"));
+      add "cache hit ratio"
+        (if Float.is_nan hit_ratio then "-"
+         else Printf.sprintf "%.1f%%" (100. *. hit_ratio));
+      add "cache size" (fmt_count (num "value" "service.cache.size"));
+      add "warm seeds" (fmt_count (num "value" "service.cache.warm_seeds"));
+      add "queue depth" (fmt_count (num "value" "service.queue.depth"));
+      add "connections" (fmt_count (num "value" "service.connections"));
+      add "journal pending" (fmt_count (num "value" "service.journal.pending"));
+      if not plain then print_string "\027[2J\027[H";
+      Printf.printf "subsidization top — %s (every %.1fs)\n\n%s\n"
+        (Service.Server.address_to_string address)
+        interval
+        (Report.Table.to_string t);
+      let pts = Obs.Series.points sampler "req_s" in
+      if List.length pts >= 2 then begin
+        let xs = Array.of_list (List.map fst pts) in
+        let t0 = xs.(0) in
+        let xs = Array.map (fun x -> x -. t0) xs in
+        let ys = Array.of_list (List.map snd pts) in
+        let plot =
+          Report.Ascii_plot.render
+            ~config:
+              {
+                Report.Ascii_plot.default with
+                Report.Ascii_plot.width = 56;
+                height = 8;
+                y_min = Some 0.;
+              }
+            [ Report.Series.make ~name:"req/s" ~xs ~ys ]
+        in
+        Printf.printf "\n%s\n" plot
+      end;
+      flush stdout
+    in
+    let rec poll i =
+      match Service.Loadgen.fetch_metrics ~prefix:"service." address with
+      | Error msg -> log_error_exit2 ~m:"top" ("metrics poll failed: " ^ msg)
+      | Ok json ->
+        render json;
+        if iterations > 0 && i + 1 >= iterations then 0
+        else begin
+          Unix.sleepf interval;
+          poll (i + 1)
+        end
+    in
+    poll 0
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ host_arg $ interval_arg
+      $ iterations_arg $ plain_arg $ log_level_arg $ log_json_arg)
 
 let main_cmd =
   let doc =
@@ -663,6 +800,7 @@ let main_cmd =
   let info = Cmd.info "subsidization" ~version:"1.0.0" ~doc in
   let experiment_cmds = List.map experiment_cmd Experiments.Registry.all in
   Cmd.group info
-    (experiment_cmds @ [ all_cmd; chaos_cmd; nash_cmd; sweep_cmd; serve_cmd; loadgen_cmd ])
+    (experiment_cmds
+    @ [ all_cmd; chaos_cmd; nash_cmd; sweep_cmd; serve_cmd; loadgen_cmd; top_cmd ])
 
 let () = exit (Cmd.eval' main_cmd)

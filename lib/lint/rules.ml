@@ -90,6 +90,17 @@ let no_unsync_global =
     scope = { applies_to = [ "lib/" ]; exempt = [] };
   }
 
+let no_adhoc_log =
+  {
+    id = "NO-ADHOC-LOG";
+    severity = Finding.Error;
+    doc =
+      "library code must not write to stderr directly (prerr_*, \
+       Printf.eprintf, or the stderr channel); diagnostics go through \
+       Obs.Log so sinks, levels and rate limits apply uniformly";
+    scope = { applies_to = [ "lib/" ]; exempt = [ "lib/obs/" ] };
+  }
+
 let mli_required_rule =
   {
     id = "MLI-REQUIRED";
@@ -107,6 +118,7 @@ let all =
     no_float_eq;
     no_obj_magic;
     no_unsync_global;
+    no_adhoc_log;
     mli_required_rule;
   ]
 
@@ -157,6 +169,27 @@ let print_fns =
   ]
 
 let magic_fns = [ "Obj.magic" ]
+
+(* direct stderr writers; bare [stderr] also fires (it only exists to be
+   written to — [output_string stderr], [Format.formatter_of_out_channel
+   stderr], ...) *)
+let adhoc_log_fns =
+  [
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "prerr_char";
+    "prerr_int";
+    "prerr_float";
+    "prerr_bytes";
+    "Stdlib.prerr_string";
+    "Stdlib.prerr_endline";
+    "Stdlib.prerr_newline";
+    "Printf.eprintf";
+    "Format.eprintf";
+    "stderr";
+    "Stdlib.stderr";
+  ]
 
 (* creators of shared mutable state; Array.init and array/record
    literals are deliberately excluded — the repo's constant-table idiom
@@ -272,6 +305,7 @@ let check_structure ~file str =
     and print = on no_lib_print.id
     and float_eq = on no_float_eq.id
     and magic = on no_obj_magic.id
+    and adhoc = on no_adhoc_log.id
     and unsync = on no_unsync_global.id in
     let acc = ref [] in
     let emit rule loc message =
@@ -295,7 +329,13 @@ let check_structure ~file str =
               Report/Obs.Export or a caller-supplied channel"
              name);
       if magic && mem name magic_fns then
-        emit no_obj_magic loc "Obj.magic defeats the type system"
+        emit no_obj_magic loc "Obj.magic defeats the type system";
+      if adhoc && mem name adhoc_log_fns then
+        emit no_adhoc_log loc
+          (Printf.sprintf
+             "%s writes to stderr from library code; route diagnostics \
+              through Obs.Log"
+             name)
     in
     let check_raise loc lid args =
       if bare && mem (lid_name lid) raise_fns then

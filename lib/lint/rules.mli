@@ -26,7 +26,13 @@ type t = {
 val all : t list
 (** Every rule, in reporting order: NO-BARE-RAISE, NO-SWALLOW,
     NO-RAW-CLOCK, NO-LIB-PRINT, NO-FLOAT-EQ, NO-OBJ-MAGIC,
-    NO-UNSYNC-GLOBAL, MLI-REQUIRED.
+    NO-UNSYNC-GLOBAL, NO-ADHOC-LOG, MLI-REQUIRED.
+
+    NO-ADHOC-LOG is NO-LIB-PRINT's stderr twin: [prerr_*],
+    [Printf.eprintf]/[Format.eprintf] and any mention of the [stderr]
+    channel in [lib/] (outside [lib/obs/], where the log sinks live)
+    bypass [Obs.Log] — its levels, sinks and rate limits — and are
+    flagged.
 
     NO-UNSYNC-GLOBAL guards the parallel layer: a top-level [ref],
     [Hashtbl.create], [Queue]/[Stack]/[Buffer] or [Array.make] in

@@ -1,0 +1,62 @@
+(** Differ for bench.v1 performance records.
+
+    Compares the per-figure measurements of two bench records
+    ([seconds], [root_calls], [objective_evaluations]) under per-metric
+    tolerance bands, so `bench --compare OLD.json` — and the CI job
+    built on it — can fail a build that made the solver slower.
+
+    Only regressions (current above the allowed band) fail; a figure
+    getting {e faster} never does.  Figures present in one record only
+    are reported but are not regressions — CI may bench a subset. *)
+
+type tolerance = {
+  seconds_rel : float;  (** relative slack on wall-clock seconds *)
+  seconds_abs : float;  (** absolute slack (s), floors noise on fast figures *)
+  counts_rel : float;  (** relative slack on solver work counts *)
+  counts_abs : float;  (** absolute slack (calls) *)
+}
+
+val default_tolerance : tolerance
+(** Seconds: 50% + 0.1s (wall-clock is noisy); counts: 2% + 64 calls
+    (deterministic, so tight).  [allowed = baseline*(1+rel) + abs]. *)
+
+type verdict = {
+  figure : string;
+  metric : string;
+  baseline : float;
+  current : float;
+  allowed : float;
+  regressed : bool;
+}
+
+type report = {
+  verdicts : verdict list;
+  compared : string list;  (** figure ids present in both records *)
+  only_in_baseline : string list;
+  only_in_current : string list;
+}
+
+val diff :
+  ?tolerance:tolerance ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (report, string) result
+(** [Error] when either document lacks a ["figures"] array.  Metrics
+    missing or non-finite on either side are skipped, not failed. *)
+
+val regressions : report -> verdict list
+val ok : report -> bool
+
+val load_file : path:string -> (Json.t, string) result
+(** Read and parse a record; [Error] carries the I/O or parse message. *)
+
+val scale_seconds : Json.t -> by:(string * float) list -> Json.t
+(** Multiply the recorded [seconds] of the named figures — the
+    `--inject-slowdown` self-test that proves the gate can fire. *)
+
+val table : report -> Report.Table.t
+(** One row per verdict: baseline, current, ratio, allowed, verdict. *)
+
+val summary : report -> string
+(** One line: figure/check/regression counts plus any id skew. *)

@@ -1,0 +1,183 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_name s =
+  match String.lowercase_ascii s with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | other ->
+    Result.Error
+      (Printf.sprintf "unknown log level %S (known: debug, info, warn, error)" other)
+
+type event = {
+  t_s : float;
+  level : level;
+  module_ : string;
+  msg : string;
+  fields : (string * string) list;
+  repeats : int;
+}
+
+type sink = Human of out_channel | Jsonl of out_channel | Custom of (event -> unit)
+
+(* one process-wide lock covers sink, levels and the rate-limit table;
+   log sites are cheap (a level check outside the lock) and emission is
+   serialized so concurrent domains never interleave half-lines *)
+let lock = Mutex.create ()
+
+let locked f = Mutex.protect lock f
+
+let current_sink = ref (Human stderr)
+[@@sync "read and written only under [lock]"]
+
+let default_level = ref Info
+[@@sync "written under [lock]; racy reads only widen/narrow filtering"]
+
+let module_levels : (string, level) Hashtbl.t = Hashtbl.create 8
+[@@sync "every access goes through [lock]"]
+
+let min_interval_s = ref 0.
+[@@sync "read and written only under [lock]"]
+
+type repeat_slot = {
+  mutable last_emit : float;
+  mutable suppressed : int;
+  mutable last_event : event;
+}
+
+let repeat_slots : (string * int * string, repeat_slot) Hashtbl.t = Hashtbl.create 32
+[@@sync "every access goes through [lock]"]
+
+(* ------------------------------------------------------------------ *)
+(* rendering *)
+
+let render_fields = function
+  | [] -> ""
+  | fields ->
+    " ("
+    ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) fields)
+    ^ ")"
+
+let render_human e =
+  let tm = Unix.localtime e.t_s in
+  let ms = int_of_float (Float.rem e.t_s 1. *. 1000.) in
+  Printf.sprintf "%02d:%02d:%02d.%03d %-5s %s: %s%s%s" tm.Unix.tm_hour
+    tm.Unix.tm_min tm.Unix.tm_sec ms
+    (String.uppercase_ascii (level_name e.level))
+    e.module_ e.msg (render_fields e.fields)
+    (if e.repeats > 0 then Printf.sprintf " [repeated %d more]" e.repeats else "")
+
+let render_jsonl e =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("t", Json.Num e.t_s);
+          ("level", Json.Str (level_name e.level));
+          ("m", Json.Str e.module_);
+          ("msg", Json.Str e.msg);
+        ]
+       @ (if e.fields = [] then []
+          else [ ("fields", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.fields)) ])
+       @
+       if e.repeats > 0 then [ ("repeats", Json.Num (float_of_int e.repeats)) ]
+       else []))
+
+(* ------------------------------------------------------------------ *)
+(* configuration *)
+
+let set_sink sink = locked (fun () -> current_sink := sink)
+let set_level level = locked (fun () -> default_level := level)
+
+let set_module_level module_ level =
+  locked (fun () -> Hashtbl.replace module_levels module_ level)
+
+let set_rate_limit ?min_interval_s:(interval = 0.) () =
+  locked (fun () ->
+      min_interval_s := (if Float.is_finite interval && interval > 0. then interval else 0.);
+      Hashtbl.reset repeat_slots)
+
+let enabled ~m level =
+  let threshold =
+    locked (fun () ->
+        match Hashtbl.find_opt module_levels m with
+        | Some l -> l
+        | None -> !default_level)
+  in
+  level_rank level >= level_rank threshold
+
+(* ------------------------------------------------------------------ *)
+(* emission *)
+
+let emit_unlocked e =
+  match !current_sink with
+  | Human oc ->
+    output_string oc (render_human e);
+    output_char oc '\n';
+    flush oc
+  | Jsonl oc ->
+    output_string oc (render_jsonl e);
+    output_char oc '\n';
+    flush oc
+  | Custom f -> f e
+
+let log ?(fields = []) level ~m msg =
+  if enabled ~m level then begin
+    let now = Clock.now () in
+    let e = { t_s = now; level; module_ = m; msg; fields; repeats = 0 } in
+    locked (fun () ->
+        let interval = !min_interval_s in
+        if interval <= 0. then emit_unlocked e
+        else begin
+          let key = (m, level_rank level, msg) in
+          match Hashtbl.find_opt repeat_slots key with
+          | None ->
+            Hashtbl.replace repeat_slots key
+              { last_emit = now; suppressed = 0; last_event = e };
+            emit_unlocked e
+          | Some slot ->
+            if now -. slot.last_emit >= interval then begin
+              let e = { e with repeats = slot.suppressed } in
+              slot.last_emit <- now;
+              slot.suppressed <- 0;
+              slot.last_event <- e;
+              emit_unlocked e
+            end
+            else begin
+              slot.suppressed <- slot.suppressed + 1;
+              slot.last_event <- e
+            end
+        end)
+  end
+
+let debug ?fields ~m msg = log ?fields Debug ~m msg
+let info ?fields ~m msg = log ?fields Info ~m msg
+let warn ?fields ~m msg = log ?fields Warn ~m msg
+let error ?fields ~m msg = log ?fields Error ~m msg
+
+let drain () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ slot ->
+          if slot.suppressed > 0 then begin
+            emit_unlocked { slot.last_event with repeats = slot.suppressed };
+            slot.suppressed <- 0;
+            slot.last_emit <- slot.last_event.t_s
+          end)
+        repeat_slots)
+
+let reset () =
+  locked (fun () ->
+      current_sink := Human stderr;
+      default_level := Info;
+      min_interval_s := 0.;
+      Hashtbl.reset module_levels;
+      Hashtbl.reset repeat_slots)

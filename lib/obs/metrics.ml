@@ -42,7 +42,15 @@ let bucket_index x =
     int_of_float
       (Float.floor ((Float.log10 x -. float_of_int lo_exp) *. float_of_int buckets_per_decade))
   in
-  if i >= n_buckets then n_buckets - 1 else i
+  (* clamp both ends: at a decade boundary (e.g. exactly 1e-9) log10 can
+     round a hair below lo_exp, which used to index at -1 *)
+  if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+let bucket_lower i =
+  Float.pow 10.
+    (float_of_int lo_exp +. (float_of_int i /. float_of_int buckets_per_decade))
+
+let bucket_upper i = bucket_lower (i + 1)
 
 let bucket_center i =
   Float.pow 10.
@@ -131,26 +139,34 @@ let observe (h : histogram) x =
 (* _unlocked readers exist because [lock] is not reentrant: public
    wrappers take the lock once, compound readers (snapshot) reuse the
    raw versions under their own single acquisition *)
+(* Geometric within-bucket interpolation: find the bucket holding the
+   target rank, then place the estimate at lower * (upper/lower)^frac
+   where frac is the rank's position inside the bucket's mass.  This is
+   exact for point masses sitting on a bucket edge (after the min/max
+   clamp) and removes the half-bucket bias the old center-of-bucket
+   answer had at boundaries. *)
 let percentile_unlocked (h : histogram) p =
   if h.count = 0 then Float.nan
   else if p <= 0. then h.minimum
   else if p >= 100. then h.maximum
   else begin
-    let rank =
-      Stdlib.max 1 (int_of_float (Float.ceil (p /. 100. *. float_of_int h.count)))
-    in
+    let target = p /. 100. *. float_of_int h.count in
     let clamp v = Float.max h.minimum (Float.min h.maximum v) in
-    if rank <= h.underflow then h.minimum
+    if target <= float_of_int h.underflow then h.minimum
     else begin
-      let seen = ref h.underflow in
+      let cum = ref (float_of_int h.underflow) in
       let answer = ref h.maximum in
       (try
          for i = 0 to n_buckets - 1 do
-           seen := !seen + h.counts.(i);
-           if !seen >= rank then begin
-             answer := bucket_center i;
+           let c = float_of_int h.counts.(i) in
+           if c > 0. && !cum +. c >= target then begin
+             let frac = (target -. !cum) /. c in
+             answer :=
+               bucket_lower i
+               *. Float.pow 10. (frac /. float_of_int buckets_per_decade);
              raise Exit
-           end
+           end;
+           cum := !cum +. c
          done
        with Exit -> ());
       clamp !answer
@@ -166,6 +182,7 @@ type summary = {
   p90 : float;
   p99 : float;
   buckets : (float * int) list;
+  buckets_le : (float * int) list;
 }
 
 let summarize_unlocked (h : histogram) =
@@ -176,6 +193,18 @@ let summarize_unlocked (h : histogram) =
   let buckets =
     if h.underflow > 0 then (0., h.underflow) :: !buckets else !buckets
   in
+  let les = ref [] in
+  let cum = ref h.underflow in
+  for i = 0 to n_buckets - 1 do
+    if h.counts.(i) > 0 then begin
+      cum := !cum + h.counts.(i);
+      les := (bucket_upper i, !cum) :: !les
+    end
+  done;
+  let buckets_le =
+    if h.underflow > 0 then (bucket_lower 0, h.underflow) :: List.rev !les
+    else List.rev !les
+  in
   {
     count = h.count;
     sum = h.sum;
@@ -185,6 +214,7 @@ let summarize_unlocked (h : histogram) =
     p90 = percentile_unlocked h 90.;
     p99 = percentile_unlocked h 99.;
     buckets;
+    buckets_le;
   }
 
 let percentile h p = locked (fun () -> percentile_unlocked h p)

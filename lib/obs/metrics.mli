@@ -47,7 +47,10 @@ val observe : histogram -> float -> unit
 
 val percentile : histogram -> float -> float
 (** [percentile h p] for [p] in [0, 100]; [nan] on an empty histogram.
-    Answers are clamped to the observed [min]/[max]. *)
+    The answer is geometrically interpolated inside the bucket holding
+    the target rank and clamped to the observed [min]/[max] — so a
+    point mass (even one sitting exactly on a decade boundary such as
+    [1.0] or [1e-3]) reports its own value exactly. *)
 
 type summary = {
   count : int;
@@ -58,6 +61,9 @@ type summary = {
   p90 : float;
   p99 : float;
   buckets : (float * int) list;  (** (geometric bucket center, count), non-empty buckets only *)
+  buckets_le : (float * int) list;
+      (** (bucket upper edge, cumulative count incl. underflow), only at
+          non-empty buckets; the Prometheus [_bucket{le=...}] shape *)
 }
 
 val summarize : histogram -> summary

@@ -1,0 +1,90 @@
+(* Prometheus text exposition format 0.0.4 over the Metrics registry.
+   Pure rendering: a snapshot in, one string out, no I/O here. *)
+
+let sanitize_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  if s = "" then "_"
+  else
+    match s.[0] with
+    | '0' .. '9' -> "_" ^ s
+    | _ -> s
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let format_value x =
+  if Float.is_nan x then "NaN"
+  else if not (Float.is_finite x) then if x > 0. then "+Inf" else "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+(* labels are already normalized (sorted by key) by the registry; [extra]
+   appends after them, which keeps [le] last on histogram buckets *)
+let label_block labels extra =
+  match labels @ extra with
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label_value v))
+           kvs)
+    ^ "}"
+
+let render_snapshot entries =
+  let buf = Buffer.create 1024 in
+  let last_typed = ref "" in
+  let type_line name kind =
+    if name <> !last_typed then begin
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind);
+      last_typed := name
+    end
+  in
+  let sample name labels extra v =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" name (label_block labels extra) v)
+  in
+  List.iter
+    (fun (name, labels, read) ->
+      let pname = sanitize_name name in
+      match (read : Metrics.read) with
+      | Metrics.Counter v ->
+        type_line pname "counter";
+        sample pname labels [] (format_value v)
+      | Metrics.Gauge v ->
+        type_line pname "gauge";
+        sample pname labels [] (format_value v)
+      | Metrics.Histogram s ->
+        type_line pname "histogram";
+        List.iter
+          (fun (le, cum) ->
+            sample (pname ^ "_bucket") labels
+              [ ("le", format_value le) ]
+              (string_of_int cum))
+          s.Metrics.buckets_le;
+        sample (pname ^ "_bucket") labels
+          [ ("le", "+Inf") ]
+          (string_of_int s.Metrics.count);
+        sample (pname ^ "_sum") labels [] (format_value s.Metrics.sum);
+        sample (pname ^ "_count") labels [] (string_of_int s.Metrics.count))
+    entries;
+  Buffer.contents buf
+
+let expose ?prefix () = render_snapshot (Metrics.snapshot ?prefix ())

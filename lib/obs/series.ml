@@ -1,0 +1,122 @@
+type ring = {
+  ts : float array;
+  vs : float array;
+  mutable len : int;
+  mutable next : int;
+}
+
+type t = {
+  capacity : int;
+  lock : Mutex.t;
+  rings : (string, ring) Hashtbl.t;
+  prev : (string, float * float) Hashtbl.t;
+      (* counter-ish series name -> (last tick time, last raw value) *)
+}
+
+let create ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Obs.Series.create: capacity must be >= 1";
+  {
+    capacity;
+    lock = Mutex.create ();
+    rings = Hashtbl.create 16;
+    prev = Hashtbl.create 16;
+  }
+
+let locked t f = Mutex.protect t.lock f
+
+let ring_for t name =
+  match Hashtbl.find_opt t.rings name with
+  | Some r -> r
+  | None ->
+    let r =
+      {
+        ts = Array.make t.capacity 0.;
+        vs = Array.make t.capacity 0.;
+        len = 0;
+        next = 0;
+      }
+    in
+    Hashtbl.add t.rings name r;
+    r
+
+let append_unlocked t name ~t_s v =
+  let r = ring_for t name in
+  r.ts.(r.next) <- t_s;
+  r.vs.(r.next) <- v;
+  r.next <- (r.next + 1) mod t.capacity;
+  if r.len < t.capacity then r.len <- r.len + 1
+
+let append t ~name ~t_s v = locked t (fun () -> append_unlocked t name ~t_s v)
+
+(* record a raw monotone value and append its rate of change; clamp at 0
+   so a counter reset (Metrics.reset) reads as a quiet period, not a
+   negative rate spike *)
+let rate_sample_unlocked t name ~now v =
+  (match Hashtbl.find_opt t.prev name with
+  | Some (pt, pv) when now > pt ->
+    append_unlocked t name ~t_s:now (Float.max 0. ((v -. pv) /. (now -. pt)))
+  | Some _ -> ()
+  | None -> ());
+  Hashtbl.replace t.prev name (now, v)
+
+let display_name name labels =
+  if labels = [] then name
+  else name ^ "{" ^ Metrics.labels_to_string labels ^ "}"
+
+let tick ?prefix ?now t =
+  let now = match now with Some n -> n | None -> Clock.now () in
+  let entries = Metrics.snapshot ?prefix () in
+  locked t (fun () ->
+      List.iter
+        (fun (name, labels, read) ->
+          let base = display_name name labels in
+          match (read : Metrics.read) with
+          | Metrics.Counter v -> rate_sample_unlocked t (base ^ ".rate") ~now v
+          | Metrics.Gauge v -> append_unlocked t base ~t_s:now v
+          | Metrics.Histogram s ->
+            rate_sample_unlocked t (base ^ ".rate") ~now
+              (float_of_int s.Metrics.count);
+            if s.Metrics.count > 0 then begin
+              append_unlocked t (base ^ ".p50") ~t_s:now s.Metrics.p50;
+              append_unlocked t (base ^ ".p99") ~t_s:now s.Metrics.p99
+            end)
+        entries)
+
+let names t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.rings []
+      |> List.sort compare)
+
+let points t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.rings name with
+      | None -> []
+      | Some r ->
+        let start = if r.len < t.capacity then 0 else r.next in
+        List.init r.len (fun i ->
+            let j = (start + i) mod t.capacity in
+            (r.ts.(j), r.vs.(j))))
+
+type window = { n : int; last : float; mean : float; min : float; max : float }
+
+let window ?last_s t name =
+  match points t name with
+  | [] -> None
+  | pts ->
+    let newest = List.fold_left (fun acc (ts, _) -> Float.max acc ts) Float.neg_infinity pts in
+    let keep =
+      match last_s with
+      | None -> pts
+      | Some span -> List.filter (fun (ts, _) -> ts >= newest -. span) pts
+    in
+    (match keep with
+    | [] -> None
+    | kept ->
+      let n = List.length kept in
+      let sum = List.fold_left (fun acc (_, v) -> acc +. v) 0. kept in
+      let mn = List.fold_left (fun acc (_, v) -> Float.min acc v) Float.infinity kept in
+      let mx = List.fold_left (fun acc (_, v) -> Float.max acc v) Float.neg_infinity kept in
+      let last =
+        match List.rev kept with (_, v) :: _ -> v | [] -> Float.nan
+      in
+      Some { n; last; mean = sum /. float_of_int n; min = mn; max = mx })

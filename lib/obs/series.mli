@@ -1,0 +1,42 @@
+(** Fixed-capacity ring-buffer time series, typically sampled from the
+    {!Metrics} registry on a periodic tick.
+
+    A sampler owns one ring per series name.  {!tick} snapshots the
+    registry and derives history: counters and histogram counts become
+    rates (["<name>.rate"], delta / elapsed, clamped at 0 so a registry
+    reset reads as a quiet period), gauges record their value, and
+    non-empty histograms record [".p50"] / [".p99"] quantile tracks.
+    Labels are folded into the series name as ["name{k=v,...}"].
+
+    Each ring holds the most recent [capacity] points; older points are
+    overwritten in place, so memory is bounded no matter how long a
+    daemon runs.  All operations are serialized behind the sampler's
+    mutex and are safe to call from concurrent domains. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Points kept per series (default 512). Raises [Invalid_argument] on
+    a capacity < 1. *)
+
+val append : t -> name:string -> t_s:float -> float -> unit
+(** Record one explicit point (for series not driven by {!tick}). *)
+
+val tick : ?prefix:string -> ?now:float -> t -> unit
+(** Sample every registry series matching [prefix] at time [now]
+    (default {!Clock.now}).  The first tick only primes rate baselines;
+    rates appear from the second tick on. *)
+
+val names : t -> string list
+(** Sorted names of every series with at least one point (rate series
+    appear once a rate has actually been computed). *)
+
+val points : t -> string -> (float * float) list
+(** Oldest-to-newest [(t_s, value)]; at most [capacity] points; [[]]
+    for unknown names. *)
+
+type window = { n : int; last : float; mean : float; min : float; max : float }
+
+val window : ?last_s:float -> t -> string -> window option
+(** Aggregate the points whose timestamp is within [last_s] of the
+    newest point (default: all points); [None] when empty. *)

@@ -124,7 +124,14 @@ let read_lines path =
   in
   go []
 
-let recover ?(on_warning = fun _ -> ()) ~path () =
+(* The default warning channel is the structured log (constant message,
+   detail in a field, so rate limiting can coalesce a long torn tail);
+   the server overrides it to also surface a [Warning] event. *)
+let recover
+    ?(on_warning =
+      fun msg ->
+        Obs.Log.warn ~m:"journal" "journal line skipped during recovery"
+          ~fields:[ ("detail", msg) ]) ~path () =
   if not (Sys.file_exists path) then
     Ok { pending = []; acked = []; next_seq = 0; torn_lines = 0 }
   else

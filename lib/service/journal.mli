@@ -47,4 +47,7 @@ type recovered = {
 
 val recover :
   ?on_warning:(string -> unit) -> path:string -> unit -> (recovered, string) result
-(** A missing file recovers to the empty state. *)
+(** A missing file recovers to the empty state. Each torn or
+    unparsable line is reported through [on_warning]; the default
+    routes to {!Obs.Log.warn} (module ["journal"], the line detail in
+    a field). *)

@@ -33,9 +33,11 @@ type report = {
   rejected : int;
   other : int;
   chaos_toggles : int;
+  chaos_sent : (string * int) list;
   unanswered : int;
   errors : string list;
   wall_s : float;
+  latency : Obs.Metrics.summary option;
 }
 
 let report_ok r =
@@ -94,6 +96,11 @@ type counts = {
   mutable errors : string list;
 }
 
+(* Server-reported solve time of every Solved answer; one histogram per
+   process (Metrics handles are find-or-create), reset per run so each
+   report summarizes its own run. *)
+let latency_h = Obs.Metrics.histogram "loadgen.solve_s"
+
 (* Read [expected] responses off one connection, matching solve answers
    back to their ids. *)
 let drain_conn ~timeout_s client outstanding counts expected =
@@ -107,8 +114,9 @@ let drain_conn ~timeout_s client outstanding counts expected =
         counts.errors <- msg :: counts.errors
       | Ok response ->
         (match response with
-        | Proto.Solved { id; _ } ->
+        | Proto.Solved { id; result } ->
           settle id;
+          Obs.Metrics.observe latency_h result.Proto.solve_s;
           counts.solved <- counts.solved + 1
         | Proto.Degraded { id; _ } ->
           settle id;
@@ -120,7 +128,7 @@ let drain_conn ~timeout_s client outstanding counts expected =
           Option.iter settle id;
           counts.rejected <- counts.rejected + 1
         | Proto.Chaos_ack _ -> counts.chaos_toggles <- counts.chaos_toggles + 1
-        | Proto.Metrics_snapshot _ | Proto.Pong | Proto.Bye ->
+        | Proto.Metrics_snapshot _ | Proto.Prom_text _ | Proto.Pong | Proto.Bye ->
           counts.other <- counts.other + 1);
         go (remaining - 1)
   in
@@ -128,6 +136,7 @@ let drain_conn ~timeout_s client outstanding counts expected =
 
 let run ?(on_event = fun _ -> ()) cfg =
   let t0 = Obs.Clock.now () in
+  Obs.Metrics.reset ~prefix:"loadgen." ();
   let n_conns = max 1 cfg.connections in
   let clients =
     List.filter_map
@@ -135,6 +144,8 @@ let run ?(on_event = fun _ -> ()) cfg =
         match Client.connect cfg.address with
         | Ok c -> Some c
         | Error msg ->
+          Obs.Log.warn ~m:"loadgen" "connection failed"
+            ~fields:[ ("conn", string_of_int i); ("error", msg) ];
           on_event (Printf.sprintf "connection %d failed: %s" i msg);
           None)
       (List.init n_conns Fun.id)
@@ -177,6 +188,16 @@ let run ?(on_event = fun _ -> ()) cfg =
     in
     let sent = ref 0 in
     let chaos_idx = ref 0 in
+    let chaos_sent = Hashtbl.create 8 in
+    let count_chaos mode =
+      let name =
+        match mode with None -> "off" | Some m -> Proto.chaos_mode_name m
+      in
+      Hashtbl.replace chaos_sent name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt chaos_sent name));
+      Obs.Metrics.incr
+        (Obs.Metrics.counter ~labels:[ ("mode", name) ] "loadgen.chaos.toggles")
+    in
     let expected = Array.make (Array.length clients) 0 in
     while !sent < cfg.requests && counts.errors = [] do
       (* one round: a burst on every connection, then drain them all *)
@@ -189,7 +210,9 @@ let run ?(on_event = fun _ -> ()) cfg =
               let mode = chaos_cycle.(!chaos_idx mod Array.length chaos_cycle) in
               incr chaos_idx;
               (match Client.send client (Proto.Chaos { mode }) with
-              | Ok () -> expected.(ci) <- expected.(ci) + 1
+              | Ok () ->
+                count_chaos mode;
+                expected.(ci) <- expected.(ci) + 1
               | Error msg -> counts.errors <- msg :: counts.errors)
             | _ -> ());
             let id = Printf.sprintf "r%d" !sent in
@@ -208,10 +231,20 @@ let run ?(on_event = fun _ -> ()) cfg =
             expected.(ci);
           expected.(ci) <- 0)
         clients;
-      if !sent mod 500 < cfg.burst * Array.length clients then
+      if !sent mod 500 < cfg.burst * Array.length clients then begin
+        Obs.Log.debug ~m:"loadgen" "progress"
+          ~fields:
+            [
+              ("sent", string_of_int !sent);
+              ("of", string_of_int cfg.requests);
+              ("solved", string_of_int counts.solved);
+              ("degraded", string_of_int counts.degraded);
+              ("shed", string_of_int counts.shed);
+            ];
         on_event
           (Printf.sprintf "%d/%d sent (%d solved, %d degraded, %d shed)" !sent
              cfg.requests counts.solved counts.degraded counts.shed)
+      end
     done;
     Array.iter Client.close clients;
     Ok
@@ -223,9 +256,15 @@ let run ?(on_event = fun _ -> ()) cfg =
         rejected = counts.rejected;
         other = counts.other;
         chaos_toggles = counts.chaos_toggles;
+        chaos_sent =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) chaos_sent []
+          |> List.sort compare;
         unanswered = Hashtbl.length outstanding;
         errors = counts.errors;
         wall_s = Obs.Clock.elapsed ~since:t0;
+        latency =
+          (let s = Obs.Metrics.summarize latency_h in
+           if s.Obs.Metrics.count = 0 then None else Some s);
       }
 
 let fetch_metrics ?(prefix = "") ?(timeout_s = 30.) address =
@@ -238,3 +277,49 @@ let fetch_metrics ?(prefix = "") ?(timeout_s = 30.) address =
     | Ok (Proto.Metrics_snapshot json) -> Ok json
     | Ok _ -> Error "unexpected response to metrics query"
     | Error msg -> Error msg)
+
+let fetch_prom ?(prefix = "") ?(timeout_s = 30.) address =
+  match Client.connect address with
+  | Error msg -> Error msg
+  | Ok client ->
+    let result = Client.call ~timeout_s client (Proto.Metrics_prom { prefix }) in
+    Client.close client;
+    (match result with
+    | Ok (Proto.Prom_text text) -> Ok text
+    | Ok _ -> Error "unexpected response to metrics_prom query"
+    | Error msg -> Error msg)
+
+(* ------------------------------------------------------------------ *)
+(* CSV artifact: the full report — counts, per-mode chaos toggles and
+   the latency distribution — as metric/value rows an analysis notebook
+   can load without scraping the stdout digest. *)
+
+let csv_table r =
+  let t = Report.Table.make ~columns:[ "metric"; "value" ] in
+  let add name v = Report.Table.add_row t [ name; v ] in
+  let addi name v = add name (string_of_int v) in
+  let addf name v = add name (Printf.sprintf "%.9g" v) in
+  addi "sent" r.sent;
+  addi "solved" r.solved;
+  addi "degraded" r.degraded;
+  addi "shed" r.shed;
+  addi "rejected" r.rejected;
+  addi "other" r.other;
+  addi "chaos_toggles" r.chaos_toggles;
+  addi "unanswered" r.unanswered;
+  addi "transport_errors" (List.length r.errors);
+  addf "wall_s" r.wall_s;
+  List.iter (fun (mode, n) -> addi ("chaos." ^ mode) n) r.chaos_sent;
+  (match r.latency with
+  | None -> ()
+  | Some s ->
+    addi "latency.count" s.Obs.Metrics.count;
+    addf "latency.sum_s" s.Obs.Metrics.sum;
+    addf "latency.min_s" s.Obs.Metrics.min;
+    addf "latency.max_s" s.Obs.Metrics.max;
+    addf "latency.p50_s" s.Obs.Metrics.p50;
+    addf "latency.p90_s" s.Obs.Metrics.p90;
+    addf "latency.p99_s" s.Obs.Metrics.p99);
+  t
+
+let write_csv ~path r = Report.Csv.write ~path (csv_table r)

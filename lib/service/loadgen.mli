@@ -35,10 +35,16 @@ type report = {
   shed : int;
   rejected : int;
   other : int;  (** pongs, byes, metrics snapshots *)
-  chaos_toggles : int;
+  chaos_toggles : int;  (** chaos acks received *)
+  chaos_sent : (string * int) list;
+      (** toggles sent per mode name (incl. ["off"]), sorted *)
   unanswered : int;  (** solve requests with no matching response *)
   errors : string list;  (** transport-level failures, newest first *)
   wall_s : float;
+  latency : Obs.Metrics.summary option;
+      (** server-reported [solve_s] of every Solved answer this run
+          (the ["loadgen.solve_s"] histogram, reset per run); [None]
+          when nothing solved *)
 }
 
 val report_ok : report -> bool
@@ -57,3 +63,16 @@ val run : ?on_event:(string -> unit) -> config -> (report, string) result
 val fetch_metrics :
   ?prefix:string -> ?timeout_s:float -> Server.address -> (Obs.Json.t, string) result
 (** One-shot metrics query over a fresh connection. *)
+
+val fetch_prom :
+  ?prefix:string -> ?timeout_s:float -> Server.address -> (string, string) result
+(** One-shot Prometheus text exposition over a fresh connection (the
+    [metrics_prom] frame; equivalent to HTTP [GET /metrics]). *)
+
+val csv_table : report -> Report.Table.t
+(** The report as metric/value rows: counts, per-mode chaos toggles,
+    latency distribution (count/sum/min/max/p50/p90/p99). *)
+
+val write_csv : path:string -> report -> unit
+(** {!csv_table} through {!Report.Csv.write} (atomic). Raises
+    [Sys_error] on I/O failure. *)

@@ -12,6 +12,7 @@ let no_params = { deadline_s = None; max_evals = None }
 type request =
   | Solve of { id : string; market : market; params : solve_params }
   | Metrics of { prefix : string }
+  | Metrics_prom of { prefix : string }
   | Chaos of { mode : Numerics.Fault.mode option }
   | Ping
   | Shutdown
@@ -53,6 +54,7 @@ type response =
   | Shed of { id : string; depth : int; capacity : int }
   | Rejected of { id : string option; reason : reject_reason }
   | Metrics_snapshot of Obs.Json.t
+  | Prom_text of string
   | Chaos_ack of { mode : string }
   | Pong
   | Bye
@@ -171,6 +173,10 @@ let request_to_json = function
     Obj
       (("type", Str "metrics")
       :: (if String.equal prefix "" then [] else [ ("prefix", Str prefix) ]))
+  | Metrics_prom { prefix } ->
+    Obj
+      (("type", Str "metrics_prom")
+      :: (if String.equal prefix "" then [] else [ ("prefix", Str prefix) ]))
   | Chaos { mode } ->
     Obj
       [
@@ -193,6 +199,11 @@ let request_of_json json =
       match member "prefix" json with Some (Str s) -> s | _ -> ""
     in
     Ok (Metrics { prefix })
+  | Ok "metrics_prom" ->
+    let prefix =
+      match member "prefix" json with Some (Str s) -> s | _ -> ""
+    in
+    Ok (Metrics_prom { prefix })
   | Ok "chaos" -> (
     match str_field "mode" json with
     | Error msg -> Error (Malformed_frame msg)
@@ -288,6 +299,7 @@ let response_to_json = function
       :: ((match id with Some id -> [ ("id", Str id) ] | None -> [])
          @ [ ("reason", reject_to_json reason) ]))
   | Metrics_snapshot snapshot -> Obj [ ("type", Str "metrics"); ("snapshot", snapshot) ]
+  | Prom_text text -> Obj [ ("type", Str "metrics-prom"); ("text", Str text) ]
   | Chaos_ack { mode } -> Obj [ ("type", Str "chaos-ack"); ("mode", Str mode) ]
   | Pong -> Obj [ ("type", Str "pong") ]
   | Bye -> Obj [ ("type", Str "bye") ]
@@ -393,6 +405,9 @@ let response_of_json json =
     match member "snapshot" json with
     | Some snapshot -> Ok (Metrics_snapshot snapshot)
     | None -> Error "missing field \"snapshot\"")
+  | "metrics-prom" ->
+    let* text = str_field "text" json in
+    Ok (Prom_text text)
   | "chaos-ack" ->
     let* mode = str_field "mode" json in
     Ok (Chaos_ack { mode })

@@ -31,6 +31,9 @@ type request =
   | Metrics of { prefix : string }
       (** the /metrics-style query: a registry snapshot, optionally
           name-filtered *)
+  | Metrics_prom of { prefix : string }
+      (** same registry cut, rendered as Prometheus text exposition
+          ({!Obs.Prom}); wire type ["metrics_prom"] *)
   | Chaos of { mode : Numerics.Fault.mode option }
       (** install ([Some]) or clear ([None]) the process-global fault —
           the soak harness's mid-flight injection lever; the server
@@ -76,6 +79,9 @@ type response =
       (** admission control refused the request: queue full *)
   | Rejected of { id : string option; reason : reject_reason }
   | Metrics_snapshot of Obs.Json.t
+  | Prom_text of string
+      (** Prometheus text exposition, newline-escaped inside the JSON
+          frame; wire type ["metrics-prom"] *)
   | Chaos_ack of { mode : string }
   | Pong
   | Bye  (** acknowledges [Shutdown]; the connection closes after it *)

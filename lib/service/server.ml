@@ -49,6 +49,35 @@ type event =
   | Draining of { reason : string }
   | Warning of string
 
+(* Every event also lands in Obs.Log (lifecycle at info, per-connection
+   and per-batch chatter at debug), so a daemon is observable without
+   the caller wiring an [on_event]; the callback remains the structured
+   hook for tests and embedding. *)
+let log_event event =
+  let module L = Obs.Log in
+  match event with
+  | Listening { address } ->
+    L.info ~m:"server" "listening" ~fields:[ ("address", address) ]
+  | Recovered { replayed; already_acked; torn_lines } ->
+    L.info ~m:"server" "journal recovery complete"
+      ~fields:
+        [
+          ("replayed", string_of_int replayed);
+          ("already_acked", string_of_int already_acked);
+          ("torn_lines", string_of_int torn_lines);
+        ]
+  | Connected { conn } ->
+    L.debug ~m:"server" "connection opened" ~fields:[ ("conn", string_of_int conn) ]
+  | Disconnected { conn } ->
+    L.debug ~m:"server" "connection closed" ~fields:[ ("conn", string_of_int conn) ]
+  | Batch_solved { n; wall_s } ->
+    L.debug ~m:"server" "batch solved"
+      ~fields:
+        [ ("n", string_of_int n); ("wall_s", Printf.sprintf "%.4f" wall_s) ]
+  | Draining { reason } ->
+    L.info ~m:"server" "draining" ~fields:[ ("reason", reason) ]
+  | Warning msg -> L.warn ~m:"server" msg
+
 (* Per-request limits fall back field-wise to the server defaults. *)
 let effective_limits (default : Runner.Watchdog.limits)
     (params : Proto.solve_params) =
@@ -150,9 +179,8 @@ type conn = {
   mutable closing : bool;  (** close once current frames are answered *)
 }
 
-let send conn line =
+let send_raw conn data =
   if conn.alive then begin
-    let data = line ^ "\n" in
     let len = String.length data in
     let rec go off =
       if off < len then
@@ -164,6 +192,8 @@ let send conn line =
     in
     go 0
   end
+
+let send conn line = send_raw conn (line ^ "\n")
 
 let respond conn response = send conn (Proto.response_to_line response)
 
@@ -208,16 +238,26 @@ type st = {
   rejected_c : Obs.Metrics.counter;
   latency_h : Obs.Metrics.histogram;
   conns_g : Obs.Metrics.gauge;
+  journal_pending_g : Obs.Metrics.gauge;
+  mutable journal_pending : int;
+      (** received-not-yet-acked journal entries: the replay debt a
+          crash right now would leave behind *)
 }
 
 let warn st msg = st.emit (Warning msg)
+
+let journal_pending_add st delta =
+  if st.journal <> None then begin
+    st.journal_pending <- max 0 (st.journal_pending + delta);
+    Obs.Metrics.set st.journal_pending_g (float_of_int st.journal_pending)
+  end
 
 let journal_received st ~seq ~id ~fp ~line =
   match st.journal with
   | None -> ()
   | Some j -> (
     match Journal.record_received j ~seq ~id ~fingerprint:fp ~request_line:line with
-    | Ok () -> ()
+    | Ok () -> journal_pending_add st 1
     | Error msg -> warn st msg)
 
 let journal_acked st ~seq ~id ~kind =
@@ -225,7 +265,7 @@ let journal_acked st ~seq ~id ~kind =
   | None -> ()
   | Some j -> (
     match Journal.record_acked j ~seq ~id ~kind with
-    | Ok () -> ()
+    | Ok () -> journal_pending_add st (-1)
     | Error msg -> warn st msg)
 
 (* Ack-before-send: the journal line hits the disk (or at least the
@@ -294,9 +334,51 @@ let solve_batch st =
       items;
     st.emit (Batch_solved { n; wall_s = Obs.Clock.elapsed ~since:t0 })
 
+(* {2 Plain HTTP}
+
+   A standard scraper speaks HTTP, not our JSON frames, so a line
+   starting with "GET " flips the connection into one-shot HTTP mode:
+   answer the request line immediately (headers carry no information we
+   use), mark the connection closing so the remaining header lines are
+   never parsed as frames, and let the loop close it. *)
+
+let is_http_get line =
+  String.length line >= 4 && String.equal (String.sub line 0 4) "GET "
+
+let handle_http conn line =
+  let line =
+    if String.length line > 0 && line.[String.length line - 1] = '\r' then
+      String.sub line 0 (String.length line - 1)
+    else line
+  in
+  let target =
+    match String.split_on_char ' ' line with _ :: t :: _ -> t | _ -> "/"
+  in
+  let path =
+    match String.index_opt target '?' with
+    | Some i -> String.sub target 0 i
+    | None -> target
+  in
+  let status, reason, body =
+    if String.equal path "/metrics" then (200, "OK", Obs.Prom.expose ())
+    else (404, "Not Found", "not found\n")
+  in
+  send_raw conn
+    (Printf.sprintf
+       "HTTP/1.0 %d %s\r\n\
+        Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+        Content-Length: %d\r\n\
+        Connection: close\r\n\
+        \r\n\
+        %s"
+       status reason (String.length body) body);
+  conn.closing <- true
+
 (* {2 Frame dispatch} *)
 
 let handle_frame st conn line =
+  if is_http_get line then handle_http conn line
+  else
   match Proto.request_of_line ~max_frame_bytes:st.cfg.max_frame_bytes line with
   | Error reason ->
     Obs.Metrics.incr st.rejected_c;
@@ -308,6 +390,8 @@ let handle_frame st conn line =
       else Obs.Export.metrics_json ~prefix ()
     in
     respond conn (Proto.Metrics_snapshot json)
+  | Ok (Proto.Metrics_prom { prefix }) ->
+    respond conn (Proto.Prom_text (Obs.Prom.expose ~prefix ()))
   | Ok (Proto.Chaos { mode }) ->
     if st.cfg.allow_chaos then begin
       Numerics.Fault.set_global mode;
@@ -347,7 +431,11 @@ let read_conn st conn =
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
     conn.alive <- false);
   if conn.alive then begin
-    List.iter (fun line -> handle_frame st conn line) (split_frames conn);
+    (* once closing (HTTP answered, Bye sent) the rest of the buffered
+       input — e.g. HTTP header lines — must not be parsed as frames *)
+    List.iter
+      (fun line -> if not conn.closing then handle_frame st conn line)
+      (split_frames conn);
     (* a frame larger than the limit can never complete: reject and
        drop the connection, since framing is lost *)
     if Buffer.length conn.inbox > st.cfg.max_frame_bytes then begin
@@ -464,7 +552,12 @@ let run ?(on_event = fun _ -> ()) ?(stop = fun () -> false) cfg =
     match cfg.journal_path with
     | None -> Ok None
     | Some path -> (
-      match Journal.recover ~on_warning:(fun m -> on_event (Warning m)) ~path ()
+      match
+        Journal.recover
+          ~on_warning:(fun m ->
+            log_event (Warning m);
+            on_event (Warning m))
+          ~path ()
       with
       | Error _ as e -> e
       | Ok recovered -> (
@@ -489,15 +582,21 @@ let run ?(on_event = fun _ -> ()) ?(stop = fun () -> false) cfg =
           | None -> 0);
         draining = None;
         conns = [];
-        emit = on_event;
+        emit = (fun ev -> log_event ev; on_event ev);
         solved_c = Obs.Metrics.counter "service.requests.solved";
         degraded_c = Obs.Metrics.counter "service.requests.degraded";
         shed_c = Obs.Metrics.counter "service.requests.shed";
         rejected_c = Obs.Metrics.counter "service.requests.rejected";
         latency_h = Obs.Metrics.histogram "service.solve.latency_s";
         conns_g = Obs.Metrics.gauge "service.connections";
+        journal_pending_g = Obs.Metrics.gauge "service.journal.pending";
+        journal_pending =
+          (match journal_recovered with
+          | Some (_, r) -> List.length r.Journal.pending
+          | None -> 0);
       }
     in
+    journal_pending_add st 0;
     (match journal_recovered with
     | Some (_, recovered) -> replay_journal st recovered
     | None -> ());

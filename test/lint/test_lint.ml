@@ -108,6 +108,36 @@ let test_lib_print_negative () =
     ~path:"lib/obs/export.ml" {|let f line = print_endline line|}
 
 (* ------------------------------------------------------------------ *)
+(* NO-ADHOC-LOG *)
+
+let test_adhoc_log_positive () =
+  check_fires "prerr_endline fires" "NO-ADHOC-LOG" ~path:"lib/service/fixture.ml"
+    {|let f () = prerr_endline "oops"|};
+  check_fires "Printf.eprintf fires" "NO-ADHOC-LOG" ~path:"lib/service/fixture.ml"
+    {|let f n = Printf.eprintf "bad %d\n" n|};
+  check_fires "Format.eprintf fires" "NO-ADHOC-LOG" ~path:"lib/runner/fixture.ml"
+    {|let f pp c = Format.eprintf "%a" pp c|};
+  check_fires "writing to stderr directly fires" "NO-ADHOC-LOG"
+    ~path:"lib/service/fixture.ml"
+    {|let f line = output_string stderr line|};
+  check_fires "qualified prerr fires" "NO-ADHOC-LOG" ~path:"lib/game/fixture.ml"
+    {|let f () = Stdlib.prerr_endline "oops"|}
+
+let test_adhoc_log_negative () =
+  check_silent "Obs.Log calls are the sanctioned path" "NO-ADHOC-LOG"
+    ~path:"lib/service/fixture.ml"
+    {|let f msg = Obs.Log.warn ~m:"server" msg|};
+  check_silent "fprintf to a caller channel is clean" "NO-ADHOC-LOG"
+    ~path:"lib/service/fixture.ml"
+    {|let f out = Printf.fprintf out "detail %d\n" 3|};
+  check_silent "lib/obs implements the logger" "NO-ADHOC-LOG"
+    ~path:"lib/obs/log.ml" {|let f e = output_string stderr e|};
+  check_silent "bin/ may own stderr" "NO-ADHOC-LOG" ~path:"bin/fixture.ml"
+    {|let f () = prerr_endline "usage: ..."|};
+  check_silent "test code may own stderr" "NO-ADHOC-LOG"
+    ~path:"test/service/fixture.ml" {|let f () = Printf.eprintf "dbg\n"|}
+
+(* ------------------------------------------------------------------ *)
 (* NO-FLOAT-EQ *)
 
 let test_float_eq_positive () =
@@ -268,7 +298,7 @@ let test_json_shape () =
   | _ -> Alcotest.fail "schema is not a string");
   (match Obs.Json.to_list (member "rules") with
   | Some rules ->
-    Alcotest.(check int) "all eight rules described" 8 (List.length rules);
+    Alcotest.(check int) "all nine rules described" 9 (List.length rules);
     List.iter
       (fun r ->
         List.iter
@@ -319,6 +349,12 @@ let () =
         [
           quick "fires on implicit stdout" test_lib_print_positive;
           quick "silent on channels and in bin/" test_lib_print_negative;
+        ] );
+      ( "NO-ADHOC-LOG",
+        [
+          quick "fires on stderr writes in lib/" test_adhoc_log_positive;
+          quick "silent on Obs.Log, channels, bin/ and lib/obs"
+            test_adhoc_log_negative;
         ] );
       ( "no-float-eq",
         [

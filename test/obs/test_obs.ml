@@ -285,6 +285,398 @@ let test_per_run_stats_scoping () =
   let third = (Numerics.Robust.stats ()).Numerics.Robust.root_calls in
   Alcotest.(check int) "isolate_stats:false accumulates" (2 * first) third
 
+(* ------------------------------------------------------------------ *)
+(* log *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let with_log_capture f =
+  let events = ref [] in
+  Obs.Log.reset ();
+  Obs.Log.set_sink (Obs.Log.Custom (fun e -> events := e :: !events));
+  Fun.protect ~finally:Obs.Log.reset (fun () -> f events)
+
+let test_log_levels () =
+  with_log_capture (fun events ->
+      Obs.Log.set_level Obs.Log.Warn;
+      Obs.Log.info ~m:"a" "dropped";
+      Obs.Log.warn ~m:"a" "kept";
+      Obs.Log.set_module_level "chatty" Obs.Log.Debug;
+      Obs.Log.debug ~m:"chatty" "kept too";
+      Obs.Log.debug ~m:"quiet" "dropped too";
+      check_true "module override enables"
+        (Obs.Log.enabled ~m:"chatty" Obs.Log.Debug);
+      check_true "default threshold filters"
+        (not (Obs.Log.enabled ~m:"quiet" Obs.Log.Info));
+      let msgs = List.rev_map (fun e -> e.Obs.Log.msg) !events in
+      Alcotest.(check (list string)) "filtered stream" [ "kept"; "kept too" ] msgs)
+
+let test_log_level_names () =
+  List.iter
+    (fun (name, expected) ->
+      match Obs.Log.level_of_name name with
+      | Ok l -> check_true ("parse " ^ name) (l = expected)
+      | Error msg -> Alcotest.failf "parse %s: %s" name msg)
+    [
+      ("debug", Obs.Log.Debug);
+      ("INFO", Obs.Log.Info);
+      ("warn", Obs.Log.Warn);
+      ("warning", Obs.Log.Warn);
+      ("Error", Obs.Log.Error);
+    ];
+  check_true "garbage rejected"
+    (match Obs.Log.level_of_name "loud" with Error _ -> true | Ok _ -> false)
+
+let test_log_rate_limit () =
+  with_log_capture (fun events ->
+      Obs.Log.set_rate_limit ~min_interval_s:3600. ();
+      for i = 1 to 5 do
+        Obs.Log.warn ~m:"flood" "same line" ~fields:[ ("i", string_of_int i) ]
+      done;
+      (* a different message is a different key, not a repeat *)
+      Obs.Log.warn ~m:"flood" "other line";
+      Alcotest.(check int) "first per key emits, repeats coalesce" 2
+        (List.length !events);
+      Obs.Log.drain ();
+      Alcotest.(check int) "drain flushes the coalesced tail" 3
+        (List.length !events);
+      let flushed =
+        List.find (fun e -> e.Obs.Log.repeats > 0) !events
+      in
+      Alcotest.(check int) "four suppressed repeats" 4 flushed.Obs.Log.repeats;
+      Alcotest.(check (option string)) "last duplicate's fields win" (Some "5")
+        (List.assoc_opt "i" flushed.Obs.Log.fields);
+      Obs.Log.drain ();
+      Alcotest.(check int) "drain is idempotent" 3 (List.length !events))
+
+let test_log_jsonl_round_trip () =
+  let e =
+    {
+      Obs.Log.t_s = 12.5;
+      level = Obs.Log.Error;
+      module_ = "srv";
+      msg = "boom \"quoted\"\nnewline";
+      fields = [ ("k", "v w") ];
+      repeats = 3;
+    }
+  in
+  let json = Obs.Json.of_string (Obs.Log.render_jsonl e) in
+  let str name =
+    match Obs.Json.member name json with Some (Obs.Json.Str s) -> s | _ -> ""
+  in
+  Alcotest.(check string) "level" "error" (str "level");
+  Alcotest.(check string) "module" "srv" (str "m");
+  Alcotest.(check string) "message survives escaping" e.Obs.Log.msg (str "msg");
+  (match Obs.Json.member "repeats" json with
+  | Some (Obs.Json.Num n) -> check_close "repeats" 3. n
+  | _ -> Alcotest.fail "repeats field missing");
+  (match Obs.Json.member "fields" json with
+  | Some (Obs.Json.Obj [ ("k", Obs.Json.Str v) ]) ->
+    Alcotest.(check string) "field value" "v w" v
+  | _ -> Alcotest.fail "fields object missing");
+  (* human rendering stays single-line even for multi-line messages *)
+  let human = Obs.Log.render_human { e with msg = "boom" } in
+  check_true "human line mentions module" (contains human "srv: boom")
+
+(* ------------------------------------------------------------------ *)
+(* series *)
+
+let test_series_wraparound () =
+  let s = Obs.Series.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Obs.Series.append s ~name:"x" ~t_s:(float_of_int i) (float_of_int (10 * i))
+  done;
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "ring keeps the newest capacity points, oldest first"
+    [ (3., 30.); (4., 40.); (5., 50.); (6., 60.) ]
+    (Obs.Series.points s "x");
+  Alcotest.(check (list string)) "names" [ "x" ] (Obs.Series.names s);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "unknown name is empty" [] (Obs.Series.points s "y")
+
+let test_series_tick_rates () =
+  Obs.Metrics.reset ~prefix:"t.series." ();
+  let c = Obs.Metrics.counter "t.series.reqs" in
+  let g = Obs.Metrics.gauge "t.series.depth" in
+  let h = Obs.Metrics.histogram "t.series.lat" in
+  let s = Obs.Series.create ~capacity:16 () in
+  Obs.Metrics.set g 7.;
+  Obs.Series.tick ~prefix:"t.series." ~now:100. s;
+  (* first tick primes baselines: gauge recorded, no rates yet *)
+  check_true "no rate after one tick"
+    (Obs.Series.points s "t.series.reqs.rate" = []);
+  Obs.Metrics.incr ~by:30. c;
+  Obs.Metrics.observe h 1.0;
+  Obs.Metrics.observe h 1.0;
+  Obs.Series.tick ~prefix:"t.series." ~now:110. s;
+  (match Obs.Series.points s "t.series.reqs.rate" with
+  | [ (t, rate) ] ->
+    check_close "rate timestamp" 110. t;
+    check_close "counter delta over elapsed" 3. rate
+  | pts -> Alcotest.failf "expected one rate point, got %d" (List.length pts));
+  (match Obs.Series.points s "t.series.depth" with
+  | (_, v0) :: _ -> check_close "gauge sampled" 7. v0
+  | [] -> Alcotest.fail "gauge series missing");
+  (match Obs.Series.points s "t.series.lat.p50" with
+  | [ (_, p50) ] -> check_close ~tol:0.15 "histogram p50 track" 1.0 p50
+  | pts -> Alcotest.failf "expected one p50 point, got %d" (List.length pts));
+  (match Obs.Series.points s "t.series.lat.rate" with
+  | [ (_, rate) ] -> check_close "histogram count rate" 0.2 rate
+  | pts -> Alcotest.failf "expected one lat rate point, got %d" (List.length pts))
+
+let test_series_window () =
+  let s = Obs.Series.create ~capacity:32 () in
+  List.iter
+    (fun (t, v) -> Obs.Series.append s ~name:"w" ~t_s:t v)
+    [ (0., 100.); (50., 2.); (55., 4.); (60., 6.) ];
+  (match Obs.Series.window ~last_s:10. s "w" with
+  | Some w ->
+    Alcotest.(check int) "points in window" 3 w.Obs.Series.n;
+    check_close "last" 6. w.Obs.Series.last;
+    check_close "mean" 4. w.Obs.Series.mean;
+    check_close "min" 2. w.Obs.Series.min;
+    check_close "max" 6. w.Obs.Series.max
+  | None -> Alcotest.fail "window empty");
+  (match Obs.Series.window s "w" with
+  | Some w -> Alcotest.(check int) "default window takes all" 4 w.Obs.Series.n
+  | None -> Alcotest.fail "full window empty");
+  check_true "unknown series has no window" (Obs.Series.window s "nope" = None)
+
+let test_series_concurrent_ticks () =
+  Obs.Metrics.reset ~prefix:"t.conc." ();
+  let c = Obs.Metrics.counter "t.conc.reqs" in
+  let s = Obs.Series.create ~capacity:8 () in
+  let pool = Parallel.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      Parallel.Pool.run_tasks pool
+        (Array.init 4 (fun k () ->
+             for i = 1 to 50 do
+               Obs.Metrics.incr c;
+               Obs.Series.tick ~prefix:"t.conc."
+                 ~now:(float_of_int ((100 * k) + i))
+                 s;
+               Obs.Series.append s ~name:"extra"
+                 ~t_s:(float_of_int ((100 * k) + i))
+                 (float_of_int i)
+             done)));
+  (* thread-safety smoke: bounded memory, consistent rings, no tearing *)
+  List.iter
+    (fun name ->
+      let pts = Obs.Series.points s name in
+      check_true ("capacity bound on " ^ name) (List.length pts <= 8);
+      check_true ("timestamps finite in " ^ name)
+        (List.for_all (fun (t, v) -> Float.is_finite t && Float.is_finite v) pts))
+    (Obs.Series.names s);
+  check_true "extra ring survived" (List.mem "extra" (Obs.Series.names s))
+
+(* ------------------------------------------------------------------ *)
+(* prometheus exposition *)
+
+let prom_lines text = String.split_on_char '\n' text
+
+let sample_value text line_prefix =
+  match
+    List.find_opt
+      (fun l -> String.length l >= String.length line_prefix
+                && String.sub l 0 (String.length line_prefix) = line_prefix)
+      (prom_lines text)
+  with
+  | None -> Alcotest.failf "no sample starting with %S in:\n%s" line_prefix text
+  | Some l -> (
+    match String.rindex_opt l ' ' with
+    | None -> Alcotest.failf "malformed sample line %S" l
+    | Some i ->
+      float_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+
+let test_prom_exposition () =
+  Obs.Metrics.reset ~prefix:"t.prom." ();
+  let c =
+    Obs.Metrics.counter
+      ~labels:[ ("z", "last"); ("a", {|qu"ote\back|} ^ "\nnl") ]
+      "t.prom.hits"
+  in
+  Obs.Metrics.incr ~by:42. c;
+  let g = Obs.Metrics.gauge "t.prom.depth" in
+  Obs.Metrics.set g 3.5;
+  let h = Obs.Metrics.histogram "t.prom.lat" in
+  List.iter (Obs.Metrics.observe h) [ 0.001; 0.001; 0.1; 10. ];
+  let text = Obs.Prom.expose ~prefix:"t.prom." () in
+  (* names sanitized, TYPE lines present *)
+  check_true "counter TYPE" (contains text "# TYPE t_prom_hits counter");
+  check_true "gauge TYPE" (contains text "# TYPE t_prom_depth gauge");
+  check_true "histogram TYPE" (contains text "# TYPE t_prom_lat histogram");
+  (* label values escaped: backslash, quote, newline *)
+  check_true "label escaping"
+    (contains text {|a="qu\"ote\\back\nnl"|});
+  (* labels render sorted (a before z) *)
+  check_true "label ordering" (contains text {|t_prom_hits{a=|});
+  check_close "counter value" 42. (sample_value text "t_prom_hits{");
+  check_close "gauge value" 3.5 (sample_value text "t_prom_depth ");
+  (* histogram: cumulative buckets, +Inf equals count, sum and count *)
+  check_close "bucket cumulative count is total" 4.
+    (sample_value text {|t_prom_lat_bucket{le="+Inf"}|});
+  check_close "histogram count" 4. (sample_value text "t_prom_lat_count");
+  check_close "histogram sum" 10.102 (sample_value text "t_prom_lat_sum");
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if
+          String.length l > 18
+          && String.sub l 0 18 = {|t_prom_lat_bucket{|}
+        then
+          String.rindex_opt l ' '
+          |> Option.map (fun i ->
+                 float_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      (prom_lines text)
+  in
+  check_true "at least underflow-free buckets + Inf" (List.length bucket_counts >= 2);
+  check_true "bucket counts are non-decreasing"
+    (fst
+       (List.fold_left
+          (fun (ok, prev) v -> (ok && v >= prev, v))
+          (true, Float.neg_infinity) bucket_counts))
+
+let test_prom_name_sanitization () =
+  Alcotest.(check string) "dots to underscores" "service_requests_solved"
+    (Obs.Prom.sanitize_name "service.requests.solved");
+  Alcotest.(check string) "leading digit prefixed" "_9lives"
+    (Obs.Prom.sanitize_name "9lives");
+  Alcotest.(check string) "empty name" "_" (Obs.Prom.sanitize_name "");
+  Alcotest.(check string) "escape" {|a\\b\"c\nd|}
+    (Obs.Prom.escape_label_value "a\\b\"c\nd")
+
+(* ------------------------------------------------------------------ *)
+(* bench diff *)
+
+let bench_record figs =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "bench.v1");
+      ( "figures",
+        Obs.Json.Arr
+          (List.map
+             (fun (id, seconds, roots, evals) ->
+               Obs.Json.Obj
+                 [
+                   ("id", Obs.Json.Str id);
+                   ("seconds", Obs.Json.Num seconds);
+                   ("root_calls", Obs.Json.Num roots);
+                   ("fixed_point_calls", Obs.Json.Num 3.);
+                   ("objective_evaluations", Obs.Json.Num evals);
+                 ])
+             figs) );
+    ]
+
+let test_bench_diff_identical () =
+  let r = bench_record [ ("fig4", 1.0, 1000., 5e4); ("fig7", 2.0, 2000., 9e4) ] in
+  match Obs.Bench_diff.diff ~baseline:r ~current:r () with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+    check_true "identical records pass" (Obs.Bench_diff.ok report);
+    Alcotest.(check int) "no regressions" 0
+      (List.length (Obs.Bench_diff.regressions report));
+    Alcotest.(check (list string)) "both figures compared" [ "fig4"; "fig7" ]
+      (List.sort compare report.Obs.Bench_diff.compared)
+
+let test_bench_diff_detects_slowdown () =
+  let baseline = bench_record [ ("fig4", 1.0, 1000., 5e4); ("fig7", 2.0, 2000., 9e4) ] in
+  let current =
+    Obs.Bench_diff.scale_seconds baseline ~by:[ ("fig7", 2.0) ]
+  in
+  match Obs.Bench_diff.diff ~baseline ~current () with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+    check_true "2x slowdown fails the gate" (not (Obs.Bench_diff.ok report));
+    (match Obs.Bench_diff.regressions report with
+    | [ v ] ->
+      Alcotest.(check string) "figure" "fig7" v.Obs.Bench_diff.figure;
+      Alcotest.(check string) "metric" "seconds" v.Obs.Bench_diff.metric;
+      check_close "current doubled" 4.0 v.Obs.Bench_diff.current;
+      check_true "above the allowed band"
+        (v.Obs.Bench_diff.current > v.Obs.Bench_diff.allowed)
+    | vs -> Alcotest.failf "expected exactly one regression, got %d" (List.length vs));
+    (* speedups never regress *)
+    let faster = Obs.Bench_diff.scale_seconds baseline ~by:[ ("fig7", 0.25) ] in
+    (match Obs.Bench_diff.diff ~baseline ~current:faster () with
+    | Ok r -> check_true "faster is fine" (Obs.Bench_diff.ok r)
+    | Error msg -> Alcotest.fail msg)
+
+let test_bench_diff_counts_and_skew () =
+  let baseline = bench_record [ ("fig4", 1.0, 1000., 5e4); ("gone", 1.0, 10., 10.) ] in
+  let current = bench_record [ ("fig4", 1.0, 2000., 5e4); ("new", 1.0, 10., 10.) ] in
+  match Obs.Bench_diff.diff ~baseline ~current () with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+    (match Obs.Bench_diff.regressions report with
+    | [ v ] ->
+      Alcotest.(check string) "deterministic count regressed" "root_calls"
+        v.Obs.Bench_diff.metric
+    | vs -> Alcotest.failf "expected one regression, got %d" (List.length vs));
+    Alcotest.(check (list string)) "id skew: baseline side" [ "gone" ]
+      report.Obs.Bench_diff.only_in_baseline;
+    Alcotest.(check (list string)) "id skew: current side" [ "new" ]
+      report.Obs.Bench_diff.only_in_current;
+    check_true "skew alone is not a regression, but gate reports it"
+      (not (Obs.Bench_diff.ok report)
+       || Obs.Bench_diff.regressions report <> []);
+    let t = Obs.Bench_diff.table report in
+    check_true "table mentions the regression"
+      (contains (Report.Table.to_string t) "REGRESSED");
+    check_true "summary mentions skew"
+      (contains (Obs.Bench_diff.summary report) "gone")
+
+let test_bench_diff_errors () =
+  (match Obs.Bench_diff.diff ~baseline:(Obs.Json.Obj []) ~current:(bench_record []) () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "record without figures must be rejected");
+  match Obs.Bench_diff.load_file ~path:"/nonexistent/bench.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must be an Error"
+
+(* ------------------------------------------------------------------ *)
+(* histogram boundary behaviour (pins the interpolation fix) *)
+
+let test_histogram_point_masses () =
+  List.iter
+    (fun v ->
+      Obs.Metrics.reset ~prefix:"t.point." ();
+      let h = Obs.Metrics.histogram "t.point.h" in
+      for _ = 1 to 100 do
+        Obs.Metrics.observe h v
+      done;
+      List.iter
+        (fun p ->
+          check_close
+            (Printf.sprintf "point mass at %g: p%g exact" v p)
+            v
+            (Obs.Metrics.percentile h p))
+        [ 1.; 50.; 99.; 100. ])
+    [ 1.0; 1e-3; 1e3 ]
+
+let test_histogram_extreme_values () =
+  Obs.Metrics.reset ~prefix:"t.extreme." ();
+  let h = Obs.Metrics.histogram "t.extreme.h" in
+  (* below, at and beyond the bucketed range: must clamp, never crash *)
+  List.iter (Obs.Metrics.observe h) [ 1e-12; 1e-9; 1.0; 1e9; 1e12 ];
+  List.iter
+    (fun p ->
+      let v = Obs.Metrics.percentile h p in
+      check_true (Printf.sprintf "p%g finite" p) (Float.is_finite v);
+      check_true "within observed range" (v >= 1e-12 && v <= 1e12))
+    [ 0.; 10.; 50.; 90.; 100. ];
+  let s = Obs.Metrics.summarize h in
+  Alcotest.(check int) "all observations counted" 5 s.Obs.Metrics.count;
+  check_true "cumulative bucket edges cover the count"
+    (match List.rev s.Obs.Metrics.buckets_le with
+    | (_, last) :: _ -> last = s.Obs.Metrics.count
+    | [] -> false)
+
 let () =
   Alcotest.run "obs"
     [
@@ -298,6 +690,34 @@ let () =
           quick "percentiles: uniform 1..1000" test_histogram_percentiles_uniform;
           quick "percentiles: bimodal latency" test_histogram_percentiles_bimodal;
           quick "underflow bucket" test_histogram_underflow;
+          quick "percentiles: point masses exact" test_histogram_point_masses;
+          quick "percentiles: extreme decades clamp" test_histogram_extreme_values;
+        ] );
+      ( "log",
+        [
+          quick "level and module filtering" test_log_levels;
+          quick "level names parse" test_log_level_names;
+          quick "rate-limited repeats coalesce and drain" test_log_rate_limit;
+          quick "jsonl rendering round-trips" test_log_jsonl_round_trip;
+        ] );
+      ( "series",
+        [
+          quick "ring wraparound" test_series_wraparound;
+          quick "tick derives rates and quantile tracks" test_series_tick_rates;
+          quick "windowed aggregation" test_series_window;
+          quick "concurrent ticks stay bounded" test_series_concurrent_ticks;
+        ] );
+      ( "prom",
+        [
+          quick "exposition format" test_prom_exposition;
+          quick "name sanitization and escaping" test_prom_name_sanitization;
+        ] );
+      ( "bench_diff",
+        [
+          quick "identical records pass" test_bench_diff_identical;
+          quick "2x slowdown detected" test_bench_diff_detects_slowdown;
+          quick "count regressions and id skew" test_bench_diff_counts_and_skew;
+          quick "malformed inputs are errors" test_bench_diff_errors;
         ] );
       ( "trace",
         [

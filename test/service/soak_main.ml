@@ -84,6 +84,13 @@ let () =
     | Error msg -> fail "loadgen failed: %s" msg
     | Ok report ->
       print_endline (Service.Loadgen.report_to_string report);
+      (* the full report — counts, chaos toggles per mode, latency
+         distribution — as a CSV artifact next to the soak log *)
+      let csv = Filename.concat (Filename.get_temp_dir_name ()) "soak_loadgen.csv" in
+      (try
+         Service.Loadgen.write_csv ~path:csv report;
+         Printf.printf "loadgen report written to %s\n" csv
+       with Sys_error msg -> fail "loadgen csv write failed: %s" msg);
       check "every request solved, degraded or shed"
         (Service.Loadgen.report_ok report);
       check "full load was sent" (report.Service.Loadgen.sent = requests);

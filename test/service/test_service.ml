@@ -61,6 +61,8 @@ let test_request_roundtrips () =
   roundtrip_request "shutdown" P.Shutdown;
   roundtrip_request "metrics" (P.Metrics { prefix = "" });
   roundtrip_request "metrics-prefix" (P.Metrics { prefix = "service." });
+  roundtrip_request "metrics-prom" (P.Metrics_prom { prefix = "" });
+  roundtrip_request "metrics-prom-prefix" (P.Metrics_prom { prefix = "service." });
   roundtrip_request "solve"
     (P.Solve { id = "r1"; market = mk_market (); params = P.no_params });
   roundtrip_request "solve-params"
@@ -115,6 +117,10 @@ let test_response_roundtrips () =
   roundtrip_response "rejected-chaos" (P.Rejected { id = Some "r6"; reason = P.Chaos_disabled });
   roundtrip_response "metrics"
     (P.Metrics_snapshot (Obs.Json.Obj [ ("schema", Obs.Json.Str "obs.metrics.v1") ]));
+  (* exposition text is newline- and quote-heavy: the frame must escape
+     it into a single wire line and round-trip it byte-for-byte *)
+  roundtrip_response "prom-text"
+    (P.Prom_text "# TYPE a counter\na{l=\"x y\",m=\"q\\\"z\"} 1\n");
   roundtrip_response "chaos-ack" (P.Chaos_ack { mode = "spike" });
   roundtrip_response "pong" P.Pong;
   roundtrip_response "bye" P.Bye
@@ -523,6 +529,119 @@ let test_daemon_end_to_end () =
   Cl.close client;
   Alcotest.(check int) "clean exit" 0 (wait_exit pid)
 
+(* Prometheus exposition: frame and plain HTTP ----------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let read_all_fd fd =
+  let buf = Buffer.create 1024 in
+  let b = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd b 0 4096 with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf b 0 n;
+      go ()
+  in
+  go ()
+
+let http_get socket target =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" target in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let response = read_all_fd fd in
+  Unix.close fd;
+  response
+
+let test_daemon_prometheus () =
+  with_daemon @@ fun ~socket ~pid ->
+  let address = Sv.Unix_path socket in
+  let client = connect_retry address in
+  let market = mk_market () in
+  (match Cl.call client (P.Solve { id = "p1"; market; params = P.no_params }) with
+  | Ok (P.Solved _) -> ()
+  | Ok r -> Alcotest.failf "solve answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "solve failed: %s" msg);
+  (* exposition over the framed protocol *)
+  (match Cl.call client (P.Metrics_prom { prefix = "service." }) with
+  | Ok (P.Prom_text text) ->
+    check_true "solved counter exposed" (contains text "service_requests_solved");
+    check_true "TYPE comments present"
+      (contains text "# TYPE service_requests_solved counter");
+    check_true "latency histogram buckets"
+      (contains text "service_solve_latency_s_bucket{le=");
+    check_true "+Inf bucket closes the histogram" (contains text {|le="+Inf"|});
+    check_true "histogram count" (contains text "service_solve_latency_s_count");
+    check_true "journal gauge exposed even without a journal"
+      (contains text "service_journal_pending")
+  | Ok r -> Alcotest.failf "metrics_prom answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "metrics_prom failed: %s" msg);
+  (* the loadgen convenience wrapper sees the same text *)
+  (match Service.Loadgen.fetch_prom ~prefix:"service." address with
+  | Ok text -> check_true "fetch_prom works" (contains text "service_requests_solved")
+  | Error msg -> Alcotest.failf "fetch_prom failed: %s" msg);
+  (* the same exposition over plain HTTP on the same socket *)
+  let response = http_get socket "/metrics" in
+  check_true "HTTP 200"
+    (String.length response >= 12 && String.sub response 0 12 = "HTTP/1.0 200");
+  check_true "prometheus content type"
+    (contains response "text/plain; version=0.0.4");
+  check_true "body has the latency histogram"
+    (contains response "service_solve_latency_s");
+  check_true "body has the solved counter"
+    (contains response "service_requests_solved");
+  let missing = http_get socket "/nope" in
+  check_true "unknown path is 404"
+    (String.length missing >= 12 && String.sub missing 0 12 = "HTTP/1.0 404");
+  (* the daemon survives the HTTP detours and still speaks frames *)
+  (match Cl.call client P.Shutdown with
+  | Ok P.Bye -> ()
+  | Ok r -> Alcotest.failf "shutdown answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "shutdown failed: %s" msg);
+  Cl.close client;
+  Alcotest.(check int) "clean exit" 0 (wait_exit pid)
+
+(* Loadgen CSV artifact ---------------------------------------------- *)
+
+let test_loadgen_csv_table () =
+  let report =
+    {
+      Service.Loadgen.sent = 10;
+      solved = 8;
+      degraded = 1;
+      shed = 1;
+      rejected = 0;
+      other = 0;
+      chaos_toggles = 2;
+      chaos_sent = [ ("off", 1); ("spike", 1) ];
+      unanswered = 0;
+      errors = [];
+      wall_s = 1.5;
+      latency = None;
+    }
+  in
+  let csv = Report.Table.to_csv_string (Service.Loadgen.csv_table report) in
+  check_true "sent row" (contains csv "sent,10");
+  check_true "shed row" (contains csv "shed,1");
+  check_true "chaos mode rows" (contains csv "chaos.spike,1");
+  check_true "no latency rows without observations"
+    (not (contains csv "latency.count"));
+  Obs.Metrics.reset ~prefix:"t.lg." ();
+  let h = Obs.Metrics.histogram "t.lg.h" in
+  List.iter (Obs.Metrics.observe h) [ 0.01; 0.02; 0.04 ];
+  let s = Obs.Metrics.summarize h in
+  let csv2 =
+    Report.Table.to_csv_string
+      (Service.Loadgen.csv_table { report with Service.Loadgen.latency = Some s })
+  in
+  check_true "latency count row" (contains csv2 "latency.count,3");
+  check_true "latency quantile rows" (contains csv2 "latency.p99_s,");
+  check_true "latency sum row" (contains csv2 "latency.sum_s,")
+
 (* SIGKILL mid-load, restart on the same journal --------------------- *)
 
 (* Count ack events per seq straight off the journal file: [recover]
@@ -628,6 +747,8 @@ let suite =
       quick "solve_one: cache cuts solver evaluations" test_solve_one_cache_effectiveness;
       quick "solve_one: impossible budget degrades" test_solve_one_degrades_on_budget;
       quick "daemon: end-to-end request mix" test_daemon_end_to_end;
+      quick "daemon: prometheus over frame and HTTP" test_daemon_prometheus;
+      quick "loadgen: csv artifact shape" test_loadgen_csv_table;
       quick "daemon: SIGKILL mid-load, restart replays the journal"
         test_kill_and_restart_journal;
     ] )
