@@ -1,21 +1,34 @@
 (* sublint: the repo's own static-analysis gate.
 
-   Parses every .ml/.mli under the requested directories with the
-   compiler's parser, runs the Lint.Rules set, compares against the
-   committed lint.baseline ratchet and exits non-zero on any fresh
-   violation, stale baseline entry or unparseable file. *)
+   Two-phase project analyzer: every .ml/.mli under the requested
+   directories is parsed into a per-file index (in parallel, served
+   from the content-digest lint.cache when warm), then the syntactic
+   rule set, the interprocedural EXN-ESCAPE / SYNC-DISCIPLINE rules,
+   suppression accounting and the committed lint.baseline ratchet run
+   over the whole project. Exits non-zero on any fresh violation or
+   stale baseline entry; unparseable files surface as PARSE-ERROR
+   findings, not aborts. *)
 
 let usage =
   "sublint [options] [dir ...]\n\
-   Static-analysis pass enforcing the solver-layer invariants (DESIGN §10).\n\
+   Static-analysis pass enforcing the solver-layer invariants (DESIGN §10/§15).\n\
    Scans lib/ bin/ bench/ by default; exits 1 on findings beyond the\n\
-   committed baseline, on stale baseline entries, and on parse errors."
+   committed baseline and on stale baseline entries."
+
+let baselinable (f : Lint.Finding.t) =
+  match Lint.Rules.find f.Lint.Finding.rule with
+  | Some r -> r.Lint.Rules.baselinable
+  | None -> true
 
 let () =
   let root = ref "." in
   let baseline_path = ref "lint.baseline" in
   let json_path = ref "" in
+  let sarif_path = ref "" in
+  let cache_path = ref "lint.cache" in
+  let no_cache = ref false in
   let update = ref false in
+  let prune = ref false in
   let show_all = ref false in
   let dirs = ref [] in
   let spec =
@@ -27,9 +40,26 @@ let () =
       ( "--json",
         Arg.Set_string json_path,
         "PATH write the lint.v1 JSON record here ('-' for stdout)" );
+      ( "--sarif",
+        Arg.Set_string sarif_path,
+        "PATH write a SARIF 2.1.0 report here ('-' for stdout)" );
+      ( "--jobs",
+        Arg.Int Parallel.Runtime.set_jobs,
+        "N domains for the parse/index phase (default: all cores)" );
+      ( "--cache",
+        Arg.Set_string cache_path,
+        "PATH incremental index cache (default lint.cache)" );
+      ( "--no-cache",
+        Arg.Set no_cache,
+        " neither read nor write the incremental cache" );
       ( "--update-baseline",
         Arg.Set update,
-        " regenerate the baseline from the current findings and exit 0" );
+        " regenerate the baseline from the current findings and exit 0 \
+         (semantic rules are never baselined)" );
+      ( "--prune-baseline",
+        Arg.Set prune,
+        " drop stale baseline entries (allowances are only ever lowered), \
+         then report as usual" );
       ("--all", Arg.Set show_all, " print baselined findings too, not just new ones");
     ]
   in
@@ -37,7 +67,18 @@ let () =
   let dirs =
     match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds
   in
-  let report = Lint.Driver.scan ~root:!root ~dirs in
+  let cache =
+    if !no_cache then None
+    else Some (Lint.Cache.load ~version:Lint.Driver.cache_version !cache_path)
+  in
+  let report = Lint.Driver.scan ?cache ~root:!root ~dirs () in
+  (match cache with
+  | None -> ()
+  | Some c -> (
+    match Lint.Cache.save c !cache_path with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "sublint: cannot write cache %s: %s\n" !cache_path msg));
   let baseline =
     if !update then Lint.Baseline.empty
     else
@@ -47,43 +88,54 @@ let () =
         Printf.eprintf "sublint: malformed baseline %s: %s\n" !baseline_path msg;
         exit 2
   in
-  let drift = Lint.Baseline.diff ~baseline report.Lint.Driver.findings in
   if !update then begin
-    Lint.Baseline.save ~path:!baseline_path
-      (Lint.Baseline.of_findings report.Lint.Driver.findings);
-    Printf.printf "%s\nsublint: wrote %d allowances to %s\n"
+    let allow = List.filter baselinable report.Lint.Driver.findings in
+    Lint.Baseline.save ~path:!baseline_path (Lint.Baseline.of_findings allow);
+    let drift = Lint.Baseline.diff ~baseline report.Lint.Driver.findings in
+    Printf.printf
+      "%s\nsublint: wrote %d allowances to %s (%d findings of non-baselinable \
+       rules left active)\n"
       (Lint.Driver.summary report ~drift)
-      (List.length report.Lint.Driver.findings)
-      !baseline_path;
-    List.iter
-      (fun (file, msg) -> Printf.eprintf "sublint: cannot parse %s: %s\n" file msg)
-      report.Lint.Driver.parse_errors;
-    exit (if report.Lint.Driver.parse_errors = [] then 0 else 1)
+      (List.length allow) !baseline_path
+      (List.length report.Lint.Driver.findings - List.length allow);
+    exit 0
   end;
+  let baseline =
+    if !prune then begin
+      let pruned = Lint.Baseline.prune baseline report.Lint.Driver.findings in
+      Lint.Baseline.save ~path:!baseline_path pruned;
+      Printf.printf "sublint: pruned %d stale allowance(s) from %s (%d -> %d)\n"
+        (Lint.Baseline.total baseline - Lint.Baseline.total pruned)
+        !baseline_path
+        (Lint.Baseline.total baseline)
+        (Lint.Baseline.total pruned);
+      pruned
+    end
+    else baseline
+  in
+  let drift = Lint.Baseline.diff ~baseline report.Lint.Driver.findings in
   let flagged = Lint.Driver.with_freshness report ~drift in
   let to_show =
     if !show_all then flagged else List.filter (fun (_, fresh) -> fresh) flagged
   in
-  (* with --json - the JSON record owns stdout; human output moves to stderr *)
-  let hout = if !json_path = "-" then stderr else stdout in
+  (* with --json/--sarif on '-' a JSON record owns stdout; human output
+     moves to stderr *)
+  let hout = if !json_path = "-" || !sarif_path = "-" then stderr else stdout in
   if to_show <> [] then
     output_string hout (Report.Table.to_string (Lint.Driver.findings_table to_show));
   List.iter
     (fun (rule, file, allowed, actual) ->
       Printf.fprintf hout
-        "stale baseline: %s allows %d x %s but only %d remain — regenerate with \
-         --update-baseline\n"
+        "stale baseline: %s allows %d x %s but only %d remain — drop the dead \
+         allowance with --prune-baseline\n"
         file allowed rule actual)
     drift.Lint.Baseline.stale;
-  List.iter
-    (fun (file, msg) -> Printf.eprintf "sublint: cannot parse %s: %s\n" file msg)
-    report.Lint.Driver.parse_errors;
   Printf.fprintf hout "%s\n" (Lint.Driver.summary report ~drift);
   flush hout;
   if !json_path <> "" then
     Obs.Export.write_json ~path:!json_path
       (Lint.Driver.json_report ~root:!root report ~drift);
-  let failed =
-    (not (Lint.Baseline.clean drift)) || report.Lint.Driver.parse_errors <> []
-  in
-  exit (if failed then 1 else 0)
+  if !sarif_path <> "" then
+    Obs.Export.write_json ~path:!sarif_path
+      (Lint.Sarif.report ~root:!root ~results:flagged);
+  exit (if Lint.Baseline.clean drift then 0 else 1)

@@ -37,7 +37,7 @@ let q_levels () = [| 0.; 0.5; 1.0; 1.5; 2.0 |]
 
 let price_grid ?(points = 41) ?(p_max = 2.) () =
   let grid = Grid.linspace 0. p_max points in
-  if Array.length grid > 0 && grid.(0) = 0. then grid.(0) <- 1e-9;
+  if Array.length grid > 0 && grid.(0) <= 0. then grid.(0) <- 1e-9;
   grid
 
 let random_cp ?(value_hi = 1.5) rng =

@@ -81,7 +81,15 @@ type policy_effect = {
 let policy_effect ?(dp_dq = 0.) game ~subsidies =
   let n = Subsidy_game.dim game in
   let partial_q = ds_dq game ~subsidies in
-  let partial_p = if dp_dq = 0. then Vec.zeros n else ds_dp game ~subsidies in
+  let partial_p =
+    if
+      (dp_dq = 0.
+      [@sublint.allow "NO-FLOAT-EQ"
+          "exact sentinel: 0. is the ?dp_dq default meaning no price \
+           passthrough; any caller-supplied derivative is used verbatim"])
+    then Vec.zeros n
+    else ds_dp game ~subsidies
+  in
   let ds_dq_total = Vec.axpy dp_dq partial_p partial_q in
   let dcharge_dq = Vec.init n (fun i -> dp_dq -. ds_dq_total.(i)) in
   let st = Subsidy_game.state game ~subsidies in
@@ -127,7 +135,14 @@ let condition17_margin game effect ~state i =
   let st = state in
   let t_i = st.System.charges.(i) in
   let sys = Subsidy_game.system game in
-  if q <= 0. || t_i = 0. || st.System.phi <= 0. then effect.dthroughput_dq.(i)
+  if
+    q <= 0.
+    || (t_i = 0.
+       [@sublint.allow "NO-FLOAT-EQ"
+           "exact division guard for q /. t_i below; a tolerance would \
+            misclassify small genuine charges as zero"])
+    || st.System.phi <= 0.
+  then effect.dthroughput_dq.(i)
   else begin
     let cp = sys.System.cps.(i) in
     let eps_t_q = effect.dcharge_dq.(i) *. q /. t_i in

@@ -92,7 +92,12 @@ let threshold_tau g ~subsidies i =
   let margin = (cp g i).Econ.Cp.value -. si in
   let m = st.System.populations.(i) in
   let eps_m_s = -.population_slope g st i *. si /. m in
-  if st.System.phi = 0. then margin *. eps_m_s
+  if
+    (st.System.phi = 0.
+    [@sublint.allow "NO-FLOAT-EQ"
+        "exact sentinel: the zero-utilization branch of System.state assigns \
+         phi = 0. literally, and rates.(i) may be 0 there"])
+  then margin *. eps_m_s
   else begin
     let eps_lambda_phi =
       rate_slope g st i *. st.System.phi /. st.System.rates.(i)

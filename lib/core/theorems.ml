@@ -204,8 +204,12 @@ let theorem6 game (eq : Nash.equilibrium) =
     compare_on "theorem6.ds_dq" dq_formula dq_numeric;
     compare_on "theorem6.ds_dp" dp_formula dp_numeric;
     mk "theorem6.corners-dq"
-      (Array.for_all (fun i -> dq_formula.(i) = 0.) part.Sensitivity.lower
-      && Array.for_all (fun i -> dq_formula.(i) = 1.) part.Sensitivity.upper)
+      (Array.for_all
+         (fun i -> Float.abs dq_formula.(i) <= 1e-12)
+         part.Sensitivity.lower
+      && Array.for_all
+           (fun i -> Float.abs (dq_formula.(i) -. 1.) <= 1e-12)
+           part.Sensitivity.upper)
       "N- stays 0, N+ tracks q";
   ]
 

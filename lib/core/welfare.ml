@@ -48,7 +48,12 @@ let corollary2 ?dp_dq game ~subsidies =
   let w = Vec.init n (fun i -> st.System.rates.(i) *. effect.Sensitivity.dpopulation_dq.(i)) in
   let w_total = Vec.sum w in
   let lhs =
-    if w_total = 0. then Float.nan
+    if
+      (w_total = 0.
+      [@sublint.allow "NO-FLOAT-EQ"
+          "exact division guard: the weighted mean below divides by w_total, \
+           and exactly-zero weight mass makes it undefined (NaN)"])
+    then Float.nan
     else begin
       let acc = ref 0. in
       Array.iteri

@@ -24,7 +24,15 @@ let exponential_fit samples =
       ss_res := !ss_res +. ((y -. predicted.(k)) ** 2.);
       ss_tot := !ss_tot +. ((y -. mean) ** 2.))
     response;
-  let r_square = if !ss_tot = 0. then 1. else 1. -. (!ss_res /. !ss_tot) in
+  let r_square =
+    if
+      (!ss_tot = 0.
+      [@sublint.allow "NO-FLOAT-EQ"
+          "exact division guard: a constant response series gives ss_tot \
+           exactly 0. and a perfect fit by convention"])
+    then 1.
+    else 1. -. (!ss_res /. !ss_tot)
+  in
   { scale = exp coeffs.(0); rate = -.coeffs.(1); r_square }
 
 let demand samples =

@@ -62,7 +62,12 @@ let derivative d t = d.df t
 
 let elasticity d t =
   let m = d.f t in
-  if m = 0. then invalid_arg "Demand.elasticity: zero population";
+  if
+    (m = 0.
+    [@sublint.allow "NO-FLOAT-EQ"
+        "exact division guard: the elasticity below divides by m; only an \
+         exactly-zero population is undefined"])
+  then invalid_arg "Demand.elasticity: zero population";
   d.df t *. t /. m
 
 let scale_population d ~kappa =

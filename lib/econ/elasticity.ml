@@ -1,7 +1,12 @@
 open Numerics
 
 let of_derivative ~dydx ~x ~y =
-  if y = 0. then invalid_arg "Elasticity.of_derivative: y = 0";
+  if
+    (y = 0.
+    [@sublint.allow "NO-FLOAT-EQ"
+        "exact division guard: the elasticity below divides by y; only an \
+         exactly-zero level is undefined"])
+  then invalid_arg "Elasticity.of_derivative: y = 0";
   dydx *. x /. y
 
 let numeric ?h f x =

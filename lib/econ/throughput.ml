@@ -57,7 +57,12 @@ let derivative th phi =
 let elasticity th phi =
   check_phi phi;
   let l = th.f phi in
-  if l = 0. then invalid_arg "Throughput.elasticity: zero rate";
+  if
+    (l = 0.
+    [@sublint.allow "NO-FLOAT-EQ"
+        "exact division guard: the elasticity below divides by l; only an \
+         exactly-zero rate is undefined"])
+  then invalid_arg "Throughput.elasticity: zero rate";
   th.df phi *. phi /. l
 
 let scale_rate th ~kappa =

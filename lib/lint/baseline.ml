@@ -108,3 +108,12 @@ let diff ~baseline findings =
   { fresh; stale }
 
 let clean d = d.fresh = [] && d.stale = []
+
+let prune baseline findings =
+  let actual = of_findings findings in
+  M.filter_map
+    (fun (rule, file) allowed ->
+      match min allowed (count actual ~rule ~file) with
+      | 0 -> None
+      | n -> Some n)
+    baseline

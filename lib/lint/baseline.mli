@@ -52,6 +52,13 @@ type drift = {
           exceeds reality: the baseline must be regenerated *)
 }
 
+val prune : t -> Finding.t list -> t
+(** Ratchet allowances down to reality: each key's allowance becomes
+    [min allowed actual] (dropped entirely at 0). Never raises an
+    allowance — fresh findings stay fresh; this is [--prune-baseline],
+    the sanctioned way to clear stale entries after fixing violations
+    without re-grandfathering anything. *)
+
 val diff : baseline:t -> Finding.t list -> drift
 (** Compare current findings against the allowance. Within one key the
     {e last} findings in report order are the fresh ones (the baseline

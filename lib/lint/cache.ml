@@ -1,0 +1,73 @@
+(* The content-digest incremental cache: path -> (digest, phase-1
+   index record). The semantic phase is recomputed every run from the
+   cached indexes, so a warm run on an unchanged tree re-parses zero
+   files and still produces byte-identical reports.
+
+   Entries are Marshal-plain (Index.file_info carries nothing from
+   Parsetree/Location) and guarded by a version string covering the
+   cache format, the rule set and the compiler, so any of those
+   changing simply discards the cache. Lookups and inserts run from
+   pool workers, hence the mutex. *)
+
+let format_tag = "sublint-cache/1"
+
+type persisted = {
+  p_version : string;
+  p_entries : (string * (string * Index.file_info)) list;
+}
+
+type t = {
+  version : string;
+  lock : Mutex.t;
+  entries : (string, string * Index.file_info) Hashtbl.t;
+}
+
+let empty ~version =
+  {
+    version = format_tag ^ "/" ^ version;
+    lock = Mutex.create ();
+    entries = Hashtbl.create 256;
+  }
+
+let load ~version path =
+  let t = empty ~version in
+  if not (Sys.file_exists path) then t
+  else begin
+    (* a stale/corrupt/foreign cache is not an error — it is just a
+       cold cache; only decode failures are absorbed, deliberately *)
+    (match
+       let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> (Marshal.from_channel ic : persisted))
+     with
+    | p when String.equal p.p_version t.version ->
+      List.iter (fun (k, v) -> Hashtbl.replace t.entries k v) p.p_entries
+    | _ -> ()
+    | exception Sys_error _ -> ()
+    | exception End_of_file -> ()
+    | exception Failure _ -> ());
+    t
+  end
+
+let find t ~path ~digest =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.entries path with
+      | Some (d, info) when String.equal d digest -> Some info
+      | Some _ | None -> None)
+
+let add t ~path ~digest info =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.replace t.entries path (digest, info))
+
+let save t path =
+  let p =
+    Mutex.protect t.lock (fun () ->
+        {
+          p_version = t.version;
+          p_entries =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.entries []
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+        })
+  in
+  Report.Fsio.write_atomic ~path (fun oc -> Marshal.to_channel oc p [])

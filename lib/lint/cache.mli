@@ -1,0 +1,26 @@
+(** The content-digest incremental cache behind [lint.cache]
+    (DESIGN §15): path -> (digest, phase-1 {!Index.file_info}).
+
+    A warm run on an unchanged tree re-parses zero files; the semantic
+    phase is recomputed from the cached indexes every run, so cached
+    and fresh runs produce byte-identical reports. Lookups/inserts are
+    mutex-guarded (they run from pool workers); persistence is
+    Marshal behind {!Report.Fsio.write_atomic}, guarded by a version
+    string (cache format + rule set + compiler) — on any mismatch or
+    decode failure the cache is simply cold, never an error. *)
+
+type t
+
+val empty : version:string -> t
+
+val load : version:string -> string -> t
+(** Read a cache file; a missing, corrupt or version-mismatched file
+    yields an empty cache. *)
+
+val find : t -> path:string -> digest:string -> Index.file_info option
+(** The cached index for [path], only if the content digest matches. *)
+
+val add : t -> path:string -> digest:string -> Index.file_info -> unit
+
+val save : t -> string -> (unit, string) result
+(** Persist atomically, entries sorted by path (deterministic bytes). *)

@@ -1,0 +1,171 @@
+(* The project call graph over module-qualified paths: nodes are
+   top-level definitions (file, dotted def name), edges are identifier
+   uses resolved against the module tables. Resolution is syntactic
+   and conservative: a use that cannot be resolved to a project
+   definition (stdlib, locals, constructors) contributes no edge. *)
+
+type project = {
+  infos : Index.file_info list;
+  lib_of : string -> string option;
+      (* repo-relative path -> capitalized wrapping-library module *)
+}
+
+type node = { n_file : string; n_def : string }
+
+let make_project ~lib_of infos = { infos; lib_of }
+
+(* ------------------------------------------------------------------ *)
+(* lookup tables *)
+
+type tables = {
+  by_lib_module : (string * string, Index.file_info) Hashtbl.t;
+  def_set : (string * string, Index.def_info) Hashtbl.t;
+  libs : (string, unit) Hashtbl.t;
+}
+
+let tables_of p =
+  let by_lib_module = Hashtbl.create 256 in
+  let def_set = Hashtbl.create 1024 in
+  let libs = Hashtbl.create 16 in
+  List.iter
+    (fun (info : Index.file_info) ->
+      (match p.lib_of info.Index.path with
+      | Some lib ->
+        Hashtbl.replace libs lib ();
+        (* .ml wins over .mli for module lookup: defs live in the .ml *)
+        if Filename.check_suffix info.Index.path ".ml" then
+          Hashtbl.replace by_lib_module (lib, info.Index.module_name) info
+        else if not (Hashtbl.mem by_lib_module (lib, info.Index.module_name))
+        then Hashtbl.replace by_lib_module (lib, info.Index.module_name) info
+      | None -> ());
+      List.iter
+        (fun (d : Index.def_info) ->
+          Hashtbl.replace def_set (info.Index.path, d.Index.d_name) d)
+        info.Index.defs)
+    p.infos;
+  { by_lib_module; def_set; libs }
+
+let dotted l = String.concat "." l
+
+(* resolve a use path written in [from_info] to a project definition *)
+let resolve_in t p (from_info : Index.file_info) path =
+  match List.rev path with
+  | [] -> None
+  | f :: rev_mods -> (
+    let mods = List.rev rev_mods in
+    let has_def file name = Hashtbl.mem t.def_set (file, name) in
+    let in_module (m : Index.file_info) rest =
+      let name = dotted (rest @ [ f ]) in
+      if has_def m.Index.path name then Some { n_file = m.Index.path; n_def = name }
+      else None
+    in
+    let qualified expanded =
+      match expanded with
+      | lib :: m :: rest when Hashtbl.mem t.libs lib -> begin
+        match Hashtbl.find_opt t.by_lib_module (lib, m) with
+        | Some info -> in_module info rest
+        | None -> None
+      end
+      | _ -> None
+    in
+    let same_library () =
+      match (p.lib_of from_info.Index.path, mods) with
+      | Some lib, m :: rest -> begin
+        match Hashtbl.find_opt t.by_lib_module (lib, m) with
+        | Some info -> in_module info rest
+        | None -> None
+      end
+      | _ -> None
+    in
+    let via_opens () =
+      List.find_map
+        (fun o -> qualified (o @ mods))
+        from_info.Index.opens
+    in
+    match mods with
+    | [] -> in_module from_info []
+    | _ -> (
+      (* same-file nested module def *)
+      match in_module from_info mods with
+      | Some n -> Some n
+      | None -> (
+        match same_library () with
+        | Some n -> Some n
+        | None -> (
+          match qualified mods with
+          | Some n -> Some n
+          | None -> via_opens ()))))
+
+(* ------------------------------------------------------------------ *)
+(* the graph *)
+
+type t = {
+  proj : project;
+  tbl : tables;
+  edges : (node, (node * Index.use_site) list) Hashtbl.t;
+  info_of : (string, Index.file_info) Hashtbl.t;
+}
+
+let build proj =
+  let tbl = tables_of proj in
+  let edges = Hashtbl.create 1024 in
+  let info_of = Hashtbl.create 256 in
+  List.iter
+    (fun (info : Index.file_info) ->
+      Hashtbl.replace info_of info.Index.path info;
+      List.iter
+        (fun (d : Index.def_info) ->
+          let from = { n_file = info.Index.path; n_def = d.Index.d_name } in
+          let outgoing =
+            List.filter_map
+              (fun (u : Index.use_site) ->
+                if u.Index.u_absorbed then None
+                else
+                  match resolve_in tbl proj info u.Index.callee with
+                  | Some n when not (n.n_file = from.n_file && n.n_def = from.n_def)
+                    -> Some (n, u)
+                  | Some _ | None -> None)
+              d.Index.uses
+          in
+          Hashtbl.replace edges from outgoing)
+        info.Index.defs)
+    proj.infos;
+  { proj; tbl; edges; info_of }
+
+let def_of g node =
+  Hashtbl.find_opt g.tbl.def_set (node.n_file, node.n_def)
+
+let info_of g file = Hashtbl.find_opt g.info_of file
+
+let node_name g node =
+  match info_of g node.n_file with
+  | Some i -> i.Index.module_name ^ "." ^ node.n_def
+  | None -> node.n_def
+
+(* breadth-first reachability from [from] over unabsorbed resolved
+   edges, skipping defs rejected by [follow]; returns every reachable
+   node paired with its call path (entry first). Deterministic: edge
+   lists preserve source order, the worklist is FIFO. *)
+let reachable ?(follow = fun _ -> true) g ~from =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let q = Queue.create () in
+  if follow from then begin
+    Hashtbl.replace seen (from.n_file, from.n_def) ();
+    Queue.add (from, [ from ]) q
+  end;
+  while not (Queue.is_empty q) do
+    let node, path = Queue.pop q in
+    out := (node, List.rev path) :: !out;
+    match Hashtbl.find_opt g.edges node with
+    | None -> ()
+    | Some outgoing ->
+      List.iter
+        (fun (n, _) ->
+          if (not (Hashtbl.mem seen (n.n_file, n.n_def))) && follow n then begin
+            Hashtbl.replace seen (n.n_file, n.n_def) ();
+            Queue.add (n, n :: path) q
+          end)
+        outgoing
+  done;
+  List.rev !out

@@ -36,11 +36,218 @@ let parse_interface ~path src =
 let lint_string ~path src =
   Rules.check_structure ~file:path (parse_implementation ~path src)
 
+(* ------------------------------------------------------------------ *)
+(* per-file analysis (phase 1) *)
+
+(* compiler-libs' [Parse]/[Lexer] share global mutable lexer state, so
+   parsing is serialized; file IO, digesting and the pure index/rule
+   walks run concurrently on the pool *)
+let parse_lock = Mutex.create ()
+
+let cache_version =
+  String.concat "|"
+    (Sarif.version :: Sys.ocaml_version
+    :: List.map (fun (r : Rules.t) -> r.Rules.id) Rules.all)
+
+let failed_info ~path msg =
+  {
+    (Index.empty ~path ~module_name:(Index.module_name_of_path path)) with
+    Index.parse_error = Some msg;
+  }
+
+let analyze_source ~path src =
+  if Filename.check_suffix path ".mli" then
+    match Mutex.protect parse_lock (fun () -> parse_interface ~path src) with
+    | sg -> Index.of_interface ~path sg
+    | exception Parse_failed msg -> failed_info ~path msg
+  else
+    match Mutex.protect parse_lock (fun () -> parse_implementation ~path src) with
+    | str ->
+      let info = Index.of_implementation ~path str in
+      { info with Index.syntactic = Rules.check_structure ~file:path str }
+    | exception Parse_failed msg -> failed_info ~path msg
+
+(* ------------------------------------------------------------------ *)
+(* project analysis (phase 2) *)
+
 type report = {
   findings : Finding.t list;
   files_scanned : int;
+  reparsed : int;
   parse_errors : (string * string) list;
 }
+
+(* the wrapping-library module of a source path, from the dir's dune
+   file: "lib/core/scenario.ml" -> Some "Subsidization" *)
+let dune_library_module src =
+  let n = String.length src in
+  let is_ident c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let rec find i =
+    if i + 5 > n then None
+    else if String.equal (String.sub src i 5) "(name" then begin
+      let j = ref (i + 5) in
+      while !j < n && (src.[!j] = ' ' || src.[!j] = '\t' || src.[!j] = '\n') do
+        incr j
+      done;
+      let k = ref !j in
+      while !k < n && is_ident src.[!k] do incr k done;
+      if !k > !j then Some (String.capitalize_ascii (String.sub src !j (!k - !j)))
+      else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let lib_dir_of_path path =
+  match String.split_on_char '/' path with
+  | "lib" :: d :: _ :: _ -> Some d
+  | _ -> None
+
+let default_lib_of path =
+  Option.map String.capitalize_ascii (lib_dir_of_path path)
+
+let lib_of_root root =
+  let memo = Hashtbl.create 16 in
+  fun path ->
+    match lib_dir_of_path path with
+    | None -> None
+    | Some d -> (
+      match Hashtbl.find_opt memo d with
+      | Some v -> v
+      | None ->
+        let v =
+          let dune = Filename.concat root (Filename.concat ("lib/" ^ d) "dune") in
+          let from_dune =
+            if Sys.file_exists dune then dune_library_module (read_file dune)
+            else None
+          in
+          match from_dune with
+          | Some m -> Some m
+          | None -> Some (String.capitalize_ascii d)
+        in
+        Hashtbl.replace memo d v;
+        v)
+
+let semantic_scope id path =
+  match Rules.find id with Some r -> Rules.applies r path | None -> false
+
+let finding_for id ~file (p : Index.pos) msg =
+  let severity =
+    match Rules.find id with
+    | Some r -> r.Rules.severity
+    | None -> Finding.Error
+  in
+  Finding.v ~rule:id ~severity ~file ~line:p.Index.line ~col:p.Index.col
+    ~end_line:p.Index.end_line ~end_col:p.Index.end_col msg
+
+let unused_suppression_id = "UNUSED-SUPPRESSION"
+let parse_error_id = "PARSE-ERROR"
+
+(* the full phase-2 pipeline over the (possibly cache-served) file
+   indexes; recomputed every run, so warm and cold runs agree *)
+let analyze ~lib_of ~files infos =
+  let parse_errors =
+    List.filter_map
+      (fun (i : Index.file_info) ->
+        Option.map (fun m -> (i.Index.path, m)) i.Index.parse_error)
+      infos
+  in
+  let parse_findings =
+    List.map
+      (fun (path, msg) ->
+        finding_for parse_error_id ~file:path Index.no_pos
+          (Printf.sprintf
+             "file does not parse, so no other rule can see it: %s" msg))
+      parse_errors
+  in
+  let syntactic = List.concat_map (fun i -> i.Index.syntactic) infos in
+  let mli_findings = Rules.mli_required ~files in
+  let proj = Callgraph.make_project ~lib_of infos in
+  let exn_findings, exn_used =
+    Semantic_rules.exn_escape proj
+      ~scope:(semantic_scope Semantic_rules.exn_escape_id)
+  in
+  let sync_findings =
+    Semantic_rules.sync_discipline proj
+      ~scope:(semantic_scope Semantic_rules.sync_discipline_id)
+  in
+  (* line-scoped [@sublint.allow] filtering for everything else *)
+  let suppr = Hashtbl.create 16 in
+  List.iter
+    (fun (i : Index.file_info) ->
+      let ok =
+        List.filter (fun s -> s.Index.malformed = None) i.Index.suppressions
+      in
+      if ok <> [] then Hashtbl.replace suppr i.Index.path ok)
+    infos;
+  let used = ref exn_used in
+  let mark file (s : Index.suppression) =
+    if not (List.mem (file, s.Index.s_pos) !used) then
+      used := (file, s.Index.s_pos) :: !used
+  in
+  let keep (f : Finding.t) =
+    match Hashtbl.find_opt suppr f.Finding.file with
+    | None -> true
+    | Some ss -> (
+      match
+        List.find_opt
+          (fun (s : Index.suppression) ->
+            String.equal s.Index.s_rule f.Finding.rule
+            && s.Index.line_lo <= f.Finding.line
+            && f.Finding.line <= s.Index.line_hi)
+          ss
+      with
+      | Some s ->
+        mark f.Finding.file s;
+        false
+      | None -> true)
+  in
+  let kept =
+    List.filter keep (syntactic @ mli_findings @ exn_findings @ sync_findings)
+  in
+  let suppression_findings =
+    List.concat_map
+      (fun (i : Index.file_info) ->
+        List.filter_map
+          (fun (s : Index.suppression) ->
+            match s.Index.malformed with
+            | Some msg ->
+              Some
+                (finding_for unused_suppression_id ~file:i.Index.path
+                   s.Index.s_pos
+                   (Printf.sprintf "malformed [@sublint.allow]: %s" msg))
+            | None ->
+              if List.mem (i.Index.path, s.Index.s_pos) !used then None
+              else
+                Some
+                  (finding_for unused_suppression_id ~file:i.Index.path
+                     s.Index.s_pos
+                     (match Rules.find s.Index.s_rule with
+                     | None ->
+                       Printf.sprintf
+                         "suppression names unknown rule %S; remove or fix it"
+                         s.Index.s_rule
+                     | Some _ ->
+                       Printf.sprintf
+                         "suppression for %s never matched a finding this \
+                          run; the violation is gone — remove the attribute"
+                         s.Index.s_rule)))
+          i.Index.suppressions)
+      infos
+  in
+  let findings =
+    List.stable_sort Finding.compare
+      (kept @ parse_findings @ suppression_findings)
+  in
+  (findings, parse_errors)
+
+(* ------------------------------------------------------------------ *)
+(* drivers *)
 
 let rec walk root rel acc =
   let dir = if rel = "" then root else Filename.concat root rel in
@@ -63,29 +270,58 @@ let rec walk root rel acc =
            end)
          acc
 
-let scan ~root ~dirs =
+let scan ?cache ~root ~dirs () =
   let files = List.fold_left (fun acc d -> walk root d acc) [] dirs in
   let files = List.sort String.compare files in
-  let findings = ref (Rules.mli_required ~files) in
-  let parse_errors = ref [] in
-  let scanned = ref 0 in
-  List.iter
-    (fun rel ->
-      let src = read_file (Filename.concat root rel) in
-      incr scanned;
-      match
-        if Filename.check_suffix rel ".mli" then
-          ignore (parse_interface ~path:rel src)
-        else findings := lint_string ~path:rel src @ !findings
-      with
-      | () -> ()
-      | exception Parse_failed msg -> parse_errors := (rel, msg) :: !parse_errors)
-    files;
+  let reparsed = Atomic.make 0 in
+  let analyze_one rel =
+    let src = read_file (Filename.concat root rel) in
+    match cache with
+    | None ->
+      Atomic.incr reparsed;
+      analyze_source ~path:rel src
+    | Some c -> (
+      let digest = Digest.to_hex (Digest.string src) in
+      match Cache.find c ~path:rel ~digest with
+      | Some info -> info
+      | None ->
+        Atomic.incr reparsed;
+        let info = analyze_source ~path:rel src in
+        Cache.add c ~path:rel ~digest info;
+        info)
+  in
+  (* Pool.map returns results in index order: the file list is sorted,
+     so the index (and everything derived from it) is deterministic at
+     any --jobs *)
+  let infos =
+    Array.to_list
+      (Parallel.Pool.map (Parallel.Runtime.pool ()) analyze_one
+         (Array.of_list files))
+  in
+  let findings, parse_errors = analyze ~lib_of:(lib_of_root root) ~files infos in
   {
-    findings = List.stable_sort Finding.compare !findings;
-    files_scanned = !scanned;
-    parse_errors = List.rev !parse_errors;
+    findings;
+    files_scanned = List.length files;
+    reparsed = Atomic.get reparsed;
+    parse_errors;
   }
+
+let analyze_sources ?(lib_of = default_lib_of) sources =
+  let sources =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) sources
+  in
+  let files = List.map fst sources in
+  let infos = List.map (fun (path, src) -> analyze_source ~path src) sources in
+  let findings, parse_errors = analyze ~lib_of ~files infos in
+  {
+    findings;
+    files_scanned = List.length files;
+    reparsed = List.length files;
+    parse_errors;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* rendering *)
 
 let with_freshness report ~drift =
   let fresh = List.map fst drift.Baseline.fresh in
@@ -117,14 +353,16 @@ let summary report ~drift =
   let fresh = List.length drift.Baseline.fresh in
   let stale = List.length drift.Baseline.stale in
   Printf.sprintf
-    "sublint: %d files, %d findings (%d errors, %d warnings): %d new, %d \
-     baselined%s%s"
-    report.files_scanned
+    "sublint: %d files (%d reparsed), %d findings (%d errors, %d warnings): \
+     %d new, %d baselined%s%s"
+    report.files_scanned report.reparsed
     (List.length report.findings)
     errors warnings fresh
     (List.length report.findings - fresh)
     (if stale > 0 then
-       Printf.sprintf "; %d stale baseline entr%s (run --update-baseline)" stale
+       Printf.sprintf
+         "; %d stale baseline entr%s (run --prune-baseline to drop them)"
+         stale
          (if stale = 1 then "y" else "ies")
      else "")
     (if report.parse_errors <> [] then
@@ -145,6 +383,7 @@ let json_report ~root report ~drift =
                ( "applies_to",
                  Arr (List.map (fun p -> Str p) r.Rules.scope.Rules.applies_to) );
                ("exempt", Arr (List.map (fun p -> Str p) r.Rules.scope.Rules.exempt));
+               ("baselinable", Bool r.Rules.baselinable);
              ])
          Rules.all)
   in
@@ -185,6 +424,8 @@ let json_report ~root report ~drift =
          (fun (file, msg) -> Obj [ ("file", Str file); ("message", Str msg) ])
          report.parse_errors)
   in
+  (* no cache statistics in here: lint.v1 bytes must be identical
+     between a cold and a warm run on the same tree *)
   Obj
     [
       ("schema", Str "lint.v1");

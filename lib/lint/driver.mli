@@ -1,6 +1,17 @@
-(** Orchestration: find sources, parse them with the compiler's own
-    parser, run the rule set, and render findings as a table and as a
-    [lint.v1] JSON record.
+(** Orchestration of the two-phase project analyzer (DESIGN §15).
+
+    Phase 1 turns every source file into an {!Index.file_info} —
+    parallel on the shared {!Parallel.Runtime} pool (file IO, digests
+    and rule walks concurrent; the actual [Parse] calls serialized,
+    compiler-libs' lexer state is global) and served from the
+    content-digest {!Cache} when one is supplied. Phase 2 is always
+    recomputed over the full index: the syntactic findings, the
+    file-level MLI-REQUIRED rule, the interprocedural
+    {!Semantic_rules}, [@sublint.allow] suppression filtering with
+    UNUSED-SUPPRESSION reporting, and PARSE-ERROR findings for files
+    the parser rejects (collected, never an abort). Findings are
+    sorted, so reports are byte-identical at any [--jobs] and between
+    cold and warm cache runs.
 
     This module does no I/O to stdout itself (it must satisfy its own
     NO-LIB-PRINT rule); rendering returns strings/tables/JSON and the
@@ -8,27 +19,47 @@
 
 exception Parse_failed of string
 (** A source file the compiler's parser rejects (position-annotated
-    message). The repo's own sources always parse — this surfaces
-    truncated or corrupted files instead of silently skipping them. *)
+    message). *)
 
 val lint_string : path:string -> string -> Finding.t list
 (** Parse one implementation held in memory (as the repo-relative
     [path], which selects the applicable rules) and run every
-    expression-level rule over it. Raises {!Parse_failed}. The
-    file-level MLI-REQUIRED rule does not run here — see
-    {!Rules.mli_required}. *)
+    expression-level syntactic rule over it. Raises {!Parse_failed}.
+    Neither MLI-REQUIRED nor the semantic rules run here — see
+    {!analyze_sources} for the full pipeline. *)
+
+val analyze_source : path:string -> string -> Index.file_info
+(** Phase 1 for one in-memory source: parse (implementation or
+    interface by extension), extract the index, attach syntactic
+    findings; a parse failure yields an info with [parse_error] set
+    instead of raising. *)
+
+val cache_version : string
+(** The {!Cache} version stamp: tool version, compiler version and
+    rule ids — any change invalidates cached entries wholesale. *)
 
 type report = {
   findings : Finding.t list;  (** sorted by file, line, column, rule *)
-  files_scanned : int;  (** .ml and .mli files parsed *)
+  files_scanned : int;  (** .ml and .mli files discovered *)
+  reparsed : int;
+      (** files actually (re-)parsed this run — 0 on a warm cache over
+          an unchanged tree; excluded from [lint.v1] so cold and warm
+          reports stay byte-identical *)
   parse_errors : (string * string) list;  (** path, message *)
 }
 
-val scan : root:string -> dirs:string list -> report
+val scan : ?cache:Cache.t -> root:string -> dirs:string list -> unit -> report
 (** Walk [dirs] (repo-relative, under [root]) recursively, skipping
-    [_build] and dot-directories; parse every [.ml] (rules) and [.mli]
-    (syntax only), and run MLI-REQUIRED over the discovered file set.
-    Parse failures are collected, not raised. *)
+    [_build] and dot-directories; run phase 1 over every [.ml]/[.mli]
+    on the shared pool (through [cache] when given — the caller loads
+    and saves it), then phase 2 over the project. *)
+
+val analyze_sources :
+  ?lib_of:(string -> string option) -> (string * string) list -> report
+(** The same full pipeline over in-memory [(path, source)] pairs —
+    the test harness's entry point. [lib_of] maps a path to its
+    wrapping-library module; the default capitalizes the directory
+    under [lib/] (the real scan reads the dune files instead). *)
 
 val findings_table : (Finding.t * bool) list -> Report.Table.t
 (** Render findings as a [Report.Table]; the flag marks a finding as
@@ -38,10 +69,12 @@ val with_freshness : report -> drift:Baseline.drift -> (Finding.t * bool) list
 (** Pair every finding with whether the drift marks it fresh. *)
 
 val summary : report -> drift:Baseline.drift -> string
-(** One human line: totals by severity, fresh vs baselined counts, and
-    stale-baseline entries if any. *)
+(** One human line: file and reparse counts, totals by severity, fresh
+    vs baselined, stale-baseline entries (naming [--prune-baseline])
+    and parse failures. *)
 
 val json_report : root:string -> report -> drift:Baseline.drift -> Obs.Json.t
 (** The [lint.v1] record: schema tag, scanned-file count, the rule
-    taxonomy (id, severity, doc, scope), every finding with its
-    [fresh] flag, parse errors, and a summary block. *)
+    taxonomy (id, severity, doc, scope, baselinable), every finding
+    with its [fresh] flag, parse errors, and a summary block. Carries
+    no cache statistics — cold and warm runs emit identical bytes. *)

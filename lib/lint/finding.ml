@@ -27,6 +27,9 @@ let make ~rule ~severity ~file ~loc message =
     message;
   }
 
+let v ~rule ~severity ~file ~line ~col ~end_line ~end_col message =
+  { rule; severity; file; line; col; end_line; end_col; message }
+
 let at_file ~rule ~severity ~file message =
   { rule; severity; file; line = 1; col = 0; end_line = 1; end_col = 0; message }
 

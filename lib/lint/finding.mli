@@ -30,6 +30,19 @@ val make :
 (** Build a finding from a compiler-libs location (the file recorded in
     the location is ignored in favour of [file]). *)
 
+val v :
+  rule:string ->
+  severity:severity ->
+  file:string ->
+  line:int ->
+  col:int ->
+  end_line:int ->
+  end_col:int ->
+  string ->
+  t
+(** Build a finding from plain coordinates — the semantic phase works
+    from the marshal-plain index, which carries no [Location.t]. *)
+
 val at_file :
   rule:string -> severity:severity -> file:string -> string -> t
 (** A file-level finding (no meaningful span), anchored at line 1. *)

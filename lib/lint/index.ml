@@ -1,0 +1,620 @@
+(* Phase 1 of the project analyzer: reduce one parsed source file to
+   the marshal-plain facts the interprocedural rules need — top-level
+   defs with their raise and use sites (absorption-annotated), sync
+   annotations and lock-context-annotated accesses, suppression scopes
+   and the .mli Result-typed surface. Nothing from [Parsetree] or
+   [Location] survives into [file_info], so the records can live in
+   the content-digest cache across processes. *)
+
+type pos = { line : int; col : int; end_line : int; end_col : int }
+
+let pos_of_loc (loc : Location.t) =
+  let start = loc.Location.loc_start and stop = loc.Location.loc_end in
+  {
+    line = start.Lexing.pos_lnum;
+    col = start.Lexing.pos_cnum - start.Lexing.pos_bol;
+    end_line = stop.Lexing.pos_lnum;
+    end_col = stop.Lexing.pos_cnum - stop.Lexing.pos_bol;
+  }
+
+let no_pos = { line = 1; col = 0; end_line = 1; end_col = 0 }
+
+type raise_site = {
+  ctor : string;
+      (* constructor last component; "Failure" for [failwith],
+         "Invalid_argument" for [invalid_arg], "Assert_failure" for
+         [assert false], "<re-raise>" / "<computed>" otherwise *)
+  r_pos : pos;
+  r_absorbed : bool;  (* lexically under a try / match-exception body *)
+}
+
+type use_site = {
+  callee : string list;  (* the path as written, e.g. ["Robust"; "root"] *)
+  u_pos : pos;
+  u_absorbed : bool;
+}
+
+type def_info = {
+  d_name : string;  (* dotted for nested modules, e.g. "Inner.f" *)
+  d_pos : pos;
+  raises : raise_site list;
+  uses : use_site list;
+}
+
+type sync_global = {
+  g_name : string;
+  g_mutex : string option;  (* first [m] bracket in the sync note *)
+  g_pos : pos;
+}
+
+type sync_access = {
+  target : string;
+  a_pos : pos;
+  locks_held : string list;  (* dotted mutex paths in lexical scope *)
+  in_unlocked : bool;  (* inside a *_unlocked function (caller locks) *)
+}
+
+type suppression = {
+  s_rule : string;
+  s_reason : string;
+  s_pos : pos;
+  line_lo : int;
+  line_hi : int;  (* inclusive line span the suppression covers *)
+  malformed : string option;
+}
+
+type file_info = {
+  path : string;
+  module_name : string;
+  opens : string list list;
+  defs : def_info list;
+  sync_globals : sync_global list;
+  sync_accesses : sync_access list;
+  mutexes : string list;
+  wrappers : (string * string) list;  (* local fn -> mutex it acquires *)
+  result_vals : (string * pos) list;  (* .mli vals returning (_, _) result *)
+  suppressions : suppression list;
+  syntactic : Finding.t list;
+  parse_error : string option;
+}
+
+let empty ~path ~module_name =
+  {
+    path;
+    module_name;
+    opens = [];
+    defs = [];
+    sync_globals = [];
+    sync_accesses = [];
+    mutexes = [];
+    wrappers = [];
+    result_vals = [];
+    suppressions = [];
+    syntactic = [];
+    parse_error = None;
+  }
+
+let module_name_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* ------------------------------------------------------------------ *)
+(* shared AST helpers *)
+
+open Parsetree
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let last = function [] -> "" | l -> List.nth l (List.length l - 1)
+
+let raise_heads = [ "raise"; "raise_notrace"; "Stdlib.raise"; "Stdlib.raise_notrace" ]
+let failwith_heads = [ "failwith"; "Stdlib.failwith" ]
+let invalid_heads = [ "invalid_arg"; "Stdlib.invalid_arg" ]
+
+let dotted l = String.concat "." l
+
+(* the first "[ident]" bracket in a sync note names the guarding mutex *)
+let mutex_of_note note =
+  let n = String.length note in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\'' || c = '.'
+  in
+  let rec scan i =
+    if i >= n then None
+    else if note.[i] = '[' then begin
+      let j = ref (i + 1) in
+      while !j < n && is_ident_char note.[!j] do incr j done;
+      if !j > i + 1 && !j < n && note.[!j] = ']' then begin
+        let name = String.sub note (i + 1) (!j - i - 1) in
+        if name.[0] >= 'a' && name.[0] <= 'z' then Some name else scan !j
+      end
+      else scan (i + 1)
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let sync_note attrs =
+  List.find_map
+    (fun (a : attribute) ->
+      if not (String.equal a.attr_name.txt "sync") then None
+      else
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                _;
+              };
+            ] ->
+          Some s
+        | _ -> None)
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* suppressions: [@sublint.allow "RULE" "reason"] — expression-scoped,
+   [@@...] binding/item-scoped, [@@@...] file-scoped *)
+
+let allow_name = "sublint.allow"
+
+let suppression_payload (a : attribute) =
+  match a.attr_payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> begin
+    match e.pexp_desc with
+    | Pexp_apply
+        ( { pexp_desc = Pexp_constant (Pconst_string (rule, _, _)); _ },
+          [ (_, { pexp_desc = Pexp_constant (Pconst_string (reason, _, _)); _ }) ] )
+    | Pexp_tuple
+        [
+          { pexp_desc = Pexp_constant (Pconst_string (rule, _, _)); _ };
+          { pexp_desc = Pexp_constant (Pconst_string (reason, _, _)); _ };
+        ] ->
+      if String.trim reason = "" then Error "empty reason" else Ok (rule, reason)
+    | Pexp_constant (Pconst_string (_, _, _)) ->
+      Error "missing reason (expected [@sublint.allow \"RULE\" \"reason\"])"
+    | _ -> Error "expected two string literals: rule id and reason"
+  end
+  | _ -> Error "expected two string literals: rule id and reason"
+
+let suppressions_of_attrs ~span attrs =
+  List.filter_map
+    (fun (a : attribute) ->
+      if not (String.equal a.attr_name.txt allow_name) then None
+      else
+        let s_pos = pos_of_loc a.attr_loc in
+        let line_lo, line_hi = span s_pos in
+        match suppression_payload a with
+        | Ok (rule, reason) ->
+          Some { s_rule = rule; s_reason = reason; s_pos; line_lo; line_hi; malformed = None }
+        | Error msg ->
+          Some
+            {
+              s_rule = "";
+              s_reason = "";
+              s_pos;
+              line_lo;
+              line_hi;
+              malformed = Some msg;
+            })
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* implementation extraction *)
+
+type ctx = {
+  mutable cur_def : string option;
+  mutable mod_prefix : string;  (* dotted nested-module path, "" at top *)
+  mutable absorb : int;  (* > 0 inside a try body / matched-exn scrutinee *)
+  mutable locks : string list;
+  mutable unlocked : int;  (* > 0 inside a *_unlocked function body *)
+  mutable acc_raises : (string * raise_site) list;  (* def, site *)
+  mutable acc_uses : (string * use_site) list;
+  mutable acc_accesses : sync_access list;
+  mutable acc_suppr : suppression list;
+  global_names : string list;  (* sync-annotated top-level mutable names *)
+  wrapper_mutex : (string * string) list;
+}
+
+let toplevel = "<toplevel>"
+
+let is_fun_literal e =
+  match e.pexp_desc with Pexp_fun _ | Pexp_function _ -> true | _ -> false
+
+(* [Mutex.protect m (fun () -> ...)] / [with_lock m (fun () -> ...)] /
+   [wrapper (fun () -> ...)] where [wrapper] eta-wraps Mutex.protect:
+   the mutex whose critical section the literal argument runs in *)
+let lock_shape ctx head args =
+  let fun_arg () =
+    List.find_opt (fun (_, a) -> is_fun_literal a) args |> Option.map snd
+  in
+  let path = flatten_lid head in
+  match path with
+  | [ "Mutex"; "protect" ] | [ "Stdlib"; "Mutex"; "protect" ] | [ "with_lock" ] -> begin
+    match args with
+    | (_, { pexp_desc = Pexp_ident { txt = m; _ }; _ }) :: _ -> begin
+      match fun_arg () with
+      | Some body -> Some (dotted (flatten_lid m), body)
+      | None -> None
+    end
+    | _ -> None
+  end
+  | [ w ] -> begin
+    match List.assoc_opt w ctx.wrapper_mutex with
+    | Some m -> begin
+      match fun_arg () with Some body -> Some (m, body) | None -> None
+    end
+    | None -> None
+  end
+  | _ -> None
+
+let record_raise ctx pos ctor =
+  let d = match ctx.cur_def with Some d -> d | None -> toplevel in
+  ctx.acc_raises <-
+    (d, { ctor; r_pos = pos; r_absorbed = ctx.absorb > 0 }) :: ctx.acc_raises
+
+let record_use ctx pos path =
+  if path <> [] then begin
+    let d = match ctx.cur_def with Some d -> d | None -> toplevel in
+    ctx.acc_uses <-
+      (d, { callee = path; u_pos = pos; u_absorbed = ctx.absorb > 0 })
+      :: ctx.acc_uses
+  end
+
+let record_access ctx pos name =
+  ctx.acc_accesses <-
+    {
+      target = name;
+      a_pos = pos;
+      locks_held = ctx.locks;
+      in_unlocked = ctx.unlocked > 0;
+    }
+    :: ctx.acc_accesses
+
+let raise_ctor_of_arg args =
+  match args with
+  | [ (_, { pexp_desc = Pexp_construct ({ txt; _ }, _); _ }) ] ->
+    Some (last (flatten_lid txt))
+  | [ (_, { pexp_desc = Pexp_ident _; _ }) ] -> Some "<re-raise>"
+  | _ -> Some "<computed>"
+
+let is_assert_false e =
+  match e.pexp_desc with
+  | Pexp_assert
+      { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
+    -> true
+  | _ -> false
+
+let has_exception_case cases =
+  List.exists
+    (fun c -> match c.pc_lhs.ppat_desc with Ppat_exception _ -> true | _ -> false)
+    cases
+
+let binding_name (vb : value_binding) =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
+  | _ -> None
+
+let span_of_pos p = (p.line, p.end_line)
+let file_span _ = (0, max_int)
+
+let walk_implementation ~global_names ~wrapper_mutex str =
+  let ctx =
+    {
+      cur_def = None;
+      mod_prefix = "";
+      absorb = 0;
+      locks = [];
+      unlocked = 0;
+      acc_raises = [];
+      acc_uses = [];
+      acc_accesses = [];
+      acc_suppr = [];
+      global_names;
+      wrapper_mutex;
+    }
+  in
+  let add_suppressions ~span attrs =
+    ctx.acc_suppr <- suppressions_of_attrs ~span attrs @ ctx.acc_suppr
+  in
+  let with_absorb self e =
+    ctx.absorb <- ctx.absorb + 1;
+    self.Ast_iterator.expr self e;
+    ctx.absorb <- ctx.absorb - 1
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      structure_item =
+        (fun self item ->
+          match item.pstr_desc with
+          | Pstr_attribute a ->
+            add_suppressions ~span:file_span [ a ];
+            Ast_iterator.default_iterator.structure_item self item
+          | Pstr_value (_, vbs) ->
+            (* structure-level bindings own their body's raise/use
+               sites; nested lets inside keep the enclosing owner *)
+            List.iter
+              (fun vb ->
+                let saved = ctx.cur_def in
+                (match binding_name vb with
+                | Some n ->
+                  ctx.cur_def <-
+                    Some
+                      (if ctx.mod_prefix = "" then n
+                       else ctx.mod_prefix ^ "." ^ n)
+                | None -> ());
+                self.value_binding self vb;
+                ctx.cur_def <- saved)
+              vbs
+          | _ -> Ast_iterator.default_iterator.structure_item self item);
+      module_binding =
+        (fun self mb ->
+          match mb.pmb_name.txt with
+          | Some m ->
+            let saved = ctx.mod_prefix in
+            ctx.mod_prefix <- (if saved = "" then m else saved ^ "." ^ m);
+            Ast_iterator.default_iterator.module_binding self mb;
+            ctx.mod_prefix <- saved
+          | None -> Ast_iterator.default_iterator.module_binding self mb);
+      value_binding =
+        (fun self vb ->
+          let span _ = span_of_pos (pos_of_loc vb.pvb_loc) in
+          add_suppressions ~span vb.pvb_attributes;
+          match binding_name vb with
+          | Some name ->
+            let saved_unlocked = ctx.unlocked in
+            if String.ends_with ~suffix:"_unlocked" name then
+              ctx.unlocked <- ctx.unlocked + 1;
+            Ast_iterator.default_iterator.value_binding self vb;
+            ctx.unlocked <- saved_unlocked
+          | None -> Ast_iterator.default_iterator.value_binding self vb);
+      expr =
+        (fun self e ->
+          add_suppressions
+            ~span:(fun _ -> span_of_pos (pos_of_loc e.pexp_loc))
+            e.pexp_attributes;
+          if is_assert_false e then record_raise ctx (pos_of_loc e.pexp_loc) "Assert_failure";
+          match e.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+            let path = flatten_lid txt in
+            record_use ctx (pos_of_loc e.pexp_loc) path;
+            (match path with
+            | [ name ] when List.mem name ctx.global_names ->
+              record_access ctx (pos_of_loc e.pexp_loc) name
+            | _ -> ())
+          | Pexp_try (body, cases) ->
+            with_absorb self body;
+            List.iter (self.case self) cases
+          | Pexp_match (scrut, cases) when has_exception_case cases ->
+            with_absorb self scrut;
+            List.iter (self.case self) cases
+          | Pexp_apply (({ pexp_desc = Pexp_ident { txt; _ }; _ } as head), args)
+            -> begin
+            let name = dotted (flatten_lid txt) in
+            if List.mem name raise_heads then begin
+              (match raise_ctor_of_arg args with
+              | Some ctor -> record_raise ctx (pos_of_loc e.pexp_loc) ctor
+              | None -> ());
+              List.iter (fun (_, a) -> self.expr self a) args
+            end
+            else if List.mem name failwith_heads then begin
+              record_raise ctx (pos_of_loc e.pexp_loc) "Failure";
+              List.iter (fun (_, a) -> self.expr self a) args
+            end
+            else if List.mem name invalid_heads then begin
+              record_raise ctx (pos_of_loc e.pexp_loc) "Invalid_argument";
+              List.iter (fun (_, a) -> self.expr self a) args
+            end
+            else
+              match lock_shape ctx txt args with
+              | Some (mutex, body) ->
+                self.expr self head;
+                List.iter
+                  (fun (_, a) -> if a != body then self.expr self a)
+                  args;
+                ctx.locks <- mutex :: ctx.locks;
+                self.expr self body;
+                ctx.locks <- List.tl ctx.locks
+              | None -> Ast_iterator.default_iterator.expr self e
+          end
+          | _ -> Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.structure iter str;
+  ctx
+
+(* top-level shape passes: defs, opens, sync globals, mutexes, lock
+   wrappers — including one level of [module M = struct ... end] *)
+
+let rec expr_strip e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_newtype (_, e) ->
+    expr_strip e
+  | _ -> e
+
+let is_mutex_create e =
+  match (expr_strip e).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> begin
+    match flatten_lid txt with
+    | [ "Mutex"; "create" ] | [ "Stdlib"; "Mutex"; "create" ] -> true
+    | _ -> false
+  end
+  | _ -> false
+
+(* [let w f = Mutex.protect m f] or
+   [let w f = Mutex.protect m (fun () -> f ())] *)
+let wrapper_shape vb =
+  match binding_name vb with
+  | None -> None
+  | Some w -> begin
+    match (expr_strip vb.pvb_expr).pexp_desc with
+    | Pexp_fun (_, _, { ppat_desc = Ppat_var { txt = param; _ }; _ }, body) -> begin
+      match (expr_strip body).pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt = hd; _ }; _ }, args) -> begin
+        match (flatten_lid hd, args) with
+        | ( ([ "Mutex"; "protect" ] | [ "Stdlib"; "Mutex"; "protect" ]),
+            [ (_, { pexp_desc = Pexp_ident { txt = m; _ }; _ }); (_, farg) ] ) ->
+          let applies_param =
+            match (expr_strip farg).pexp_desc with
+            | Pexp_ident { txt = Longident.Lident p; _ } -> String.equal p param
+            | Pexp_fun (_, _, _, inner) -> begin
+              match (expr_strip inner).pexp_desc with
+              | Pexp_apply
+                  ({ pexp_desc = Pexp_ident { txt = Longident.Lident p; _ }; _ }, _)
+                -> String.equal p param
+              | _ -> false
+            end
+            | _ -> false
+          in
+          if applies_param then Some (w, dotted (flatten_lid m)) else None
+        | _ -> None
+      end
+      | _ -> None
+    end
+    | _ -> None
+  end
+
+let rec top_shapes prefix items =
+  List.fold_left
+    (fun (defs, opens, globals, mutexes, wrappers) item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.fold_left
+          (fun (defs, opens, globals, mutexes, wrappers) vb ->
+            match binding_name vb with
+            | None -> (defs, opens, globals, mutexes, wrappers)
+            | Some name ->
+              let qname = if prefix = "" then name else prefix ^ "." ^ name in
+              let pos = pos_of_loc vb.pvb_loc in
+              let defs = (qname, pos) :: defs in
+              let globals =
+                match sync_note vb.pvb_attributes with
+                | Some note ->
+                  { g_name = name; g_mutex = mutex_of_note note; g_pos = pos }
+                  :: globals
+                | None -> globals
+              in
+              let mutexes =
+                if prefix = "" && is_mutex_create vb.pvb_expr then name :: mutexes
+                else mutexes
+              in
+              let wrappers =
+                if prefix = "" then
+                  match wrapper_shape vb with
+                  | Some wm -> wm :: wrappers
+                  | None -> wrappers
+                else wrappers
+              in
+              (defs, opens, globals, mutexes, wrappers))
+          (defs, opens, globals, mutexes, wrappers)
+          vbs
+      | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ } ->
+        (defs, flatten_lid txt :: opens, globals, mutexes, wrappers)
+      | Pstr_module
+          {
+            pmb_name = { txt = Some m; _ };
+            pmb_expr = { pmod_desc = Pmod_structure sub; _ };
+            _;
+          } ->
+        let sub_prefix = if prefix = "" then m else prefix ^ "." ^ m in
+        let sd, so, sg, sm, sw = top_shapes sub_prefix sub in
+        (sd @ defs, so @ opens, sg @ globals, sm @ mutexes, sw @ wrappers)
+      | _ -> (defs, opens, globals, mutexes, wrappers))
+    ([], [], [], [], []) items
+
+let of_implementation ~path str =
+  let defs, opens, globals, mutexes, wrappers = top_shapes "" str in
+  let ctx =
+    walk_implementation
+      ~global_names:(List.map (fun g -> g.g_name) globals)
+      ~wrapper_mutex:wrappers str
+  in
+  let def_infos =
+    List.rev_map
+      (fun (name, pos) ->
+        {
+          d_name = name;
+          d_pos = pos;
+          raises =
+            List.rev
+              (List.filter_map
+                 (fun (d, r) -> if String.equal d name then Some r else None)
+                 ctx.acc_raises);
+          uses =
+            List.rev
+              (List.filter_map
+                 (fun (d, u) -> if String.equal d name then Some u else None)
+                 ctx.acc_uses);
+        })
+      defs
+  in
+  let top_raises =
+    List.rev
+      (List.filter_map
+         (fun (d, r) -> if String.equal d toplevel then Some r else None)
+         ctx.acc_raises)
+  and top_uses =
+    List.rev
+      (List.filter_map
+         (fun (d, u) -> if String.equal d toplevel then Some u else None)
+         ctx.acc_uses)
+  in
+  let def_infos =
+    if top_raises = [] && top_uses = [] then def_infos
+    else
+      { d_name = toplevel; d_pos = no_pos; raises = top_raises; uses = top_uses }
+      :: def_infos
+  in
+  {
+    (empty ~path ~module_name:(module_name_of_path path)) with
+    opens = List.rev opens;
+    defs = def_infos;
+    sync_globals = List.rev globals;
+    sync_accesses = List.rev ctx.acc_accesses;
+    mutexes = List.rev mutexes;
+    wrappers;
+    suppressions = List.rev ctx.acc_suppr;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* interface extraction: vals whose return type is a two-parameter
+   [result] (the stdlib ('a, 'e) result — one-parameter [result] types
+   like [Rootfind.result] are module-local records, not Result) *)
+
+let rec returns_result (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_arrow (_, _, ret) -> returns_result ret
+  | Ptyp_constr ({ txt; _ }, [ _; _ ]) -> String.equal (last (flatten_lid txt)) "result"
+  | _ -> false
+
+let of_interface ~path sg =
+  let result_vals =
+    List.filter_map
+      (fun item ->
+        match item.psig_desc with
+        | Psig_value vd when returns_result vd.pval_type ->
+          Some (vd.pval_name.txt, pos_of_loc vd.pval_loc)
+        | _ -> None)
+      sg
+  in
+  let suppressions =
+    List.concat_map
+      (fun item ->
+        match item.psig_desc with
+        | Psig_attribute a -> suppressions_of_attrs ~span:file_span [ a ]
+        | _ -> [])
+      sg
+  in
+  {
+    (empty ~path ~module_name:(module_name_of_path path)) with
+    result_vals;
+    suppressions;
+  }

@@ -5,6 +5,10 @@ type t = {
   severity : Finding.severity;
   doc : string;
   scope : scope;
+  baselinable : bool;
+      (* count-ratchet rules can be grandfathered in lint.baseline; the
+         semantic/structural rules cannot — violations are fixed or
+         explicitly suppressed with a reason, never baselined *)
 }
 
 (* lib/service joins the solver layers for NO-BARE-RAISE: a daemon that
@@ -27,6 +31,7 @@ let no_bare_raise =
         applies_to = solver_layers;
         exempt = [ "lib/numerics/precondition.ml" ];
       };
+    baselinable = true;
   }
 
 let no_swallow =
@@ -39,6 +44,7 @@ let no_swallow =
        lib/runner/supervisor.ml is the one sanctioned containment boundary \
        (it records the exception in the run manifest instead of dropping it)";
     scope = { applies_to = [ "lib/" ]; exempt = [ "lib/runner/supervisor.ml" ] };
+    baselinable = true;
   }
 
 let no_raw_clock =
@@ -47,6 +53,7 @@ let no_raw_clock =
     severity = Finding.Error;
     doc = "Obs.Clock is the only sanctioned time source";
     scope = { applies_to = everywhere; exempt = [ "lib/obs/clock.ml" ] };
+    baselinable = true;
   }
 
 let no_lib_print =
@@ -57,6 +64,7 @@ let no_lib_print =
       "library code must not write to stdout implicitly; output goes through \
        Report/Obs.Export or a caller-supplied channel";
     scope = { applies_to = [ "lib/" ]; exempt = [ "lib/obs/export.ml" ] };
+    baselinable = true;
   }
 
 let no_float_eq =
@@ -67,6 +75,7 @@ let no_float_eq =
       "no =, <>, == or != against a float literal; numerically delicate \
        comparisons need an explicit tolerance";
     scope = { applies_to = everywhere; exempt = [] };
+    baselinable = true;
   }
 
 let no_obj_magic =
@@ -75,6 +84,7 @@ let no_obj_magic =
     severity = Finding.Error;
     doc = "Obj.magic defeats the type system";
     scope = { applies_to = everywhere; exempt = [] };
+    baselinable = true;
   }
 
 let no_unsync_global =
@@ -88,6 +98,7 @@ let no_unsync_global =
        [@@sync \"...\"] or make it domain-local (Atomic/Mutex/Condition/\
        Domain.DLS constructions are inherently domain-safe and not flagged)";
     scope = { applies_to = [ "lib/" ]; exempt = [] };
+    baselinable = true;
   }
 
 let no_adhoc_log =
@@ -99,6 +110,7 @@ let no_adhoc_log =
        Printf.eprintf, or the stderr channel); diagnostics go through \
        Obs.Log so sinks, levels and rate limits apply uniformly";
     scope = { applies_to = [ "lib/" ]; exempt = [ "lib/obs/" ] };
+    baselinable = true;
   }
 
 let mli_required_rule =
@@ -107,6 +119,64 @@ let mli_required_rule =
     severity = Finding.Error;
     doc = "every lib/**/*.ml declares its interface in a sibling .mli";
     scope = { applies_to = [ "lib/" ]; exempt = [] };
+    baselinable = true;
+  }
+
+(* ---- the semantic (phase-2) rules: metadata here, logic in
+   Semantic_rules over the Index/Callgraph ------------------------- *)
+
+let exn_escape_rule =
+  {
+    id = "EXN-ESCAPE";
+    severity = Finding.Error;
+    doc =
+      "a raise reachable through the call graph from a function whose .mli \
+       type returns ('a, _) result, and not absorbed behind a try/Result \
+       boundary, breaks the typed-error contract; Invalid_argument (the \
+       precondition idiom) is exempt";
+    scope =
+      {
+        applies_to = [ "lib/numerics/"; "lib/core/"; "lib/service/" ];
+        exempt = [];
+      };
+    baselinable = false;
+  }
+
+let sync_discipline_rule =
+  {
+    id = "SYNC-DISCIPLINE";
+    severity = Finding.Error;
+    doc =
+      "every access to a [@@sync \"...[m]...\"]-annotated top-level mutable \
+       binding must be lexically inside Mutex.protect m / with_lock m / a \
+       local wrapper acquiring m, or in a *_unlocked helper (the documented \
+       caller-holds-lock convention); the named mutex must exist in the \
+       module";
+    scope = { applies_to = [ "lib/" ]; exempt = [] };
+    baselinable = false;
+  }
+
+let parse_error_rule =
+  {
+    id = "PARSE-ERROR";
+    severity = Finding.Error;
+    doc =
+      "the compiler's parser rejects this source file; an unparseable file is \
+       invisible to every other rule, so it is itself a finding, not an abort";
+    scope = { applies_to = everywhere; exempt = [] };
+    baselinable = false;
+  }
+
+let unused_suppression_rule =
+  {
+    id = "UNUSED-SUPPRESSION";
+    severity = Finding.Warning;
+    doc =
+      "a [@sublint.allow \"RULE\" \"reason\"] that suppressed nothing this \
+       run is stale (the violation was fixed, or the scope/rule id is wrong) \
+       and must be removed; malformed payloads are also reported here";
+    scope = { applies_to = everywhere; exempt = [] };
+    baselinable = false;
   }
 
 let all =
@@ -120,6 +190,10 @@ let all =
     no_unsync_global;
     no_adhoc_log;
     mli_required_rule;
+    exn_escape_rule;
+    sync_discipline_rule;
+    parse_error_rule;
+    unused_suppression_rule;
   ]
 
 let find id = List.find_opt (fun r -> String.equal r.id id) all

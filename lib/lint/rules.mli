@@ -21,12 +21,21 @@ type t = {
   severity : Finding.severity;
   doc : string;
   scope : scope;
+  baselinable : bool;
+      (** count-ratchet rules can be grandfathered in [lint.baseline];
+          the semantic/structural rules (EXN-ESCAPE, SYNC-DISCIPLINE,
+          PARSE-ERROR, UNUSED-SUPPRESSION) cannot — violations are
+          fixed or explicitly suppressed with a reason, never
+          baselined ([--update-baseline] filters them out) *)
 }
 
 val all : t list
-(** Every rule, in reporting order: NO-BARE-RAISE, NO-SWALLOW,
-    NO-RAW-CLOCK, NO-LIB-PRINT, NO-FLOAT-EQ, NO-OBJ-MAGIC,
-    NO-UNSYNC-GLOBAL, NO-ADHOC-LOG, MLI-REQUIRED.
+(** Every rule, in reporting order: the syntactic set NO-BARE-RAISE,
+    NO-SWALLOW, NO-RAW-CLOCK, NO-LIB-PRINT, NO-FLOAT-EQ, NO-OBJ-MAGIC,
+    NO-UNSYNC-GLOBAL, NO-ADHOC-LOG, MLI-REQUIRED, then the semantic
+    set EXN-ESCAPE and SYNC-DISCIPLINE (DESIGN §15, logic in
+    {!Semantic_rules}) and the driver-level PARSE-ERROR and
+    UNUSED-SUPPRESSION.
 
     NO-ADHOC-LOG is NO-LIB-PRINT's stderr twin: [prerr_*],
     [Printf.eprintf]/[Format.eprintf] and any mention of the [stderr]

@@ -1,0 +1,100 @@
+(* SARIF 2.1.0 exposition of a lint run: the interchange shape GitHub
+   code scanning and SARIF viewers ingest, emitted next to lint.v1.
+   Minimal profile: one run, the full rule taxonomy on the driver,
+   one result per finding with a physical location and a
+   baselineState derived from the ratchet ("new" when the finding is
+   beyond its baseline allowance, "unchanged" when grandfathered). *)
+
+let version = "2.0.0"
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let level_of = function
+  | Finding.Error -> "error"
+  | Finding.Warning -> "warning"
+
+let rule_json (r : Rules.t) =
+  let open Obs.Json in
+  Obj
+    [
+      ("id", Str r.Rules.id);
+      ("shortDescription", Obj [ ("text", Str r.Rules.doc) ]);
+      ( "defaultConfiguration",
+        Obj [ ("level", Str (level_of r.Rules.severity)) ] );
+    ]
+
+let result_json ~rule_index ((f : Finding.t), is_fresh) =
+  let open Obs.Json in
+  let index =
+    match List.assoc_opt f.Finding.rule rule_index with
+    | Some i -> [ ("ruleIndex", Num (float_of_int i)) ]
+    | None -> []
+  in
+  Obj
+    ([ ("ruleId", Str f.Finding.rule) ]
+    @ index
+    @ [
+        ("level", Str (level_of f.Finding.severity));
+        ("message", Obj [ ("text", Str f.Finding.message) ]);
+        ( "locations",
+          Arr
+            [
+              Obj
+                [
+                  ( "physicalLocation",
+                    Obj
+                      [
+                        ( "artifactLocation",
+                          Obj
+                            [
+                              ("uri", Str f.Finding.file);
+                              ("uriBaseId", Str "REPOROOT");
+                            ] );
+                        (* SARIF regions are 1-based in both axes;
+                           Finding columns are 0-based *)
+                        ( "region",
+                          Obj
+                            [
+                              ("startLine", Num (float_of_int f.Finding.line));
+                              ( "startColumn",
+                                Num (float_of_int (f.Finding.col + 1)) );
+                              ( "endLine",
+                                Num (float_of_int f.Finding.end_line) );
+                              ( "endColumn",
+                                Num (float_of_int (f.Finding.end_col + 1)) );
+                            ] );
+                      ] );
+                ];
+            ] );
+        ("baselineState", Str (if is_fresh then "new" else "unchanged"));
+      ])
+
+let report ~root ~results =
+  let open Obs.Json in
+  let rule_index = List.mapi (fun i (r : Rules.t) -> (r.Rules.id, i)) Rules.all in
+  Obj
+    [
+      ("$schema", Str schema_uri);
+      ("version", Str "2.1.0");
+      ( "runs",
+        Arr
+          [
+            Obj
+              [
+                ( "tool",
+                  Obj
+                    [
+                      ( "driver",
+                        Obj
+                          [
+                            ("name", Str "sublint");
+                            ("version", Str version);
+                            ("rules", Arr (List.map rule_json Rules.all));
+                          ] );
+                    ] );
+                ( "originalUriBaseIds",
+                  Obj [ ("REPOROOT", Obj [ ("uri", Str root) ]) ] );
+                ("results", Arr (List.map (result_json ~rule_index) results));
+              ];
+          ] );
+    ]

@@ -1,0 +1,20 @@
+(** SARIF 2.1.0 exposition of a lint run — the interchange shape
+    GitHub code scanning and SARIF viewers ingest, emitted by
+    [sublint --sarif] next to the native [lint.v1] JSON.
+
+    Minimal profile: one run; the full {!Rules.all} taxonomy on
+    [tool.driver.rules] (with [ruleIndex] back-references from
+    results); one result per finding with a physical location
+    (1-based SARIF columns, converted from the 0-based
+    {!Finding.t} columns) under the [REPOROOT] URI base; and a
+    [baselineState] derived from the count ratchet — ["new"] when the
+    finding is beyond its baseline allowance, ["unchanged"] when
+    grandfathered. *)
+
+val version : string
+(** The [tool.driver.version] stamp. *)
+
+val report : root:string -> results:(Finding.t * bool) list -> Obs.Json.t
+(** The complete SARIF document; [results] pairs each finding with its
+    freshness flag (from {!Driver.with_freshness}). Deterministic:
+    depends only on the inputs and {!Rules.all}. *)

@@ -1,0 +1,216 @@
+(* Phase 2: the interprocedural rules, evaluated over the phase-1
+   index. EXN-ESCAPE walks the call graph from every Result-typed
+   interface value; SYNC-DISCIPLINE checks every access to a
+   mutex-annotated global against its lexical lock context. *)
+
+let finding ~rule ~severity ~file (p : Index.pos) message =
+  Finding.v ~rule ~severity ~file ~line:p.Index.line ~col:p.Index.col
+    ~end_line:p.Index.end_line ~end_col:p.Index.end_col message
+
+(* ------------------------------------------------------------------ *)
+(* EXN-ESCAPE *)
+
+let exn_escape_id = "EXN-ESCAPE"
+
+(* Invalid_argument is the precondition idiom (Numerics.Precondition,
+   legacy invalid_arg): a caller-contract violation, not a solver
+   failure, and governed by NO-BARE-RAISE — out of scope here. *)
+let exempt_ctors = [ "Invalid_argument" ]
+
+let suppression_table infos ~rule =
+  let by_file = Hashtbl.create 16 in
+  List.iter
+    (fun (info : Index.file_info) ->
+      let mine =
+        List.filter
+          (fun (s : Index.suppression) ->
+            s.Index.malformed = None && String.equal s.Index.s_rule rule)
+          info.Index.suppressions
+      in
+      if mine <> [] then Hashtbl.replace by_file info.Index.path mine)
+    infos;
+  by_file
+
+(* a suppression covering [line] (or fully containing [span]) *)
+let covering by_file file ~line ~span =
+  match Hashtbl.find_opt by_file file with
+  | None -> None
+  | Some ss ->
+    List.find_opt
+      (fun (s : Index.suppression) ->
+        (s.Index.line_lo <= line && line <= s.Index.line_hi)
+        ||
+        match span with
+        | Some (lo, hi) -> s.Index.line_lo <= lo && hi <= s.Index.line_hi
+        | None -> false)
+      ss
+
+let exn_escape (proj : Callgraph.project) ~scope =
+  let g = Callgraph.build proj in
+  let suppr = suppression_table proj.Callgraph.infos ~rule:exn_escape_id in
+  let used = ref [] in
+  let mark_used file (s : Index.suppression) =
+    if not (List.mem (file, s.Index.s_pos) !used) then
+      used := (file, s.Index.s_pos) :: !used
+  in
+  (* a def whose whole span a suppression covers is a trusted boundary:
+     its raises are vouched for and traversal does not descend into it *)
+  let barrier (node : Callgraph.node) =
+    match Callgraph.def_of g node with
+    | None -> None
+    | Some d ->
+      covering suppr node.Callgraph.n_file ~line:d.Index.d_pos.Index.line
+        ~span:(Some (d.Index.d_pos.Index.line, d.Index.d_pos.Index.end_line))
+  in
+  (* entries: Result-typed .mli vals (in scope) with a same-name
+     top-level def in the sibling implementation *)
+  let entries =
+    List.concat_map
+      (fun (mli : Index.file_info) ->
+        if
+          (not (Filename.check_suffix mli.Index.path ".mli"))
+          || not (scope mli.Index.path)
+        then []
+        else
+          let impl = Filename.remove_extension mli.Index.path ^ ".ml" in
+          List.filter_map
+            (fun (name, _) ->
+              let node = { Callgraph.n_file = impl; n_def = name } in
+              match Callgraph.def_of g node with
+              | Some _ -> Some node
+              | None -> None)
+            mli.Index.result_vals)
+      proj.Callgraph.infos
+    |> List.sort (fun (a : Callgraph.node) b ->
+           let c = String.compare a.Callgraph.n_file b.Callgraph.n_file in
+           if c <> 0 then c else String.compare a.Callgraph.n_def b.Callgraph.n_def)
+  in
+  (* keyed by raise site so one bad helper yields one finding, carrying
+     the first (deterministic) entry path that reaches it *)
+  let flagged : (string * int * int, Finding.t) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun entry ->
+      let follow node =
+        match barrier node with
+        | Some s ->
+          mark_used node.Callgraph.n_file s;
+          false
+        | None -> true
+      in
+      List.iter
+        (fun (node, path) ->
+          match Callgraph.def_of g node with
+          | None -> ()
+          | Some d ->
+            List.iter
+              (fun (r : Index.raise_site) ->
+                if
+                  (not r.Index.r_absorbed)
+                  && not (List.mem r.Index.ctor exempt_ctors)
+                then begin
+                  match
+                    covering suppr node.Callgraph.n_file
+                      ~line:r.Index.r_pos.Index.line ~span:None
+                  with
+                  | Some s -> mark_used node.Callgraph.n_file s
+                  | None ->
+                    let key =
+                      ( node.Callgraph.n_file,
+                        r.Index.r_pos.Index.line,
+                        r.Index.r_pos.Index.col )
+                    in
+                    if not (Hashtbl.mem flagged key) then begin
+                      let via =
+                        String.concat " -> "
+                          (List.map (Callgraph.node_name g) path)
+                      in
+                      let what =
+                        match r.Index.ctor with
+                        | "<re-raise>" -> "re-raised exception"
+                        | "<computed>" -> "raise of a computed exception"
+                        | c -> "raise " ^ c
+                      in
+                      Hashtbl.replace flagged key
+                        (finding ~rule:exn_escape_id ~severity:Finding.Error
+                           ~file:node.Callgraph.n_file r.Index.r_pos
+                           (Printf.sprintf
+                              "%s can escape the Result-typed %s (call path: \
+                               %s); absorb it behind a try/Result boundary or \
+                               suppress with [@sublint.allow \"%s\" \"why it \
+                               cannot escape\"]"
+                              what
+                              (Callgraph.node_name g (List.hd path))
+                              via exn_escape_id));
+                      order := key :: !order
+                    end
+                end)
+              d.Index.raises)
+        (Callgraph.reachable ~follow g ~from:entry))
+    entries;
+  let findings =
+    List.rev_map (fun key -> Hashtbl.find flagged key) !order
+  in
+  (findings, !used)
+
+(* ------------------------------------------------------------------ *)
+(* SYNC-DISCIPLINE *)
+
+let sync_discipline_id = "SYNC-DISCIPLINE"
+
+let lock_last m =
+  match String.rindex_opt m '.' with
+  | Some i -> String.sub m (i + 1) (String.length m - i - 1)
+  | None -> m
+
+let sync_discipline (proj : Callgraph.project) ~scope =
+  List.concat_map
+    (fun (info : Index.file_info) ->
+      if not (scope info.Index.path) then []
+      else
+        List.concat_map
+          (fun (gl : Index.sync_global) ->
+            match gl.Index.g_mutex with
+            | None -> []  (* the note documents a non-mutex discipline *)
+            | Some m ->
+              if not (List.mem m info.Index.mutexes) then
+                [
+                  finding ~rule:sync_discipline_id ~severity:Finding.Error
+                    ~file:info.Index.path gl.Index.g_pos
+                    (Printf.sprintf
+                       "[@@sync] note for %s names mutex [%s], but this \
+                        module has no top-level `let %s = Mutex.create ()` — \
+                        the annotation cannot be true"
+                       gl.Index.g_name m m);
+                ]
+              else
+                List.filter_map
+                  (fun (a : Index.sync_access) ->
+                    if not (String.equal a.Index.target gl.Index.g_name) then
+                      None
+                    else if a.Index.in_unlocked then None
+                    else if
+                      List.exists
+                        (fun held -> String.equal (lock_last held) m)
+                        a.Index.locks_held
+                    then None
+                    else
+                      Some
+                        (finding ~rule:sync_discipline_id
+                           ~severity:Finding.Error ~file:info.Index.path
+                           a.Index.a_pos
+                           (Printf.sprintf
+                              "%s is declared [@@sync] under mutex [%s] but \
+                               this access is not lexically inside \
+                               Mutex.protect %s / with_lock %s / a local \
+                               wrapper acquiring it (and not in a *_unlocked \
+                               helper)%s"
+                              gl.Index.g_name m m m
+                              (match a.Index.locks_held with
+                              | [] -> ""
+                              | held ->
+                                Printf.sprintf " — locks held here: %s"
+                                  (String.concat ", " held)))))
+                  info.Index.sync_accesses)
+          info.Index.sync_globals)
+    proj.Callgraph.infos

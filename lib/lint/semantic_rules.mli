@@ -1,0 +1,29 @@
+(** Phase 2: the interprocedural rules (DESIGN §15).
+
+    Both run over an already-built {!Callgraph.project}; [scope] is
+    the per-rule path predicate from {!Rules}. *)
+
+val exn_escape_id : string
+val sync_discipline_id : string
+
+val exn_escape :
+  Callgraph.project ->
+  scope:(string -> bool) ->
+  Finding.t list * (string * Index.pos) list
+(** EXN-ESCAPE: a [raise] reachable through the call graph from a
+    definition whose [.mli] type returns [('a, _) result] (in scope)
+    and not absorbed behind a [try]/match-exception boundary. Raises
+    of [Invalid_argument] (the precondition idiom) are exempt. A
+    well-formed [[@sublint.allow "EXN-ESCAPE" ...]] covering a raise
+    site drops that site; one covering a whole definition is a
+    barrier — its raises are vouched for and traversal does not
+    descend into it. Returns the findings (deterministic order) and
+    the [(file, pos)] of every suppression the analysis consumed. *)
+
+val sync_discipline :
+  Callgraph.project -> scope:(string -> bool) -> Finding.t list
+(** SYNC-DISCIPLINE: every access to a [[@@sync "...[m]..."]] global
+    must be lexically inside [Mutex.protect m]/[with_lock m]/a local
+    wrapper acquiring [m], or in a [*_unlocked] helper (the documented
+    caller-holds-lock convention). Also checks that the named mutex
+    exists as a top-level [Mutex.create ()] in the module. *)

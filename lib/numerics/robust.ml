@@ -338,6 +338,11 @@ let root ?(tol = 1e-12) ?(max_iter = 200) ?df ?x0 ?domain ?(ctx = default_ctx) f
   Obs.Metrics.observe h.root_latency_h (Obs.Clock.elapsed ~since:t_start);
   Obs.Metrics.observe h.root_evals_h (float_of_int !evals);
   outcome
+[@@sublint.allow "EXN-ESCAPE"
+    "thunk-driver: the method thunks raise Poison/No_bracket/No_convergence/\
+     Budget_exceeded, and run's match-exception arms catch every one of them \
+     non-lexically (per attempt) and fold it into the Error fallback chain — \
+     nothing escapes the result type"]
 
 (* ------------------------------------------------------------------ *)
 (* fixed points with divergence/oscillation detection and damping retry *)

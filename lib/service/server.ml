@@ -106,12 +106,13 @@ let solve_market ~limits ~retry ?rng ?x0 (market : Proto.market) =
     Subsidization.Subsidy_game.make sys ~price:market.Proto.price
       ~cap:market.Proto.cap
   in
-  let attempt () =
-    Runner.Watchdog.guard limits (fun () ->
-        Subsidization.Nash.solve_result ?x0 game)
-  in
   let rec go attempt_no =
-    match attempt () with
+    match
+      (* scrutinee, not a helper thunk: the exception arms below are
+         the absorption boundary EXN-ESCAPE checks for *)
+      Runner.Watchdog.guard limits (fun () ->
+          Subsidization.Nash.solve_result ?x0 game)
+    with
     | Ok eq -> Ok eq
     | Error err ->
       if

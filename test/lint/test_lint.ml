@@ -2,8 +2,11 @@
    fixture and stays silent on its clean counterpart; rule scoping and
    allowlisting are honoured; the baseline ratchet round-trips through
    its file format and detects both fresh findings and stale
-   allowances; and the lint.v1 JSON record parses back with the
-   documented shape. *)
+   allowances; the two-phase analyzer's semantic rules (EXN-ESCAPE,
+   SYNC-DISCIPLINE) resolve calls across modules; suppressions are
+   consumed or reported unused; the content-digest cache serves warm
+   runs byte-identically; and the lint.v1 and SARIF records parse back
+   with their documented shapes. *)
 
 open Test_helpers
 
@@ -17,6 +20,20 @@ let check_fires msg rule ~path src =
 
 let check_silent msg rule ~path src =
   Alcotest.(check int) msg 0 (count rule (lint ~path src))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_contains msg ~sub s =
+  if not (contains ~sub s) then Alcotest.failf "%s: %S not in %S" msg sub s
+
+(* full two-phase pipeline over in-memory sources *)
+let analyze pairs = (Lint.Driver.analyze_sources pairs).Lint.Driver.findings
+
+let only rule findings =
+  List.filter (fun f -> String.equal f.Lint.Finding.rule rule) findings
 
 (* ------------------------------------------------------------------ *)
 (* NO-BARE-RAISE *)
@@ -236,6 +253,274 @@ let test_parse_failure () =
   | exception Lint.Driver.Parse_failed msg ->
     check_true "message names the file" (String.length msg > 0)
 
+let test_parse_error_collected () =
+  (* the project analyzer never aborts on a bad file: it reports *)
+  let r =
+    Lint.Driver.analyze_sources
+      [ ("lib/core/broken.ml", "let f = ("); ("lib/core/good.ml", "let g x = x") ]
+  in
+  Alcotest.(check int) "one PARSE-ERROR finding" 1
+    (count "PARSE-ERROR" r.Lint.Driver.findings);
+  Alcotest.(check int) "one parse error recorded" 1
+    (List.length r.Lint.Driver.parse_errors);
+  (match only "PARSE-ERROR" r.Lint.Driver.findings with
+  | [ f ] ->
+    Alcotest.(check string) "finding names the bad file" "lib/core/broken.ml"
+      f.Lint.Finding.file;
+    check_contains "message explains the blind spot" ~sub:"does not parse"
+      f.Lint.Finding.message
+  | _ -> Alcotest.fail "expected exactly one PARSE-ERROR")
+
+(* ------------------------------------------------------------------ *)
+(* EXN-ESCAPE: interprocedural exception-escape through the call graph *)
+
+let fx_mli = ("lib/core/fx.mli", "val solve : int -> (int, string) result")
+
+let test_exn_escape_direct () =
+  let fs =
+    analyze
+      [ fx_mli; ("lib/core/fx.ml", {|let solve x = if x < 0 then raise Exit else Ok x|}) ]
+  in
+  Alcotest.(check int) "direct raise flagged" 1 (count "EXN-ESCAPE" fs);
+  match only "EXN-ESCAPE" fs with
+  | [ f ] ->
+    Alcotest.(check string) "severity is error" "error"
+      (Lint.Finding.severity_name f.Lint.Finding.severity);
+    check_contains "message carries the call path" ~sub:"call path" f.Lint.Finding.message;
+    check_contains "message names the entry" ~sub:"Fx.solve" f.Lint.Finding.message
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_exn_escape_transitive () =
+  (* via a same-file helper *)
+  let fs =
+    analyze
+      [
+        fx_mli;
+        ( "lib/core/fx.ml",
+          {|let boom x = if x < 0 then raise Exit else x
+let solve x = Ok (boom x)|} );
+      ]
+  in
+  Alcotest.(check int) "transitive raise flagged" 1 (count "EXN-ESCAPE" fs);
+  (match only "EXN-ESCAPE" fs with
+  | [ f ] ->
+    check_contains "path walks through the helper" ~sub:"Fx.solve -> Fx.boom"
+      f.Lint.Finding.message
+  | _ -> Alcotest.fail "expected exactly one finding");
+  (* via a sibling module of the same library *)
+  let fs =
+    analyze
+      [
+        fx_mli;
+        ("lib/core/fx.ml", {|let solve x = Ok (Util.boom x)|});
+        ("lib/core/util.ml", {|let boom x = if x < 0 then raise Exit else x|});
+      ]
+  in
+  Alcotest.(check int) "cross-module raise flagged" 1 (count "EXN-ESCAPE" fs);
+  match only "EXN-ESCAPE" fs with
+  | [ f ] ->
+    Alcotest.(check string) "finding lands at the raise site" "lib/core/util.ml"
+      f.Lint.Finding.file;
+    check_contains "path crosses the module boundary" ~sub:"Fx.solve -> Util.boom"
+      f.Lint.Finding.message
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_exn_escape_absorbed () =
+  (* a match-exception boundary absorbs both the helper call and the
+     raise behind it: the entry cannot leak *)
+  let fs =
+    analyze
+      [
+        fx_mli;
+        ( "lib/core/fx.ml",
+          {|let boom x = if x < 0 then raise Exit else x
+let solve x = match boom x with v -> Ok v | exception Exit -> Error "neg"|}
+        );
+      ]
+  in
+  Alcotest.(check int) "absorbed raise is silent" 0 (count "EXN-ESCAPE" fs);
+  (* and a try boundary likewise *)
+  let fs =
+    analyze
+      [
+        fx_mli;
+        ( "lib/core/fx.ml",
+          {|let boom x = if x < 0 then raise Exit else x
+let solve x = try Ok (boom x) with Exit -> Error "neg"|} );
+      ]
+  in
+  Alcotest.(check int) "try-absorbed raise is silent" 0 (count "EXN-ESCAPE" fs)
+
+let test_exn_escape_exempt () =
+  (* Invalid_argument is the precondition idiom, out of scope here *)
+  let fs =
+    analyze
+      [
+        fx_mli;
+        ("lib/core/fx.ml", {|let solve x = if x < 0 then invalid_arg "neg" else Ok x|});
+      ]
+  in
+  Alcotest.(check int) "invalid_arg is exempt" 0 (count "EXN-ESCAPE" fs)
+
+let test_exn_escape_scope () =
+  (* the rule covers lib/numerics, lib/core and lib/service only *)
+  let fs =
+    analyze
+      [
+        ("lib/econ/fx.mli", "val solve : int -> (int, string) result");
+        ("lib/econ/fx.ml", {|let solve x = if x < 0 then raise Exit else Ok x|});
+      ]
+  in
+  Alcotest.(check int) "lib/econ is out of scope" 0 (count "EXN-ESCAPE" fs)
+
+(* ------------------------------------------------------------------ *)
+(* SYNC-DISCIPLINE: lock-context checking of [@@sync] globals *)
+
+let sync_path = "lib/parallel/st.ml"
+
+let test_sync_discipline_flags_unlocked () =
+  let fs =
+    analyze
+      [
+        ( sync_path,
+          {|let lock = Mutex.create ()
+let wrong = Mutex.create ()
+let counter = ref 0 [@@sync "guarded by [lock]"]
+let good () = Mutex.protect lock (fun () -> incr counter)
+let bad () = incr counter
+let also_bad () = Mutex.protect wrong (fun () -> incr counter)
+let read_unlocked () = !counter|}
+        );
+      ]
+  in
+  Alcotest.(check int) "exactly the two bad accesses flagged" 2
+    (count "SYNC-DISCIPLINE" fs);
+  let lines =
+    List.map (fun f -> f.Lint.Finding.line) (only "SYNC-DISCIPLINE" fs)
+  in
+  Alcotest.(check (list int)) "findings land on bad and also_bad" [ 5; 6 ] lines;
+  let wrong_mutex =
+    List.find
+      (fun f -> f.Lint.Finding.line = 6)
+      (only "SYNC-DISCIPLINE" fs)
+  in
+  check_contains "wrong-mutex message names what is held"
+    ~sub:"locks held here: wrong" wrong_mutex.Lint.Finding.message
+
+let test_sync_discipline_wrapper () =
+  (* a local eta-wrapper around Mutex.protect counts as holding it *)
+  let fs =
+    analyze
+      [
+        ( sync_path,
+          {|let lock = Mutex.create ()
+let guarded f = Mutex.protect lock f
+let counter = ref 0 [@@sync "guarded by [lock]"]
+let tick () = guarded (fun () -> incr counter)|}
+        );
+      ]
+  in
+  Alcotest.(check int) "wrapper-guarded access is clean" 0
+    (count "SYNC-DISCIPLINE" fs)
+
+let test_sync_discipline_missing_mutex () =
+  let fs =
+    analyze
+      [ (sync_path, {|let counter = ref 0 [@@sync "guarded by [lock]"]|}) ]
+  in
+  Alcotest.(check int) "annotation without the mutex is itself a finding" 1
+    (count "SYNC-DISCIPLINE" fs);
+  match only "SYNC-DISCIPLINE" fs with
+  | [ f ] ->
+    check_contains "message names the missing binding" ~sub:"no top-level"
+      f.Lint.Finding.message
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+(* ------------------------------------------------------------------ *)
+(* [@sublint.allow] suppressions *)
+
+let test_suppression_used_syntactic () =
+  let fs =
+    analyze
+      [
+        ( "lib/core/m.ml",
+          {|let f x = (Obj.magic x : int) [@@sublint.allow "NO-OBJ-MAGIC" "test fixture"]|}
+        );
+      ]
+  in
+  Alcotest.(check int) "suppressed finding is dropped" 0 (count "NO-OBJ-MAGIC" fs);
+  Alcotest.(check int) "consumed suppression is not reported unused" 0
+    (count "UNUSED-SUPPRESSION" fs)
+
+let test_suppression_used_semantic () =
+  let fs =
+    analyze
+      [
+        fx_mli;
+        ( "lib/core/fx.ml",
+          {|let solve x =
+  if x < 0 then (raise Exit [@sublint.allow "EXN-ESCAPE" "fixture: caller catches"])
+  else Ok x|}
+        );
+      ]
+  in
+  Alcotest.(check int) "raise-site suppression drops the escape" 0
+    (count "EXN-ESCAPE" fs);
+  Alcotest.(check int) "the semantic analysis marks it used" 0
+    (count "UNUSED-SUPPRESSION" fs)
+
+let test_suppression_unused () =
+  let fs =
+    analyze
+      [
+        ( "lib/core/m.ml",
+          {|[@@@sublint.allow "NO-OBJ-MAGIC" "speculative"]
+let id x = x|} );
+      ]
+  in
+  Alcotest.(check int) "unused suppression is reported" 1
+    (count "UNUSED-SUPPRESSION" fs);
+  match only "UNUSED-SUPPRESSION" fs with
+  | [ f ] ->
+    Alcotest.(check string) "unused suppression is a warning" "warning"
+      (Lint.Finding.severity_name f.Lint.Finding.severity);
+    check_contains "message says it never matched" ~sub:"never matched"
+      f.Lint.Finding.message
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_suppression_unknown_rule () =
+  let fs =
+    analyze
+      [
+        ( "lib/core/m.ml",
+          {|[@@@sublint.allow "NO-SUCH-RULE" "typo"]
+let id x = x|} );
+      ]
+  in
+  Alcotest.(check int) "unknown rule id is reported" 1
+    (count "UNUSED-SUPPRESSION" fs);
+  match only "UNUSED-SUPPRESSION" fs with
+  | [ f ] ->
+    check_contains "message flags the unknown rule" ~sub:"unknown rule"
+      f.Lint.Finding.message
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_suppression_malformed () =
+  let fs =
+    analyze
+      [
+        ( "lib/core/m.ml",
+          {|let f x = (Obj.magic x : int) [@@sublint.allow "NO-OBJ-MAGIC"]|} );
+      ]
+  in
+  Alcotest.(check int) "a reason-less allow suppresses nothing" 1
+    (count "NO-OBJ-MAGIC" fs);
+  Alcotest.(check int) "and is itself diagnosed" 1 (count "UNUSED-SUPPRESSION" fs);
+  match only "UNUSED-SUPPRESSION" fs with
+  | [ f ] ->
+    check_contains "message says malformed" ~sub:"malformed" f.Lint.Finding.message
+  | _ -> Alcotest.fail "expected exactly one finding"
+
 (* ------------------------------------------------------------------ *)
 (* baseline ratchet *)
 
@@ -276,35 +561,162 @@ let test_baseline_ratchet () =
     (List.length drift.Lint.Baseline.stale);
   check_true "stale baseline is not clean" (not (Lint.Baseline.clean drift))
 
+let test_baseline_prune () =
+  let findings = two_findings () in
+  let b = Lint.Baseline.of_findings findings in
+  let pruned = Lint.Baseline.prune b [ List.hd findings ] in
+  Alcotest.(check int) "allowance ratchets down to reality" 1
+    (Lint.Baseline.count pruned ~rule:"NO-BARE-RAISE" ~file:solver_path);
+  check_true "pruned baseline is clean against reality"
+    (Lint.Baseline.clean (Lint.Baseline.diff ~baseline:pruned [ List.hd findings ]));
+  Alcotest.(check int) "no findings drops the key entirely" 0
+    (Lint.Baseline.total (Lint.Baseline.prune b []));
+  let more =
+    findings @ lint ~path:solver_path {|let h () = failwith "c"|}
+  in
+  Alcotest.(check int) "prune never raises an allowance" 2
+    (Lint.Baseline.count (Lint.Baseline.prune b more) ~rule:"NO-BARE-RAISE"
+       ~file:solver_path)
+
+(* ------------------------------------------------------------------ *)
+(* content-digest cache *)
+
+let test_cache_roundtrip () =
+  let path = "lib/core/c.ml" in
+  let info = Lint.Driver.analyze_source ~path "let f x = x + 1" in
+  let c = Lint.Cache.empty ~version:Lint.Driver.cache_version in
+  check_true "empty cache misses"
+    (Option.is_none (Lint.Cache.find c ~path ~digest:"d1"));
+  Lint.Cache.add c ~path ~digest:"d1" info;
+  (match Lint.Cache.find c ~path ~digest:"d1" with
+  | Some i -> Alcotest.(check string) "hit returns the entry" path i.Lint.Index.path
+  | None -> Alcotest.fail "expected a cache hit");
+  check_true "an edited file (new digest) misses"
+    (Option.is_none (Lint.Cache.find c ~path ~digest:"d2"));
+  let file = "test_lint.cache" in
+  (match Lint.Cache.save c file with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save failed: %s" e);
+  let warm = Lint.Cache.load ~version:Lint.Driver.cache_version file in
+  check_true "persisted entry survives a reload"
+    (Option.is_some (Lint.Cache.find warm ~path ~digest:"d1"));
+  let stale = Lint.Cache.load ~version:"some-other-version" file in
+  check_true "a version bump invalidates wholesale"
+    (Option.is_none (Lint.Cache.find stale ~path ~digest:"d1"));
+  let missing = Lint.Cache.load ~version:Lint.Driver.cache_version "no_such.cache" in
+  check_true "a missing file is just cold"
+    (Option.is_none (Lint.Cache.find missing ~path ~digest:"d1"));
+  let oc = open_out file in
+  output_string oc "not a marshalled cache";
+  close_out oc;
+  let corrupt = Lint.Cache.load ~version:Lint.Driver.cache_version file in
+  check_true "a corrupt file is just cold"
+    (Option.is_none (Lint.Cache.find corrupt ~path ~digest:"d1"));
+  Sys.remove file
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end scan: warm cache and --jobs determinism (over a scratch
+   tree in the test's working directory) *)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let rec mkdir_p dir =
+  if (not (String.equal dir ".")) && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let make_tree root =
+  mkdir_p (Filename.concat root "lib/core");
+  write_file
+    (Filename.concat root "lib/core/fx.mli")
+    "val solve : int -> (int, string) result\n";
+  write_file
+    (Filename.concat root "lib/core/fx.ml")
+    "let solve x = if x < 0 then raise Exit else Ok x\n";
+  write_file (Filename.concat root "lib/core/util.ml") "let twice x = x * 2\n"
+
+let report_string r =
+  let drift =
+    Lint.Baseline.diff ~baseline:Lint.Baseline.empty r.Lint.Driver.findings
+  in
+  Obs.Json.to_string (Lint.Driver.json_report ~root:"." r ~drift)
+
+let test_scan_warm_cache () =
+  let root = "scan_tree_cache" in
+  rm_rf root;
+  make_tree root;
+  let c = Lint.Cache.empty ~version:Lint.Driver.cache_version in
+  let r1 = Lint.Driver.scan ~cache:c ~root ~dirs:[ "lib" ] () in
+  Alcotest.(check int) "three files scanned" 3 r1.Lint.Driver.files_scanned;
+  Alcotest.(check int) "cold run parses everything" 3 r1.Lint.Driver.reparsed;
+  Alcotest.(check int) "semantic rule runs from disk too" 1
+    (count "EXN-ESCAPE" r1.Lint.Driver.findings);
+  let r2 = Lint.Driver.scan ~cache:c ~root ~dirs:[ "lib" ] () in
+  Alcotest.(check int) "warm run re-parses nothing" 0 r2.Lint.Driver.reparsed;
+  Alcotest.(check string) "warm report is byte-identical to cold"
+    (report_string r1) (report_string r2);
+  write_file (Filename.concat root "lib/core/util.ml") "let twice x = x + x\n";
+  let r3 = Lint.Driver.scan ~cache:c ~root ~dirs:[ "lib" ] () in
+  Alcotest.(check int) "an edit re-parses exactly that file" 1
+    r3.Lint.Driver.reparsed;
+  rm_rf root
+
+let test_scan_jobs_deterministic () =
+  let root = "scan_tree_jobs" in
+  rm_rf root;
+  make_tree root;
+  let at jobs =
+    Parallel.Runtime.set_jobs jobs;
+    report_string (Lint.Driver.scan ~root ~dirs:[ "lib" ] ())
+  in
+  let r1 = at 1 in
+  let r4 = at 4 in
+  check_true "scan found something" (String.length r1 > 2);
+  Alcotest.(check string) "--jobs 1 and --jobs 4 agree byte-for-byte" r1 r4;
+  rm_rf root
+
 (* ------------------------------------------------------------------ *)
 (* lint.v1 JSON *)
+
+let jmem name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing %s" name
 
 let test_json_shape () =
   let findings = two_findings () in
   let report =
-    { Lint.Driver.findings; files_scanned = 1; parse_errors = [] }
+    { Lint.Driver.findings; files_scanned = 1; reparsed = 1; parse_errors = [] }
   in
   let drift = Lint.Baseline.diff ~baseline:Lint.Baseline.empty findings in
   let json = Lint.Driver.json_report ~root:"." report ~drift in
   (* the record must survive the repo's own JSON parser *)
   let parsed = Obs.Json.of_string (Obs.Json.to_string json) in
-  let member name =
-    match Obs.Json.member name parsed with
-    | Some v -> v
-    | None -> Alcotest.failf "missing %s" name
-  in
+  let member name = jmem name parsed in
   (match member "schema" with
   | Obs.Json.Str s -> Alcotest.(check string) "schema tag" "lint.v1" s
   | _ -> Alcotest.fail "schema is not a string");
   (match Obs.Json.to_list (member "rules") with
   | Some rules ->
-    Alcotest.(check int) "all nine rules described" 9 (List.length rules);
+    Alcotest.(check int) "all thirteen rules described" 13 (List.length rules);
     List.iter
       (fun r ->
         List.iter
           (fun field ->
             if Obs.Json.member field r = None then Alcotest.failf "rule lacks %s" field)
-          [ "id"; "severity"; "doc"; "applies_to"; "exempt" ])
+          [ "id"; "severity"; "doc"; "applies_to"; "exempt"; "baselinable" ])
       rules
   | None -> Alcotest.fail "rules is not an array");
   (match Obs.Json.to_list (member "findings") with
@@ -325,6 +737,74 @@ let test_json_shape () =
     Alcotest.(check (option (float 0.)))
       "summary total" (Some 2.) (Obs.Json.to_float total)
   | None -> Alcotest.fail "summary lacks total"
+
+(* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0 *)
+
+let test_sarif_shape () =
+  let findings = two_findings () in
+  (* first finding fresh, second grandfathered *)
+  let results = List.mapi (fun i f -> (f, i = 0)) findings in
+  let doc =
+    Obs.Json.of_string
+      (Obs.Json.to_string (Lint.Sarif.report ~root:"/repo" ~results))
+  in
+  (match jmem "$schema" doc with
+  | Obs.Json.Str s -> check_contains "schema uri pins 2.1.0" ~sub:"sarif-2.1.0" s
+  | _ -> Alcotest.fail "$schema is not a string");
+  (match jmem "version" doc with
+  | Obs.Json.Str s -> Alcotest.(check string) "SARIF version" "2.1.0" s
+  | _ -> Alcotest.fail "version is not a string");
+  let run =
+    match Obs.Json.to_list (jmem "runs" doc) with
+    | Some [ r ] -> r
+    | _ -> Alcotest.fail "expected exactly one run"
+  in
+  let driver = jmem "driver" (jmem "tool" run) in
+  (match jmem "name" driver with
+  | Obs.Json.Str s -> Alcotest.(check string) "tool name" "sublint" s
+  | _ -> Alcotest.fail "driver name is not a string");
+  (match Obs.Json.to_list (jmem "rules" driver) with
+  | Some rules ->
+    Alcotest.(check int) "the full taxonomy rides on the driver" 13
+      (List.length rules)
+  | None -> Alcotest.fail "rules is not an array");
+  let results_j =
+    match Obs.Json.to_list (jmem "results" run) with
+    | Some l -> l
+    | None -> Alcotest.fail "results is not an array"
+  in
+  Alcotest.(check int) "one result per finding" 2 (List.length results_j);
+  let f0 = List.hd findings and r0 = List.hd results_j in
+  (match jmem "ruleId" r0 with
+  | Obs.Json.Str s ->
+    Alcotest.(check string) "ruleId matches the finding" f0.Lint.Finding.rule s
+  | _ -> Alcotest.fail "ruleId is not a string");
+  check_true "result back-references the driver rules"
+    (Obs.Json.member "ruleIndex" r0 <> None);
+  (match jmem "baselineState" r0 with
+  | Obs.Json.Str s -> Alcotest.(check string) "fresh result is new" "new" s
+  | _ -> Alcotest.fail "baselineState is not a string");
+  (match jmem "baselineState" (List.nth results_j 1) with
+  | Obs.Json.Str s ->
+    Alcotest.(check string) "grandfathered result is unchanged" "unchanged" s
+  | _ -> Alcotest.fail "baselineState is not a string");
+  let region =
+    match Obs.Json.to_list (jmem "locations" r0) with
+    | Some [ loc ] -> jmem "region" (jmem "physicalLocation" loc)
+    | _ -> Alcotest.fail "expected exactly one location"
+  in
+  (match Obs.Json.to_float (jmem "startLine" region) with
+  | Some l ->
+    Alcotest.(check (float 0.)) "startLine matches"
+      (float_of_int f0.Lint.Finding.line) l
+  | None -> Alcotest.fail "startLine is not a number");
+  match Obs.Json.to_float (jmem "startColumn" region) with
+  | Some c ->
+    Alcotest.(check (float 0.)) "startColumn is 1-based"
+      (float_of_int (f0.Lint.Finding.col + 1))
+      c
+  | None -> Alcotest.fail "startColumn is not a number"
 
 let () =
   Alcotest.run "lint"
@@ -378,11 +858,58 @@ let () =
           quick "fires on a bare lib module" test_mli_required_positive;
           quick "silent on paired and out-of-scope files" test_mli_required_negative;
         ] );
-      ("parsing", [ quick "syntax errors surface" test_parse_failure ]);
+      ( "parsing",
+        [
+          quick "syntax errors surface from lint_string" test_parse_failure;
+          quick "the analyzer degrades them to PARSE-ERROR findings"
+            test_parse_error_collected;
+        ] );
+      ( "exn-escape",
+        [
+          quick "flags a direct raise behind a Result val" test_exn_escape_direct;
+          quick "follows the call graph, same-file and cross-module"
+            test_exn_escape_transitive;
+          quick "silent behind try/match-exception boundaries"
+            test_exn_escape_absorbed;
+          quick "exempts the Invalid_argument precondition idiom"
+            test_exn_escape_exempt;
+          quick "scoped to the solver/service layers" test_exn_escape_scope;
+        ] );
+      ( "sync-discipline",
+        [
+          quick "flags unlocked and wrong-mutex accesses"
+            test_sync_discipline_flags_unlocked;
+          quick "recognizes local Mutex.protect wrappers"
+            test_sync_discipline_wrapper;
+          quick "flags an annotation whose mutex does not exist"
+            test_sync_discipline_missing_mutex;
+        ] );
+      ( "suppressions",
+        [
+          quick "a used syntactic suppression drops the finding"
+            test_suppression_used_syntactic;
+          quick "a used raise-site suppression drops the escape"
+            test_suppression_used_semantic;
+          quick "an unused suppression is reported" test_suppression_unused;
+          quick "an unknown rule id is reported" test_suppression_unknown_rule;
+          quick "a malformed payload suppresses nothing and is diagnosed"
+            test_suppression_malformed;
+        ] );
       ( "baseline",
         [
           quick "file-format round trip" test_baseline_round_trip;
           quick "ratchet: fresh and stale drift" test_baseline_ratchet;
+          quick "prune ratchets allowances down, never up" test_baseline_prune;
+        ] );
+      ( "cache",
+        [ quick "digest hit/miss, persistence, version guard" test_cache_roundtrip ] );
+      ( "scan",
+        [
+          quick "warm cache re-parses nothing, byte-identical report"
+            test_scan_warm_cache;
+          quick "--jobs 1 and --jobs 4 agree byte-for-byte"
+            test_scan_jobs_deterministic;
         ] );
       ("json", [ quick "lint.v1 shape" test_json_shape ]);
+      ("sarif", [ quick "SARIF 2.1.0 shape" test_sarif_shape ]);
     ]
