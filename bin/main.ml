@@ -493,6 +493,25 @@ let serve_cmd =
     let doc = "fsync every journal append (power-loss durability; slower)." in
     Arg.(value & flag & info [ "durable" ] ~doc)
   in
+  let snapshot_arg =
+    let doc =
+      "Persist the equilibrium cache to $(docv): loaded before journal replay \
+       at startup, saved periodically and on clean shutdown, so a restarted \
+       daemon answers repeated fingerprints from cache instead of re-solving."
+    in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc = "Seconds between periodic cache-snapshot saves (0 disables the timer)." in
+    Arg.(value & opt float 30. & info [ "snapshot-every-s" ] ~docv:"S" ~doc)
+  in
+  let compact_bytes_arg =
+    let doc =
+      "Rewrite the journal (dropping acked and torn lines) whenever it grows \
+       past $(docv) bytes; 0 disables compaction."
+    in
+    Arg.(value & opt int (1 lsl 20) & info [ "compact-bytes" ] ~docv:"BYTES" ~doc)
+  in
   let allow_chaos_arg =
     let doc =
       "Accept chaos frames that install fault injection process-wide (soak \
@@ -509,8 +528,9 @@ let serve_cmd =
      control, equilibrium caching with warm starts, watchdog limits and a \
      crash-safe request journal."
   in
-  let run socket tcp host queue cache journal durable allow_chaos verbose
-      log_level log_json jobs deadline_s max_evals retries backoff_s seed =
+  let run socket tcp host queue cache journal durable snapshot snapshot_every
+      compact_bytes allow_chaos verbose log_level log_json jobs deadline_s
+      max_evals retries backoff_s seed =
     apply_jobs jobs;
     apply_logging
       ~level:(if verbose then Obs.Log.Debug else log_level)
@@ -532,6 +552,9 @@ let serve_cmd =
         cache_capacity = cache;
         journal_path = journal;
         durable;
+        snapshot_path = snapshot;
+        snapshot_every_s = (if snapshot_every > 0. then Some snapshot_every else None);
+        journal_compact_bytes = (if compact_bytes > 0 then Some compact_bytes else None);
         allow_chaos;
         limits;
         retry;
@@ -549,9 +572,189 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ host_arg $ queue_arg $ cache_arg
-      $ journal_arg $ durable_arg $ allow_chaos_arg $ verbose_arg
-      $ log_level_arg $ log_json_arg $ jobs_arg $ deadline_arg $ max_evals_arg
-      $ retries_arg $ backoff_arg $ seed_arg)
+      $ journal_arg $ durable_arg $ snapshot_arg $ snapshot_every_arg
+      $ compact_bytes_arg $ allow_chaos_arg $ verbose_arg $ log_level_arg
+      $ log_json_arg $ jobs_arg $ deadline_arg $ max_evals_arg $ retries_arg
+      $ backoff_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve-fleet: N sharded daemons under one supervisor process *)
+
+let serve_fleet_cmd =
+  let shards_arg =
+    let doc = "Number of shard daemons to fork." in
+    Arg.(value & opt int 3 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let dir_arg =
+    let doc =
+      "Fleet state directory: per-shard Unix sockets, journals and cache \
+       snapshots live here, plus the fleet manifest."
+    in
+    Arg.(
+      value
+      & opt string "/tmp/subsidization-fleet"
+      & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let manifest_out_arg =
+    let doc =
+      "Write the fleet.v1 manifest (shard names and addresses, the file \
+       $(b,loadgen --fleet) consumes) to $(docv); default $(b,DIR/fleet.json)."
+    in
+    Arg.(value & opt (some string) None & info [ "fleet-manifest" ] ~docv:"FILE" ~doc)
+  in
+  let restart_arg =
+    let doc =
+      "Fork a replacement when a shard exits unexpectedly; journal replay plus \
+       the cache snapshot make the replacement pick up where the casualty left \
+       off."
+    in
+    Arg.(value & flag & info [ "restart" ] ~doc)
+  in
+  let queue_arg =
+    let doc = "Per-shard admission-queue bound." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Per-shard equilibrium-cache entries (LRU-bounded)." in
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let durable_arg =
+    let doc = "fsync every journal append on every shard." in
+    Arg.(value & flag & info [ "durable" ] ~doc)
+  in
+  let doc =
+    "Fork N solve-daemon shards (consistent-hash fleet): one Unix socket, \
+     crash-safe journal and cache snapshot per shard under --dir, a fleet.v1 \
+     manifest for fleet-aware clients, SIGTERM/SIGINT forwarded to every \
+     shard, optional automatic restart of casualties."
+  in
+  let shard_name i = Printf.sprintf "s%d" i in
+  let run shards dir manifest_out restart queue cache durable log_level
+      log_json jobs deadline_s max_evals retries backoff_s seed =
+    apply_logging ~level:log_level ~json:log_json;
+    if shards < 1 then log_error_exit2 ~m:"fleet" "--shards must be at least 1"
+    else begin
+      match Report.Fsio.mkdir_p dir with
+      | Error msg -> log_error_exit2 ~m:"fleet" ("cannot create --dir: " ^ msg)
+      | Ok () ->
+        let address i =
+          Service.Server.Unix_path (Filename.concat dir (shard_name i ^ ".sock"))
+        in
+        let child_config i =
+          let base = Service.Server.default_config ~address:(address i) in
+          let limits =
+            match (deadline_s, max_evals) with
+            | None, None -> base.Service.Server.limits
+            | _ -> Runner.Watchdog.limits ?deadline_s ?max_evals ()
+          in
+          {
+            base with
+            Service.Server.queue_capacity = queue;
+            cache_capacity = cache;
+            journal_path = Some (Filename.concat dir (shard_name i ^ ".journal"));
+            snapshot_path = Some (Filename.concat dir (shard_name i ^ ".snapshot"));
+            durable;
+            limits;
+            retry =
+              Runner.Supervisor.retry ~max_attempts:(retries + 1) ~backoff_s
+                ~jitter:0.5 ();
+            seed = Int64.of_int (seed + (1000 * i));
+          }
+        in
+        (* fork before any domain pool exists; each child sizes its own *)
+        let spawn i =
+          match Unix.fork () with
+          | 0 ->
+            apply_jobs jobs;
+            let code =
+              match Service.Server.run (child_config i) with
+              | Ok () -> 0
+              | Error msg ->
+                Obs.Log.error ~m:"fleet"
+                  (Printf.sprintf "%s: %s" (shard_name i) msg);
+                1
+            in
+            Stdlib.exit code
+          | pid -> pid
+        in
+        let pids = Array.init shards spawn in
+        let ring_shards =
+          List.init shards (fun i ->
+              {
+                Service.Shard.name = shard_name i;
+                address = address i;
+                health = Service.Shard.Up;
+                failures = 0;
+              })
+        in
+        let manifest_path =
+          match manifest_out with
+          | Some p -> p
+          | None -> Filename.concat dir "fleet.json"
+        in
+        (match Service.Shard.make ring_shards with
+        | Error msg -> log_error_exit2 ~m:"fleet" msg
+        | Ok ring ->
+          (match Service.Shard.save_manifest ~path:manifest_path ring with
+          | Error msg ->
+            log_error_exit2 ~m:"fleet" ("cannot write fleet manifest: " ^ msg)
+          | Ok () ->
+            Printf.printf "fleet: %d shards up, manifest %s\n%!" shards
+              manifest_path;
+            let stopping = ref false in
+            let forward _ =
+              stopping := true;
+              Array.iter
+                (fun pid ->
+                  if pid > 0 then
+                    try Unix.kill pid Sys.sigterm
+                    with Unix.Unix_error (_, _, _) -> ())
+                pids
+            in
+            let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle forward) in
+            let old_int = Sys.signal Sys.sigint (Sys.Signal_handle forward) in
+            let casualties = ref 0 in
+            let live = ref shards in
+            while !live > 0 do
+              match Unix.waitpid [] (-1) with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | exception Unix.Unix_error (Unix.ECHILD, _, _) -> live := 0
+              | exception Unix.Unix_error (_, _, _) -> live := 0
+              | pid, status ->
+                let i = ref (-1) in
+                Array.iteri (fun k p -> if p = pid then i := k) pids;
+                if !i >= 0 then begin
+                  pids.(!i) <- 0;
+                  decr live;
+                  let clean =
+                    match status with Unix.WEXITED 0 -> true | _ -> false
+                  in
+                  if (not !stopping) && not clean then begin
+                    incr casualties;
+                    Obs.Log.warn ~m:"fleet"
+                      ~fields:[ ("shard", shard_name !i) ]
+                      (if restart then "shard died; restarting"
+                       else "shard died");
+                    if restart then begin
+                      pids.(!i) <- spawn !i;
+                      incr live
+                    end
+                  end
+                end
+            done;
+            Sys.set_signal Sys.sigterm old_term;
+            Sys.set_signal Sys.sigint old_int;
+            Printf.printf "fleet: drained (%d unexpected shard exits)\n"
+              !casualties;
+            if !stopping || !casualties = 0 || restart then 0 else 1))
+    end
+  in
+  Cmd.v (Cmd.info "serve-fleet" ~doc)
+    Term.(
+      const run $ shards_arg $ dir_arg $ manifest_out_arg $ restart_arg
+      $ queue_arg $ cache_arg $ durable_arg $ log_level_arg $ log_json_arg
+      $ jobs_arg $ deadline_arg $ max_evals_arg $ retries_arg $ backoff_arg
+      $ seed_arg)
 
 (* numeric field lookup into an obs.metrics.v1 document:
    [metrics_num json field name] is NaN when absent *)
@@ -621,60 +824,131 @@ let loadgen_cmd =
     in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
+  let fleet_arg =
+    let doc =
+      "Drive a sharded fleet instead of one daemon: route requests by \
+       fingerprint over the fleet.v1 manifest $(docv) (written by \
+       $(b,serve-fleet)), with retry, failover and per-shard circuit breakers."
+    in
+    Arg.(value & opt (some file) None & info [ "fleet" ] ~docv:"MANIFEST" ~doc)
+  in
+  let chaos_net_arg =
+    let doc =
+      "Inject deterministic client-side network faults (dropped connections, \
+       torn mid-frame writes, delayed reads), seeded from --seed; the run \
+       must still answer every request via the failover pool."
+    in
+    Arg.(value & flag & info [ "chaos-net" ] ~doc)
+  in
   let doc =
     "Drive randomized solve load (fresh markets, cache-hitting repeats, \
      warm-start neighbours, optional chaos toggles) against a running daemon \
      and verify every request is answered."
   in
   let run socket tcp host requests connections burst seed chaos_every
-      deadline_s timeout_s csv log_level log_json =
+      deadline_s timeout_s csv fleet chaos_net log_level log_json =
     apply_logging ~level:log_level ~json:log_json;
     let address = address_of ~socket ~tcp ~host in
-    let base = Service.Loadgen.default_config ~address ~requests in
-    let cfg =
-      {
-        base with
-        Service.Loadgen.connections;
-        burst;
-        seed = Int64.of_int seed;
-        chaos_every;
-        deadline_s;
-        timeout_s;
-      }
-    in
-    match
-      Service.Loadgen.run
-        ~on_event:(fun m -> Printf.printf "loadgen: %s\n%!" m)
-        cfg
-    with
-    | Error msg -> log_error_exit2 ~m:"loadgen" msg
-    | Ok report ->
-      Printf.printf "loadgen: %s\n" (Service.Loadgen.report_to_string report);
-      (match csv with
+    let fleet_ring =
+      match fleet with
+      | None -> Ok None
       | Some path ->
-        Service.Loadgen.write_csv ~path report;
-        Printf.printf "loadgen: report CSV written to %s\n" path
+        Result.map Option.some (Service.Shard.load_manifest ~path ())
+    in
+    match fleet_ring with
+    | Error msg -> log_error_exit2 ~m:"loadgen" msg
+    | Ok ring ->
+      let netfault =
+        if chaos_net then
+          Some
+            (Service.Netfault.create ~drop_conn_p:0.02 ~torn_write_p:0.02
+               ~delay_read_p:0.05 ~delay_s:0.005
+               ~seed:(Int64.of_int (seed + 7919))
+               ())
+        else None
+      in
+      let base = Service.Loadgen.default_config ~address ~requests in
+      let cfg =
+        {
+          base with
+          Service.Loadgen.connections;
+          burst;
+          seed = Int64.of_int seed;
+          chaos_every;
+          deadline_s;
+          timeout_s;
+          fleet = ring;
+          netfault;
+        }
+      in
+      (match netfault with
+      | Some nf ->
+        Printf.printf "loadgen: chaos-net on (%s)\n%!"
+          (Service.Netfault.describe nf)
       | None -> ());
-      (match Service.Loadgen.fetch_metrics ~prefix:"service." address with
-      | Ok json -> Printf.printf "loadgen: %s\n" (metrics_digest json)
-      | Error msg -> Printf.printf "loadgen: no metrics snapshot (%s)\n" msg);
-      List.iter
-        (fun e -> Printf.printf "loadgen: transport error: %s\n" e)
-        report.Service.Loadgen.errors;
-      if Service.Loadgen.report_ok report then begin
-        Printf.printf "loadgen: OK — every request solved, degraded or shed\n";
-        0
-      end
-      else begin
-        Printf.printf "loadgen: FAILED\n";
-        1
-      end
+      (match
+         Service.Loadgen.run
+           ~on_event:(fun m -> Printf.printf "loadgen: %s\n%!" m)
+           cfg
+       with
+      | Error msg -> log_error_exit2 ~m:"loadgen" msg
+      | Ok report ->
+        Printf.printf "loadgen: %s\n" (Service.Loadgen.report_to_string report);
+        List.iter
+          (fun (name, (s : Service.Loadgen.shard_load)) ->
+            Printf.printf
+              "loadgen: shard %s: %d sent, %d answered (%d solved, %d \
+               degraded, %d shed), %.1f req/s\n"
+              name s.Service.Loadgen.sent s.Service.Loadgen.answered
+              s.Service.Loadgen.solved s.Service.Loadgen.degraded
+              s.Service.Loadgen.shed s.Service.Loadgen.req_s)
+          report.Service.Loadgen.per_shard;
+        (match netfault with
+        | Some nf ->
+          let s = Service.Netfault.stats nf in
+          Printf.printf
+            "loadgen: chaos-net injected %d dropped conns, %d torn writes, %d \
+             delayed reads\n"
+            s.Service.Netfault.dropped s.Service.Netfault.torn
+            s.Service.Netfault.delayed
+        | None -> ());
+        (match csv with
+        | Some path ->
+          Service.Loadgen.write_csv ~path report;
+          Printf.printf "loadgen: report CSV written to %s\n" path
+        | None -> ());
+        let digest_of addr tag =
+          match Service.Loadgen.fetch_metrics ~prefix:"service." addr with
+          | Ok json -> Printf.printf "loadgen: %s%s\n" tag (metrics_digest json)
+          | Error msg ->
+            Printf.printf "loadgen: %sno metrics snapshot (%s)\n" tag msg
+        in
+        (match ring with
+        | None -> digest_of address ""
+        | Some ring ->
+          List.iter
+            (fun (s : Service.Shard.shard) ->
+              digest_of s.Service.Shard.address
+                (Printf.sprintf "shard %s: " s.Service.Shard.name))
+            (Service.Shard.shards ring));
+        List.iter
+          (fun e -> Printf.printf "loadgen: transport error: %s\n" e)
+          report.Service.Loadgen.errors;
+        if Service.Loadgen.report_ok report then begin
+          Printf.printf "loadgen: OK — every request solved, degraded or shed\n";
+          0
+        end
+        else begin
+          Printf.printf "loadgen: FAILED\n";
+          1
+        end)
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ host_arg $ requests_arg
       $ connections_arg $ burst_arg $ seed_arg $ chaos_every_arg $ deadline_arg
-      $ timeout_arg $ csv_arg $ log_level_arg $ log_json_arg)
+      $ timeout_arg $ csv_arg $ fleet_arg $ chaos_net_arg $ log_level_arg
+      $ log_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* top: live daemon dashboard *)
@@ -749,6 +1023,10 @@ let top_cmd =
       add "queue depth" (fmt_count (num "value" "service.queue.depth"));
       add "connections" (fmt_count (num "value" "service.connections"));
       add "journal pending" (fmt_count (num "value" "service.journal.pending"));
+      add "journal bytes" (fmt_count (num "value" "service.journal.size_bytes"));
+      add "snapshot age (s)"
+        (let v = num "value" "service.cache.snapshot_age_s" in
+         if Float.is_nan v then "-" else Printf.sprintf "%.0f" v);
       if not plain then print_string "\027[2J\027[H";
       Printf.printf "subsidization top — %s (every %.1fs)\n\n%s\n"
         (Service.Server.address_to_string address)
@@ -801,6 +1079,15 @@ let main_cmd =
   let experiment_cmds = List.map experiment_cmd Experiments.Registry.all in
   Cmd.group info
     (experiment_cmds
-    @ [ all_cmd; chaos_cmd; nash_cmd; sweep_cmd; serve_cmd; loadgen_cmd; top_cmd ])
+    @ [
+        all_cmd;
+        chaos_cmd;
+        nash_cmd;
+        sweep_cmd;
+        serve_cmd;
+        serve_fleet_cmd;
+        loadgen_cmd;
+        top_cmd;
+      ])
 
 let () = exit (Cmd.eval' main_cmd)

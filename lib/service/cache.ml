@@ -26,6 +26,7 @@ type t = {
   warm_c : Obs.Metrics.counter;
   evict_c : Obs.Metrics.counter;
   size_g : Obs.Metrics.gauge;
+  snapshot_age_g : Obs.Metrics.gauge;
 }
 
 let create ~capacity =
@@ -43,6 +44,7 @@ let create ~capacity =
     warm_c = Obs.Metrics.counter "service.cache.warm_seeds";
     evict_c = Obs.Metrics.counter "service.cache.evictions";
     size_g = Obs.Metrics.gauge "service.cache.size";
+    snapshot_age_g = Obs.Metrics.gauge "service.cache.snapshot_age_s";
   }
 
 (* Canonical rendering: every float at full [%.17g] precision so two
@@ -139,6 +141,140 @@ let store t ~market ~fingerprint solved =
   Obs.Metrics.set t.size_g (float_of_int (Hashtbl.length t.table))
 
 let size t = Hashtbl.length t.table
+
+(* {2 Snapshot persistence}
+
+   One cache.v1 JSON document: every entry in recency order (oldest
+   first), the solved payload in the exact wire shape. Written
+   atomically and durably — a torn snapshot after a crash would turn
+   the warm start into a cold one, which is exactly the failure the
+   snapshot exists to avoid. *)
+
+let entry_json fp (e : entry) =
+  Obs.Json.Obj
+    [
+      ("fp", Obs.Json.Str fp);
+      ("price", Obs.Json.Num e.price);
+      ("cap", Obs.Json.Num e.cap);
+      ("capacity", Obs.Json.Num e.capacity);
+      ("pop_fp", Obs.Json.Str e.pop_fp);
+      ("tick", Obs.Json.Num (float_of_int e.tick));
+      ("solved", Proto.solved_to_json e.solved);
+    ]
+
+let save t ~path =
+  let entries =
+    Hashtbl.fold (fun fp e acc -> (fp, e) :: acc) t.table []
+    |> List.sort (fun (_, a) (_, b) -> compare a.tick b.tick)
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "cache.v1");
+        ("saved_unix", Obs.Json.Num (Obs.Clock.now ()));
+        ("entries", Obs.Json.Arr (List.map (fun (fp, e) -> entry_json fp e) entries));
+      ]
+  in
+  match
+    Report.Fsio.write_atomic ~durable:true ~path (fun oc ->
+        output_string oc (Obs.Json.to_string doc);
+        output_char oc '\n')
+  with
+  | Error _ as e -> e
+  | Ok () ->
+    Obs.Metrics.set t.snapshot_age_g 0.;
+    Ok (List.length entries)
+
+let str_member name json =
+  match Obs.Json.member name json with
+  | Some (Obs.Json.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "cache snapshot: missing string %S" name)
+
+let num_member name json =
+  match Obs.Json.member name json with
+  | Some (Obs.Json.Num x) -> Ok x
+  | _ -> Error (Printf.sprintf "cache snapshot: missing number %S" name)
+
+let entry_of_json json =
+  let ( let* ) = Result.bind in
+  let* fp = str_member "fp" json in
+  let* price = num_member "price" json in
+  let* cap = num_member "cap" json in
+  let* capacity = num_member "capacity" json in
+  let* pop_fp = str_member "pop_fp" json in
+  let* tick = num_member "tick" json in
+  let* solved =
+    match Obs.Json.member "solved" json with
+    | Some s -> Proto.solved_of_json s
+    | None -> Error "cache snapshot: entry without solved payload"
+  in
+  Ok
+    ( fp,
+      {
+        price;
+        cap;
+        capacity;
+        pop_fp;
+        solved = { solved with Proto.cache = Proto.Hit };
+        tick = int_of_float tick;
+      } )
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in_noerr ic;
+  s
+
+type loaded = { entries : int; age_s : float }
+
+let load_into t ~path =
+  if not (Sys.file_exists path) then Ok { entries = 0; age_s = 0. }
+  else
+    match read_file path with
+    | exception Sys_error msg -> Error ("cache snapshot: " ^ msg)
+    | content -> (
+      match Obs.Json.of_string content with
+      | exception Obs.Json.Parse_error msg ->
+        Error ("cache snapshot: unparsable: " ^ msg)
+      | json -> (
+        match (str_member "schema" json, Obs.Json.member "entries" json) with
+        | Ok "cache.v1", Some (Obs.Json.Arr items) -> (
+          let rec parse acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest -> (
+              match entry_of_json item with
+              | Ok e -> parse (e :: acc) rest
+              | Error _ as err -> err)
+          in
+          match parse [] items with
+          | Error _ as e -> e
+          | Ok entries ->
+            (* oldest snapshot tick first: re-touching in that order
+               reproduces the relative LRU order under the live clock *)
+            let entries =
+              List.sort (fun (_, a) (_, b) -> compare a.tick b.tick) entries
+            in
+            List.iter
+              (fun (fp, e) ->
+                touch t e;
+                if
+                  (not (Hashtbl.mem t.table fp))
+                  && Hashtbl.length t.table >= t.limit
+                then evict_lru t;
+                Hashtbl.replace t.table fp e)
+              entries;
+            Obs.Metrics.set t.size_g (float_of_int (Hashtbl.length t.table));
+            let age_s =
+              match num_member "saved_unix" json with
+              | Ok saved -> Float.max 0. (Obs.Clock.now () -. saved)
+              | Error _ -> 0.
+            in
+            Obs.Metrics.set t.snapshot_age_g age_s;
+            Ok { entries = List.length entries; age_s })
+        | Ok "cache.v1", _ -> Error "cache snapshot: missing entries array"
+        | Ok other, _ -> Error ("cache snapshot: unknown schema " ^ other)
+        | Error msg, _ -> Error msg))
 
 let stats t =
   {

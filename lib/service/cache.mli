@@ -47,3 +47,26 @@ val size : t -> int
 type stats = { hits : int; misses : int; warm_seeds : int; evictions : int }
 
 val stats : t -> stats
+
+(** {2 Snapshot persistence}
+
+    The whole cache as one [cache.v1] JSON document — every entry's
+    scalar knobs, population fingerprint, recency tick and solved
+    payload (wire shape) — so a restarted daemon warm-starts its
+    keyspace instead of re-solving it. Snapshot-then-replay: the
+    server loads the snapshot {e before} journal replay, so replayed
+    requests hit the reloaded entries. *)
+
+val save : t -> path:string -> (int, string) result
+(** Atomic, durable ({!Report.Fsio.write_atomic}) write; returns the
+    number of entries written and zeroes the
+    [service.cache.snapshot_age_s] gauge. *)
+
+type loaded = { entries : int; age_s : float }
+
+val load_into : t -> path:string -> (loaded, string) result
+(** Merge a snapshot into this cache, preserving the snapshot's
+    relative LRU order (oldest re-inserted first) and evicting beyond
+    capacity. A missing file loads zero entries; a corrupt one is an
+    [Error] (the caller logs and starts cold). Sets the snapshot-age
+    gauge from the document's save timestamp. *)

@@ -8,7 +8,13 @@ let kind_of_name = function
   | "shed" -> Some Shed
   | _ -> None
 
-type t = { oc : out_channel; durable : bool }
+type t = {
+  mutable oc : out_channel;
+  durable : bool;
+  path : string;
+  mutable bytes : int;  (* file size; mirrored in the size gauge *)
+  size_g : Obs.Metrics.gauge;
+}
 
 (* Journal lines embed the raw request frame as a JSON string; frames
    are themselves single-line compact JSON, so Obs.Json's escaping
@@ -36,6 +42,11 @@ let acked_line ~seq ~id ~kind =
          ("unix", Obs.Json.Num (Obs.Clock.now ()));
        ])
 
+let file_size path =
+  match Unix.stat path with
+  | st -> st.Unix.st_size
+  | exception Unix.Unix_error (_, _, _) -> 0
+
 let open_ ?(durable = false) ~path () =
   let dir = Filename.dirname path in
   match Report.Fsio.mkdir_p dir with
@@ -44,15 +55,23 @@ let open_ ?(durable = false) ~path () =
     match open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path with
     | exception Sys_error msg -> Error ("journal open: " ^ msg)
     | oc ->
+      let make () =
+        let size_g = Obs.Metrics.gauge "service.journal.size_bytes" in
+        let bytes = file_size path in
+        Obs.Metrics.set size_g (float_of_int bytes);
+        { oc; durable; path; bytes; size_g }
+      in
       if durable then (
         (* make the directory entry durable too: an empty journal that
            vanishes with the dentry on power loss defeats recovery *)
         match Report.Fsio.fsync_dir dir with
-        | Ok () -> Ok { oc; durable }
+        | Ok () -> Ok (make ())
         | Error _ as e ->
           close_out_noerr oc;
           e)
-      else Ok { oc; durable })
+      else Ok (make ()))
+
+let size_bytes t = t.bytes
 
 let append t line =
   match
@@ -64,7 +83,12 @@ let append t line =
       Ok ()
     end
   with
-  | result -> result
+  | result ->
+    if Result.is_ok result then begin
+      t.bytes <- t.bytes + String.length line + 1;
+      Obs.Metrics.set t.size_g (float_of_int t.bytes)
+    end;
+    result
   | exception Sys_error msg -> Error ("journal append: " ^ msg)
 
 let record_received t ~seq ~id ~fingerprint ~request_line =
@@ -86,6 +110,7 @@ type recovered = {
 type event =
   | Ev_received of pending
   | Ev_acked of int * string * kind
+  | Ev_compacted of int  (** seq floor: [next_seq] at compaction time *)
 
 let field name json = Obs.Json.member name json
 
@@ -97,11 +122,27 @@ let int_field name json =
   | Some (Obs.Json.Num x) when Float.is_integer x -> Some (int_of_float x)
   | _ -> None
 
+(* Written as the first line of a compacted journal: preserves the seq
+   floor so sequence numbers are never reused after acked entries (and
+   their seqs) are rewritten away — reuse would risk a double ack. *)
+let compacted_line ~next_seq =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("ev", Obs.Json.Str "compacted");
+         ("next_seq", Obs.Json.Num (float_of_int next_seq));
+         ("unix", Obs.Json.Num (Obs.Clock.now ()));
+       ])
+
 let event_of_line line =
   match Obs.Json.of_string line with
   | exception Obs.Json.Parse_error msg -> Error ("unparsable line: " ^ msg)
   | json -> (
     match (str_field "ev" json, int_field "seq" json, str_field "id" json) with
+    | Some "compacted", _, _ -> (
+      match int_field "next_seq" json with
+      | Some n -> Ok (Ev_compacted n)
+      | None -> Error "compacted event without next_seq")
     | Some "received", Some seq, Some id -> (
       match str_field "request" json with
       | Some request_line -> Ok (Ev_received { seq; id; request_line })
@@ -153,6 +194,8 @@ let recover
               Hashtbl.remove received seq;
               acked := (seq, id, kind) :: !acked;
               if seq > !max_seq then max_seq := seq
+            | Ok (Ev_compacted next_seq) ->
+              if next_seq - 1 > !max_seq then max_seq := next_seq - 1
             | Error msg ->
               incr torn;
               on_warning
@@ -164,3 +207,83 @@ let recover
       in
       let acked = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !acked in
       Ok { pending; acked; next_seq = !max_seq + 1; torn_lines = !torn }
+
+(* {2 Compaction}
+
+   Rewrite the file as one seq-floor marker plus the still-pending
+   received lines {e verbatim} (fingerprint and all); acked pairs and
+   torn lines vanish. The rewrite goes through [write_atomic] — a
+   crash mid-compaction leaves the old journal intact — and the append
+   channel is reopened on the new inode afterwards. *)
+
+type compaction = {
+  kept : int;
+  dropped : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+let compact t =
+  match flush t.oc with
+  | exception Sys_error msg -> Error ("journal compact: " ^ msg)
+  | () -> (
+    match read_lines t.path with
+    | exception Sys_error msg -> Error ("journal compact: " ^ msg)
+    | lines ->
+      let received = Hashtbl.create 64 in
+      let acked = Hashtbl.create 64 in
+      let max_seq = ref (-1) in
+      let total = ref 0 in
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then begin
+            incr total;
+            match event_of_line line with
+            | Ok (Ev_received p) ->
+              Hashtbl.replace received p.seq line;
+              if p.seq > !max_seq then max_seq := p.seq
+            | Ok (Ev_acked (seq, _, _)) ->
+              Hashtbl.replace acked seq ();
+              if seq > !max_seq then max_seq := seq
+            | Ok (Ev_compacted next_seq) ->
+              if next_seq - 1 > !max_seq then max_seq := next_seq - 1
+            | Error _ -> ()  (* torn line: compaction drops it *)
+          end)
+        lines;
+      let keep =
+        Hashtbl.fold
+          (fun seq line acc ->
+            if Hashtbl.mem acked seq then acc else (seq, line) :: acc)
+          received []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let bytes_before = t.bytes in
+      close_out_noerr t.oc;
+      let result =
+        Report.Fsio.write_atomic ~durable:t.durable ~path:t.path (fun oc ->
+            output_string oc (compacted_line ~next_seq:(!max_seq + 1));
+            output_char oc '\n';
+            List.iter
+              (fun (_, line) ->
+                output_string oc line;
+                output_char oc '\n')
+              keep)
+      in
+      (* reopen the append channel whether or not the rewrite landed:
+         a journal that can no longer record is worse than a big one *)
+      match open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 t.path with
+      | exception Sys_error msg -> Error ("journal compact reopen: " ^ msg)
+      | oc -> (
+        t.oc <- oc;
+        t.bytes <- file_size t.path;
+        Obs.Metrics.set t.size_g (float_of_int t.bytes);
+        match result with
+        | Error msg -> Error ("journal compact: " ^ msg)
+        | Ok () ->
+          Ok
+            {
+              kept = List.length keep;
+              dropped = !total - List.length keep;
+              bytes_before;
+              bytes_after = t.bytes;
+            }))

@@ -34,6 +34,25 @@ val record_received :
 
 val record_acked : t -> seq:int -> id:string -> kind:kind -> (unit, string) result
 
+val size_bytes : t -> int
+(** Current file size (tracked across appends and compactions; also
+    the [service.journal.size_bytes] gauge). *)
+
+type compaction = {
+  kept : int;  (** pending received lines carried over *)
+  dropped : int;  (** acked, superseded and torn lines removed *)
+  bytes_before : int;
+  bytes_after : int;
+}
+
+val compact : t -> (compaction, string) result
+(** Rewrite the journal as a seq-floor marker plus the still-pending
+    received lines, atomically ({!Report.Fsio.write_atomic}, durable
+    when the journal is). Acked entries vanish but their sequence
+    numbers are never reused — the marker keeps [next_seq] monotone,
+    which is what preserves at-most-once acks across compaction plus
+    crash. The append channel is reopened on the new file. *)
+
 val close : t -> unit
 
 type pending = { seq : int; id : string; request_line : string }

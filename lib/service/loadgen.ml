@@ -9,6 +9,9 @@ type config = {
   neighbour_fraction : float;
   deadline_s : float option;
   timeout_s : float;
+  fleet : Shard.t option;
+  netfault : Netfault.t option;
+  pool : Pool.config option;
 }
 
 let default_config ~address ~requests =
@@ -23,7 +26,19 @@ let default_config ~address ~requests =
     neighbour_fraction = 0.3;
     deadline_s = None;
     timeout_s = 60.;
+    fleet = None;
+    netfault = None;
+    pool = None;
   }
+
+type shard_load = {
+  sent : int;
+  answered : int;
+  solved : int;
+  degraded : int;
+  shed : int;
+  req_s : float;
+}
 
 type report = {
   sent : int;
@@ -38,6 +53,10 @@ type report = {
   errors : string list;
   wall_s : float;
   latency : Obs.Metrics.summary option;
+  per_shard : (string * shard_load) list;
+  failovers : int;
+  retries : int;
+  recovered : int;
 }
 
 let report_ok r =
@@ -47,9 +66,9 @@ let report_ok r =
 let report_to_string r =
   Printf.sprintf
     "sent %d: %d solved, %d degraded, %d shed, %d rejected, %d unanswered; %d \
-     chaos toggles, %d transport errors, %.2fs"
+     chaos toggles, %d transport errors, %d failovers, %d recovered, %.2fs"
     r.sent r.solved r.degraded r.shed r.rejected r.unanswered r.chaos_toggles
-    (List.length r.errors) r.wall_s
+    (List.length r.errors) r.failovers r.recovered r.wall_s
 
 let random_market rng =
   let n = 1 + Numerics.Rng.int rng 4 in
@@ -79,6 +98,28 @@ let neighbour_market rng (m : Proto.market) =
     capacity = Float.max 0.1 (nudge m.Proto.capacity);
   }
 
+(* The seeded request mix: fresh markets, exact repeats, perturbed
+   neighbours — shared by the single-daemon and fleet paths. *)
+let market_stream rng cfg =
+  let recent = ref [] in
+  let remember m =
+    recent :=
+      m :: (if List.length !recent >= 16 then List.filteri (fun i _ -> i < 15) !recent else !recent)
+  in
+  fun () ->
+    let u = Numerics.Rng.float rng in
+    match !recent with
+    | past when past <> [] && u < cfg.reuse_fraction ->
+      Numerics.Rng.choice rng (Array.of_list past)
+    | past when past <> [] && u < cfg.reuse_fraction +. cfg.neighbour_fraction ->
+      let m = neighbour_market rng (Numerics.Rng.choice rng (Array.of_list past)) in
+      remember m;
+      m
+    | _ ->
+      let m = random_market rng in
+      remember m;
+      m
+
 let chaos_cycle =
   Array.of_list
     (None
@@ -96,6 +137,17 @@ type counts = {
   mutable errors : string list;
 }
 
+let fresh_counts () =
+  {
+    solved = 0;
+    degraded = 0;
+    shed = 0;
+    rejected = 0;
+    other = 0;
+    chaos_toggles = 0;
+    errors = [];
+  }
+
 (* Server-reported solve time of every Solved answer; one histogram per
    process (Metrics handles are find-or-create), reset per run so each
    report summarizes its own run. *)
@@ -110,8 +162,7 @@ let drain_conn ~timeout_s client outstanding counts expected =
   let rec go remaining =
     if remaining > 0 then
       match Client.read_response ~timeout_s client with
-      | Error msg ->
-        counts.errors <- msg :: counts.errors
+      | Error e -> counts.errors <- Client.error_to_string e :: counts.errors
       | Ok response ->
         (match response with
         | Proto.Solved { id; result } ->
@@ -134,16 +185,19 @@ let drain_conn ~timeout_s client outstanding counts expected =
   in
   go expected
 
-let run ?(on_event = fun _ -> ()) cfg =
+(* {2 Single-daemon mode} *)
+
+let run_single ~on_event ~on_round cfg =
   let t0 = Obs.Clock.now () in
   Obs.Metrics.reset ~prefix:"loadgen." ();
   let n_conns = max 1 cfg.connections in
   let clients =
     List.filter_map
       (fun i ->
-        match Client.connect cfg.address with
+        match Client.connect ?netfault:cfg.netfault cfg.address with
         | Ok c -> Some c
-        | Error msg ->
+        | Error e ->
+          let msg = Client.error_to_string e in
           Obs.Log.warn ~m:"loadgen" "connection failed"
             ~fields:[ ("conn", string_of_int i); ("error", msg) ];
           on_event (Printf.sprintf "connection %d failed: %s" i msg);
@@ -155,37 +209,10 @@ let run ?(on_event = fun _ -> ()) cfg =
   | clients ->
     let clients = Array.of_list clients in
     let rng = Numerics.Rng.create cfg.seed in
-    let recent = ref [] in
-    let remember m =
-      recent := m :: (if List.length !recent >= 16 then List.filteri (fun i _ -> i < 15) !recent else !recent)
-    in
-    let pick_market () =
-      let u = Numerics.Rng.float rng in
-      match !recent with
-      | past when past <> [] && u < cfg.reuse_fraction ->
-        Numerics.Rng.choice rng (Array.of_list past)
-      | past when past <> [] && u < cfg.reuse_fraction +. cfg.neighbour_fraction ->
-        let m = neighbour_market rng (Numerics.Rng.choice rng (Array.of_list past)) in
-        remember m;
-        m
-      | _ ->
-        let m = random_market rng in
-        remember m;
-        m
-    in
+    let pick_market = market_stream rng cfg in
     let params = { Proto.deadline_s = cfg.deadline_s; max_evals = None } in
     let outstanding = Hashtbl.create (2 * cfg.requests) in
-    let counts =
-      {
-        solved = 0;
-        degraded = 0;
-        shed = 0;
-        rejected = 0;
-        other = 0;
-        chaos_toggles = 0;
-        errors = [];
-      }
-    in
+    let counts = fresh_counts () in
     let sent = ref 0 in
     let chaos_idx = ref 0 in
     let chaos_sent = Hashtbl.create 8 in
@@ -213,7 +240,8 @@ let run ?(on_event = fun _ -> ()) cfg =
               | Ok () ->
                 count_chaos mode;
                 expected.(ci) <- expected.(ci) + 1
-              | Error msg -> counts.errors <- msg :: counts.errors)
+              | Error e ->
+                counts.errors <- Client.error_to_string e :: counts.errors)
             | _ -> ());
             let id = Printf.sprintf "r%d" !sent in
             incr sent;
@@ -222,7 +250,8 @@ let run ?(on_event = fun _ -> ()) cfg =
             | Ok () ->
               Hashtbl.replace outstanding id ();
               expected.(ci) <- expected.(ci) + 1
-            | Error msg -> counts.errors <- msg :: counts.errors
+            | Error e ->
+              counts.errors <- Client.error_to_string e :: counts.errors
           done)
         clients;
       Array.iteri
@@ -231,6 +260,7 @@ let run ?(on_event = fun _ -> ()) cfg =
             expected.(ci);
           expected.(ci) <- 0)
         clients;
+      on_round ~sent:!sent;
       if !sent mod 500 < cfg.burst * Array.length clients then begin
         Obs.Log.debug ~m:"loadgen" "progress"
           ~fields:
@@ -265,34 +295,312 @@ let run ?(on_event = fun _ -> ()) cfg =
         latency =
           (let s = Obs.Metrics.summarize latency_h in
            if s.Obs.Metrics.count = 0 then None else Some s);
+        per_shard = [];
+        failovers = 0;
+        retries = 0;
+        recovered = 0;
       }
+
+(* {2 Fleet mode}
+
+   Per shard, [connections] pipelined connections driven exactly like
+   single mode; requests route by fingerprint to the first non-down
+   shard of their ring preference order. Any request a connection
+   fails to deliver or drain is re-driven through the {!Pool} — retry,
+   failover, breakers — so transport faults (injected or real) degrade
+   to recovered requests, not errors. {!Pool.probe} runs every round,
+   which is what brings a restarted shard back into rotation. *)
+
+type slot = {
+  sl_shard : Shard.shard;
+  mutable sl_client : Client.t option;
+  mutable sl_pending : string list;  (* in-flight ids, newest first *)
+}
+
+let run_fleet ~on_event ~on_round ring cfg =
+  let t0 = Obs.Clock.now () in
+  Obs.Metrics.reset ~prefix:"loadgen." ();
+  let netfault = cfg.netfault in
+  let pool_cfg =
+    match cfg.pool with
+    | Some p -> p
+    | None -> { Pool.default_config with Pool.timeout_s = cfg.timeout_s }
+  in
+  let pool = Pool.create ?netfault ~config:pool_cfg ring in
+  let shards = Shard.shards ring in
+  let n_conns = max 1 cfg.connections in
+  let slots =
+    Array.of_list
+      (List.concat_map
+         (fun s ->
+           List.init n_conns (fun _ ->
+               { sl_shard = s; sl_client = None; sl_pending = [] }))
+         shards)
+  in
+  let bases =
+    List.mapi (fun i (s : Shard.shard) -> (s.Shard.name, i * n_conns)) shards
+  in
+  let rr = Hashtbl.create 8 in
+  let slot_for (s : Shard.shard) =
+    let base = List.assoc s.Shard.name bases in
+    let k = Option.value ~default:0 (Hashtbl.find_opt rr s.Shard.name) in
+    Hashtbl.replace rr s.Shard.name ((k + 1) mod n_conns);
+    slots.(base + k)
+  in
+  let rng = Numerics.Rng.create cfg.seed in
+  let pick_market = market_stream rng cfg in
+  let params = { Proto.deadline_s = cfg.deadline_s; max_evals = None } in
+  let outstanding = Hashtbl.create (2 * cfg.requests) in
+  let counts = fresh_counts () in
+  let recovered = ref 0 in
+  let retryq = Queue.create () in
+  (* Pending ids are strictly per-connection: a replacement connection
+     will never deliver responses to frames sent on the one it replaced,
+     so dropping a client must immediately re-route whatever it still
+     owed through the pool — otherwise the drain waits a full read
+     timeout for answers that cannot arrive. *)
+  let drop_slot_client slot =
+    (match slot.sl_client with Some c -> Client.close c | None -> ());
+    slot.sl_client <- None;
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt outstanding id with
+        | Some market -> Queue.add (id, market) retryq
+        | None -> ())
+      slot.sl_pending;
+    slot.sl_pending <- []
+  in
+  let client_of slot =
+    match slot.sl_client with
+    | Some c when Client.is_alive c -> Some c
+    | Some _ | None ->
+      drop_slot_client slot;
+      (match Client.connect ?netfault slot.sl_shard.Shard.address with
+      | Ok c ->
+        slot.sl_client <- Some c;
+        Some c
+      | Error _ ->
+        Shard.mark_failed slot.sl_shard;
+        None)
+  in
+  (* per-shard tallies, keyed by shard name *)
+  let tally = Hashtbl.create 8 in
+  let bump kind name =
+    Hashtbl.replace tally (kind, name)
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tally (kind, name)))
+  in
+  let tally_of kind name =
+    Option.value ~default:0 (Hashtbl.find_opt tally (kind, name))
+  in
+  let send_one id market =
+    let prefs = Shard.route ring ~key:(Cache.fingerprint market) in
+    let target =
+      match
+        List.find_opt (fun (s : Shard.shard) -> s.Shard.health <> Shard.Down) prefs
+      with
+      | Some s -> s
+      | None -> List.hd prefs
+    in
+    let slot = slot_for target in
+    match client_of slot with
+    | None -> Queue.add (id, market) retryq
+    | Some c -> (
+      match Client.send c (Proto.Solve { id; market; params }) with
+      | Ok () ->
+        slot.sl_pending <- id :: slot.sl_pending;
+        bump `Sent target.Shard.name
+      | Error _ ->
+        Shard.mark_failed slot.sl_shard;
+        drop_slot_client slot;
+        Queue.add (id, market) retryq)
+  in
+  let drain_slot slot =
+    let name = slot.sl_shard.Shard.name in
+    let settle id =
+      Hashtbl.remove outstanding id;
+      slot.sl_pending <- List.filter (fun i -> not (String.equal i id)) slot.sl_pending;
+      bump `Answered name
+    in
+    let expected = List.length slot.sl_pending in
+    let rec go remaining =
+      if remaining > 0 then
+        match slot.sl_client with
+        | None -> ()
+        | Some c -> (
+          match Client.read_response ~timeout_s:cfg.timeout_s c with
+          | Error _ ->
+            (* whatever this connection still owed goes to the pool *)
+            Shard.mark_failed slot.sl_shard;
+            drop_slot_client slot
+          | Ok response ->
+            (match response with
+            | Proto.Solved { id; result } ->
+              settle id;
+              Obs.Metrics.observe latency_h result.Proto.solve_s;
+              counts.solved <- counts.solved + 1;
+              bump `Solved name
+            | Proto.Degraded { id; _ } ->
+              settle id;
+              counts.degraded <- counts.degraded + 1;
+              bump `Degraded name
+            | Proto.Shed { id; _ } ->
+              settle id;
+              counts.shed <- counts.shed + 1;
+              bump `Shed name
+            | Proto.Rejected { id; _ } ->
+              Option.iter settle id;
+              counts.rejected <- counts.rejected + 1
+            | Proto.Chaos_ack _ ->
+              counts.chaos_toggles <- counts.chaos_toggles + 1
+            | Proto.Metrics_snapshot _ | Proto.Prom_text _ | Proto.Pong
+            | Proto.Bye ->
+              counts.other <- counts.other + 1);
+            go (remaining - 1))
+    in
+    go expected;
+    (* anything not settled (dead connection, mismatched answer) is
+       re-driven through the pool rather than left unanswered *)
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt outstanding id with
+        | Some market -> Queue.add (id, market) retryq
+        | None -> ())
+      slot.sl_pending;
+    slot.sl_pending <- []
+  in
+  let flush_retries () =
+    while not (Queue.is_empty retryq) do
+      let id, market = Queue.pop retryq in
+      if Hashtbl.mem outstanding id then begin
+        match Pool.solve pool ~id ~params market with
+        | Ok a ->
+          Hashtbl.remove outstanding id;
+          incr recovered;
+          Obs.Metrics.observe latency_h a.Pool.solved.Proto.solve_s;
+          counts.solved <- counts.solved + 1;
+          bump `Answered a.Pool.shard;
+          bump `Solved a.Pool.shard
+        | Error (Pool.Degraded _) ->
+          Hashtbl.remove outstanding id;
+          incr recovered;
+          counts.degraded <- counts.degraded + 1
+        | Error (Pool.Shed _) ->
+          Hashtbl.remove outstanding id;
+          incr recovered;
+          counts.shed <- counts.shed + 1
+        | Error (Pool.Rejected _) ->
+          Hashtbl.remove outstanding id;
+          counts.rejected <- counts.rejected + 1
+        | Error ((Pool.Transport _ | Pool.No_shard_available) as e) ->
+          (* truly unanswerable right now: a hard error, id stays
+             outstanding *)
+          counts.errors <- Pool.error_to_string e :: counts.errors
+      end
+    done
+  in
+  let sent = ref 0 in
+  while !sent < cfg.requests do
+    let budget = min (cfg.burst * Array.length slots) (cfg.requests - !sent) in
+    for _ = 1 to budget do
+      let id = Printf.sprintf "r%d" !sent in
+      incr sent;
+      let market = pick_market () in
+      Hashtbl.replace outstanding id market;
+      send_one id market
+    done;
+    Array.iter drain_slot slots;
+    flush_retries ();
+    (* ping anything suspect/open: the half-open path that brings a
+       restarted shard back without waiting for routed traffic *)
+    Pool.probe pool;
+    on_round ~sent:!sent;
+    if !sent mod 500 < budget then begin
+      Obs.Log.debug ~m:"loadgen" "fleet progress"
+        ~fields:
+          [
+            ("sent", string_of_int !sent);
+            ("of", string_of_int cfg.requests);
+            ("solved", string_of_int counts.solved);
+            ("recovered", string_of_int !recovered);
+          ];
+      on_event
+        (Printf.sprintf "%d/%d sent (%d solved, %d degraded, %d shed, %d recovered)"
+           !sent cfg.requests counts.solved counts.degraded counts.shed !recovered)
+    end
+  done;
+  Array.iter drop_slot_client slots;
+  let pstats = Pool.stats pool in
+  Pool.close pool;
+  let wall_s = Obs.Clock.elapsed ~since:t0 in
+  Ok
+    {
+      sent = !sent;
+      solved = counts.solved;
+      degraded = counts.degraded;
+      shed = counts.shed;
+      rejected = counts.rejected;
+      other = counts.other;
+      chaos_toggles = counts.chaos_toggles;
+      chaos_sent = [];
+      unanswered = Hashtbl.length outstanding;
+      errors = counts.errors;
+      wall_s;
+      latency =
+        (let s = Obs.Metrics.summarize latency_h in
+         if s.Obs.Metrics.count = 0 then None else Some s);
+      per_shard =
+        List.map
+          (fun (s : Shard.shard) ->
+            let name = s.Shard.name in
+            let answered = tally_of `Answered name in
+            ( name,
+              {
+                sent = tally_of `Sent name;
+                answered;
+                solved = tally_of `Solved name;
+                degraded = tally_of `Degraded name;
+                shed = tally_of `Shed name;
+                req_s =
+                  (if wall_s > 0. then float_of_int answered /. wall_s else 0.);
+              } ))
+          shards;
+      failovers = pstats.Pool.failovers;
+      retries = pstats.Pool.retries;
+      recovered = !recovered;
+    }
+
+let run ?(on_event = fun _ -> ()) ?(on_round = fun ~sent:_ -> ()) cfg =
+  match cfg.fleet with
+  | None -> run_single ~on_event ~on_round cfg
+  | Some ring -> run_fleet ~on_event ~on_round ring cfg
 
 let fetch_metrics ?(prefix = "") ?(timeout_s = 30.) address =
   match Client.connect address with
-  | Error msg -> Error msg
+  | Error e -> Error (Client.error_to_string e)
   | Ok client ->
     let result = Client.call ~timeout_s client (Proto.Metrics { prefix }) in
     Client.close client;
     (match result with
     | Ok (Proto.Metrics_snapshot json) -> Ok json
     | Ok _ -> Error "unexpected response to metrics query"
-    | Error msg -> Error msg)
+    | Error e -> Error (Client.error_to_string e))
 
 let fetch_prom ?(prefix = "") ?(timeout_s = 30.) address =
   match Client.connect address with
-  | Error msg -> Error msg
+  | Error e -> Error (Client.error_to_string e)
   | Ok client ->
     let result = Client.call ~timeout_s client (Proto.Metrics_prom { prefix }) in
     Client.close client;
     (match result with
     | Ok (Proto.Prom_text text) -> Ok text
     | Ok _ -> Error "unexpected response to metrics_prom query"
-    | Error msg -> Error msg)
+    | Error e -> Error (Client.error_to_string e))
 
 (* ------------------------------------------------------------------ *)
-(* CSV artifact: the full report — counts, per-mode chaos toggles and
-   the latency distribution — as metric/value rows an analysis notebook
-   can load without scraping the stdout digest. *)
+(* CSV artifact: the full report — counts, per-mode chaos toggles, the
+   latency distribution and (fleet mode) per-shard throughput — as
+   metric/value rows an analysis notebook can load without scraping
+   the stdout digest. *)
 
 let csv_table r =
   let t = Report.Table.make ~columns:[ "metric"; "value" ] in
@@ -309,7 +617,21 @@ let csv_table r =
   addi "unanswered" r.unanswered;
   addi "transport_errors" (List.length r.errors);
   addf "wall_s" r.wall_s;
+  addf "req_s" (if r.wall_s > 0. then float_of_int r.sent /. r.wall_s else 0.);
+  addi "failovers" r.failovers;
+  addi "retries" r.retries;
+  addi "recovered" r.recovered;
   List.iter (fun (mode, n) -> addi ("chaos." ^ mode) n) r.chaos_sent;
+  List.iter
+    (fun (name, (s : shard_load)) ->
+      let row metric v = addi (Printf.sprintf "shard.%s.%s" name metric) v in
+      row "sent" s.sent;
+      row "answered" s.answered;
+      row "solved" s.solved;
+      row "degraded" s.degraded;
+      row "shed" s.shed;
+      addf (Printf.sprintf "shard.%s.req_s" name) s.req_s)
+    r.per_shard;
   (match r.latency with
   | None -> ()
   | Some s ->

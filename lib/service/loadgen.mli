@@ -1,4 +1,5 @@
-(** Randomized load generator for the solve daemon.
+(** Randomized load generator for the solve daemon — single daemon or
+    sharded fleet.
 
     Drives pipelined bursts of solve requests — a seeded mix of fresh
     markets, exact repeats (cache hits) and perturbed neighbours
@@ -7,26 +8,48 @@
     response back to its request id. The soak test's acceptance
     question ("was every request answered solved, degraded or shed,
     and did the daemon stay up?") is {!report_ok} on the returned
-    {!report}. *)
+    {!report}.
+
+    With [fleet] set, requests route by fingerprint over the
+    {!Shard} ring ([connections] pipelined connections per shard) and
+    any request a connection fails to deliver is re-driven through a
+    {!Pool} — retry, failover, circuit breakers — so transport faults
+    (including [netfault]-injected ones) become [recovered] requests
+    instead of errors. The CSV artifact gains aggregate and per-shard
+    throughput rows. *)
 
 type config = {
-  address : Server.address;
+  address : Server.address;  (** single-daemon target; ignored with [fleet] *)
   requests : int;  (** solve requests to send in total *)
-  connections : int;
+  connections : int;  (** per daemon (per shard in fleet mode) *)
   burst : int;  (** solve frames in flight per connection *)
   seed : int64;
   chaos_every : int option;
       (** send a chaos toggle every [n] solve requests, cycling through
-          every {!Runner.Chaos.default_scenarios} mode and "off" *)
+          every {!Runner.Chaos.default_scenarios} mode and "off";
+          single-daemon mode only *)
   reuse_fraction : float;  (** share of exact-repeat markets, in [0, 1] *)
   neighbour_fraction : float;  (** share of perturbed-neighbour markets *)
   deadline_s : float option;  (** per-request watchdog deadline to ask for *)
   timeout_s : float;  (** client-side read timeout per response *)
+  fleet : Shard.t option;  (** route over this ring instead of [address] *)
+  netfault : Netfault.t option;  (** chaos-net: client-side fault injection *)
+  pool : Pool.config option;  (** fleet failover policy (default policy if [None]) *)
 }
 
 val default_config : address:Server.address -> requests:int -> config
 (** 2 connections, burst 8, seed 42, no chaos, 30% repeats, 30%
-    neighbours, no per-request deadline, 60s timeout. *)
+    neighbours, no per-request deadline, 60s timeout, no fleet, no
+    netfault. *)
+
+type shard_load = {
+  sent : int;  (** requests first offered to this shard *)
+  answered : int;  (** answers it produced, incl. pool failover traffic *)
+  solved : int;
+  degraded : int;
+  shed : int;
+  req_s : float;  (** answered / wall seconds *)
+}
 
 type report = {
   sent : int;
@@ -39,17 +62,23 @@ type report = {
   chaos_sent : (string * int) list;
       (** toggles sent per mode name (incl. ["off"]), sorted *)
   unanswered : int;  (** solve requests with no matching response *)
-  errors : string list;  (** transport-level failures, newest first *)
+  errors : string list;  (** unrecovered transport failures, newest first *)
   wall_s : float;
   latency : Obs.Metrics.summary option;
       (** server-reported [solve_s] of every Solved answer this run
           (the ["loadgen.solve_s"] histogram, reset per run); [None]
           when nothing solved *)
+  per_shard : (string * shard_load) list;  (** fleet mode; [[]] otherwise *)
+  failovers : int;  (** pool failovers (fleet mode) *)
+  retries : int;  (** pool same-shard retries (fleet mode) *)
+  recovered : int;
+      (** requests answered through the pool after their first
+          connection failed them (fleet mode) *)
 }
 
 val report_ok : report -> bool
 (** Every solve request answered (solved, degraded or shed), nothing
-    unanswered, no rejects, no transport errors. *)
+    unanswered, no rejects, no unrecovered transport errors. *)
 
 val report_to_string : report -> string
 
@@ -57,8 +86,15 @@ val random_market : Numerics.Rng.t -> Proto.market
 (** One seeded random market from the generator's distribution (1-4
     exponential CPs; also used by the service tests). *)
 
-val run : ?on_event:(string -> unit) -> config -> (report, string) result
-(** [Error] only when no connection can be established at all. *)
+val run :
+  ?on_event:(string -> unit) ->
+  ?on_round:(sent:int -> unit) ->
+  config ->
+  (report, string) result
+(** [Error] only when no connection can be established at all (single
+    mode). [on_round] fires after each burst-and-drain round with the
+    running sent count — the hook the fleet soak uses to kill and
+    restart a shard mid-run. *)
 
 val fetch_metrics :
   ?prefix:string -> ?timeout_s:float -> Server.address -> (Obs.Json.t, string) result
@@ -70,8 +106,10 @@ val fetch_prom :
     [metrics_prom] frame; equivalent to HTTP [GET /metrics]). *)
 
 val csv_table : report -> Report.Table.t
-(** The report as metric/value rows: counts, per-mode chaos toggles,
-    latency distribution (count/sum/min/max/p50/p90/p99). *)
+(** The report as metric/value rows: counts, aggregate [req_s],
+    failover/recovery counts, per-mode chaos toggles, per-shard
+    [shard.<name>.*] rows (fleet mode), latency distribution
+    (count/sum/min/max/p50/p90/p99). *)
 
 val write_csv : path:string -> report -> unit
 (** {!csv_table} through {!Report.Csv.write} (atomic). Raises

@@ -1,0 +1,89 @@
+(* Seeded fault schedule for the client-side transport. All state is
+   inside [t] (owned by the caller); decisions advance the Rng stream,
+   so one seed + one call sequence = one reproducible fault history. *)
+
+type t = {
+  rng : Numerics.Rng.t;
+  drop_conn_p : float;
+  torn_write_p : float;
+  delay_read_p : float;
+  delay_s : float;
+  blackhole : string list;
+  mutable dropped : int;
+  mutable torn : int;
+  mutable delayed : int;
+  mutable blackholed : int;
+  dropped_c : Obs.Metrics.counter;
+  torn_c : Obs.Metrics.counter;
+  delayed_c : Obs.Metrics.counter;
+  blackholed_c : Obs.Metrics.counter;
+}
+
+let create ?(drop_conn_p = 0.) ?(torn_write_p = 0.) ?(delay_read_p = 0.)
+    ?(delay_s = 0.01) ?(blackhole = []) ~seed () =
+  let clamp p = Float.max 0. (Float.min 1. p) in
+  let injected kind =
+    Obs.Metrics.counter ~labels:[ ("kind", kind) ] "service.netfault.injected"
+  in
+  {
+    rng = Numerics.Rng.create seed;
+    drop_conn_p = clamp drop_conn_p;
+    torn_write_p = clamp torn_write_p;
+    delay_read_p = clamp delay_read_p;
+    delay_s = Float.max 0. delay_s;
+    blackhole;
+    dropped = 0;
+    torn = 0;
+    delayed = 0;
+    blackholed = 0;
+    dropped_c = injected "dropped_conn";
+    torn_c = injected "torn_write";
+    delayed_c = injected "delayed_read";
+    blackholed_c = injected "blackholed_read";
+  }
+
+let connect_decision t ~endpoint:_ =
+  if Numerics.Rng.float t.rng < t.drop_conn_p then begin
+    t.dropped <- t.dropped + 1;
+    Obs.Metrics.incr t.dropped_c;
+    `Refuse
+  end
+  else `Proceed
+
+let send_decision t =
+  if Numerics.Rng.float t.rng < t.torn_write_p then begin
+    t.torn <- t.torn + 1;
+    Obs.Metrics.incr t.torn_c;
+    (* strictly inside the frame: at least the first byte, never all *)
+    `Torn (0.1 +. (0.8 *. Numerics.Rng.float t.rng))
+  end
+  else `Proceed
+
+let read_decision t ~endpoint =
+  if List.exists (String.equal endpoint) t.blackhole then begin
+    t.blackholed <- t.blackholed + 1;
+    Obs.Metrics.incr t.blackholed_c;
+    `Blackhole
+  end
+  else if Numerics.Rng.float t.rng < t.delay_read_p then begin
+    t.delayed <- t.delayed + 1;
+    Obs.Metrics.incr t.delayed_c;
+    `Delay t.delay_s
+  end
+  else `Proceed
+
+type stats = { dropped : int; torn : int; delayed : int; blackholed : int }
+
+let stats (t : t) =
+  {
+    dropped = t.dropped;
+    torn = t.torn;
+    delayed = t.delayed;
+    blackholed = t.blackholed;
+  }
+
+let describe t =
+  Printf.sprintf
+    "drop-conn %.3f, torn-write %.3f, delay-read %.3f (%.0fms), %d blackholed"
+    t.drop_conn_p t.torn_write_p t.delay_read_p (1000. *. t.delay_s)
+    (List.length t.blackhole)

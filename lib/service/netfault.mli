@@ -1,0 +1,53 @@
+(** Deterministic client-side network fault injection.
+
+    A plan is a seeded stream of per-operation decisions — drop this
+    connect, tear that frame mid-write, delay or blackhole this read —
+    consulted by {!Client} when one is attached. Faults are injected
+    on the client side of the socket, which is where partitions and
+    slow peers are observed in practice, so the pool's retry, failover
+    and circuit-breaker machinery is exercised without patching the
+    daemon. Decisions draw from a {!Numerics.Rng} stream: the same
+    seed and the same call sequence reproduce the same fault schedule,
+    which is what makes [loadgen --chaos-net] runs and the fleet tests
+    replayable.
+
+    A plan is plain mutable state owned by its creator (no process
+    globals); share one across every client of a run so the injected
+    counts in [service.netfault.*] describe the whole run. *)
+
+type t
+
+val create :
+  ?drop_conn_p:float ->
+  ?torn_write_p:float ->
+  ?delay_read_p:float ->
+  ?delay_s:float ->
+  ?blackhole:string list ->
+  seed:int64 ->
+  unit ->
+  t
+(** [drop_conn_p] — probability a [connect] is refused; [torn_write_p]
+    — probability a frame write is cut mid-frame and the connection
+    killed; [delay_read_p]/[delay_s] — probability (and duration) of a
+    stall injected before a read; [blackhole] — endpoint strings (as
+    {!Server.address_to_string}) whose reads never complete.
+    Probabilities default to 0, [delay_s] to 10ms. *)
+
+val connect_decision : t -> endpoint:string -> [ `Proceed | `Refuse ]
+
+val send_decision : t -> [ `Proceed | `Torn of float ]
+(** [`Torn f] — write only the fraction [f] (in (0, 1)) of the frame,
+    then kill the connection. *)
+
+val read_decision : t -> endpoint:string -> [ `Proceed | `Delay of float | `Blackhole ]
+(** [`Blackhole] — the read never completes; the client burns its
+    deadline and reports a timeout. *)
+
+type stats = { dropped : int; torn : int; delayed : int; blackholed : int }
+
+val stats : t -> stats
+(** Injected-fault counts so far (also in the [service.netfault.*]
+    counters). *)
+
+val describe : t -> string
+(** One-line parameter summary for logs and CLI banners. *)

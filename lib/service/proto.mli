@@ -102,6 +102,14 @@ val chaos_mode_of_name : string -> (Numerics.Fault.mode option, string) result
 val market_to_json : market -> Obs.Json.t
 val market_of_json : Obs.Json.t -> (market, string) result
 
+(** {2 Solved results}
+
+    The response payload codec, exposed on its own so the equilibrium
+    cache can snapshot entries to disk in the exact wire shape. *)
+
+val solved_to_json : solved -> Obs.Json.t
+val solved_of_json : Obs.Json.t -> (solved, string) result
+
 (** {2 Framing}
 
     [*_to_line] renders one compact JSON frame {e without} the trailing

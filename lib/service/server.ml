@@ -20,6 +20,9 @@ type config = {
   retry : Runner.Supervisor.retry;
   seed : int64;
   batch : int option;
+  snapshot_path : string option;
+  snapshot_every_s : float option;
+  journal_compact_bytes : int option;
 }
 
 let default_config ~address =
@@ -38,6 +41,9 @@ let default_config ~address =
         ~jitter:0.5 ();
     seed = 7L;
     batch = None;
+    snapshot_path = None;
+    snapshot_every_s = Some 30.;
+    journal_compact_bytes = Some (1 lsl 20);
   }
 
 type event =
@@ -46,6 +52,9 @@ type event =
   | Connected of { conn : int }
   | Disconnected of { conn : int }
   | Batch_solved of { n : int; wall_s : float }
+  | Snapshot_loaded of { entries : int; age_s : float }
+  | Snapshot_saved of { entries : int }
+  | Compacted of { kept : int; dropped : int; bytes_before : int; bytes_after : int }
   | Draining of { reason : string }
   | Warning of string
 
@@ -74,6 +83,25 @@ let log_event event =
     L.debug ~m:"server" "batch solved"
       ~fields:
         [ ("n", string_of_int n); ("wall_s", Printf.sprintf "%.4f" wall_s) ]
+  | Snapshot_loaded { entries; age_s } ->
+    L.info ~m:"server" "cache snapshot loaded"
+      ~fields:
+        [
+          ("entries", string_of_int entries);
+          ("age_s", Printf.sprintf "%.1f" age_s);
+        ]
+  | Snapshot_saved { entries } ->
+    L.debug ~m:"server" "cache snapshot saved"
+      ~fields:[ ("entries", string_of_int entries) ]
+  | Compacted { kept; dropped; bytes_before; bytes_after } ->
+    L.info ~m:"server" "journal compacted"
+      ~fields:
+        [
+          ("kept", string_of_int kept);
+          ("dropped", string_of_int dropped);
+          ("bytes_before", string_of_int bytes_before);
+          ("bytes_after", string_of_int bytes_after);
+        ]
   | Draining { reason } ->
     L.info ~m:"server" "draining" ~fields:[ ("reason", reason) ]
   | Warning msg -> L.warn ~m:"server" msg
@@ -243,9 +271,54 @@ type st = {
   mutable journal_pending : int;
       (** received-not-yet-acked journal entries: the replay debt a
           crash right now would leave behind *)
+  mutable last_snapshot : float;  (** wall clock of the last cache save *)
+  mutable next_compact_at : int;
+      (** journal size that triggers the next compaction *)
 }
 
 let warn st msg = st.emit (Warning msg)
+
+(* {2 Cache snapshot + journal compaction} *)
+
+let save_snapshot st =
+  match st.cfg.snapshot_path with
+  | None -> ()
+  | Some path -> (
+    st.last_snapshot <- Obs.Clock.now ();
+    match Cache.save st.cache ~path with
+    | Ok entries -> st.emit (Snapshot_saved { entries })
+    | Error msg -> warn st ("cache snapshot save: " ^ msg))
+
+let maybe_snapshot st =
+  match st.cfg.snapshot_every_s with
+  | Some every
+    when st.cfg.snapshot_path <> None
+         && Obs.Clock.elapsed ~since:st.last_snapshot >= every ->
+    save_snapshot st
+  | Some _ | None -> ()
+
+(* Compact once the file outgrows the threshold, then not before it
+   grows by another threshold past the compacted size — so a journal
+   whose pending set alone exceeds the threshold cannot trigger a
+   rewrite storm. *)
+let maybe_compact st =
+  match (st.journal, st.cfg.journal_compact_bytes) with
+  | Some j, Some threshold when Journal.size_bytes j >= st.next_compact_at -> (
+    match Journal.compact j with
+    | Ok c ->
+      st.next_compact_at <- c.Journal.bytes_after + max 1 threshold;
+      st.emit
+        (Compacted
+           {
+             kept = c.Journal.kept;
+             dropped = c.Journal.dropped;
+             bytes_before = c.Journal.bytes_before;
+             bytes_after = c.Journal.bytes_after;
+           })
+    | Error msg ->
+      st.next_compact_at <- Journal.size_bytes j + max 1 threshold;
+      warn st msg)
+  | _ -> ()
 
 let journal_pending_add st delta =
   if st.journal <> None then begin
@@ -595,9 +668,24 @@ let run ?(on_event = fun _ -> ()) ?(stop = fun () -> false) cfg =
           (match journal_recovered with
           | Some (_, r) -> List.length r.Journal.pending
           | None -> 0);
+        last_snapshot = Obs.Clock.now ();
+        next_compact_at =
+          (match cfg.journal_compact_bytes with
+          | Some threshold -> max 1 threshold
+          | None -> max_int);
       }
     in
     journal_pending_add st 0;
+    (* snapshot-then-replay: the reloaded cache answers replayed
+       fingerprints without re-solving, and replayed solves warm-start
+       off their snapshot neighbours *)
+    (match cfg.snapshot_path with
+    | None -> ()
+    | Some path -> (
+      match Cache.load_into st.cache ~path with
+      | Ok { Cache.entries = 0; _ } -> ()
+      | Ok { Cache.entries; age_s } -> st.emit (Snapshot_loaded { entries; age_s })
+      | Error msg -> warn st msg));
     (match journal_recovered with
     | Some (_, recovered) -> replay_journal st recovered
     | None -> ());
@@ -658,6 +746,8 @@ let run ?(on_event = fun _ -> ()) ?(stop = fun () -> false) cfg =
               (fun c -> if c.alive && List.mem c.fd ready then read_conn st c)
               st.conns);
           solve_batch st;
+          maybe_compact st;
+          maybe_snapshot st;
           List.iter (fun c -> if c.closing then c.alive <- false) st.conns;
           prune ();
           loop ()
@@ -678,6 +768,8 @@ let run ?(on_event = fun _ -> ()) ?(stop = fun () -> false) cfg =
       while Queue_guard.depth st.queue > 0 do
         solve_batch st
       done;
+      (* the shutdown snapshot: what the next incarnation warm-starts from *)
+      save_snapshot st;
       List.iter (close_conn st) st.conns;
       st.conns <- [];
       Obs.Metrics.set st.conns_g 0.;

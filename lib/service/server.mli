@@ -38,11 +38,19 @@ type config = {
   retry : Runner.Supervisor.retry;  (** supervised-solve retry policy *)
   seed : int64;  (** root of the per-request jitter Rng streams *)
   batch : int option;  (** max solves per pool batch (default 2x pool) *)
+  snapshot_path : string option;
+      (** cache snapshot file: loaded before journal replay at startup
+          (snapshot-then-replay), saved periodically and on drain *)
+  snapshot_every_s : float option;  (** periodic save interval *)
+  journal_compact_bytes : int option;
+      (** journal size that triggers {!Journal.compact}; [None] never *)
 }
 
 val default_config : address:address -> config
 (** Queue 64, cache 256, 1 MiB frames, no journal, chaos off, 30s/2M-eval
-    limits, 2 attempts with jittered 50ms backoff, seed 7. *)
+    limits, 2 attempts with jittered 50ms backoff, seed 7; no cache
+    snapshot (30s interval once a path is set), journal compaction at
+    1 MiB. *)
 
 type event =
   | Listening of { address : string }
@@ -52,6 +60,11 @@ type event =
   | Connected of { conn : int }  (** serial connection number *)
   | Disconnected of { conn : int }
   | Batch_solved of { n : int; wall_s : float }
+  | Snapshot_loaded of { entries : int; age_s : float }
+      (** cache snapshot reloaded at startup, before journal replay *)
+  | Snapshot_saved of { entries : int }
+  | Compacted of { kept : int; dropped : int; bytes_before : int; bytes_after : int }
+      (** journal rewrite: pending kept, acked/torn dropped *)
   | Draining of { reason : string }
   | Warning of string
 

@@ -41,8 +41,8 @@ let fork_server ~socket ~journal =
 let rec connect_retry tries address =
   match Cl.connect address with
   | Ok client -> Ok client
-  | Error msg ->
-    if tries <= 0 then Error msg
+  | Error e ->
+    if tries <= 0 then Error (Cl.error_to_string e)
     else begin
       Unix.sleepf 0.025;
       connect_retry (tries - 1) address
@@ -129,7 +129,7 @@ let () =
       (match Cl.call client P.Shutdown with
       | Ok P.Bye -> ()
       | Ok r -> fail "shutdown answered with %s" (P.response_to_line r)
-      | Error msg -> fail "shutdown failed: %s" msg);
+      | Error e -> fail "shutdown failed: %s" (Cl.error_to_string e));
       Cl.close client));
   (match Unix.waitpid [] pid with
   | _, Unix.WEXITED 0 -> ()

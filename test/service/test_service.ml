@@ -18,6 +18,14 @@ let get_ok = function
   | Ok v -> v
   | Error msg -> Alcotest.failf "unexpected error: %s" msg
 
+(* string-typed shims over the typed client errors: the assertions in
+   this file only ever print them *)
+let call client req = Result.map_error Cl.error_to_string (Cl.call client req)
+let send client req = Result.map_error Cl.error_to_string (Cl.send client req)
+
+let read_response client =
+  Result.map_error Cl.error_to_string (Cl.read_response client)
+
 let fresh_path suffix =
   let path = Filename.temp_file "svc" suffix in
   Sys.remove path;
@@ -427,14 +435,21 @@ let test_solve_one_degrades_on_budget () =
 
 (* Forked end-to-end daemon ------------------------------------------ *)
 
-let fork_server ?(allow_chaos = false) ?journal ~socket () =
+let fork_server ?(allow_chaos = false) ?journal ?snapshot ~socket () =
   match Unix.fork () with
   | 0 ->
     (* the child sizes its own pool: domains never survive a fork, so
        the parent must not have created one *)
     Parallel.Runtime.set_jobs 1;
     let base = Sv.default_config ~address:(Sv.Unix_path socket) in
-    let cfg = { base with Sv.journal_path = journal; allow_chaos } in
+    let cfg =
+      {
+        base with
+        Sv.journal_path = journal;
+        snapshot_path = snapshot;
+        allow_chaos;
+      }
+    in
     let code = match Sv.run cfg with Ok () -> 0 | Error _ -> 3 in
     Unix._exit code
   | pid -> pid
@@ -442,8 +457,9 @@ let fork_server ?(allow_chaos = false) ?journal ~socket () =
 let rec connect_retry ?(tries = 200) address =
   match Cl.connect address with
   | Ok client -> client
-  | Error msg ->
-    if tries <= 0 then Alcotest.failf "daemon never came up: %s" msg
+  | Error e ->
+    if tries <= 0 then
+      Alcotest.failf "daemon never came up: %s" (Cl.error_to_string e)
     else begin
       Unix.sleepf 0.025;
       connect_retry ~tries:(tries - 1) address
@@ -484,29 +500,29 @@ let test_daemon_end_to_end () =
   with_daemon @@ fun ~socket ~pid ->
   let address = Sv.Unix_path socket in
   let client = connect_retry address in
-  (match Cl.call client P.Ping with
+  (match call client P.Ping with
   | Ok P.Pong -> ()
   | Ok r -> Alcotest.failf "ping answered with %s" (P.response_to_line r)
   | Error msg -> Alcotest.failf "ping failed: %s" msg);
   let market = mk_market () in
-  (match Cl.call client (P.Solve { id = "e1"; market; params = P.no_params }) with
+  (match call client (P.Solve { id = "e1"; market; params = P.no_params }) with
   | Ok (P.Solved { id = "e1"; result }) ->
     check_true "served solve converged" result.P.converged;
     Alcotest.(check int) "one subsidy per CP" 2 (Array.length result.P.subsidies);
     check_true "first solve is cold" (result.P.cache = P.Cold)
   | Ok r -> Alcotest.failf "solve answered with %s" (P.response_to_line r)
   | Error msg -> Alcotest.failf "solve failed: %s" msg);
-  (match Cl.call client (P.Solve { id = "e2"; market; params = P.no_params }) with
+  (match call client (P.Solve { id = "e2"; market; params = P.no_params }) with
   | Ok (P.Solved { id = "e2"; result }) ->
     check_true "repeat is served from the cache" (result.P.cache = P.Hit)
   | Ok r -> Alcotest.failf "repeat answered with %s" (P.response_to_line r)
   | Error msg -> Alcotest.failf "repeat failed: %s" msg);
   (* chaos frames are rejected unless the daemon opted in *)
-  (match Cl.call client (P.Chaos { mode = None }) with
+  (match call client (P.Chaos { mode = None }) with
   | Ok (P.Rejected { reason = P.Chaos_disabled; _ }) -> ()
   | Ok r -> Alcotest.failf "chaos answered with %s" (P.response_to_line r)
   | Error msg -> Alcotest.failf "chaos failed: %s" msg);
-  (match Cl.call client (P.Metrics { prefix = "service." }) with
+  (match call client (P.Metrics { prefix = "service." }) with
   | Ok (P.Metrics_snapshot json) ->
     check_true "snapshot has series" (Obs.Json.member "series" json <> None)
   | Ok r -> Alcotest.failf "metrics answered with %s" (P.response_to_line r)
@@ -522,7 +538,7 @@ let test_daemon_end_to_end () =
   | Ok r -> Alcotest.failf "garbage answered with %s" (P.response_to_line r)
   | Error msg -> Alcotest.failf "garbage answer unparsable: %s" msg);
   Unix.close fd;
-  (match Cl.call client P.Shutdown with
+  (match call client P.Shutdown with
   | Ok P.Bye -> ()
   | Ok r -> Alcotest.failf "shutdown answered with %s" (P.response_to_line r)
   | Error msg -> Alcotest.failf "shutdown failed: %s" msg);
@@ -562,12 +578,12 @@ let test_daemon_prometheus () =
   let address = Sv.Unix_path socket in
   let client = connect_retry address in
   let market = mk_market () in
-  (match Cl.call client (P.Solve { id = "p1"; market; params = P.no_params }) with
+  (match call client (P.Solve { id = "p1"; market; params = P.no_params }) with
   | Ok (P.Solved _) -> ()
   | Ok r -> Alcotest.failf "solve answered with %s" (P.response_to_line r)
   | Error msg -> Alcotest.failf "solve failed: %s" msg);
   (* exposition over the framed protocol *)
-  (match Cl.call client (P.Metrics_prom { prefix = "service." }) with
+  (match call client (P.Metrics_prom { prefix = "service." }) with
   | Ok (P.Prom_text text) ->
     check_true "solved counter exposed" (contains text "service_requests_solved");
     check_true "TYPE comments present"
@@ -598,7 +614,7 @@ let test_daemon_prometheus () =
   check_true "unknown path is 404"
     (String.length missing >= 12 && String.sub missing 0 12 = "HTTP/1.0 404");
   (* the daemon survives the HTTP detours and still speaks frames *)
-  (match Cl.call client P.Shutdown with
+  (match call client P.Shutdown with
   | Ok P.Bye -> ()
   | Ok r -> Alcotest.failf "shutdown answered with %s" (P.response_to_line r)
   | Error msg -> Alcotest.failf "shutdown failed: %s" msg);
@@ -622,6 +638,10 @@ let test_loadgen_csv_table () =
       errors = [];
       wall_s = 1.5;
       latency = None;
+      per_shard = [];
+      failovers = 0;
+      retries = 0;
+      recovered = 0;
     }
   in
   let csv = Report.Table.to_csv_string (Service.Loadgen.csv_table report) in
@@ -676,11 +696,11 @@ let test_kill_and_restart_journal () =
   for i = 0 to n - 1 do
     let market = Service.Loadgen.random_market rng in
     get_ok
-      (Cl.send client (P.Solve { id = Printf.sprintf "k%d" i; market; params = P.no_params }))
+      (send client (P.Solve { id = Printf.sprintf "k%d" i; market; params = P.no_params }))
   done;
   (* one response read = at least one journaled ack; then kill -9 with
      the bulk of the load still queued *)
-  (match Cl.read_response client with
+  (match read_response client with
   | Ok (P.Solved _ | P.Degraded _ | P.Shed _) -> ()
   | Ok r -> Alcotest.failf "unexpected first answer %s" (P.response_to_line r)
   | Error msg -> Alcotest.failf "no first answer: %s" msg);
@@ -701,7 +721,7 @@ let test_kill_and_restart_journal () =
   let socket2 = fresh_path ".sock" in
   let pid2 = fork_server ~journal ~socket:socket2 () in
   let client2 = connect_retry (Sv.Unix_path socket2) in
-  (match Cl.call client2 P.Shutdown with
+  (match call client2 P.Shutdown with
   | Ok P.Bye -> ()
   | Ok r -> Alcotest.failf "shutdown answered with %s" (P.response_to_line r)
   | Error msg -> Alcotest.failf "shutdown failed: %s" msg);
@@ -724,6 +744,479 @@ let test_kill_and_restart_journal () =
        (fun (seq, _, _) -> List.exists (fun (s, _, _) -> s = seq) after.J.acked)
        before.J.acked);
   Sys.remove journal
+
+(* Netfault ---------------------------------------------------------- *)
+
+module Nf = Service.Netfault
+
+let test_netfault_determinism () =
+  let mk () =
+    Nf.create ~drop_conn_p:0.3 ~torn_write_p:0.3 ~delay_read_p:0.3
+      ~delay_s:0.001 ~seed:99L ()
+  in
+  let trace nf =
+    List.init 60 (fun i ->
+        match i mod 3 with
+        | 0 -> (
+          match Nf.connect_decision nf ~endpoint:"e" with
+          | `Proceed -> "connect"
+          | `Refuse -> "refuse")
+        | 1 -> (
+          match Nf.send_decision nf with
+          | `Proceed -> "send"
+          | `Torn f -> Printf.sprintf "torn %.6f" f)
+        | _ -> (
+          match Nf.read_decision nf ~endpoint:"e" with
+          | `Proceed -> "read"
+          | `Delay d -> Printf.sprintf "delay %.6f" d
+          | `Blackhole -> "blackhole"))
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check (list string)) "same seed, same fault schedule" (trace a) (trace b);
+  let sa = Nf.stats a and sb = Nf.stats b in
+  check_true "fault counters match" (sa = sb);
+  check_true "faults actually injected"
+    (sa.Nf.dropped > 0 && sa.Nf.torn > 0 && sa.Nf.delayed > 0);
+  (* a blackholed endpoint stalls every read; others are untouched *)
+  let bh = Nf.create ~blackhole:[ "x" ] ~seed:1L () in
+  (match Nf.read_decision bh ~endpoint:"x" with
+  | `Blackhole -> ()
+  | `Proceed | `Delay _ -> Alcotest.fail "blackholed endpoint not blackholed");
+  (match Nf.read_decision bh ~endpoint:"y" with
+  | `Blackhole -> Alcotest.fail "wrong endpoint blackholed"
+  | `Proceed | `Delay _ -> ());
+  (* probability zero injects nothing *)
+  let off = Nf.create ~seed:5L () in
+  for _ = 1 to 20 do
+    (match Nf.connect_decision off ~endpoint:"e" with
+    | `Proceed -> ()
+    | `Refuse -> Alcotest.fail "zero-probability drop fired");
+    match Nf.send_decision off with
+    | `Proceed -> ()
+    | `Torn _ -> Alcotest.fail "zero-probability tear fired"
+  done
+
+(* Shard ring -------------------------------------------------------- *)
+
+module Sh = Service.Shard
+
+let mk_shard i =
+  {
+    Sh.name = Printf.sprintf "s%d" i;
+    address = Sv.Unix_path (Printf.sprintf "/tmp/fleet-s%d.sock" i);
+    health = Sh.Up;
+    failures = 0;
+  }
+
+let mk_fleet n = get_ok (Sh.make (List.init n mk_shard))
+
+let route_names t key =
+  List.map (fun (s : Sh.shard) -> s.Sh.name) (Sh.route t ~key)
+
+let test_shard_ring () =
+  let t = mk_fleet 3 in
+  let r = route_names t "fp-abc" in
+  Alcotest.(check int) "every shard appears exactly once" 3
+    (List.length (List.sort_uniq compare r));
+  Alcotest.(check (list string)) "routing is deterministic" r
+    (route_names t "fp-abc");
+  let owners =
+    List.sort_uniq compare
+      (List.init 64 (fun i ->
+           match Sh.route t ~key:(Printf.sprintf "key%d" i) with
+           | s :: _ -> s.Sh.name
+           | [] -> "none"))
+  in
+  Alcotest.(check (list string)) "keys spread over every owner"
+    [ "s0"; "s1"; "s2" ] owners;
+  (match Sh.find t "s1" with
+  | None -> Alcotest.fail "find lost a shard"
+  | Some s ->
+    Sh.mark_failed s;
+    check_true "one failure is suspect" (s.Sh.health = Sh.Suspect);
+    Sh.mark_failed s;
+    check_true "two failures is down" (s.Sh.health = Sh.Down);
+    Sh.mark_ok s;
+    check_true "success resets health" (s.Sh.health = Sh.Up && s.Sh.failures = 0));
+  check_true "empty fleet rejected" (Result.is_error (Sh.make []));
+  check_true "duplicate names rejected"
+    (Result.is_error (Sh.make [ mk_shard 0; mk_shard 0 ]))
+
+let test_shard_manifest_roundtrip () =
+  let t = mk_fleet 3 in
+  let path = fresh_path ".fleet.json" in
+  get_ok (Sh.save_manifest ~path t);
+  let t' = get_ok (Sh.load_manifest ~path ()) in
+  Alcotest.(check (list string)) "shards survive"
+    (List.map (fun (s : Sh.shard) -> s.Sh.name) (Sh.shards t))
+    (List.map (fun (s : Sh.shard) -> s.Sh.name) (Sh.shards t'));
+  (* the reloaded ring routes every key identically: a client holding
+     the manifest agrees with the serve-fleet process that wrote it *)
+  for i = 0 to 19 do
+    let key = Printf.sprintf "k%d" i in
+    Alcotest.(check (list string)) (key ^ " routes identically")
+      (route_names t key) (route_names t' key)
+  done;
+  Sys.remove path;
+  (match Sh.address_of_string "tcp:127.0.0.1:9000" with
+  | Ok (Sv.Tcp { host = "127.0.0.1"; port = 9000 }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "tcp address did not parse");
+  check_true "unix address parses"
+    (Sh.address_of_string "unix:/tmp/x.sock" = Ok (Sv.Unix_path "/tmp/x.sock"));
+  check_true "garbage address rejected" (Result.is_error (Sh.address_of_string "zap"));
+  check_true "bad tcp port rejected"
+    (Result.is_error (Sh.address_of_string "tcp:h:zap"));
+  check_true "missing manifest is an error"
+    (Result.is_error (Sh.load_manifest ~path:(fresh_path ".fleet.json") ()))
+
+(* Cache snapshot ---------------------------------------------------- *)
+
+let test_cache_snapshot_roundtrip () =
+  let path = fresh_path ".snapshot" in
+  let cache = Ca.create ~capacity:8 in
+  let markets =
+    List.init 3 (fun i -> mk_market ~price:(0.5 +. (0.1 *. float_of_int i)) ())
+  in
+  List.iter
+    (fun m ->
+      Ca.store cache ~market:m ~fingerprint:(Ca.fingerprint m) (mk_solved ()))
+    markets;
+  Alcotest.(check int) "three entries saved" 3 (get_ok (Ca.save cache ~path));
+  let fresh = Ca.create ~capacity:8 in
+  let loaded = get_ok (Ca.load_into fresh ~path) in
+  Alcotest.(check int) "three entries loaded" 3 loaded.Ca.entries;
+  check_true "snapshot age is sane"
+    (loaded.Ca.age_s >= 0. && loaded.Ca.age_s < 3600.);
+  List.iter
+    (fun m ->
+      match Ca.find fresh ~fingerprint:(Ca.fingerprint m) with
+      | Some solved ->
+        check_true "reloaded entries serve as hits" (solved.P.cache = P.Hit);
+        check_close "payload survives" 0.2 solved.P.subsidies.(1)
+      | None -> Alcotest.fail "loaded entry not found")
+    markets;
+  check_true "population index rebuilt for warm starts"
+    (Ca.warm_start fresh (mk_market ~price:0.55 ()) <> None);
+  (* a missing file is a cold start, not an error *)
+  let l = get_ok (Ca.load_into (Ca.create ~capacity:4) ~path:(fresh_path ".none")) in
+  Alcotest.(check int) "missing file loads nothing" 0 l.Ca.entries;
+  (* a smaller cache keeps the most recent entries of the snapshot *)
+  let small = Ca.create ~capacity:2 in
+  let ls = get_ok (Ca.load_into small ~path) in
+  Alcotest.(check int) "load reports the full snapshot" 3 ls.Ca.entries;
+  Alcotest.(check int) "bounded by capacity" 2 (Ca.size small);
+  (match markets with
+  | oldest :: newer ->
+    check_true "the oldest entry was evicted"
+      (Ca.find small ~fingerprint:(Ca.fingerprint oldest) = None);
+    List.iter
+      (fun m ->
+        check_true "newer entries survive"
+          (Ca.find small ~fingerprint:(Ca.fingerprint m) <> None))
+      newer
+  | [] -> assert false);
+  (* corruption is a typed error, never a crash *)
+  let oc = open_out path in
+  output_string oc "{\"schema\":\"cache.v1\",\"entries\":[{\"fp\":1}]}\n";
+  close_out oc;
+  check_true "corrupt snapshot is an error"
+    (Result.is_error (Ca.load_into (Ca.create ~capacity:4) ~path));
+  Sys.remove path
+
+(* Journal compaction ------------------------------------------------ *)
+
+let test_journal_compaction () =
+  let path = fresh_path ".journal" in
+  let j = get_ok (J.open_ ~path ()) in
+  for seq = 0 to 4 do
+    get_ok
+      (J.record_received j ~seq ~id:(Printf.sprintf "r%d" seq)
+         ~fingerprint:(Printf.sprintf "fp%d" seq)
+         ~request_line:(Printf.sprintf "line%d" seq))
+  done;
+  List.iter
+    (fun seq ->
+      get_ok (J.record_acked j ~seq ~id:(Printf.sprintf "r%d" seq) ~kind:J.Solved))
+    [ 0; 1; 3 ];
+  let before = J.size_bytes j in
+  let c = get_ok (J.compact j) in
+  Alcotest.(check int) "pending lines kept" 2 c.J.kept;
+  check_true "acked lines dropped" (c.J.dropped >= 3);
+  check_true "the file shrank"
+    (c.J.bytes_after < c.J.bytes_before && c.J.bytes_before = before);
+  Alcotest.(check int) "tracked size agrees" c.J.bytes_after (J.size_bytes j);
+  (* the append channel survives the rewrite *)
+  get_ok (J.record_received j ~seq:5 ~id:"r5" ~fingerprint:"fp5" ~request_line:"line5");
+  get_ok (J.record_acked j ~seq:5 ~id:"r5" ~kind:J.Degraded);
+  J.close j;
+  let r = get_ok (J.recover ~path ()) in
+  Alcotest.(check int) "no torn lines" 0 r.J.torn_lines;
+  Alcotest.(check (list int)) "still-pending requests survive" [ 2; 4 ]
+    (List.map (fun (p : J.pending) -> p.J.seq) r.J.pending);
+  check_true "request lines verbatim"
+    (List.map (fun (p : J.pending) -> p.J.request_line) r.J.pending
+    = [ "line2"; "line4" ]);
+  (* the seq-floor marker: compaction must never allow seq reuse, or a
+     recycled seq could be double-acked *)
+  Alcotest.(check int) "next_seq stays monotone" 6 r.J.next_seq;
+  (match r.J.acked with
+  | [ (5, "r5", J.Degraded) ] -> ()
+  | _ -> Alcotest.fail "post-compaction ack lost");
+  Sys.remove path
+
+(* Pool: breakers and failover --------------------------------------- *)
+
+module Pl = Service.Pool
+
+let pool_config =
+  {
+    Pl.default_config with
+    Pl.retry = Runner.Supervisor.retry ~max_attempts:1 ~backoff_s:0.01 ();
+    breaker_threshold = 2;
+    breaker_cooldown_s = 60.;
+    timeout_s = 5.;
+  }
+
+let test_pool_breaker_trips_and_fast_fails () =
+  let t =
+    get_ok
+      (Sh.make
+         [
+           {
+             Sh.name = "dead";
+             address = Sv.Unix_path (fresh_path ".sock");
+             health = Sh.Up;
+             failures = 0;
+           };
+         ])
+  in
+  let pool = Pl.create ~config:pool_config t in
+  let m = mk_market () in
+  let expect_transport label =
+    match Pl.solve pool m with
+    | Error (Pl.Transport _) -> ()
+    | Error e -> Alcotest.failf "%s: wrong error %s" label (Pl.error_to_string e)
+    | Ok _ -> Alcotest.failf "%s: solved on a dead fleet" label
+  in
+  expect_transport "first failure";
+  expect_transport "second failure trips the breaker";
+  (* breaker open, long cooldown: the pool now fails fast without
+     spending a syscall on the dead shard *)
+  (match Pl.solve pool m with
+  | Error Pl.No_shard_available -> ()
+  | Error e -> Alcotest.failf "expected fast-fail, got %s" (Pl.error_to_string e)
+  | Ok _ -> Alcotest.fail "solved on a dead fleet");
+  (match (Pl.stats pool).Pl.shards with
+  | [ d ] ->
+    Alcotest.(check string) "breaker open" "open" d.Pl.breaker;
+    check_true "trip counted" (d.Pl.trips >= 1);
+    check_true "failures counted" (d.Pl.failures >= 2);
+    check_true "shard marked down" (d.Pl.health = Sh.Down)
+  | _ -> Alcotest.fail "one shard expected");
+  Pl.close pool
+
+(* deterministically find a market whose ring owner is [name] *)
+let market_owned_by fleet name rng =
+  let rec go n =
+    if n > 500 then Alcotest.failf "no market routed to %s in 500 draws" name
+    else
+      let m = Service.Loadgen.random_market rng in
+      match Sh.route fleet ~key:(Ca.fingerprint m) with
+      | s :: _ when s.Sh.name = name -> m
+      | _ -> go (n + 1)
+  in
+  go 0
+
+let test_pool_fails_over_to_live_shard () =
+  with_daemon @@ fun ~socket ~pid ->
+  let dead_socket = fresh_path ".sock" in
+  let fleet =
+    get_ok
+      (Sh.make
+         [
+           { Sh.name = "dead"; address = Sv.Unix_path dead_socket; health = Sh.Up; failures = 0 };
+           { Sh.name = "live"; address = Sv.Unix_path socket; health = Sh.Up; failures = 0 };
+         ])
+  in
+  Cl.close (connect_retry (Sv.Unix_path socket));
+  let pool = Pl.create ~config:pool_config fleet in
+  let rng = Numerics.Rng.create 3L in
+  (* a dead-owned key must be answered anyway, by the live replica *)
+  let m_dead = market_owned_by fleet "dead" rng in
+  (match Pl.solve pool m_dead with
+  | Ok (a : Pl.answer) ->
+    Alcotest.(check string) "answered by the live shard" "live" a.Pl.shard;
+    check_true "counted as a failover" (a.Pl.failovers > 0);
+    check_true "the answer is a real equilibrium" a.Pl.solved.P.converged
+  | Error e -> Alcotest.failf "dead-owned solve failed: %s" (Pl.error_to_string e));
+  (* a live-owned key goes straight to its owner *)
+  let m_live = market_owned_by fleet "live" rng in
+  (match Pl.solve pool m_live with
+  | Ok (a : Pl.answer) ->
+    Alcotest.(check string) "owner answers" "live" a.Pl.shard;
+    Alcotest.(check int) "no failover needed" 0 a.Pl.failovers
+  | Error e -> Alcotest.failf "live-owned solve failed: %s" (Pl.error_to_string e));
+  check_true "pool counted the failover" ((Pl.stats pool).Pl.failovers > 0);
+  Pl.close pool;
+  let client = connect_retry (Sv.Unix_path socket) in
+  (match call client P.Shutdown with
+  | Ok P.Bye -> ()
+  | Ok r -> Alcotest.failf "shutdown answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "shutdown failed: %s" msg);
+  Cl.close client;
+  Alcotest.(check int) "clean exit" 0 (wait_exit pid)
+
+(* Snapshot warm restart (forked) ------------------------------------ *)
+
+let shutdown_and_wait ~label client pid =
+  (match call client P.Shutdown with
+  | Ok P.Bye -> ()
+  | Ok r -> Alcotest.failf "%s shutdown answered with %s" label (P.response_to_line r)
+  | Error msg -> Alcotest.failf "%s shutdown failed: %s" label msg);
+  Cl.close client;
+  Alcotest.(check int) (label ^ " clean exit") 0 (wait_exit pid)
+
+let test_snapshot_warm_restart () =
+  let snapshot = fresh_path ".snapshot" in
+  let socket1 = fresh_path ".sock" in
+  let pid1 = fork_server ~snapshot ~socket:socket1 () in
+  let client = connect_retry (Sv.Unix_path socket1) in
+  let market = mk_market () in
+  (match call client (P.Solve { id = "w1"; market; params = P.no_params }) with
+  | Ok (P.Solved { result; _ }) ->
+    check_true "first solve is cold" (result.P.cache = P.Cold)
+  | Ok r -> Alcotest.failf "solve answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "solve failed: %s" msg);
+  shutdown_and_wait ~label:"first daemon" client pid1;
+  (try Sys.remove socket1 with Sys_error _ -> ());
+  check_true "drain wrote the snapshot" (Sys.file_exists snapshot);
+  (* a fresh process on the same snapshot answers the repeated
+     fingerprint from the reloaded cache: zero solver evaluations,
+     strictly cheaper than the cold solve above *)
+  let socket2 = fresh_path ".sock" in
+  let pid2 = fork_server ~snapshot ~socket:socket2 () in
+  let client2 = connect_retry (Sv.Unix_path socket2) in
+  (match call client2 (P.Solve { id = "w2"; market; params = P.no_params }) with
+  | Ok (P.Solved { result; _ }) ->
+    check_true "repeat after restart is a cache hit" (result.P.cache = P.Hit)
+  | Ok r -> Alcotest.failf "repeat answered with %s" (P.response_to_line r)
+  | Error msg -> Alcotest.failf "repeat failed: %s" msg);
+  (* the restarted daemon's own counters agree *)
+  (match Service.Loadgen.fetch_metrics ~prefix:"service.cache." (Sv.Unix_path socket2) with
+  | Error msg -> Alcotest.failf "metrics fetch failed: %s" msg
+  | Ok json -> (
+    let series =
+      match Obs.Json.member "series" json with
+      | Some (Obs.Json.Arr items) -> items
+      | _ -> []
+    in
+    let value name =
+      List.find_map
+        (fun s ->
+          if Obs.Json.member "name" s = Some (Obs.Json.Str name) then
+            Option.bind (Obs.Json.member "value" s) Obs.Json.to_float
+          else None)
+        series
+    in
+    match value "service.cache.hits" with
+    | Some hits -> check_true "daemon counted the hit" (hits >= 1.)
+    | None -> Alcotest.fail "no cache.hits counter"));
+  shutdown_and_wait ~label:"restarted daemon" client2 pid2;
+  (try Sys.remove socket2 with Sys_error _ -> ());
+  Sys.remove snapshot
+
+(* Fleet failover under SIGKILL (forked, 3 shards) ------------------- *)
+
+let test_fleet_failover_sigkill () =
+  let sockets = Array.init 3 (fun _ -> fresh_path ".sock") in
+  let journals = Array.init 3 (fun _ -> fresh_path ".journal") in
+  let pids =
+    Array.init 3 (fun i -> fork_server ~journal:journals.(i) ~socket:sockets.(i) ())
+  in
+  let fleet =
+    get_ok
+      (Sh.make
+         (List.init 3 (fun i ->
+              {
+                Sh.name = Printf.sprintf "s%d" i;
+                address = Sv.Unix_path sockets.(i);
+                health = Sh.Up;
+                failures = 0;
+              })))
+  in
+  Array.iter (fun s -> Cl.close (connect_retry (Sv.Unix_path s))) sockets;
+  let pool =
+    Pl.create ~config:{ pool_config with Pl.breaker_cooldown_s = 0.2 } fleet
+  in
+  let rng = Numerics.Rng.create 17L in
+  let solve_ok label m =
+    match Pl.solve pool m with
+    | Ok (a : Pl.answer) -> a
+    | Error e -> Alcotest.failf "%s failed: %s" label (Pl.error_to_string e)
+  in
+  (* phase 1: healthy fleet; traffic reaches every shard, no failovers *)
+  let markets = List.init 24 (fun _ -> Service.Loadgen.random_market rng) in
+  let answers1 = List.map (solve_ok "healthy solve") markets in
+  Alcotest.(check (list string)) "all three shards answer"
+    [ "s0"; "s1"; "s2" ]
+    (List.sort_uniq compare (List.map (fun (a : Pl.answer) -> a.Pl.shard) answers1));
+  check_true "no failovers while healthy"
+    (List.for_all (fun (a : Pl.answer) -> a.Pl.failovers = 0) answers1);
+  (* phase 2: SIGKILL s0; the same load must still be fully answered *)
+  Unix.kill pids.(0) Sys.sigkill;
+  ignore (Unix.waitpid [] pids.(0));
+  let answers2 = List.map (solve_ok "post-kill solve") markets in
+  check_true "keys owned by the casualty failed over"
+    (List.exists (fun (a : Pl.answer) -> a.Pl.failovers > 0) answers2);
+  check_true "the dead shard answered nothing"
+    (List.for_all (fun (a : Pl.answer) -> a.Pl.shard <> "s0") answers2);
+  check_true "pool counted failovers" ((Pl.stats pool).Pl.failovers > 0);
+  (match
+     List.find_opt
+       (fun (d : Pl.shard_stats) -> d.Pl.name = "s0")
+       (Pl.stats pool).Pl.shards
+   with
+  | Some d ->
+    check_true "the casualty's breaker tripped" (d.Pl.trips >= 1);
+    check_true "its breaker is not closed" (d.Pl.breaker <> "closed")
+  | None -> Alcotest.fail "stats lost a shard");
+  (* phase 3: restart s0 on the same socket and journal; after the
+     cooldown one probe closes the breaker and traffic returns *)
+  pids.(0) <- fork_server ~journal:journals.(0) ~socket:sockets.(0) ();
+  Cl.close (connect_retry (Sv.Unix_path sockets.(0)));
+  Unix.sleepf 0.25;
+  Pl.probe pool;
+  (match
+     List.find_opt
+       (fun (d : Pl.shard_stats) -> d.Pl.name = "s0")
+       (Pl.stats pool).Pl.shards
+   with
+  | Some d ->
+    Alcotest.(check string) "breaker closed after the probe" "closed" d.Pl.breaker;
+    check_true "health recovered" (d.Pl.health = Sh.Up)
+  | None -> Alcotest.fail "stats lost a shard");
+  let answers3 = List.map (solve_ok "post-restart solve") markets in
+  check_true "the restarted shard serves again"
+    (List.exists (fun (a : Pl.answer) -> a.Pl.shard = "s0") answers3);
+  Pl.close pool;
+  (* drain the fleet; every journal must close with nothing pending and
+     no seq acked twice — at-most-once per shard across the SIGKILL *)
+  Array.iteri
+    (fun i socket ->
+      let c = connect_retry (Sv.Unix_path socket) in
+      shutdown_and_wait ~label:(Printf.sprintf "s%d" i) c pids.(i))
+    sockets;
+  Array.iter
+    (fun journal ->
+      let r = get_ok (J.recover ~path:journal ()) in
+      check_true "journal drained" (r.J.pending = []);
+      Hashtbl.iter
+        (fun seq count ->
+          if count <> 1 then Alcotest.failf "seq %d acked %d times" seq count)
+        (ack_counts journal);
+      Sys.remove journal)
+    journals;
+  Array.iter (fun s -> try Sys.remove s with Sys_error _ -> ()) sockets
 
 let suite =
   ( "service",
@@ -751,6 +1244,22 @@ let suite =
       quick "loadgen: csv artifact shape" test_loadgen_csv_table;
       quick "daemon: SIGKILL mid-load, restart replays the journal"
         test_kill_and_restart_journal;
+      quick "netfault: seeded fault schedule is deterministic"
+        test_netfault_determinism;
+      quick "shard: ring covers and spreads, health transitions" test_shard_ring;
+      quick "shard: fleet manifest round-trips the ring"
+        test_shard_manifest_roundtrip;
+      quick "cache: snapshot save/load round-trip" test_cache_snapshot_roundtrip;
+      quick "journal: compaction keeps pending, floors seq"
+        test_journal_compaction;
+      quick "pool: breaker trips and fails fast on a dead fleet"
+        test_pool_breaker_trips_and_fast_fails;
+      quick "pool: dead-owned keys fail over to the live replica"
+        test_pool_fails_over_to_live_shard;
+      quick "daemon: cache snapshot warm-starts a restart"
+        test_snapshot_warm_restart;
+      quick "fleet: SIGKILL one of three shards, failover and recovery"
+        test_fleet_failover_sigkill;
     ] )
 
 let () = Alcotest.run "service" [ suite ]
