@@ -23,6 +23,13 @@ type figure_record = {
   root_calls : int;
   fixed_point_calls : int;
   objective_evaluations : float;
+  deriv_ad : float;  (** exact seeded AD passes *)
+  deriv_fd : float;  (** finite-difference stencil estimates *)
+  continuation : Numerics.Continuation.stats;
+  shared : Experiments.Eq_sweep.shared_stats option;
+      (** the memoized fig7-11 sweep's cost, attributed to every
+          consumer (their own counters only charge whichever ran
+          first) *)
 }
 
 let regenerate experiments =
@@ -41,14 +48,26 @@ let regenerate experiments =
       Printf.printf "\n%s\n" (String.make 66 '-');
       Experiments.Common.print ~plots:false outcome;
       Printf.printf "[%s regenerated in %.2fs]\n" e.Experiments.Common.id seconds;
+      Printf.printf "[derivatives: %.0f AD passes, %.0f FD stencils | %s]\n"
+        (Numerics.Ad.stats ()).Numerics.Ad.passes
+        (Numerics.Diff.stats ()).Numerics.Diff.estimates
+        (Numerics.Continuation.stats_summary ());
       let stats = Numerics.Robust.stats () in
+      let id = e.Experiments.Common.id in
       records :=
         {
-          fig_id = e.Experiments.Common.id;
+          fig_id = id;
           seconds;
           root_calls = stats.Numerics.Robust.root_calls;
           fixed_point_calls = stats.Numerics.Robust.fixed_point_calls;
           objective_evaluations = Obs.Metrics.sum_histograms "solver.evaluations";
+          deriv_ad = (Numerics.Ad.stats ()).Numerics.Ad.passes;
+          deriv_fd = (Numerics.Diff.stats ()).Numerics.Diff.estimates;
+          continuation = Numerics.Continuation.stats ();
+          shared =
+            (if List.mem id Experiments.Eq_sweep.consumers then
+               Experiments.Eq_sweep.shared_stats ()
+             else None);
         }
         :: !records;
       if
@@ -267,14 +286,34 @@ let parallel_json ~stats ~compare : Obs.Json.t =
 let perf_record ~figures ~benchmarks ~parallel : Obs.Json.t =
   let open Obs.Json in
   let figure r =
+    let shared_fields =
+      match r.shared with
+      | None -> []
+      | Some (s : Experiments.Eq_sweep.shared_stats) ->
+        [
+          ("shared_with", Str "eq_sweep");
+          ("shared_root_calls", Num (float_of_int s.Experiments.Eq_sweep.root_calls));
+          ( "shared_objective_evaluations",
+            Num s.Experiments.Eq_sweep.objective_evaluations );
+        ]
+    in
     Obj
-      [
-        ("id", Str r.fig_id);
-        ("seconds", Num r.seconds);
-        ("root_calls", Num (float_of_int r.root_calls));
-        ("fixed_point_calls", Num (float_of_int r.fixed_point_calls));
-        ("objective_evaluations", Num r.objective_evaluations);
-      ]
+      ([
+         ("id", Str r.fig_id);
+         ("seconds", Num r.seconds);
+         ("root_calls", Num (float_of_int r.root_calls));
+         ("fixed_point_calls", Num (float_of_int r.fixed_point_calls));
+         ("objective_evaluations", Num r.objective_evaluations);
+         ("deriv_ad", Num r.deriv_ad);
+         ("deriv_fd", Num r.deriv_fd);
+         ("continuation_steps", Num r.continuation.Numerics.Continuation.steps);
+         ( "predictor_accepts",
+           Num r.continuation.Numerics.Continuation.predictor_accepts );
+         ( "corrector_iterations",
+           Num r.continuation.Numerics.Continuation.corrector_iterations );
+         ("fallbacks", Num r.continuation.Numerics.Continuation.fallbacks);
+       ]
+      @ shared_fields)
   in
   let benchmark (name, time_ns, r2) =
     Obj

@@ -123,6 +123,10 @@ let retry_of ~retries ~backoff_s =
 
 let print_solver_telemetry () =
   Printf.printf "\n-- solver telemetry --\n%s\n" (Numerics.Robust.stats_summary ());
+  Printf.printf "derivatives: %.0f AD passes, %.0f FD stencils\n"
+    (Numerics.Ad.stats ()).Numerics.Ad.passes
+    (Numerics.Diff.stats ()).Numerics.Diff.estimates;
+  Printf.printf "%s\n" (Numerics.Continuation.stats_summary ());
   let per_layer = Obs.Export.telemetry_table () in
   if Report.Table.row_count per_layer > 0 then
     Printf.printf "\n%s\n" (Report.Table.to_string per_layer)

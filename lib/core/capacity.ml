@@ -10,13 +10,13 @@ type plan = {
   welfare : float;
 }
 
-let evaluate sys ~pricing ~cap ~unit_cost ~capacity =
+let evaluate ?track sys ~pricing ~cap ~unit_cost ~capacity =
   if unit_cost < 0. then invalid_arg "Capacity.evaluate: unit_cost must be non-negative";
   let sys = System.with_capacity sys capacity in
   let point =
     match pricing with
     | Fixed_price price -> Policy.point_at sys ~price ~cap
-    | Optimal_price { p_max } -> Policy.optimal_price ~p_max ~points:21 sys ~cap
+    | Optimal_price { p_max } -> Policy.optimal_price ~p_max ~points:21 ?track sys ~cap
   in
   let cost = unit_cost *. capacity in
   {
@@ -32,9 +32,12 @@ let evaluate sys ~pricing ~cap ~unit_cost ~capacity =
 let optimal ?(mu_lo = 0.05) ?(mu_hi = 10.) ?(points = 13) sys ~pricing ~cap ~unit_cost =
   if mu_lo <= 0. || mu_hi <= mu_lo then
     invalid_arg "Capacity.optimal: need 0 < mu_lo < mu_hi";
-  let profit_at mu = (evaluate sys ~pricing ~cap ~unit_cost ~capacity:mu).profit in
+  (* one continuation track for the whole capacity search: the inner
+     price scans at nearby mu visit nearby equilibria *)
+  let track = Numerics.Continuation.track () in
+  let profit_at mu = (evaluate ~track sys ~pricing ~cap ~unit_cost ~capacity:mu).profit in
   let r = Numerics.Optimize.grid_then_golden ~points ~tol:1e-3 profit_at ~lo:mu_lo ~hi:mu_hi in
-  evaluate sys ~pricing ~cap ~unit_cost ~capacity:r.Numerics.Optimize.x
+  evaluate ~track sys ~pricing ~cap ~unit_cost ~capacity:r.Numerics.Optimize.x
 
 let investment_incentive ?mu_lo ?mu_hi ?pool sys ~pricing ~unit_cost ~caps =
   let solve cap = optimal ?mu_lo ?mu_hi sys ~pricing ~cap ~unit_cost in

@@ -23,8 +23,16 @@ type plan = {
 }
 
 val evaluate :
-  System.t -> pricing:pricing -> cap:float -> unit_cost:float -> capacity:float -> plan
-(** The market outcome when the ISP deploys [capacity]. *)
+  ?track:Numerics.Continuation.track ->
+  System.t ->
+  pricing:pricing ->
+  cap:float ->
+  unit_cost:float ->
+  capacity:float ->
+  plan
+(** The market outcome when the ISP deploys [capacity]. [track] keeps
+    the optimal-price search's continuation warm state alive across
+    evaluations at nearby capacities. *)
 
 val optimal :
   ?mu_lo:float ->

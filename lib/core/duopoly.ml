@@ -8,6 +8,8 @@ type t = {
   eta : float;
   cap : float;
   mutable subsidy_cache : Vec.t option; (* warm start for the CP game *)
+  mutable phi_cache_a : float; (* warm starts for the two utilization solves *)
+  mutable phi_cache_b : float;
 }
 
 type market = {
@@ -27,7 +29,17 @@ let make ?(utilization = Econ.Utilization.linear) ?(eta = 4.) ~cps ~capacity_a
     invalid_arg "Duopoly.make: capacities must be positive";
   if eta <= 0. then invalid_arg "Duopoly.make: eta must be positive";
   if cap < 0. then invalid_arg "Duopoly.make: cap must be non-negative";
-  { cps = Array.copy cps; utilization; capacity_a; capacity_b; eta; cap; subsidy_cache = None }
+  {
+    cps = Array.copy cps;
+    utilization;
+    capacity_a;
+    capacity_b;
+    eta;
+    cap;
+    subsidy_cache = None;
+    phi_cache_a = 1.;
+    phi_cache_b = 1.;
+  }
 
 let cap d = d.cap
 
@@ -56,12 +68,67 @@ let systems d =
 let states d ~prices ~subsidies =
   let ma, mb = split_populations d ~prices ~subsidies in
   let sys_a, sys_b = systems d in
-  let st_a = System.solve_fixed_populations sys_a ~populations:ma in
-  let st_b = System.solve_fixed_populations sys_b ~populations:mb in
+  (* continuation mode carries each ISP's utilization across the many
+     nearby solves a best-response sweep makes *)
+  let warm = Continuation.fast () in
+  let guess cache = if warm then Some cache else None in
+  let st_a =
+    System.solve_fixed_populations ?phi_guess:(guess d.phi_cache_a) sys_a ~populations:ma
+  in
+  let st_b =
+    System.solve_fixed_populations ?phi_guess:(guess d.phi_cache_b) sys_b ~populations:mb
+  in
+  if warm then begin
+    d.phi_cache_a <- Float.max st_a.System.phi 1e-6;
+    d.phi_cache_b <- Float.max st_b.System.phi 1e-6
+  end;
   (st_a, st_b)
 
 let total_throughputs (st_a : System.state) (st_b : System.state) =
   Vec.add st_a.System.throughputs st_b.System.throughputs
+
+module D2 = Dual.Order2
+
+(* fused duopoly marginal: (dU_i/ds_i, d2U_i/ds_i2) at (s with
+   s_i := si) from one warm primal solve per ISP plus a second-order
+   dual pass through both utilization equilibria. The logit shares are
+   constant in the own subsidy (it cancels from the charge difference),
+   so only CP i's total population and the two [phi] move. *)
+let fused_marginal d ~prices i s si =
+  let pa, pb = prices in
+  let n = Array.length d.cps in
+  let subsidies = Vec.init n (fun j -> if j = i then si else s.(j)) in
+  let st_a, st_b = states d ~prices ~subsidies in
+  let sys_a, sys_b = systems d in
+  let cp = d.cps.(i) in
+  (* the min branch is fixed by the price difference, not by s_i *)
+  let t_i = D2.make ~v:(Float.min (pa -. si) (pb -. si)) ~d:(-1.) ~dd:0. in
+  let total_i = Econ.Cp.population_d2 cp t_i in
+  let share_a =
+    let wa = exp (-.d.eta *. (pa -. si)) and wb = exp (-.d.eta *. (pb -. si)) in
+    wa /. (wa +. wb)
+  in
+  let seeded (st : System.state) share =
+    Array.init n (fun j ->
+        if j = i then D2.(const share * total_i)
+        else D2.const st.System.populations.(j))
+  in
+  let pops_a = seeded st_a share_a and pops_b = seeded st_b (1. -. share_a) in
+  let phi_a =
+    System.phi_d2 sys_a ~populations:pops_a ~phi:st_a.System.phi
+      ~gap_slope:st_a.System.gap_slope
+  in
+  let phi_b =
+    System.phi_d2 sys_b ~populations:pops_b ~phi:st_b.System.phi
+      ~gap_slope:st_b.System.gap_slope
+  in
+  let theta =
+    D2.(
+      (pops_a.(i) * Econ.Cp.rate_d2 cp phi_a)
+      + (pops_b.(i) * Econ.Cp.rate_d2 cp phi_b))
+  in
+  let u = D2.((const cp.Econ.Cp.value - make ~v:si ~d:1. ~dd:0.) * theta) in
+  (D2.d u, D2.dd u)
 
 let cp_game d ~prices =
   let n = Array.length d.cps in
@@ -71,7 +138,9 @@ let cp_game d ~prices =
     let theta = total_throughputs st_a st_b in
     (d.cps.(i).Econ.Cp.value -. s.(i)) *. theta.(i)
   in
-  Gametheory.Best_response.make ~respond_points:17 ~box ~payoff ()
+  Gametheory.Best_response.make ~respond_points:17
+    ~fused:(fun i s si -> fused_marginal d ~prices i s si)
+    ~box ~payoff ()
 
 let solve_subsidies d ~prices =
   let n = Array.length d.cps in

@@ -48,6 +48,15 @@ val split_populations :
   t -> prices:float * float -> subsidies:Numerics.Vec.t -> Numerics.Vec.t * Numerics.Vec.t
 (** The logit population split, before any congestion effect. *)
 
+val fused_marginal :
+  t -> prices:float * float -> int -> Numerics.Vec.t -> float -> float * float
+(** [fused_marginal d ~prices i s si]: CP [i]'s marginal payoff and its
+    own-subsidy slope at the profile [s] with [s_i := si], from one
+    warm primal solve per ISP plus a second-order dual pass through
+    both utilization equilibria (the logit share is constant in the
+    common subsidy). Drives the fused Newton best response of the CP
+    game in continuation mode; exported for the derivative pin tests. *)
+
 val market_at : t -> prices:float * float -> market
 (** Solve the CPs' subsidization game under the given price pair, then
     both utilization equilibria. With [cap = 0] the CP game is skipped

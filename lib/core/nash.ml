@@ -35,9 +35,9 @@ let kkt_residual game ~subsidies =
     classes;
   !worst
 
-let solve ?scheme ?damping ?tol ?max_sweeps ?respond_points ?x0 game =
+let solve ?scheme ?damping ?tol ?max_sweeps ?respond_points ?fused ?x0 game =
   Obs.Trace.with_span "nash.solve" @@ fun () ->
-  let br_game = Subsidy_game.to_game ?respond_points game in
+  let br_game = Subsidy_game.to_game ?respond_points ?fused game in
   let x0 = match x0 with Some x -> x | None -> Vec.zeros (Subsidy_game.dim game) in
   let outcome = Gametheory.Best_response.solve ?scheme ?damping ?tol ?max_sweeps br_game ~x0 in
   let subsidies = outcome.Gametheory.Best_response.profile in
@@ -57,8 +57,8 @@ let solve ?scheme ?damping ?tol ?max_sweeps ?respond_points ?x0 game =
     kkt_residual = kkt_residual game ~subsidies;
   }
 
-let solve_result ?scheme ?damping ?tol ?max_sweeps ?respond_points ?x0 game =
-  match solve ?scheme ?damping ?tol ?max_sweeps ?respond_points ?x0 game with
+let solve_result ?scheme ?damping ?tol ?max_sweeps ?respond_points ?fused ?x0 game =
+  match solve ?scheme ?damping ?tol ?max_sweeps ?respond_points ?fused ?x0 game with
   | eq -> Ok eq
   | exception Robust.Solver_error e -> Error e
 
@@ -123,15 +123,25 @@ let multistart_spread ?(starts = 5) rng game =
              o.Gametheory.Best_response.profile))
       0. rest
 
-let marginal_jacobian ?(h = 1e-6) game ~subsidies =
+(* no explicit step + Fast mode -> exact dual-pass Jacobian; an explicit
+   [~h] (or Legacy mode) keeps the central-difference stencil *)
+let marginal_jacobian ?h game ~subsidies =
   let n = Subsidy_game.dim game in
-  Diff.jacobian ~h (fun s -> Subsidy_game.marginal_utilities game ~subsidies:s) subsidies
-  |> fun j ->
+  let j =
+    match h with
+    | None when Continuation.fast () ->
+      Subsidy_game.marginal_jacobian_exact game ~subsidies
+    | _ ->
+      let h = Option.value h ~default:1e-6 in
+      Diff.jacobian ~h
+        (fun s -> Subsidy_game.marginal_utilities game ~subsidies:s)
+        subsidies
+  in
   assert (Mat.rows j = n && Mat.cols j = n);
   j
 
-let off_diagonal_monotone ?(h = 1e-6) game ~subsidies =
-  let j = marginal_jacobian ~h game ~subsidies in
+let off_diagonal_monotone ?h game ~subsidies =
+  let j = marginal_jacobian ?h game ~subsidies in
   Gametheory.Matrix_props.is_off_diagonally_nonnegative ~tol:1e-8 j
 
 let jacobian_is_p_matrix game ~subsidies =

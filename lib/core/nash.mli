@@ -24,10 +24,14 @@ val solve :
   ?tol:float ->
   ?max_sweeps:int ->
   ?respond_points:int ->
+  ?fused:bool ->
   ?x0:Numerics.Vec.t ->
   Subsidy_game.t ->
   equilibrium
 (** Iterated best response from [x0] (default: the zero profile).
+    [fused] (default true) is forwarded to {!Subsidy_game.to_game}:
+    pass [false] to force the legacy grid-scan best responses even in
+    [Fast] continuation mode (the ablation's pre-continuation variant).
     Raises {!Numerics.Robust.Solver_error} when the underlying
     utilization equilibrium is numerically unsolvable at some profile
     (after the whole fallback chain has been tried). *)
@@ -38,6 +42,7 @@ val solve_result :
   ?tol:float ->
   ?max_sweeps:int ->
   ?respond_points:int ->
+  ?fused:bool ->
   ?x0:Numerics.Vec.t ->
   Subsidy_game.t ->
   (equilibrium, Numerics.Robust.error) result

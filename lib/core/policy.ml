@@ -22,13 +22,21 @@ let point_of_equilibrium sys ~price ~cap (eq : Nash.equilibrium) =
 let point_at sys ~price ~cap =
   point_of_equilibrium sys ~price ~cap (nash_at sys ~price ~cap)
 
-(* one grid cell: Nash at (price, cap) warm-started from the previous
-   cell's subsidies, which it emits for the next cell *)
-let sweep_step sys ~cap warm price =
+(* one grid cell: Nash at (price, cap) predicted from the previous
+   cells on the chunk's continuation track (secant through the last
+   two equilibria in Fast mode, plain warm start in Legacy) *)
+let sweep_step sys ~cap track price =
   let solve () =
     let game = Subsidy_game.make sys ~price ~cap in
-    let eq = Nash.solve ?x0:warm game in
-    (point_of_equilibrium sys ~price ~cap eq, Some eq.Nash.subsidies)
+    let eq =
+      Numerics.Continuation.solve_cell track ~at:price
+        ~clamp:(Numerics.Vec.clamp ~lo:0. ~hi:cap)
+        ~solve:(fun x0 -> Nash.solve ?x0 game)
+        ~extract:(fun (eq : Nash.equilibrium) ->
+          (eq.Nash.subsidies, eq.Nash.converged))
+        ()
+    in
+    (point_of_equilibrium sys ~price ~cap eq, track)
   in
   if Obs.Trace.enabled () then
     Obs.Trace.with_span "price.point"
@@ -42,10 +50,13 @@ let default_chunk = 8
 
 let price_sweep ?pool ?(chunk = default_chunk) sys ~cap ~prices =
   match pool with
-  | None -> Parallel.Pool.fold_map ~init:None ~step:(sweep_step sys ~cap) prices
+  | None ->
+    Parallel.Pool.fold_map
+      ~init:(Numerics.Continuation.track ())
+      ~step:(sweep_step sys ~cap) prices
   | Some pool ->
     Parallel.Pool.map_chunked pool ~chunk
-      ~init:(fun _ -> None)
+      ~init:(fun _ -> Numerics.Continuation.track ())
       ~step:(sweep_step sys ~cap) prices
 
 let policy_sweep ?pool ?(chunk = default_chunk) sys ~caps ~prices =
@@ -64,24 +75,34 @@ let policy_sweep ?pool ?(chunk = default_chunk) sys ~caps ~prices =
           let lo, hi = rs.(t mod nr) in
           fun () ->
             slots.(t) <-
-              Parallel.Pool.fold_map ~init:None ~step:(sweep_step sys ~cap)
+              Parallel.Pool.fold_map
+                ~init:(Numerics.Continuation.track ())
+                ~step:(sweep_step sys ~cap)
                 (Array.sub prices lo (hi - lo)))
     in
     Parallel.Pool.run_tasks pool fns;
     Array.init (Array.length caps) (fun qi ->
         Array.concat (Array.to_list (Array.sub slots (qi * nr) nr)))
 
-let optimal_price ?(p_max = 3.) ?(points = 49) sys ~cap =
+let optimal_price ?(p_max = 3.) ?(points = 49) ?track sys ~cap =
   let game = Subsidy_game.make sys ~price:0. ~cap in
-  let p_star, _ = Revenue.optimal_price ~p_max ~points game in
+  let p_star, _ = Revenue.optimal_price ~p_max ~points ?track game in
   point_at sys ~price:p_star ~cap
 
 let deregulation_ladder sys ~price ~caps =
-  Parallel.Pool.fold_map ~init:None
-    ~step:(fun warm cap ->
+  Parallel.Pool.fold_map
+    ~init:(Numerics.Continuation.track ())
+    ~step:(fun track cap ->
       let game = Subsidy_game.make sys ~price ~cap in
-      let eq = Nash.solve ?x0:(Option.map (Numerics.Vec.clamp ~lo:0. ~hi:cap) warm) game in
-      (point_of_equilibrium sys ~price ~cap eq, Some eq.Nash.subsidies))
+      let eq =
+        Numerics.Continuation.solve_cell track ~at:cap
+          ~clamp:(Numerics.Vec.clamp ~lo:0. ~hi:cap)
+          ~solve:(fun x0 -> Nash.solve ?x0 game)
+          ~extract:(fun (eq : Nash.equilibrium) ->
+            (eq.Nash.subsidies, eq.Nash.converged))
+          ()
+      in
+      (point_of_equilibrium sys ~price ~cap eq, track))
     caps
 
 let price_response_slope ?(h = 1e-3) sys ~cap ?p_max () =

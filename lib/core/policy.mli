@@ -45,9 +45,16 @@ val policy_sweep :
     cell results are identical to the per-row [price_sweep ~pool]
     ones. *)
 
-val optimal_price : ?p_max:float -> ?points:int -> System.t -> cap:float -> point
+val optimal_price :
+  ?p_max:float ->
+  ?points:int ->
+  ?track:Numerics.Continuation.track ->
+  System.t ->
+  cap:float ->
+  point
 (** The ISP's revenue-maximizing response [p*(q)] and the resulting
-    market point. *)
+    market point. [track] carries the price search's continuation warm
+    state across calls (see {!Revenue.optimal_price}). *)
 
 val deregulation_ladder :
   System.t -> price:float -> caps:float array -> point array

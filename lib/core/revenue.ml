@@ -45,25 +45,36 @@ let marginal_numeric ?(h = 1e-5) game =
   if p -. h < 0. then (revenue_at (p +. h) -. revenue_at p) /. h
   else (revenue_at (p +. h) -. revenue_at (p -. h)) /. (2. *. h)
 
+(* one price cell of a revenue scan, driven through the continuation
+   track: secant-predicted subsidies in Fast mode, plain warm start in
+   Legacy *)
+let equilibrium_cell track game p =
+  let g = Subsidy_game.with_price game p in
+  let eq =
+    Continuation.solve_cell track ~at:p
+      ~clamp:(Vec.clamp ~lo:0. ~hi:(Subsidy_game.cap game))
+      ~solve:(fun x0 -> Nash.solve ?x0 g)
+      ~extract:(fun (eq : Nash.equilibrium) -> (eq.Nash.subsidies, eq.Nash.converged))
+      ()
+  in
+  (g, eq)
+
 let curve game ~prices =
-  let warm = ref None in
+  let track = Continuation.track () in
   Array.map
     (fun p ->
-      let g = Subsidy_game.with_price game p in
-      let eq = Nash.solve ?x0:!warm g in
-      warm := Some eq.Nash.subsidies;
+      let g, eq = equilibrium_cell track game p in
       (p, eq, at_equilibrium g eq))
     prices
 
-let optimal_price ?(p_max = 3.) ?(points = 49) game =
+let optimal_price ?(p_max = 3.) ?(points = 49) ?track game =
   if p_max <= 0. then invalid_arg "Revenue.optimal_price: p_max must be positive";
-  (* warm-start consecutive Nash solves: the search visits nearby prices,
-     whose equilibria are close *)
-  let warm = ref None in
+  (* the search visits nearby prices, whose equilibria are close: walk
+     them on a continuation track (callers optimizing over an outer
+     axis, e.g. capacity, pass their own so it survives across calls) *)
+  let track = match track with Some t -> t | None -> Continuation.track () in
   let revenue_at p =
-    let g = Subsidy_game.with_price game p in
-    let eq = Nash.solve ?x0:!warm g in
-    warm := Some eq.Nash.subsidies;
+    let g, eq = equilibrium_cell track game p in
     at_equilibrium g eq
   in
   let r = Optimize.grid_then_golden ~points ~tol:1e-5 revenue_at ~lo:0. ~hi:p_max in

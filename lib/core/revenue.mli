@@ -29,9 +29,18 @@ val marginal_numeric : ?h:float -> Subsidy_game.t -> float
 
 val curve :
   Subsidy_game.t -> prices:float array -> (float * Nash.equilibrium * float) array
-(** [(p, equilibrium(p), R(p))] along a price grid, warm-starting each
-    solve from the previous equilibrium. *)
+(** [(p, equilibrium(p), R(p))] along a price grid, each solve
+    continuation-predicted from the previous cells (secant in [Fast]
+    mode, plain warm start in [Legacy]). *)
 
-val optimal_price : ?p_max:float -> ?points:int -> Subsidy_game.t -> float * float
+val optimal_price :
+  ?p_max:float ->
+  ?points:int ->
+  ?track:Numerics.Continuation.track ->
+  Subsidy_game.t ->
+  float * float
 (** The revenue-maximizing price and revenue for the game's policy cap,
-    over [\[0, p_max\]] (default 3, 49 scan points). *)
+    over [\[0, p_max\]] (default 3, 49 scan points). The search walks a
+    continuation track over the price axis; pass [track] to keep that
+    warm state alive across calls (e.g. along an outer capacity
+    search). *)

@@ -15,18 +15,32 @@ let partition ?tol game ~subsidies =
     upper = collect Nash.Upper;
   }
 
-let marginal_jacobian ?(h = 1e-6) game ~subsidies =
-  Diff.jacobian ~h (fun s -> Subsidy_game.marginal_utilities game ~subsidies:s) subsidies
+(* no explicit step + Fast mode -> exact dual-pass derivatives; an
+   explicit [~h] (or Legacy mode) keeps the difference stencils *)
+let marginal_jacobian ?h game ~subsidies =
+  match h with
+  | None when Continuation.fast () ->
+    Subsidy_game.marginal_jacobian_exact game ~subsidies
+  | _ ->
+    let h = Option.value h ~default:1e-6 in
+    Diff.jacobian ~h
+      (fun s -> Subsidy_game.marginal_utilities game ~subsidies:s)
+      subsidies
 
-let du_dprice ?(h = 1e-6) game ~subsidies =
-  let p = Subsidy_game.price game in
-  let at price =
-    Subsidy_game.marginal_utilities (Subsidy_game.with_price game price) ~subsidies
-  in
-  (* keep the evaluation prices non-negative *)
-  let hp = Float.min h (if p > 0. then p /. 2. else h) in
-  if p -. hp < 0. then Vec.scale (1. /. h) (Vec.sub (at (p +. h)) (at p))
-  else Vec.scale (1. /. (2. *. hp)) (Vec.sub (at (p +. hp)) (at (p -. hp)))
+let du_dprice ?h game ~subsidies =
+  match h with
+  | None when Continuation.fast () ->
+    Array.map Dual.d (Subsidy_game.marginal_utilities_dp game ~subsidies)
+  | _ ->
+    let h = Option.value h ~default:1e-6 in
+    let p = Subsidy_game.price game in
+    let at price =
+      Subsidy_game.marginal_utilities (Subsidy_game.with_price game price) ~subsidies
+    in
+    (* keep the evaluation prices non-negative *)
+    let hp = Float.min h (if p > 0. then p /. 2. else h) in
+    if p -. hp < 0. then Vec.scale (1. /. h) (Vec.sub (at (p +. h)) (at p))
+    else Vec.scale (1. /. (2. *. hp)) (Vec.sub (at (p +. hp)) (at (p -. hp)))
 
 let interior_solve game ~subsidies ~forcing =
   (* solve (grad_s~ u~) x = -forcing for the interior coordinates *)

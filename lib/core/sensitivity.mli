@@ -18,12 +18,15 @@ val partition : ?tol:float -> Subsidy_game.t -> subsidies:Numerics.Vec.t -> part
 
 val marginal_jacobian :
   ?h:float -> Subsidy_game.t -> subsidies:Numerics.Vec.t -> Numerics.Mat.t
-(** The full [n x n] Jacobian [du_i/ds_j], by central differences of
-    the analytic marginal utilities. *)
+(** The full [n x n] Jacobian [du_i/ds_j]. Without an explicit [h] (and
+    in [Fast] continuation mode) it is exact — [n] dual-number column
+    passes through the analytic marginals; supplying [h] (or [Legacy]
+    mode) reverts to central differences. *)
 
 val du_dprice : ?h:float -> Subsidy_game.t -> subsidies:Numerics.Vec.t -> Numerics.Vec.t
-(** [du_i/dp] at fixed subsidies, by central differences over the
-    price. *)
+(** [du_i/dp] at fixed subsidies: one price-seeded dual pass (exact) by
+    default, central differences over the price when [h] is given or in
+    [Legacy] mode. *)
 
 val ds_dq : Subsidy_game.t -> subsidies:Numerics.Vec.t -> Numerics.Vec.t
 (** Equation (11): the policy derivative of the equilibrium profile at

@@ -17,7 +17,13 @@ let make system ~price ~cap =
 let system g = g.system
 let price g = g.price
 let cap g = g.cap
-let with_price g price = make g.system ~price ~cap:g.cap
+
+let with_price g price =
+  let g' = make g.system ~price ~cap:g.cap in
+  (* a price sweep walks nearby equilibria: carry the utilization warm
+     start along the axis (continuation mode only) *)
+  if Continuation.fast () then g'.phi_cache <- g.phi_cache;
+  g'
 let with_cap g cap = make g.system ~price:g.price ~cap
 let dim g = System.n_cps g.system
 let box g = Gametheory.Box.uniform ~dim:(dim g) ~lo:0. ~hi:g.cap
@@ -106,9 +112,110 @@ let threshold_tau g ~subsidies i =
     margin *. eps_m_s *. (1. +. (eps_lambda_phi *. eps_phi_m))
   end
 
-let to_game ?respond_points g =
+(* ------------------------------------------------------------------ *)
+(* exact derivatives: dual passes through the analytic formulas above *)
+
+module D2 = Dual.Order2
+
+(* the fused best-response objective: (dU_i/ds_i, d2U_i/ds_i2) at
+   (s with s_i := si), from ONE warm primal solve plus one
+   second-order kernel pass — no stencils, no extra root calls *)
+let fused_marginal g i s si =
+  let n = dim g in
+  let charges = Vec.init n (fun j -> g.price -. (if j = i then si else s.(j))) in
+  let st = System.solve ~phi_guess:g.phi_cache g.system ~charges in
+  g.phi_cache <- Float.max st.System.phi 1e-6;
+  (* only CP i's population moves with s_i *)
+  let t_i = D2.make ~v:(g.price -. si) ~d:(-1.) ~dd:0. in
+  let pops =
+    Array.init n (fun j ->
+        if j = i then Econ.Cp.population_d2 (cp g j) t_i
+        else D2.const st.System.populations.(j))
+  in
+  let phi =
+    System.phi_d2 g.system ~populations:pops ~phi:st.System.phi
+      ~gap_slope:st.System.gap_slope
+  in
+  let theta = D2.(pops.(i) * Econ.Cp.rate_d2 (cp g i) phi) in
+  let u = D2.((const (cp g i).Econ.Cp.value - make ~v:si ~d:1. ~dd:0.) * theta) in
+  (D2.d u, D2.dd u)
+
+(* one column of the marginal-utility Jacobian, exactly: all n analytic
+   marginals evaluated in dual arithmetic seeded on s_j (one warm
+   primal solve, one first-order kernel pass) *)
+let marginal_utilities_d g ~subsidies j =
+  check_subsidies g subsidies;
+  Numerics.Precondition.require ~fn:"Subsidy_game.marginal_utilities_d"
+    (j >= 0 && j < dim g)
+    "CP index out of range";
+  let st = state g ~subsidies in
+  Ad.record_pass ();
+  let n = dim g in
+  let t_j = Dual.make ~v:st.System.charges.(j) ~d:(-1.) in
+  let pops =
+    Array.init n (fun k ->
+        if k = j then Econ.Cp.population_d (cp g k) t_j
+        else Dual.const st.System.populations.(k))
+  in
+  let phi =
+    System.phi_d g.system ~populations:pops ~phi:st.System.phi
+      ~gap_slope:st.System.gap_slope
+  in
+  let slope = System.gap_slope_d g.system pops phi in
+  Array.init n (fun k ->
+      let cpk = cp g k in
+      let t_k = if k = j then t_j else Dual.const st.System.charges.(k) in
+      let s_k =
+        if k = j then Dual.var subsidies.(j) else Dual.const subsidies.(k)
+      in
+      let m_k = pops.(k) in
+      let rate_k = Econ.Cp.rate_d cpk phi in
+      let pop_slope_k = Econ.Demand.slope_d cpk.Econ.Cp.demand t_k in
+      let rate_slope_k = Econ.Throughput.slope_d cpk.Econ.Cp.throughput phi in
+      let dphi_dsub_k = Dual.(neg pop_slope_k * rate_k / slope) in
+      let margin = Dual.(const cpk.Econ.Cp.value - s_k) in
+      let direct = Dual.neg Dual.(m_k * rate_k) in
+      let demand_gain = Dual.(neg pop_slope_k * rate_k) in
+      let congestion_loss = Dual.(m_k * rate_slope_k * dphi_dsub_k) in
+      Dual.(direct + (margin * (demand_gain + congestion_loss))))
+
+(* all n analytic marginals as duals seeded on the ISP price p (every
+   charge moves together): the exact [du/dp] column of the Theorem-6
+   sensitivity forcing term *)
+let marginal_utilities_dp g ~subsidies =
+  check_subsidies g subsidies;
+  let st = state g ~subsidies in
+  Ad.record_pass ();
+  let n = dim g in
+  let t = Array.init n (fun k -> Dual.make ~v:st.System.charges.(k) ~d:1.) in
+  let pops = Array.init n (fun k -> Econ.Cp.population_d (cp g k) t.(k)) in
+  let phi =
+    System.phi_d g.system ~populations:pops ~phi:st.System.phi
+      ~gap_slope:st.System.gap_slope
+  in
+  let slope = System.gap_slope_d g.system pops phi in
+  Array.init n (fun k ->
+      let cpk = cp g k in
+      let m_k = pops.(k) in
+      let rate_k = Econ.Cp.rate_d cpk phi in
+      let pop_slope_k = Econ.Demand.slope_d cpk.Econ.Cp.demand t.(k) in
+      let rate_slope_k = Econ.Throughput.slope_d cpk.Econ.Cp.throughput phi in
+      let dphi_dsub_k = Dual.(neg pop_slope_k * rate_k / slope) in
+      let margin = Dual.const (cpk.Econ.Cp.value -. subsidies.(k)) in
+      let direct = Dual.neg Dual.(m_k * rate_k) in
+      let demand_gain = Dual.(neg pop_slope_k * rate_k) in
+      let congestion_loss = Dual.(m_k * rate_slope_k * dphi_dsub_k) in
+      Dual.(direct + (margin * (demand_gain + congestion_loss))))
+
+let marginal_jacobian_exact g ~subsidies =
+  let n = dim g in
+  let cols = Array.init n (fun j -> marginal_utilities_d g ~subsidies j) in
+  Mat.init ~rows:n ~cols:n (fun k j -> Dual.d cols.(j).(k))
+
+let to_game ?respond_points ?(fused = true) g =
   Gametheory.Best_response.make
     ~marginal:(fun i s -> marginal_utility g ~subsidies:s i)
+    ?fused:(if fused then Some (fun i s si -> fused_marginal g i s si) else None)
     ?respond_points
     ~box:(box g)
     ~payoff:(fun i s -> utility g ~subsidies:s i)

@@ -62,8 +62,38 @@ val threshold_tau : t -> subsidies:Numerics.Vec.t -> int -> float
     [tau_i(s) = (v_i - s_i) eps^mi_si (1 + eps^lambdai_phi eps^phi_mi)].
     At a Nash equilibrium, [s_i = min (tau_i s) q] (Theorem 3). *)
 
-val to_game : ?respond_points:int -> t -> Gametheory.Best_response.game
+val fused_marginal : t -> int -> Numerics.Vec.t -> float -> float * float
+(** [fused_marginal g i s si]: the pair [(dU_i/ds_i, d2U_i/ds_i2)] at
+    the profile [s] with [s_i := si] — one warm primal solve plus one
+    second-order dual pass through the payoff, with the equilibrium
+    [phi(s_i)] differentiated by implicit-function correction steps
+    ({!System.phi_d2}). The fused Newton objective of the continuation
+    best response. *)
+
+val marginal_utilities_d :
+  t -> subsidies:Numerics.Vec.t -> int -> Numerics.Dual.t array
+(** [marginal_utilities_d g ~subsidies j]: all [n] analytic marginal
+    utilities as dual numbers seeded on [s_j] — primal values plus the
+    exact Jacobian column [du_k/ds_j]. One warm primal solve. *)
+
+val marginal_utilities_dp :
+  t -> subsidies:Numerics.Vec.t -> Numerics.Dual.t array
+(** All [n] marginal utilities as duals seeded on the ISP price (every
+    effective charge moves together): primal values plus the exact
+    [du_k/dp] — the Theorem-6/8 forcing term without a price stencil. *)
+
+val marginal_jacobian_exact : t -> subsidies:Numerics.Vec.t -> Numerics.Mat.t
+(** The full marginal-utility Jacobian [du_i/ds_j] from [n] column
+    passes — the Theorem-6 sensitivity input, exact instead of
+    stenciled. *)
+
+val to_game :
+  ?respond_points:int -> ?fused:bool -> t -> Gametheory.Best_response.game
 (** Adapter for {!Gametheory.Best_response} with analytic marginals.
+    [fused] (default true) attaches {!fused_marginal} so best responses
+    use the fused Newton path when continuation mode is [Fast]; pass
+    [false] to force the legacy grid-scan respond (the ablation's
+    pre-continuation variant).
     [respond_points] tunes the first-order scan resolution (see
     {!Gametheory.Best_response.make}); exposed for the numerics
     ablation. *)

@@ -142,6 +142,69 @@ let solve_fixed_populations ?phi_guess sys ~populations =
   let phi = equilibrium_phi_with_populations ?phi_guess sys populations in
   state_of sys (Vec.make (n_cps sys) Float.nan) (Vec.copy populations) phi
 
+(* ------------------------------------------------------------------ *)
+(* dual-field equilibria: the gap function in dual arithmetic plus
+   implicit-function correction steps.
+
+   For the root phi*(s) of g(phi, s) = 0, one correction step
+   [phi <- const phi* - g(phi, s_dual) / const g_phi] evaluated in dual
+   arithmetic yields the exact first-order dual part
+   (phi' = -g_s / g_phi); a second step in second-order arithmetic
+   replaces the second-order part with the exact
+   -(g_pp phi'^2 + 2 g_ps phi' + g_ss) / g_phi. The implicit function
+   theorem without hand-derived formulas: the primal solve stays the
+   single Robust root call, the corrections are pure kernel passes. *)
+
+let demand_at_d sys (populations : Dual.t array) (phi : Dual.t) =
+  let acc = ref (Dual.const 0.) in
+  Array.iteri
+    (fun i cp -> acc := Dual.(!acc + (populations.(i) * Econ.Cp.rate_d cp phi)))
+    sys.cps;
+  !acc
+
+let gap_d sys populations phi =
+  Dual.(
+    Econ.Utilization.theta_of_d sys.utilization ~phi ~mu:sys.capacity
+    - demand_at_d sys populations phi)
+
+let demand_at_d2 sys (populations : Dual.Order2.t array) (phi : Dual.Order2.t) =
+  let acc = ref (Dual.Order2.const 0.) in
+  Array.iteri
+    (fun i cp ->
+      acc := Dual.Order2.(!acc + (populations.(i) * Econ.Cp.rate_d2 cp phi)))
+    sys.cps;
+  !acc
+
+let gap_d2 sys populations phi =
+  Dual.Order2.(
+    Econ.Utilization.theta_of_d2 sys.utilization ~phi ~mu:sys.capacity
+    - demand_at_d2 sys populations phi)
+
+let gap_slope_d sys (populations : Dual.t array) (phi : Dual.t) =
+  let supply =
+    Econ.Utilization.dtheta_dphi_d sys.utilization ~phi ~mu:sys.capacity
+  in
+  let demand_slope = ref (Dual.const 0.) in
+  Array.iteri
+    (fun i cp ->
+      demand_slope :=
+        Dual.(
+          !demand_slope
+          + (populations.(i) * Econ.Throughput.slope_d cp.Econ.Cp.throughput phi)))
+    sys.cps;
+  Dual.(supply - !demand_slope)
+
+let phi_d sys ~populations ~phi ~gap_slope =
+  Ad.record_pass ();
+  let phi0 = Dual.const phi in
+  Dual.(phi0 - (gap_d sys populations phi0 / const gap_slope))
+
+let phi_d2 sys ~populations ~phi ~gap_slope =
+  Ad.record_pass ();
+  Ad.record_pass ();
+  let step p = Dual.Order2.(p - (gap_d2 sys populations p / const gap_slope)) in
+  step (step (Dual.Order2.const phi))
+
 let dphi_dcapacity sys st =
   let dtheta_dmu =
     Econ.Utilization.dtheta_dmu sys.utilization ~phi:st.phi ~mu:sys.capacity

@@ -73,6 +73,46 @@ val solve_fixed_populations :
 (** Variant with directly specified user populations (the basic model
     of Figure 2, before prices enter). The state's [charges] are NaN. *)
 
+(** {2 Dual-field equilibria}
+
+    The gap function in forward-mode dual arithmetic, plus
+    implicit-function correction steps: given the primal root [phi*]
+    and the analytic [gap_slope] there, one correction step
+    [phi <- const phi* - gap (phi, s_dual) / const gap_slope] makes the
+    first-order dual part of the implicit [phi (s)] exact; two steps in
+    second-order arithmetic make the second order exact as well. This
+    is how best responses and sensitivities get exact derivatives from
+    a single primal solve. Callers must handle the [phi* = 0] market
+    boundary themselves (the implicit function is kinked there). *)
+
+val gap_d : t -> Numerics.Dual.t array -> Numerics.Dual.t -> Numerics.Dual.t
+(** [gap_d sys populations phi]: the market gap with dual populations
+    and dual [phi]. *)
+
+val gap_d2 :
+  t -> Numerics.Dual.Order2.t array -> Numerics.Dual.Order2.t -> Numerics.Dual.Order2.t
+
+val gap_slope_d : t -> Numerics.Dual.t array -> Numerics.Dual.t -> Numerics.Dual.t
+(** The analytic [dg/dphi] expression in dual arithmetic (needed by
+    sensitivity formulas that differentiate through the slope). *)
+
+val phi_d :
+  t ->
+  populations:Numerics.Dual.t array ->
+  phi:float ->
+  gap_slope:float ->
+  Numerics.Dual.t
+(** The implicit equilibrium utilization as a dual number: primal
+    [phi], exact first derivative along the populations' seed. *)
+
+val phi_d2 :
+  t ->
+  populations:Numerics.Dual.Order2.t array ->
+  phi:float ->
+  gap_slope:float ->
+  Numerics.Dual.Order2.t
+(** Second-order variant: exact first and second derivatives. *)
+
 (** {2 Comparative statics (Theorem 1)}
 
     All derivatives are evaluated at a solved state and treat the

@@ -1,3 +1,12 @@
+(* the Lemma-2 invariant quantity, in dual arithmetic: aggregation must
+   preserve it together with its derivatives, which the dual property
+   test pins *)
+let pooled_throughput_d cps ~charge ~phi =
+  List.fold_left
+    (fun acc cp ->
+      Numerics.Dual.(acc + (Cp.population_d cp charge * Cp.rate_d cp phi)))
+    (Numerics.Dual.const 0.) cps
+
 let as_big_user cp =
   let m_at_zero = Cp.population cp 0. in
   Cp.scale cp ~kappa:m_at_zero

@@ -20,3 +20,8 @@ val merge_exponential : ?name:string -> Cp.t list -> Cp.t
 
 val same_traffic_class : Cp.t -> Cp.t -> bool
 (** Whether two CPs may be merged by [merge_exponential]. *)
+
+val pooled_throughput_d :
+  Cp.t list -> charge:Numerics.Dual.t -> phi:Numerics.Dual.t -> Numerics.Dual.t
+(** [sum_i m_i(charge) * lambda_i(phi)] in dual arithmetic — the
+    quantity (and derivatives) Lemma-2 merging must preserve. *)

@@ -25,6 +25,10 @@ let population cp t = Demand.population cp.demand t
 let rate cp phi = Throughput.rate cp.throughput phi
 let throughput_at cp ~charge ~phi = population cp charge *. rate cp phi
 let utility cp ~subsidy ~throughput = (cp.value -. subsidy) *. throughput
+let population_d cp t = Demand.population_d cp.demand t
+let rate_d cp phi = Throughput.rate_d cp.throughput phi
+let population_d2 cp t = Demand.population_d2 cp.demand t
+let rate_d2 cp phi = Throughput.rate_d2 cp.throughput phi
 
 let scale cp ~kappa =
   {

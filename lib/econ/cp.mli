@@ -30,6 +30,11 @@ val rate : t -> float -> float
 val throughput_at : t -> charge:float -> phi:float -> float
 (** [theta_i = m_i(charge) * lambda_i(phi)]. *)
 
+val population_d : t -> Numerics.Dual.t -> Numerics.Dual.t
+val rate_d : t -> Numerics.Dual.t -> Numerics.Dual.t
+val population_d2 : t -> Numerics.Dual.Order2.t -> Numerics.Dual.Order2.t
+val rate_d2 : t -> Numerics.Dual.Order2.t -> Numerics.Dual.Order2.t
+
 val utility : t -> subsidy:float -> throughput:float -> float
 (** [U_i = (v_i - s_i) * theta_i] (the Section 4 definition; Section 3's
     [v_i theta_i] is the [subsidy = 0] case). *)

@@ -9,29 +9,48 @@ let positive name x =
   if x <= 0. || not (Float.is_finite x) then
     invalid_arg (Printf.sprintf "Demand: %s must be positive and finite, got %g" name x)
 
-(* softplus with a numerically safe large-x branch *)
-let softplus x = if x > 30. then x else log1p (exp x)
-let sigmoid x = if x > 0. then 1. /. (1. +. exp (-.x)) else exp x /. (1. +. exp x)
+(* The single source of truth for every family: one kernel over the
+   scalar field, evaluated in floats for the hot path and in dual
+   numbers for exact derivatives. Branches are on the primal, and the
+   float instance reproduces the legacy closures' operation order
+   exactly. *)
+module Kernel (F : Numerics.Field.S) = struct
+  open F
 
-let closures = function
-  | Exponential { m0; alpha } ->
-    let f t = m0 *. exp (-.alpha *. t) in
-    let df t = -.alpha *. m0 *. exp (-.alpha *. t) in
-    (f, df)
-  | Isoelastic { m0; alpha; scale } ->
-    let f t = m0 *. Float.pow (1. +. softplus (t /. scale)) (-.alpha) in
-    let df t =
-      let u = 1. +. softplus (t /. scale) in
-      -.alpha *. m0 *. Float.pow u (-.alpha -. 1.) *. sigmoid (t /. scale) /. scale
-    in
-    (f, df)
-  | Logit { m0; slope; midpoint } ->
-    let f t = m0 *. (1. -. sigmoid (slope *. (t -. midpoint))) in
-    let df t =
-      let s = sigmoid (slope *. (t -. midpoint)) in
-      -.m0 *. slope *. s *. (1. -. s)
-    in
-    (f, df)
+  (* softplus with a numerically safe large-x branch *)
+  let softplus x = if Stdlib.( > ) (primal x) 30. then x else log1p (exp x)
+
+  let sigmoid x =
+    if Stdlib.( > ) (primal x) 0. then const 1. / (const 1. + exp (neg x))
+    else exp x / (const 1. + exp x)
+
+  let population spec t =
+    match spec with
+    | Exponential { m0; alpha } -> const m0 * exp (neg (const alpha) * t)
+    | Isoelastic { m0; alpha; scale } ->
+      const m0 * pow_f (const 1. + softplus (t / const scale)) (-.alpha)
+    | Logit { m0; slope; midpoint } ->
+      const m0 * (const 1. - sigmoid (const slope * (t - const midpoint)))
+
+  let slope spec t =
+    match spec with
+    | Exponential { m0; alpha } ->
+      neg (const alpha) * const m0 * exp (neg (const alpha) * t)
+    | Isoelastic { m0; alpha; scale } ->
+      let u = const 1. + softplus (t / const scale) in
+      neg (const alpha) * const m0 * pow_f u (-.alpha -. 1.)
+      * sigmoid (t / const scale)
+      / const scale
+    | Logit { m0; slope; midpoint } ->
+      let s = sigmoid (const slope * (t - const midpoint)) in
+      neg (const m0) * const slope * s * (const 1. - s)
+end
+
+module K_float = Kernel (Numerics.Field.Float_s)
+module K_dual = Kernel (Numerics.Dual)
+module K_dual2 = Kernel (Numerics.Dual.Order2)
+
+let closures spec = ((fun t -> K_float.population spec t), fun t -> K_float.slope spec t)
 
 let validate = function
   | Exponential { m0; alpha } ->
@@ -59,6 +78,10 @@ let logit ?(m0 = 1.) ?(midpoint = 1.) ~slope () = make (Logit { m0; slope; midpo
 
 let population d t = d.f t
 let derivative d t = d.df t
+let population_d d t = K_dual.population d.spec t
+let slope_d d t = K_dual.slope d.spec t
+let population_d2 d t = K_dual2.population d.spec t
+let slope_d2 d t = K_dual2.slope d.spec t
 
 let elasticity d t =
   let m = d.f t in

@@ -13,6 +13,10 @@ let numeric ?h f x =
   let y = f x in
   of_derivative ~dydx:(Diff.central ?h f x) ~x ~y
 
+let exact f x =
+  let y, dydx = Ad.value_and_derivative f x in
+  of_derivative ~dydx ~x ~y
+
 let log_derivative ?h f x =
   if x <= 0. then invalid_arg "Elasticity.log_derivative: x must be positive";
   if f x <= 0. then invalid_arg "Elasticity.log_derivative: f x must be positive";

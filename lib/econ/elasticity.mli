@@ -11,6 +11,10 @@ val numeric : ?h:float -> (float -> float) -> float -> float
 (** [numeric f x] estimates the x-elasticity of [f] at [x] by central
     differences. *)
 
+val exact : (Numerics.Dual.t -> Numerics.Dual.t) -> float -> float
+(** [exact f x]: the x-elasticity from one forward-mode AD pass —
+    {!numeric} without the stencil error. *)
+
 val log_derivative : ?h:float -> (float -> float) -> float -> float
 (** [d (log f) / d (log x)], an equivalent definition for positive [f]
     and [x]; used for cross-checking in tests. *)

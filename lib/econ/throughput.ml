@@ -9,22 +9,35 @@ let positive name x =
   if x <= 0. || not (Float.is_finite x) then
     invalid_arg (Printf.sprintf "Throughput: %s must be positive and finite, got %g" name x)
 
-let closures = function
-  | Exponential { l0; beta } ->
-    let f phi = l0 *. exp (-.beta *. phi) in
-    let df phi = -.beta *. l0 *. exp (-.beta *. phi) in
-    (f, df)
-  | Isoelastic { l0; beta } ->
-    let f phi = l0 *. Float.pow (1. +. phi) (-.beta) in
-    let df phi = -.beta *. l0 *. Float.pow (1. +. phi) (-.beta -. 1.) in
-    (f, df)
-  | Rational { l0; beta } ->
-    let f phi = l0 /. (1. +. (beta *. phi)) in
-    let df phi =
-      let d = 1. +. (beta *. phi) in
-      -.l0 *. beta /. (d *. d)
-    in
-    (f, df)
+(* One kernel over the scalar field per family: the float closures and
+   the dual-number evaluators share it, so derivatives are exact by
+   construction. [Kernel (Field.Float_s)] matches the legacy closures'
+   operation order exactly. *)
+module Kernel (F : Numerics.Field.S) = struct
+  open F
+
+  let rate spec phi =
+    match spec with
+    | Exponential { l0; beta } -> const l0 * exp (neg (const beta) * phi)
+    | Isoelastic { l0; beta } -> const l0 * pow_f (const 1. + phi) (-.beta)
+    | Rational { l0; beta } -> const l0 / (const 1. + (const beta * phi))
+
+  let slope spec phi =
+    match spec with
+    | Exponential { l0; beta } ->
+      neg (const beta) * const l0 * exp (neg (const beta) * phi)
+    | Isoelastic { l0; beta } ->
+      neg (const beta) * const l0 * pow_f (const 1. + phi) (-.beta -. 1.)
+    | Rational { l0; beta } ->
+      let d = const 1. + (const beta * phi) in
+      neg (const l0) * const beta / (d * d)
+end
+
+module K_float = Kernel (Numerics.Field.Float_s)
+module K_dual = Kernel (Numerics.Dual)
+module K_dual2 = Kernel (Numerics.Dual.Order2)
+
+let closures spec = ((fun phi -> K_float.rate spec phi), fun phi -> K_float.slope spec phi)
 
 let validate = function
   | Exponential { l0; beta } | Isoelastic { l0; beta } | Rational { l0; beta } ->
@@ -53,6 +66,22 @@ let rate th phi =
 let derivative th phi =
   check_phi phi;
   th.df phi
+
+let rate_d th phi =
+  check_phi (Numerics.Dual.v phi);
+  K_dual.rate th.spec phi
+
+let slope_d th phi =
+  check_phi (Numerics.Dual.v phi);
+  K_dual.slope th.spec phi
+
+let rate_d2 th phi =
+  check_phi (Numerics.Dual.Order2.v phi);
+  K_dual2.rate th.spec phi
+
+let slope_d2 th phi =
+  check_phi (Numerics.Dual.Order2.v phi);
+  K_dual2.slope th.spec phi
 
 let elasticity th phi =
   check_phi phi;

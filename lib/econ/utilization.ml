@@ -35,12 +35,46 @@ let phi u ~theta ~mu =
   | Power k -> Float.pow (theta /. mu) k
   | Log -> log1p (theta /. mu)
 
+(* supply-side kernel over the scalar field: [phi] is the field value,
+   [mu] a parameter. [Kernel (Field.Float_s)] matches the float
+   branches below operation for operation. *)
+module Kernel (F : Numerics.Field.S) = struct
+  open F
+
+  let theta_of spec ~phi ~mu =
+    match spec with
+    | Linear -> phi * const mu
+    | Power k -> const mu * pow_f phi (1. /. k)
+    | Log -> const mu * expm1 phi
+
+  let dtheta_dphi spec ~phi ~mu =
+    match spec with
+    | Linear -> const mu
+    | Power k -> const (mu /. k) * pow_f phi ((1. /. k) -. 1.)
+    | Log -> const mu * exp phi
+end
+
+module K_dual = Kernel (Numerics.Dual)
+module K_dual2 = Kernel (Numerics.Dual.Order2)
+
 let theta_of u ~phi ~mu =
   check_phi ~phi ~mu;
   match u.spec with
   | Linear -> phi *. mu
   | Power k -> mu *. Float.pow phi (1. /. k)
   | Log -> mu *. expm1 phi
+
+let theta_of_d u ~phi ~mu =
+  check_phi ~phi:(Numerics.Dual.v phi) ~mu;
+  K_dual.theta_of u.spec ~phi ~mu
+
+let theta_of_d2 u ~phi ~mu =
+  check_phi ~phi:(Numerics.Dual.Order2.v phi) ~mu;
+  K_dual2.theta_of u.spec ~phi ~mu
+
+let dtheta_dphi_d u ~phi ~mu =
+  check_phi ~phi:(Numerics.Dual.v phi) ~mu;
+  K_dual.dtheta_dphi u.spec ~phi ~mu
 
 let dphi_dtheta u ~theta ~mu =
   check ~theta ~mu;

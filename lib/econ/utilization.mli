@@ -34,6 +34,17 @@ val phi : t -> theta:float -> mu:float -> float
 val theta_of : t -> phi:float -> mu:float -> float
 (** The implied throughput [Theta(phi, mu)] inverting [phi]. *)
 
+(** The supply-side kernel over an arbitrary scalar field; [phi] is the
+    field value, [mu] a float parameter. *)
+module Kernel (F : Numerics.Field.S) : sig
+  val theta_of : spec -> phi:F.t -> mu:float -> F.t
+  val dtheta_dphi : spec -> phi:F.t -> mu:float -> F.t
+end
+
+val theta_of_d : t -> phi:Numerics.Dual.t -> mu:float -> Numerics.Dual.t
+val theta_of_d2 : t -> phi:Numerics.Dual.Order2.t -> mu:float -> Numerics.Dual.Order2.t
+val dtheta_dphi_d : t -> phi:Numerics.Dual.t -> mu:float -> Numerics.Dual.t
+
 val dphi_dtheta : t -> theta:float -> mu:float -> float
 (** Positive for [theta > 0]. *)
 

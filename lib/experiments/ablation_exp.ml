@@ -3,18 +3,25 @@ open Subsidization
 (* a coarse Figure-7 row: revenue at q = 1 over a small price grid *)
 let prices = [| 0.2; 0.5; 0.8; 1.1; 1.4; 1.7; 2.0 |]
 
-(* row 0 is the reference; the others are the perturbed variants *)
+(* row 0 is the reference; the others are the perturbed variants. Each
+   solver takes the continuation prediction as [?x0]; variants with
+   their own start discard it. [~fused:false] is the pre-continuation
+   grid-scan respond — a per-variant switch, not the global mode, so
+   the pool can run variants concurrently. *)
 let solvers =
   [|
-    ("reference (defaults)", fun g -> Nash.solve g);
-    ("jacobi scheme", fun g -> Nash.solve ~scheme:Gametheory.Best_response.Jacobi g);
-    ("damping 0.5", fun g -> Nash.solve ~damping:0.5 g);
-    ("loose tolerance 1e-6", fun g -> Nash.solve ~tol:1e-6 g);
-    ("coarse line search (9 pts)", fun g -> Nash.solve ~respond_points:9 g);
-    ("fine line search (49 pts)", fun g -> Nash.solve ~respond_points:49 g);
-    ("extragradient VI solver", fun g -> Nash.solve_vi ~tol:1e-9 g);
+    ("reference (defaults)", fun ?x0 g -> Nash.solve ?x0 g);
+    ( "jacobi scheme",
+      fun ?x0 g -> Nash.solve ?x0 ~scheme:Gametheory.Best_response.Jacobi g );
+    ("damping 0.5", fun ?x0 g -> Nash.solve ?x0 ~damping:0.5 g);
+    ("loose tolerance 1e-6", fun ?x0 g -> Nash.solve ?x0 ~tol:1e-6 g);
+    ("coarse line search (9 pts)", fun ?x0 g -> Nash.solve ?x0 ~respond_points:9 g);
+    ("fine line search (49 pts)", fun ?x0 g -> Nash.solve ?x0 ~respond_points:49 g);
+    ("legacy grid-scan respond", fun ?x0 g -> Nash.solve ?x0 ~fused:false g);
+    ("extragradient VI solver", fun ?x0 g -> Nash.solve_vi ?x0 ~tol:1e-9 g);
     ( "warm start from cap",
-      fun g ->
+      fun ?x0 g ->
+        ignore x0;
         Nash.solve ~x0:(Numerics.Vec.make (Subsidy_game.dim g) (Subsidy_game.cap g)) g
     );
   |]
@@ -30,20 +37,30 @@ let max_rel_deviation reference other =
 
 let run () : Common.outcome =
   let sys = Scenario.fig7_11_system () in
-  let np = Array.length prices in
-  (* flatten (variant x price) into independent Nash solves — 56 cells,
-     one task each, reassembled row-major into per-variant curves *)
-  let cells =
+  (* one task per variant: each walks the whole price grid on its own
+     continuation track, so the curves are warm-start chains exactly
+     like the Figure-7 sweeps *)
+  let curves =
     Parallel.Pool.map (Parallel.Runtime.pool ()) ~chunk:1
-      (fun t ->
-        let _, solve = solvers.(t / np) in
-        let p = prices.(t mod np) in
-        let game = Subsidy_game.make sys ~price:p ~cap:1.0 in
-        let eq = solve game in
-        p *. eq.Nash.state.System.aggregate)
-      (Array.init (Array.length solvers * np) Fun.id)
+      (fun vi ->
+        let _, solve = solvers.(vi) in
+        let track = Numerics.Continuation.track () in
+        Array.map
+          (fun p ->
+            let game = Subsidy_game.make sys ~price:p ~cap:1.0 in
+            let eq =
+              Numerics.Continuation.solve_cell track ~at:p
+                ~clamp:(Numerics.Vec.clamp ~lo:0. ~hi:1.0)
+                ~solve:(fun x0 -> solve ?x0 game)
+                ~extract:(fun (eq : Nash.equilibrium) ->
+                  (eq.Nash.subsidies, eq.Nash.converged))
+                ()
+            in
+            p *. eq.Nash.state.System.aggregate)
+          prices)
+      (Array.init (Array.length solvers) Fun.id)
   in
-  let curve vi = Array.sub cells (vi * np) np in
+  let curve vi = curves.(vi) in
   let reference = curve 0 in
   let table = Report.Table.make ~columns:[ "solver variant"; "max relative deviation" ] in
   Report.Table.add_row table [ fst solvers.(0); "0" ];

@@ -13,7 +13,12 @@ type t = { id : string; title : string; paper_ref : string; run : unit -> outcom
    totals), the whole run sits under a root span, and its wall time is
    recorded as a gauge for metric exports *)
 let run ?(isolate_stats = true) (t : t) =
-  if isolate_stats then Numerics.Robust.reset_stats ();
+  if isolate_stats then begin
+    Numerics.Robust.reset_stats ();
+    Numerics.Ad.reset_stats ();
+    Numerics.Diff.reset_stats ();
+    Numerics.Continuation.reset_stats ()
+  end;
   Obs.Trace.with_span ("experiment:" ^ t.id) @@ fun () ->
   let t_start = Obs.Clock.now () in
   let outcome = t.run () in

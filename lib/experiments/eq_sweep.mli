@@ -3,6 +3,21 @@
     Computed once per grid resolution and memoized, because four figures
     read the same sweep. *)
 
+type shared_stats = {
+  root_calls : int;
+  objective_evaluations : float;
+  deriv_ad : float;  (** seeded AD passes *)
+  deriv_fd : float;  (** finite-difference estimates *)
+}
+(** Solver work spent computing the memoized sweep (counter deltas
+    around the one cold computation). *)
+
+val consumers : string list
+(** Figure ids that read the shared sweep ([fig7] … [fig11]): the bench
+    harness attributes {!shared_stats} to each of them, because their
+    own per-figure counters only show the cost on whichever ran
+    first. *)
+
 val get :
   ?points:int ->
   unit ->
@@ -10,6 +25,10 @@ val get :
 (** [(q_levels, prices, points)] with [points.(qi).(pi)] the market
     point at cap [q_levels.(qi)] and price [prices.(pi)].
     [points] defaults to the standard 41-point grid. *)
+
+val shared_stats : ?points:int -> unit -> shared_stats option
+(** The sweep's captured solver work, once some consumer has forced it
+    ([None] before the first {!get} at that resolution). *)
 
 val cp_names : unit -> string array
 (** Panel labels in the paper's order. *)

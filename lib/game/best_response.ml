@@ -4,6 +4,7 @@ type game = {
   box : Box.t;
   payoff : int -> Vec.t -> float;
   marginal : (int -> Vec.t -> float) option;
+  fused : (int -> Vec.t -> float -> float * float) option;
   respond_points : int;
 }
 
@@ -16,10 +17,10 @@ type outcome = {
   converged : bool;
 }
 
-let make ?marginal ?(respond_points = 25) ~box ~payoff () =
+let make ?marginal ?fused ?(respond_points = 25) ~box ~payoff () =
   Precondition.require ~fn:"Best_response.make" (respond_points >= 5)
     "respond_points < 5";
-  { box; payoff; marginal; respond_points }
+  { box; payoff; marginal; fused; respond_points }
 
 let with_coord s i si =
   let s' = Vec.copy s in
@@ -72,10 +73,33 @@ let respond_derivative_free game i s =
     r.Optimize.x
   end
 
-let respond game i s =
+(* Fused path: the marginal and its slope come out of one dual pass, so
+   the reply is a projected damped Newton from the current coordinate —
+   no grid scan, no per-crossing root chain. [None] means the corrector
+   and its fallback chain both failed; the caller re-scans. *)
+let respond_with_fused game fused i s =
+  let lo = Box.lo_i game.box i and hi = Box.hi_i game.box i in
+  if lo = hi then Some lo
+  else begin
+    let f_df si = fused i s si in
+    match Continuation.correct ~ctx:"best_response" f_df ~x0:s.(i) ~lo ~hi with
+    | Continuation.Converged p -> Some p.Robust.x
+    | Continuation.Fell_back r -> Some r.Robust.result.Rootfind.root
+    | Continuation.Failed _ -> None
+  end
+
+let respond_scan game i s =
   match game.marginal with
   | Some marginal -> respond_with_marginal game marginal i s
   | None -> respond_derivative_free game i s
+
+let respond game i s =
+  match game.fused with
+  | Some fused when Continuation.fast () -> (
+      match respond_with_fused game fused i s with
+      | Some reply -> reply
+      | None -> respond_scan game i s)
+  | _ -> respond_scan game i s
 
 let solve ?(scheme = Gauss_seidel) ?(damping = 1.) ?(tol = 1e-10) ?(max_sweeps = 500)
     game ~x0 =

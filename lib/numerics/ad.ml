@@ -1,0 +1,39 @@
+(* The counter handle survives Obs.Metrics.reset (cells are zeroed in
+   place), so registering once at module initialisation is safe. *)
+let ad_passes = Obs.Metrics.counter "numerics.deriv.ad"
+let count () = Obs.Metrics.incr ad_passes
+let record_pass = count
+
+let derivative f x =
+  count ();
+  Dual.d (f (Dual.var x))
+
+let value_and_derivative f x =
+  count ();
+  let y = f (Dual.var x) in
+  (Dual.v y, Dual.d y)
+
+let derivative2 f x =
+  count ();
+  let y = f (Dual.Order2.var x) in
+  Dual.Order2.(v y, d y, dd y)
+
+let seeded x j =
+  count ();
+  Array.mapi
+    (fun i xi -> if i = j then Dual.var xi else Dual.const xi)
+    x
+
+let gradient f (x : Vec.t) : Vec.t =
+  Array.mapi (fun j _ -> Dual.d (f (seeded x j))) x
+
+let jacobian f (x : Vec.t) =
+  let n = Array.length x in
+  let cols = Array.init n (fun j -> f (seeded x j)) in
+  let m = Array.length cols.(0) in
+  Mat.init ~rows:m ~cols:n (fun i j -> Dual.d cols.(j).(i))
+
+type stats = { passes : float }
+
+let stats () = { passes = Obs.Metrics.counter_value ad_passes }
+let reset_stats () = Obs.Metrics.reset ~prefix:"numerics.deriv.ad" ()

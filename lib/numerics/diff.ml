@@ -4,24 +4,35 @@ let default_step x = cbrt_eps *. Float.max 1. (Float.abs x)
 
 let step ?h x = match h with Some h -> h | None -> default_step x
 
+(* One tick per stenciled derivative estimate: the finite-difference
+   mirror of [numerics.deriv.ad], so the bench counters can show which
+   code paths still stencil. The handle survives Obs.Metrics.reset. *)
+let fd_estimates = Obs.Metrics.counter "numerics.deriv.fd"
+let count () = Obs.Metrics.incr fd_estimates
+
 let central ?h f x =
+  count ();
   let h = step ?h x in
   (f (x +. h) -. f (x -. h)) /. (2. *. h)
 
 let forward ?h f x =
+  count ();
   let h = step ?h x in
   (f (x +. h) -. f x) /. h
 
 let backward ?h f x =
+  count ();
   let h = step ?h x in
   (f x -. f (x -. h)) /. h
 
 let second ?h f x =
+  count ();
   let h = match h with Some h -> h | None -> sqrt cbrt_eps *. Float.max 1. (Float.abs x) in
   (f (x +. h) -. (2. *. f x) +. f (x -. h)) /. (h *. h)
 
 let richardson ?h ?(levels = 3) f x =
   if levels < 1 then invalid_arg "Diff.richardson: levels must be positive";
+  count ();
   let h0 = match h with Some h -> h | None -> 16. *. default_step x in
   let table = Array.make levels 0. in
   for k = 0 to levels - 1 do
@@ -50,6 +61,7 @@ let perturbed x i delta =
 
 let partial ?h f x i =
   if i < 0 || i >= Vec.dim x then invalid_arg "Diff.partial: index out of range";
+  count ();
   let h = step ?h x.(i) in
   (f (perturbed x i h) -. f (perturbed x i (-.h))) /. (2. *. h)
 
@@ -60,6 +72,7 @@ let jacobian ?h f x =
   let m = Vec.dim (f x) in
   let columns =
     Array.init n (fun j ->
+        count ();
         let hj = step ?h x.(j) in
         let fp = f (perturbed x j hj) and fm = f (perturbed x j (-.hj)) in
         Vec.scale (1. /. (2. *. hj)) (Vec.sub fp fm))
@@ -72,6 +85,7 @@ let hessian ?h f x =
   let fx = f x in
   let m = Mat.zeros ~rows:n ~cols:n in
   for i = 0 to n - 1 do
+    count ();
     let di = hi i in
     (* diagonal entry *)
     let fpp = f (perturbed x i di) and fmm = f (perturbed x i (-.di)) in
@@ -88,3 +102,8 @@ let hessian ?h f x =
     done
   done;
   m
+
+type stats = { estimates : float }
+
+let stats () = { estimates = Obs.Metrics.counter_value fd_estimates }
+let reset_stats () = Obs.Metrics.reset ~prefix:"numerics.deriv.fd" ()

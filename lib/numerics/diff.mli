@@ -31,3 +31,11 @@ val jacobian : ?h:float -> (Vec.t -> Vec.t) -> Vec.t -> Mat.t
 
 val hessian : ?h:float -> (Vec.t -> float) -> Vec.t -> Mat.t
 (** Symmetric central-difference Hessian. *)
+
+type stats = { estimates : float }
+(** Cumulative finite-difference derivative estimates since the last
+    reset (the [numerics.deriv.fd] counter — one tick per stenciled
+    scalar derivative, per Jacobian column, per Hessian row). *)
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

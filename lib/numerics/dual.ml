@@ -1,0 +1,94 @@
+type t = { v : float; d : float }
+
+let const v = { v; d = 0. }
+let make ~v ~d = { v; d }
+let var v = { v; d = 1. }
+let primal x = x.v
+let v x = x.v
+let d x = x.d
+let ( + ) a b = { v = a.v +. b.v; d = a.d +. b.d }
+let ( - ) a b = { v = a.v -. b.v; d = a.d -. b.d }
+let ( * ) a b = { v = a.v *. b.v; d = (a.d *. b.v) +. (a.v *. b.d) }
+
+let ( / ) a b =
+  let q = a.v /. b.v in
+  { v = q; d = (a.d -. (q *. b.d)) /. b.v }
+
+let neg x = { v = -.x.v; d = -.x.d }
+
+let exp x =
+  let e = Stdlib.exp x.v in
+  { v = e; d = x.d *. e }
+
+let log x = { v = Stdlib.log x.v; d = x.d /. x.v }
+let log1p x = { v = Stdlib.log1p x.v; d = x.d /. (1. +. x.v) }
+
+let expm1 x =
+  (* d/dx expm1 = exp, evaluated once *)
+  { v = Stdlib.expm1 x.v; d = x.d *. Stdlib.exp x.v }
+
+let sqrt x =
+  let s = Stdlib.sqrt x.v in
+  { v = s; d = x.d /. (2. *. s) }
+
+let pow_f x c =
+  { v = Float.pow x.v c; d = c *. Float.pow x.v (c -. 1.) *. x.d }
+
+module Order2 = struct
+  type t = { v : float; d : float; dd : float }
+
+  let const v = { v; d = 0.; dd = 0. }
+  let make ~v ~d ~dd = { v; d; dd }
+  let var v = { v; d = 1.; dd = 0. }
+  let primal x = x.v
+  let v x = x.v
+  let d x = x.d
+  let dd x = x.dd
+
+  let ( + ) a b = { v = a.v +. b.v; d = a.d +. b.d; dd = a.dd +. b.dd }
+  let ( - ) a b = { v = a.v -. b.v; d = a.d -. b.d; dd = a.dd -. b.dd }
+
+  let ( * ) a b =
+    {
+      v = a.v *. b.v;
+      d = (a.d *. b.v) +. (a.v *. b.d);
+      dd = (a.dd *. b.v) +. (2. *. a.d *. b.d) +. (a.v *. b.dd);
+    }
+
+  let ( / ) a b =
+    (* from a = q * b: solve the product rule for q.d then q.dd *)
+    let qv = a.v /. b.v in
+    let qd = (a.d -. (qv *. b.d)) /. b.v in
+    let qdd = (a.dd -. (qv *. b.dd) -. (2. *. qd *. b.d)) /. b.v in
+    { v = qv; d = qd; dd = qdd }
+
+  let neg x = { v = -.x.v; d = -.x.d; dd = -.x.dd }
+
+  let exp x =
+    let e = Stdlib.exp x.v in
+    { v = e; d = x.d *. e; dd = e *. (x.dd +. (x.d *. x.d)) }
+
+  let log x =
+    let d = x.d /. x.v in
+    { v = Stdlib.log x.v; d; dd = (x.dd -. (d *. x.d)) /. x.v }
+
+  let log1p x =
+    let u = 1. +. x.v in
+    let d = x.d /. u in
+    { v = Stdlib.log1p x.v; d; dd = (x.dd -. (d *. x.d)) /. u }
+
+  let expm1 x =
+    let e = Stdlib.exp x.v in
+    { v = Stdlib.expm1 x.v; d = x.d *. e; dd = e *. (x.dd +. (x.d *. x.d)) }
+
+  let pow_f x c =
+    let s1 = c *. Float.pow x.v (c -. 1.) in
+    let s2 = c *. (c -. 1.) *. Float.pow x.v (c -. 2.) in
+    {
+      v = Float.pow x.v c;
+      d = s1 *. x.d;
+      dd = (s1 *. x.dd) +. (s2 *. x.d *. x.d);
+    }
+
+  let sqrt x = pow_f x 0.5
+end

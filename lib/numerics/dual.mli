@@ -1,0 +1,47 @@
+(** Forward-mode dual numbers.
+
+    A value [{v; d}] carries a primal [v] and the derivative [d] of
+    that primal with respect to one seed variable; arithmetic
+    propagates both by the chain rule, so evaluating a kernel once
+    yields the exact derivative — no stencil, no step-size tuning.
+    {!Order2} extends the same idea with the raw second derivative
+    [dd], which is what turns a payoff evaluation into a fused Newton
+    step (value' and value'' in one pass).
+
+    Comparisons are on the primal only (see {!Field.S}); at a primal
+    branch point the derivative is the one-sided derivative of the
+    branch taken. [pow_f] at a primal of exactly 0 with exponent < 1
+    produces an infinite slope, faithfully to the mathematics — callers
+    on the [phi = 0] market boundary use the legacy float path
+    instead. *)
+
+type t = { v : float; d : float }
+
+include Field.S with type t := t
+
+val make : v:float -> d:float -> t
+
+val var : float -> t
+(** [var x] is the seed [{v = x; d = 1.}] — differentiate with respect
+    to this input. *)
+
+val v : t -> float
+val d : t -> float
+
+(** Second-order truncated Taylor numbers [{v; d; dd}] with [dd] the
+    raw second derivative (not the halved Taylor coefficient): for
+    [f = a * b], [f.dd = a.dd * b.v + 2 * a.d * b.d + a.v * b.dd]. *)
+module Order2 : sig
+  type t = { v : float; d : float; dd : float }
+
+  include Field.S with type t := t
+
+  val make : v:float -> d:float -> dd:float -> t
+
+  val var : float -> t
+  (** [var x] is [{v = x; d = 1.; dd = 0.}]. *)
+
+  val v : t -> float
+  val d : t -> float
+  val dd : t -> float
+end

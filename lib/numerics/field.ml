@@ -1,0 +1,35 @@
+module type S = sig
+  type t
+
+  val const : float -> t
+  val primal : t -> float
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val neg : t -> t
+  val exp : t -> t
+  val log : t -> t
+  val log1p : t -> t
+  val expm1 : t -> t
+  val sqrt : t -> t
+  val pow_f : t -> float -> t
+end
+
+module Float_s = struct
+  type t = float
+
+  let const x = x
+  let primal x = x
+  let ( + ) = Stdlib.( +. )
+  let ( - ) = Stdlib.( -. )
+  let ( * ) = Stdlib.( *. )
+  let ( / ) = Stdlib.( /. )
+  let neg x = Stdlib.( ~-. ) x
+  let exp = Stdlib.exp
+  let log = Stdlib.log
+  let log1p = Stdlib.log1p
+  let expm1 = Stdlib.expm1
+  let sqrt = Stdlib.sqrt
+  let pow_f = Float.pow
+end

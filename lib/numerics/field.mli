@@ -1,0 +1,44 @@
+(** The scalar-field signature every econ kernel is written against.
+
+    A kernel expressed once over {!S} evaluates in plain floats
+    ({!Float_s}), in first-order dual numbers ({!Dual}) for exact
+    derivatives, or in second-order truncated Taylor numbers
+    ({!Dual.Order2}) for exact second derivatives — one source of
+    truth, no stencils. The float instance must reproduce the legacy
+    hand-written closures bit for bit, so kernels keep the exact
+    operation order of the expressions they replace.
+
+    Comparisons and branches are on the primal value only: a dual
+    number follows the same branch its primal would, which is the
+    standard forward-mode convention (derivatives are one-sided at
+    branch points such as [softplus]'s overflow guard). *)
+
+module type S = sig
+  type t
+
+  val const : float -> t
+  (** Lift a parameter (zero derivative parts). *)
+
+  val primal : t -> float
+  (** The value component; branch and compare on this. *)
+
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val neg : t -> t
+  val exp : t -> t
+  val log : t -> t
+  val log1p : t -> t
+  val expm1 : t -> t
+  val sqrt : t -> t
+
+  val pow_f : t -> float -> t
+  (** [pow_f x c] is [x ** c] for a {e constant} exponent — the only
+      power form the econ families need. *)
+end
+
+module Float_s : S with type t = float
+(** The identity instance: every operation is the corresponding
+    [Stdlib] float primitive, so [Kernel (Float_s)] closures cost the
+    same as the hand-written ones they replace. *)

@@ -345,6 +345,142 @@ let root ?(tol = 1e-12) ?(max_iter = 200) ?df ?x0 ?domain ?(ctx = default_ctx) f
      nothing escapes the result type"]
 
 (* ------------------------------------------------------------------ *)
+(* fused Newton: value and slope from one objective evaluation,
+   projected on a box — the continuation corrector's inner solver *)
+
+type bound = Interior | Lower | Upper
+
+type projected = {
+  x : float;
+  value : float;
+  bound : bound;
+  iterations : int;
+  evaluations : int;
+}
+
+let root_fused ?(tol = 1e-12) ?(max_iter = 60) ?(halvings = 5) ?(ctx = default_ctx)
+    f_df ~x0 ~lo ~hi =
+  if not (Float.is_finite lo && Float.is_finite hi) || lo > hi then
+    Precondition.fail ~fn:"Robust.root_fused"
+      (Printf.sprintf "bad interval [%g, %g]" lo hi);
+  let h = handles ctx in
+  Obs.Metrics.incr h.root_calls_c;
+  Obs.Metrics.incr (h.attempt_c Newton);
+  let t_start = Obs.Clock.now () in
+  let evals = ref 0 in
+  let last_residual = ref Float.infinity in
+  let guarded x =
+    (Domain.DLS.get probe_key) ();
+    incr evals;
+    let u, du = f_df x in
+    (* route the value through any installed fault so the chaos harness
+       reaches fused evaluations exactly as it reaches chain ones *)
+    let u = Fault.global_wrap (fun _ -> u) x in
+    if Float.is_finite u then begin
+      last_residual := Float.abs u;
+      (u, du)
+    end
+    else raise (Poison { at = x; value = u })
+  in
+  let clamp x = Float.max lo (Float.min hi x) in
+  (* directed bracket of the DECREASING crossing (the first-order
+     condition of a maximum): [blo] is the rightmost point seen with
+     u > 0, [bhi] the leftmost with u < 0; both only tighten *)
+  let blo = ref Float.nan and bhi = ref Float.nan in
+  let note_sign x u =
+    if u > 0. then (if not (!blo >= x) then blo := x)
+    else if not (!bhi <= x) then bhi := x
+  in
+  let bracketed () = Float.is_finite !blo && Float.is_finite !bhi && !blo < !bhi in
+  let fail failure =
+    Obs.Metrics.incr (h.fault_c failure);
+    Obs.Metrics.incr h.root_failures_c;
+    Error
+      {
+        attempts =
+          [ { method_ = Newton; evaluations = !evals; damping = None; failure } ];
+        last_residual = !last_residual;
+        bracket_history = [ (lo, hi) ];
+      }
+  in
+  let finish x value bound iter =
+    Ok { x; value; bound; iterations = iter; evaluations = !evals }
+  in
+  let rec step x u du iter =
+    if Float.abs u <= tol then finish x u Interior iter
+    else begin
+      note_sign x u;
+      (* KKT corners first: the marginal pushes outward at a box edge *)
+      if x -. lo <= 0. && u < 0. then finish lo u Lower iter
+      else if hi -. x <= 0. && u > 0. then finish hi u Upper iter
+      else if iter >= max_iter then
+        fail (Not_converged { detail = "fused Newton: iteration budget exhausted" })
+      else begin
+        (* Newton only where the objective is locally concave (du < 0,
+           so the step chases the decreasing crossing); elsewhere LEAP
+           uphill in the sign direction — the leap lands on a KKT
+           corner or establishes the bracket, never on the wrong
+           (increasing) stationary point *)
+        let concave = Float.is_finite du && du < 0. in
+        let leap0 = not concave in
+        let xc0 = if concave then x -. (u /. du) else if u > 0. then hi else lo in
+        let xc, leap =
+          if bracketed () && (xc0 <= !blo || xc0 >= !bhi) then
+            (0.5 *. (!blo +. !bhi), true)
+          else (clamp xc0, leap0)
+        in
+        if Float.abs (xc -. x) <= tol *. (1. +. Float.abs x) then
+          (* interior stall: the crossing moved below resolution *)
+          finish x u Interior iter
+        else begin
+          let uc, duc = guarded xc in
+          if leap then step xc uc duc (iter + 1)
+          else begin
+            (* damp a Newton step that made the residual worse *)
+            let rec damped xc uc duc k =
+              if Float.abs uc <= Float.abs u || k >= halvings then (xc, uc, duc)
+              else begin
+                let xh = 0.5 *. (x +. xc) in
+                let uh, duh = guarded xh in
+                damped xh uh duh (k + 1)
+              end
+            in
+            let xc, uc, duc = damped xc uc duc 0 in
+            if Float.abs uc >= Float.abs u && Float.abs uc > tol then begin
+              note_sign xc uc;
+              if bracketed () then begin
+                let xm = 0.5 *. (!blo +. !bhi) in
+                let um, dum = guarded xm in
+                step xm um dum (iter + 1)
+              end
+              else fail (Diverged { residual = Float.abs uc })
+            end
+            else step xc uc duc (iter + 1)
+          end
+        end
+      end
+    end
+  in
+  let outcome =
+    match
+      let x = clamp x0 in
+      let u, du = guarded x in
+      step x u du 0
+    with
+    | r -> r
+    | exception Poison { at; value } -> fail (Non_finite { at; value })
+    | exception Fault.Budget_exceeded n -> fail (Budget_exhausted { evaluations = n })
+    | exception Invalid_argument msg -> fail (Not_converged { detail = msg })
+  in
+  Obs.Metrics.observe h.root_latency_h (Obs.Clock.elapsed ~since:t_start);
+  Obs.Metrics.observe h.root_evals_h (float_of_int !evals);
+  outcome
+[@@sublint.allow "EXN-ESCAPE"
+    "the guarded evaluator raises Poison/Budget_exceeded and the single \
+     match-exception block at the bottom folds every one of them into the \
+     typed Error — nothing escapes the result type"]
+
+(* ------------------------------------------------------------------ *)
 (* fixed points with divergence/oscillation detection and damping retry *)
 
 type fp_success = {

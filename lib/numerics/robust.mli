@@ -90,6 +90,45 @@ val root :
     the [layer] label on every metric the call emits (default
     ["unlabeled"]). *)
 
+(** Where a projected fused-Newton solve ended up relative to its box. *)
+type bound = Interior | Lower | Upper
+
+type projected = {
+  x : float;  (** the KKT point in [\[lo, hi\]] *)
+  value : float;  (** the objective there — 0 only for [Interior] *)
+  bound : bound;
+  iterations : int;
+  evaluations : int;  (** fused evaluations spent by this call *)
+}
+
+val root_fused :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?halvings:int ->
+  ?ctx:string ->
+  (float -> float * float) ->
+  x0:float ->
+  lo:float ->
+  hi:float ->
+  (projected, error) result
+(** Damped Newton on a {e fused} objective returning [(f x, f' x)] from
+    one evaluation (an AD pass), projected on [\[lo, hi\]] and aimed at
+    the {e decreasing} crossing — the first-order condition of a
+    maximum. The answer is either an interior root ([|f x| <= tol]) or
+    a box corner whose value pushes outward ([Lower] with [f lo < 0],
+    [Upper] with [f hi > 0]) — exactly the KKT cases of a best-response
+    marginal. Newton steps are taken only where [f' < 0] (locally
+    concave payoff); elsewhere the iterate leaps uphill in the sign
+    direction of [f], landing on a KKT corner or establishing the
+    directed bracket [(rightmost f > 0, leftmost f < 0)], never on an
+    increasing stationary point. Newton steps that fail to shrink [|f|]
+    are halved up to [halvings] (default 5) times, then bisected inside
+    the bracket; without a bracket a non-improving step is a typed
+    [Diverged] failure, and callers fall back to the {!root} chain.
+    Counted as a Newton root call in the same [solver.*] metrics as
+    {!root} (the fused evaluations land in [solver.evaluations]);
+    probes and global faults apply to every fused evaluation. *)
+
 type fp_success = {
   fp : float Fixedpoint.result;
   damping_used : float;  (** the damping that finally converged *)

@@ -42,6 +42,10 @@ type fig = {
   seconds : float option;
   root_calls : float option;
   objective_evaluations : float option;
+  deriv_ad : float option;
+  deriv_fd : float option;
+  shared_root_calls : float option;
+  shared_objective_evaluations : float option;
 }
 
 let field name json = Option.bind (Json.member name json) Json.to_float
@@ -59,6 +63,10 @@ let parse_figures json =
             seconds = field "seconds" j;
             root_calls = field "root_calls" j;
             objective_evaluations = field "objective_evaluations" j;
+            deriv_ad = field "deriv_ad" j;
+            deriv_fd = field "deriv_fd" j;
+            shared_root_calls = field "shared_root_calls" j;
+            shared_objective_evaluations = field "shared_objective_evaluations" j;
           }
       | _ -> None
     in
@@ -151,6 +159,16 @@ let diff ?(tolerance = default_tolerance) ~baseline ~current () =
               verdict id "objective_evaluations" ~rel:tolerance.counts_rel
                 ~abs:tolerance.counts_abs b.objective_evaluations
                 c.objective_evaluations;
+              (* derivative-mix counters: a deriv_fd regression means a
+                 code path fell back from exact AD to stencils *)
+              verdict id "deriv_fd" ~rel:tolerance.counts_rel
+                ~abs:tolerance.counts_abs b.deriv_fd c.deriv_fd;
+              (* the memoized fig7-11 sweep, attributed to each consumer *)
+              verdict id "shared_root_calls" ~rel:tolerance.counts_rel
+                ~abs:tolerance.counts_abs b.shared_root_calls c.shared_root_calls;
+              verdict id "shared_objective_evaluations" ~rel:tolerance.counts_rel
+                ~abs:tolerance.counts_abs b.shared_objective_evaluations
+                c.shared_objective_evaluations;
             ])
         compared
     in

@@ -6,6 +6,7 @@ let () =
       Suite_subsidy_game.suite;
       Suite_nash.suite;
       Suite_sensitivity.suite;
+      Suite_exact_derivs.suite;
       Suite_revenue.suite;
       Suite_welfare.suite;
       Suite_policy.suite;

@@ -8,4 +8,5 @@ let () =
       Suite_cp_isp.suite;
       Suite_aggregate.suite;
       Suite_calibrate.suite;
+      Suite_ad.suite;
     ]

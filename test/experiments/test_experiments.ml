@@ -207,4 +207,4 @@ let suite =
       quick "market io solves" test_market_io_solves;
     ] )
 
-let () = Alcotest.run "experiments" [ suite ]
+let () = Alcotest.run "experiments" [ suite; Suite_equivalence.suite ]

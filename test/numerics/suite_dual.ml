@@ -1,0 +1,146 @@
+open Numerics
+open Test_helpers
+
+(* A composite exercising every Field/Dual primitive at once; smooth on
+   (0, 3) so stencils behave. *)
+let composite x =
+  Float.exp (0.3 *. x)
+  +. Float.log (1. +. (x *. x))
+  +. Float.log1p x +. Float.expm1 (0.2 *. x)
+  +. Float.sqrt (1. +. x) +. Float.pow x 1.7
+  +. ((x -. 0.5) /. (1. +. x)) -. (2. *. x)
+
+let composite_d x =
+  Dual.(
+    exp (const 0.3 * x)
+    + log (const 1. + (x * x))
+    + log1p x + expm1 (const 0.2 * x)
+    + sqrt (const 1. + x) + pow_f x 1.7
+    + ((x - const 0.5) / (const 1. + x)) - (const 2. * x))
+
+let composite_d2 x =
+  Dual.Order2.(
+    exp (const 0.3 * x)
+    + log (const 1. + (x * x))
+    + log1p x + expm1 (const 0.2 * x)
+    + sqrt (const 1. + x) + pow_f x 1.7
+    + ((x - const 0.5) / (const 1. + x)) - (const 2. * x))
+
+let rel_close ~tol expected actual =
+  Float.abs (actual -. expected) <= tol *. (1. +. Float.abs expected)
+
+let test_primal_matches_float () =
+  (* the dual primal must be the SAME arithmetic as the float closure *)
+  List.iter
+    (fun x ->
+      check_close ~tol:0. "primal identical" (composite x)
+        (Dual.v (composite_d (Dual.var x)));
+      check_close ~tol:0. "order2 primal identical" (composite x)
+        (Dual.Order2.v (composite_d2 (Dual.Order2.var x))))
+    [ 0.2; 0.7; 1.3; 2.6 ]
+
+let test_derivative_vs_richardson () =
+  List.iter
+    (fun x ->
+      let exact = Dual.d (composite_d (Dual.var x)) in
+      let stencil = Diff.richardson composite x in
+      check_true
+        (Printf.sprintf "d at %.2f: %.10g vs %.10g" x exact stencil)
+        (rel_close ~tol:1e-7 stencil exact))
+    [ 0.2; 0.7; 1.3; 2.6 ]
+
+let test_second_derivative_vs_stencil () =
+  List.iter
+    (fun x ->
+      let dd = Dual.Order2.dd (composite_d2 (Dual.Order2.var x)) in
+      let stencil = Diff.second composite x in
+      check_true
+        (Printf.sprintf "dd at %.2f: %.8g vs %.8g" x dd stencil)
+        (rel_close ~tol:1e-4 stencil dd))
+    [ 0.2; 0.7; 1.3; 2.6 ]
+
+let test_order2_d_matches_order1 () =
+  List.iter
+    (fun x ->
+      check_close ~tol:0. "order2 d = order1 d"
+        (Dual.d (composite_d (Dual.var x)))
+        (Dual.Order2.d (composite_d2 (Dual.Order2.var x))))
+    [ 0.2; 0.7; 1.3; 2.6 ]
+
+let test_seed_linearity () =
+  (* forward mode is linear in the seed: d along seed c is c * d *)
+  let x = 1.4 and c = 2.5 in
+  let base = Dual.d (composite_d (Dual.var x)) in
+  let scaled = Dual.d (composite_d (Dual.make ~v:x ~d:c)) in
+  check_close ~tol:1e-12 "seed scales derivative" (c *. base) scaled
+
+let test_const_has_zero_derivative () =
+  let y = composite_d (Dual.const 1.3) in
+  check_close ~tol:0. "const in, const out" 0. (Dual.d y);
+  let y2 = composite_d2 (Dual.Order2.const 1.3) in
+  check_close ~tol:0. "order2 const d" 0. (Dual.Order2.d y2);
+  check_close ~tol:0. "order2 const dd" 0. (Dual.Order2.dd y2)
+
+let test_ad_entry_points () =
+  let f x = Dual.(x * x * x) in
+  check_close ~tol:1e-12 "Ad.derivative x^3" 12. (Ad.derivative f 2.);
+  let v, d = Ad.value_and_derivative f 2. in
+  check_close ~tol:1e-12 "value" 8. v;
+  check_close ~tol:1e-12 "derivative" 12. d;
+  let f2 x = Dual.Order2.(x * x * x) in
+  let v, d, dd = Ad.derivative2 f2 2. in
+  check_close ~tol:1e-12 "d2 value" 8. v;
+  check_close ~tol:1e-12 "d2 first" 12. d;
+  check_close ~tol:1e-12 "d2 second" 12. dd;
+  let g (x : Dual.t array) = Dual.((x.(0) * x.(1)) + (x.(0) * x.(0))) in
+  let grad = Ad.gradient g (Vec.of_list [ 2.; 3. ]) in
+  check_close ~tol:1e-12 "grad x0" 7. grad.(0);
+  check_close ~tol:1e-12 "grad x1" 2. grad.(1);
+  let h (x : Dual.t array) =
+    [| Dual.(x.(0) * x.(1)); Dual.(x.(0) + (const 2. * x.(1))) |]
+  in
+  let j = Ad.jacobian h (Vec.of_list [ 3.; 4. ]) in
+  check_close ~tol:1e-12 "j00" 4. (Mat.get j 0 0);
+  check_close ~tol:1e-12 "j01" 3. (Mat.get j 0 1);
+  check_close ~tol:1e-12 "j10" 1. (Mat.get j 1 0);
+  check_close ~tol:1e-12 "j11" 2. (Mat.get j 1 1)
+
+let test_pass_counter () =
+  Ad.reset_stats ();
+  ignore (Ad.derivative (fun x -> Dual.(x * x)) 3.);
+  ignore (Ad.gradient (fun x -> x.(0)) (Vec.of_list [ 1.; 2.; 3. ]));
+  (* gradient seeds one pass per coordinate *)
+  check_close ~tol:0. "four passes recorded" 4. (Ad.stats ()).Ad.passes;
+  Ad.reset_stats ();
+  check_close ~tol:0. "reset zeroes" 0. (Ad.stats ()).Ad.passes
+
+let prop_dual_matches_richardson =
+  prop "dual derivative tracks richardson on the composite" ~count:200
+    (float_range 0.1 2.9)
+    (fun x ->
+      let exact = Dual.d (composite_d (Dual.var x)) in
+      rel_close ~tol:1e-6 (Diff.richardson composite x) exact)
+
+let prop_product_rule =
+  prop "product rule holds exactly" ~count:200
+    QCheck2.Gen.(
+      triple (float_range (-2.) 2.) (float_range (-2.) 2.) (float_range 0.5 2.))
+    (fun (a, b, x) ->
+      let u = Dual.make ~v:a ~d:x and w = Dual.make ~v:b ~d:1. in
+      let p = Dual.(u * w) in
+      Float.abs (Dual.d p -. ((x *. b) +. (a *. 1.))) <= 1e-12)
+
+let suite =
+  ( "dual",
+    [
+      quick "primal identical to float closure" test_primal_matches_float;
+      quick "derivative vs richardson" test_derivative_vs_richardson;
+      quick "second derivative vs stencil" test_second_derivative_vs_stencil;
+      quick "order2 first derivative consistent" test_order2_d_matches_order1;
+      quick "seed linearity" test_seed_linearity;
+      quick "constants carry zero derivative" test_const_has_zero_derivative;
+      quick "Ad entry points" test_ad_entry_points;
+      quick "Ad pass counter" test_pass_counter;
+      prop_dual_matches_richardson;
+      prop_product_rule;
+    ] )

@@ -8,6 +8,8 @@ let () =
       Suite_rootfind.suite;
       Suite_fixedpoint.suite;
       Suite_diff.suite;
+      Suite_dual.suite;
+      Suite_continuation.suite;
       Suite_optimize.suite;
       Suite_quadrature.suite;
       Suite_interp.suite;
